@@ -1,0 +1,160 @@
+//! Area models: the §VI.B OpenRAM-derived circuit overheads and the
+//! §VII system-level area-efficiency analysis.
+//!
+//! The constants here are the paper's measured 28 nm layout results —
+//! our substitution for re-running OpenRAM/DRC/LVS (see DESIGN.md).
+
+/// Per-array (256×128 sub-array) circuit area overhead, percent over a
+/// vanilla SRAM (§VI.B).
+#[must_use]
+pub fn array_overhead_pct(factor: u32) -> f64 {
+    match factor {
+        1 => 9.0,
+        32 => 12.6,
+        _ => 15.6, // the bit-hybrid stack is the largest
+    }
+}
+
+/// Banked overhead: an EVE SRAM is two banked 256×128 sub-arrays,
+/// halving the periphery's share (§VI.B).
+#[must_use]
+pub fn banked_overhead_pct(factor: u32) -> f64 {
+    array_overhead_pct(factor) / 2.0
+}
+
+/// Sub-arrays in the private L2 (512 KB / 8 KB).
+pub const L2_SUBARRAYS: u32 = 64;
+/// DTU cost in sub-array equivalents: eight DTUs, each half a
+/// sub-array (§VII.B).
+pub const DTU_SUBARRAY_EQUIV: f64 = 8.0 * 0.5;
+/// Macro-op ROM cost: one sub-array equivalent (§VII.B).
+pub const ROM_SUBARRAY_EQUIV: f64 = 1.0;
+
+/// Total EVE area overhead over the baseline L2, percent: circuit
+/// overhead on the EVE half of the ways plus the DTU/ROM sub-array
+/// additions. For EVE-8 this reproduces the paper's 11.7 %.
+///
+/// # Examples
+///
+/// ```
+/// use eve_analytical::area::eve_total_overhead_pct;
+/// let pct = eve_total_overhead_pct(8);
+/// assert!((pct - 11.7).abs() < 0.11, "{pct}");
+/// ```
+#[must_use]
+pub fn eve_total_overhead_pct(factor: u32) -> f64 {
+    // Only half the ways use EVE SRAMs, halving the circuit share.
+    let circuits = banked_overhead_pct(factor) / 2.0;
+    let subarrays =
+        (DTU_SUBARRAY_EQUIV + ROM_SUBARRAY_EQUIV) / f64::from(L2_SUBARRAYS) * 100.0;
+    circuits + subarrays
+}
+
+/// System-level area relative to a bare O3 core (§VII "Area Efficiency
+/// Analysis").
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SystemArea {
+    /// System label as printed in reports.
+    pub name: &'static str,
+    /// Area normalized to the O3 core.
+    pub relative_area: f64,
+}
+
+/// The paper's area table: O3 1.00×, O3+IV 1.10×, O3+DV 2.00×, EVE-1
+/// 1.10×, EVE-2..16 1.12×, EVE-32 1.11×.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SystemAreaTable;
+
+impl SystemAreaTable {
+    /// Relative area for a named system. `eve_factor` selects the EVE
+    /// design point when applicable.
+    #[must_use]
+    pub fn o3() -> SystemArea {
+        SystemArea {
+            name: "O3",
+            relative_area: 1.0,
+        }
+    }
+
+    /// O3 plus the integrated vector unit.
+    #[must_use]
+    pub fn o3_iv() -> SystemArea {
+        SystemArea {
+            name: "O3+IV",
+            relative_area: 1.10,
+        }
+    }
+
+    /// O3 plus the decoupled vector engine.
+    #[must_use]
+    pub fn o3_dv() -> SystemArea {
+        SystemArea {
+            name: "O3+DV",
+            relative_area: 2.00,
+        }
+    }
+
+    /// O3 plus an EVE-`factor` engine.
+    #[must_use]
+    pub fn o3_eve(factor: u32) -> SystemArea {
+        let relative_area = match factor {
+            1 => 1.10,
+            32 => 1.11,
+            _ => 1.12,
+        };
+        SystemArea {
+            name: "O3+EVE",
+            relative_area,
+        }
+    }
+}
+
+/// Area-normalized performance: speedup divided by relative area.
+#[must_use]
+pub fn area_normalized(speedup: f64, area: SystemArea) -> f64 {
+    speedup / area.relative_area
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_banked_overheads() {
+        assert!((banked_overhead_pct(1) - 4.5).abs() < 1e-9);
+        assert!((banked_overhead_pct(8) - 7.8).abs() < 1e-9);
+        assert!((banked_overhead_pct(32) - 6.3).abs() < 1e-9);
+    }
+
+    #[test]
+    fn eve8_total_matches_paper_11_7_pct() {
+        // 7.8/2 = 3.9 circuits + 5/64 = 7.8 sub-arrays = 11.7.
+        let pct = eve_total_overhead_pct(8);
+        assert!((pct - 11.71).abs() < 0.1, "{pct}");
+    }
+
+    #[test]
+    fn eve1_is_the_leanest_bitline_design() {
+        assert!(eve_total_overhead_pct(1) < eve_total_overhead_pct(8));
+        assert!(eve_total_overhead_pct(32) < eve_total_overhead_pct(8));
+    }
+
+    #[test]
+    fn system_areas_match_section_vii() {
+        assert_eq!(SystemAreaTable::o3().relative_area, 1.0);
+        assert_eq!(SystemAreaTable::o3_iv().relative_area, 1.10);
+        assert_eq!(SystemAreaTable::o3_dv().relative_area, 2.00);
+        assert_eq!(SystemAreaTable::o3_eve(1).relative_area, 1.10);
+        assert_eq!(SystemAreaTable::o3_eve(8).relative_area, 1.12);
+        assert_eq!(SystemAreaTable::o3_eve(32).relative_area, 1.11);
+    }
+
+    #[test]
+    fn area_normalized_performance_favors_eve_over_dv() {
+        // §VII: comparable performance at much lower area means EVE-8
+        // more than doubles DV's area-normalized performance.
+        let dv = area_normalized(21.58, SystemAreaTable::o3_dv());
+        let eve8 = area_normalized(25.60, SystemAreaTable::o3_eve(8));
+        assert!(eve8 > 2.0 * dv, "eve8 {eve8} vs dv {dv}");
+    }
+}

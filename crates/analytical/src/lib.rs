@@ -1,0 +1,33 @@
+//! Analytical models: the §II vector-S-CIM taxonomy spectrum (Fig 2),
+//! the §VI.B circuit area and cycle-time results, and the §VII
+//! area-efficiency analysis.
+//!
+//! The spectrum model is *vertically integrated* like the paper's
+//! methodology: latencies are not closed-form guesses but the actual
+//! cycle counts of the `eve-uop` μprograms, combined with the in-situ
+//! ALU counts from the `eve-sram` layout model.
+//!
+//! # Examples
+//!
+//! ```
+//! use eve_analytical::spectrum::spectrum_paper;
+//!
+//! let points = spectrum_paper();
+//! // §II: "the throughput peaks when the parallelization factor
+//! // reaches four."
+//! let best = points
+//!     .iter()
+//!     .max_by(|a, b| a.add_throughput.total_cmp(&b.add_throughput))
+//!     .unwrap();
+//! assert_eq!(best.factor, 4);
+//! ```
+
+pub mod area;
+pub mod energy;
+pub mod spectrum;
+pub mod timing;
+
+pub use area::{SystemArea, SystemAreaTable};
+pub use energy::{energy_per_element, program_energy, uop_energy};
+pub use spectrum::{spectrum, spectrum_paper, SpectrumPoint};
+pub use timing::{cycle_time, CYCLE_TIME_BASE_PS};

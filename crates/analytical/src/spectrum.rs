@@ -1,0 +1,154 @@
+//! The §II taxonomy spectrum: latency and throughput of add and
+//! multiply versus the parallelization factor (Fig 2).
+
+use eve_sram::{LayoutModel, SramGeometry};
+use eve_uop::{HybridConfig, LatencyTable, MacroOpKind};
+
+/// One point of the Fig 2 sweep.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SpectrumPoint {
+    /// Parallelization factor `p`.
+    pub factor: u32,
+    /// In-situ ALUs (lanes) at this factor — the parenthesized numbers
+    /// on Fig 2's x-axis.
+    pub alus: u32,
+    /// Cycles for a vector add/logic operation.
+    pub add_latency: u64,
+    /// Cycles for a vector multiply.
+    pub mul_latency: u64,
+    /// Add throughput, elements per cycle per array.
+    pub add_throughput: f64,
+    /// Multiply throughput, elements per cycle per array.
+    pub mul_throughput: f64,
+    /// SRAM bit utilization at this factor.
+    pub utilization: f64,
+}
+
+impl SpectrumPoint {
+    /// Latency and throughput normalized to a reference point (Fig 2
+    /// normalizes to `p = 1`): returns
+    /// `(add_lat, mul_lat, add_thr, mul_thr)` ratios.
+    #[must_use]
+    pub fn normalized_to(&self, reference: &SpectrumPoint) -> (f64, f64, f64, f64) {
+        (
+            self.add_latency as f64 / reference.add_latency as f64,
+            self.mul_latency as f64 / reference.mul_latency as f64,
+            self.add_throughput / reference.add_throughput,
+            self.mul_throughput / reference.mul_throughput,
+        )
+    }
+}
+
+/// Sweeps the parallelization factor for an S-CIM vector engine built
+/// from `geometry` holding `vregs` 32-bit vector registers.
+///
+/// # Panics
+///
+/// Panics if the geometry cannot hold the registers at some factor —
+/// impossible for the paper-scale geometries used here.
+#[must_use]
+pub fn spectrum(geometry: SramGeometry, vregs: u32) -> Vec<SpectrumPoint> {
+    HybridConfig::all()
+        .iter()
+        .map(|cfg| {
+            let p = cfg.segment_bits();
+            let layout =
+                LayoutModel::new(geometry, 32, vregs, p).expect("valid spectrum layout");
+            let mut lat = LatencyTable::new(*cfg);
+            let add = lat.latency(MacroOpKind::Add).0;
+            let mul = lat.latency(MacroOpKind::Mul).0;
+            let alus = layout.lanes();
+            SpectrumPoint {
+                factor: p,
+                alus,
+                add_latency: add,
+                mul_latency: mul,
+                add_throughput: f64::from(alus) / add as f64,
+                mul_throughput: f64::from(alus) / mul as f64,
+                utilization: layout.utilization(),
+            }
+        })
+        .collect()
+}
+
+/// The paper's Fig 2 configuration: a 256×256 S-CIM SRAM with 32
+/// vector registers.
+#[must_use]
+pub fn spectrum_paper() -> Vec<SpectrumPoint> {
+    spectrum(SramGeometry::PAPER, 32)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn six_points_in_factor_order() {
+        let pts = spectrum_paper();
+        assert_eq!(pts.len(), 6);
+        assert_eq!(
+            pts.iter().map(|p| p.factor).collect::<Vec<_>>(),
+            [1, 2, 4, 8, 16, 32]
+        );
+    }
+
+    #[test]
+    fn alu_counts_match_fig2_annotations() {
+        let pts = spectrum_paper();
+        assert_eq!(
+            pts.iter().map(|p| p.alus).collect::<Vec<_>>(),
+            [64, 64, 64, 32, 16, 8]
+        );
+    }
+
+    #[test]
+    fn latency_monotonically_decreases() {
+        let pts = spectrum_paper();
+        assert!(pts.windows(2).all(|w| w[0].add_latency > w[1].add_latency));
+        assert!(pts.windows(2).all(|w| w[0].mul_latency > w[1].mul_latency));
+    }
+
+    #[test]
+    fn latency_is_sublinear_in_factor() {
+        // §II: control overhead keeps latency from scaling 32x.
+        let pts = spectrum_paper();
+        let ratio = pts[0].add_latency as f64 / pts[5].add_latency as f64;
+        assert!(ratio < 32.0, "add latency ratio {ratio}");
+    }
+
+    #[test]
+    fn throughput_peaks_at_four_then_falls() {
+        let pts = spectrum_paper();
+        for metric in [
+            |p: &SpectrumPoint| p.add_throughput,
+            |p: &SpectrumPoint| p.mul_throughput,
+        ] {
+            let peak = pts
+                .iter()
+                .enumerate()
+                .max_by(|a, b| metric(a.1).total_cmp(&metric(b.1)))
+                .map(|(i, _)| i)
+                .unwrap();
+            assert_eq!(pts[peak].factor, 4, "peak at {}", pts[peak].factor);
+            // Rising to the peak, falling after.
+            assert!(metric(&pts[0]) < metric(&pts[2]));
+            assert!(metric(&pts[5]) < metric(&pts[2]));
+        }
+    }
+
+    #[test]
+    fn normalization_reference_is_identity() {
+        let pts = spectrum_paper();
+        let (al, ml, at, mt) = pts[0].normalized_to(&pts[0]);
+        assert_eq!((al, ml, at, mt), (1.0, 1.0, 1.0, 1.0));
+        let (al32, ..) = pts[5].normalized_to(&pts[0]);
+        assert!(al32 < 0.2, "EVE-32 add latency ratio {al32}");
+    }
+
+    #[test]
+    fn utilization_peaks_at_balance() {
+        let pts = spectrum_paper();
+        assert!(pts[2].utilization >= pts[0].utilization);
+        assert!(pts[2].utilization > pts[5].utilization);
+    }
+}

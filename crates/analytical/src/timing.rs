@@ -1,0 +1,49 @@
+//! Cycle-time model (§VI.B).
+//!
+//! The vanilla 28 nm SRAM cycles at 1.025 ns with the read path
+//! critical. The n-bit Manchester carry chain stays off the critical
+//! path through `n = 8`; 16-bit-hybrid pays ~15 % (1.175 ns) and
+//! 32-bit ~51 % (1.55 ns). Because the engine shares the L2's arrays,
+//! a spawned EVE-16/EVE-32 slows the whole clock — which is why EVE-16
+//! underperforms EVE-8 overall despite similar cycle counts (§VII.B).
+
+use eve_common::Picos;
+
+/// Vanilla SRAM / system cycle time at 28 nm.
+pub const CYCLE_TIME_BASE_PS: u64 = 1025;
+
+/// Cycle time of a system whose L2 carries EVE-`factor` SRAMs.
+/// `factor = 0` (or any `factor <= 8`) gives the unpenalized clock
+/// used by the scalar and baseline-vector systems.
+#[must_use]
+pub fn cycle_time(factor: u32) -> Picos {
+    match factor {
+        16 => Picos(1175),
+        32 => Picos(1550),
+        _ => Picos(CYCLE_TIME_BASE_PS),
+    }
+}
+
+/// Cycle-time penalty relative to the base clock.
+#[must_use]
+pub fn penalty_ratio(factor: u32) -> f64 {
+    cycle_time(factor).0 as f64 / CYCLE_TIME_BASE_PS as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_factors_pay_nothing() {
+        for n in [0u32, 1, 2, 4, 8] {
+            assert_eq!(cycle_time(n), Picos(CYCLE_TIME_BASE_PS));
+        }
+    }
+
+    #[test]
+    fn paper_penalties() {
+        assert!((penalty_ratio(16) - 1.146).abs() < 0.01);
+        assert!((penalty_ratio(32) - 1.512).abs() < 0.01);
+    }
+}

@@ -1,0 +1,53 @@
+//! Ablation: data-transpose-unit count — the DESIGN.md-called-out
+//! trade behind the paper's choice of eight DTUs (§VII-B: each costs
+//! half a sub-array of area).
+//!
+//! Sweeps the DTU count on EVE-1 (heaviest transpose: 32 cycles/line)
+//! and EVE-8 against pathfinder, the kernel the paper singles out for
+//! transpose stalls.
+
+use eve_bench::render_table;
+use eve_core::EngineTuning;
+use eve_mem::HierarchyConfig;
+use eve_sim::Runner;
+use eve_workloads::Workload;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let tiny = args.iter().any(|a| a == "--tiny");
+    let w = if tiny {
+        Workload::Pathfinder { rows: 4, cols: 2048 }
+    } else {
+        Workload::Pathfinder { rows: 8, cols: 8192 }
+    };
+    let runner = Runner::new();
+    let mut rows = Vec::new();
+    for n in [1u32, 8] {
+        for dtus in [1usize, 2, 4, 8, 16] {
+            let tuning = EngineTuning {
+                dtus,
+                ..EngineTuning::default()
+            };
+            let r = runner
+                .run_eve_tuned(n, tuning, &w, HierarchyConfig::table_iii())
+                .expect("tuned engine runs");
+            let b = r.breakdown.expect("EVE breakdown");
+            let dt = b.ld_dt_stall + b.st_dt_stall;
+            rows.push(vec![
+                format!("EVE-{n}"),
+                dtus.to_string(),
+                r.cycles.0.to_string(),
+                dt.0.to_string(),
+                format!("{:.1}%", dt.0 as f64 / b.total().0.max(1) as f64 * 100.0),
+            ]);
+        }
+    }
+    println!("Ablation: DTU count vs pathfinder runtime and transpose stalls");
+    println!(
+        "{}",
+        render_table(
+            &["design", "dtus", "cycles", "dt stall cyc", "dt stall %"],
+            &rows
+        )
+    );
+}

@@ -1,0 +1,65 @@
+//! Ablation: LLC MSHR scaling on the MSHR-bound kernels — the §IX
+//! future-work question ("address the limited MSHRs efficiently to
+//! enable EVE to utilize memory bandwidth more effectively"),
+//! quantified.
+//!
+//! Sweeps the LLC's miss-status registers and reports EVE-8 runtime on
+//! backprop (giant strides) and vvadd (streaming): backprop keeps
+//! improving far past the Table III budget of 32, vvadd saturates
+//! early once DRAM bandwidth binds.
+
+use eve_bench::render_table;
+use eve_mem::HierarchyConfig;
+use eve_sim::{Runner, SystemKind};
+use eve_workloads::Workload;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let tiny = args.iter().any(|a| a == "--tiny");
+    let (bp, vv) = if tiny {
+        (
+            Workload::Backprop {
+                inputs: 4096,
+                hidden: 16,
+            },
+            Workload::vvadd(8192),
+        )
+    } else {
+        (
+            Workload::Backprop {
+                inputs: 49152,
+                hidden: 16,
+            },
+            Workload::vvadd(65536),
+        )
+    };
+    let runner = Runner::new();
+    let mut rows = Vec::new();
+    let mut base: Option<(u64, u64)> = None;
+    for mshrs in [8u32, 16, 32, 64, 128, 256] {
+        let mut cfg = HierarchyConfig::table_iii();
+        cfg.llc.mshrs = mshrs;
+        let rb = runner
+            .run_with_memory(SystemKind::EveN(8), &bp, cfg.clone())
+            .expect("backprop runs");
+        let rv = runner
+            .run_with_memory(SystemKind::EveN(8), &vv, cfg)
+            .expect("vvadd runs");
+        let (b0, v0) = *base.get_or_insert((rb.cycles.0, rv.cycles.0));
+        rows.push(vec![
+            mshrs.to_string(),
+            rb.cycles.0.to_string(),
+            format!("{:.2}x", b0 as f64 / rb.cycles.0 as f64),
+            rv.cycles.0.to_string(),
+            format!("{:.2}x", v0 as f64 / rv.cycles.0 as f64),
+        ]);
+    }
+    println!("Ablation: LLC MSHRs vs EVE-8 runtime (speedups vs 8 MSHRs)");
+    println!(
+        "{}",
+        render_table(
+            &["llc mshrs", "backprop cyc", "speedup", "vvadd cyc", "speedup"],
+            &rows
+        )
+    );
+}

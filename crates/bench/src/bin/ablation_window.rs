@@ -1,0 +1,90 @@
+//! Ablation: out-of-order window size — does EVE need a big core?
+//!
+//! §V-A: EVE receives instructions at *commit*, so its throughput
+//! should not depend on how aggressive the control processor's window
+//! is. This sweep shrinks the O3 reorder buffer and compares the
+//! scalar O3 baseline (window-sensitive on memory-level parallelism)
+//! with O3+EVE-8 (nearly window-insensitive) — evidence for the
+//! paper's claim that EVE reaches decoupled-engine performance without
+//! decoupled-engine hardware in the core.
+
+use eve_bench::render_table;
+use eve_cpu::{O3Config, O3Core, VectorUnit};
+use eve_isa::Interpreter;
+use eve_mem::HierarchyConfig;
+use eve_workloads::Workload;
+
+fn run_with_window<V: VectorUnit>(
+    make_unit: impl Fn() -> V,
+    vector: bool,
+    w: &Workload,
+    window: usize,
+) -> u64 {
+    let built = w.build();
+    let mut core = O3Core::with_unit(make_unit(), HierarchyConfig::table_iii());
+    core.set_config(O3Config {
+        window,
+        ..O3Config::default()
+    });
+    let prog = if vector {
+        built.vector.clone()
+    } else {
+        built.scalar.clone()
+    };
+    let mut interp = Interpreter::new(prog, built.memory.clone(), core.hw_vl());
+    while let Some(r) = interp.step().expect("runs") {
+        core.retire(&r);
+    }
+    let cycles = core.finish();
+    built.verify(interp.memory()).expect("golden match");
+    cycles.0
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let tiny = args.iter().any(|a| a == "--tiny");
+    let w = if tiny {
+        Workload::Backprop {
+            inputs: 2048,
+            hidden: 16,
+        }
+    } else {
+        Workload::Backprop {
+            inputs: 16384,
+            hidden: 16,
+        }
+    };
+    let mut rows = Vec::new();
+    let mut base = (0u64, 0u64);
+    for window in [16usize, 48, 96, 192, 384] {
+        let o3 = run_with_window(|| eve_cpu::NoVector, false, &w, window);
+        let eve = run_with_window(
+            || eve_core::EveEngine::new(8).expect("valid"),
+            true,
+            &w,
+            window,
+        );
+        if window == 16 {
+            base = (o3, eve);
+        }
+        rows.push(vec![
+            window.to_string(),
+            o3.to_string(),
+            format!("{:.2}x", base.0 as f64 / o3 as f64),
+            eve.to_string(),
+            format!("{:.2}x", base.1 as f64 / eve as f64),
+        ]);
+    }
+    println!(
+        "Ablation: O3 window size on {} (speedups vs a 16-entry window)",
+        w.name()
+    );
+    println!(
+        "{}",
+        render_table(
+            &["window", "O3 cyc", "O3 speedup", "O3+EVE-8 cyc", "EVE speedup"],
+            &rows
+        )
+    );
+    println!("EVE receives work at commit (§V-A): the engine barely cares about the window.");
+}

@@ -1,0 +1,54 @@
+//! Regenerates **Fig 1**: data organization in an S-CIM SRAM array as
+//! the register count and parallelization factor vary (16×16 array,
+//! 8-bit elements), reporting in-situ ALUs and utilization.
+
+use eve_bench::{fmt_pct, render_table};
+use eve_sram::{LayoutModel, SramGeometry};
+
+fn main() {
+    let mut rows = Vec::new();
+    for &vregs in &[1u32, 2, 4] {
+        for &p in &[1u32, 2, 4, 8] {
+            let m = LayoutModel::new(SramGeometry::FIG1, 8, vregs, p)
+                .expect("valid Fig 1 layout");
+            let regime = if m.column_underutilized() {
+                "column-underutilized"
+            } else if m.row_underutilized() {
+                "row-underutilized"
+            } else {
+                "balanced"
+            };
+            rows.push(vec![
+                vregs.to_string(),
+                p.to_string(),
+                m.segments().to_string(),
+                m.lanes().to_string(),
+                fmt_pct(m.utilization() * 100.0),
+                regime.to_string(),
+            ]);
+        }
+    }
+    println!("Fig 1: 16x16 S-CIM array, 8-bit elements");
+    println!(
+        "{}",
+        render_table(
+            &["vregs", "factor", "segments", "in-situ ALUs", "utilization", "regime"],
+            &rows
+        )
+    );
+    println!("Paper geometry (256x256, 32-bit, 32 vregs):");
+    let mut rows = Vec::new();
+    for &p in &[1u32, 2, 4, 8, 16, 32] {
+        let m = LayoutModel::new(SramGeometry::PAPER, 32, 32, p).expect("valid layout");
+        rows.push(vec![
+            p.to_string(),
+            m.lanes().to_string(),
+            (m.lanes() * 32).to_string(),
+            fmt_pct(m.utilization() * 100.0),
+        ]);
+    }
+    println!(
+        "{}",
+        render_table(&["factor", "lanes/array", "hw VL (32 arrays)", "utilization"], &rows)
+    );
+}

@@ -1,0 +1,50 @@
+//! Regenerates **Fig 2**: latency and throughput of add/logic and
+//! multiply versus the parallelization factor, normalized to a factor
+//! of one (256×256 array, 32 vector registers).
+
+use eve_analytical::spectrum::spectrum_paper;
+use eve_bench::render_table;
+
+fn main() {
+    let pts = spectrum_paper();
+    let base = pts[0];
+    let rows: Vec<Vec<String>> = pts
+        .iter()
+        .map(|p| {
+            let (al, ml, at, mt) = p.normalized_to(&base);
+            vec![
+                format!("{} ({})", p.factor, p.alus),
+                p.add_latency.to_string(),
+                p.mul_latency.to_string(),
+                format!("{al:.3}"),
+                format!("{ml:.3}"),
+                format!("{at:.2}"),
+                format!("{mt:.2}"),
+            ]
+        })
+        .collect();
+    println!("Fig 2: 256x256 S-CIM SRAM, 32 vregs, normalized to factor 1");
+    println!(
+        "{}",
+        render_table(
+            &[
+                "factor (ALUs)",
+                "add cyc",
+                "mul cyc",
+                "add lat (norm)",
+                "mul lat (norm)",
+                "add thr (norm)",
+                "mul thr (norm)",
+            ],
+            &rows
+        )
+    );
+    let peak = pts
+        .iter()
+        .max_by(|a, b| a.add_throughput.total_cmp(&b.add_throughput))
+        .expect("nonempty");
+    println!(
+        "throughput peaks at factor {} (balanced utilization), as in the paper",
+        peak.factor
+    );
+}

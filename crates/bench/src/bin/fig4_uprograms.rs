@@ -1,0 +1,27 @@
+//! Regenerates **Fig 4**: the `add` and `mul` macro-operation
+//! μprograms, listed in the paper's tuple notation, for a chosen
+//! bit-hybrid configuration (default EVE-8).
+//!
+//! ```sh
+//! cargo run --release -p eve-bench --bin fig4_uprograms -- 4
+//! ```
+
+use eve_uop::{count_cycles, listing, HybridConfig, MacroOpKind, ProgramLibrary};
+
+fn main() {
+    let n: u32 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(8);
+    let cfg = HybridConfig::new(n).unwrap_or_else(|e| {
+        eprintln!("{e}");
+        std::process::exit(1);
+    });
+    let lib = ProgramLibrary::new(cfg);
+    println!("Fig 4 micro-programs for {cfg} ({} segments of {} bits)\n", cfg.segments(), cfg.segment_bits());
+    for kind in [MacroOpKind::Add, MacroOpKind::Mul] {
+        let prog = lib.program(kind);
+        println!("{}", listing(&prog));
+        println!("executes in {}\n", count_cycles(&prog, cfg));
+    }
+}

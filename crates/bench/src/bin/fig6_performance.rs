@@ -1,0 +1,47 @@
+//! Regenerates **Fig 6**: performance of every system on every kernel,
+//! normalized to the in-order core, plus the Table IV speedup columns.
+//!
+//! Run with `--tiny` for a fast smoke sweep, `--json` for raw data.
+
+use eve_bench::{fmt_x, render_table};
+use eve_sim::experiments::{geomean_speedup, performance_matrix};
+use eve_sim::SystemKind;
+use eve_workloads::Workload;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let tiny = args.iter().any(|a| a == "--tiny");
+    let json = args.iter().any(|a| a == "--json");
+    let suite = if tiny {
+        Workload::tiny_suite()
+    } else {
+        Workload::suite()
+    };
+    let perf = performance_matrix(&suite).expect("simulation succeeds");
+
+    if json {
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&perf).expect("serializable")
+        );
+        return;
+    }
+
+    let systems: Vec<String> = SystemKind::all().iter().map(ToString::to_string).collect();
+    let mut headers: Vec<&str> = vec!["workload"];
+    headers.extend(systems.iter().map(String::as_str));
+    let mut rows = Vec::new();
+    for wp in &perf {
+        let mut row = vec![wp.workload.clone()];
+        row.extend(wp.cells.iter().map(|c| fmt_x(c.speedup_vs_io)));
+        rows.push(row);
+    }
+    let mut geo = vec!["geomean".to_string()];
+    for sys in &systems {
+        geo.push(fmt_x(geomean_speedup(&perf, sys)));
+    }
+    rows.push(geo);
+
+    println!("Fig 6: speedup over IO (wall-time basis, cycle-time adjusted)");
+    println!("{}", render_table(&headers, &rows));
+}

@@ -1,0 +1,57 @@
+//! Regenerates **Fig 7**: the EVE execution-time breakdown per design
+//! point, normalized to EVE-1's total (busy / vru / memory /
+//! transpose / vmu / empty / dependency stalls).
+
+use eve_bench::render_table;
+use eve_sim::experiments::breakdown_matrix;
+use eve_workloads::Workload;
+
+const CATEGORIES: [&str; 9] = [
+    "busy",
+    "vru_stall",
+    "ld_mem_stall",
+    "st_mem_stall",
+    "ld_dt_stall",
+    "st_dt_stall",
+    "vmu_stall",
+    "empty_stall",
+    "dep_stall",
+];
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let tiny = args.iter().any(|a| a == "--tiny");
+    let json = args.iter().any(|a| a == "--json");
+    let suite = if tiny {
+        Workload::tiny_suite()
+    } else {
+        Workload::suite()
+    };
+    let rows = breakdown_matrix(&suite).expect("simulation succeeds");
+
+    if json {
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&rows).expect("serializable")
+        );
+        return;
+    }
+
+    let mut headers: Vec<&str> = vec!["workload", "design", "total(norm)"];
+    headers.extend(CATEGORIES);
+    let mut table = Vec::new();
+    for r in &rows {
+        let total: f64 = r.fractions.values().sum();
+        let mut row = vec![
+            r.workload.clone(),
+            format!("EVE-{}", r.factor),
+            format!("{total:.3}"),
+        ];
+        for c in CATEGORIES {
+            row.push(format!("{:.3}", r.fractions.get(c).copied().unwrap_or(0.0)));
+        }
+        table.push(row);
+    }
+    println!("Fig 7: execution breakdown normalized to EVE-1 per workload");
+    println!("{}", render_table(&headers, &table));
+}

@@ -1,0 +1,52 @@
+//! Regenerates **Fig 8**: the percentage of execution time the VMU is
+//! stalled issuing requests to the LLC (MSHR back-pressure).
+
+use eve_bench::{fmt_pct, render_table};
+use eve_sim::experiments::vmu_stall_matrix;
+use eve_workloads::Workload;
+use std::collections::BTreeMap;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let tiny = args.iter().any(|a| a == "--tiny");
+    let json = args.iter().any(|a| a == "--json");
+    let suite = if tiny {
+        Workload::tiny_suite()
+    } else {
+        Workload::suite()
+    };
+    let rows = vmu_stall_matrix(&suite).expect("simulation succeeds");
+
+    if json {
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&rows).expect("serializable")
+        );
+        return;
+    }
+
+    // Pivot: workload rows, EVE-n columns.
+    let mut by_workload: BTreeMap<String, BTreeMap<u32, f64>> = BTreeMap::new();
+    for r in rows {
+        by_workload
+            .entry(r.workload)
+            .or_default()
+            .insert(r.factor, r.stall_fraction);
+    }
+    let mut table = Vec::new();
+    for (w, cols) in &by_workload {
+        let mut row = vec![w.clone()];
+        for n in [1u32, 2, 4, 8, 16, 32] {
+            row.push(fmt_pct(cols.get(&n).copied().unwrap_or(0.0) * 100.0));
+        }
+        table.push(row);
+    }
+    println!("Fig 8: VMU cache-induced issue stalls (fraction of execution time)");
+    println!(
+        "{}",
+        render_table(
+            &["workload", "EVE-1", "EVE-2", "EVE-4", "EVE-8", "EVE-16", "EVE-32"],
+            &table
+        )
+    );
+}

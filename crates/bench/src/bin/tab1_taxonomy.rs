@@ -1,0 +1,36 @@
+//! Prints **Table I**: the vector-architecture taxonomy, annotated
+//! with where this repository's machines sit.
+
+use eve_bench::render_table;
+
+fn main() {
+    let rows = vec![
+        vec!["Length", "fixed, short", "scalable, long", "scalable"],
+        vec!["Element width", "variable", "fixed", "variable"],
+        vec!["Predication", "limited", "full", "full"],
+        vec!["Cross-element ops", "full", "limited", "full"],
+        vec!["Memory gather/scatter", "limited", "full", "full"],
+        vec!["Integration", "integrated", "decoupled", "either"],
+        vec!["Speculative execution", "yes", "no", "either"],
+        vec!["Compute pipeline", "integrated", "decoupled", "either"],
+        vec!["Memory bandwidth", "modest", "large", "either"],
+        vec!["Memory latency", "low", "high", "either"],
+    ]
+    .into_iter()
+    .map(|r| r.into_iter().map(String::from).collect())
+    .collect::<Vec<Vec<String>>>();
+    println!("Table I: a summary of vector architectures");
+    println!(
+        "{}",
+        render_table(
+            &["attribute", "packed SIMD", "long vector", "next generation"],
+            &rows
+        )
+    );
+    println!(
+        "This repository implements the next-generation column three ways:\n\
+         O3+IV (integrated, VL=4), O3+DV (decoupled, VL=64), and O3+EVE\n\
+         (an ephemeral engine in the L2, VL up to 2048) — all running the\n\
+         same strip-mined binaries (eve-isa)."
+    );
+}

@@ -1,0 +1,67 @@
+//! Prints **Table III**: the simulated system configurations.
+
+use eve_bench::render_table;
+use eve_mem::{CacheConfig, DramConfig};
+use eve_cpu::VectorUnit;
+use eve_sim::SystemKind;
+
+fn cache_row(c: &CacheConfig) -> Vec<String> {
+    vec![
+        c.name.clone(),
+        format!("{} KB", c.size_bytes >> 10),
+        format!("{}-way", c.ways),
+        format!("{}-cycle hit", c.hit_latency),
+        format!("{} MSHRs", c.mshrs),
+        format!("{} banks", c.banks),
+    ]
+}
+
+fn main() {
+    println!("Table III: memory hierarchy (shared by all systems)");
+    let rows = vec![
+        cache_row(&CacheConfig::l1i()),
+        cache_row(&CacheConfig::l1d()),
+        cache_row(&CacheConfig::l2()),
+        cache_row(&CacheConfig::l2_vector_mode()),
+        cache_row(&CacheConfig::llc()),
+    ];
+    println!(
+        "{}",
+        render_table(&["level", "size", "assoc", "latency", "mshrs", "banks"], &rows)
+    );
+    let d = DramConfig::ddr4_2400();
+    println!(
+        "memory: single-channel DDR4-2400-like ({}-cycle latency, {} cycles/line)\n",
+        d.latency, d.cycles_per_line
+    );
+
+    println!("systems:");
+    let mut rows = Vec::new();
+    for sys in SystemKind::all() {
+        let (vl, notes): (String, &str) = match sys {
+            SystemKind::Io => ("-".into(), "single-issue in-order RV-like core"),
+            SystemKind::O3 => ("-".into(), "8-way out-of-order core"),
+            SystemKind::O3Iv => {
+                ("4".into(), "integrated unit, OOO issue, 3 shared exec pipes")
+            }
+            SystemKind::O3Dv => {
+                ("64".into(), "decoupled engine, in-order issue, 4 exec pipes")
+            }
+            SystemKind::EveN(n) => {
+                let vl = eve_core::EveEngine::new(n).expect("valid factor").hw_vl();
+                (vl.to_string(), "L2-resident engine, in-order, 1 exec pipe")
+            }
+        };
+        rows.push(vec![
+            sys.to_string(),
+            vl,
+            format!("{}", sys.cycle_time()),
+            format!("{:.2}x", sys.relative_area()),
+            notes.to_string(),
+        ]);
+    }
+    println!(
+        "{}",
+        render_table(&["system", "hw VL", "cycle time", "rel. area", "notes"], &rows)
+    );
+}

@@ -1,0 +1,106 @@
+//! Regenerates **Table IV**: benchmark characterization (instruction
+//! counts and vector mix at VL = 64, like the paper's) plus the
+//! speedup-vs-O3+IV columns and the EVE-8 ratios.
+
+use eve_bench::{fmt_x, render_table};
+use eve_isa::{Characterization, Interpreter};
+use eve_sim::{Runner, SystemKind};
+use eve_workloads::Workload;
+
+fn characterize(built: &eve_workloads::Built, hw_vl: u32, vector: bool) -> Characterization {
+    let prog = if vector {
+        built.vector.clone()
+    } else {
+        built.scalar.clone()
+    };
+    let mut i = Interpreter::new(prog, built.memory.clone(), hw_vl);
+    let mut c = Characterization::new();
+    while let Some(r) = i.step().expect("kernel runs") {
+        c.record(&r);
+    }
+    c
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let tiny = args.iter().any(|a| a == "--tiny");
+    let suite = if tiny {
+        Workload::tiny_suite()
+    } else {
+        Workload::suite()
+    };
+
+    // Characterization half (vector stats at VL = 64 as in the paper).
+    let mut rows = Vec::new();
+    for w in &suite {
+        let built = w.build();
+        let scalar = characterize(&built, 1, false);
+        let vector = characterize(&built, 64, true);
+        let mix = vector.mix_pct();
+        rows.push(vec![
+            built.name.to_string(),
+            scalar.dyn_insts.to_string(),
+            vector.dyn_insts.to_string(),
+            format!("{:.0}%", vector.vector_inst_pct()),
+            format!("{:.0}", mix[0]),
+            format!("{:.0}", mix[1]),
+            format!("{:.0}", mix[2]),
+            format!("{:.0}", mix[3]),
+            format!("{:.0}", mix[4]),
+            format!("{:.0}", mix[5]),
+            format!("{:.0}", mix[6]),
+            format!("{:.0}", mix[7]),
+            vector.ops.to_string(),
+            format!("{:.0}%", vector.vector_op_pct()),
+            format!("{:.1}", vector.logical_parallelism()),
+            format!("{:.2}", vector.work_inflation(scalar.dyn_insts)),
+            format!("{:.2}", vector.arithmetic_intensity()),
+        ]);
+    }
+    println!("Table IV (characterization half, vector stats at VL=64)");
+    println!(
+        "{}",
+        render_table(
+            &[
+                "name", "DIns(sc)", "DIns(v)", "VI%", "ctrl", "ialu", "imul", "xe", "us",
+                "st", "idx", "prd", "DOp", "VO%", "VPar", "WInf", "ArInt",
+            ],
+            &rows
+        )
+    );
+
+    // Speedup half: vs O3+IV, plus EVE-8 vs EVE-1 / EVE-32.
+    let runner = Runner::new();
+    let mut rows = Vec::new();
+    for w in &suite {
+        let iv = runner.run(SystemKind::O3Iv, w).expect("iv runs");
+        let dv = runner.run(SystemKind::O3Dv, w).expect("dv runs");
+        let eve: Vec<_> = [1u32, 2, 4, 8, 16, 32]
+            .iter()
+            .map(|&n| runner.run(SystemKind::EveN(n), w).expect("eve runs"))
+            .collect();
+        let e8 = &eve[3];
+        rows.push(vec![
+            w.name().to_string(),
+            fmt_x(dv.speedup_over(&iv)),
+            fmt_x(eve[0].speedup_over(&iv)),
+            fmt_x(eve[1].speedup_over(&iv)),
+            fmt_x(eve[2].speedup_over(&iv)),
+            fmt_x(e8.speedup_over(&iv)),
+            fmt_x(eve[4].speedup_over(&iv)),
+            fmt_x(eve[5].speedup_over(&iv)),
+            fmt_x(e8.speedup_over(&eve[0])),
+            fmt_x(e8.speedup_over(&eve[5])),
+        ]);
+    }
+    println!("Table IV (speedup half, vs O3+IV; last two: EVE-8 vs EVE-1 / EVE-32)");
+    println!(
+        "{}",
+        render_table(
+            &[
+                "name", "DV", "E-1", "E-2", "E-4", "E-8", "E-16", "E-32", "E8/E1", "E8/E32",
+            ],
+            &rows
+        )
+    );
+}

@@ -1,0 +1,39 @@
+//! Regenerates the **§VI.B circuit results**: per-array and banked
+//! area overheads, total EVE overhead, and cycle times per design
+//! point.
+
+use eve_analytical::area::{banked_overhead_pct, eve_total_overhead_pct, array_overhead_pct};
+use eve_analytical::timing::{cycle_time, penalty_ratio};
+use eve_bench::{fmt_pct, render_table};
+
+fn main() {
+    let rows: Vec<Vec<String>> = [1u32, 2, 4, 8, 16, 32]
+        .iter()
+        .map(|&n| {
+            vec![
+                format!("EVE-{n}"),
+                fmt_pct(array_overhead_pct(n)),
+                fmt_pct(banked_overhead_pct(n)),
+                fmt_pct(eve_total_overhead_pct(n)),
+                format!("{}", cycle_time(n)),
+                format!("{:.3}", penalty_ratio(n)),
+            ]
+        })
+        .collect();
+    println!("Section VI.B circuit results (28nm constants from the paper's OpenRAM flow)");
+    println!(
+        "{}",
+        render_table(
+            &[
+                "design",
+                "array overhead",
+                "banked overhead",
+                "total EVE overhead",
+                "cycle time",
+                "clock penalty",
+            ],
+            &rows
+        )
+    );
+    println!("baseline vanilla SRAM cycle time: {}", cycle_time(0));
+}

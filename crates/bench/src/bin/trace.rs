@@ -1,0 +1,61 @@
+//! Trace tool: disassemble a kernel and watch its first instructions
+//! retire — a debugging window into the simulator.
+//!
+//! ```sh
+//! cargo run --release -p eve-bench --bin trace -- vvadd 40
+//! ```
+
+use eve_isa::{disasm, Characterization, Interpreter};
+use eve_workloads::Workload;
+
+fn pick(name: &str) -> Workload {
+    match name {
+        "vvadd" => Workload::Vvadd { n: 256 },
+        "mmult" => Workload::Mmult { n: 8 },
+        "kmeans" => Workload::Kmeans {
+            points: 32,
+            features: 4,
+            clusters: 2,
+        },
+        "pathfinder" => Workload::Pathfinder { rows: 3, cols: 64 },
+        "jacobi-2d" | "jacobi" => Workload::Jacobi2d { n: 8, steps: 1 },
+        "backprop" => Workload::Backprop {
+            inputs: 64,
+            hidden: 4,
+        },
+        "sw" => Workload::Sw { n: 12 },
+        other => {
+            eprintln!("unknown kernel {other}; use one of the Table IV names");
+            std::process::exit(1);
+        }
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let name = args.get(1).map_or("vvadd", String::as_str);
+    let count: usize = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(24);
+    let built = pick(name).build();
+
+    println!("=== {} (vector form, static code) ===", built.name);
+    println!("{}", disasm(&built.vector));
+
+    println!("=== first {count} retired instructions at hw VL = 64 ===");
+    let mut interp = Interpreter::new(built.vector.clone(), built.memory.clone(), 64);
+    let mut c = Characterization::new();
+    let mut shown = 0;
+    while let Some(r) = interp.step().expect("kernel runs") {
+        if shown < count {
+            let marker = if r.inst.is_vector() { "V" } else { " " };
+            println!("{:>6} {marker} [vl={:>3}] {}", r.seq, r.vl, r.inst);
+            shown += 1;
+        }
+        c.record(&r);
+    }
+    built.verify(interp.memory()).expect("golden outputs match");
+    println!(
+        "\nran to completion: {} dynamic instructions, VI% = {:.0}%, verified against golden",
+        c.dyn_insts,
+        c.vector_inst_pct()
+    );
+}

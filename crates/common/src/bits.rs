@@ -1,0 +1,209 @@
+//! Bit-manipulation helpers used by the bit-accurate SRAM model and the
+//! data transpose units.
+//!
+//! S-CIM stores vector elements *transposed*: bit `i` of element `e` lives
+//! in row `i`, column `e` of an SRAM array. The helpers here slice elements
+//! into segments and transpose 32×32 bit tiles the way EVE's DTUs do.
+
+/// Extracts bit `index` of `value` as a `bool`.
+///
+/// # Panics
+///
+/// Panics if `index >= 32`.
+///
+/// # Examples
+///
+/// ```
+/// use eve_common::bits::bit;
+/// assert!(bit(0b100, 2));
+/// assert!(!bit(0b100, 1));
+/// ```
+#[must_use]
+pub fn bit(value: u32, index: u32) -> bool {
+    assert!(index < 32, "bit index {index} out of range");
+    (value >> index) & 1 == 1
+}
+
+/// Returns `value` with bit `index` set to `on`.
+///
+/// # Panics
+///
+/// Panics if `index >= 32`.
+///
+/// # Examples
+///
+/// ```
+/// use eve_common::bits::set_bit;
+/// assert_eq!(set_bit(0, 3, true), 0b1000);
+/// assert_eq!(set_bit(0b1010, 1, false), 0b1000);
+/// ```
+#[must_use]
+pub fn set_bit(value: u32, index: u32, on: bool) -> u32 {
+    assert!(index < 32, "bit index {index} out of range");
+    if on {
+        value | (1 << index)
+    } else {
+        value & !(1 << index)
+    }
+}
+
+/// Extracts `width` bits of `value` starting at bit `lo`.
+///
+/// This is how an element is sliced into `n`-bit segments for bit-hybrid
+/// execution: segment `s` of an element is `extract_bits(elem, s * n, n)`.
+///
+/// # Panics
+///
+/// Panics if `lo + width > 32` or `width == 0`.
+///
+/// # Examples
+///
+/// ```
+/// use eve_common::bits::extract_bits;
+/// assert_eq!(extract_bits(0xABCD_1234, 8, 8), 0x12);
+/// assert_eq!(extract_bits(0xABCD_1234, 0, 4), 0x4);
+/// ```
+#[must_use]
+pub fn extract_bits(value: u32, lo: u32, width: u32) -> u32 {
+    assert!(width > 0 && lo + width <= 32, "bad field {lo}+{width}");
+    let mask = if width == 32 { u32::MAX } else { (1 << width) - 1 };
+    (value >> lo) & mask
+}
+
+/// Returns `value` with `width` bits starting at `lo` replaced by `field`.
+///
+/// Inverse of [`extract_bits`]; used when reassembling elements from
+/// segments after a writeback.
+///
+/// # Panics
+///
+/// Panics if `lo + width > 32`, `width == 0`, or `field` does not fit in
+/// `width` bits.
+///
+/// # Examples
+///
+/// ```
+/// use eve_common::bits::deposit_bits;
+/// assert_eq!(deposit_bits(0xFFFF_FFFF, 8, 8, 0x12), 0xFFFF_12FF);
+/// ```
+#[must_use]
+pub fn deposit_bits(value: u32, lo: u32, width: u32, field: u32) -> u32 {
+    assert!(width > 0 && lo + width <= 32, "bad field {lo}+{width}");
+    let mask = if width == 32 { u32::MAX } else { (1 << width) - 1 };
+    assert!(field <= mask, "field 0x{field:x} wider than {width} bits");
+    (value & !(mask << lo)) | (field << lo)
+}
+
+/// Transposes a 32×32 bit tile in place.
+///
+/// `tile[r]` holds row `r`; after transposition bit `c` of row `r` equals
+/// the original bit `r` of row `c`. EVE's data transpose units (DTUs)
+/// perform exactly this operation on cache lines streaming into the
+/// compute-enabled SRAM ways.
+///
+/// # Examples
+///
+/// ```
+/// use eve_common::bits::transpose32;
+/// let mut tile = [0u32; 32];
+/// tile[3] = 1 << 7; // bit (row 3, col 7)
+/// transpose32(&mut tile);
+/// assert_eq!(tile[7], 1 << 3); // now at (row 7, col 3)
+/// ```
+pub fn transpose32(tile: &mut [u32; 32]) {
+    let mut out = [0u32; 32];
+    for (r, &row) in tile.iter().enumerate() {
+        let mut rest = row;
+        while rest != 0 {
+            let c = rest.trailing_zeros();
+            out[c as usize] |= 1 << r;
+            rest &= rest - 1;
+        }
+    }
+    *tile = out;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bit_roundtrip() {
+        let v = 0b1011_0010u32;
+        for i in 0..8 {
+            assert_eq!(bit(v, i), (v >> i) & 1 == 1);
+        }
+    }
+
+    #[test]
+    fn set_bit_toggles() {
+        let mut v = 0u32;
+        v = set_bit(v, 31, true);
+        assert_eq!(v, 0x8000_0000);
+        v = set_bit(v, 31, false);
+        assert_eq!(v, 0);
+    }
+
+    #[test]
+    fn extract_deposit_roundtrip() {
+        let v = 0xDEAD_BEEFu32;
+        for width in [1u32, 2, 4, 8, 16, 32] {
+            for seg in 0..(32 / width) {
+                let f = extract_bits(v, seg * width, width);
+                assert_eq!(deposit_bits(v, seg * width, width, f), v);
+            }
+        }
+    }
+
+    #[test]
+    fn deposit_overwrites_only_field() {
+        let v = deposit_bits(0, 4, 4, 0xF);
+        assert_eq!(v, 0xF0);
+    }
+
+    #[test]
+    #[should_panic(expected = "wider than")]
+    fn deposit_rejects_oversized_field() {
+        let _ = deposit_bits(0, 0, 4, 0x10);
+    }
+
+    #[test]
+    fn transpose_identity_twice() {
+        let mut tile = [0u32; 32];
+        for (i, row) in tile.iter_mut().enumerate() {
+            *row = (i as u32).wrapping_mul(0x9E37_79B9);
+        }
+        let orig = tile;
+        transpose32(&mut tile);
+        transpose32(&mut tile);
+        assert_eq!(tile, orig);
+    }
+
+    #[test]
+    fn transpose_moves_bits() {
+        let mut tile = [0u32; 32];
+        tile[0] = u32::MAX; // row 0 all ones
+        transpose32(&mut tile);
+        for row in tile {
+            assert_eq!(row, 1); // column 0 all ones
+        }
+    }
+
+    #[test]
+    fn transpose_matches_naive() {
+        let mut tile = [0u32; 32];
+        for (i, row) in tile.iter_mut().enumerate() {
+            *row = 0x1234_5678u32.rotate_left(i as u32) ^ (i as u32);
+        }
+        let mut naive = [0u32; 32];
+        for (r, &row) in tile.iter().enumerate() {
+            for (c, out) in naive.iter_mut().enumerate() {
+                if bit(row, c as u32) {
+                    *out = set_bit(*out, r as u32, true);
+                }
+            }
+        }
+        transpose32(&mut tile);
+        assert_eq!(tile, naive);
+    }
+}

@@ -1,0 +1,204 @@
+//! Named statistic counters.
+//!
+//! Every timing model in the workspace exposes its measurements through a
+//! [`Stats`] table so the experiment runner can collect them uniformly —
+//! the same role gem5's stats framework plays for the paper's evaluation.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A single named counter.
+///
+/// # Examples
+///
+/// ```
+/// use eve_common::Stat;
+/// let mut s = Stat::default();
+/// s.add(3);
+/// s.incr();
+/// assert_eq!(s.value(), 4);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Stat(u64);
+
+impl Stat {
+    /// Creates a counter starting at `value`.
+    #[must_use]
+    pub fn new(value: u64) -> Self {
+        Stat(value)
+    }
+
+    /// Adds `amount` to the counter.
+    pub fn add(&mut self, amount: u64) {
+        self.0 += amount;
+    }
+
+    /// Adds one to the counter.
+    pub fn incr(&mut self) {
+        self.0 += 1;
+    }
+
+    /// Current value.
+    #[must_use]
+    pub fn value(&self) -> u64 {
+        self.0
+    }
+}
+
+impl fmt::Display for Stat {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+/// A table of named counters, keyed by a dotted path such as
+/// `"l2.misses"` or `"vmu.llc_stall_cycles"`.
+///
+/// Keys are created on first use; reading a key that was never written
+/// returns zero, which keeps report code free of `Option` plumbing.
+///
+/// # Examples
+///
+/// ```
+/// use eve_common::Stats;
+/// let mut stats = Stats::new();
+/// stats.add("l2.misses", 10);
+/// stats.incr("l2.misses");
+/// assert_eq!(stats.get("l2.misses"), 11);
+/// assert_eq!(stats.get("never.touched"), 0);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Stats {
+    counters: BTreeMap<String, Stat>,
+}
+
+impl Stats {
+    /// Creates an empty table.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds `amount` to the counter named `key`, creating it if absent.
+    pub fn add(&mut self, key: &str, amount: u64) {
+        self.counters.entry_or_insert(key).add(amount);
+    }
+
+    /// Adds one to the counter named `key`, creating it if absent.
+    pub fn incr(&mut self, key: &str) {
+        self.counters.entry_or_insert(key).incr();
+    }
+
+    /// Sets the counter named `key` to `value`.
+    pub fn set(&mut self, key: &str, value: u64) {
+        *self.counters.entry_or_insert(key) = Stat::new(value);
+    }
+
+    /// Value of the counter named `key`, or zero if never written.
+    #[must_use]
+    pub fn get(&self, key: &str) -> u64 {
+        self.counters.get(key).map_or(0, Stat::value)
+    }
+
+    /// Iterates over `(name, value)` pairs in name order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, u64)> {
+        self.counters.iter().map(|(k, v)| (k.as_str(), v.value()))
+    }
+
+    /// Merges another table into this one, summing matching keys.
+    pub fn merge(&mut self, other: &Stats) {
+        for (k, v) in other.iter() {
+            self.add(k, v);
+        }
+    }
+
+    /// Number of distinct counters.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.counters.len()
+    }
+
+    /// Whether no counter has been touched.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty()
+    }
+}
+
+trait EntryOrInsert {
+    fn entry_or_insert(&mut self, key: &str) -> &mut Stat;
+}
+
+impl EntryOrInsert for BTreeMap<String, Stat> {
+    fn entry_or_insert(&mut self, key: &str) -> &mut Stat {
+        if !self.contains_key(key) {
+            self.insert(key.to_owned(), Stat::default());
+        }
+        self.get_mut(key).expect("just inserted")
+    }
+}
+
+impl fmt::Display for Stats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (k, v) in self.iter() {
+            writeln!(f, "{k:<48} {v}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unknown_key_reads_zero() {
+        let stats = Stats::new();
+        assert_eq!(stats.get("nope"), 0);
+        assert!(stats.is_empty());
+    }
+
+    #[test]
+    fn add_incr_set() {
+        let mut stats = Stats::new();
+        stats.add("a", 5);
+        stats.incr("a");
+        stats.set("b", 100);
+        assert_eq!(stats.get("a"), 6);
+        assert_eq!(stats.get("b"), 100);
+        assert_eq!(stats.len(), 2);
+    }
+
+    #[test]
+    fn merge_sums_keys() {
+        let mut a = Stats::new();
+        a.add("x", 1);
+        a.add("y", 2);
+        let mut b = Stats::new();
+        b.add("y", 3);
+        b.add("z", 4);
+        a.merge(&b);
+        assert_eq!(a.get("x"), 1);
+        assert_eq!(a.get("y"), 5);
+        assert_eq!(a.get("z"), 4);
+    }
+
+    #[test]
+    fn iter_is_name_ordered() {
+        let mut stats = Stats::new();
+        stats.incr("b");
+        stats.incr("a");
+        stats.incr("c");
+        let names: Vec<&str> = stats.iter().map(|(k, _)| k).collect();
+        assert_eq!(names, ["a", "b", "c"]);
+    }
+
+    #[test]
+    fn display_lists_counters() {
+        let mut stats = Stats::new();
+        stats.set("one", 1);
+        let out = stats.to_string();
+        assert!(out.contains("one"));
+        assert!(out.trim().ends_with('1'));
+    }
+}

@@ -1,0 +1,928 @@
+//! The engine proper: VCU + VSU + VMU + VRU + DTUs on two decoupled
+//! timelines (compute and memory), with full Fig 7 cycle attribution.
+
+use crate::mapping::macro_ops;
+use crate::stats::StallBreakdown;
+use eve_common::{ConfigError, ConfigResult, Cycle, Stats};
+use eve_cpu::{VectorPlacement, VectorUnit};
+use eve_isa::{Inst, MemEffect, RegId, Retired, VStride};
+use eve_mem::{Hierarchy, Level, Tlb, LINE_BYTES};
+use eve_sram::{LayoutModel, SramGeometry};
+use eve_uop::{HybridConfig, LatencyTable, MacroOpKind};
+use std::collections::VecDeque;
+
+/// EVE arrays available when half of the 512 KB L2's ways are donated:
+/// 256 KB of 8 KB arrays (two banked 256×128 sub-arrays each).
+pub const EVE_ARRAYS: u32 = 32;
+/// Extra μop cycles for a mask prologue on `v0.t`-masked instructions.
+const MASK_PROLOGUE: u64 = 2;
+
+/// Tunable engine parameters (defaults match the paper; the ablation
+/// benches sweep them).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EngineTuning {
+    /// Data transpose units (§VII-B: the paper uses eight, each half a
+    /// sub-array).
+    pub dtus: usize,
+    /// VCU instruction-queue depth.
+    pub queue_depth: usize,
+    /// VRU pipeline depth for the dot + linear reduction (§V-D).
+    pub vru_pipeline: u64,
+    /// VSU execution pipes. The paper's EVE has one (Table III);
+    /// values above one explore the §IX future-work idea of dynamic
+    /// μop scheduling: independent compute macro-ops dispatch onto
+    /// separate array groups and overlap.
+    pub exec_pipes: usize,
+}
+
+impl Default for EngineTuning {
+    fn default() -> Self {
+        Self {
+            dtus: 8,
+            queue_depth: 8,
+            vru_pipeline: 40,
+            exec_pipes: 1,
+        }
+    }
+}
+
+/// The ephemeral vector engine.
+#[derive(Debug)]
+pub struct EveEngine {
+    cfg: HybridConfig,
+    tuning: EngineTuning,
+    hw_vl: u32,
+    segments: u64,
+    lat: LatencyTable,
+    spawned: bool,
+    queue_done: VecDeque<Cycle>,
+    /// VSU/compute timeline (pipe 0; memory and VRU traffic always
+    /// use this one).
+    vsu_now: Cycle,
+    /// Additional compute pipes (§IX exploration); empty in the
+    /// paper's single-pipe configuration.
+    extra_pipes: Vec<Cycle>,
+    /// VMU request-generation timeline.
+    vmu_now: Cycle,
+    vru_free: Cycle,
+    dtu_free: Vec<Cycle>,
+    dtu_rr: usize,
+    vreg_ready: [Cycle; 32],
+    pending_store_done: Cycle,
+    breakdown: StallBreakdown,
+    /// Cycles the VMU spent unable to issue to the LLC (Fig 8).
+    llc_issue_stall: Cycle,
+    tlb: Tlb,
+    stats: Stats,
+}
+
+impl EveEngine {
+    /// An EVE-`n` engine with the paper's default tuning.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ConfigError`] if `n` is not a valid parallelization
+    /// factor (1, 2, 4, 8, 16, 32).
+    pub fn new(n: u32) -> ConfigResult<Self> {
+        Self::with_tuning(n, EngineTuning::default())
+    }
+
+    /// An EVE-`n` engine with custom tuning (ablation studies).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ConfigError`] if `n` is invalid or the tuning is
+    /// degenerate (zero DTUs with n < 32, zero queue depth).
+    pub fn with_tuning(n: u32, tuning: EngineTuning) -> ConfigResult<Self> {
+        let cfg = HybridConfig::new(n)?;
+        if tuning.queue_depth == 0 {
+            return Err(ConfigError::new("queue depth must be nonzero"));
+        }
+        if tuning.exec_pipes == 0 {
+            return Err(ConfigError::new("need at least one exec pipe"));
+        }
+        if tuning.dtus == 0 && !cfg.is_bit_parallel() {
+            return Err(ConfigError::new(
+                "transposed layouts need at least one DTU",
+            ));
+        }
+        let layout = LayoutModel::new(SramGeometry::PAPER, 32, 32, n)?;
+        let hw_vl = layout.lanes() * EVE_ARRAYS;
+        if hw_vl == 0 {
+            return Err(ConfigError::new("layout yields zero lanes"));
+        }
+        Ok(Self {
+            segments: u64::from(cfg.segments()),
+            lat: LatencyTable::new(cfg),
+            cfg,
+            hw_vl,
+            spawned: false,
+            queue_done: VecDeque::new(),
+            vsu_now: Cycle::ZERO,
+            extra_pipes: vec![Cycle::ZERO; tuning.exec_pipes.saturating_sub(1)],
+            vmu_now: Cycle::ZERO,
+            vru_free: Cycle::ZERO,
+            dtu_free: vec![Cycle::ZERO; tuning.dtus.max(1)],
+            tuning,
+            dtu_rr: 0,
+            vreg_ready: [Cycle::ZERO; 32],
+            pending_store_done: Cycle::ZERO,
+            breakdown: StallBreakdown::default(),
+            llc_issue_stall: Cycle::ZERO,
+            tlb: Tlb::new(),
+            stats: Stats::new(),
+        })
+    }
+
+    /// The bit-hybrid configuration.
+    #[must_use]
+    pub fn config(&self) -> HybridConfig {
+        self.cfg
+    }
+
+    /// The Fig 7 cycle attribution so far.
+    #[must_use]
+    pub fn breakdown(&self) -> &StallBreakdown {
+        &self.breakdown
+    }
+
+    /// Cycles the VMU could not issue to the LLC (Fig 8 numerator).
+    #[must_use]
+    pub fn llc_issue_stall(&self) -> Cycle {
+        self.llc_issue_stall
+    }
+
+    /// Cycles per 64-byte line in a DTU: one pass per segment row;
+    /// bit-parallel layout needs no transpose at all (§VII-B).
+    fn dtu_line_cycles(&self) -> u64 {
+        if self.cfg.is_bit_parallel() {
+            0
+        } else {
+            self.segments
+        }
+    }
+
+    /// Advances the VSU timeline to `t`, attributing the gap.
+    fn advance_vsu(&mut self, t: Cycle, category: fn(&mut StallBreakdown) -> &mut Cycle) {
+        if t > self.vsu_now {
+            *category(&mut self.breakdown) += t - self.vsu_now;
+            self.vsu_now = t;
+        }
+    }
+
+    fn busy(&mut self, cycles: Cycle) {
+        self.breakdown.busy += cycles;
+        self.vsu_now += cycles;
+    }
+
+    fn vreg_dep_time(&self, r: &Retired) -> Cycle {
+        let mut t = Cycle::ZERO;
+        for dep in r.reads.iter().flatten() {
+            if let RegId::V(v) = dep {
+                t = t.max(self.vreg_ready[v.index() as usize]);
+            }
+        }
+        t
+    }
+
+    fn set_write_ready(&mut self, r: &Retired, t: Cycle) {
+        if let Some(RegId::V(v)) = r.write {
+            self.vreg_ready[v.index() as usize] = t;
+        }
+    }
+
+    fn line_requests(mem: &MemEffect) -> Vec<u64> {
+        let mut lines: Vec<u64> = match mem {
+            MemEffect::VecUnit { base, bytes, .. } => {
+                if *bytes == 0 {
+                    return Vec::new();
+                }
+                let first = base / LINE_BYTES;
+                let last = (base + bytes - 1) / LINE_BYTES;
+                (first..=last).collect()
+            }
+            MemEffect::VecStrided {
+                base,
+                stride,
+                count,
+                ..
+            } => (0..u64::from(*count))
+                .map(|i| ((*base as i64 + stride * i as i64) as u64) / LINE_BYTES)
+                .collect(),
+            MemEffect::VecIndexed { addrs, .. } => addrs.iter().map(|a| a / LINE_BYTES).collect(),
+            _ => Vec::new(),
+        };
+        lines.dedup();
+        lines
+    }
+
+    /// One VMU line request: generation + translation (one cycle),
+    /// retried while the LLC has no free MSHR.
+    fn vmu_request(&mut self, line: u64, store: bool, t: Cycle, mem: &mut Hierarchy) -> (Cycle, Cycle) {
+        let issued = self.tlb.translate(line * LINE_BYTES, t);
+        let a = mem.access(Level::Llc, line * LINE_BYTES, store, issued);
+        self.llc_issue_stall += a.mshr_wait;
+        self.stats.incr("vmu.line_requests");
+        // The VMU's generation slot is occupied for the MSHR wait too.
+        (issued + a.mshr_wait, a.complete)
+    }
+
+    fn handle_load(&mut self, r: &Retired, accept: Cycle, mem: &mut Hierarchy) -> Cycle {
+        self.stats.incr("loads");
+        self.advance_vsu(accept, |b| &mut b.empty_stall);
+        let deps = self.vreg_dep_time(r);
+        self.advance_vsu(deps, |b| &mut b.dep_stall);
+
+        let indexed = matches!(
+            r.inst,
+            Inst::VLoad {
+                stride: VStride::Indexed(_),
+                ..
+            }
+        );
+        if indexed {
+            // The VSU reads the index register rows for the VMU (§V-C).
+            self.busy(Cycle(self.segments + 1));
+        }
+        let masked = matches!(r.inst, Inst::VLoad { masked: true, .. });
+        if masked {
+            self.busy(Cycle(MASK_PROLOGUE));
+        }
+
+        let lines = Self::line_requests(&r.mem);
+        let mut t = self.vmu_now.max(accept).max(if indexed {
+            self.vsu_now
+        } else {
+            Cycle::ZERO
+        });
+        let dt = self.dtu_line_cycles();
+        let mut mem_done = t;
+        let mut data_done = t;
+        for line in lines {
+            let (next_t, complete) = self.vmu_request(line, false, t, mem);
+            t = next_t;
+            mem_done = mem_done.max(complete);
+            let transposed = if dt == 0 {
+                complete
+            } else {
+                let slot = self.dtu_rr;
+                self.dtu_rr = (self.dtu_rr + 1) % self.dtu_free.len();
+                let start = complete.max(self.dtu_free[slot]);
+                self.dtu_free[slot] = start + Cycle(dt);
+                start + Cycle(dt)
+            };
+            data_done = data_done.max(transposed);
+        }
+        self.vmu_now = t;
+
+        // Attribute the VSU's wait: the part beyond raw memory arrival
+        // is transpose backlog, the rest is memory.
+        if data_done > self.vsu_now {
+            let wait = data_done - self.vsu_now;
+            let dt_part = data_done.saturating_since(mem_done).min(wait);
+            self.breakdown.ld_dt_stall += dt_part;
+            self.breakdown.ld_mem_stall += wait - dt_part;
+            self.vsu_now = data_done;
+        }
+        // Row writes into the arrays: one per segment row.
+        self.busy(Cycle(self.segments));
+        self.set_write_ready(r, self.vsu_now);
+        self.vsu_now
+    }
+
+    fn handle_store(&mut self, r: &Retired, accept: Cycle, mem: &mut Hierarchy) -> Cycle {
+        self.stats.incr("stores");
+        self.advance_vsu(accept, |b| &mut b.empty_stall);
+        let deps = self.vreg_dep_time(r);
+        self.advance_vsu(deps, |b| &mut b.dep_stall);
+        let indexed = matches!(
+            r.inst,
+            Inst::VStore {
+                stride: VStride::Indexed(_),
+                ..
+            }
+        );
+        if indexed {
+            self.busy(Cycle(self.segments + 1));
+        }
+        if matches!(r.inst, Inst::VStore { masked: true, .. }) {
+            self.busy(Cycle(MASK_PROLOGUE));
+        }
+        // VSU reads the data rows out.
+        self.busy(Cycle(self.segments));
+
+        // Detranspose on the DTUs; a deep backlog stalls the VSU.
+        let dt = self.dtu_line_cycles();
+        let lines = Self::line_requests(&r.mem);
+        let mut detr_done = self.vsu_now;
+        for _ in &lines {
+            if dt == 0 {
+                break;
+            }
+            let slot = self.dtu_rr;
+            self.dtu_rr = (self.dtu_rr + 1) % self.dtu_free.len();
+            let start = self.vsu_now.max(self.dtu_free[slot]);
+            self.dtu_free[slot] = start + Cycle(dt);
+            detr_done = detr_done.max(start + Cycle(dt));
+        }
+        let backlog_limit = self.vsu_now + Cycle(4 * self.segments);
+        if detr_done > backlog_limit {
+            let stall = detr_done - backlog_limit;
+            self.breakdown.st_dt_stall += stall;
+            self.vsu_now += stall;
+        }
+
+        // VMU sends the line stores once detransposed.
+        let mut t = self.vmu_now.max(detr_done);
+        for line in lines {
+            let (next_t, complete) = self.vmu_request(line, true, t, mem);
+            t = next_t;
+            self.pending_store_done = self.pending_store_done.max(complete);
+        }
+        // If the VMU falls far behind, the VSU blocks on the store path.
+        let vmu_slack = Cycle(64);
+        if t > self.vsu_now + vmu_slack {
+            let stall = t - (self.vsu_now + vmu_slack);
+            self.breakdown.st_mem_stall += stall;
+            self.vsu_now += stall;
+        }
+        self.vmu_now = t;
+        self.vsu_now
+    }
+
+    fn handle_vru(&mut self, r: &Retired, accept: Cycle) -> Cycle {
+        self.stats.incr("vru_ops");
+        self.advance_vsu(accept, |b| &mut b.empty_stall);
+        let deps = self.vreg_dep_time(r);
+        self.advance_vsu(deps, |b| &mut b.dep_stall);
+        // VRU structural hazard.
+        self.advance_vsu(self.vru_free, |b| &mut b.vru_stall);
+        // The VSU streams B/n elements per cycle, one segment at a
+        // time (§V-D): lanes/8 element groups x S segment beats.
+        let lanes = u64::from(self.hw_vl / EVE_ARRAYS);
+        let stream = match r.inst {
+            Inst::VMvSX { .. } | Inst::VMvXS { .. } => Cycle(self.segments + 2),
+            _ => Cycle((lanes / 8).max(1) * self.segments),
+        };
+        self.busy(stream);
+        let pipeline = match r.inst {
+            Inst::VMvSX { .. } | Inst::VMvXS { .. } => Cycle(4),
+            _ => Cycle(self.tuning.vru_pipeline),
+        };
+        let done = self.vsu_now + pipeline;
+        self.vru_free = done;
+        self.set_write_ready(r, done);
+        done
+    }
+
+    fn handle_compute(&mut self, r: &Retired, accept: Cycle, ops: &[MacroOpKind]) -> Cycle {
+        self.stats.incr("compute_ops");
+        let masked = matches!(r.inst, Inst::VOp { masked: true, .. });
+        let mut total = Cycle(if masked { MASK_PROLOGUE } else { 0 });
+        for &op in ops {
+            total += self.lat.latency(op);
+        }
+        self.stats.add("uop_cycles", total.0);
+        let deps = self.vreg_dep_time(r);
+        // §IX exploration: with extra pipes, dispatch onto whichever
+        // frees first instead of serializing on the single VSU.
+        if let Some(best) = self
+            .extra_pipes
+            .iter_mut()
+            .min_by_key(|p| **p)
+            .filter(|p| **p < self.vsu_now)
+        {
+            let start = (*best).max(accept).max(deps);
+            let done = start + total;
+            *best = done;
+            self.breakdown.busy += total;
+            self.set_write_ready(r, done);
+            return done;
+        }
+        self.advance_vsu(accept, |b| &mut b.empty_stall);
+        self.advance_vsu(deps, |b| &mut b.dep_stall);
+        self.busy(total);
+        self.set_write_ready(r, self.vsu_now);
+        self.vsu_now
+    }
+}
+
+impl VectorUnit for EveEngine {
+    fn hw_vl(&self) -> u32 {
+        self.hw_vl
+    }
+
+    fn issue(
+        &mut self,
+        r: &Retired,
+        _ready: Cycle,
+        commit: Cycle,
+        mem: &mut Hierarchy,
+    ) -> VectorPlacement {
+        // Spawn lazily on first vector work: way-partition the L2 and
+        // invalidate the donated ways (§V-E).
+        if !self.spawned {
+            let done = mem.spawn_vector_mode(commit);
+            self.stats
+                .set("spawn_cycles", done.saturating_since(commit).0);
+            self.vsu_now = done;
+            self.vmu_now = done;
+            self.spawned = true;
+        }
+        self.stats.incr("issued");
+
+        // VCU queue back-pressure.
+        let mut accept = commit;
+        while self.queue_done.len() >= self.tuning.queue_depth {
+            let oldest = self.queue_done.pop_front().expect("nonempty");
+            if oldest > accept {
+                self.stats
+                    .add("queue_stall_cycles", oldest.saturating_since(accept).0);
+                accept = oldest;
+            }
+        }
+
+        if matches!(r.inst, Inst::VMFence) {
+            let done = self
+                .pending_store_done
+                .max(self.vmu_now)
+                .max(self.vsu_now)
+                .max(accept);
+            return VectorPlacement::Decoupled {
+                accept,
+                writeback: Some(done),
+            };
+        }
+
+        let completion = match &r.inst {
+            Inst::VLoad { .. } => self.handle_load(r, accept, mem),
+            Inst::VStore { .. } => self.handle_store(r, accept, mem),
+            Inst::VRed { .. }
+            | Inst::VSlide { .. }
+            | Inst::VRGather { .. }
+            | Inst::VId { .. }
+            | Inst::VMvXS { .. }
+            | Inst::VMvSX { .. } => self.handle_vru(r, accept),
+            inst => {
+                let ops = macro_ops(inst, r.scalar_operand)
+                    .unwrap_or_else(|| panic!("unmapped vector instruction {inst:?}"));
+                self.handle_compute(r, accept, &ops)
+            }
+        };
+
+        self.queue_done.push_back(completion);
+        let writeback = match r.inst {
+            Inst::VMvXS { .. } => Some(completion),
+            _ => None,
+        };
+        VectorPlacement::Decoupled { accept, writeback }
+    }
+
+    fn drain(&mut self, _mem: &mut Hierarchy) -> Cycle {
+        let pipes = self.extra_pipes.iter().copied().max().unwrap_or(Cycle::ZERO);
+        self.vsu_now
+            .max(self.vmu_now)
+            .max(self.pending_store_done)
+            .max(self.vru_free)
+            .max(pipes)
+    }
+
+    fn stats(&self) -> Stats {
+        let mut s = self.stats.clone();
+        s.set("hw_vl", u64::from(self.hw_vl));
+        s.set("vmu.llc_issue_stall_cycles", self.llc_issue_stall.0);
+        s.merge(&self.breakdown.as_stats());
+        for (k, v) in self.tlb.stats().iter() {
+            s.add(&format!("tlb.{k}"), v);
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eve_isa::{vreg, xreg, VArithOp, VOperand};
+    use eve_mem::HierarchyConfig;
+
+    fn retired(inst: Inst, vl: u32) -> Retired {
+        Retired {
+            seq: 0,
+            pc: 0,
+            inst,
+            reads: [None; 4],
+            write: Some(RegId::V(vreg::V3)),
+            mem: MemEffect::None,
+            vl,
+            branch: None,
+            scalar_operand: None,
+        }
+    }
+
+    fn vadd() -> Inst {
+        Inst::VOp {
+            op: VArithOp::Add,
+            vd: vreg::V3,
+            vs1: vreg::V1,
+            rhs: VOperand::Reg(vreg::V2),
+            masked: false,
+        }
+    }
+
+    fn vmul() -> Inst {
+        Inst::VOp {
+            op: VArithOp::Mul,
+            vd: vreg::V3,
+            vs1: vreg::V1,
+            rhs: VOperand::Reg(vreg::V2),
+            masked: false,
+        }
+    }
+
+    #[test]
+    fn hardware_vector_lengths_match_table_iii() {
+        for (n, vl) in [(1u32, 2048u32), (2, 2048), (4, 2048), (8, 1024), (16, 512), (32, 256)] {
+            assert_eq!(EveEngine::new(n).unwrap().hw_vl(), vl, "EVE-{n}");
+        }
+    }
+
+    #[test]
+    fn invalid_factor_rejected() {
+        assert!(EveEngine::new(3).is_err());
+        assert!(EveEngine::new(0).is_err());
+    }
+
+    #[test]
+    fn spawn_reconfigures_l2_once() {
+        let mut e = EveEngine::new(8).unwrap();
+        let mut mem = Hierarchy::new(HierarchyConfig::table_iii());
+        // Warm the L2 so reconfiguration has lines to flush.
+        for i in 0..32u64 {
+            mem.access(Level::L1D, 0x8000 + i * 64, true, Cycle(i * 200));
+        }
+        e.issue(&retired(vadd(), 1024), Cycle(0), Cycle(10_000), &mut mem);
+        assert!(e.stats().get("spawn_cycles") > 0);
+        assert_eq!(mem.cache(Level::L2).config().ways, 4);
+        let spawn1 = e.stats().get("spawn_cycles");
+        e.issue(&retired(vadd(), 1024), Cycle(0), Cycle(20_000), &mut mem);
+        assert_eq!(e.stats().get("spawn_cycles"), spawn1, "spawns once");
+    }
+
+    #[test]
+    fn compute_latency_tracks_uop_programs() {
+        // add on EVE-8: 2*4+1 = 9 cycles of busy work.
+        let mut e = EveEngine::new(8).unwrap();
+        let mut mem = Hierarchy::new(HierarchyConfig::table_iii());
+        e.issue(&retired(vadd(), 1024), Cycle(0), Cycle(0), &mut mem);
+        assert_eq!(e.breakdown().busy, Cycle(9));
+    }
+
+    #[test]
+    fn mul_latency_falls_with_parallelization_but_serial_has_more_lanes() {
+        let mut lat = Vec::new();
+        for n in [1u32, 8, 32] {
+            let mut e = EveEngine::new(n).unwrap();
+            let mut mem = Hierarchy::new(HierarchyConfig::table_iii());
+            e.issue(&retired(vmul(), e.hw_vl()), Cycle(0), Cycle(0), &mut mem);
+            lat.push(e.breakdown().busy.0);
+        }
+        assert!(lat[0] > lat[1] && lat[1] > lat[2], "{lat:?}");
+    }
+
+    #[test]
+    fn dependent_ops_serialize_independent_ops_do_not_stall() {
+        let mut e = EveEngine::new(8).unwrap();
+        let mut mem = Hierarchy::new(HierarchyConfig::table_iii());
+        e.issue(&retired(vadd(), 1024), Cycle(0), Cycle(0), &mut mem);
+        let busy1 = e.breakdown().busy;
+        // Dependent on v3.
+        let mut dep = retired(vadd(), 1024);
+        dep.reads[0] = Some(RegId::V(vreg::V3));
+        e.issue(&dep, Cycle(0), Cycle(0), &mut mem);
+        assert_eq!(e.breakdown().busy, busy1 * 2);
+        // Single in-order pipe: no dep_stall beyond serialization.
+        assert_eq!(e.breakdown().dep_stall, Cycle::ZERO);
+    }
+
+    #[test]
+    fn loads_attribute_memory_stalls() {
+        let mut e = EveEngine::new(8).unwrap();
+        let mut mem = Hierarchy::new(HierarchyConfig::table_iii());
+        let ld = Inst::VLoad {
+            vd: vreg::V3,
+            base: xreg::A0,
+            stride: VStride::Unit,
+            masked: false,
+        };
+        let mut r = retired(ld, 1024);
+        r.mem = MemEffect::VecUnit {
+            base: 0x10_0000,
+            bytes: 4096,
+            store: false,
+        };
+        e.issue(&r, Cycle(0), Cycle(0), &mut mem);
+        let b = e.breakdown();
+        assert!(b.ld_mem_stall > Cycle::ZERO, "{b:?}");
+        assert!(b.busy >= Cycle(4), "row writes counted as busy: {b:?}");
+        assert_eq!(e.stats().get("vmu.line_requests"), 64);
+    }
+
+    #[test]
+    fn eve32_skips_transpose() {
+        let ld = Inst::VLoad {
+            vd: vreg::V3,
+            base: xreg::A0,
+            stride: VStride::Unit,
+            masked: false,
+        };
+        let mk = |vl: u32| {
+            let mut r = retired(ld, vl);
+            r.mem = MemEffect::VecUnit {
+                base: 0x10_0000,
+                bytes: u64::from(vl) * 4,
+                store: false,
+            };
+            r
+        };
+        let mut e32 = EveEngine::new(32).unwrap();
+        let mut mem = Hierarchy::new(HierarchyConfig::table_iii());
+        e32.issue(&mk(256), Cycle(0), Cycle(0), &mut mem);
+        assert_eq!(e32.breakdown().ld_dt_stall, Cycle::ZERO);
+        // EVE-1 on the same footprint pays transpose time somewhere
+        // (dt stall or overlapped) - its DTU line cost is 32 cycles.
+        let mut e1 = EveEngine::new(1).unwrap();
+        let mut mem = Hierarchy::new(HierarchyConfig::table_iii());
+        e1.issue(&mk(256), Cycle(0), Cycle(0), &mut mem);
+        let total1 = e1.breakdown().total();
+        assert!(total1 > Cycle::ZERO);
+    }
+
+    #[test]
+    fn large_stride_saturates_llc_mshrs() {
+        // backprop-style: stride larger than a line, one line per
+        // element, hw_vl 1024 -> 1024 requests against 32 MSHRs.
+        let mut e = EveEngine::new(8).unwrap();
+        let mut mem = Hierarchy::new(HierarchyConfig::table_iii());
+        let ld = Inst::VLoad {
+            vd: vreg::V3,
+            base: xreg::A0,
+            stride: VStride::Strided(xreg::A1),
+            masked: false,
+        };
+        let mut r = retired(ld, 1024);
+        r.mem = MemEffect::VecStrided {
+            base: 0x40_0000,
+            stride: 4096,
+            count: 1024,
+            store: false,
+        };
+        e.issue(&r, Cycle(0), Cycle(0), &mut mem);
+        assert!(
+            e.llc_issue_stall() > Cycle(1000),
+            "expected heavy MSHR stalling, got {:?}",
+            e.llc_issue_stall()
+        );
+    }
+
+    #[test]
+    fn fence_waits_for_stores() {
+        let mut e = EveEngine::new(8).unwrap();
+        let mut mem = Hierarchy::new(HierarchyConfig::table_iii());
+        let st = Inst::VStore {
+            vs: vreg::V1,
+            base: xreg::A0,
+            stride: VStride::Unit,
+            masked: false,
+        };
+        let mut r = retired(st, 1024);
+        r.mem = MemEffect::VecUnit {
+            base: 0x20_0000,
+            bytes: 4096,
+            store: true,
+        };
+        r.write = None;
+        e.issue(&r, Cycle(0), Cycle(0), &mut mem);
+        let f = e.issue(&retired(Inst::VMFence, 1024), Cycle(1), Cycle(1), &mut mem);
+        match f {
+            VectorPlacement::Decoupled {
+                writeback: Some(wb),
+                ..
+            } => assert!(wb > Cycle(60), "{wb:?}"),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn reductions_occupy_the_vru() {
+        let mut e = EveEngine::new(8).unwrap();
+        let mut mem = Hierarchy::new(HierarchyConfig::table_iii());
+        let red = Inst::VRed {
+            op: eve_isa::RedOp::Sum,
+            vd: vreg::V3,
+            vs2: vreg::V1,
+            vs1: vreg::V2,
+        };
+        e.issue(&retired(red, 1024), Cycle(0), Cycle(0), &mut mem);
+        e.issue(&retired(red, 1024), Cycle(0), Cycle(0), &mut mem);
+        assert!(e.breakdown().vru_stall > Cycle::ZERO);
+        assert_eq!(e.stats().get("vru_ops"), 2);
+    }
+
+    #[test]
+    fn vmv_xs_reports_writeback() {
+        let mut e = EveEngine::new(8).unwrap();
+        let mut mem = Hierarchy::new(HierarchyConfig::table_iii());
+        let mv = Inst::VMvXS {
+            rd: xreg::T0,
+            vs: vreg::V1,
+        };
+        let mut r = retired(mv, 1024);
+        r.write = Some(RegId::X(xreg::T0));
+        match e.issue(&r, Cycle(0), Cycle(0), &mut mem) {
+            VectorPlacement::Decoupled {
+                writeback: Some(_), ..
+            } => {}
+            other => panic!("expected writeback, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn breakdown_totals_are_consistent() {
+        let mut e = EveEngine::new(4).unwrap();
+        let mut mem = Hierarchy::new(HierarchyConfig::table_iii());
+        for i in 0..20u64 {
+            e.issue(&retired(vadd(), 2048), Cycle(0), Cycle(i * 3), &mut mem);
+        }
+        let b = *e.breakdown();
+        // The VSU timeline (minus spawn) equals the attributed total.
+        assert_eq!(
+            b.total() + Cycle(e.stats().get("spawn_cycles")),
+            e.drain(&mut mem),
+        );
+    }
+}
+
+#[cfg(test)]
+mod path_tests {
+    use super::*;
+    use eve_isa::{vreg, xreg, VStride};
+    use eve_mem::HierarchyConfig;
+
+    fn retired(inst: Inst, vl: u32) -> Retired {
+        Retired {
+            seq: 0,
+            pc: 0,
+            inst,
+            reads: [None; 4],
+            write: Some(RegId::V(vreg::V3)),
+            mem: MemEffect::None,
+            vl,
+            branch: None,
+            scalar_operand: None,
+        }
+    }
+
+    #[test]
+    fn stores_detranspose_and_track_pending() {
+        let mut e = EveEngine::new(4).unwrap();
+        let mut mem = Hierarchy::new(HierarchyConfig::table_iii());
+        let st = Inst::VStore {
+            vs: vreg::V1,
+            base: xreg::A0,
+            stride: VStride::Unit,
+            masked: false,
+        };
+        let mut r = retired(st, 2048);
+        r.write = None;
+        r.mem = MemEffect::VecUnit {
+            base: 0x20_0000,
+            bytes: 8192,
+            store: true,
+        };
+        e.issue(&r, Cycle(0), Cycle(0), &mut mem);
+        assert_eq!(e.stats().get("stores"), 1);
+        assert_eq!(e.stats().get("vmu.line_requests"), 128);
+        assert!(e.pending_store_done > Cycle::ZERO);
+        // Row reads count as busy work.
+        assert!(e.breakdown().busy >= Cycle(8));
+    }
+
+    #[test]
+    fn indexed_loads_pay_the_index_read_prologue() {
+        let mut mem = Hierarchy::new(HierarchyConfig::table_iii());
+        let mk = |stride: VStride| {
+            let ld = Inst::VLoad {
+                vd: vreg::V3,
+                base: xreg::A0,
+                stride,
+                masked: false,
+            };
+            let mut r = retired(ld, 1024);
+            r.mem = match stride {
+                VStride::Indexed(_) => MemEffect::VecIndexed {
+                    addrs: (0..1024u64).map(|i| 0x10_0000 + i * 4).collect(),
+                    store: false,
+                },
+                _ => MemEffect::VecUnit {
+                    base: 0x10_0000,
+                    bytes: 4096,
+                    store: false,
+                },
+            };
+            r
+        };
+        let mut e_unit = EveEngine::new(8).unwrap();
+        e_unit.issue(&mk(VStride::Unit), Cycle(0), Cycle(0), &mut mem);
+        let unit_busy = e_unit.breakdown().busy;
+        let mut mem2 = Hierarchy::new(HierarchyConfig::table_iii());
+        let mut e_idx = EveEngine::new(8).unwrap();
+        e_idx.issue(
+            &mk(VStride::Indexed(vreg::V2)),
+            Cycle(0),
+            Cycle(0),
+            &mut mem2,
+        );
+        // The VSU reads the index register rows before the VMU starts.
+        assert!(e_idx.breakdown().busy > unit_busy);
+    }
+
+    #[test]
+    fn masked_ops_pay_the_mask_prologue() {
+        let mut mem = Hierarchy::new(HierarchyConfig::table_iii());
+        let mk = |masked: bool| {
+            retired(
+                Inst::VOp {
+                    op: eve_isa::VArithOp::Add,
+                    vd: vreg::V3,
+                    vs1: vreg::V1,
+                    rhs: eve_isa::VOperand::Reg(vreg::V2),
+                    masked,
+                },
+                1024,
+            )
+        };
+        let mut plain = EveEngine::new(8).unwrap();
+        plain.issue(&mk(false), Cycle(0), Cycle(0), &mut mem);
+        let mut masked = EveEngine::new(8).unwrap();
+        masked.issue(&mk(true), Cycle(0), Cycle(0), &mut mem);
+        assert_eq!(
+            masked.breakdown().busy,
+            plain.breakdown().busy + Cycle(2),
+            "mask prologue is two tuples"
+        );
+    }
+
+    #[test]
+    fn queue_backpressure_counts_stalls() {
+        let mut e = EveEngine::new(1).unwrap(); // slow compute
+        let mut mem = Hierarchy::new(HierarchyConfig::table_iii());
+        let mul = Inst::VOp {
+            op: eve_isa::VArithOp::Mul,
+            vd: vreg::V3,
+            vs1: vreg::V1,
+            rhs: eve_isa::VOperand::Reg(vreg::V2),
+            masked: false,
+        };
+        for _ in 0..12 {
+            e.issue(&retired(mul, 2048), Cycle(0), Cycle(0), &mut mem);
+        }
+        assert!(e.stats().get("queue_stall_cycles") > 0);
+    }
+
+    #[test]
+    fn tuned_engine_respects_dtu_and_queue_overrides() {
+        assert!(EveEngine::with_tuning(
+            8,
+            EngineTuning {
+                dtus: 0,
+                ..EngineTuning::default()
+            }
+        )
+        .is_err());
+        // EVE-32 needs no DTUs at all.
+        assert!(EveEngine::with_tuning(
+            32,
+            EngineTuning {
+                dtus: 0,
+                ..EngineTuning::default()
+            }
+        )
+        .is_ok());
+        assert!(EveEngine::with_tuning(
+            8,
+            EngineTuning {
+                queue_depth: 0,
+                ..EngineTuning::default()
+            }
+        )
+        .is_err());
+        assert!(EveEngine::with_tuning(
+            8,
+            EngineTuning {
+                exec_pipes: 0,
+                ..EngineTuning::default()
+            }
+        )
+        .is_err());
+    }
+}

@@ -1,0 +1,202 @@
+//! Vector-instruction → macro-operation mapping (the VCU's decode,
+//! §V-A).
+//!
+//! Non-memory, non-cross-element instructions become one or more
+//! macro-operations executed by the VSU against the EVE SRAMs. A
+//! scalar or immediate operand costs an extra `Splat` macro-op (the
+//! VSU broadcasts the value into a scratch register through the
+//! data-in port); shifts by a known amount unroll to exactly the
+//! needed μops (§III).
+
+use eve_isa::{Inst, MaskOp, VArithOp, VCmpCond, VOperand};
+use eve_uop::MacroOpKind;
+
+fn needs_splat(rhs: VOperand) -> bool {
+    !matches!(rhs, VOperand::Reg(_))
+}
+
+fn splat_value(scalar_operand: Option<u32>) -> u32 {
+    scalar_operand.unwrap_or(0)
+}
+
+/// Macro-operations the VCU generates for a compute instruction.
+/// Returns `None` for instructions that are not VSU compute work
+/// (memory, reductions, cross-element, fences — those go to the
+/// VMU/VRU paths).
+#[must_use]
+pub fn macro_ops(inst: &Inst, scalar_operand: Option<u32>) -> Option<Vec<MacroOpKind>> {
+    use MacroOpKind as M;
+    let ops = match *inst {
+        Inst::VOp { op, rhs, .. } => {
+            let mut v = Vec::new();
+            let k = splat_value(scalar_operand);
+            match op {
+                VArithOp::Sll | VArithOp::Srl | VArithOp::Sra => {
+                    let imm = !matches!(rhs, VOperand::Reg(_));
+                    v.push(match (op, imm) {
+                        (VArithOp::Sll, true) => M::SllI((k & 31) as u8),
+                        (VArithOp::Srl, true) => M::SrlI((k & 31) as u8),
+                        (VArithOp::Sra, true) => M::SraI((k & 31) as u8),
+                        (VArithOp::Sll, false) => M::SllV,
+                        (VArithOp::Srl, false) => M::SrlV,
+                        _ => M::SraV,
+                    });
+                }
+                _ => {
+                    if needs_splat(rhs) {
+                        v.push(M::Splat(k));
+                    }
+                    v.push(match op {
+                        VArithOp::Add => M::Add,
+                        VArithOp::Sub | VArithOp::Rsub => M::Sub,
+                        VArithOp::Mul => M::Mul,
+                        VArithOp::Macc => M::MulAcc,
+                        VArithOp::Mulh | VArithOp::Mulhu => M::Mulh,
+                        VArithOp::Div => M::Div,
+                        VArithOp::Divu => M::Divu,
+                        VArithOp::Rem => M::Rem,
+                        VArithOp::Remu => M::Remu,
+                        VArithOp::And => M::And,
+                        VArithOp::Or => M::Or,
+                        VArithOp::Xor => M::Xor,
+                        VArithOp::Min => M::Min,
+                        VArithOp::Max => M::Max,
+                        VArithOp::Minu => M::Minu,
+                        VArithOp::Maxu => M::Maxu,
+                        VArithOp::Sll | VArithOp::Srl | VArithOp::Sra => unreachable!(),
+                    });
+                }
+            }
+            v
+        }
+        Inst::VCmp { cond, rhs, .. } => {
+            let mut v = Vec::new();
+            if needs_splat(rhs) {
+                v.push(M::Splat(splat_value(scalar_operand)));
+            }
+            match cond {
+                VCmpCond::Eq => v.push(M::CmpEq),
+                VCmpCond::Ne => v.push(M::CmpNe),
+                VCmpCond::Lt | VCmpCond::Gt => v.push(M::CmpLt),
+                VCmpCond::Ltu | VCmpCond::Gtu => v.push(M::CmpLtu),
+                VCmpCond::Le => {
+                    v.push(M::CmpLt);
+                    v.push(M::MaskNot);
+                }
+                VCmpCond::Leu => {
+                    v.push(M::CmpLtu);
+                    v.push(M::MaskNot);
+                }
+            }
+            v
+        }
+        Inst::VMerge { rhs, .. } => {
+            let mut v = Vec::new();
+            if needs_splat(rhs) {
+                v.push(M::Splat(splat_value(scalar_operand)));
+            }
+            v.push(M::Merge);
+            v
+        }
+        Inst::VMask { op, .. } => vec![match op {
+            MaskOp::And => M::MaskAnd,
+            MaskOp::Or => M::MaskOr,
+            MaskOp::Xor => M::MaskXor,
+            MaskOp::Not => M::MaskNot,
+            MaskOp::AndNot => return Some(vec![M::MaskNot, M::MaskAnd]),
+        }],
+        Inst::VMv { rhs, .. } => match rhs {
+            VOperand::Reg(_) => vec![M::Mv],
+            _ => vec![M::Splat(splat_value(scalar_operand))],
+        },
+        _ => return None,
+    };
+    Some(ops)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eve_isa::vreg;
+
+    fn vop(op: VArithOp, rhs: VOperand) -> Inst {
+        Inst::VOp {
+            op,
+            vd: vreg::V1,
+            vs1: vreg::V2,
+            rhs,
+            masked: false,
+        }
+    }
+
+    #[test]
+    fn vv_add_is_one_macro_op() {
+        let ops = macro_ops(&vop(VArithOp::Add, VOperand::Reg(vreg::V3)), None).unwrap();
+        assert_eq!(ops, vec![MacroOpKind::Add]);
+    }
+
+    #[test]
+    fn vx_add_needs_a_splat() {
+        let ops = macro_ops(&vop(VArithOp::Add, VOperand::Imm(7)), Some(7)).unwrap();
+        assert_eq!(ops, vec![MacroOpKind::Splat(7), MacroOpKind::Add]);
+    }
+
+    #[test]
+    fn scalar_shift_carries_the_amount() {
+        let ops = macro_ops(&vop(VArithOp::Sll, VOperand::Imm(13)), Some(13)).unwrap();
+        assert_eq!(ops, vec![MacroOpKind::SllI(13)]);
+        let ops = macro_ops(&vop(VArithOp::Sra, VOperand::Imm(45)), Some(45)).unwrap();
+        assert_eq!(ops, vec![MacroOpKind::SraI(13)]); // masked to 31
+    }
+
+    #[test]
+    fn vector_shift_uses_variable_program() {
+        let ops = macro_ops(&vop(VArithOp::Srl, VOperand::Reg(vreg::V4)), None).unwrap();
+        assert_eq!(ops, vec![MacroOpKind::SrlV]);
+    }
+
+    #[test]
+    fn le_compare_costs_an_extra_mask_not() {
+        let i = Inst::VCmp {
+            cond: VCmpCond::Le,
+            vd: vreg::V0,
+            vs1: vreg::V1,
+            rhs: VOperand::Reg(vreg::V2),
+        };
+        let ops = macro_ops(&i, None).unwrap();
+        assert_eq!(ops, vec![MacroOpKind::CmpLt, MacroOpKind::MaskNot]);
+    }
+
+    #[test]
+    fn memory_and_xe_are_not_compute() {
+        assert!(macro_ops(&Inst::VMFence, None).is_none());
+        assert!(macro_ops(&Inst::VId { vd: vreg::V1 }, None).is_none());
+        assert!(macro_ops(
+            &Inst::VLoad {
+                vd: vreg::V1,
+                base: eve_isa::xreg::A0,
+                stride: eve_isa::VStride::Unit,
+                masked: false
+            },
+            None
+        )
+        .is_none());
+    }
+
+    #[test]
+    fn broadcast_move() {
+        let i = Inst::VMv {
+            vd: vreg::V1,
+            rhs: VOperand::Imm(42),
+        };
+        assert_eq!(
+            macro_ops(&i, Some(42)).unwrap(),
+            vec![MacroOpKind::Splat(42)]
+        );
+        let i = Inst::VMv {
+            vd: vreg::V1,
+            rhs: VOperand::Reg(vreg::V2),
+        };
+        assert_eq!(macro_ops(&i, None).unwrap(), vec![MacroOpKind::Mv]);
+    }
+}

@@ -1,0 +1,129 @@
+//! Execution-time attribution (the Fig 7 categories).
+
+use eve_common::{Cycle, Stats};
+
+/// Where the engine's cycles went, using the paper's Fig 7 categories.
+///
+/// * `busy` — executing useful μops (compute, row reads/writes,
+///   reduction streaming);
+/// * `vru_stall` — VRU structural hazard;
+/// * `ld_mem_stall` / `st_mem_stall` — waiting on the memory system;
+/// * `ld_dt_stall` / `st_dt_stall` — waiting on (de)transpose units;
+/// * `vmu_stall` — VMU structural hazard (request generation backlog);
+/// * `empty_stall` — no instruction available;
+/// * `dep_stall` — register dependences not yet resolved.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StallBreakdown {
+    /// Cycles doing useful work.
+    pub busy: Cycle,
+    /// VRU structural stalls.
+    pub vru_stall: Cycle,
+    /// Load memory stalls.
+    pub ld_mem_stall: Cycle,
+    /// Store memory stalls.
+    pub st_mem_stall: Cycle,
+    /// Load transpose stalls.
+    pub ld_dt_stall: Cycle,
+    /// Store detranspose stalls.
+    pub st_dt_stall: Cycle,
+    /// VMU structural stalls.
+    pub vmu_stall: Cycle,
+    /// Empty (no work) cycles.
+    pub empty_stall: Cycle,
+    /// Register-dependency stalls.
+    pub dep_stall: Cycle,
+}
+
+impl StallBreakdown {
+    /// Sum of every category.
+    #[must_use]
+    pub fn total(&self) -> Cycle {
+        self.busy
+            + self.vru_stall
+            + self.ld_mem_stall
+            + self.st_mem_stall
+            + self.ld_dt_stall
+            + self.st_dt_stall
+            + self.vmu_stall
+            + self.empty_stall
+            + self.dep_stall
+    }
+
+    /// `(label, cycles)` pairs in the paper's plotting order.
+    #[must_use]
+    pub fn entries(&self) -> [(&'static str, Cycle); 9] {
+        [
+            ("busy", self.busy),
+            ("vru_stall", self.vru_stall),
+            ("ld_mem_stall", self.ld_mem_stall),
+            ("st_mem_stall", self.st_mem_stall),
+            ("ld_dt_stall", self.ld_dt_stall),
+            ("st_dt_stall", self.st_dt_stall),
+            ("vmu_stall", self.vmu_stall),
+            ("empty_stall", self.empty_stall),
+            ("dep_stall", self.dep_stall),
+        ]
+    }
+
+    /// Exports as dotted stats (`breakdown.busy`, ...).
+    #[must_use]
+    pub fn as_stats(&self) -> Stats {
+        let mut s = Stats::new();
+        for (k, v) in self.entries() {
+            s.set(&format!("breakdown.{k}"), v.0);
+        }
+        s
+    }
+
+    /// Fraction of total time spent busy (0 when nothing ran).
+    #[must_use]
+    pub fn busy_fraction(&self) -> f64 {
+        let t = self.total().0;
+        if t == 0 {
+            0.0
+        } else {
+            self.busy.0 as f64 / t as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn total_sums_every_category() {
+        let b = StallBreakdown {
+            busy: Cycle(10),
+            vru_stall: Cycle(1),
+            ld_mem_stall: Cycle(2),
+            st_mem_stall: Cycle(3),
+            ld_dt_stall: Cycle(4),
+            st_dt_stall: Cycle(5),
+            vmu_stall: Cycle(6),
+            empty_stall: Cycle(7),
+            dep_stall: Cycle(8),
+        };
+        assert_eq!(b.total(), Cycle(46));
+        assert!((b.busy_fraction() - 10.0 / 46.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn stats_export() {
+        let b = StallBreakdown {
+            busy: Cycle(5),
+            ..StallBreakdown::default()
+        };
+        let s = b.as_stats();
+        assert_eq!(s.get("breakdown.busy"), 5);
+        assert_eq!(s.get("breakdown.empty_stall"), 0);
+        assert_eq!(s.len(), 9);
+    }
+
+    #[test]
+    fn empty_breakdown_is_zero() {
+        let b = StallBreakdown::default();
+        assert_eq!(b.total(), Cycle::ZERO);
+        assert_eq!(b.busy_fraction(), 0.0);
+    }
+}

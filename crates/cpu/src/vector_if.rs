@@ -1,0 +1,105 @@
+//! The socket a vector unit plugs into the O3 control processor.
+//!
+//! The paper's three vector systems attach differently (Table III,
+//! §V-A): the integrated unit (IV) executes vector instructions inside
+//! the O3 window on shared pipes; the decoupled engine (DV) and EVE
+//! receive instructions at *commit* and run them asynchronously,
+//! responding later — with `vmv.x.s`-style writebacks and `vmfence`
+//! stalling commit until the unit answers.
+
+use eve_common::{Cycle, Stats};
+use eve_isa::Retired;
+use eve_mem::Hierarchy;
+
+/// How a vector instruction lands in the control processor's timing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum VectorPlacement {
+    /// Executed inside the O3 window like a scalar instruction,
+    /// completing at the given time (integrated vector unit).
+    InWindow {
+        /// When the result (and any destination register) is ready.
+        completion: Cycle,
+    },
+    /// Accepted by a decoupled engine at `accept` (commit unblocks
+    /// then); if `writeback` is set, commit additionally stalls until
+    /// the engine responds with a value (e.g. `vmv.x.s`, `vmfence`).
+    Decoupled {
+        /// When the engine accepted the instruction (queue back-pressure
+        /// pushes this out).
+        accept: Cycle,
+        /// Response time for instructions the core must wait on.
+        writeback: Option<Cycle>,
+    },
+}
+
+/// A vector unit pluggable into [`crate::O3Core`].
+pub trait VectorUnit {
+    /// Hardware vector length in 32-bit elements (what `vsetvl`
+    /// saturates to; drives the interpreter configuration).
+    fn hw_vl(&self) -> u32;
+
+    /// Offers a vector instruction to the unit. `ready` is when its
+    /// register dependences resolve in the O3 window (what an
+    /// integrated, out-of-order-issue unit keys on); `commit` is when
+    /// the instruction reaches the head of the ROB (when a decoupled
+    /// engine receives it, §V-A).
+    fn issue(
+        &mut self,
+        r: &Retired,
+        ready: Cycle,
+        commit: Cycle,
+        mem: &mut Hierarchy,
+    ) -> VectorPlacement;
+
+    /// Completes all outstanding work, returning the time the unit
+    /// goes idle.
+    fn drain(&mut self, mem: &mut Hierarchy) -> Cycle;
+
+    /// Unit-specific statistics.
+    fn stats(&self) -> Stats;
+}
+
+/// The absent vector unit: scalar-only O3.
+///
+/// Vector instructions are rejected loudly — a scalar baseline fed a
+/// vectorized binary is a harness bug.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoVector;
+
+impl VectorUnit for NoVector {
+    fn hw_vl(&self) -> u32 {
+        1
+    }
+
+    fn issue(
+        &mut self,
+        r: &Retired,
+        _ready: Cycle,
+        _commit: Cycle,
+        _mem: &mut Hierarchy,
+    ) -> VectorPlacement {
+        panic!(
+            "scalar core received vector instruction {:?} at pc {}",
+            r.inst, r.pc
+        );
+    }
+
+    fn drain(&mut self, _mem: &mut Hierarchy) -> Cycle {
+        Cycle::ZERO
+    }
+
+    fn stats(&self) -> Stats {
+        Stats::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_vector_reports_scalar_length() {
+        assert_eq!(NoVector.hw_vl(), 1);
+        assert!(NoVector.stats().is_empty());
+    }
+}

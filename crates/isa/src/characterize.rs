@@ -1,0 +1,324 @@
+//! Workload characterization (the left half of Table IV).
+//!
+//! Feed every [`Retired`] record to a [`Characterization`] and it
+//! accumulates the statistics the paper reports per benchmark: dynamic
+//! instruction counts, the vector instruction mix (ctrl / ialu / imul /
+//! cross-element / unit-stride / strided / indexed / predicated),
+//! total operations, vector-operation share, logical parallelism, and
+//! arithmetic intensity.
+
+use crate::inst::{Inst, VArithOp, VStride};
+use crate::interp::Retired;
+
+/// Classification of a vector instruction, matching Table IV's columns.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum InstClass {
+    /// Vector control: `vsetvl`, `vmfence`.
+    Ctrl,
+    /// Vector integer ALU (add/sub/logic/shift/min/max/compare/merge/mv).
+    Ialu,
+    /// Vector integer multiply/divide.
+    Imul,
+    /// Cross-element: reductions, slides, gathers, `vmv.x.s`/`vmv.s.x`.
+    Xe,
+    /// Unit-stride memory.
+    UnitStride,
+    /// Constant-stride memory.
+    ConstStride,
+    /// Indexed (gather/scatter) memory.
+    Indexed,
+}
+
+/// Classifies a vector instruction; `None` for scalar instructions.
+#[must_use]
+pub fn classify(inst: &Inst) -> Option<InstClass> {
+    match inst {
+        Inst::SetVl { .. } | Inst::VMFence => Some(InstClass::Ctrl),
+        Inst::VLoad { stride, .. } | Inst::VStore { stride, .. } => Some(match stride {
+            VStride::Unit => InstClass::UnitStride,
+            VStride::Strided(_) => InstClass::ConstStride,
+            VStride::Indexed(_) => InstClass::Indexed,
+        }),
+        Inst::VOp { op, .. } => Some(match op {
+            VArithOp::Mul
+            | VArithOp::Macc
+            | VArithOp::Mulh
+            | VArithOp::Mulhu
+            | VArithOp::Div
+            | VArithOp::Divu
+            | VArithOp::Rem
+            | VArithOp::Remu => InstClass::Imul,
+            _ => InstClass::Ialu,
+        }),
+        Inst::VCmp { .. } | Inst::VMerge { .. } | Inst::VMask { .. } | Inst::VMv { .. } => {
+            Some(InstClass::Ialu)
+        }
+        Inst::VMvXS { .. }
+        | Inst::VMvSX { .. }
+        | Inst::VRed { .. }
+        | Inst::VSlide { .. }
+        | Inst::VRGather { .. }
+        | Inst::VId { .. } => Some(InstClass::Xe),
+        _ => None,
+    }
+}
+
+/// Whether the instruction executes under a mask (`prd` column).
+#[must_use]
+pub fn is_predicated(inst: &Inst) -> bool {
+    matches!(
+        inst,
+        Inst::VOp { masked: true, .. }
+            | Inst::VLoad { masked: true, .. }
+            | Inst::VStore { masked: true, .. }
+            | Inst::VMerge { .. }
+    )
+}
+
+/// Accumulated workload statistics (Table IV, characterization half).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Characterization {
+    /// Dynamic instructions (DIns).
+    pub dyn_insts: u64,
+    /// Dynamic vector-type instructions.
+    pub vector_insts: u64,
+    /// Vector control instructions.
+    pub ctrl: u64,
+    /// Vector integer ALU instructions.
+    pub ialu: u64,
+    /// Vector multiply/divide instructions.
+    pub imul: u64,
+    /// Cross-element instructions.
+    pub xe: u64,
+    /// Unit-stride memory instructions.
+    pub unit_stride: u64,
+    /// Constant-stride memory instructions.
+    pub const_stride: u64,
+    /// Indexed memory instructions.
+    pub indexed: u64,
+    /// Predicated vector instructions.
+    pub predicated: u64,
+    /// Total operations: scalar instructions + vector instructions
+    /// weighted by active vector length (DOp).
+    pub ops: u64,
+    /// Operations performed by the vector unit.
+    pub vector_ops: u64,
+    /// Vector ALU + mul operations (numerator of arithmetic intensity).
+    pub math_ops: u64,
+    /// Vector memory operations (denominator of arithmetic intensity).
+    pub mem_ops: u64,
+}
+
+impl Characterization {
+    /// An empty characterization.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Accounts one committed instruction.
+    pub fn record(&mut self, r: &Retired) {
+        self.dyn_insts += 1;
+        let Some(class) = classify(&r.inst) else {
+            self.ops += 1;
+            return;
+        };
+        self.vector_insts += 1;
+        let vl = u64::from(r.vl).max(1);
+        self.ops += vl;
+        self.vector_ops += vl;
+        if is_predicated(&r.inst) {
+            self.predicated += 1;
+        }
+        match class {
+            InstClass::Ctrl => {
+                self.ctrl += 1;
+                // Control configures rather than computes: weight 1.
+                self.ops -= vl - 1;
+                self.vector_ops -= vl - 1;
+            }
+            InstClass::Ialu => {
+                self.ialu += 1;
+                self.math_ops += vl;
+            }
+            InstClass::Imul => {
+                self.imul += 1;
+                self.math_ops += vl;
+            }
+            InstClass::Xe => self.xe += 1,
+            InstClass::UnitStride => {
+                self.unit_stride += 1;
+                self.mem_ops += vl;
+            }
+            InstClass::ConstStride => {
+                self.const_stride += 1;
+                self.mem_ops += vl;
+            }
+            InstClass::Indexed => {
+                self.indexed += 1;
+                self.mem_ops += vl;
+            }
+        }
+    }
+
+    /// Percentage of dynamic instructions that are vector-type (VI%).
+    #[must_use]
+    pub fn vector_inst_pct(&self) -> f64 {
+        percent(self.vector_insts, self.dyn_insts)
+    }
+
+    /// Percentage of operations performed by the vector unit (VO%).
+    #[must_use]
+    pub fn vector_op_pct(&self) -> f64 {
+        percent(self.vector_ops, self.ops)
+    }
+
+    /// Logical parallelism: total ops / dynamic instructions (VPar).
+    #[must_use]
+    pub fn logical_parallelism(&self) -> f64 {
+        ratio(self.ops, self.dyn_insts)
+    }
+
+    /// Work inflation versus a scalar run of the same kernel (WInf):
+    /// total ops in the vectorized program / scalar dynamic instructions.
+    #[must_use]
+    pub fn work_inflation(&self, scalar_dyn_insts: u64) -> f64 {
+        ratio(self.ops, scalar_dyn_insts)
+    }
+
+    /// Arithmetic intensity for the vector unit: math ops / memory ops
+    /// (ArInt).
+    #[must_use]
+    pub fn arithmetic_intensity(&self) -> f64 {
+        ratio(self.math_ops, self.mem_ops)
+    }
+
+    /// Vector instruction-mix percentages in Table IV column order:
+    /// (ctrl, ialu, imul, xe, us, st, idx, prd), relative to vector
+    /// instructions.
+    #[must_use]
+    pub fn mix_pct(&self) -> [f64; 8] {
+        let v = self.vector_insts;
+        [
+            percent(self.ctrl, v),
+            percent(self.ialu, v),
+            percent(self.imul, v),
+            percent(self.xe, v),
+            percent(self.unit_stride, v),
+            percent(self.const_stride, v),
+            percent(self.indexed, v),
+            percent(self.predicated, v),
+        ]
+    }
+}
+
+fn percent(num: u64, den: u64) -> f64 {
+    if den == 0 {
+        0.0
+    } else {
+        num as f64 / den as f64 * 100.0
+    }
+}
+
+fn ratio(num: u64, den: u64) -> f64 {
+    if den == 0 {
+        0.0
+    } else {
+        num as f64 / den as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::asm::Asm;
+    use crate::inst::VOperand;
+    use crate::interp::Interpreter;
+    use crate::mem::Memory;
+    use crate::reg::{vreg, xreg};
+
+    fn characterize(asm: Asm, hw_vl: u32) -> Characterization {
+        let mut i = Interpreter::new(asm.assemble().unwrap(), Memory::new(0x4000), hw_vl);
+        let mut c = Characterization::new();
+        while let Some(r) = i.step().unwrap() {
+            c.record(&r);
+        }
+        c
+    }
+
+    #[test]
+    fn scalar_program_has_no_vector_share() {
+        let mut a = Asm::new();
+        a.li(xreg::T0, 1);
+        a.add(xreg::T0, xreg::T0, xreg::T0);
+        a.halt();
+        let c = characterize(a, 8);
+        assert_eq!(c.dyn_insts, 3);
+        assert_eq!(c.vector_insts, 0);
+        assert_eq!(c.vector_inst_pct(), 0.0);
+        assert_eq!(c.ops, 3);
+    }
+
+    #[test]
+    fn vector_ops_weighted_by_vl() {
+        let mut a = Asm::new();
+        a.li(xreg::A0, 8);
+        a.setvl(xreg::T0, xreg::A0);
+        a.li(xreg::A1, 0x100);
+        a.vload(vreg::V1, xreg::A1);
+        a.vadd(vreg::V2, vreg::V1, VOperand::Imm(1));
+        a.vmul(vreg::V3, vreg::V2, VOperand::Reg(vreg::V1));
+        a.vstore(vreg::V3, xreg::A1);
+        a.halt();
+        let c = characterize(a, 8);
+        assert_eq!(c.vector_insts, 5); // setvl + 2 mem + 2 alu
+        assert_eq!(c.ialu, 1);
+        assert_eq!(c.imul, 1);
+        assert_eq!(c.unit_stride, 2);
+        assert_eq!(c.ctrl, 1);
+        // ops: 3 scalar (li/li/halt) + 1 (setvl) + 4 x 8 (vector @ vl 8)
+        assert_eq!(c.ops, 3 + 1 + 32);
+        assert_eq!(c.math_ops, 16);
+        assert_eq!(c.mem_ops, 16);
+        assert!((c.arithmetic_intensity() - 1.0).abs() < 1e-9);
+        assert!(c.vector_op_pct() > 90.0);
+    }
+
+    #[test]
+    fn predication_counted() {
+        let mut a = Asm::new();
+        a.li(xreg::A0, 4);
+        a.setvl(xreg::T0, xreg::A0);
+        a.vid(vreg::V1);
+        a.vcmp(crate::inst::VCmpCond::Lt, vreg::V0, vreg::V1, VOperand::Imm(2));
+        a.vop_masked(VArithOp::Add, vreg::V1, vreg::V1, VOperand::Imm(1));
+        a.vmerge(vreg::V2, vreg::V1, VOperand::Imm(0));
+        a.halt();
+        let c = characterize(a, 4);
+        assert_eq!(c.predicated, 2); // masked add + merge
+        assert_eq!(c.xe, 1); // vid
+    }
+
+    #[test]
+    fn mix_percentages_sum_over_disjoint_classes() {
+        let mut a = Asm::new();
+        a.li(xreg::A0, 4);
+        a.setvl(xreg::T0, xreg::A0);
+        a.vid(vreg::V1);
+        a.vadd(vreg::V1, vreg::V1, VOperand::Imm(1));
+        a.halt();
+        let c = characterize(a, 4);
+        let mix = c.mix_pct();
+        // ctrl + ialu + imul + xe + us + st + idx (first 7, disjoint).
+        let sum: f64 = mix[..7].iter().sum();
+        assert!((sum - 100.0).abs() < 1e-9, "{mix:?}");
+    }
+
+    #[test]
+    fn work_inflation_against_scalar() {
+        let mut c = Characterization::new();
+        c.ops = 150;
+        assert!((c.work_inflation(100) - 1.5).abs() < 1e-9);
+        assert_eq!(c.work_inflation(0), 0.0);
+    }
+}

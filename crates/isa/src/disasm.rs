@@ -1,0 +1,343 @@
+//! Disassembly: RVV-flavoured textual forms for kernel-IR
+//! instructions and whole programs.
+
+use crate::asm::Program;
+use crate::inst::{
+    BranchCond, Inst, MaskOp, MemWidth, RedOp, ScalarOp, VArithOp, VCmpCond, VOperand, VStride,
+};
+use std::fmt;
+
+fn scalar_op_name(op: ScalarOp) -> &'static str {
+    match op {
+        ScalarOp::Add => "add",
+        ScalarOp::Sub => "sub",
+        ScalarOp::Mul => "mul",
+        ScalarOp::Div => "div",
+        ScalarOp::Rem => "rem",
+        ScalarOp::And => "and",
+        ScalarOp::Or => "or",
+        ScalarOp::Xor => "xor",
+        ScalarOp::Sll => "sll",
+        ScalarOp::Srl => "srl",
+        ScalarOp::Sra => "sra",
+        ScalarOp::Slt => "slt",
+        ScalarOp::Sltu => "sltu",
+    }
+}
+
+fn varith_name(op: VArithOp) -> &'static str {
+    match op {
+        VArithOp::Add => "vadd",
+        VArithOp::Sub => "vsub",
+        VArithOp::Rsub => "vrsub",
+        VArithOp::Mul => "vmul",
+        VArithOp::Macc => "vmacc",
+        VArithOp::Mulh => "vmulh",
+        VArithOp::Mulhu => "vmulhu",
+        VArithOp::Div => "vdiv",
+        VArithOp::Divu => "vdivu",
+        VArithOp::Rem => "vrem",
+        VArithOp::Remu => "vremu",
+        VArithOp::And => "vand",
+        VArithOp::Or => "vor",
+        VArithOp::Xor => "vxor",
+        VArithOp::Sll => "vsll",
+        VArithOp::Srl => "vsrl",
+        VArithOp::Sra => "vsra",
+        VArithOp::Min => "vmin",
+        VArithOp::Max => "vmax",
+        VArithOp::Minu => "vminu",
+        VArithOp::Maxu => "vmaxu",
+    }
+}
+
+fn vcmp_name(c: VCmpCond) -> &'static str {
+    match c {
+        VCmpCond::Eq => "vmseq",
+        VCmpCond::Ne => "vmsne",
+        VCmpCond::Lt => "vmslt",
+        VCmpCond::Ltu => "vmsltu",
+        VCmpCond::Le => "vmsle",
+        VCmpCond::Leu => "vmsleu",
+        VCmpCond::Gt => "vmsgt",
+        VCmpCond::Gtu => "vmsgtu",
+    }
+}
+
+fn width_suffix(w: MemWidth) -> &'static str {
+    match w {
+        MemWidth::B => "b",
+        MemWidth::H => "h",
+        MemWidth::W => "w",
+        MemWidth::D => "d",
+    }
+}
+
+struct Rhs(VOperand);
+
+impl fmt::Display for Rhs {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.0 {
+            VOperand::Reg(v) => write!(f, "{v}"),
+            VOperand::Scalar(x) => write!(f, "{x}"),
+            VOperand::Imm(i) => write!(f, "{i}"),
+        }
+    }
+}
+
+fn rhs_mode(rhs: VOperand) -> &'static str {
+    match rhs {
+        VOperand::Reg(_) => "vv",
+        VOperand::Scalar(_) => "vx",
+        VOperand::Imm(_) => "vi",
+    }
+}
+
+impl fmt::Display for Inst {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            Inst::Li { rd, imm } => write!(f, "li {rd}, {imm}"),
+            Inst::Op { op, rd, rs1, rs2 } => {
+                write!(f, "{} {rd}, {rs1}, {rs2}", scalar_op_name(op))
+            }
+            Inst::OpImm { op, rd, rs1, imm } => {
+                write!(f, "{}i {rd}, {rs1}, {imm}", scalar_op_name(op))
+            }
+            Inst::Load {
+                width,
+                rd,
+                base,
+                offset,
+            } => write!(f, "l{} {rd}, {offset}({base})", width_suffix(width)),
+            Inst::Store {
+                width,
+                src,
+                base,
+                offset,
+            } => write!(f, "s{} {src}, {offset}({base})", width_suffix(width)),
+            Inst::Branch {
+                cond,
+                rs1,
+                rs2,
+                target,
+            } => {
+                let name = match cond {
+                    BranchCond::Eq => "beq",
+                    BranchCond::Ne => "bne",
+                    BranchCond::Lt => "blt",
+                    BranchCond::Ge => "bge",
+                    BranchCond::Ltu => "bltu",
+                    BranchCond::Geu => "bgeu",
+                };
+                write!(f, "{name} {rs1}, {rs2}, @{target}")
+            }
+            Inst::Jump { target } => write!(f, "j @{target}"),
+            Inst::Halt => write!(f, "halt"),
+            Inst::SetVl { rd, avl } => write!(f, "vsetvli {rd}, {avl}, e32"),
+            Inst::VMFence => write!(f, "vmfence"),
+            Inst::VLoad {
+                vd,
+                base,
+                stride,
+                masked,
+            } => {
+                let m = if masked { ", v0.t" } else { "" };
+                match stride {
+                    VStride::Unit => write!(f, "vle32.v {vd}, ({base}){m}"),
+                    VStride::Strided(s) => write!(f, "vlse32.v {vd}, ({base}), {s}{m}"),
+                    VStride::Indexed(i) => write!(f, "vluxei32.v {vd}, ({base}), {i}{m}"),
+                }
+            }
+            Inst::VStore {
+                vs,
+                base,
+                stride,
+                masked,
+            } => {
+                let m = if masked { ", v0.t" } else { "" };
+                match stride {
+                    VStride::Unit => write!(f, "vse32.v {vs}, ({base}){m}"),
+                    VStride::Strided(s) => write!(f, "vsse32.v {vs}, ({base}), {s}{m}"),
+                    VStride::Indexed(i) => write!(f, "vsuxei32.v {vs}, ({base}), {i}{m}"),
+                }
+            }
+            Inst::VOp {
+                op,
+                vd,
+                vs1,
+                rhs,
+                masked,
+            } => {
+                let m = if masked { ", v0.t" } else { "" };
+                write!(
+                    f,
+                    "{}.{} {vd}, {vs1}, {}{m}",
+                    varith_name(op),
+                    rhs_mode(rhs),
+                    Rhs(rhs)
+                )
+            }
+            Inst::VCmp { cond, vd, vs1, rhs } => write!(
+                f,
+                "{}.{} {vd}, {vs1}, {}",
+                vcmp_name(cond),
+                rhs_mode(rhs),
+                Rhs(rhs)
+            ),
+            Inst::VMerge { vd, vs1, rhs } => {
+                write!(
+                    f,
+                    "vmerge.{}m {vd}, {vs1}, {}, v0",
+                    rhs_mode(rhs).trim_start_matches('v'),
+                    Rhs(rhs)
+                )
+            }
+            Inst::VMask { op, md, m1, m2 } => match op {
+                MaskOp::And => write!(f, "vmand.mm {md}, {m1}, {m2}"),
+                MaskOp::Or => write!(f, "vmor.mm {md}, {m1}, {m2}"),
+                MaskOp::Xor => write!(f, "vmxor.mm {md}, {m1}, {m2}"),
+                MaskOp::AndNot => write!(f, "vmandn.mm {md}, {m1}, {m2}"),
+                MaskOp::Not => write!(f, "vmnot.m {md}, {m1}"),
+            },
+            Inst::VMv { vd, rhs } => match rhs {
+                VOperand::Reg(v) => write!(f, "vmv.v.v {vd}, {v}"),
+                VOperand::Scalar(x) => write!(f, "vmv.v.x {vd}, {x}"),
+                VOperand::Imm(i) => write!(f, "vmv.v.i {vd}, {i}"),
+            },
+            Inst::VMvXS { rd, vs } => write!(f, "vmv.x.s {rd}, {vs}"),
+            Inst::VMvSX { vd, rs } => write!(f, "vmv.s.x {vd}, {rs}"),
+            Inst::VRed { op, vd, vs2, vs1 } => {
+                let name = match op {
+                    RedOp::Sum => "vredsum",
+                    RedOp::Min => "vredmin",
+                    RedOp::Max => "vredmax",
+                    RedOp::Minu => "vredminu",
+                    RedOp::Maxu => "vredmaxu",
+                };
+                write!(f, "{name}.vs {vd}, {vs2}, {vs1}")
+            }
+            Inst::VSlide { vd, vs, amount, up } => {
+                let dir = if up { "up" } else { "down" };
+                write!(f, "vslide{dir}.vx {vd}, {vs}, {amount}")
+            }
+            Inst::VRGather { vd, vs, idx } => write!(f, "vrgather.vv {vd}, {vs}, {idx}"),
+            Inst::VId { vd } => write!(f, "vid.v {vd}"),
+        }
+    }
+}
+
+/// Disassembles a whole program, one numbered instruction per line.
+///
+/// # Examples
+///
+/// ```
+/// use eve_isa::{disasm, Asm, xreg};
+/// let mut a = Asm::new();
+/// a.li(xreg::A0, 7);
+/// a.halt();
+/// let text = disasm(&a.assemble()?);
+/// assert!(text.contains("li x10, 7"));
+/// # Ok::<(), eve_isa::IsaError>(())
+/// ```
+#[must_use]
+pub fn disasm(prog: &Program) -> String {
+    prog.insts()
+        .iter()
+        .enumerate()
+        .map(|(i, inst)| format!("{i:>5}: {inst}\n"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reg::{vreg, xreg};
+
+    #[test]
+    fn scalar_forms() {
+        assert_eq!(
+            Inst::Li {
+                rd: xreg::T0,
+                imm: -3
+            }
+            .to_string(),
+            "li x5, -3"
+        );
+        assert_eq!(
+            Inst::Load {
+                width: MemWidth::W,
+                rd: xreg::T1,
+                base: xreg::A0,
+                offset: 8
+            }
+            .to_string(),
+            "lw x6, 8(x10)"
+        );
+        assert_eq!(
+            Inst::Branch {
+                cond: BranchCond::Ne,
+                rs1: xreg::T0,
+                rs2: xreg::ZERO,
+                target: 4
+            }
+            .to_string(),
+            "bne x5, x0, @4"
+        );
+    }
+
+    #[test]
+    fn vector_forms() {
+        assert_eq!(
+            Inst::VOp {
+                op: VArithOp::Add,
+                vd: vreg::V3,
+                vs1: vreg::V1,
+                rhs: VOperand::Imm(7),
+                masked: true
+            }
+            .to_string(),
+            "vadd.vi v3, v1, 7, v0.t"
+        );
+        assert_eq!(
+            Inst::VLoad {
+                vd: vreg::V1,
+                base: xreg::A1,
+                stride: VStride::Strided(xreg::A2),
+                masked: false
+            }
+            .to_string(),
+            "vlse32.v v1, (x11), x12"
+        );
+        assert_eq!(
+            Inst::VRed {
+                op: RedOp::Sum,
+                vd: vreg::V4,
+                vs2: vreg::V2,
+                vs1: vreg::V3
+            }
+            .to_string(),
+            "vredsum.vs v4, v2, v3"
+        );
+        assert_eq!(
+            Inst::VMvXS {
+                rd: xreg::T0,
+                vs: vreg::V9
+            }
+            .to_string(),
+            "vmv.x.s x5, v9"
+        );
+    }
+
+    #[test]
+    fn whole_program_disassembles() {
+        let mut a = crate::asm::Asm::new();
+        a.li(xreg::A0, 64);
+        a.setvl(xreg::T0, xreg::A0);
+        a.vload(vreg::V1, xreg::A1);
+        a.halt();
+        let text = disasm(&a.assemble().unwrap());
+        assert!(text.contains("0: li x10, 64"));
+        assert!(text.contains("vsetvli x5, x10, e32"));
+        assert!(text.contains("vle32.v v1, (x11)"));
+    }
+}

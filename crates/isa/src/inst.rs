@@ -1,0 +1,380 @@
+//! Instruction definitions for the kernel IR.
+//!
+//! Scalar instructions are a pragmatic RV64-like subset (64-bit integer
+//! registers); vector instructions cover the 32-bit integer surface of
+//! the RISC-V vector extension that EVE implements (§I), plus the
+//! `vmfence` EVE adds for scalar/vector memory ordering (§V-A).
+
+use crate::reg::{Vreg, Xreg};
+
+/// Scalar ALU operations (register-register and register-immediate).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ScalarOp {
+    /// Addition.
+    Add,
+    /// Subtraction.
+    Sub,
+    /// Multiplication (low 64 bits).
+    Mul,
+    /// Signed division (RV semantics: x/0 = -1).
+    Div,
+    /// Signed remainder (x%0 = x).
+    Rem,
+    /// Bit-wise AND.
+    And,
+    /// Bit-wise OR.
+    Or,
+    /// Bit-wise XOR.
+    Xor,
+    /// Logical shift left (amount masked to 63).
+    Sll,
+    /// Logical shift right.
+    Srl,
+    /// Arithmetic shift right.
+    Sra,
+    /// Set-if-less-than, signed.
+    Slt,
+    /// Set-if-less-than, unsigned.
+    Sltu,
+}
+
+/// Scalar memory access width.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MemWidth {
+    /// 1 byte (zero-extended on load).
+    B,
+    /// 2 bytes.
+    H,
+    /// 4 bytes.
+    W,
+    /// 8 bytes.
+    D,
+}
+
+impl MemWidth {
+    /// Size in bytes.
+    #[must_use]
+    pub fn bytes(&self) -> u64 {
+        match self {
+            MemWidth::B => 1,
+            MemWidth::H => 2,
+            MemWidth::W => 4,
+            MemWidth::D => 8,
+        }
+    }
+}
+
+/// Scalar branch conditions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BranchCond {
+    /// Equal.
+    Eq,
+    /// Not equal.
+    Ne,
+    /// Signed less-than.
+    Lt,
+    /// Signed greater-or-equal.
+    Ge,
+    /// Unsigned less-than.
+    Ltu,
+    /// Unsigned greater-or-equal.
+    Geu,
+}
+
+/// Vector integer ALU operations (all `.vv`, `.vx`, or `.vi` via
+/// [`VOperand`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum VArithOp {
+    /// `vadd`.
+    Add,
+    /// `vsub` (`vd = vs1 - rhs`).
+    Sub,
+    /// `vrsub` (`vd = rhs - vs1`).
+    Rsub,
+    /// `vmul` (low 32 bits).
+    Mul,
+    /// `vmacc` (multiply-accumulate: `vd += vs1 * rhs`).
+    Macc,
+    /// `vmulh` (high 32 bits, signed).
+    Mulh,
+    /// `vmulhu` (high 32 bits, unsigned).
+    Mulhu,
+    /// `vdiv` (signed; x/0 = -1).
+    Div,
+    /// `vdivu` (unsigned; x/0 = all ones).
+    Divu,
+    /// `vrem` (signed; x%0 = x).
+    Rem,
+    /// `vremu`.
+    Remu,
+    /// `vand`.
+    And,
+    /// `vor`.
+    Or,
+    /// `vxor`.
+    Xor,
+    /// `vsll` (amount masked to 31).
+    Sll,
+    /// `vsrl`.
+    Srl,
+    /// `vsra`.
+    Sra,
+    /// `vmin` (signed).
+    Min,
+    /// `vmax` (signed).
+    Max,
+    /// `vminu`.
+    Minu,
+    /// `vmaxu`.
+    Maxu,
+}
+
+/// Vector compare conditions (`vmseq` etc.), writing a mask register.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum VCmpCond {
+    /// Equal.
+    Eq,
+    /// Not equal.
+    Ne,
+    /// Signed less-than.
+    Lt,
+    /// Unsigned less-than.
+    Ltu,
+    /// Signed less-or-equal.
+    Le,
+    /// Unsigned less-or-equal.
+    Leu,
+    /// Signed greater-than.
+    Gt,
+    /// Unsigned greater-than.
+    Gtu,
+}
+
+/// Reduction operations (`vred*.vs`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RedOp {
+    /// `vredsum`.
+    Sum,
+    /// `vredmin` (signed).
+    Min,
+    /// `vredmax` (signed).
+    Max,
+    /// `vredminu`.
+    Minu,
+    /// `vredmaxu`.
+    Maxu,
+}
+
+/// Mask-register logical operations (`vm*.mm`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MaskOp {
+    /// `vmand.mm`.
+    And,
+    /// `vmor.mm`.
+    Or,
+    /// `vmxor.mm`.
+    Xor,
+    /// `vmandn.mm` (`md = m1 & !m2`).
+    AndNot,
+    /// `vmnot.m`.
+    Not,
+}
+
+/// The second operand of a vector instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum VOperand {
+    /// `.vv`: another vector register.
+    Reg(Vreg),
+    /// `.vx`: a scalar register broadcast to all elements.
+    Scalar(Xreg),
+    /// `.vi`: an immediate broadcast to all elements.
+    Imm(i32),
+}
+
+/// Addressing mode of a vector memory instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum VStride {
+    /// Unit stride (`vle32`/`vse32`): consecutive 32-bit elements.
+    Unit,
+    /// Constant stride in bytes from a scalar register
+    /// (`vlse32`/`vsse32`).
+    Strided(Xreg),
+    /// Indexed (gather/scatter): byte offsets from a vector register
+    /// (`vluxei32`/`vsuxei32`).
+    Indexed(Vreg),
+}
+
+/// One kernel-IR instruction.
+///
+/// Branch/jump targets are indices into the program's instruction
+/// vector, resolved by the assembler.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Inst {
+    // ---- scalar ----
+    /// Load immediate: `rd = imm`.
+    Li { rd: Xreg, imm: i64 },
+    /// Register-register ALU: `rd = rs1 op rs2`.
+    Op {
+        op: ScalarOp,
+        rd: Xreg,
+        rs1: Xreg,
+        rs2: Xreg,
+    },
+    /// Register-immediate ALU: `rd = rs1 op imm`.
+    OpImm {
+        op: ScalarOp,
+        rd: Xreg,
+        rs1: Xreg,
+        imm: i64,
+    },
+    /// Scalar load: `rd = mem[rs1 + offset]`, zero-extended.
+    Load {
+        width: MemWidth,
+        rd: Xreg,
+        base: Xreg,
+        offset: i64,
+    },
+    /// Scalar store: `mem[rs1 + offset] = rs2`.
+    Store {
+        width: MemWidth,
+        src: Xreg,
+        base: Xreg,
+        offset: i64,
+    },
+    /// Conditional branch to `target`.
+    Branch {
+        cond: BranchCond,
+        rs1: Xreg,
+        rs2: Xreg,
+        target: u32,
+    },
+    /// Unconditional jump.
+    Jump { target: u32 },
+    /// Stop execution.
+    Halt,
+
+    // ---- vector configuration ----
+    /// `vsetvli rd, rs1, e32`: `vl = min(rs1, hardware vl)`; `rd = vl`.
+    SetVl { rd: Xreg, avl: Xreg },
+    /// `vmfence`: order all prior scalar stores before subsequent
+    /// vector memory operations (§V-A).
+    VMFence,
+
+    // ---- vector memory ----
+    /// Vector load into `vd` from `base` with the given addressing mode.
+    VLoad {
+        vd: Vreg,
+        base: Xreg,
+        stride: VStride,
+        masked: bool,
+    },
+    /// Vector store of `vs` to `base`.
+    VStore {
+        vs: Vreg,
+        base: Xreg,
+        stride: VStride,
+        masked: bool,
+    },
+
+    // ---- vector arithmetic ----
+    /// `vd = vs1 op rhs` (masked by `v0` when `masked`).
+    VOp {
+        op: VArithOp,
+        vd: Vreg,
+        vs1: Vreg,
+        rhs: VOperand,
+        masked: bool,
+    },
+    /// Vector compare into mask register `vd`.
+    VCmp {
+        cond: VCmpCond,
+        vd: Vreg,
+        vs1: Vreg,
+        rhs: VOperand,
+    },
+    /// `vmerge.v?m`: `vd[i] = v0[i] ? vs1[i] : rhs[i]`.
+    VMerge { vd: Vreg, vs1: Vreg, rhs: VOperand },
+    /// Mask-register logical op: `md = m1 op m2` (`m2` ignored for
+    /// `Not`).
+    VMask {
+        op: MaskOp,
+        md: Vreg,
+        m1: Vreg,
+        m2: Vreg,
+    },
+    /// `vmv.v.v` / `vmv.v.x` / `vmv.v.i`: broadcast or copy.
+    VMv { vd: Vreg, rhs: VOperand },
+    /// `vmv.x.s`: `rd = vs[0]` — the writeback case that stalls the
+    /// control processor's commit (§V-A).
+    VMvXS { rd: Xreg, vs: Vreg },
+    /// `vmv.s.x`: `vd[0] = rs`.
+    VMvSX { vd: Vreg, rs: Xreg },
+    /// Reduction: `vd[0] = red(vs2[0..vl]) ⊕ vs1[0]`.
+    VRed {
+        op: RedOp,
+        vd: Vreg,
+        vs2: Vreg,
+        vs1: Vreg,
+    },
+    /// `vslideup.vx`/`vslidedown.vx` by a scalar amount.
+    VSlide {
+        vd: Vreg,
+        vs: Vreg,
+        amount: Xreg,
+        up: bool,
+    },
+    /// `vrgather.vv`: `vd[i] = idx[i] < vl ? vs[idx[i]] : 0`.
+    VRGather { vd: Vreg, vs: Vreg, idx: Vreg },
+    /// `vid.v`: `vd[i] = i`.
+    VId { vd: Vreg },
+}
+
+impl Inst {
+    /// Whether this is a vector-type instruction (counted in the VI%
+    /// column of Table IV).
+    #[must_use]
+    pub fn is_vector(&self) -> bool {
+        matches!(
+            self,
+            Inst::SetVl { .. }
+                | Inst::VMFence
+                | Inst::VLoad { .. }
+                | Inst::VStore { .. }
+                | Inst::VOp { .. }
+                | Inst::VCmp { .. }
+                | Inst::VMerge { .. }
+                | Inst::VMask { .. }
+                | Inst::VMv { .. }
+                | Inst::VMvXS { .. }
+                | Inst::VMvSX { .. }
+                | Inst::VRed { .. }
+                | Inst::VSlide { .. }
+                | Inst::VRGather { .. }
+                | Inst::VId { .. }
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reg::{vreg, xreg};
+
+    #[test]
+    fn mem_width_bytes() {
+        assert_eq!(MemWidth::B.bytes(), 1);
+        assert_eq!(MemWidth::D.bytes(), 8);
+    }
+
+    #[test]
+    fn vector_classification() {
+        assert!(Inst::VMFence.is_vector());
+        assert!(Inst::VId { vd: vreg::V1 }.is_vector());
+        assert!(!Inst::Halt.is_vector());
+        assert!(!Inst::Li {
+            rd: xreg::A0,
+            imm: 1
+        }
+        .is_vector());
+    }
+}

@@ -1,0 +1,1024 @@
+//! The functional interpreter and its committed-instruction stream.
+//!
+//! [`Interpreter::step`] executes one instruction and returns a
+//! [`Retired`] record describing everything a timing model needs:
+//! source/destination registers (for dependence tracking), the memory
+//! footprint (for the cache hierarchy), the branch outcome (for branch
+//! predictors), and the active vector length. Architectural state is
+//! updated exactly; timing is someone else's job.
+
+use crate::asm::Program;
+use crate::inst::{
+    BranchCond, Inst, MaskOp, MemWidth, RedOp, ScalarOp, VArithOp, VCmpCond, VOperand, VStride,
+};
+use crate::mem::Memory;
+use crate::reg::{RegId, Vreg, Xreg};
+use std::fmt;
+
+/// Errors from assembling or executing kernel-IR programs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum IsaError {
+    /// A branch referenced a label that was never defined.
+    UndefinedLabel(String),
+    /// Execution left the program without reaching `Halt`.
+    PcOutOfRange(u32),
+    /// The dynamic-instruction budget was exhausted (runaway loop).
+    BudgetExhausted(u64),
+}
+
+impl fmt::Display for IsaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IsaError::UndefinedLabel(l) => write!(f, "undefined label {l}"),
+            IsaError::PcOutOfRange(pc) => write!(f, "pc {pc} outside program"),
+            IsaError::BudgetExhausted(n) => {
+                write!(f, "exceeded {n} dynamic instructions without halting")
+            }
+        }
+    }
+}
+
+impl std::error::Error for IsaError {}
+
+/// Memory footprint of one committed instruction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MemEffect {
+    /// No memory access.
+    None,
+    /// One scalar access.
+    Scalar {
+        /// Byte address.
+        addr: u64,
+        /// Access size in bytes.
+        bytes: u64,
+        /// Whether it writes memory.
+        store: bool,
+    },
+    /// Unit-stride vector access: `vl * 4` consecutive bytes.
+    VecUnit {
+        /// Starting byte address.
+        base: u64,
+        /// Total bytes (`active elements * 4`).
+        bytes: u64,
+        /// Whether it writes memory.
+        store: bool,
+    },
+    /// Constant-stride vector access.
+    VecStrided {
+        /// Address of element 0.
+        base: u64,
+        /// Byte stride between elements.
+        stride: i64,
+        /// Number of elements accessed.
+        count: u32,
+        /// Whether it writes memory.
+        store: bool,
+    },
+    /// Indexed gather/scatter: one address per element.
+    VecIndexed {
+        /// Element addresses in element order.
+        addrs: Vec<u64>,
+        /// Whether it writes memory.
+        store: bool,
+    },
+}
+
+impl MemEffect {
+    /// Whether this effect stores to memory.
+    #[must_use]
+    pub fn is_store(&self) -> bool {
+        match self {
+            MemEffect::None => false,
+            MemEffect::Scalar { store, .. }
+            | MemEffect::VecUnit { store, .. }
+            | MemEffect::VecStrided { store, .. }
+            | MemEffect::VecIndexed { store, .. } => *store,
+        }
+    }
+}
+
+/// One committed instruction, as seen by timing models.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Retired {
+    /// Dynamic instruction number (0-based).
+    pub seq: u64,
+    /// Static program counter.
+    pub pc: u32,
+    /// The instruction itself.
+    pub inst: Inst,
+    /// Source registers (dependence edges), up to four.
+    pub reads: [Option<RegId>; 4],
+    /// Destination register, if any.
+    pub write: Option<RegId>,
+    /// Memory footprint.
+    pub mem: MemEffect,
+    /// Vector length in effect (vector instructions only).
+    pub vl: u32,
+    /// Branch outcome: `(taken, next_pc)` for branches/jumps.
+    pub branch: Option<(bool, u32)>,
+    /// Resolved scalar/immediate operand of a vector instruction
+    /// (`.vx`/`.vi` value, slide amount) — what the VSU sees at issue
+    /// time, e.g. for unrolling shift μops (§III-B).
+    pub scalar_operand: Option<u32>,
+}
+
+/// Functional interpreter over a [`Program`] and a [`Memory`].
+///
+/// `hw_vl` is the machine's hardware vector length in 32-bit elements —
+/// what `vsetvl` saturates to (Table III: 4 for IV, 64 for DV, up to
+/// 2048 for EVE).
+#[derive(Debug, Clone)]
+pub struct Interpreter {
+    prog: Program,
+    mem: Memory,
+    x: [i64; 32],
+    v: Vec<Vec<u32>>,
+    vl: u32,
+    hw_vl: u32,
+    pc: u32,
+    seq: u64,
+    halted: bool,
+}
+
+impl Interpreter {
+    /// Creates an interpreter with all registers zero and `vl = hw_vl`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `hw_vl` is zero.
+    #[must_use]
+    pub fn new(prog: Program, mem: Memory, hw_vl: u32) -> Self {
+        assert!(hw_vl > 0, "hardware vector length must be nonzero");
+        Self {
+            prog,
+            mem,
+            x: [0; 32],
+            v: vec![vec![0; hw_vl as usize]; 32],
+            vl: hw_vl,
+            hw_vl,
+            pc: 0,
+            seq: 0,
+            halted: false,
+        }
+    }
+
+    /// The simulated memory.
+    #[must_use]
+    pub fn memory(&self) -> &Memory {
+        &self.mem
+    }
+
+    /// Mutable access to the simulated memory (for test setup).
+    pub fn memory_mut(&mut self) -> &mut Memory {
+        &mut self.mem
+    }
+
+    /// Current value of a scalar register.
+    #[must_use]
+    pub fn xreg(&self, r: Xreg) -> i64 {
+        self.x[r.index() as usize]
+    }
+
+    /// Current contents of a vector register.
+    #[must_use]
+    pub fn vreg(&self, r: Vreg) -> &[u32] {
+        &self.v[r.index() as usize]
+    }
+
+    /// Current vector length.
+    #[must_use]
+    pub fn vl(&self) -> u32 {
+        self.vl
+    }
+
+    /// The hardware vector length this machine saturates `vsetvl` to.
+    #[must_use]
+    pub fn hw_vl(&self) -> u32 {
+        self.hw_vl
+    }
+
+    /// Whether `Halt` has been executed.
+    #[must_use]
+    pub fn halted(&self) -> bool {
+        self.halted
+    }
+
+    /// Dynamic instructions retired so far.
+    #[must_use]
+    pub fn retired_count(&self) -> u64 {
+        self.seq
+    }
+
+    fn rx(&self, r: Xreg) -> i64 {
+        self.x[r.index() as usize]
+    }
+
+    fn wx(&mut self, r: Xreg, v: i64) {
+        if !r.is_zero() {
+            self.x[r.index() as usize] = v;
+        }
+    }
+
+    fn operand(&self, rhs: VOperand) -> OperandValue<'_> {
+        match rhs {
+            VOperand::Reg(v) => OperandValue::Vec(&self.v[v.index() as usize]),
+            VOperand::Scalar(x) => OperandValue::Broadcast(self.rx(x) as u32),
+            VOperand::Imm(i) => OperandValue::Broadcast(i as u32),
+        }
+    }
+
+    fn operand_read(rhs: VOperand) -> Option<RegId> {
+        match rhs {
+            VOperand::Reg(v) => Some(RegId::V(v)),
+            VOperand::Scalar(x) => Some(RegId::X(x)),
+            VOperand::Imm(_) => None,
+        }
+    }
+
+    /// Executes one instruction.
+    ///
+    /// Returns `Ok(None)` once halted.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IsaError::PcOutOfRange`] if control flow escapes the
+    /// program.
+    ///
+    /// # Panics
+    ///
+    /// Panics on out-of-bounds memory accesses (a workload bug).
+    pub fn step(&mut self) -> Result<Option<Retired>, IsaError> {
+        if self.halted {
+            return Ok(None);
+        }
+        let pc = self.pc;
+        let Some(&inst) = self.prog.insts().get(pc as usize) else {
+            return Err(IsaError::PcOutOfRange(pc));
+        };
+        let mut reads: [Option<RegId>; 4] = [None; 4];
+        let mut nr = 0;
+        let mut read = |r: RegId, reads: &mut [Option<RegId>; 4]| {
+            if nr < 4 {
+                reads[nr] = Some(r);
+                nr += 1;
+            }
+        };
+        let mut write = None;
+        let mut mem = MemEffect::None;
+        let mut branch = None;
+        let mut next = pc + 1;
+        let vl = self.vl;
+        let scalar_operand = match inst {
+            Inst::VOp { rhs, .. }
+            | Inst::VCmp { rhs, .. }
+            | Inst::VMerge { rhs, .. }
+            | Inst::VMv { rhs, .. } => match rhs {
+                VOperand::Scalar(x) => Some(self.rx(x) as u32),
+                VOperand::Imm(i) => Some(i as u32),
+                VOperand::Reg(_) => None,
+            },
+            Inst::VSlide { amount, .. } => Some(self.rx(amount) as u32),
+            _ => None,
+        };
+
+        match inst {
+            Inst::Li { rd, imm } => {
+                self.wx(rd, imm);
+                write = Some(RegId::X(rd));
+            }
+            Inst::Op { op, rd, rs1, rs2 } => {
+                read(RegId::X(rs1), &mut reads);
+                read(RegId::X(rs2), &mut reads);
+                let v = scalar_op(op, self.rx(rs1), self.rx(rs2));
+                self.wx(rd, v);
+                write = Some(RegId::X(rd));
+            }
+            Inst::OpImm { op, rd, rs1, imm } => {
+                read(RegId::X(rs1), &mut reads);
+                let v = scalar_op(op, self.rx(rs1), imm);
+                self.wx(rd, v);
+                write = Some(RegId::X(rd));
+            }
+            Inst::Load {
+                width,
+                rd,
+                base,
+                offset,
+            } => {
+                read(RegId::X(base), &mut reads);
+                let addr = (self.rx(base) + offset) as u64;
+                let v = match width {
+                    MemWidth::B => i64::from(self.mem.load_u8(addr)),
+                    MemWidth::H => i64::from(self.mem.load_u16(addr)),
+                    MemWidth::W => i64::from(self.mem.load_u32(addr)),
+                    MemWidth::D => self.mem.load_u64(addr) as i64,
+                };
+                self.wx(rd, v);
+                write = Some(RegId::X(rd));
+                mem = MemEffect::Scalar {
+                    addr,
+                    bytes: width.bytes(),
+                    store: false,
+                };
+            }
+            Inst::Store {
+                width,
+                src,
+                base,
+                offset,
+            } => {
+                read(RegId::X(src), &mut reads);
+                read(RegId::X(base), &mut reads);
+                let addr = (self.rx(base) + offset) as u64;
+                let v = self.rx(src);
+                match width {
+                    MemWidth::B => self.mem.store_u8(addr, v as u8),
+                    MemWidth::H => self.mem.store_u16(addr, v as u16),
+                    MemWidth::W => self.mem.store_u32(addr, v as u32),
+                    MemWidth::D => self.mem.store_u64(addr, v as u64),
+                }
+                mem = MemEffect::Scalar {
+                    addr,
+                    bytes: width.bytes(),
+                    store: true,
+                };
+            }
+            Inst::Branch {
+                cond,
+                rs1,
+                rs2,
+                target,
+            } => {
+                read(RegId::X(rs1), &mut reads);
+                read(RegId::X(rs2), &mut reads);
+                let a = self.rx(rs1);
+                let b = self.rx(rs2);
+                let taken = match cond {
+                    BranchCond::Eq => a == b,
+                    BranchCond::Ne => a != b,
+                    BranchCond::Lt => a < b,
+                    BranchCond::Ge => a >= b,
+                    BranchCond::Ltu => (a as u64) < (b as u64),
+                    BranchCond::Geu => (a as u64) >= (b as u64),
+                };
+                if taken {
+                    next = target;
+                }
+                branch = Some((taken, next));
+            }
+            Inst::Jump { target } => {
+                next = target;
+                branch = Some((true, next));
+            }
+            Inst::Halt => {
+                self.halted = true;
+            }
+            Inst::SetVl { rd, avl } => {
+                read(RegId::X(avl), &mut reads);
+                let req = self.rx(avl).max(0) as u64;
+                self.vl = req.min(u64::from(self.hw_vl)) as u32;
+                self.wx(rd, i64::from(self.vl));
+                write = Some(RegId::X(rd));
+            }
+            Inst::VMFence => {}
+            Inst::VLoad {
+                vd,
+                base,
+                stride,
+                masked,
+            } => {
+                read(RegId::X(base), &mut reads);
+                if masked {
+                    read(RegId::V(Vreg::new(0)), &mut reads);
+                }
+                let b = self.rx(base) as u64;
+                mem = self.vmem_effect(b, stride, false, &mut reads);
+                for i in 0..vl as usize {
+                    if masked && self.v[0][i] & 1 == 0 {
+                        continue;
+                    }
+                    let addr = self.velem_addr(b, stride, i);
+                    self.v[vd.index() as usize][i] = self.mem.load_u32(addr);
+                }
+                write = Some(RegId::V(vd));
+            }
+            Inst::VStore {
+                vs,
+                base,
+                stride,
+                masked,
+            } => {
+                read(RegId::V(vs), &mut reads);
+                read(RegId::X(base), &mut reads);
+                if masked {
+                    read(RegId::V(Vreg::new(0)), &mut reads);
+                }
+                let b = self.rx(base) as u64;
+                mem = self.vmem_effect(b, stride, true, &mut reads);
+                for i in 0..vl as usize {
+                    if masked && self.v[0][i] & 1 == 0 {
+                        continue;
+                    }
+                    let addr = self.velem_addr(b, stride, i);
+                    let v = self.v[vs.index() as usize][i];
+                    self.mem.store_u32(addr, v);
+                }
+            }
+            Inst::VOp {
+                op,
+                vd,
+                vs1,
+                rhs,
+                masked,
+            } => {
+                read(RegId::V(vs1), &mut reads);
+                if let Some(r) = Self::operand_read(rhs) {
+                    read(r, &mut reads);
+                }
+                if masked {
+                    read(RegId::V(Vreg::new(0)), &mut reads);
+                }
+                if op == VArithOp::Macc {
+                    // Accumulating ops also read the destination.
+                    read(RegId::V(vd), &mut reads);
+                }
+                let result: Vec<u32> = (0..vl as usize)
+                    .map(|i| {
+                        let a = self.v[vs1.index() as usize][i];
+                        let b = self.operand(rhs).at(i);
+                        if op == VArithOp::Macc {
+                            let acc = self.v[vd.index() as usize][i];
+                            acc.wrapping_add(a.wrapping_mul(b))
+                        } else {
+                            varith(op, a, b)
+                        }
+                    })
+                    .collect();
+                for (i, r) in result.into_iter().enumerate() {
+                    if masked && self.v[0][i] & 1 == 0 {
+                        continue;
+                    }
+                    self.v[vd.index() as usize][i] = r;
+                }
+                write = Some(RegId::V(vd));
+            }
+            Inst::VCmp { cond, vd, vs1, rhs } => {
+                read(RegId::V(vs1), &mut reads);
+                if let Some(r) = Self::operand_read(rhs) {
+                    read(r, &mut reads);
+                }
+                let result: Vec<u32> = (0..vl as usize)
+                    .map(|i| {
+                        let a = self.v[vs1.index() as usize][i];
+                        let b = self.operand(rhs).at(i);
+                        u32::from(vcmp(cond, a, b))
+                    })
+                    .collect();
+                for (i, r) in result.into_iter().enumerate() {
+                    self.v[vd.index() as usize][i] = r;
+                }
+                write = Some(RegId::V(vd));
+            }
+            Inst::VMerge { vd, vs1, rhs } => {
+                read(RegId::V(vs1), &mut reads);
+                if let Some(r) = Self::operand_read(rhs) {
+                    read(r, &mut reads);
+                }
+                read(RegId::V(Vreg::new(0)), &mut reads);
+                let result: Vec<u32> = (0..vl as usize)
+                    .map(|i| {
+                        if self.v[0][i] & 1 == 1 {
+                            self.v[vs1.index() as usize][i]
+                        } else {
+                            self.operand(rhs).at(i)
+                        }
+                    })
+                    .collect();
+                for (i, r) in result.into_iter().enumerate() {
+                    self.v[vd.index() as usize][i] = r;
+                }
+                write = Some(RegId::V(vd));
+            }
+            Inst::VMask { op, md, m1, m2 } => {
+                read(RegId::V(m1), &mut reads);
+                if op != MaskOp::Not {
+                    read(RegId::V(m2), &mut reads);
+                }
+                for i in 0..vl as usize {
+                    let a = self.v[m1.index() as usize][i] & 1;
+                    let b = self.v[m2.index() as usize][i] & 1;
+                    self.v[md.index() as usize][i] = match op {
+                        MaskOp::And => a & b,
+                        MaskOp::Or => a | b,
+                        MaskOp::Xor => a ^ b,
+                        MaskOp::AndNot => a & (1 - b),
+                        MaskOp::Not => 1 - a,
+                    };
+                }
+                write = Some(RegId::V(md));
+            }
+            Inst::VMv { vd, rhs } => {
+                if let Some(r) = Self::operand_read(rhs) {
+                    read(r, &mut reads);
+                }
+                for i in 0..vl as usize {
+                    self.v[vd.index() as usize][i] = self.operand(rhs).at(i);
+                }
+                write = Some(RegId::V(vd));
+            }
+            Inst::VMvXS { rd, vs } => {
+                read(RegId::V(vs), &mut reads);
+                let v = self.v[vs.index() as usize][0];
+                self.wx(rd, i64::from(v as i32));
+                write = Some(RegId::X(rd));
+            }
+            Inst::VMvSX { vd, rs } => {
+                read(RegId::X(rs), &mut reads);
+                self.v[vd.index() as usize][0] = self.rx(rs) as u32;
+                write = Some(RegId::V(vd));
+            }
+            Inst::VRed { op, vd, vs2, vs1 } => {
+                read(RegId::V(vs2), &mut reads);
+                read(RegId::V(vs1), &mut reads);
+                let init = self.v[vs1.index() as usize][0];
+                let mut acc = init;
+                for i in 0..vl as usize {
+                    let e = self.v[vs2.index() as usize][i];
+                    acc = match op {
+                        RedOp::Sum => acc.wrapping_add(e),
+                        RedOp::Min => (acc as i32).min(e as i32) as u32,
+                        RedOp::Max => (acc as i32).max(e as i32) as u32,
+                        RedOp::Minu => acc.min(e),
+                        RedOp::Maxu => acc.max(e),
+                    };
+                }
+                self.v[vd.index() as usize][0] = acc;
+                write = Some(RegId::V(vd));
+            }
+            Inst::VSlide { vd, vs, amount, up } => {
+                read(RegId::V(vs), &mut reads);
+                read(RegId::X(amount), &mut reads);
+                let amt = self.rx(amount).max(0) as usize;
+                let src = self.v[vs.index() as usize].clone();
+                let dst = &mut self.v[vd.index() as usize];
+                if up {
+                    for i in (amt..vl as usize).rev() {
+                        dst[i] = src[i - amt];
+                    }
+                } else {
+                    for i in 0..vl as usize {
+                        dst[i] = if i + amt < vl as usize { src[i + amt] } else { 0 };
+                    }
+                }
+                write = Some(RegId::V(vd));
+            }
+            Inst::VRGather { vd, vs, idx } => {
+                read(RegId::V(vs), &mut reads);
+                read(RegId::V(idx), &mut reads);
+                let result: Vec<u32> = (0..vl as usize)
+                    .map(|i| {
+                        let j = self.v[idx.index() as usize][i] as usize;
+                        if j < vl as usize {
+                            self.v[vs.index() as usize][j]
+                        } else {
+                            0
+                        }
+                    })
+                    .collect();
+                for (i, r) in result.into_iter().enumerate() {
+                    self.v[vd.index() as usize][i] = r;
+                }
+                write = Some(RegId::V(vd));
+            }
+            Inst::VId { vd } => {
+                for i in 0..vl as usize {
+                    self.v[vd.index() as usize][i] = i as u32;
+                }
+                write = Some(RegId::V(vd));
+            }
+        }
+
+        self.pc = next;
+        let seq = self.seq;
+        self.seq += 1;
+        Ok(Some(Retired {
+            seq,
+            pc,
+            inst,
+            reads,
+            write,
+            mem,
+            vl,
+            branch,
+            scalar_operand,
+        }))
+    }
+
+    fn velem_addr(&self, base: u64, stride: VStride, i: usize) -> u64 {
+        match stride {
+            VStride::Unit => base + i as u64 * 4,
+            VStride::Strided(r) => (base as i64 + self.rx(r) * i as i64) as u64,
+            VStride::Indexed(idx) => base + u64::from(self.v[idx.index() as usize][i]),
+        }
+    }
+
+    fn vmem_effect(
+        &self,
+        base: u64,
+        stride: VStride,
+        store: bool,
+        reads: &mut [Option<RegId>; 4],
+    ) -> MemEffect {
+        match stride {
+            VStride::Unit => MemEffect::VecUnit {
+                base,
+                bytes: u64::from(self.vl) * 4,
+                store,
+            },
+            VStride::Strided(r) => MemEffect::VecStrided {
+                base,
+                stride: self.rx(r),
+                count: self.vl,
+                store,
+            },
+            VStride::Indexed(idx) => {
+                for slot in reads.iter_mut() {
+                    if slot.is_none() {
+                        *slot = Some(RegId::V(idx));
+                        break;
+                    }
+                }
+                MemEffect::VecIndexed {
+                    addrs: (0..self.vl as usize)
+                        .map(|i| base + u64::from(self.v[idx.index() as usize][i]))
+                        .collect(),
+                    store,
+                }
+            }
+        }
+    }
+
+    /// Runs until `Halt`, discarding retire records.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`IsaError`]; errors with
+    /// [`IsaError::BudgetExhausted`] after 500 M instructions.
+    pub fn run_to_halt(&mut self) -> Result<u64, IsaError> {
+        const BUDGET: u64 = 500_000_000;
+        while !self.halted {
+            self.step()?;
+            if self.seq >= BUDGET {
+                return Err(IsaError::BudgetExhausted(BUDGET));
+            }
+        }
+        Ok(self.seq)
+    }
+}
+
+enum OperandValue<'a> {
+    Vec(&'a [u32]),
+    Broadcast(u32),
+}
+
+impl OperandValue<'_> {
+    fn at(&self, i: usize) -> u32 {
+        match self {
+            OperandValue::Vec(v) => v[i],
+            OperandValue::Broadcast(b) => *b,
+        }
+    }
+}
+
+fn scalar_op(op: ScalarOp, a: i64, b: i64) -> i64 {
+    match op {
+        ScalarOp::Add => a.wrapping_add(b),
+        ScalarOp::Sub => a.wrapping_sub(b),
+        ScalarOp::Mul => a.wrapping_mul(b),
+        ScalarOp::Div => {
+            if b == 0 {
+                -1
+            } else {
+                a.wrapping_div(b)
+            }
+        }
+        ScalarOp::Rem => {
+            if b == 0 {
+                a
+            } else {
+                a.wrapping_rem(b)
+            }
+        }
+        ScalarOp::And => a & b,
+        ScalarOp::Or => a | b,
+        ScalarOp::Xor => a ^ b,
+        ScalarOp::Sll => a.wrapping_shl((b & 63) as u32),
+        ScalarOp::Srl => ((a as u64).wrapping_shr((b & 63) as u32)) as i64,
+        ScalarOp::Sra => a.wrapping_shr((b & 63) as u32),
+        ScalarOp::Slt => i64::from(a < b),
+        ScalarOp::Sltu => i64::from((a as u64) < (b as u64)),
+    }
+}
+
+fn varith(op: VArithOp, a: u32, b: u32) -> u32 {
+    let (ai, bi) = (a as i32, b as i32);
+    match op {
+        VArithOp::Add => a.wrapping_add(b),
+        VArithOp::Sub => a.wrapping_sub(b),
+        VArithOp::Rsub => b.wrapping_sub(a),
+        VArithOp::Mul | VArithOp::Macc => a.wrapping_mul(b),
+        VArithOp::Mulh => ((i64::from(ai) * i64::from(bi)) >> 32) as u32,
+        VArithOp::Mulhu => ((u64::from(a) * u64::from(b)) >> 32) as u32,
+        VArithOp::Div => {
+            if bi == 0 {
+                u32::MAX
+            } else if ai == i32::MIN && bi == -1 {
+                ai as u32
+            } else {
+                (ai / bi) as u32
+            }
+        }
+        VArithOp::Divu => a.checked_div(b).unwrap_or(u32::MAX),
+        VArithOp::Rem => {
+            if bi == 0 {
+                a
+            } else if ai == i32::MIN && bi == -1 {
+                0
+            } else {
+                (ai % bi) as u32
+            }
+        }
+        VArithOp::Remu => a.checked_rem(b).unwrap_or(a),
+        VArithOp::And => a & b,
+        VArithOp::Or => a | b,
+        VArithOp::Xor => a ^ b,
+        VArithOp::Sll => a.wrapping_shl(b & 31),
+        VArithOp::Srl => a.wrapping_shr(b & 31),
+        VArithOp::Sra => (ai.wrapping_shr(b & 31)) as u32,
+        VArithOp::Min => ai.min(bi) as u32,
+        VArithOp::Max => ai.max(bi) as u32,
+        VArithOp::Minu => a.min(b),
+        VArithOp::Maxu => a.max(b),
+    }
+}
+
+fn vcmp(cond: VCmpCond, a: u32, b: u32) -> bool {
+    let (ai, bi) = (a as i32, b as i32);
+    match cond {
+        VCmpCond::Eq => a == b,
+        VCmpCond::Ne => a != b,
+        VCmpCond::Lt => ai < bi,
+        VCmpCond::Ltu => a < b,
+        VCmpCond::Le => ai <= bi,
+        VCmpCond::Leu => a <= b,
+        VCmpCond::Gt => ai > bi,
+        VCmpCond::Gtu => a > b,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::asm::Asm;
+    use crate::reg::{vreg, xreg};
+
+    fn run(asm: Asm, mem: Memory, hw_vl: u32) -> Interpreter {
+        let mut i = Interpreter::new(asm.assemble().unwrap(), mem, hw_vl);
+        i.run_to_halt().unwrap();
+        i
+    }
+
+    #[test]
+    fn scalar_arithmetic_and_branches() {
+        // Sum 1..=10 with a loop.
+        let mut a = Asm::new();
+        a.li(xreg::T0, 10);
+        a.li(xreg::T1, 0);
+        a.label("loop");
+        a.add(xreg::T1, xreg::T1, xreg::T0);
+        a.addi(xreg::T0, xreg::T0, -1);
+        a.bnez(xreg::T0, "loop");
+        a.halt();
+        let i = run(a, Memory::new(64), 4);
+        assert_eq!(i.xreg(xreg::T1), 55);
+    }
+
+    #[test]
+    fn x0_stays_zero() {
+        let mut a = Asm::new();
+        a.li(xreg::ZERO, 42);
+        a.halt();
+        let i = run(a, Memory::new(64), 4);
+        assert_eq!(i.xreg(xreg::ZERO), 0);
+    }
+
+    #[test]
+    fn scalar_loads_and_stores() {
+        let mut a = Asm::new();
+        a.li(xreg::A0, 0x100);
+        a.li(xreg::T0, 0x1234_5678);
+        a.sw(xreg::T0, xreg::A0, 0);
+        a.lw(xreg::T1, xreg::A0, 0);
+        a.sb(xreg::T1, xreg::A0, 8);
+        a.lb(xreg::T2, xreg::A0, 8);
+        a.halt();
+        let i = run(a, Memory::new(0x200), 4);
+        assert_eq!(i.xreg(xreg::T1), 0x1234_5678);
+        assert_eq!(i.xreg(xreg::T2), 0x78);
+    }
+
+    #[test]
+    fn setvl_saturates_to_hardware_length() {
+        let mut a = Asm::new();
+        a.li(xreg::A0, 1000);
+        a.setvl(xreg::T0, xreg::A0);
+        a.li(xreg::A0, 3);
+        a.setvl(xreg::T1, xreg::A0);
+        a.halt();
+        let i = run(a, Memory::new(64), 64);
+        assert_eq!(i.xreg(xreg::T0), 64);
+        assert_eq!(i.xreg(xreg::T1), 3);
+    }
+
+    #[test]
+    fn vector_add_and_store() {
+        let mut mem = Memory::new(0x1000);
+        for k in 0..8 {
+            mem.store_u32(0x100 + k * 4, k as u32 * 10);
+        }
+        let mut a = Asm::new();
+        a.li(xreg::A0, 8);
+        a.setvl(xreg::T0, xreg::A0);
+        a.li(xreg::A1, 0x100);
+        a.vload(vreg::V1, xreg::A1);
+        a.vadd(vreg::V2, vreg::V1, VOperand::Imm(7));
+        a.li(xreg::A2, 0x200);
+        a.vstore(vreg::V2, xreg::A2);
+        a.halt();
+        let i = run(a, mem, 8);
+        for k in 0..8u64 {
+            assert_eq!(i.memory().load_u32(0x200 + k * 4), k as u32 * 10 + 7);
+        }
+    }
+
+    #[test]
+    fn strided_and_indexed_access() {
+        let mut mem = Memory::new(0x1000);
+        for k in 0..16 {
+            mem.store_u32(0x100 + k * 4, k as u32);
+        }
+        let mut a = Asm::new();
+        a.li(xreg::A0, 4);
+        a.setvl(xreg::T0, xreg::A0);
+        a.li(xreg::A1, 0x100);
+        a.li(xreg::A2, 16); // byte stride 16 = every 4th element
+        a.vload_strided(vreg::V1, xreg::A1, xreg::A2);
+        // gather elements 1,3,5,7 via byte offsets 4,12,20,28
+        a.vid(vreg::V3);
+        a.vsll(vreg::V3, vreg::V3, VOperand::Imm(3));
+        a.vadd(vreg::V3, vreg::V3, VOperand::Imm(4));
+        a.vload_indexed(vreg::V2, xreg::A1, vreg::V3);
+        a.halt();
+        let i = run(a, mem, 4);
+        assert_eq!(i.vreg(vreg::V1), &[0, 4, 8, 12]);
+        assert_eq!(i.vreg(vreg::V2), &[1, 3, 5, 7]);
+    }
+
+    #[test]
+    fn masked_execution() {
+        let mut a = Asm::new();
+        a.li(xreg::A0, 4);
+        a.setvl(xreg::T0, xreg::A0);
+        a.vid(vreg::V1);
+        // mask = element < 2
+        a.vcmp(VCmpCond::Lt, vreg::V0, vreg::V1, VOperand::Imm(2));
+        a.vmv(vreg::V2, VOperand::Imm(9));
+        a.vop_masked(VArithOp::Add, vreg::V2, vreg::V2, VOperand::Imm(100));
+        a.halt();
+        let i = run(a, Memory::new(64), 4);
+        assert_eq!(i.vreg(vreg::V2), &[109, 109, 9, 9]);
+    }
+
+    #[test]
+    fn merge_and_mask_logic() {
+        let mut a = Asm::new();
+        a.li(xreg::A0, 4);
+        a.setvl(xreg::T0, xreg::A0);
+        a.vid(vreg::V1);
+        a.vcmp(VCmpCond::Eq, vreg::V2, vreg::V1, VOperand::Imm(1));
+        a.vcmp(VCmpCond::Eq, vreg::V3, vreg::V1, VOperand::Imm(2));
+        a.vmask(crate::inst::MaskOp::Or, vreg::V0, vreg::V2, vreg::V3);
+        a.vmerge(vreg::V4, vreg::V1, VOperand::Imm(-1));
+        a.halt();
+        let i = run(a, Memory::new(64), 4);
+        assert_eq!(i.vreg(vreg::V4), &[u32::MAX, 1, 2, u32::MAX]);
+    }
+
+    #[test]
+    fn reductions() {
+        let mut a = Asm::new();
+        a.li(xreg::A0, 6);
+        a.setvl(xreg::T0, xreg::A0);
+        a.vid(vreg::V1); // 0..5
+        a.vmv(vreg::V2, VOperand::Imm(100));
+        a.vred(RedOp::Sum, vreg::V3, vreg::V1, vreg::V2);
+        a.vmv_xs(xreg::T1, vreg::V3);
+        a.vred(RedOp::Max, vreg::V4, vreg::V1, vreg::V1);
+        a.vmv_xs(xreg::T2, vreg::V4);
+        a.halt();
+        let i = run(a, Memory::new(64), 8);
+        assert_eq!(i.xreg(xreg::T1), 115); // 100 + 0+1+..+5
+        assert_eq!(i.xreg(xreg::T2), 5);
+    }
+
+    #[test]
+    fn slides_and_gather() {
+        let mut a = Asm::new();
+        a.li(xreg::A0, 4);
+        a.setvl(xreg::T0, xreg::A0);
+        a.vid(vreg::V1); // 0 1 2 3
+        a.li(xreg::T1, 1);
+        a.vslide(vreg::V2, vreg::V1, xreg::T1, false); // down: 1 2 3 0
+        a.vmv(vreg::V3, VOperand::Reg(vreg::V1));
+        a.vrgather(vreg::V4, vreg::V2, vreg::V1); // identity gather of V2
+        a.halt();
+        let i = run(a, Memory::new(64), 4);
+        assert_eq!(i.vreg(vreg::V2), &[1, 2, 3, 0]);
+        assert_eq!(i.vreg(vreg::V4), &[1, 2, 3, 0]);
+    }
+
+    #[test]
+    fn retire_records_carry_dependences() {
+        let mut a = Asm::new();
+        a.li(xreg::T0, 5);
+        a.addi(xreg::T1, xreg::T0, 1);
+        a.halt();
+        let mut i = Interpreter::new(a.assemble().unwrap(), Memory::new(64), 4);
+        let r0 = i.step().unwrap().unwrap();
+        assert_eq!(r0.write, Some(RegId::X(xreg::T0)));
+        let r1 = i.step().unwrap().unwrap();
+        assert_eq!(r1.reads[0], Some(RegId::X(xreg::T0)));
+        assert_eq!(r1.write, Some(RegId::X(xreg::T1)));
+    }
+
+    #[test]
+    fn branch_outcomes_recorded() {
+        let mut a = Asm::new();
+        a.li(xreg::T0, 1);
+        a.beqz(xreg::T0, "skip"); // not taken
+        a.li(xreg::T1, 7);
+        a.label("skip");
+        a.halt();
+        let mut i = Interpreter::new(a.assemble().unwrap(), Memory::new(64), 4);
+        i.step().unwrap();
+        let b = i.step().unwrap().unwrap();
+        assert_eq!(b.branch, Some((false, 2)));
+    }
+
+    #[test]
+    fn vector_mem_effects() {
+        let mut a = Asm::new();
+        a.li(xreg::A0, 4);
+        a.setvl(xreg::T0, xreg::A0);
+        a.li(xreg::A1, 0x100);
+        a.vload(vreg::V1, xreg::A1);
+        a.halt();
+        let mut i = Interpreter::new(a.assemble().unwrap(), Memory::new(0x200), 4);
+        i.step().unwrap();
+        i.step().unwrap();
+        i.step().unwrap();
+        let r = i.step().unwrap().unwrap();
+        assert_eq!(
+            r.mem,
+            MemEffect::VecUnit {
+                base: 0x100,
+                bytes: 16,
+                store: false
+            }
+        );
+    }
+
+    #[test]
+    fn runaway_detection() {
+        let mut a = Asm::new();
+        a.label("spin");
+        a.j("spin");
+        let mut i = Interpreter::new(a.assemble().unwrap(), Memory::new(16), 4);
+        // Not running the full 500M budget in a test; single steps work.
+        for _ in 0..100 {
+            assert!(i.step().unwrap().is_some());
+        }
+        assert!(!i.halted());
+    }
+
+    #[test]
+    fn division_edge_cases_match_rvv() {
+        assert_eq!(varith(VArithOp::Div, 5, 0), u32::MAX);
+        assert_eq!(varith(VArithOp::Rem, 5, 0), 5);
+        assert_eq!(
+            varith(VArithOp::Div, i32::MIN as u32, -1i32 as u32),
+            i32::MIN as u32
+        );
+        assert_eq!(varith(VArithOp::Rem, i32::MIN as u32, -1i32 as u32), 0);
+    }
+}

@@ -1,0 +1,165 @@
+//! Flat byte-addressable simulated memory.
+
+/// Little-endian flat memory used by the functional interpreter.
+///
+/// Addresses start at zero; workloads conventionally place data from
+/// `0x1000` upward. Accesses outside the allocated size panic — a
+/// simulated segfault that fails tests loudly instead of silently.
+///
+/// # Examples
+///
+/// ```
+/// use eve_isa::Memory;
+/// let mut mem = Memory::new(4096);
+/// mem.store_u32(0x100, 0xDEAD_BEEF);
+/// assert_eq!(mem.load_u32(0x100), 0xDEAD_BEEF);
+/// assert_eq!(mem.load_u8(0x100), 0xEF); // little endian
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Memory {
+    bytes: Vec<u8>,
+}
+
+impl Memory {
+    /// Allocates `size` bytes of zeroed memory.
+    #[must_use]
+    pub fn new(size: usize) -> Self {
+        Self {
+            bytes: vec![0; size],
+        }
+    }
+
+    /// Total size in bytes.
+    #[must_use]
+    pub fn size(&self) -> usize {
+        self.bytes.len()
+    }
+
+    fn slice(&self, addr: u64, len: u64) -> &[u8] {
+        let a = addr as usize;
+        let l = len as usize;
+        assert!(
+            a.checked_add(l).is_some_and(|end| end <= self.bytes.len()),
+            "memory access at {addr:#x}+{len} out of bounds ({} bytes)",
+            self.bytes.len()
+        );
+        &self.bytes[a..a + l]
+    }
+
+    fn slice_mut(&mut self, addr: u64, len: u64) -> &mut [u8] {
+        let a = addr as usize;
+        let l = len as usize;
+        assert!(
+            a.checked_add(l).is_some_and(|end| end <= self.bytes.len()),
+            "memory access at {addr:#x}+{len} out of bounds ({} bytes)",
+            self.bytes.len()
+        );
+        &mut self.bytes[a..a + l]
+    }
+
+    /// Loads one byte.
+    #[must_use]
+    pub fn load_u8(&self, addr: u64) -> u8 {
+        self.slice(addr, 1)[0]
+    }
+
+    /// Loads a 16-bit little-endian value.
+    #[must_use]
+    pub fn load_u16(&self, addr: u64) -> u16 {
+        u16::from_le_bytes(self.slice(addr, 2).try_into().expect("len 2"))
+    }
+
+    /// Loads a 32-bit little-endian value.
+    #[must_use]
+    pub fn load_u32(&self, addr: u64) -> u32 {
+        u32::from_le_bytes(self.slice(addr, 4).try_into().expect("len 4"))
+    }
+
+    /// Loads a 64-bit little-endian value.
+    #[must_use]
+    pub fn load_u64(&self, addr: u64) -> u64 {
+        u64::from_le_bytes(self.slice(addr, 8).try_into().expect("len 8"))
+    }
+
+    /// Stores one byte.
+    pub fn store_u8(&mut self, addr: u64, value: u8) {
+        self.slice_mut(addr, 1)[0] = value;
+    }
+
+    /// Stores a 16-bit little-endian value.
+    pub fn store_u16(&mut self, addr: u64, value: u16) {
+        self.slice_mut(addr, 2).copy_from_slice(&value.to_le_bytes());
+    }
+
+    /// Stores a 32-bit little-endian value.
+    pub fn store_u32(&mut self, addr: u64, value: u32) {
+        self.slice_mut(addr, 4).copy_from_slice(&value.to_le_bytes());
+    }
+
+    /// Stores a 64-bit little-endian value.
+    pub fn store_u64(&mut self, addr: u64, value: u64) {
+        self.slice_mut(addr, 8).copy_from_slice(&value.to_le_bytes());
+    }
+
+    /// Reads `count` consecutive 32-bit words starting at `addr`.
+    #[must_use]
+    pub fn load_u32_slice(&self, addr: u64, count: usize) -> Vec<u32> {
+        (0..count)
+            .map(|i| self.load_u32(addr + i as u64 * 4))
+            .collect()
+    }
+
+    /// Writes consecutive 32-bit words starting at `addr`.
+    pub fn store_u32_slice(&mut self, addr: u64, values: &[u32]) {
+        for (i, &v) in values.iter().enumerate() {
+            self.store_u32(addr + i as u64 * 4, v);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_all_widths() {
+        let mut m = Memory::new(64);
+        m.store_u8(0, 0xAB);
+        m.store_u16(2, 0xCDEF);
+        m.store_u32(4, 0x1234_5678);
+        m.store_u64(8, 0x0102_0304_0506_0708);
+        assert_eq!(m.load_u8(0), 0xAB);
+        assert_eq!(m.load_u16(2), 0xCDEF);
+        assert_eq!(m.load_u32(4), 0x1234_5678);
+        assert_eq!(m.load_u64(8), 0x0102_0304_0506_0708);
+    }
+
+    #[test]
+    fn little_endian_layout() {
+        let mut m = Memory::new(8);
+        m.store_u32(0, 0xAABB_CCDD);
+        assert_eq!(m.load_u8(0), 0xDD);
+        assert_eq!(m.load_u8(3), 0xAA);
+    }
+
+    #[test]
+    fn slice_helpers() {
+        let mut m = Memory::new(64);
+        m.store_u32_slice(16, &[1, 2, 3]);
+        assert_eq!(m.load_u32_slice(16, 3), vec![1, 2, 3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn out_of_bounds_panics() {
+        let m = Memory::new(16);
+        let _ = m.load_u32(14);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn overflow_address_panics() {
+        let m = Memory::new(16);
+        let _ = m.load_u64(u64::MAX - 2);
+    }
+}

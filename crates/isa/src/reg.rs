@@ -1,0 +1,191 @@
+//! Register names: 32 scalar (`x0`–`x31`) and 32 vector (`v0`–`v31`)
+//! registers, plus RV-style ABI aliases.
+
+use std::fmt;
+
+/// A scalar (integer) register. `x0` is hard-wired to zero.
+///
+/// # Examples
+///
+/// ```
+/// use eve_isa::{xreg, Xreg};
+/// assert_eq!(xreg::ZERO, Xreg::new(0));
+/// assert_eq!(xreg::A0.index(), 10);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Xreg(u8);
+
+impl Xreg {
+    /// Creates `x<index>`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= 32`.
+    #[must_use]
+    pub const fn new(index: u8) -> Self {
+        assert!(index < 32, "scalar register index out of range");
+        Xreg(index)
+    }
+
+    /// The register number.
+    #[must_use]
+    pub const fn index(&self) -> u8 {
+        self.0
+    }
+
+    /// Whether this is the hard-wired zero register.
+    #[must_use]
+    pub const fn is_zero(&self) -> bool {
+        self.0 == 0
+    }
+}
+
+impl fmt::Display for Xreg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "x{}", self.0)
+    }
+}
+
+/// A vector register. `v0` doubles as the mask register, as in RVV.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Vreg(u8);
+
+impl Vreg {
+    /// Creates `v<index>`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= 32`.
+    #[must_use]
+    pub const fn new(index: u8) -> Self {
+        assert!(index < 32, "vector register index out of range");
+        Vreg(index)
+    }
+
+    /// The register number.
+    #[must_use]
+    pub const fn index(&self) -> u8 {
+        self.0
+    }
+}
+
+impl fmt::Display for Vreg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+/// Either register file, for dependency tracking in timing models.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RegId {
+    /// A scalar register.
+    X(Xreg),
+    /// A vector register.
+    V(Vreg),
+}
+
+impl fmt::Display for RegId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RegId::X(r) => r.fmt(f),
+            RegId::V(r) => r.fmt(f),
+        }
+    }
+}
+
+/// Named scalar registers (RV ABI subset).
+pub mod xreg {
+    use super::Xreg;
+
+    /// Hard-wired zero.
+    pub const ZERO: Xreg = Xreg::new(0);
+    /// Return address.
+    pub const RA: Xreg = Xreg::new(1);
+    /// Stack pointer.
+    pub const SP: Xreg = Xreg::new(2);
+    /// Argument/return registers.
+    pub const A0: Xreg = Xreg::new(10);
+    pub const A1: Xreg = Xreg::new(11);
+    pub const A2: Xreg = Xreg::new(12);
+    pub const A3: Xreg = Xreg::new(13);
+    pub const A4: Xreg = Xreg::new(14);
+    pub const A5: Xreg = Xreg::new(15);
+    pub const A6: Xreg = Xreg::new(16);
+    pub const A7: Xreg = Xreg::new(17);
+    /// Temporaries.
+    pub const T0: Xreg = Xreg::new(5);
+    pub const T1: Xreg = Xreg::new(6);
+    pub const T2: Xreg = Xreg::new(7);
+    pub const T3: Xreg = Xreg::new(28);
+    pub const T4: Xreg = Xreg::new(29);
+    pub const T5: Xreg = Xreg::new(30);
+    pub const T6: Xreg = Xreg::new(31);
+    /// Saved registers.
+    pub const S0: Xreg = Xreg::new(8);
+    pub const S1: Xreg = Xreg::new(9);
+    pub const S2: Xreg = Xreg::new(18);
+    pub const S3: Xreg = Xreg::new(19);
+    pub const S4: Xreg = Xreg::new(20);
+    pub const S5: Xreg = Xreg::new(21);
+    pub const S6: Xreg = Xreg::new(22);
+    pub const S7: Xreg = Xreg::new(23);
+    pub const S8: Xreg = Xreg::new(24);
+    pub const S9: Xreg = Xreg::new(25);
+    pub const S10: Xreg = Xreg::new(26);
+    pub const S11: Xreg = Xreg::new(27);
+}
+
+/// Named vector registers.
+pub mod vreg {
+    use super::Vreg;
+
+    /// The mask register.
+    pub const V0: Vreg = Vreg::new(0);
+    pub const V1: Vreg = Vreg::new(1);
+    pub const V2: Vreg = Vreg::new(2);
+    pub const V3: Vreg = Vreg::new(3);
+    pub const V4: Vreg = Vreg::new(4);
+    pub const V5: Vreg = Vreg::new(5);
+    pub const V6: Vreg = Vreg::new(6);
+    pub const V7: Vreg = Vreg::new(7);
+    pub const V8: Vreg = Vreg::new(8);
+    pub const V9: Vreg = Vreg::new(9);
+    pub const V10: Vreg = Vreg::new(10);
+    pub const V11: Vreg = Vreg::new(11);
+    pub const V12: Vreg = Vreg::new(12);
+    pub const V13: Vreg = Vreg::new(13);
+    pub const V14: Vreg = Vreg::new(14);
+    pub const V15: Vreg = Vreg::new(15);
+    pub const V16: Vreg = Vreg::new(16);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_register() {
+        assert!(xreg::ZERO.is_zero());
+        assert!(!xreg::A0.is_zero());
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(xreg::T3.to_string(), "x28");
+        assert_eq!(vreg::V2.to_string(), "v2");
+        assert_eq!(RegId::X(xreg::A0).to_string(), "x10");
+        assert_eq!(RegId::V(vreg::V0).to_string(), "v0");
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn xreg_range_checked() {
+        let _ = Xreg::new(32);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn vreg_range_checked() {
+        let _ = Vreg::new(255);
+    }
+}

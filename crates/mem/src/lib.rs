@@ -1,0 +1,58 @@
+//! Memory-system substrate: caches, MSHRs, DRAM, and the TLB.
+//!
+//! The paper simulates its systems on gem5 with ARM's CHI cache model
+//! (Table III). This crate provides the equivalent substrate as a
+//! latency/occupancy model: a three-level hierarchy (L1I/L1D → private
+//! L2 → shared LLC) backed by a single-channel DDR4-2400-like DRAM.
+//! Each level models
+//!
+//! * hit latency and banked access (bank busy times bound bandwidth),
+//! * a finite set of MSHRs — misses wait for a free slot, and that wait
+//!   is reported separately so vector memory units can attribute stalls
+//!   (the Fig 8 measurement),
+//! * miss-status coalescing: a second miss to an in-flight line
+//!   completes with the first and consumes no MSHR,
+//! * LRU replacement with dirty-line writebacks charging downstream
+//!   bandwidth,
+//! * way-partitioning of the L2 for EVE's vector mode (§V-E): spawning
+//!   an engine halves the associativity and invalidates the donated
+//!   ways, with writebacks accounted linearly per line.
+//!
+//! # Examples
+//!
+//! ```
+//! use eve_common::Cycle;
+//! use eve_mem::{Hierarchy, HierarchyConfig, Level};
+//!
+//! let mut mem = Hierarchy::new(HierarchyConfig::table_iii());
+//! // Cold miss goes to DRAM...
+//! let a = mem.access(Level::L1D, 0x1000, false, Cycle(0));
+//! assert_eq!(a.hit_level, Level::Dram);
+//! // ...the next access to the same line hits in L1D.
+//! let b = mem.access(Level::L1D, 0x1004, false, a.complete);
+//! assert_eq!(b.hit_level, Level::L1D);
+//! assert!(b.complete < a.complete + Cycle(10));
+//! ```
+
+pub mod cache;
+pub mod config;
+pub mod dram;
+pub mod hierarchy;
+pub mod shared;
+pub mod tlb;
+
+pub use cache::Cache;
+pub use config::{CacheConfig, DramConfig, HierarchyConfig};
+pub use dram::Dram;
+pub use hierarchy::{Access, Hierarchy, Level};
+pub use shared::SharedLlc;
+pub use tlb::Tlb;
+
+/// Cache line size used throughout the hierarchy, in bytes.
+pub const LINE_BYTES: u64 = 64;
+
+/// Maps a byte address to its cache-line address.
+#[must_use]
+pub fn line_of(addr: u64) -> u64 {
+    addr / LINE_BYTES
+}

@@ -1,0 +1,273 @@
+//! Chip-multiprocessor simulation: several cores, each with private
+//! L1s/L2 (and optionally a private ephemeral engine), sharing one LLC
+//! and memory channel.
+//!
+//! The paper frames EVE inside a CMP — "each core in a CMP can
+//! dynamically create an ephemeral private vector engine" (§I) — but
+//! evaluates a single core. This module quantifies the missing piece:
+//! how private engines interact through the *shared* memory system.
+//! Cores run disjoint copies of a workload laid out in disjoint
+//! address regions; contention appears only where it physically lives,
+//! in the LLC's banks/MSHRs and the DRAM channel.
+
+use crate::report::RunReport;
+use crate::runner::{CoreStats, SimError};
+use crate::system::SystemKind;
+use eve_common::Cycle;
+use eve_core::EveEngine;
+use eve_cpu::{IoCore, NoVector, O3Core, VectorUnit};
+use eve_isa::{Characterization, Interpreter};
+use eve_mem::{Hierarchy, HierarchyConfig, SharedLlc};
+use eve_vector::{DecoupledVector, IntegratedVector};
+use eve_workloads::{Built, Workload};
+
+/// Address spacing between cores' data regions (32 MB: larger than any
+/// suite workload's footprint).
+const CORE_STRIDE: u64 = 0x200_0000;
+
+/// Result of a CMP run.
+#[derive(Debug, Clone)]
+pub struct CmpReport {
+    /// Core count.
+    pub cores: usize,
+    /// Per-core reports (shared-LLC/DRAM stats appear in each core's
+    /// roll-up; read them once).
+    pub per_core: Vec<RunReport>,
+    /// When the last core finished.
+    pub finish: Cycle,
+}
+
+impl CmpReport {
+    /// The slowest core's wall time — the CMP's completion time.
+    #[must_use]
+    pub fn worst_wall_ps(&self) -> u64 {
+        self.per_core.iter().map(|r| r.wall_ps.0).max().unwrap_or(0)
+    }
+}
+
+/// One core mid-simulation: its interpreter plus timing model.
+trait CoreDriver {
+    /// Executes one instruction; `false` once halted.
+    fn step(&mut self) -> Result<bool, SimError>;
+    /// Finalizes and produces this core's report.
+    fn finish(&mut self, system: SystemKind) -> Result<RunReport, SimError>;
+}
+
+struct Driver<C> {
+    built: Built,
+    interp: Interpreter,
+    core: C,
+    chars: Characterization,
+}
+
+impl<C> Driver<C> {
+    fn new(built: Built, hw_vl: u32, vector: bool, core: C) -> Self {
+        let prog = if vector {
+            built.vector.clone()
+        } else {
+            built.scalar.clone()
+        };
+        let interp = Interpreter::new(prog, built.memory.clone(), hw_vl);
+        Self {
+            built,
+            interp,
+            core,
+            chars: Characterization::new(),
+        }
+    }
+}
+
+impl CoreDriver for Driver<IoCore> {
+    fn step(&mut self) -> Result<bool, SimError> {
+        match self.interp.step()? {
+            Some(r) => {
+                self.chars.record(&r);
+                self.core.retire(&r);
+                Ok(true)
+            }
+            None => Ok(false),
+        }
+    }
+
+    fn finish(&mut self, system: SystemKind) -> Result<RunReport, SimError> {
+        let cycles = self.core.finish();
+        self.built
+            .verify(self.interp.memory())
+            .map_err(SimError::Verification)?;
+        Ok(RunReport {
+            system,
+            workload: self.built.name,
+            wall_ps: cycles.to_picos(system.cycle_time()),
+            cycles,
+            dyn_insts: self.interp.retired_count(),
+            stats: self.core.stats(),
+            characterization: self.chars.clone(),
+            breakdown: None,
+        })
+    }
+}
+
+impl<V: VectorUnit> CoreDriver for Driver<O3Core<V>>
+where
+    O3Core<V>: CoreStats<V>,
+{
+    fn step(&mut self) -> Result<bool, SimError> {
+        match self.interp.step()? {
+            Some(r) => {
+                self.chars.record(&r);
+                self.core.retire(&r);
+                Ok(true)
+            }
+            None => Ok(false),
+        }
+    }
+
+    fn finish(&mut self, system: SystemKind) -> Result<RunReport, SimError> {
+        let cycles = self.core.finish();
+        self.built
+            .verify(self.interp.memory())
+            .map_err(SimError::Verification)?;
+        Ok(RunReport {
+            system,
+            workload: self.built.name,
+            wall_ps: cycles.to_picos(system.cycle_time()),
+            cycles,
+            dyn_insts: self.interp.retired_count(),
+            stats: self.core.stats(),
+            characterization: self.chars.clone(),
+            breakdown: self.core.breakdown(),
+        })
+    }
+}
+
+/// Runs `cores` copies of `workload` — one per core, in disjoint
+/// address regions — on `system`-type cores sharing one LLC and DRAM.
+///
+/// # Errors
+///
+/// Propagates simulation and verification failures; rejects a zero
+/// core count or an invalid EVE factor as [`SimError::Config`].
+pub fn run_cmp(
+    system: SystemKind,
+    workload: &Workload,
+    cores: usize,
+) -> Result<CmpReport, SimError> {
+    if cores == 0 {
+        return Err(SimError::Config("a CMP needs at least one core".into()));
+    }
+    let cfg = HierarchyConfig::table_iii();
+    let shared = SharedLlc::new(cfg.llc.clone(), cfg.dram);
+    let mut drivers: Vec<Box<dyn CoreDriver>> = Vec::with_capacity(cores);
+    for c in 0..cores {
+        let built = workload.build_at(eve_workloads::common::DATA_BASE + c as u64 * CORE_STRIDE);
+        let hier = Hierarchy::with_shared(cfg.clone(), shared.clone());
+        let driver: Box<dyn CoreDriver> = match system {
+            SystemKind::Io => Box::new(Driver::new(built, 1, false, IoCore::with_hierarchy(hier))),
+            SystemKind::O3 => Box::new(Driver::new(
+                built,
+                1,
+                false,
+                O3Core::with_unit_and_hierarchy(NoVector, hier),
+            )),
+            SystemKind::O3Iv => {
+                let core = O3Core::with_unit_and_hierarchy(IntegratedVector::new(), hier);
+                Box::new(Driver::new(built, core.hw_vl(), true, core))
+            }
+            SystemKind::O3Dv => {
+                let core = O3Core::with_unit_and_hierarchy(DecoupledVector::new(), hier);
+                Box::new(Driver::new(built, core.hw_vl(), true, core))
+            }
+            SystemKind::EveN(n) => {
+                let engine = EveEngine::new(n).map_err(|e| SimError::Config(e.to_string()))?;
+                let core = O3Core::with_unit_and_hierarchy(engine, hier);
+                Box::new(Driver::new(built, core.hw_vl(), true, core))
+            }
+        };
+        drivers.push(driver);
+    }
+
+    // Interleave cores round-robin, one instruction at a time, so
+    // their accesses hit the shared LLC in roughly chronological
+    // order.
+    let mut live = cores;
+    let mut running = vec![true; cores];
+    while live > 0 {
+        for (c, driver) in drivers.iter_mut().enumerate() {
+            if running[c] && !driver.step()? {
+                running[c] = false;
+                live -= 1;
+            }
+        }
+    }
+
+    let per_core: Vec<RunReport> = drivers
+        .iter_mut()
+        .map(|d| d.finish(system))
+        .collect::<Result<_, _>>()?;
+    let finish = per_core.iter().map(|r| r.cycles).max().unwrap_or(Cycle::ZERO);
+    Ok(CmpReport {
+        cores,
+        per_core,
+        finish,
+    })
+}
+
+// O3 without a vector unit still needs a CoreStats impl for the
+// generic driver.
+impl CoreStats<NoVector> for O3Core<NoVector> {
+    fn breakdown(&self) -> Option<eve_core::StallBreakdown> {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_cores_rejected() {
+        let err = run_cmp(SystemKind::EveN(8), &Workload::vvadd(64), 0).unwrap_err();
+        assert!(matches!(err, SimError::Config(_)));
+    }
+
+    #[test]
+    fn single_core_cmp_matches_single_core_runner() {
+        let w = Workload::vvadd(2048);
+        let cmp = run_cmp(SystemKind::EveN(8), &w, 1).unwrap();
+        let solo = crate::Runner::new().run(SystemKind::EveN(8), &w).unwrap();
+        assert_eq!(cmp.per_core[0].cycles, solo.cycles);
+    }
+
+    #[test]
+    fn contention_slows_cores_down() {
+        // A memory-bound kernel on 4 engines sharing one DRAM channel:
+        // the slowest core must be clearly slower than a solo run.
+        let w = Workload::vvadd(8192);
+        let solo = run_cmp(SystemKind::EveN(8), &w, 1).unwrap();
+        let quad = run_cmp(SystemKind::EveN(8), &w, 4).unwrap();
+        let slowdown = quad.finish.0 as f64 / solo.finish.0 as f64;
+        assert!(slowdown > 1.5, "expected DRAM contention, got {slowdown:.2}x");
+        // And every core still verified its golden outputs (finish()
+        // would have errored otherwise).
+        assert_eq!(quad.per_core.len(), 4);
+    }
+
+    #[test]
+    fn compute_bound_kernels_scale_cleanly() {
+        let w = Workload::Mmult { n: 16 };
+        let solo = run_cmp(SystemKind::EveN(8), &w, 1).unwrap();
+        let quad = run_cmp(SystemKind::EveN(8), &w, 4).unwrap();
+        let slowdown = quad.finish.0 as f64 / solo.finish.0 as f64;
+        assert!(
+            slowdown < 1.3,
+            "compute-bound work should barely contend: {slowdown:.2}x"
+        );
+    }
+
+    #[test]
+    fn scalar_cmp_runs() {
+        let cmp = run_cmp(SystemKind::O3, &Workload::vvadd(512), 2).unwrap();
+        assert_eq!(cmp.cores, 2);
+        assert!(cmp.per_core.iter().all(|r| r.cycles.0 > 0));
+    }
+}

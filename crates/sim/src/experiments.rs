@@ -1,0 +1,220 @@
+//! Experiment drivers for the paper's tables and figures.
+//!
+//! Each function sweeps the systems × workloads matrix a figure needs
+//! and returns a serializable result the bench binaries print and
+//! EXPERIMENTS.md records.
+
+use crate::runner::{Runner, SimError};
+use crate::system::SystemKind;
+use eve_workloads::Workload;
+use serde::Serialize;
+use std::collections::BTreeMap;
+
+/// One cell of the performance matrix.
+#[derive(Debug, Clone, Serialize)]
+pub struct PerfCell {
+    /// System label.
+    pub system: String,
+    /// Simulated cycles.
+    pub cycles: u64,
+    /// Wall picoseconds (cycle-time adjusted).
+    pub wall_ps: u64,
+    /// Speedup over the IO baseline (Fig 6's y-axis).
+    pub speedup_vs_io: f64,
+}
+
+/// Fig 6 / Table IV performance data for one workload.
+#[derive(Debug, Clone, Serialize)]
+pub struct WorkloadPerf {
+    /// Kernel name.
+    pub workload: String,
+    /// Scalar dynamic instructions (Table IV `DIns`).
+    pub scalar_dyn_insts: u64,
+    /// Vector dynamic instructions.
+    pub vector_dyn_insts: u64,
+    /// Per-system cells, in [`SystemKind::all`] order.
+    pub cells: Vec<PerfCell>,
+}
+
+/// The full Fig 6 sweep.
+///
+/// # Errors
+///
+/// Propagates the first simulation failure.
+pub fn performance_matrix(workloads: &[Workload]) -> Result<Vec<WorkloadPerf>, SimError> {
+    let runner = Runner::new();
+    let mut out = Vec::new();
+    for w in workloads {
+        let io = runner.run(SystemKind::Io, w)?;
+        let mut cells = Vec::new();
+        let mut vector_dyn = 0;
+        for sys in SystemKind::all() {
+            let r = if sys == SystemKind::Io {
+                io.clone()
+            } else {
+                runner.run(sys, w)?
+            };
+            if sys.is_vector() {
+                vector_dyn = r.dyn_insts;
+            }
+            cells.push(PerfCell {
+                system: sys.to_string(),
+                cycles: r.cycles.0,
+                wall_ps: r.wall_ps.0,
+                speedup_vs_io: r.speedup_over(&io).max(f64::MIN_POSITIVE),
+            });
+        }
+        out.push(WorkloadPerf {
+            workload: w.name().to_string(),
+            scalar_dyn_insts: io.dyn_insts,
+            vector_dyn_insts: vector_dyn,
+            cells,
+        });
+    }
+    Ok(out)
+}
+
+/// Geometric mean of speedups for one system across workloads.
+#[must_use]
+pub fn geomean_speedup(perf: &[WorkloadPerf], system: &str) -> f64 {
+    let mut log_sum = 0.0;
+    let mut count = 0usize;
+    for wp in perf {
+        if let Some(cell) = wp.cells.iter().find(|c| c.system == system) {
+            log_sum += cell.speedup_vs_io.ln();
+            count += 1;
+        }
+    }
+    if count == 0 {
+        0.0
+    } else {
+        (log_sum / count as f64).exp()
+    }
+}
+
+/// Fig 7 data: the EVE stall breakdown per workload per design point,
+/// normalized to EVE-1's total.
+#[derive(Debug, Clone, Serialize)]
+pub struct BreakdownRow {
+    /// Kernel name.
+    pub workload: String,
+    /// EVE factor.
+    pub factor: u32,
+    /// `(category, fraction-of-EVE-1-total)` in plot order.
+    pub fractions: BTreeMap<String, f64>,
+    /// Total cycles of this design point.
+    pub total_cycles: u64,
+}
+
+/// Runs the Fig 7 sweep.
+///
+/// # Errors
+///
+/// Propagates the first simulation failure.
+pub fn breakdown_matrix(workloads: &[Workload]) -> Result<Vec<BreakdownRow>, SimError> {
+    let runner = Runner::new();
+    let mut out = Vec::new();
+    for w in workloads {
+        let mut eve1_total: f64 = 0.0;
+        for sys in SystemKind::eve_points() {
+            let SystemKind::EveN(n) = sys else { unreachable!() };
+            let r = runner.run(sys, w)?;
+            let b = r.breakdown.expect("EVE runs have breakdowns");
+            if n == 1 {
+                eve1_total = b.total().0.max(1) as f64;
+            }
+            let fractions = b
+                .entries()
+                .iter()
+                .map(|(k, v)| ((*k).to_string(), v.0 as f64 / eve1_total))
+                .collect();
+            out.push(BreakdownRow {
+                workload: w.name().to_string(),
+                factor: n,
+                fractions,
+                total_cycles: r.cycles.0,
+            });
+        }
+    }
+    Ok(out)
+}
+
+/// Fig 8 data: the fraction of time the VMU stalls issuing to the LLC.
+#[derive(Debug, Clone, Serialize)]
+pub struct VmuStallRow {
+    /// Kernel name.
+    pub workload: String,
+    /// EVE factor.
+    pub factor: u32,
+    /// Stall fraction in `[0, ...)`.
+    pub stall_fraction: f64,
+}
+
+/// Runs the Fig 8 sweep.
+///
+/// # Errors
+///
+/// Propagates the first simulation failure.
+pub fn vmu_stall_matrix(workloads: &[Workload]) -> Result<Vec<VmuStallRow>, SimError> {
+    let runner = Runner::new();
+    let mut out = Vec::new();
+    for w in workloads {
+        for sys in SystemKind::eve_points() {
+            let SystemKind::EveN(n) = sys else { unreachable!() };
+            let r = runner.run(sys, w)?;
+            out.push(VmuStallRow {
+                workload: w.name().to_string(),
+                factor: n,
+                stall_fraction: r.vmu_llc_stall_fraction().unwrap_or(0.0),
+            });
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_tiny() -> Vec<Workload> {
+        vec![Workload::Vvadd { n: 600 }, Workload::Mmult { n: 10 }]
+    }
+
+    #[test]
+    fn performance_matrix_covers_all_systems() {
+        let perf = performance_matrix(&two_tiny()).unwrap();
+        assert_eq!(perf.len(), 2);
+        for wp in &perf {
+            assert_eq!(wp.cells.len(), 10);
+            let io = &wp.cells[0];
+            assert!((io.speedup_vs_io - 1.0).abs() < 1e-9);
+            assert!(wp.scalar_dyn_insts > wp.vector_dyn_insts);
+        }
+    }
+
+    #[test]
+    fn geomean_of_identity_is_one() {
+        let perf = performance_matrix(&two_tiny()).unwrap();
+        let g = geomean_speedup(&perf, "IO");
+        assert!((g - 1.0).abs() < 1e-9);
+        assert_eq!(geomean_speedup(&perf, "NOPE"), 0.0);
+    }
+
+    #[test]
+    fn breakdown_rows_normalize_to_eve1() {
+        let rows = breakdown_matrix(&[Workload::Vvadd { n: 600 }]).unwrap();
+        assert_eq!(rows.len(), 6);
+        let eve1: f64 = rows[0].fractions.values().sum();
+        assert!((eve1 - 1.0).abs() < 1e-9, "EVE-1 fractions sum to 1: {eve1}");
+    }
+
+    #[test]
+    fn vmu_stall_fractions_are_finite() {
+        let rows = vmu_stall_matrix(&[Workload::Vvadd { n: 600 }]).unwrap();
+        assert_eq!(rows.len(), 6);
+        for r in rows {
+            assert!(r.stall_fraction.is_finite());
+            assert!(r.stall_fraction >= 0.0);
+        }
+    }
+}

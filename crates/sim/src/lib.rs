@@ -1,0 +1,31 @@
+//! System assembly (Table III) and the experiment runner.
+//!
+//! [`SystemKind`] enumerates the paper's simulated systems; [`Runner`]
+//! executes a workload on one of them, producing a [`RunReport`] with
+//! cycles, wall time (cycle-time-adjusted, §VI.B), statistics, and the
+//! EVE stall breakdown. Every run functionally verifies its outputs
+//! against the workload's golden values, so a timing model can never
+//! silently desynchronize from architectural state.
+//!
+//! # Examples
+//!
+//! ```
+//! use eve_sim::{Runner, SystemKind};
+//! use eve_workloads::Workload;
+//!
+//! let runner = Runner::new();
+//! let io = runner.run(SystemKind::Io, &Workload::vvadd(512)).unwrap();
+//! let eve = runner.run(SystemKind::EveN(8), &Workload::vvadd(512)).unwrap();
+//! assert!(eve.wall_ps < io.wall_ps, "EVE-8 must beat the in-order core");
+//! ```
+
+pub mod cmp;
+pub mod experiments;
+pub mod report;
+pub mod runner;
+pub mod system;
+
+pub use cmp::{run_cmp, CmpReport};
+pub use report::RunReport;
+pub use runner::{Runner, SimError};
+pub use system::SystemKind;

@@ -1,0 +1,81 @@
+//! Run reports.
+
+use crate::system::SystemKind;
+use eve_common::{Cycle, Picos, Stats};
+use eve_core::StallBreakdown;
+use eve_isa::Characterization;
+
+/// The result of running one workload on one system.
+#[derive(Debug, Clone)]
+pub struct RunReport {
+    /// Which system ran.
+    pub system: SystemKind,
+    /// Which kernel ran.
+    pub workload: &'static str,
+    /// Total simulated cycles.
+    pub cycles: Cycle,
+    /// Wall time at the system's clock (the paper's comparison basis:
+    /// EVE-16/32 pay their cycle-time penalty here).
+    pub wall_ps: Picos,
+    /// Dynamic instructions committed.
+    pub dyn_insts: u64,
+    /// All counters from the core, hierarchy, and vector unit.
+    pub stats: Stats,
+    /// Instruction-mix characterization of this run.
+    pub characterization: Characterization,
+    /// EVE-only: the Fig 7 cycle attribution.
+    pub breakdown: Option<StallBreakdown>,
+}
+
+impl RunReport {
+    /// Speedup of this run relative to `baseline` (wall-time basis).
+    ///
+    /// # Panics
+    ///
+    /// Panics if this run took zero time.
+    #[must_use]
+    pub fn speedup_over(&self, baseline: &RunReport) -> f64 {
+        assert!(self.wall_ps.0 > 0, "degenerate run");
+        baseline.wall_ps.0 as f64 / self.wall_ps.0 as f64
+    }
+
+    /// Fraction of execution during which the VMU could not issue to
+    /// the LLC (Fig 8), if this system has a VMU with that counter.
+    #[must_use]
+    pub fn vmu_llc_stall_fraction(&self) -> Option<f64> {
+        let stall = self.stats.get("vmu.llc_issue_stall_cycles");
+        self.breakdown?;
+        Some(stall as f64 / self.cycles.0.max(1) as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report(ps: u64) -> RunReport {
+        RunReport {
+            system: SystemKind::Io,
+            workload: "t",
+            cycles: Cycle(ps),
+            wall_ps: Picos(ps),
+            dyn_insts: 1,
+            stats: Stats::new(),
+            characterization: Characterization::new(),
+            breakdown: None,
+        }
+    }
+
+    #[test]
+    fn speedup_is_baseline_over_self() {
+        let fast = report(100);
+        let slow = report(500);
+        assert!((fast.speedup_over(&slow) - 5.0).abs() < 1e-12);
+        assert!((slow.speedup_over(&fast) - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn non_eve_runs_have_no_vmu_fraction() {
+        assert!(report(10).vmu_llc_stall_fraction().is_none());
+    }
+}

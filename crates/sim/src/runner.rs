@@ -1,0 +1,291 @@
+//! Drives the functional interpreter through a timing model.
+
+use crate::report::RunReport;
+use crate::system::SystemKind;
+use eve_common::Stats;
+use eve_core::EveEngine;
+use eve_cpu::{IoCore, O3Core, VectorUnit};
+use eve_isa::{Characterization, Interpreter, IsaError};
+use eve_mem::HierarchyConfig;
+use eve_vector::{DecoupledVector, IntegratedVector};
+use eve_workloads::Workload;
+use std::fmt;
+
+/// Simulation errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SimError {
+    /// The kernel program misbehaved (assembler/interpreter error).
+    Isa(IsaError),
+    /// Outputs did not match the golden values — a simulator bug.
+    Verification(String),
+    /// An invalid system configuration (e.g. EVE-3).
+    Config(String),
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::Isa(e) => write!(f, "isa error: {e}"),
+            SimError::Verification(e) => write!(f, "verification failed: {e}"),
+            SimError::Config(e) => write!(f, "bad configuration: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+impl From<IsaError> for SimError {
+    fn from(e: IsaError) -> Self {
+        SimError::Isa(e)
+    }
+}
+
+/// Runs workloads on simulated systems.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Runner;
+
+impl Runner {
+    /// A runner with default settings.
+    #[must_use]
+    pub fn new() -> Self {
+        Runner
+    }
+
+    /// Simulates `workload` on `system` with the Table III memory
+    /// hierarchy.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError`] on interpreter failure, golden-output
+    /// mismatch, or an invalid EVE factor.
+    pub fn run(&self, system: SystemKind, workload: &Workload) -> Result<RunReport, SimError> {
+        self.run_with_memory(system, workload, HierarchyConfig::table_iii())
+    }
+
+    /// Simulates `workload` on `system` with a custom memory hierarchy
+    /// — the hook the MSHR/cache ablation studies use.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError`] on interpreter failure, golden-output
+    /// mismatch, or an invalid EVE factor.
+    pub fn run_with_memory(
+        &self,
+        system: SystemKind,
+        workload: &Workload,
+        mem_cfg: HierarchyConfig,
+    ) -> Result<RunReport, SimError> {
+        let built = workload.build();
+        let name = built.name;
+        match system {
+            SystemKind::Io => {
+                let mut interp = Interpreter::new(built.scalar.clone(), built.memory.clone(), 1);
+                let mut core = IoCore::with_config(mem_cfg);
+                let mut c = Characterization::new();
+                while let Some(r) = interp.step()? {
+                    c.record(&r);
+                    core.retire(&r);
+                }
+                let cycles = core.finish();
+                built
+                    .verify(interp.memory())
+                    .map_err(SimError::Verification)?;
+                Ok(self.report(system, name, cycles, interp.retired_count(), core.stats(), c, None))
+            }
+            SystemKind::O3 => {
+                let mut interp = Interpreter::new(built.scalar.clone(), built.memory.clone(), 1);
+                let mut core = O3Core::with_unit(eve_cpu::NoVector, mem_cfg);
+                let mut c = Characterization::new();
+                while let Some(r) = interp.step()? {
+                    c.record(&r);
+                    core.retire(&r);
+                }
+                let cycles = core.finish();
+                built
+                    .verify(interp.memory())
+                    .map_err(SimError::Verification)?;
+                Ok(self.report(system, name, cycles, interp.retired_count(), core.stats(), c, None))
+            }
+            SystemKind::O3Iv => self.run_vector(
+                system,
+                &built,
+                O3Core::with_unit(IntegratedVector::new(), mem_cfg),
+            ),
+            SystemKind::O3Dv => self.run_vector(
+                system,
+                &built,
+                O3Core::with_unit(DecoupledVector::new(), mem_cfg),
+            ),
+            SystemKind::EveN(n) => {
+                let engine =
+                    EveEngine::new(n).map_err(|e| SimError::Config(e.to_string()))?;
+                // The L2 starts at full capacity; the engine halves it
+                // when it spawns (§V-E).
+                self.run_vector(system, &built, O3Core::with_unit(engine, mem_cfg))
+            }
+        }
+    }
+
+    /// Simulates `workload` on an EVE-`n` engine with custom tuning
+    /// (the DTU/queue ablation hook).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError`] on interpreter failure, golden-output
+    /// mismatch, or an invalid configuration.
+    pub fn run_eve_tuned(
+        &self,
+        n: u32,
+        tuning: eve_core::EngineTuning,
+        workload: &Workload,
+        mem_cfg: HierarchyConfig,
+    ) -> Result<RunReport, SimError> {
+        let engine =
+            EveEngine::with_tuning(n, tuning).map_err(|e| SimError::Config(e.to_string()))?;
+        let built = workload.build();
+        self.run_vector(
+            SystemKind::EveN(n),
+            &built,
+            O3Core::with_unit(engine, mem_cfg),
+        )
+    }
+
+    fn run_vector<V: VectorUnit>(
+        &self,
+        system: SystemKind,
+        built: &eve_workloads::Built,
+        mut core: O3Core<V>,
+    ) -> Result<RunReport, SimError>
+    where
+        O3Core<V>: CoreStats<V>,
+    {
+        let hw_vl = core.hw_vl();
+        let mut interp = Interpreter::new(built.vector.clone(), built.memory.clone(), hw_vl);
+        let mut c = Characterization::new();
+        while let Some(r) = interp.step()? {
+            c.record(&r);
+            core.retire(&r);
+        }
+        let cycles = core.finish();
+        built
+            .verify(interp.memory())
+            .map_err(SimError::Verification)?;
+        let breakdown = core.breakdown();
+        Ok(self.report(
+            system,
+            built.name,
+            cycles,
+            interp.retired_count(),
+            core.stats(),
+            c,
+            breakdown,
+        ))
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn report(
+        &self,
+        system: SystemKind,
+        workload: &'static str,
+        cycles: eve_common::Cycle,
+        dyn_insts: u64,
+        stats: Stats,
+        characterization: Characterization,
+        breakdown: Option<eve_core::StallBreakdown>,
+    ) -> RunReport {
+        RunReport {
+            system,
+            workload,
+            wall_ps: cycles.to_picos(system.cycle_time()),
+            cycles,
+            dyn_insts,
+            stats,
+            characterization,
+            breakdown,
+        }
+    }
+}
+
+/// Extracts the EVE stall breakdown from a core when its unit is an
+/// EVE engine; other units report none.
+pub trait CoreStats<V: VectorUnit> {
+    /// The Fig 7 breakdown, if this core hosts an EVE engine.
+    fn breakdown(&self) -> Option<eve_core::StallBreakdown>;
+}
+
+impl CoreStats<IntegratedVector> for O3Core<IntegratedVector> {
+    fn breakdown(&self) -> Option<eve_core::StallBreakdown> {
+        None
+    }
+}
+
+impl CoreStats<DecoupledVector> for O3Core<DecoupledVector> {
+    fn breakdown(&self) -> Option<eve_core::StallBreakdown> {
+        None
+    }
+}
+
+impl CoreStats<EveEngine> for O3Core<EveEngine> {
+    fn breakdown(&self) -> Option<eve_core::StallBreakdown> {
+        Some(*self.vector_unit().breakdown())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn io_runs_and_verifies() {
+        let r = Runner::new()
+            .run(SystemKind::Io, &Workload::vvadd(300))
+            .unwrap();
+        assert!(r.cycles.0 > 300);
+        assert_eq!(r.workload, "vvadd");
+        assert!(r.breakdown.is_none());
+    }
+
+    #[test]
+    fn invalid_eve_factor_is_a_config_error() {
+        let err = Runner::new()
+            .run(SystemKind::EveN(3), &Workload::vvadd(64))
+            .unwrap_err();
+        assert!(matches!(err, SimError::Config(_)));
+    }
+
+    #[test]
+    fn eve_reports_a_breakdown() {
+        let r = Runner::new()
+            .run(SystemKind::EveN(8), &Workload::vvadd(2048))
+            .unwrap();
+        let b = r.breakdown.expect("EVE reports a breakdown");
+        assert!(b.total().0 > 0);
+        assert!(r.vmu_llc_stall_fraction().is_some());
+    }
+
+    #[test]
+    fn vector_systems_beat_io_on_vvadd() {
+        let runner = Runner::new();
+        let w = Workload::vvadd(4096);
+        let io = runner.run(SystemKind::Io, &w).unwrap();
+        for sys in [SystemKind::O3Dv, SystemKind::EveN(8)] {
+            let r = runner.run(sys, &w).unwrap();
+            assert!(
+                r.speedup_over(&io) > 1.5,
+                "{sys}: {:.2}x",
+                r.speedup_over(&io)
+            );
+        }
+    }
+
+    #[test]
+    fn every_system_verifies_every_tiny_kernel() {
+        let runner = Runner::new();
+        for w in Workload::tiny_suite() {
+            for sys in SystemKind::all() {
+                let r = runner.run(sys, &w).unwrap();
+                assert!(r.cycles.0 > 0, "{sys} on {}", r.workload);
+            }
+        }
+    }
+}

@@ -1,0 +1,120 @@
+//! The simulated systems of Table III.
+
+use eve_analytical::area::SystemAreaTable;
+use eve_analytical::timing::cycle_time;
+use eve_common::Picos;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// One of the paper's simulated systems.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SystemKind {
+    /// Single-issue in-order core.
+    Io,
+    /// 8-way out-of-order core.
+    O3,
+    /// O3 plus the integrated vector unit (VL = 4).
+    O3Iv,
+    /// O3 plus the decoupled vector engine (VL = 64).
+    O3Dv,
+    /// O3 plus an EVE-*n* engine.
+    EveN(u32),
+}
+
+impl SystemKind {
+    /// Every system in Fig 6's legend order: IO, O3, O3+IV, O3+DV,
+    /// then the six EVE design points.
+    #[must_use]
+    pub fn all() -> Vec<SystemKind> {
+        let mut v = vec![
+            SystemKind::Io,
+            SystemKind::O3,
+            SystemKind::O3Iv,
+            SystemKind::O3Dv,
+        ];
+        v.extend([1u32, 2, 4, 8, 16, 32].map(SystemKind::EveN));
+        v
+    }
+
+    /// Only the EVE design points.
+    #[must_use]
+    pub fn eve_points() -> Vec<SystemKind> {
+        [1u32, 2, 4, 8, 16, 32].map(SystemKind::EveN).to_vec()
+    }
+
+    /// Whether this system runs the vectorized binary.
+    #[must_use]
+    pub fn is_vector(&self) -> bool {
+        !matches!(self, SystemKind::Io | SystemKind::O3)
+    }
+
+    /// System clock period: EVE-16/EVE-32 slow the shared arrays
+    /// (§VI.B); everything else runs the base clock.
+    #[must_use]
+    pub fn cycle_time(&self) -> Picos {
+        match self {
+            SystemKind::EveN(n) => cycle_time(*n),
+            _ => cycle_time(0),
+        }
+    }
+
+    /// Relative silicon area (§VII area-efficiency analysis).
+    #[must_use]
+    pub fn relative_area(&self) -> f64 {
+        match self {
+            SystemKind::Io => 0.25, // small in-order core
+            SystemKind::O3 => SystemAreaTable::o3().relative_area,
+            SystemKind::O3Iv => SystemAreaTable::o3_iv().relative_area,
+            SystemKind::O3Dv => SystemAreaTable::o3_dv().relative_area,
+            SystemKind::EveN(n) => SystemAreaTable::o3_eve(*n).relative_area,
+        }
+    }
+}
+
+impl fmt::Display for SystemKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SystemKind::Io => write!(f, "IO"),
+            SystemKind::O3 => write!(f, "O3"),
+            SystemKind::O3Iv => write!(f, "O3+IV"),
+            SystemKind::O3Dv => write!(f, "O3+DV"),
+            SystemKind::EveN(n) => write!(f, "EVE-{n}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ten_systems() {
+        assert_eq!(SystemKind::all().len(), 10);
+        assert_eq!(SystemKind::eve_points().len(), 6);
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(SystemKind::O3Iv.to_string(), "O3+IV");
+        assert_eq!(SystemKind::EveN(8).to_string(), "EVE-8");
+    }
+
+    #[test]
+    fn only_scalar_systems_run_scalar_binaries() {
+        assert!(!SystemKind::Io.is_vector());
+        assert!(!SystemKind::O3.is_vector());
+        assert!(SystemKind::O3Dv.is_vector());
+        assert!(SystemKind::EveN(1).is_vector());
+    }
+
+    #[test]
+    fn cycle_time_penalties_only_for_wide_hybrid() {
+        assert_eq!(SystemKind::O3Dv.cycle_time(), SystemKind::Io.cycle_time());
+        assert_eq!(
+            SystemKind::EveN(8).cycle_time(),
+            SystemKind::O3.cycle_time()
+        );
+        assert!(SystemKind::EveN(16).cycle_time() > SystemKind::O3.cycle_time());
+        assert!(SystemKind::EveN(32).cycle_time() > SystemKind::EveN(16).cycle_time());
+    }
+}

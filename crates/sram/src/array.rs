@@ -1,0 +1,867 @@
+//! The bit-accurate EVE SRAM array and μprogram executor.
+//!
+//! [`EveArray`] models one array's storage *and* the peripheral circuit
+//! stacks of §III at bit granularity. Because every column group (lane)
+//! is `n` adjacent columns, a row is stored as one `n`-bit segment value
+//! per lane — bit-for-bit equivalent to the physical layout while
+//! keeping the model readable.
+//!
+//! The executor runs complete μprograms: counter and control μops like
+//! the VSU, arithmetic μops like the circuits. Timing semantics match
+//! `eve_uop::latency`: one tuple per cycle, every μop in a tuple reads
+//! start-of-cycle state, and only the fused control μop observes its
+//! counter update.
+
+// Lane loops index several parallel per-lane state vectors in lock-step,
+// mirroring the physical column groups; iterator zips would obscure that.
+#![allow(clippy::needless_range_loop)]
+
+use eve_common::bits::{deposit_bits, extract_bits};
+use eve_common::Cycle;
+use eve_uop::{
+    ArithUop, CarryIn, ComputeSrc, ControlUop, CounterFile, CounterUop, HybridConfig, MaskSrc,
+    MicroProgram, Operand, SegSel, VSlot, WbDest,
+};
+
+/// Number of architectural vector registers (RVV: `v0`–`v31`).
+pub const ARCH_VREGS: u32 = 32;
+/// Scratch registers reserved for μprograms (see `eve_uop::library`).
+pub const SCRATCH_VREGS: u32 = 6;
+
+/// Binds the abstract μprogram slots to physical vector registers.
+///
+/// # Examples
+///
+/// ```
+/// use eve_sram::Binding;
+/// let b = Binding::new(3, 1, 2); // d = v3, s1 = v1, s2 = v2
+/// assert_eq!(b.d(), 3);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Binding {
+    d: u8,
+    s1: u8,
+    s2: u8,
+}
+
+impl Binding {
+    /// Binds destination and sources. The RVV mask register is always
+    /// `v0`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any register index is 32 or above.
+    #[must_use]
+    pub fn new(d: u8, s1: u8, s2: u8) -> Self {
+        assert!(
+            u32::from(d) < ARCH_VREGS && u32::from(s1) < ARCH_VREGS && u32::from(s2) < ARCH_VREGS,
+            "register index out of range"
+        );
+        Self { d, s1, s2 }
+    }
+
+    /// Destination register index.
+    #[must_use]
+    pub fn d(&self) -> u8 {
+        self.d
+    }
+
+    /// First source register index.
+    #[must_use]
+    pub fn s1(&self) -> u8 {
+        self.s1
+    }
+
+    /// Second source register index.
+    #[must_use]
+    pub fn s2(&self) -> u8 {
+        self.s2
+    }
+}
+
+/// Combinational outputs of the last bit-line compute, latched for the
+/// following writeback (per lane).
+#[derive(Debug, Clone, Default)]
+struct BlcLatch {
+    and: Vec<u32>,
+    nand: Vec<u32>,
+    or: Vec<u32>,
+    nor: Vec<u32>,
+    xor: Vec<u32>,
+    xnor: Vec<u32>,
+    sum: Vec<u32>,
+}
+
+/// One bit-accurate EVE SRAM array.
+///
+/// Rows are addressed logically: register `v` occupies rows
+/// `v * segments .. (v+1) * segments`, architectural registers first,
+/// then the μprogram scratch registers. (Physically registers beyond a
+/// column group's capacity spill into repurposed column stacks — see
+/// DESIGN.md; the logical view is bit- and cycle-equivalent.)
+#[derive(Debug, Clone)]
+pub struct EveArray {
+    cfg: HybridConfig,
+    lanes: usize,
+    seg_mask: u32,
+    /// `storage[row][lane]`: the `n`-bit segment of each lane.
+    storage: Vec<Vec<u32>>,
+    /// XRegister: `n`-bit shift-right register per lane.
+    xreg: Vec<u32>,
+    /// Add-logic carry, held in a spare-shifter flip-flop (§III-C).
+    carry: Vec<bool>,
+    /// Mask latches, one per lane.
+    mask: Vec<bool>,
+    /// Constant shifter contents per lane.
+    shifter: Vec<u32>,
+    /// Spare shifter's cross-segment bit per lane.
+    spare: Vec<bool>,
+    /// Latched outputs of the last `blc`.
+    blc: BlcLatch,
+    /// Data driven out by the last `Read` μop.
+    data_out: Vec<u32>,
+    /// Data presented on the data-in port for `WriteDataIn`.
+    data_in: Vec<u32>,
+}
+
+impl EveArray {
+    /// Creates an array for configuration `cfg` with `lanes` column
+    /// groups, zero-initialized.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lanes` is zero.
+    #[must_use]
+    pub fn new(cfg: HybridConfig, lanes: usize) -> Self {
+        assert!(lanes > 0, "an array needs at least one lane");
+        let segs = cfg.segments() as usize;
+        let rows = (ARCH_VREGS + SCRATCH_VREGS) as usize * segs;
+        let bits = cfg.segment_bits();
+        let seg_mask = if bits == 32 { u32::MAX } else { (1 << bits) - 1 };
+        Self {
+            cfg,
+            lanes,
+            seg_mask,
+            storage: vec![vec![0; lanes]; rows],
+            xreg: vec![0; lanes],
+            carry: vec![false; lanes],
+            mask: vec![false; lanes],
+            shifter: vec![0; lanes],
+            spare: vec![false; lanes],
+            blc: BlcLatch::default(),
+            data_out: vec![0; lanes],
+            data_in: vec![0; lanes],
+        }
+    }
+
+    /// The configuration this array was built for.
+    #[must_use]
+    pub fn config(&self) -> HybridConfig {
+        self.cfg
+    }
+
+    /// Number of lanes (in-situ ALUs).
+    #[must_use]
+    pub fn lanes(&self) -> usize {
+        self.lanes
+    }
+
+    /// Writes a 32-bit element into lane `lane` of register `vreg`
+    /// (the memory-fill path, normally fed by a DTU).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `vreg` or `lane` is out of range.
+    pub fn write_element(&mut self, vreg: u32, lane: usize, value: u32) {
+        let segs = self.cfg.segments();
+        let bits = self.cfg.segment_bits();
+        for s in 0..segs {
+            let row = self.reg_row(vreg, s);
+            self.storage[row][lane] = extract_bits(value, s * bits, bits);
+        }
+    }
+
+    /// Reads lane `lane` of register `vreg` back as a 32-bit element.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `vreg` or `lane` is out of range.
+    #[must_use]
+    pub fn read_element(&self, vreg: u32, lane: usize) -> u32 {
+        let segs = self.cfg.segments();
+        let bits = self.cfg.segment_bits();
+        let mut value = 0;
+        for s in 0..segs {
+            let row = self.reg_row(vreg, s);
+            value = deposit_bits(value, s * bits, bits, self.storage[row][lane]);
+        }
+        value
+    }
+
+    /// Reads the mask bit register `vreg` holds for `lane` (bit 0 of the
+    /// register's first row — how compare results are stored).
+    #[must_use]
+    pub fn read_mask_bit(&self, vreg: u32, lane: usize) -> bool {
+        let row = self.reg_row(vreg, 0);
+        self.storage[row][lane] & 1 == 1
+    }
+
+    /// Writes a mask bit into register `vreg` for `lane`.
+    pub fn write_mask_bit(&mut self, vreg: u32, lane: usize, value: bool) {
+        let row = self.reg_row(vreg, 0);
+        self.storage[row][lane] = u32::from(value);
+    }
+
+    /// Presents per-lane data on the data-in port (consumed by
+    /// `WriteDataIn` μops).
+    pub fn set_data_in(&mut self, data: Vec<u32>) {
+        assert_eq!(data.len(), self.lanes, "data-in width mismatch");
+        self.data_in = data;
+    }
+
+    /// The data driven out by the most recent `Read` μop.
+    #[must_use]
+    pub fn data_out(&self) -> &[u32] {
+        &self.data_out
+    }
+
+    /// Executes a μprogram against this array with `binding`, returning
+    /// the cycles it took (identical to `eve_uop::count_cycles`).
+    ///
+    /// # Panics
+    ///
+    /// Panics on malformed programs (runaway loops, out-of-range rows) —
+    /// generator bugs, not user errors.
+    pub fn execute(&mut self, prog: &MicroProgram, binding: &Binding) -> Cycle {
+        let mut counters = CounterFile::new();
+        let mut pc: usize = 0;
+        let mut cycles: u64 = 0;
+        let tuples = prog.tuples();
+        loop {
+            assert!(pc < tuples.len(), "{}: pc {pc} off the end", prog.name());
+            let tuple = &tuples[pc];
+            cycles += 1;
+            assert!(cycles < 2_000_000, "{}: runaway program", prog.name());
+            // Arithmetic resolves rows against start-of-cycle counters.
+            self.exec_arith(&tuple.arith, binding, &counters);
+            match tuple.counter {
+                CounterUop::Nop => {}
+                CounterUop::Init { ctr, value } => counters.init(ctr, value),
+                CounterUop::Decr(ctr) => counters.decr(ctr),
+                CounterUop::Incr(ctr) => counters.incr(ctr),
+            }
+            match tuple.control {
+                ControlUop::Nop => pc += 1,
+                ControlUop::Bnz { ctr, target } => {
+                    if counters.take_zero_flag(ctr) {
+                        pc += 1;
+                    } else {
+                        pc = target as usize;
+                    }
+                }
+                ControlUop::BnzRet { ctr, target } => {
+                    if counters.take_zero_flag(ctr) {
+                        return Cycle(cycles);
+                    }
+                    pc = target as usize;
+                }
+                ControlUop::Bnd { ctr, target } => {
+                    if counters.take_decade_flag(ctr) {
+                        pc = target as usize;
+                    } else {
+                        pc += 1;
+                    }
+                }
+                ControlUop::Jump { target } => pc = target as usize,
+                ControlUop::Ret => return Cycle(cycles),
+            }
+        }
+    }
+
+    fn reg_row(&self, vreg: u32, seg: u32) -> usize {
+        assert!(
+            vreg < ARCH_VREGS + SCRATCH_VREGS,
+            "register {vreg} out of range"
+        );
+        let segs = self.cfg.segments();
+        assert!(seg < segs, "segment {seg} out of range");
+        (vreg * segs + seg) as usize
+    }
+
+    fn resolve(&self, op: &Operand, binding: &Binding, counters: &CounterFile) -> usize {
+        let vreg = match op.slot {
+            VSlot::D => u32::from(binding.d),
+            VSlot::S1 => u32::from(binding.s1),
+            VSlot::S2 => u32::from(binding.s2),
+            VSlot::Mask => 0,
+            VSlot::Scratch(k) => {
+                assert!(u32::from(k) < SCRATCH_VREGS, "scratch {k} out of range");
+                ARCH_VREGS + u32::from(k)
+            }
+        };
+        let seg = match op.seg {
+            SegSel::Up(ctr) => counters.seg_up(ctr),
+            SegSel::Down(ctr) => counters.seg_down(ctr),
+            SegSel::At(k) => u32::from(k),
+        };
+        self.reg_row(vreg, seg)
+    }
+
+    fn exec_arith(&mut self, uop: &ArithUop, binding: &Binding, counters: &CounterFile) {
+        match *uop {
+            ArithUop::Nop => {}
+            ArithUop::Read { op } => {
+                let row = self.resolve(&op, binding, counters);
+                self.data_out.copy_from_slice(&self.storage[row]);
+            }
+            ArithUop::WriteConst { op, value, masked } => {
+                let row = self.resolve(&op, binding, counters);
+                for lane in 0..self.lanes {
+                    if !masked || self.mask[lane] {
+                        self.storage[row][lane] = value & self.seg_mask;
+                    }
+                }
+            }
+            ArithUop::WriteDataIn { op } => {
+                let row = self.resolve(&op, binding, counters);
+                for lane in 0..self.lanes {
+                    self.storage[row][lane] = self.data_in[lane] & self.seg_mask;
+                }
+            }
+            ArithUop::Blc { a, b, carry_in } => {
+                let ra = self.resolve(&a, binding, counters);
+                let rb = self.resolve(&b, binding, counters);
+                self.do_blc(ra, rb, carry_in);
+            }
+            ArithUop::Writeback { dst, src, masked } => {
+                let value: Vec<u32> = (0..self.lanes)
+                    .map(|lane| self.compute_value(src, lane))
+                    .collect();
+                match dst {
+                    WbDest::Row(op) => {
+                        let row = self.resolve(&op, binding, counters);
+                        for lane in 0..self.lanes {
+                            if !masked || self.mask[lane] {
+                                self.storage[row][lane] = value[lane];
+                            }
+                        }
+                    }
+                    WbDest::MaskReg => {
+                        for lane in 0..self.lanes {
+                            if !masked || self.mask[lane] {
+                                self.mask[lane] = value[lane] & 1 == 1;
+                            }
+                        }
+                    }
+                    WbDest::XReg => {
+                        for lane in 0..self.lanes {
+                            if !masked || self.mask[lane] {
+                                self.xreg[lane] = value[lane];
+                            }
+                        }
+                    }
+                }
+            }
+            ArithUop::LoadShifter { op } => {
+                let row = self.resolve(&op, binding, counters);
+                self.shifter.copy_from_slice(&self.storage[row]);
+            }
+            ArithUop::StoreShifter { op, masked } => {
+                let row = self.resolve(&op, binding, counters);
+                for lane in 0..self.lanes {
+                    if !masked || self.mask[lane] {
+                        self.storage[row][lane] = self.shifter[lane];
+                    }
+                }
+            }
+            ArithUop::LoadXReg { op } => {
+                let row = self.resolve(&op, binding, counters);
+                self.xreg.copy_from_slice(&self.storage[row]);
+            }
+            ArithUop::ShiftLeft { masked } => {
+                let msb = self.cfg.segment_bits() - 1;
+                for lane in 0..self.lanes {
+                    if masked && !self.mask[lane] {
+                        continue;
+                    }
+                    let out = (self.shifter[lane] >> msb) & 1 == 1;
+                    self.shifter[lane] =
+                        ((self.shifter[lane] << 1) | u32::from(self.spare[lane])) & self.seg_mask;
+                    self.spare[lane] = out;
+                }
+            }
+            ArithUop::ShiftRight { masked } => {
+                let msb = self.cfg.segment_bits() - 1;
+                for lane in 0..self.lanes {
+                    if masked && !self.mask[lane] {
+                        continue;
+                    }
+                    let out = self.shifter[lane] & 1 == 1;
+                    self.shifter[lane] =
+                        (self.shifter[lane] >> 1) | (u32::from(self.spare[lane]) << msb);
+                    self.spare[lane] = out;
+                }
+            }
+            ArithUop::RotateLeft { masked } => {
+                let msb = self.cfg.segment_bits() - 1;
+                for lane in 0..self.lanes {
+                    if masked && !self.mask[lane] {
+                        continue;
+                    }
+                    let out = (self.shifter[lane] >> msb) & 1;
+                    self.shifter[lane] =
+                        ((self.shifter[lane] << 1) | out) & self.seg_mask;
+                }
+            }
+            ArithUop::RotateRight { masked } => {
+                let msb = self.cfg.segment_bits() - 1;
+                for lane in 0..self.lanes {
+                    if masked && !self.mask[lane] {
+                        continue;
+                    }
+                    let out = self.shifter[lane] & 1;
+                    self.shifter[lane] = (self.shifter[lane] >> 1) | (out << msb);
+                }
+            }
+            ArithUop::MaskShift => {
+                for lane in 0..self.lanes {
+                    self.xreg[lane] >>= 1;
+                }
+            }
+            ArithUop::SetMask { src, invert } => {
+                let msb = self.cfg.segment_bits() - 1;
+                for lane in 0..self.lanes {
+                    let bit = match src {
+                        MaskSrc::XRegLsb => self.xreg[lane] & 1 == 1,
+                        MaskSrc::XRegMsb => (self.xreg[lane] >> msb) & 1 == 1,
+                        MaskSrc::AddMsb => {
+                            let sum = self.blc.sum.get(lane).copied().unwrap_or(0);
+                            (sum >> msb) & 1 == 1
+                        }
+                        MaskSrc::Carry => self.carry[lane],
+                        MaskSrc::AllOnes => true,
+                    };
+                    self.mask[lane] = bit != invert;
+                }
+            }
+            ArithUop::SetCarry { value } => {
+                self.carry.iter_mut().for_each(|c| *c = value);
+            }
+            ArithUop::ClearSpare => {
+                self.spare.iter_mut().for_each(|s| *s = false);
+            }
+        }
+    }
+
+    fn do_blc(&mut self, ra: usize, rb: usize, carry_in: CarryIn) {
+        let lanes = self.lanes;
+        let mut latch = BlcLatch {
+            and: Vec::with_capacity(lanes),
+            nand: Vec::with_capacity(lanes),
+            or: Vec::with_capacity(lanes),
+            nor: Vec::with_capacity(lanes),
+            xor: Vec::with_capacity(lanes),
+            xnor: Vec::with_capacity(lanes),
+            sum: Vec::with_capacity(lanes),
+        };
+        for lane in 0..lanes {
+            let a = self.storage[ra][lane];
+            let b = self.storage[rb][lane];
+            let and = a & b;
+            let or = a | b;
+            let nand = !and & self.seg_mask;
+            let nor = !or & self.seg_mask;
+            // XOR/XNOR logic layer: derived from nand and or (§III).
+            let xor = nand & or;
+            let xnor = !xor & self.seg_mask;
+            let cin = match carry_in {
+                CarryIn::Stored => u32::from(self.carry[lane]),
+                CarryIn::Zero => 0,
+                CarryIn::One => 1,
+            };
+            // Manchester carry chain over the n-bit segment.
+            let wide = u64::from(a) + u64::from(b) + u64::from(cin);
+            let sum = (wide as u32) & self.seg_mask;
+            let cout = wide >> self.cfg.segment_bits() != 0;
+            self.carry[lane] = cout;
+            latch.and.push(and);
+            latch.nand.push(nand);
+            latch.or.push(or);
+            latch.nor.push(nor);
+            latch.xor.push(xor);
+            latch.xnor.push(xnor);
+            latch.sum.push(sum);
+        }
+        self.blc = latch;
+    }
+
+    fn compute_value(&self, src: ComputeSrc, lane: usize) -> u32 {
+        let pick = |v: &Vec<u32>| v.get(lane).copied().unwrap_or(0);
+        match src {
+            ComputeSrc::And => pick(&self.blc.and),
+            ComputeSrc::Nand => pick(&self.blc.nand),
+            ComputeSrc::Or => pick(&self.blc.or),
+            ComputeSrc::Nor => pick(&self.blc.nor),
+            ComputeSrc::Xor => pick(&self.blc.xor),
+            ComputeSrc::Xnor => pick(&self.blc.xnor),
+            ComputeSrc::Add => pick(&self.blc.sum),
+            ComputeSrc::Shift => self.shifter[lane],
+            ComputeSrc::Mask => u32::from(self.mask[lane]),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eve_uop::{MacroOpKind, ProgramLibrary};
+
+    fn run(cfg: HybridConfig, kind: MacroOpKind, a: u32, b: u32) -> u32 {
+        let mut arr = EveArray::new(cfg, 2);
+        arr.write_element(1, 0, a);
+        arr.write_element(2, 0, b);
+        // Lane 1 gets swapped operands as a free second test point.
+        arr.write_element(1, 1, b);
+        arr.write_element(2, 1, a);
+        let prog = ProgramLibrary::new(cfg).program(kind);
+        arr.execute(&prog, &Binding::new(3, 1, 2));
+        arr.read_element(3, 0)
+    }
+
+    #[test]
+    fn add_is_wrapping_add_on_every_config() {
+        for cfg in HybridConfig::all() {
+            assert_eq!(run(cfg, MacroOpKind::Add, 7, 8), 15, "{cfg}");
+            assert_eq!(
+                run(cfg, MacroOpKind::Add, u32::MAX, 1),
+                0,
+                "{cfg} wraparound"
+            );
+            assert_eq!(
+                run(cfg, MacroOpKind::Add, 0xDEAD_BEEF, 0x1234_5678),
+                0xDEAD_BEEFu32.wrapping_add(0x1234_5678),
+                "{cfg}"
+            );
+        }
+    }
+
+    #[test]
+    fn sub_borrows_across_segments() {
+        for cfg in HybridConfig::all() {
+            assert_eq!(run(cfg, MacroOpKind::Sub, 1000, 1), 999, "{cfg}");
+            assert_eq!(
+                run(cfg, MacroOpKind::Sub, 0, 1),
+                u32::MAX,
+                "{cfg} borrow chain"
+            );
+        }
+    }
+
+    #[test]
+    fn logic_ops() {
+        let a = 0xF0F0_A5A5;
+        let b = 0x0FF0_5AA5;
+        for cfg in HybridConfig::all() {
+            assert_eq!(run(cfg, MacroOpKind::And, a, b), a & b, "{cfg}");
+            assert_eq!(run(cfg, MacroOpKind::Or, a, b), a | b, "{cfg}");
+            assert_eq!(run(cfg, MacroOpKind::Xor, a, b), a ^ b, "{cfg}");
+            assert_eq!(run(cfg, MacroOpKind::Not, a, b), !a, "{cfg}");
+            assert_eq!(run(cfg, MacroOpKind::Mv, a, b), a, "{cfg}");
+        }
+    }
+
+    #[test]
+    fn mul_matches_wrapping_mul() {
+        for cfg in HybridConfig::all() {
+            assert_eq!(run(cfg, MacroOpKind::Mul, 1000, 1001), 1_001_000, "{cfg}");
+            assert_eq!(
+                run(cfg, MacroOpKind::Mul, 0x1234_5678, 0x9ABC_DEF0),
+                0x1234_5678u32.wrapping_mul(0x9ABC_DEF0),
+                "{cfg}"
+            );
+        }
+    }
+
+    #[test]
+    fn divu_remu_including_by_zero() {
+        for cfg in HybridConfig::all() {
+            assert_eq!(run(cfg, MacroOpKind::Divu, 100, 7), 14, "{cfg}");
+            assert_eq!(run(cfg, MacroOpKind::Remu, 100, 7), 2, "{cfg}");
+            // RVV semantics: x / 0 = all ones, x % 0 = x.
+            assert_eq!(run(cfg, MacroOpKind::Divu, 5, 0), u32::MAX, "{cfg}");
+            assert_eq!(run(cfg, MacroOpKind::Remu, 5, 0), 5, "{cfg}");
+        }
+    }
+
+    #[test]
+    fn lanes_are_independent() {
+        for cfg in HybridConfig::all() {
+            let mut arr = EveArray::new(cfg, 8);
+            for lane in 0..8 {
+                arr.write_element(1, lane, lane as u32 * 3 + 1);
+                arr.write_element(2, lane, lane as u32 * 7 + 11);
+            }
+            let prog = ProgramLibrary::new(cfg).program(MacroOpKind::Mul);
+            arr.execute(&prog, &Binding::new(4, 1, 2));
+            for lane in 0..8 {
+                let a = lane as u32 * 3 + 1;
+                let b = lane as u32 * 7 + 11;
+                assert_eq!(arr.read_element(4, lane), a.wrapping_mul(b), "{cfg}");
+            }
+        }
+    }
+
+    #[test]
+    fn shifts_by_immediate() {
+        let x = 0xDEAD_BEEF;
+        for cfg in HybridConfig::all() {
+            for k in [0u8, 1, 3, 8, 13, 16, 31] {
+                assert_eq!(run(cfg, MacroOpKind::SllI(k), x, 0), x << k, "{cfg} sll {k}");
+                assert_eq!(run(cfg, MacroOpKind::SrlI(k), x, 0), x >> k, "{cfg} srl {k}");
+                assert_eq!(
+                    run(cfg, MacroOpKind::SraI(k), x, 0),
+                    ((x as i32) >> k) as u32,
+                    "{cfg} sra {k}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn variable_shifts() {
+        let x = 0x8001_7FFE;
+        for cfg in HybridConfig::all() {
+            for k in [0u32, 1, 5, 12, 20, 31] {
+                assert_eq!(run(cfg, MacroOpKind::SllV, x, k), x << k, "{cfg} sllv {k}");
+                assert_eq!(run(cfg, MacroOpKind::SrlV, x, k), x >> k, "{cfg} srlv {k}");
+                assert_eq!(
+                    run(cfg, MacroOpKind::SraV, x, k),
+                    ((x as i32) >> k) as u32,
+                    "{cfg} srav {k}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn compares_set_mask_rows() {
+        let cases: [(u32, u32); 6] = [
+            (5, 9),
+            (9, 5),
+            (7, 7),
+            (0, u32::MAX),
+            (0x8000_0000, 1),
+            (u32::MAX, u32::MAX),
+        ];
+        for cfg in HybridConfig::all() {
+            for &(a, b) in &cases {
+                assert_eq!(
+                    run(cfg, MacroOpKind::CmpLtu, a, b) & 1,
+                    u32::from(a < b),
+                    "{cfg} ltu {a} {b}"
+                );
+                assert_eq!(
+                    run(cfg, MacroOpKind::CmpLt, a, b) & 1,
+                    u32::from((a as i32) < (b as i32)),
+                    "{cfg} lt {a} {b}"
+                );
+                assert_eq!(
+                    run(cfg, MacroOpKind::CmpEq, a, b) & 1,
+                    u32::from(a == b),
+                    "{cfg} eq"
+                );
+                assert_eq!(
+                    run(cfg, MacroOpKind::CmpNe, a, b) & 1,
+                    u32::from(a != b),
+                    "{cfg} ne"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn min_max_signed_and_unsigned() {
+        let cases: [(u32, u32); 4] = [(5, 9), (0x8000_0000, 1), (u32::MAX, 0), (42, 42)];
+        for cfg in HybridConfig::all() {
+            for &(a, b) in &cases {
+                assert_eq!(run(cfg, MacroOpKind::Minu, a, b), a.min(b), "{cfg} minu");
+                assert_eq!(run(cfg, MacroOpKind::Maxu, a, b), a.max(b), "{cfg} maxu");
+                assert_eq!(
+                    run(cfg, MacroOpKind::Min, a, b),
+                    (a as i32).min(b as i32) as u32,
+                    "{cfg} min"
+                );
+                assert_eq!(
+                    run(cfg, MacroOpKind::Max, a, b),
+                    (a as i32).max(b as i32) as u32,
+                    "{cfg} max"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn merge_selects_by_v0() {
+        for cfg in HybridConfig::all() {
+            let mut arr = EveArray::new(cfg, 4);
+            for lane in 0..4 {
+                arr.write_element(1, lane, 111);
+                arr.write_element(2, lane, 222);
+                arr.write_mask_bit(0, lane, lane % 2 == 0);
+            }
+            let prog = ProgramLibrary::new(cfg).program(MacroOpKind::Merge);
+            arr.execute(&prog, &Binding::new(3, 1, 2));
+            for lane in 0..4 {
+                let want = if lane % 2 == 0 { 111 } else { 222 };
+                assert_eq!(arr.read_element(3, lane), want, "{cfg} lane {lane}");
+            }
+        }
+    }
+
+    #[test]
+    fn mask_register_ops() {
+        for cfg in HybridConfig::all() {
+            let mut arr = EveArray::new(cfg, 4);
+            let a = [true, true, false, false];
+            let b = [true, false, true, false];
+            for lane in 0..4 {
+                arr.write_mask_bit(1, lane, a[lane]);
+                arr.write_mask_bit(2, lane, b[lane]);
+            }
+            let lib = ProgramLibrary::new(cfg);
+            for (kind, f) in [
+                (MacroOpKind::MaskAnd, (|x, y| x && y) as fn(bool, bool) -> bool),
+                (MacroOpKind::MaskOr, |x, y| x || y),
+                (MacroOpKind::MaskXor, |x, y| x != y),
+            ] {
+                let prog = lib.program(kind);
+                arr.execute(&prog, &Binding::new(3, 1, 2));
+                for lane in 0..4 {
+                    assert_eq!(
+                        arr.read_mask_bit(3, lane),
+                        f(a[lane], b[lane]),
+                        "{cfg} {kind:?} lane {lane}"
+                    );
+                }
+            }
+            let prog = lib.program(MacroOpKind::MaskNot);
+            arr.execute(&prog, &Binding::new(3, 1, 2));
+            for lane in 0..4 {
+                assert_eq!(arr.read_mask_bit(3, lane), !a[lane], "{cfg} not");
+            }
+        }
+    }
+
+    #[test]
+    fn splat_broadcasts() {
+        for cfg in HybridConfig::all() {
+            let mut arr = EveArray::new(cfg, 4);
+            let prog = ProgramLibrary::new(cfg).program(MacroOpKind::Splat(0xCAFE_BABE));
+            arr.execute(&prog, &Binding::new(5, 0, 0));
+            for lane in 0..4 {
+                assert_eq!(arr.read_element(5, lane), 0xCAFE_BABE, "{cfg}");
+            }
+        }
+    }
+
+    #[test]
+    fn element_roundtrip() {
+        for cfg in HybridConfig::all() {
+            let mut arr = EveArray::new(cfg, 3);
+            arr.write_element(17, 2, 0x8765_4321);
+            assert_eq!(arr.read_element(17, 2), 0x8765_4321);
+            assert_eq!(arr.read_element(17, 0), 0);
+        }
+    }
+
+    #[test]
+    fn execution_cycle_counts_match_counting_executor() {
+        use eve_uop::count_cycles;
+        for cfg in HybridConfig::all() {
+            let lib = ProgramLibrary::new(cfg);
+            for kind in [
+                MacroOpKind::Add,
+                MacroOpKind::Mul,
+                MacroOpKind::Sub,
+                MacroOpKind::SllI(5),
+                MacroOpKind::Minu,
+            ] {
+                let prog = lib.program(kind);
+                let mut arr = EveArray::new(cfg, 2);
+                let real = arr.execute(&prog, &Binding::new(3, 1, 2));
+                let counted = count_cycles(&prog, cfg);
+                assert_eq!(real, counted, "{cfg} {kind:?}");
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod rotate_tests {
+    use super::*;
+    use eve_uop::{MacroOpKind, ProgramLibrary};
+
+    #[test]
+    fn rotates_match_u32_semantics_on_every_config() {
+        let x = 0x8123_4567u32;
+        for cfg in HybridConfig::all() {
+            let lib = ProgramLibrary::new(cfg);
+            for k in [0u8, 1, 5, 13, 31] {
+                for (kind, want) in [
+                    (MacroOpKind::RotlI(k), x.rotate_left(u32::from(k))),
+                    (MacroOpKind::RotrI(k), x.rotate_right(u32::from(k))),
+                ] {
+                    let mut arr = EveArray::new(cfg, 2);
+                    arr.write_element(1, 0, x);
+                    arr.execute(&lib.program(kind), &Binding::new(3, 1, 2));
+                    assert_eq!(arr.read_element(3, 0), want, "{cfg} {kind:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn bit_parallel_rotate_uses_the_rotate_uops() {
+        // EVE-32's rotate must be the Table II lrotate path: load,
+        // k rotates, store — no shift passes.
+        let cfg = HybridConfig::new(32).unwrap();
+        let prog = ProgramLibrary::new(cfg).program(MacroOpKind::RotlI(5));
+        assert_eq!(prog.len(), 1 + 5 + 1 + 1); // load + 5 rotates + store + ret
+    }
+}
+
+#[cfg(test)]
+mod mulacc_tests {
+    use super::*;
+    use eve_uop::{MacroOpKind, ProgramLibrary};
+
+    #[test]
+    fn mulacc_accumulates_into_existing_destination() {
+        for cfg in HybridConfig::all() {
+            let mut arr = EveArray::new(cfg, 2);
+            arr.write_element(1, 0, 123);
+            arr.write_element(2, 0, 456);
+            arr.write_element(3, 0, 1_000_000); // pre-existing acc
+            let prog = ProgramLibrary::new(cfg).program(MacroOpKind::MulAcc);
+            arr.execute(&prog, &Binding::new(3, 1, 2));
+            assert_eq!(
+                arr.read_element(3, 0),
+                1_000_000u32.wrapping_add(123 * 456),
+                "{cfg}"
+            );
+        }
+    }
+
+    #[test]
+    fn mulacc_costs_one_extra_seed_pass() {
+        // MulAcc seeds the accumulator by copying `d` (2S+1 tuples)
+        // where Mul zero-fills it (S+1): one pass of difference.
+        use eve_uop::{count_cycles, HybridConfig};
+        for cfg in HybridConfig::all() {
+            let lib = ProgramLibrary::new(cfg);
+            let mul = count_cycles(&lib.program(MacroOpKind::Mul), cfg).0;
+            let macc = count_cycles(&lib.program(MacroOpKind::MulAcc), cfg).0;
+            assert_eq!(macc, mul + u64::from(cfg.segments()), "{cfg}");
+        }
+    }
+}

@@ -1,0 +1,296 @@
+//! Physical array geometry and the element-layout model (paper §II,
+//! Fig 1).
+//!
+//! The layout model answers the question Fig 1 illustrates: given an
+//! `R × C` SRAM holding `V` vector registers of `E`-bit elements at
+//! parallelization factor `p`, how many in-situ ALUs (lanes) exist and
+//! how well is the array utilized? Both the taxonomy spectrum (Fig 2)
+//! and the engine's hardware vector lengths (Table III) derive from it.
+
+use eve_common::{ConfigError, ConfigResult};
+
+/// Physical dimensions of one EVE SRAM array.
+///
+/// The paper's EVE SRAM is two banked 256×128 sub-arrays, i.e. a
+/// 256-row × 256-column array in aggregate (§VI-B).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SramGeometry {
+    rows: u32,
+    cols: u32,
+}
+
+impl SramGeometry {
+    /// The paper's production geometry: 256 × 256 (two banked 256×128
+    /// sub-arrays).
+    pub const PAPER: SramGeometry = SramGeometry {
+        rows: 256,
+        cols: 256,
+    };
+
+    /// The didactic geometry of Fig 1: 16 × 16.
+    pub const FIG1: SramGeometry = SramGeometry { rows: 16, cols: 16 };
+
+    /// Creates a geometry.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if either dimension is zero or not a power of
+    /// two (decoders address power-of-two row counts).
+    pub fn new(rows: u32, cols: u32) -> ConfigResult<Self> {
+        if rows == 0 || cols == 0 || !rows.is_power_of_two() || !cols.is_power_of_two() {
+            return Err(ConfigError::new(format!(
+                "array geometry {rows}x{cols} must be power-of-two sized"
+            )));
+        }
+        Ok(Self { rows, cols })
+    }
+
+    /// Number of rows (wordlines).
+    #[must_use]
+    pub fn rows(&self) -> u32 {
+        self.rows
+    }
+
+    /// Number of columns (bitlines).
+    #[must_use]
+    pub fn cols(&self) -> u32 {
+        self.cols
+    }
+
+    /// Total bit capacity.
+    #[must_use]
+    pub fn bits(&self) -> u64 {
+        u64::from(self.rows) * u64::from(self.cols)
+    }
+}
+
+/// Element-layout model for one S-CIM array (§II).
+///
+/// # Examples
+///
+/// Reproduces the §II geometry: a 256×256 array with 32 registers of
+/// 32-bit elements keeps 64 lanes through `p ≤ 4` (capacity-bound),
+/// then halves with every doubling of `p` (row-underutilization):
+///
+/// ```
+/// use eve_sram::{LayoutModel, SramGeometry};
+/// let lanes: Vec<u32> = [1, 2, 4, 8, 16, 32]
+///     .iter()
+///     .map(|&p| LayoutModel::new(SramGeometry::PAPER, 32, 32, p).unwrap().lanes())
+///     .collect();
+/// assert_eq!(lanes, [64, 64, 64, 32, 16, 8]);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LayoutModel {
+    geometry: SramGeometry,
+    element_bits: u32,
+    vregs: u32,
+    factor: u32,
+}
+
+impl LayoutModel {
+    /// Builds a layout for `vregs` registers of `element_bits`-bit
+    /// elements at parallelization factor `factor`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `factor` does not divide `element_bits`, if
+    /// either is zero, or if `vregs` is zero.
+    pub fn new(
+        geometry: SramGeometry,
+        element_bits: u32,
+        vregs: u32,
+        factor: u32,
+    ) -> ConfigResult<Self> {
+        if factor == 0 || element_bits == 0 || !element_bits.is_multiple_of(factor) {
+            return Err(ConfigError::new(format!(
+                "factor {factor} must divide element width {element_bits}"
+            )));
+        }
+        if vregs == 0 {
+            return Err(ConfigError::new("vector register count must be nonzero"));
+        }
+        if factor > geometry.cols() {
+            return Err(ConfigError::new(format!(
+                "factor {factor} wider than the array ({} columns)",
+                geometry.cols()
+            )));
+        }
+        Ok(Self {
+            geometry,
+            element_bits,
+            vregs,
+            factor,
+        })
+    }
+
+    /// The array geometry.
+    #[must_use]
+    pub fn geometry(&self) -> SramGeometry {
+        self.geometry
+    }
+
+    /// Parallelization factor `p` (segment width in bits).
+    #[must_use]
+    pub fn factor(&self) -> u32 {
+        self.factor
+    }
+
+    /// Segments per element: `E / p`.
+    #[must_use]
+    pub fn segments(&self) -> u32 {
+        self.element_bits / self.factor
+    }
+
+    /// Column groups available: `C / p` — the ALU count before any
+    /// capacity limit applies.
+    #[must_use]
+    pub fn column_groups(&self) -> u32 {
+        self.geometry.cols() / self.factor
+    }
+
+    /// Register-element slots that fit vertically in one column group:
+    /// `floor(R / segments)`.
+    #[must_use]
+    pub fn slots_per_group(&self) -> u32 {
+        self.geometry.rows() / self.segments()
+    }
+
+    /// Number of in-situ ALUs (lanes): one per column group while the
+    /// group can hold all `V` registers; otherwise columns are
+    /// repurposed for register storage and the lane count drops to the
+    /// capacity bound `R·C / (V·E)` (§II "Element Layout & Available
+    /// In-Situ ALUs").
+    #[must_use]
+    pub fn lanes(&self) -> u32 {
+        let groups = self.column_groups();
+        if self.slots_per_group() >= self.vregs {
+            groups
+        } else {
+            let capacity =
+                self.geometry.bits() / (u64::from(self.vregs) * u64::from(self.element_bits));
+            capacity.min(u64::from(groups)) as u32
+        }
+    }
+
+    /// Whether rows are left idle (`p` past the balanced point): the
+    /// registers of a lane do not fill the group's rows.
+    #[must_use]
+    pub fn row_underutilized(&self) -> bool {
+        self.slots_per_group() > self.vregs
+    }
+
+    /// Whether columns are repurposed for storage (`p` before the
+    /// balanced point): not every column group computes.
+    #[must_use]
+    pub fn column_underutilized(&self) -> bool {
+        self.slots_per_group() < self.vregs
+    }
+
+    /// Fraction of the array's bits holding live register state.
+    #[must_use]
+    pub fn utilization(&self) -> f64 {
+        let used = u64::from(self.lanes()) * u64::from(self.vregs) * u64::from(self.element_bits);
+        used as f64 / self.geometry.bits() as f64
+    }
+
+    /// The balanced parallelization factor for this array: the `p` at
+    /// which `V` registers exactly fill a column group's rows
+    /// (`p = E·V / R`), clamped to a valid factor.
+    #[must_use]
+    pub fn balanced_factor(geometry: SramGeometry, element_bits: u32, vregs: u32) -> u32 {
+        let ideal = (u64::from(element_bits) * u64::from(vregs) / u64::from(geometry.rows()))
+            .max(1) as u32;
+        ideal.next_power_of_two().min(element_bits)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn geometry_validation() {
+        assert!(SramGeometry::new(256, 256).is_ok());
+        assert!(SramGeometry::new(0, 256).is_err());
+        assert!(SramGeometry::new(100, 256).is_err());
+        assert_eq!(SramGeometry::PAPER.bits(), 65536);
+    }
+
+    #[test]
+    fn fig1_single_register_half_utilized() {
+        // Fig 1: 16x16, 8-bit elements, one vreg, p=1: 16 elements,
+        // half the SRAM occupied.
+        let m = LayoutModel::new(SramGeometry::FIG1, 8, 1, 1).unwrap();
+        assert_eq!(m.lanes(), 16);
+        assert!((m.utilization() - 0.5).abs() < 1e-9);
+        assert!(m.row_underutilized());
+    }
+
+    #[test]
+    fn fig1_two_registers_balanced() {
+        let m = LayoutModel::new(SramGeometry::FIG1, 8, 2, 1).unwrap();
+        assert_eq!(m.lanes(), 16);
+        assert!((m.utilization() - 1.0).abs() < 1e-9);
+        assert!(!m.row_underutilized());
+        assert!(!m.column_underutilized());
+    }
+
+    #[test]
+    fn fig1_four_registers_columns_repurposed() {
+        let m = LayoutModel::new(SramGeometry::FIG1, 8, 4, 1).unwrap();
+        assert_eq!(m.lanes(), 8);
+        assert!(m.column_underutilized());
+    }
+
+    #[test]
+    fn paper_geometry_lane_progression() {
+        // Matches Table III hardware vector lengths / 32 arrays:
+        // EVE-{1,2,4}: 64 lanes, EVE-8: 32, EVE-16: 16, EVE-32: 8.
+        let lanes: Vec<u32> = [1u32, 2, 4, 8, 16, 32]
+            .iter()
+            .map(|&p| {
+                LayoutModel::new(SramGeometry::PAPER, 32, 32, p)
+                    .unwrap()
+                    .lanes()
+            })
+            .collect();
+        assert_eq!(lanes, [64, 64, 64, 32, 16, 8]);
+    }
+
+    #[test]
+    fn balanced_factor_for_paper_geometry() {
+        // 32-bit x 32 vregs on 256 rows balances at p = 4 (§II:
+        // "throughput peaks when the parallelization factor reaches
+        // four").
+        assert_eq!(
+            LayoutModel::balanced_factor(SramGeometry::PAPER, 32, 32),
+            4
+        );
+    }
+
+    #[test]
+    fn utilization_peaks_at_balance() {
+        let utils: Vec<f64> = [1u32, 2, 4, 8, 16, 32]
+            .iter()
+            .map(|&p| {
+                LayoutModel::new(SramGeometry::PAPER, 32, 32, p)
+                    .unwrap()
+                    .utilization()
+            })
+            .collect();
+        let peak = utils
+            .iter()
+            .cloned()
+            .fold(f64::NEG_INFINITY, f64::max);
+        assert!((utils[2] - peak).abs() < 1e-9, "{utils:?}"); // p=4
+    }
+
+    #[test]
+    fn invalid_layouts_rejected() {
+        assert!(LayoutModel::new(SramGeometry::PAPER, 32, 32, 3).is_err());
+        assert!(LayoutModel::new(SramGeometry::PAPER, 32, 0, 1).is_err());
+        assert!(LayoutModel::new(SramGeometry::PAPER, 0, 32, 1).is_err());
+        assert!(LayoutModel::new(SramGeometry::FIG1, 8, 1, 32).is_err());
+    }
+}

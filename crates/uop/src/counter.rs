@@ -1,0 +1,366 @@
+//! The twelve shared EVE counters (paper §IV-A).
+//!
+//! EVE groups its counters as four *segment* counters (`seg_cnt[0-3]`),
+//! four *bit* counters (`bit_cnt[0-3]`), and four *array* counters
+//! (`arr_cnt[0-3]`). A counter decremented to zero resets to its initial
+//! value and raises its **zero flag**; a counter landing on a power of two
+//! raises its **binary decade flag**. Conditional branches (`bnz`, `bnd`)
+//! inspect and consume these flags.
+
+use std::fmt;
+
+/// Which of the three counter groups a counter belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum CounterGroup {
+    /// Initialized to the number of segments per element.
+    Segment,
+    /// Initialized to the segment width in bits.
+    Bit,
+    /// Initialized to the number of active EVE arrays.
+    Array,
+}
+
+/// Identifier of one of the twelve shared counters.
+///
+/// # Examples
+///
+/// ```
+/// use eve_uop::CounterId;
+/// let c = CounterId::seg(1);
+/// assert_eq!(c.to_string(), "seg_cnt[1]");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct CounterId {
+    group: CounterGroup,
+    index: u8,
+}
+
+impl CounterId {
+    /// `seg_cnt[0]`, conventionally the inner segment-loop counter.
+    pub const SEG0: CounterId = CounterId {
+        group: CounterGroup::Segment,
+        index: 0,
+    };
+    /// `seg_cnt[1]`, conventionally the outer loop counter.
+    pub const SEG1: CounterId = CounterId {
+        group: CounterGroup::Segment,
+        index: 1,
+    };
+    /// `bit_cnt[0]`, conventionally the within-segment bit counter.
+    pub const BIT0: CounterId = CounterId {
+        group: CounterGroup::Bit,
+        index: 0,
+    };
+    /// `arr_cnt[0]`, conventionally the active-array counter.
+    pub const ARR0: CounterId = CounterId {
+        group: CounterGroup::Array,
+        index: 0,
+    };
+
+    /// Segment counter `seg_cnt[index]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= 4`.
+    #[must_use]
+    pub fn seg(index: u8) -> Self {
+        assert!(index < 4, "seg_cnt index {index} out of range");
+        Self {
+            group: CounterGroup::Segment,
+            index,
+        }
+    }
+
+    /// Bit counter `bit_cnt[index]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= 4`.
+    #[must_use]
+    pub fn bit(index: u8) -> Self {
+        assert!(index < 4, "bit_cnt index {index} out of range");
+        Self {
+            group: CounterGroup::Bit,
+            index,
+        }
+    }
+
+    /// Array counter `arr_cnt[index]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= 4`.
+    #[must_use]
+    pub fn arr(index: u8) -> Self {
+        assert!(index < 4, "arr_cnt index {index} out of range");
+        Self {
+            group: CounterGroup::Array,
+            index,
+        }
+    }
+
+    /// The counter's group.
+    #[must_use]
+    pub fn group(&self) -> CounterGroup {
+        self.group
+    }
+
+    /// Index within the group (0–3).
+    #[must_use]
+    pub fn index(&self) -> u8 {
+        self.index
+    }
+
+    fn flat(&self) -> usize {
+        let base = match self.group {
+            CounterGroup::Segment => 0,
+            CounterGroup::Bit => 4,
+            CounterGroup::Array => 8,
+        };
+        base + self.index as usize
+    }
+}
+
+impl fmt::Display for CounterId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self.group {
+            CounterGroup::Segment => "seg_cnt",
+            CounterGroup::Bit => "bit_cnt",
+            CounterGroup::Array => "arr_cnt",
+        };
+        write!(f, "{name}[{}]", self.index)
+    }
+}
+
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+struct Counter {
+    init: u32,
+    value: u32,
+    zero_flag: bool,
+    decade_flag: bool,
+}
+
+/// The VSU's file of twelve shared counters.
+///
+/// # Examples
+///
+/// ```
+/// use eve_uop::{CounterFile, CounterId};
+/// let mut file = CounterFile::new();
+/// let c = CounterId::seg(0);
+/// file.init(c, 3);
+/// file.decr(c); // 2
+/// file.decr(c); // 1
+/// assert!(!file.zero_flag(c));
+/// file.decr(c); // 0 -> resets to 3, raises zero flag
+/// assert!(file.zero_flag(c));
+/// assert_eq!(file.value(c), 3);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CounterFile {
+    counters: [Counter; 12],
+}
+
+impl CounterFile {
+    /// A fresh counter file, all counters at zero with clear flags.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// `init cnt, val`: sets both the live value and the reset value.
+    pub fn init(&mut self, id: CounterId, value: u32) {
+        self.counters[id.flat()] = Counter {
+            init: value,
+            value,
+            zero_flag: false,
+            decade_flag: false,
+        };
+    }
+
+    /// `decr cnt`: decrements; on hitting zero, resets to the initial
+    /// value and raises the zero flag. Landing on a power of two raises
+    /// the binary decade flag.
+    pub fn decr(&mut self, id: CounterId) {
+        let c = &mut self.counters[id.flat()];
+        if c.value == 0 {
+            // Decrementing an exhausted counter keeps it pinned; real
+            // hardware would never issue this, but stay total.
+            c.zero_flag = true;
+            return;
+        }
+        c.value -= 1;
+        if c.value == 0 {
+            c.zero_flag = true;
+            c.value = c.init;
+        } else if c.value.is_power_of_two() {
+            c.decade_flag = true;
+        }
+    }
+
+    /// `incr cnt`: increments by one.
+    pub fn incr(&mut self, id: CounterId) {
+        let c = &mut self.counters[id.flat()];
+        c.value += 1;
+        if c.value.is_power_of_two() {
+            c.decade_flag = true;
+        }
+    }
+
+    /// Live value of a counter.
+    #[must_use]
+    pub fn value(&self, id: CounterId) -> u32 {
+        self.counters[id.flat()].value
+    }
+
+    /// Reset (initial) value of a counter.
+    #[must_use]
+    pub fn init_value(&self, id: CounterId) -> u32 {
+        self.counters[id.flat()].init
+    }
+
+    /// Whether the counter has completed a full count since the flag was
+    /// last consumed.
+    #[must_use]
+    pub fn zero_flag(&self, id: CounterId) -> bool {
+        self.counters[id.flat()].zero_flag
+    }
+
+    /// Consumes (clears) the zero flag, returning its prior state.
+    pub fn take_zero_flag(&mut self, id: CounterId) -> bool {
+        let c = &mut self.counters[id.flat()];
+        std::mem::take(&mut c.zero_flag)
+    }
+
+    /// Whether the counter has landed on a binary decade since the flag
+    /// was last consumed.
+    #[must_use]
+    pub fn decade_flag(&self, id: CounterId) -> bool {
+        self.counters[id.flat()].decade_flag
+    }
+
+    /// Consumes (clears) the decade flag, returning its prior state.
+    pub fn take_decade_flag(&mut self, id: CounterId) -> bool {
+        let c = &mut self.counters[id.flat()];
+        std::mem::take(&mut c.decade_flag)
+    }
+
+    /// Current segment index for an *upward* walk driven by `id`:
+    /// `init - value`. While a loop counts down from `S`, this walks
+    /// `0, 1, .., S-1`.
+    #[must_use]
+    pub fn seg_up(&self, id: CounterId) -> u32 {
+        let c = &self.counters[id.flat()];
+        c.init.saturating_sub(c.value)
+    }
+
+    /// Current segment index for a *downward* walk driven by `id`:
+    /// `value - 1`. While a loop counts down from `S`, this walks
+    /// `S-1, S-2, .., 0`.
+    #[must_use]
+    pub fn seg_down(&self, id: CounterId) -> u32 {
+        self.counters[id.flat()].value.saturating_sub(1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_loop_runs_exactly_init_times() {
+        // Simulate `init 5; loop { decr; bnz }`: body must run 5 times.
+        let mut file = CounterFile::new();
+        let c = CounterId::seg(0);
+        file.init(c, 5);
+        let mut iterations = 0;
+        loop {
+            iterations += 1; // loop body
+            file.decr(c);
+            if file.take_zero_flag(c) {
+                break;
+            }
+        }
+        assert_eq!(iterations, 5);
+        // Counter auto-reset: can run the loop again without re-init.
+        let mut again = 0;
+        loop {
+            again += 1;
+            file.decr(c);
+            if file.take_zero_flag(c) {
+                break;
+            }
+        }
+        assert_eq!(again, 5);
+    }
+
+    #[test]
+    fn seg_walks() {
+        let mut file = CounterFile::new();
+        let c = CounterId::seg(1);
+        file.init(c, 4);
+        let mut ups = Vec::new();
+        let mut downs = Vec::new();
+        for _ in 0..4 {
+            ups.push(file.seg_up(c));
+            downs.push(file.seg_down(c));
+            file.decr(c);
+            file.take_zero_flag(c);
+        }
+        assert_eq!(ups, [0, 1, 2, 3]);
+        assert_eq!(downs, [3, 2, 1, 0]);
+    }
+
+    #[test]
+    fn decade_flag_on_powers_of_two() {
+        let mut file = CounterFile::new();
+        let c = CounterId::bit(0);
+        file.init(c, 9);
+        let mut decades = Vec::new();
+        for _ in 0..8 {
+            file.decr(c);
+            if file.take_decade_flag(c) {
+                decades.push(file.value(c));
+            }
+        }
+        assert_eq!(decades, [8, 4, 2, 1]);
+    }
+
+    #[test]
+    fn decr_at_zero_is_total() {
+        let mut file = CounterFile::new();
+        let c = CounterId::arr(3);
+        // Never initialized: value 0.
+        file.decr(c);
+        assert!(file.zero_flag(c));
+        assert_eq!(file.value(c), 0);
+    }
+
+    #[test]
+    fn incr_counts_up() {
+        let mut file = CounterFile::new();
+        let c = CounterId::arr(0);
+        file.init(c, 0);
+        file.incr(c);
+        file.incr(c);
+        assert_eq!(file.value(c), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bad_index_panics() {
+        let _ = CounterId::seg(4);
+    }
+
+    #[test]
+    fn twelve_distinct_counters() {
+        use std::collections::HashSet;
+        let mut all = HashSet::new();
+        for i in 0..4 {
+            all.insert(CounterId::seg(i));
+            all.insert(CounterId::bit(i));
+            all.insert(CounterId::arr(i));
+        }
+        assert_eq!(all.len(), 12);
+    }
+}

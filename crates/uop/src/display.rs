@@ -1,0 +1,224 @@
+//! Textual μprogram listings (the notation of the paper's Fig 4).
+//!
+//! Each ROM entry prints as its VLIW tuple: `counter | arithmetic |
+//! control`, with the paper's mnemonics (`blc`, `wb`, `rd`, `m_shft`,
+//! `init`/`decr`, `bnz`/`bnd`/`ret`).
+
+use crate::program::MicroProgram;
+use crate::uop::{
+    ArithUop, ComputeSrc, ControlUop, CounterUop, MaskSrc, Operand, SegSel, Tuple, VSlot, WbDest,
+};
+use std::fmt;
+
+impl fmt::Display for VSlot {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VSlot::D => write!(f, "d"),
+            VSlot::S1 => write!(f, "a"),
+            VSlot::S2 => write!(f, "b"),
+            VSlot::Mask => write!(f, "v0"),
+            VSlot::Scratch(k) => write!(f, "sc{k}"),
+        }
+    }
+}
+
+impl fmt::Display for Operand {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.seg {
+            SegSel::Up(c) => write!(f, "{}[{}\u{2191}]", self.slot, c),
+            SegSel::Down(c) => write!(f, "{}[{}\u{2193}]", self.slot, c),
+            SegSel::At(k) => write!(f, "{}[{k}]", self.slot),
+        }
+    }
+}
+
+impl fmt::Display for ComputeSrc {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            ComputeSrc::And => "and",
+            ComputeSrc::Nand => "nand",
+            ComputeSrc::Or => "or",
+            ComputeSrc::Nor => "nor",
+            ComputeSrc::Xor => "xor",
+            ComputeSrc::Xnor => "xnor",
+            ComputeSrc::Add => "add",
+            ComputeSrc::Shift => "shift",
+            ComputeSrc::Mask => "mask",
+        };
+        write!(f, "{s}")
+    }
+}
+
+impl fmt::Display for ArithUop {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ArithUop::Nop => write!(f, "-"),
+            ArithUop::Read { op } => write!(f, "rd {op}"),
+            ArithUop::WriteConst { op, value, masked } => {
+                let m = if *masked { ", m" } else { "" };
+                write!(f, "wr {op}, #{value:#x}{m}")
+            }
+            ArithUop::WriteDataIn { op } => write!(f, "wr {op}, data_in"),
+            ArithUop::Blc { a, b, carry_in } => {
+                let c = match carry_in {
+                    crate::uop::CarryIn::Stored => "",
+                    crate::uop::CarryIn::Zero => ", c0",
+                    crate::uop::CarryIn::One => ", c1",
+                };
+                write!(f, "blc {a}, {b}{c}")
+            }
+            ArithUop::Writeback { dst, src, masked } => {
+                let m = if *masked { ", m" } else { "" };
+                match dst {
+                    WbDest::Row(op) => write!(f, "wb {op}, {src}{m}"),
+                    WbDest::MaskReg => write!(f, "wb mask, {src}{m}"),
+                    WbDest::XReg => write!(f, "wb xreg, {src}{m}"),
+                }
+            }
+            ArithUop::LoadShifter { op } => write!(f, "ldsh {op}"),
+            ArithUop::StoreShifter { op, masked } => {
+                let m = if *masked { ", m" } else { "" };
+                write!(f, "stsh {op}{m}")
+            }
+            ArithUop::LoadXReg { op } => write!(f, "ldx {op}"),
+            ArithUop::ShiftLeft { masked } => {
+                write!(f, "lshft{}", if *masked { " m" } else { "" })
+            }
+            ArithUop::ShiftRight { masked } => {
+                write!(f, "rshft{}", if *masked { " m" } else { "" })
+            }
+            ArithUop::RotateLeft { masked } => {
+                write!(f, "lrot{}", if *masked { " m" } else { "" })
+            }
+            ArithUop::RotateRight { masked } => {
+                write!(f, "rrot{}", if *masked { " m" } else { "" })
+            }
+            ArithUop::MaskShift => write!(f, "m_shft"),
+            ArithUop::SetMask { src, invert } => {
+                let s = match src {
+                    MaskSrc::XRegLsb => "xreg.lsb",
+                    MaskSrc::XRegMsb => "xreg.msb",
+                    MaskSrc::AddMsb => "add.msb",
+                    MaskSrc::Carry => "carry",
+                    MaskSrc::AllOnes => "ones",
+                };
+                write!(f, "setm {}{s}", if *invert { "!" } else { "" })
+            }
+            ArithUop::SetCarry { value } => write!(f, "setc {}", u8::from(*value)),
+            ArithUop::ClearSpare => write!(f, "clrsp"),
+        }
+    }
+}
+
+impl fmt::Display for CounterUop {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CounterUop::Nop => write!(f, "-"),
+            CounterUop::Init { ctr, value } => write!(f, "init {ctr}, {value}"),
+            CounterUop::Decr(c) => write!(f, "decr {c}"),
+            CounterUop::Incr(c) => write!(f, "incr {c}"),
+        }
+    }
+}
+
+impl fmt::Display for ControlUop {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ControlUop::Nop => write!(f, "-"),
+            ControlUop::Bnz { ctr, target } => write!(f, "bnz {ctr}, @{target}"),
+            ControlUop::BnzRet { ctr, target } => write!(f, "bnz.r {ctr}, @{target}"),
+            ControlUop::Bnd { ctr, target } => write!(f, "bnd {ctr}, @{target}"),
+            ControlUop::Jump { target } => write!(f, "j @{target}"),
+            ControlUop::Ret => write!(f, "ret"),
+        }
+    }
+}
+
+impl fmt::Display for Tuple {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{:<16} | {:<28} | {}",
+            self.counter.to_string(),
+            self.arith.to_string(),
+            self.control
+        )
+    }
+}
+
+/// Renders a μprogram as a Fig 4-style listing.
+///
+/// # Examples
+///
+/// ```
+/// use eve_uop::{listing, HybridConfig, MacroOpKind, ProgramLibrary};
+/// let lib = ProgramLibrary::new(HybridConfig::new(8)?);
+/// let text = listing(&lib.program(MacroOpKind::Add));
+/// assert!(text.contains("blc"));
+/// assert!(text.contains("bnz.r"));
+/// # Ok::<(), eve_common::ConfigError>(())
+/// ```
+#[must_use]
+pub fn listing(prog: &MicroProgram) -> String {
+    let mut out = format!(
+        "{} ({} tuples)\n{:>4}  {:<16} | {:<28} | control\n",
+        prog.name(),
+        prog.len(),
+        "pc",
+        "counter",
+        "arithmetic",
+    );
+    for (i, t) in prog.tuples().iter().enumerate() {
+        out.push_str(&format!("{i:>4}: {t}\n"));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::library::{MacroOpKind, ProgramLibrary};
+    use crate::program::HybridConfig;
+
+    #[test]
+    fn add_listing_shows_fig4_shape() {
+        let lib = ProgramLibrary::new(HybridConfig::new(8).unwrap());
+        let text = listing(&lib.program(MacroOpKind::Add));
+        // Fig 4(a): init, blc, writeback of the sum, loop-ret.
+        assert!(text.contains("init seg_cnt[0], 4"), "{text}");
+        assert!(text.contains("blc a[seg_cnt[0]\u{2191}], b[seg_cnt[0]\u{2191}]"), "{text}");
+        assert!(text.contains("wb d[seg_cnt[0]\u{2191}], add"), "{text}");
+        assert!(text.contains("bnz.r seg_cnt[0], @1"), "{text}");
+    }
+
+    #[test]
+    fn mul_listing_has_nested_loops_and_mask_shift() {
+        let lib = ProgramLibrary::new(HybridConfig::new(4).unwrap());
+        let text = listing(&lib.program(MacroOpKind::Mul));
+        assert!(text.contains("m_shft"), "{text}");
+        assert!(text.contains("init bit_cnt[0], 4"), "{text}");
+        assert!(text.contains("setm xreg.lsb"), "{text}");
+        // Predicated accumulate writes under the mask (into the
+        // aliasing-safe scratch-1 accumulator).
+        assert!(text.contains("wb sc1[seg_cnt[0]\u{2191}], add, m"), "{text}");
+    }
+
+    #[test]
+    fn every_program_renders() {
+        for cfg in HybridConfig::all() {
+            let lib = ProgramLibrary::new(cfg);
+            for kind in [
+                MacroOpKind::Add,
+                MacroOpKind::Sub,
+                MacroOpKind::Mul,
+                MacroOpKind::Divu,
+                MacroOpKind::SllV,
+                MacroOpKind::Merge,
+                MacroOpKind::CmpLt,
+            ] {
+                let text = listing(&lib.program(kind));
+                assert!(text.lines().count() > 3, "{cfg} {kind:?}");
+            }
+        }
+    }
+}

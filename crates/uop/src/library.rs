@@ -1,0 +1,1260 @@
+//! The macro-operation μprogram library (paper §IV-B, Fig 4).
+//!
+//! The VSU holds a ROM of μprograms, one per macro-operation kind. This
+//! module generates those programs for any EVE-*n* configuration. All
+//! programs follow the VLIW tuple conventions of [`crate::uop`]:
+//!
+//! * loops keep their `decr`/`bnz` in the *final* tuple of the body, so
+//!   arithmetic μops in the body observe the pre-decrement segment index
+//!   (synchronous-hardware semantics: every μop in a tuple reads
+//!   start-of-cycle state; the control μop alone sees the counter update
+//!   it is fused with);
+//! * the inter-segment carry lives in the spare-shifter flip-flop and is
+//!   preset by `SetCarry` before each multi-segment addition;
+//! * subtraction is the classic two-pass S-CIM sequence: complement the
+//!   subtrahend, then add with carry-in one.
+//!
+//! # Scratch register convention
+//!
+//! Programs may use [`VSlot::Scratch`] slots 0–5. The engine reserves
+//! matching rows in each EVE array:
+//!
+//! | slot | use |
+//! |------|-----|
+//! | 0    | accumulating / doubling operand (`mul` addend, `div` remainder) |
+//! | 1    | discarded sums, division quotient shadow |
+//! | 2    | complemented operand / broadcast constants |
+//! | 3    | working copies (dividend, shifted values) |
+//! | 4, 5 | mask temporaries (single row each) |
+
+use crate::counter::CounterId;
+use crate::program::{HybridConfig, MicroProgram, ProgramBuilder};
+use crate::uop::{
+    ArithUop, CarryIn, ComputeSrc, ControlUop, CounterUop, MaskSrc, Operand, SegSel, VSlot,
+    WbDest,
+};
+use eve_common::bits::extract_bits;
+
+/// Kinds of macro-operations the VSU can sequence.
+///
+/// Shift-immediate kinds carry the shift amount because the VSU knows it
+/// at issue time and unrolls exactly the needed μops (§III-B binary
+/// decomposition); everything else is amount-independent.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MacroOpKind {
+    /// Copy a vector register (`vmv.v.v`).
+    Mv,
+    /// Bit-wise complement (`vnot`, i.e. `vxor.vi -1`).
+    Not,
+    /// Bit-wise AND (`vand`).
+    And,
+    /// Bit-wise OR (`vor`).
+    Or,
+    /// Bit-wise XOR (`vxor`).
+    Xor,
+    /// Wrapping 32-bit addition (`vadd`).
+    Add,
+    /// Wrapping 32-bit subtraction (`vsub`): `d = s1 - s2`.
+    Sub,
+    /// Low 32 bits of the product (`vmul`).
+    Mul,
+    /// Multiply-accumulate (`vmacc`): `d += s1 * s2`. The `mul`
+    /// μprogram without its zeroing prologue — the predicated
+    /// summation already accumulates into the destination.
+    MulAcc,
+    /// High 32 bits of the product (`vmulh`/`vmulhu`). Sequenced like
+    /// `Mul`; the engine computes the high half functionally.
+    Mulh,
+    /// Unsigned division (`vdivu`): quotient.
+    Divu,
+    /// Unsigned remainder (`vremu`).
+    Remu,
+    /// Signed division (`vdiv`): unsigned core plus sign fix-up passes.
+    Div,
+    /// Signed remainder (`vrem`).
+    Rem,
+    /// Logical shift left by a known amount (`vsll.vx/.vi`).
+    SllI(u8),
+    /// Logical shift right by a known amount (`vsrl.vx/.vi`).
+    SrlI(u8),
+    /// Arithmetic shift right by a known amount (`vsra.vx/.vi`).
+    SraI(u8),
+    /// Rotate left by a known amount (`vrol` from the Zvbb bit-manip
+    /// extension — future-proofing beyond the paper's integer set).
+    RotlI(u8),
+    /// Rotate right by a known amount (`vror`).
+    RotrI(u8),
+    /// Logical shift left by per-element amounts (`vsll.vv`).
+    SllV,
+    /// Logical shift right by per-element amounts (`vsrl.vv`).
+    SrlV,
+    /// Arithmetic shift right by per-element amounts (`vsra.vv`).
+    SraV,
+    /// Mask := element-wise equality (`vmseq`).
+    CmpEq,
+    /// Mask := element-wise inequality (`vmsne`).
+    CmpNe,
+    /// Mask := signed less-than (`vmslt`).
+    CmpLt,
+    /// Mask := unsigned less-than (`vmsltu`).
+    CmpLtu,
+    /// Signed minimum (`vmin`).
+    Min,
+    /// Signed maximum (`vmax`).
+    Max,
+    /// Unsigned minimum (`vminu`).
+    Minu,
+    /// Unsigned maximum (`vmaxu`).
+    Maxu,
+    /// Mask-predicated select (`vmerge.vvm`): `d = mask ? s1 : s2`.
+    Merge,
+    /// Mask-register AND (`vmand.mm`) — a single-row operation.
+    MaskAnd,
+    /// Mask-register OR (`vmor.mm`).
+    MaskOr,
+    /// Mask-register XOR (`vmxor.mm`).
+    MaskXor,
+    /// Mask-register NOT (`vmnot.m`).
+    MaskNot,
+    /// Broadcast a scalar into a vector register (`vmv.v.x/.i`).
+    Splat(u32),
+}
+
+impl MacroOpKind {
+    /// Whether the generated μprogram is bit-exact when run on the
+    /// bit-accurate SRAM model. Signed division/remainder sequence the
+    /// unsigned core plus *timing-representative* sign-fix passes; their
+    /// results come from the functional model (exactly the paper's
+    /// "execution happens functionally" split, §VII-A).
+    #[must_use]
+    pub fn is_bit_exact(&self) -> bool {
+        !matches!(
+            self,
+            MacroOpKind::Div | MacroOpKind::Rem | MacroOpKind::Mulh
+        )
+    }
+}
+
+const SEG: CounterId = CounterId::SEG0;
+const OUTER: CounterId = CounterId::SEG1;
+const BIT: CounterId = CounterId::BIT0;
+
+/// Generates μprograms for one EVE-*n* configuration.
+///
+/// # Examples
+///
+/// ```
+/// use eve_uop::{HybridConfig, MacroOpKind, ProgramLibrary};
+/// let lib = ProgramLibrary::new(HybridConfig::new(4)?);
+/// let mul = lib.program(MacroOpKind::Mul);
+/// assert_eq!(mul.name(), "mul");
+/// # Ok::<(), eve_common::ConfigError>(())
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct ProgramLibrary {
+    cfg: HybridConfig,
+}
+
+impl ProgramLibrary {
+    /// A library targeting `cfg`.
+    #[must_use]
+    pub fn new(cfg: HybridConfig) -> Self {
+        Self { cfg }
+    }
+
+    /// The configuration programs are generated for.
+    #[must_use]
+    pub fn config(&self) -> HybridConfig {
+        self.cfg
+    }
+
+    /// Builds the μprogram implementing `kind`.
+    ///
+    /// # Panics
+    ///
+    /// Never panics for the kinds defined in this crate; the generators
+    /// are exhaustively tested against every configuration.
+    #[must_use]
+    pub fn program(&self, kind: MacroOpKind) -> MicroProgram {
+        let mut g = Gen::new(self.cfg, kind_name(kind));
+        match kind {
+            MacroOpKind::Mv => g.unary(VSlot::S1, VSlot::D, ComputeSrc::And),
+            MacroOpKind::Not => g.unary(VSlot::S1, VSlot::D, ComputeSrc::Nand),
+            MacroOpKind::And => g.binary(ComputeSrc::And),
+            MacroOpKind::Or => g.binary(ComputeSrc::Or),
+            MacroOpKind::Xor => g.binary(ComputeSrc::Xor),
+            MacroOpKind::Add => g.add(),
+            MacroOpKind::Sub => g.sub(),
+            MacroOpKind::Mul | MacroOpKind::Mulh => g.mul(true),
+            MacroOpKind::MulAcc => g.mul(false),
+            MacroOpKind::Divu => g.divu(false),
+            MacroOpKind::Remu => g.divu(true),
+            MacroOpKind::Div => g.div_signed(false),
+            MacroOpKind::Rem => g.div_signed(true),
+            MacroOpKind::SllI(k) => g.shift_imm(k, true, false),
+            MacroOpKind::RotlI(k) => g.rotate_imm(k, true),
+            MacroOpKind::RotrI(k) => g.rotate_imm(k, false),
+            MacroOpKind::SrlI(k) => g.shift_imm(k, false, false),
+            MacroOpKind::SraI(k) => g.shift_imm(k, false, true),
+            MacroOpKind::SllV => g.shift_var(true, false),
+            MacroOpKind::SrlV => g.shift_var(false, false),
+            MacroOpKind::SraV => g.shift_var(false, true),
+            MacroOpKind::CmpEq => g.cmp_eq(false),
+            MacroOpKind::CmpNe => g.cmp_eq(true),
+            MacroOpKind::CmpLt => g.cmp_lt(true, VSlot::S1, VSlot::S2, WbTarget::DRow),
+            MacroOpKind::CmpLtu => g.cmp_lt(false, VSlot::S1, VSlot::S2, WbTarget::DRow),
+            MacroOpKind::Min => g.minmax(true, true),
+            MacroOpKind::Max => g.minmax(true, false),
+            MacroOpKind::Minu => g.minmax(false, true),
+            MacroOpKind::Maxu => g.minmax(false, false),
+            MacroOpKind::Merge => g.merge(),
+            MacroOpKind::MaskAnd => g.mask_op(ComputeSrc::And),
+            MacroOpKind::MaskOr => g.mask_op(ComputeSrc::Or),
+            MacroOpKind::MaskXor => g.mask_op(ComputeSrc::Xor),
+            MacroOpKind::MaskNot => g.mask_not(),
+            MacroOpKind::Splat(v) => g.splat(v),
+        }
+        g.finish()
+    }
+}
+
+fn kind_name(kind: MacroOpKind) -> &'static str {
+    match kind {
+        MacroOpKind::Mv => "mv",
+        MacroOpKind::Not => "not",
+        MacroOpKind::And => "and",
+        MacroOpKind::Or => "or",
+        MacroOpKind::Xor => "xor",
+        MacroOpKind::Add => "add",
+        MacroOpKind::Sub => "sub",
+        MacroOpKind::Mul => "mul",
+        MacroOpKind::MulAcc => "mulacc",
+        MacroOpKind::Mulh => "mulh",
+        MacroOpKind::Divu => "divu",
+        MacroOpKind::Remu => "remu",
+        MacroOpKind::Div => "div",
+        MacroOpKind::Rem => "rem",
+        MacroOpKind::SllI(_) => "slli",
+        MacroOpKind::RotlI(_) => "rotli",
+        MacroOpKind::RotrI(_) => "rotri",
+        MacroOpKind::SrlI(_) => "srli",
+        MacroOpKind::SraI(_) => "srai",
+        MacroOpKind::SllV => "sllv",
+        MacroOpKind::SrlV => "srlv",
+        MacroOpKind::SraV => "srav",
+        MacroOpKind::CmpEq => "cmpeq",
+        MacroOpKind::CmpNe => "cmpne",
+        MacroOpKind::CmpLt => "cmplt",
+        MacroOpKind::CmpLtu => "cmpltu",
+        MacroOpKind::Min => "min",
+        MacroOpKind::Max => "max",
+        MacroOpKind::Minu => "minu",
+        MacroOpKind::Maxu => "maxu",
+        MacroOpKind::Merge => "merge",
+        MacroOpKind::MaskAnd => "maskand",
+        MacroOpKind::MaskOr => "maskor",
+        MacroOpKind::MaskXor => "maskxor",
+        MacroOpKind::MaskNot => "masknot",
+        MacroOpKind::Splat(_) => "splat",
+    }
+}
+
+/// Where a computed mask should be persisted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[allow(dead_code)] // LatchesOnly kept for symmetric API use by future macro-ops
+enum WbTarget {
+    /// Into the destination register's row 0 (compare instructions).
+    DRow,
+    /// Into a scratch mask row.
+    Scratch(u8),
+    /// Leave it in the latches only.
+    LatchesOnly,
+}
+
+/// Internal program generator: a [`ProgramBuilder`] plus the segment
+/// geometry, offering the reusable "passes" the macro-ops compose.
+struct Gen {
+    b: ProgramBuilder,
+    segs: u32,
+    bits: u32,
+    next_label: u32,
+}
+
+impl Gen {
+    fn new(cfg: HybridConfig, name: &str) -> Self {
+        Self {
+            b: ProgramBuilder::new(name),
+            segs: cfg.segments(),
+            bits: cfg.segment_bits(),
+            next_label: 0,
+        }
+    }
+
+    fn finish(self) -> MicroProgram {
+        self.b.build().expect("generated programs are well formed")
+    }
+
+    fn fresh_label(&mut self, stem: &str) -> String {
+        let l = format!("{stem}_{}", self.next_label);
+        self.next_label += 1;
+        l
+    }
+
+    /// Emits `init seg, S` fused with an optional carry preset, then a
+    /// 2-tuple/segment loop `body(blc)` / `wb`. `terminal` makes the loop
+    /// end the program on completion.
+    fn seg_loop<F>(&mut self, terminal: bool, mut body: F)
+    where
+        F: FnMut(u32) -> (ArithUop, ArithUop),
+    {
+        // `body` receives an opaque token (unused; segment selection is
+        // by counter) and returns the (first, second) arithmetic μops.
+        let label = self.fresh_label("seg");
+        self.b.label(&label);
+        let (first, second) = body(0);
+        self.b.arith(first);
+        if terminal {
+            self.b.arith_branch_nz_ret_with_decr(second, SEG, &label);
+        } else {
+            self.b.arith_branch_nz_with_decr(second, SEG, &label);
+        }
+    }
+
+    fn init_seg(&mut self, carry: Option<bool>) {
+        let init = CounterUop::Init {
+            ctr: SEG,
+            value: self.segs,
+        };
+        match carry {
+            Some(v) => self.b.emit(init, ArithUop::SetCarry { value: v }, ControlUop::Nop),
+            None => self.b.counter(init),
+        }
+    }
+
+    /// Unary pass: `dst = op(src, src)` segment by segment (copy via
+    /// AND, complement via NAND). Cost: 2S + 1.
+    fn unary_pass(&mut self, src: VSlot, dst: VSlot, op: ComputeSrc, masked: bool, terminal: bool) {
+        self.init_seg(None);
+        self.seg_loop(terminal, |_| {
+            (
+                ArithUop::Blc {
+                    a: Operand::up(src, SEG),
+                    b: Operand::up(src, SEG),
+                    carry_in: CarryIn::Zero,
+                },
+                ArithUop::Writeback {
+                    dst: WbDest::Row(Operand::up(dst, SEG)),
+                    src: op,
+                    masked,
+                },
+            )
+        });
+    }
+
+    /// Binary pass: `dst = op(a, b)` segment by segment. Cost: 2S + 1
+    /// (2S + 2 when a carry preset is requested).
+    #[allow(clippy::too_many_arguments)] // mirrors the μop's full operand set
+    fn binary_pass(
+        &mut self,
+        a: VSlot,
+        b: VSlot,
+        dst: VSlot,
+        op: ComputeSrc,
+        carry: Option<bool>,
+        masked: bool,
+        terminal: bool,
+    ) {
+        self.init_seg(carry);
+        self.seg_loop(terminal, |_| {
+            (
+                ArithUop::Blc {
+                    a: Operand::up(a, SEG),
+                    b: Operand::up(b, SEG),
+                    carry_in: if carry.is_some() {
+                        CarryIn::Stored
+                    } else {
+                        CarryIn::Zero
+                    },
+                },
+                ArithUop::Writeback {
+                    dst: WbDest::Row(Operand::up(dst, SEG)),
+                    src: op,
+                    masked,
+                },
+            )
+        });
+    }
+
+    /// Zero-fill pass: `dst = 0`. Cost: S + 1.
+    fn zero_pass(&mut self, dst: VSlot) {
+        self.init_seg(None);
+        let label = self.fresh_label("zero");
+        self.b.label(&label);
+        self.b.arith_branch_nz_with_decr(
+            ArithUop::WriteConst {
+                op: Operand::up(dst, SEG),
+                value: 0,
+                masked: false,
+            },
+            SEG,
+            &label,
+        );
+    }
+
+    fn unary(&mut self, src: VSlot, dst: VSlot, op: ComputeSrc) {
+        self.unary_pass(src, dst, op, false, true);
+    }
+
+    fn binary(&mut self, op: ComputeSrc) {
+        self.binary_pass(VSlot::S1, VSlot::S2, VSlot::D, op, None, false, true);
+    }
+
+    /// Fig 4(a): segment-serial addition with the carry chained through
+    /// the spare-shifter flip-flop. Cost: 2S + 1.
+    fn add(&mut self) {
+        self.binary_pass(
+            VSlot::S1,
+            VSlot::S2,
+            VSlot::D,
+            ComputeSrc::Add,
+            Some(false),
+            false,
+            true,
+        );
+    }
+
+    /// Two-pass subtraction: complement `s2` into scratch 2, then add
+    /// with carry-in one. Cost: 4S + 3.
+    fn sub(&mut self) {
+        self.unary_pass(VSlot::S2, VSlot::Scratch(2), ComputeSrc::Nand, false, false);
+        self.binary_pass(
+            VSlot::S1,
+            VSlot::Scratch(2),
+            VSlot::D,
+            ComputeSrc::Add,
+            Some(true),
+            false,
+            true,
+        );
+    }
+
+    /// Fig 4(b): shift-and-add multiplication. The multiplier streams
+    /// through the XRegister one bit per inner iteration; each set bit
+    /// adds the doubling addend (scratch 0) into the destination under
+    /// the mask.
+    fn mul(&mut self, zero_dest: bool) {
+        // Accumulate into scratch 1 and copy to `d` only at the end, so
+        // `d` may alias either source (RVV allows vmul vd, vd, vd).
+        // A(scratch0) = s1 is the doubling addend.
+        if zero_dest {
+            self.zero_pass(VSlot::Scratch(1));
+        } else {
+            // Multiply-accumulate: seed the accumulator from `d`.
+            self.unary_pass(VSlot::D, VSlot::Scratch(1), ComputeSrc::And, false, false);
+        }
+        self.unary_pass(VSlot::S1, VSlot::Scratch(0), ComputeSrc::And, false, false);
+        // Outer loop over multiplier segments.
+        self.b.counter(CounterUop::Init {
+            ctr: OUTER,
+            value: self.segs,
+        });
+        self.b.label("outer");
+        // Load the current multiplier segment into the XRegister.
+        self.b.arith(ArithUop::Blc {
+            a: Operand::up(VSlot::S2, OUTER),
+            b: Operand::up(VSlot::S2, OUTER),
+            carry_in: CarryIn::Zero,
+        });
+        self.b.emit(
+            CounterUop::Init {
+                ctr: BIT,
+                value: self.bits,
+            },
+            ArithUop::Writeback {
+                dst: WbDest::XReg,
+                src: ComputeSrc::And,
+                masked: false,
+            },
+            ControlUop::Nop,
+        );
+        self.b.label("inner");
+        self.b.arith(ArithUop::SetMask {
+            src: MaskSrc::XRegLsb,
+            invert: false,
+        });
+        // acc += A where mask.
+        self.binary_pass(
+            VSlot::Scratch(1),
+            VSlot::Scratch(0),
+            VSlot::Scratch(1),
+            ComputeSrc::Add,
+            Some(false),
+            true,
+            false,
+        );
+        // A += A (unconditional doubling).
+        self.binary_pass(
+            VSlot::Scratch(0),
+            VSlot::Scratch(0),
+            VSlot::Scratch(0),
+            ComputeSrc::Add,
+            Some(false),
+            false,
+            false,
+        );
+        // Next multiplier bit; next segment once the XRegister drains.
+        self.b
+            .arith_branch_nz_with_decr(ArithUop::MaskShift, BIT, "inner");
+        self.b.decr_branch_nz(OUTER, "outer");
+        // Commit the accumulator to the destination.
+        self.unary_pass(VSlot::Scratch(1), VSlot::D, ComputeSrc::And, false, true);
+    }
+
+    /// Restoring division: 32 iterations of shift-in / trial-subtract /
+    /// conditional-restore. Quotient lands in `d` (or the remainder when
+    /// `remainder` is set). Uses scratch 0 (R), 2 (~divisor), 3 (working
+    /// dividend), 1 (trial difference), 4 (constant one).
+    fn divu(&mut self, remainder: bool) {
+        // Copy both sources out before clearing the quotient, so `d`
+        // may alias `s1` or `s2`.
+        self.unary_pass(VSlot::S1, VSlot::Scratch(3), ComputeSrc::And, false, false);
+        self.unary_pass(VSlot::S2, VSlot::Scratch(2), ComputeSrc::Nand, false, false);
+        self.zero_pass(VSlot::D); // quotient
+        self.zero_pass(VSlot::Scratch(0)); // remainder R
+        self.splat_into(VSlot::Scratch(4), 1);
+        self.b.counter(CounterUop::Init {
+            ctr: OUTER,
+            value: 32,
+        });
+        self.b.label("step");
+        // mask = msb(working dividend).
+        self.b.arith(ArithUop::Blc {
+            a: Operand::at(VSlot::Scratch(3), (self.segs - 1) as u8),
+            b: Operand::at(VSlot::Scratch(3), (self.segs - 1) as u8),
+            carry_in: CarryIn::Zero,
+        });
+        self.b.arith(ArithUop::Writeback {
+            dst: WbDest::XReg,
+            src: ComputeSrc::And,
+            masked: false,
+        });
+        self.b.arith(ArithUop::SetMask {
+            src: MaskSrc::XRegMsb,
+            invert: false,
+        });
+        // N += N; R += R; R += 1 where msb(N) was set.
+        self.double(VSlot::Scratch(3));
+        self.double(VSlot::Scratch(0));
+        self.binary_pass(
+            VSlot::Scratch(0),
+            VSlot::Scratch(4),
+            VSlot::Scratch(0),
+            ComputeSrc::Add,
+            Some(false),
+            true,
+            false,
+        );
+        // T = R - divisor; no borrow (carry out) means R >= divisor.
+        self.binary_pass(
+            VSlot::Scratch(0),
+            VSlot::Scratch(2),
+            VSlot::Scratch(1),
+            ComputeSrc::Add,
+            Some(true),
+            false,
+            false,
+        );
+        self.b.arith(ArithUop::SetMask {
+            src: MaskSrc::Carry,
+            invert: false,
+        });
+        // Restore: R = T where mask; Q = 2Q + mask.
+        self.unary_pass(VSlot::Scratch(1), VSlot::Scratch(0), ComputeSrc::And, true, false);
+        self.double(VSlot::D);
+        self.binary_pass(
+            VSlot::D,
+            VSlot::Scratch(4),
+            VSlot::D,
+            ComputeSrc::Add,
+            Some(false),
+            true,
+            false,
+        );
+        if remainder {
+            self.b.decr_branch_nz(OUTER, "step");
+        } else {
+            self.b.decr_branch_nz_ret(OUTER, "step");
+        }
+        if remainder {
+            self.unary_pass(VSlot::Scratch(0), VSlot::D, ComputeSrc::And, false, true);
+        }
+    }
+
+    /// Signed division: the unsigned core bracketed by
+    /// timing-representative operand/result negation passes (execution is
+    /// functional for the signed variants; see
+    /// [`MacroOpKind::is_bit_exact`]).
+    fn div_signed(&mut self, remainder: bool) {
+        // Sign extraction + conditional negate of both operands: two
+        // complement-and-increment passes each.
+        for slot in [VSlot::S1, VSlot::S2] {
+            self.unary_pass(slot, VSlot::Scratch(1), ComputeSrc::Nand, false, false);
+            self.binary_pass(
+                VSlot::Scratch(1),
+                VSlot::Scratch(4),
+                VSlot::Scratch(1),
+                ComputeSrc::Add,
+                Some(false),
+                true,
+                false,
+            );
+        }
+        self.divu(remainder);
+    }
+
+    fn double(&mut self, slot: VSlot) {
+        self.binary_pass(
+            slot,
+            slot,
+            slot,
+            ComputeSrc::Add,
+            Some(false),
+            false,
+            false,
+        );
+    }
+
+    /// Broadcast `value` into `slot`: one constant row write per segment
+    /// (the VSU drives the data-in port). Cost: S.
+    fn splat_into(&mut self, slot: VSlot, value: u32) {
+        for s in 0..self.segs {
+            let pattern = extract_bits(value, s * self.bits, self.bits);
+            self.b.arith(ArithUop::WriteConst {
+                op: Operand::at(slot, s as u8),
+                value: pattern,
+                masked: false,
+            });
+        }
+    }
+
+    fn splat(&mut self, value: u32) {
+        self.splat_into(VSlot::D, value);
+        self.b.ret();
+    }
+
+    /// Computes `mask = a < b` (signed or unsigned) into the latches,
+    /// optionally persisting per `target`.
+    ///
+    /// Unsigned: `a < b` iff the subtraction `a + ~b + 1` produces no
+    /// carry-out. Signed: bias both operands by flipping the sign bit
+    /// first (`x ^ 0x8000_0000`), then compare unsigned.
+    fn cmp_lt(&mut self, signed: bool, a: VSlot, b: VSlot, target: WbTarget) {
+        let (lhs, rhs_inv) = if signed {
+            let msb = 1 << (self.bits - 1);
+            let top = (self.segs - 1) as u8;
+            // scratch3 = a with sign flipped; scratch2 = ~(b with sign
+            // flipped) = ~b with sign flipped.
+            self.b.arith(ArithUop::WriteConst {
+                op: Operand::at(VSlot::Scratch(1), top),
+                value: msb,
+                masked: false,
+            });
+            self.unary_pass(a, VSlot::Scratch(3), ComputeSrc::And, false, false);
+            self.b.arith(ArithUop::Blc {
+                a: Operand::at(VSlot::Scratch(3), top),
+                b: Operand::at(VSlot::Scratch(1), top),
+                carry_in: CarryIn::Zero,
+            });
+            self.b.arith(ArithUop::Writeback {
+                dst: WbDest::Row(Operand::at(VSlot::Scratch(3), top)),
+                src: ComputeSrc::Xor,
+                masked: false,
+            });
+            self.unary_pass(b, VSlot::Scratch(2), ComputeSrc::Nand, false, false);
+            self.b.arith(ArithUop::Blc {
+                a: Operand::at(VSlot::Scratch(2), top),
+                b: Operand::at(VSlot::Scratch(1), top),
+                carry_in: CarryIn::Zero,
+            });
+            self.b.arith(ArithUop::Writeback {
+                dst: WbDest::Row(Operand::at(VSlot::Scratch(2), top)),
+                src: ComputeSrc::Xor,
+                masked: false,
+            });
+            (VSlot::Scratch(3), VSlot::Scratch(2))
+        } else {
+            self.unary_pass(b, VSlot::Scratch(2), ComputeSrc::Nand, false, false);
+            (a, VSlot::Scratch(2))
+        };
+        // Subtract, keeping only the carry.
+        self.binary_pass(
+            lhs,
+            rhs_inv,
+            VSlot::Scratch(1),
+            ComputeSrc::Add,
+            Some(true),
+            false,
+            false,
+        );
+        self.b.arith(ArithUop::SetMask {
+            src: MaskSrc::Carry,
+            invert: true,
+        });
+        match target {
+            WbTarget::DRow => {
+                self.b.emit(
+                    CounterUop::Nop,
+                    ArithUop::Writeback {
+                        dst: WbDest::Row(Operand::at(VSlot::D, 0)),
+                        src: ComputeSrc::Mask,
+                        masked: false,
+                    },
+                    ControlUop::Ret,
+                );
+            }
+            WbTarget::Scratch(slot) => {
+                self.b.arith(ArithUop::Writeback {
+                    dst: WbDest::Row(Operand::at(VSlot::Scratch(slot), 0)),
+                    src: ComputeSrc::Mask,
+                    masked: false,
+                });
+            }
+            WbTarget::LatchesOnly => {}
+        }
+    }
+
+    /// `vmseq`/`vmsne`: two unsigned compares combined through the
+    /// sense amps (`eq = !(a<b) & !(b<a)`).
+    fn cmp_eq(&mut self, negate: bool) {
+        self.cmp_lt(false, VSlot::S1, VSlot::S2, WbTarget::Scratch(4));
+        self.cmp_lt(false, VSlot::S2, VSlot::S1, WbTarget::Scratch(5));
+        self.b.arith(ArithUop::Blc {
+            a: Operand::at(VSlot::Scratch(4), 0),
+            b: Operand::at(VSlot::Scratch(5), 0),
+            carry_in: CarryIn::Zero,
+        });
+        self.b.emit(
+            CounterUop::Nop,
+            ArithUop::Writeback {
+                dst: WbDest::Row(Operand::at(VSlot::D, 0)),
+                src: if negate {
+                    ComputeSrc::Or
+                } else {
+                    ComputeSrc::Nor
+                },
+                masked: false,
+            },
+            ControlUop::Ret,
+        );
+    }
+
+    /// `vmin*`/`vmax*`: compare into the latches, masked-copy the
+    /// winner, flip the latches, masked-copy the loser.
+    fn minmax(&mut self, signed: bool, min: bool) {
+        self.cmp_lt(signed, VSlot::S1, VSlot::S2, WbTarget::Scratch(4));
+        // When mask = (s1 < s2): min takes s1 under mask, max takes s2.
+        let (first, second) = if min {
+            (VSlot::S1, VSlot::S2)
+        } else {
+            (VSlot::S2, VSlot::S1)
+        };
+        self.load_mask_from(VSlot::Scratch(4), false);
+        self.unary_pass(first, VSlot::Scratch(1), ComputeSrc::And, true, false);
+        self.load_mask_from(VSlot::Scratch(4), true);
+        self.unary_pass(second, VSlot::Scratch(1), ComputeSrc::And, true, false);
+        // Commit: both sources were read before `d` is written.
+        self.unary_pass(VSlot::Scratch(1), VSlot::D, ComputeSrc::And, false, true);
+    }
+
+    /// `vmerge.vvm`: `d = v0 ? s1 : s2`, aliasing-safe via scratch 1.
+    fn merge(&mut self) {
+        self.load_mask_from(VSlot::Mask, false);
+        self.unary_pass(VSlot::S1, VSlot::Scratch(1), ComputeSrc::And, true, false);
+        self.load_mask_from(VSlot::Mask, true);
+        self.unary_pass(VSlot::S2, VSlot::Scratch(1), ComputeSrc::And, true, false);
+        self.unary_pass(VSlot::Scratch(1), VSlot::D, ComputeSrc::And, false, true);
+    }
+
+    /// Loads the mask latches from a stored mask row (optionally
+    /// complemented). Cost: 2.
+    fn load_mask_from(&mut self, slot: VSlot, invert: bool) {
+        self.b.arith(ArithUop::Blc {
+            a: Operand::at(slot, 0),
+            b: Operand::at(slot, 0),
+            carry_in: CarryIn::Zero,
+        });
+        self.b.arith(ArithUop::Writeback {
+            dst: WbDest::MaskReg,
+            src: if invert {
+                ComputeSrc::Nand
+            } else {
+                ComputeSrc::And
+            },
+            masked: false,
+        });
+    }
+
+    /// Single-row mask-register operation. Cost: 2 + ret.
+    fn mask_op(&mut self, op: ComputeSrc) {
+        self.b.arith(ArithUop::Blc {
+            a: Operand::at(VSlot::S1, 0),
+            b: Operand::at(VSlot::S2, 0),
+            carry_in: CarryIn::Zero,
+        });
+        self.b.emit(
+            CounterUop::Nop,
+            ArithUop::Writeback {
+                dst: WbDest::Row(Operand::at(VSlot::D, 0)),
+                src: op,
+                masked: false,
+            },
+            ControlUop::Ret,
+        );
+    }
+
+    fn mask_not(&mut self) {
+        self.b.arith(ArithUop::Blc {
+            a: Operand::at(VSlot::S1, 0),
+            b: Operand::at(VSlot::S1, 0),
+            carry_in: CarryIn::Zero,
+        });
+        self.b.emit(
+            CounterUop::Nop,
+            ArithUop::Writeback {
+                dst: WbDest::Row(Operand::at(VSlot::D, 0)),
+                src: ComputeSrc::Nand,
+                masked: false,
+            },
+            ControlUop::Ret,
+        );
+    }
+
+    /// One full-element one-bit shift pass over `slot`, optionally
+    /// masked. The spare shifter carries bits across segment boundaries
+    /// (§III-C); left shifts walk segments low→high, right shifts
+    /// high→low. Cost: 3S + 1.
+    fn shift_pass(&mut self, slot: VSlot, left: bool, masked: bool) {
+        self.b.emit(
+            CounterUop::Init {
+                ctr: SEG,
+                value: self.segs,
+            },
+            ArithUop::ClearSpare,
+            ControlUop::Nop,
+        );
+        let label = self.fresh_label("shift");
+        self.b.label(&label);
+        let seg = if left {
+            SegSel::Up(SEG)
+        } else {
+            SegSel::Down(SEG)
+        };
+        self.b.arith(ArithUop::LoadShifter {
+            op: Operand::new(slot, seg),
+        });
+        self.b.arith(if left {
+            ArithUop::ShiftLeft { masked }
+        } else {
+            ArithUop::ShiftRight { masked }
+        });
+        self.b.arith_branch_nz_with_decr(
+            ArithUop::StoreShifter {
+                op: Operand::new(slot, seg),
+                masked,
+            },
+            SEG,
+            &label,
+        );
+    }
+
+    /// Moves `slot` by whole segments: `shift` segments up (left) or
+    /// down (right), zero-filling the vacated segments. Unrolled; cost
+    /// ≤ 2S.
+    fn segment_move(&mut self, slot: VSlot, seg_shift: u32, left: bool, masked: bool) {
+        let s = self.segs;
+        if left {
+            // d.seg[i] = d.seg[i - k], walking from the top down.
+            for i in (0..s).rev() {
+                if i >= seg_shift {
+                    self.b.arith(ArithUop::Blc {
+                        a: Operand::at(slot, (i - seg_shift) as u8),
+                        b: Operand::at(slot, (i - seg_shift) as u8),
+                        carry_in: CarryIn::Zero,
+                    });
+                    self.b.arith(ArithUop::Writeback {
+                        dst: WbDest::Row(Operand::at(slot, i as u8)),
+                        src: ComputeSrc::And,
+                        masked,
+                    });
+                } else {
+                    self.b.arith(ArithUop::WriteConst {
+                        op: Operand::at(slot, i as u8),
+                        value: 0,
+                        masked,
+                    });
+                }
+            }
+        } else {
+            for i in 0..s {
+                if i + seg_shift < s {
+                    self.b.arith(ArithUop::Blc {
+                        a: Operand::at(slot, (i + seg_shift) as u8),
+                        b: Operand::at(slot, (i + seg_shift) as u8),
+                        carry_in: CarryIn::Zero,
+                    });
+                    self.b.arith(ArithUop::Writeback {
+                        dst: WbDest::Row(Operand::at(slot, i as u8)),
+                        src: ComputeSrc::And,
+                        masked,
+                    });
+                } else {
+                    self.b.arith(ArithUop::WriteConst {
+                        op: Operand::at(slot, i as u8),
+                        value: 0,
+                        masked,
+                    });
+                }
+            }
+        }
+    }
+
+    /// Shift by a known amount: whole-segment moves for the multiple-of-
+    /// `n` part, then `k mod n` one-bit shifter passes — exactly the
+    /// §III-C observation that bit-hybrid turns large shifts into cheap
+    /// row moves.
+    fn shift_imm(&mut self, k: u8, left: bool, arithmetic: bool) {
+        let k = (k as u32) & 31;
+        if arithmetic {
+            // sra via the xor trick: t = x ^ sext(sign); srl; xor again.
+            self.sign_mask_of(VSlot::S1);
+            self.zero_pass(VSlot::Scratch(2));
+            for s in 0..self.segs {
+                self.b.arith(ArithUop::WriteConst {
+                    op: Operand::at(VSlot::Scratch(2), s as u8),
+                    value: extract_bits(u32::MAX, s * self.bits, self.bits),
+                    masked: true,
+                });
+            }
+            self.binary_pass(
+                VSlot::S1,
+                VSlot::Scratch(2),
+                VSlot::D,
+                ComputeSrc::Xor,
+                None,
+                false,
+                false,
+            );
+            self.shift_core(VSlot::D, k, false);
+            self.binary_pass(
+                VSlot::D,
+                VSlot::Scratch(2),
+                VSlot::D,
+                ComputeSrc::Xor,
+                None,
+                false,
+                true,
+            );
+        } else {
+            self.unary_pass(VSlot::S1, VSlot::D, ComputeSrc::And, false, false);
+            self.shift_core(VSlot::D, k, left);
+            self.b.ret();
+        }
+    }
+
+    /// Rotate by a known amount. On the bit-parallel layout (one
+    /// segment) this is exactly `k` one-bit rotate μops in the constant
+    /// shifter (Table II's `lrotate`/`rrotate`); multi-segment layouts
+    /// compose it from two opposing shifts OR-ed together.
+    fn rotate_imm(&mut self, k: u8, left: bool) {
+        let k = u32::from(k) & 31;
+        if self.segs == 1 {
+            self.b.arith(ArithUop::LoadShifter {
+                op: Operand::at(VSlot::S1, 0),
+            });
+            for _ in 0..k {
+                self.b.arith(if left {
+                    ArithUop::RotateLeft { masked: false }
+                } else {
+                    ArithUop::RotateRight { masked: false }
+                });
+            }
+            self.b.arith(ArithUop::StoreShifter {
+                op: Operand::at(VSlot::D, 0),
+                masked: false,
+            });
+            self.b.ret();
+            return;
+        }
+        if k == 0 {
+            self.unary_pass(VSlot::S1, VSlot::D, ComputeSrc::And, false, true);
+            return;
+        }
+        // sc3 = x << k; sc0 = x >> (32 - k); d = sc3 | sc0.
+        self.unary_pass(VSlot::S1, VSlot::Scratch(3), ComputeSrc::And, false, false);
+        self.shift_core(VSlot::Scratch(3), if left { k } else { 32 - k }, true);
+        self.unary_pass(VSlot::S1, VSlot::Scratch(0), ComputeSrc::And, false, false);
+        self.shift_core(VSlot::Scratch(0), if left { 32 - k } else { k }, false);
+        self.binary_pass(
+            VSlot::Scratch(3),
+            VSlot::Scratch(0),
+            VSlot::D,
+            ComputeSrc::Or,
+            None,
+            false,
+            true,
+        );
+    }
+
+    fn shift_core(&mut self, slot: VSlot, k: u32, left: bool) {
+        let seg_part = k / self.bits;
+        let bit_part = k % self.bits;
+        if seg_part > 0 {
+            self.segment_move(slot, seg_part, left, false);
+        }
+        for _ in 0..bit_part {
+            self.shift_pass(slot, left, false);
+        }
+    }
+
+    /// Loads `mask = sign(slot)` into the latches. Cost: 3.
+    fn sign_mask_of(&mut self, slot: VSlot) {
+        let top = (self.segs - 1) as u8;
+        self.b.arith(ArithUop::Blc {
+            a: Operand::at(slot, top),
+            b: Operand::at(slot, top),
+            carry_in: CarryIn::Zero,
+        });
+        self.b.arith(ArithUop::Writeback {
+            dst: WbDest::XReg,
+            src: ComputeSrc::And,
+            masked: false,
+        });
+        self.b.arith(ArithUop::SetMask {
+            src: MaskSrc::XRegMsb,
+            invert: false,
+        });
+    }
+
+    /// Variable (element-wise) shift via binary decomposition of the
+    /// shift amount: for each amount bit `i`, extract it into the mask
+    /// and perform `2^i` conditional one-bit shifts (or conditional
+    /// whole-segment moves once `2^i >= n`).
+    fn shift_var(&mut self, left: bool, arithmetic: bool) {
+        // Shift amounts move to scratch 3 first: the destination (which
+        // is shifted in place) may alias `s2`.
+        self.unary_pass(VSlot::S2, VSlot::Scratch(3), ComputeSrc::And, false, false);
+        if arithmetic {
+            self.sign_mask_of(VSlot::S1);
+            self.zero_pass(VSlot::Scratch(2));
+            for s in 0..self.segs {
+                self.b.arith(ArithUop::WriteConst {
+                    op: Operand::at(VSlot::Scratch(2), s as u8),
+                    value: extract_bits(u32::MAX, s * self.bits, self.bits),
+                    masked: true,
+                });
+            }
+            self.binary_pass(
+                VSlot::S1,
+                VSlot::Scratch(2),
+                VSlot::D,
+                ComputeSrc::Xor,
+                None,
+                false,
+                false,
+            );
+        } else {
+            self.unary_pass(VSlot::S1, VSlot::D, ComputeSrc::And, false, false);
+        }
+        for i in 0..5u32 {
+            // mask = bit i of the shift amount.
+            let seg = (i / self.bits) as u8;
+            let within = i % self.bits;
+            self.b.arith(ArithUop::Blc {
+                a: Operand::at(VSlot::Scratch(3), seg),
+                b: Operand::at(VSlot::Scratch(3), seg),
+                carry_in: CarryIn::Zero,
+            });
+            self.b.arith(ArithUop::Writeback {
+                dst: WbDest::XReg,
+                src: ComputeSrc::And,
+                masked: false,
+            });
+            for _ in 0..within {
+                self.b.arith(ArithUop::MaskShift);
+            }
+            self.b.arith(ArithUop::SetMask {
+                src: MaskSrc::XRegLsb,
+                invert: false,
+            });
+            let amount = 1u32 << i;
+            if amount < self.bits {
+                for _ in 0..amount {
+                    self.shift_pass(VSlot::D, left, true);
+                }
+            } else {
+                self.segment_move(VSlot::D, amount / self.bits, left, true);
+            }
+        }
+        if arithmetic {
+            self.binary_pass(
+                VSlot::D,
+                VSlot::Scratch(2),
+                VSlot::D,
+                ComputeSrc::Xor,
+                None,
+                false,
+                true,
+            );
+        } else {
+            self.b.ret();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::latency::count_cycles;
+
+    fn all_kinds() -> Vec<MacroOpKind> {
+        use MacroOpKind::*;
+        vec![
+            Mv,
+            Not,
+            And,
+            Or,
+            Xor,
+            Add,
+            Sub,
+            Mul,
+            Mulh,
+            Divu,
+            Remu,
+            Div,
+            Rem,
+            SllI(0),
+            SllI(1),
+            SllI(7),
+            SllI(31),
+            SrlI(5),
+            SraI(9),
+            SllV,
+            SrlV,
+            SraV,
+            CmpEq,
+            CmpNe,
+            CmpLt,
+            CmpLtu,
+            Min,
+            Max,
+            Minu,
+            Maxu,
+            Merge,
+            MaskAnd,
+            MaskOr,
+            MaskXor,
+            MaskNot,
+            Splat(0xDEAD_BEEF),
+        ]
+    }
+
+    #[test]
+    fn every_kind_builds_for_every_config() {
+        for cfg in HybridConfig::all() {
+            let lib = ProgramLibrary::new(cfg);
+            for kind in all_kinds() {
+                let p = lib.program(kind);
+                assert!(!p.is_empty(), "{kind:?} on {cfg} is empty");
+            }
+        }
+    }
+
+    #[test]
+    fn every_program_terminates_under_count() {
+        for cfg in HybridConfig::all() {
+            let lib = ProgramLibrary::new(cfg);
+            for kind in all_kinds() {
+                let p = lib.program(kind);
+                let c = count_cycles(&p, cfg);
+                assert!(c.0 > 0, "{kind:?} on {cfg} took zero cycles");
+                assert!(c.0 < 100_000, "{kind:?} on {cfg} runaway: {c}");
+            }
+        }
+    }
+
+    #[test]
+    fn add_latency_matches_segment_count() {
+        // add = init + 2 tuples per segment.
+        for cfg in HybridConfig::all() {
+            let lib = ProgramLibrary::new(cfg);
+            let c = count_cycles(&lib.program(MacroOpKind::Add), cfg);
+            assert_eq!(c.0, u64::from(2 * cfg.segments() + 1), "{cfg}");
+        }
+    }
+
+    #[test]
+    fn add_latency_decreases_with_parallelization() {
+        let lat: Vec<u64> = HybridConfig::all()
+            .iter()
+            .map(|&cfg| {
+                count_cycles(&ProgramLibrary::new(cfg).program(MacroOpKind::Add), cfg).0
+            })
+            .collect();
+        assert!(lat.windows(2).all(|w| w[0] > w[1]), "{lat:?}");
+    }
+
+    #[test]
+    fn bit_serial_mul_takes_thousands_of_cycles() {
+        // §I: "duality cache suffers from high latencies (i.e.,
+        // thousands of cycles)" for bit-serial multiplication.
+        let cfg = HybridConfig::new(1).unwrap();
+        let c = count_cycles(&ProgramLibrary::new(cfg).program(MacroOpKind::Mul), cfg);
+        assert!(c.0 > 2000, "bit-serial mul too fast: {c}");
+    }
+
+    #[test]
+    fn bit_parallel_mul_is_an_order_of_magnitude_faster() {
+        let c1 = {
+            let cfg = HybridConfig::new(1).unwrap();
+            count_cycles(&ProgramLibrary::new(cfg).program(MacroOpKind::Mul), cfg).0
+        };
+        let c32 = {
+            let cfg = HybridConfig::new(32).unwrap();
+            count_cycles(&ProgramLibrary::new(cfg).program(MacroOpKind::Mul), cfg).0
+        };
+        assert!(c32 * 10 < c1, "mul: EVE-1 {c1} vs EVE-32 {c32}");
+    }
+
+    #[test]
+    fn hybrid_shift_beats_serial_shift() {
+        // §III-C: segment-multiple shifts are far cheaper bit-hybrid.
+        let serial = {
+            let cfg = HybridConfig::new(1).unwrap();
+            count_cycles(&ProgramLibrary::new(cfg).program(MacroOpKind::SllI(16)), cfg).0
+        };
+        let hybrid = {
+            let cfg = HybridConfig::new(8).unwrap();
+            count_cycles(&ProgramLibrary::new(cfg).program(MacroOpKind::SllI(16)), cfg).0
+        };
+        assert!(hybrid < serial, "slli16: serial {serial} hybrid {hybrid}");
+    }
+
+    #[test]
+    fn signed_kinds_marked_non_bit_exact() {
+        assert!(!MacroOpKind::Div.is_bit_exact());
+        assert!(!MacroOpKind::Rem.is_bit_exact());
+        assert!(!MacroOpKind::Mulh.is_bit_exact());
+        assert!(MacroOpKind::Divu.is_bit_exact());
+        assert!(MacroOpKind::Mul.is_bit_exact());
+        assert!(MacroOpKind::SraV.is_bit_exact());
+    }
+
+    #[test]
+    fn mask_ops_are_constant_time() {
+        for cfg in HybridConfig::all() {
+            let lib = ProgramLibrary::new(cfg);
+            let c = count_cycles(&lib.program(MacroOpKind::MaskAnd), cfg);
+            assert_eq!(c.0, 2, "{cfg}");
+        }
+    }
+}

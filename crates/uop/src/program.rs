@@ -1,0 +1,437 @@
+//! Micro-programs and the builder used to assemble them.
+//!
+//! A [`MicroProgram`] is a straight-line vector of [`Tuple`]s plus the
+//! μpc-relative branch targets already resolved — the contents of one ROM
+//! entry in the VSU. [`ProgramBuilder`] provides the label-based assembler
+//! the program library uses.
+
+use crate::uop::{ArithUop, ControlUop, CounterUop, Tuple};
+use eve_common::{ConfigError, ConfigResult};
+use std::collections::HashMap;
+use std::fmt;
+
+/// Element width EVE operates on, in bits. EVE supports all 32-bit
+/// integer instructions of the RISC-V vector extension (§I).
+pub const ELEMENT_BITS: u32 = 32;
+
+/// An EVE-*n* bit-hybrid configuration: elements are processed as
+/// `32 / n` segments of `n` bits each.
+///
+/// `n = 1` is bit-serial (EVE-1), `n = 32` bit-parallel (EVE-32), and the
+/// values between are the bit-hybrid designs of §III-C.
+///
+/// # Examples
+///
+/// ```
+/// use eve_uop::HybridConfig;
+/// let cfg = HybridConfig::new(8)?;
+/// assert_eq!(cfg.segment_bits(), 8);
+/// assert_eq!(cfg.segments(), 4);
+/// assert!(HybridConfig::new(5).is_err()); // must divide 32
+/// # Ok::<(), eve_common::ConfigError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct HybridConfig {
+    segment_bits: u32,
+}
+
+impl HybridConfig {
+    /// Creates a configuration with `n`-bit segments.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ConfigError`] unless `n` is one of 1, 2, 4, 8, 16, 32
+    /// (the parallelization factors explored by the paper, all of which
+    /// divide the 32-bit element width).
+    pub fn new(segment_bits: u32) -> ConfigResult<Self> {
+        if !segment_bits.is_power_of_two() || segment_bits > ELEMENT_BITS {
+            return Err(ConfigError::new(format!(
+                "parallelization factor {segment_bits} must be a power of \
+                 two dividing {ELEMENT_BITS}"
+            )));
+        }
+        Ok(Self { segment_bits })
+    }
+
+    /// All configurations evaluated in the paper, in ascending order.
+    #[must_use]
+    pub fn all() -> [HybridConfig; 6] {
+        [1, 2, 4, 8, 16, 32].map(|n| HybridConfig { segment_bits: n })
+    }
+
+    /// The parallelization factor `n`: bits processed per cycle per lane.
+    #[must_use]
+    pub fn segment_bits(&self) -> u32 {
+        self.segment_bits
+    }
+
+    /// Number of segments per 32-bit element (`32 / n`).
+    #[must_use]
+    pub fn segments(&self) -> u32 {
+        ELEMENT_BITS / self.segment_bits
+    }
+
+    /// Whether this is the bit-serial extreme (EVE-1).
+    #[must_use]
+    pub fn is_bit_serial(&self) -> bool {
+        self.segment_bits == 1
+    }
+
+    /// Whether this is the bit-parallel extreme (EVE-32).
+    #[must_use]
+    pub fn is_bit_parallel(&self) -> bool {
+        self.segment_bits == ELEMENT_BITS
+    }
+}
+
+impl fmt::Display for HybridConfig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "EVE-{}", self.segment_bits)
+    }
+}
+
+/// An assembled micro-program: the ROM image for one macro-operation.
+///
+/// Construct through [`ProgramBuilder`]; execute with
+/// [`count_cycles`](crate::latency::count_cycles) or the bit-accurate
+/// array in `eve-sram`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MicroProgram {
+    name: String,
+    tuples: Vec<Tuple>,
+}
+
+impl MicroProgram {
+    /// The macro-operation this program implements, for diagnostics.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The VLIW tuples, in ROM order.
+    #[must_use]
+    pub fn tuples(&self) -> &[Tuple] {
+        &self.tuples
+    }
+
+    /// Number of ROM entries this program occupies.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.tuples.len()
+    }
+
+    /// Whether the program is empty (never true for built programs).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.tuples.is_empty()
+    }
+}
+
+/// Label-based assembler for [`MicroProgram`]s.
+///
+/// # Examples
+///
+/// ```
+/// use eve_uop::{ArithUop, ControlUop, CounterUop, CounterId, ProgramBuilder};
+///
+/// let seg = CounterId::seg(0);
+/// let mut b = ProgramBuilder::new("copy");
+/// b.emit(CounterUop::Init { ctr: seg, value: 4 }, ArithUop::Nop, ControlUop::Nop);
+/// b.label("loop");
+/// b.emit(
+///     CounterUop::Decr(seg),
+///     ArithUop::Nop,
+///     ControlUop::Nop,
+/// );
+/// b.branch_nz(seg, "loop");
+/// b.ret();
+/// let prog = b.build().unwrap();
+/// assert_eq!(prog.len(), 4);
+/// ```
+#[derive(Debug)]
+pub struct ProgramBuilder {
+    name: String,
+    tuples: Vec<Tuple>,
+    labels: HashMap<String, u16>,
+    fixups: Vec<(usize, String)>,
+}
+
+impl ProgramBuilder {
+    /// Starts assembling a program named `name`.
+    #[must_use]
+    pub fn new(name: impl Into<String>) -> Self {
+        Self {
+            name: name.into(),
+            tuples: Vec::new(),
+            labels: HashMap::new(),
+            fixups: Vec::new(),
+        }
+    }
+
+    /// Defines a label at the current position.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the label was already defined.
+    pub fn label(&mut self, name: &str) {
+        let at = self.tuples.len() as u16;
+        let prev = self.labels.insert(name.to_owned(), at);
+        assert!(prev.is_none(), "label {name} defined twice");
+    }
+
+    /// Emits a full tuple.
+    pub fn emit(&mut self, counter: CounterUop, arith: ArithUop, control: ControlUop) {
+        self.tuples.push(Tuple {
+            counter,
+            arith,
+            control,
+        });
+    }
+
+    /// Emits a tuple carrying only an arithmetic μop.
+    pub fn arith(&mut self, arith: ArithUop) {
+        self.emit(CounterUop::Nop, arith, ControlUop::Nop);
+    }
+
+    /// Emits a tuple carrying only a counter μop.
+    pub fn counter(&mut self, counter: CounterUop) {
+        self.emit(counter, ArithUop::Nop, ControlUop::Nop);
+    }
+
+    /// Emits an arithmetic μop fused with a counter μop.
+    pub fn arith_counter(&mut self, counter: CounterUop, arith: ArithUop) {
+        self.emit(counter, arith, ControlUop::Nop);
+    }
+
+    /// Emits an arithmetic μop fused with `bnz ctr, label` — the hot-loop
+    /// back edge shape from Fig 4.
+    pub fn arith_branch_nz(&mut self, arith: ArithUop, ctr: crate::CounterId, label: &str) {
+        let at = self.tuples.len();
+        self.fixups.push((at, label.to_owned()));
+        self.emit(
+            CounterUop::Nop,
+            arith,
+            ControlUop::Bnz { ctr, target: 0 },
+        );
+    }
+
+    /// Emits the canonical loop back-edge: `decr ctr` fused with an
+    /// arithmetic μop and `bnz ctr, label`. The arithmetic μop observes
+    /// the pre-decrement segment index (start-of-cycle state); the
+    /// branch sees the decremented counter.
+    pub fn arith_branch_nz_with_decr(
+        &mut self,
+        arith: ArithUop,
+        ctr: crate::CounterId,
+        label: &str,
+    ) {
+        let at = self.tuples.len();
+        self.fixups.push((at, label.to_owned()));
+        self.emit(
+            CounterUop::Decr(ctr),
+            arith,
+            ControlUop::Bnz { ctr, target: 0 },
+        );
+    }
+
+    /// Like [`Self::arith_branch_nz_with_decr`] but the loop's
+    /// fall-through terminates the program (`bnz.r`).
+    pub fn arith_branch_nz_ret_with_decr(
+        &mut self,
+        arith: ArithUop,
+        ctr: crate::CounterId,
+        label: &str,
+    ) {
+        let at = self.tuples.len();
+        self.fixups.push((at, label.to_owned()));
+        self.emit(
+            CounterUop::Decr(ctr),
+            arith,
+            ControlUop::BnzRet { ctr, target: 0 },
+        );
+    }
+
+    /// Emits `decr ctr` fused with `bnz ctr, label`.
+    pub fn decr_branch_nz(&mut self, ctr: crate::CounterId, label: &str) {
+        self.arith_branch_nz_with_decr(ArithUop::Nop, ctr, label);
+    }
+
+    /// Emits `decr ctr` fused with `bnz.r ctr, label`.
+    pub fn decr_branch_nz_ret(&mut self, ctr: crate::CounterId, label: &str) {
+        self.arith_branch_nz_ret_with_decr(ArithUop::Nop, ctr, label);
+    }
+
+    /// Emits `bnz ctr, label` alone.
+    pub fn branch_nz(&mut self, ctr: crate::CounterId, label: &str) {
+        let at = self.tuples.len();
+        self.fixups.push((at, label.to_owned()));
+        self.emit(
+            CounterUop::Nop,
+            ArithUop::Nop,
+            ControlUop::Bnz { ctr, target: 0 },
+        );
+    }
+
+    /// Emits `bnz.r ctr, label`: loop back while counting, return once
+    /// done.
+    pub fn branch_nz_ret(&mut self, ctr: crate::CounterId, label: &str) {
+        let at = self.tuples.len();
+        self.fixups.push((at, label.to_owned()));
+        self.emit(
+            CounterUop::Nop,
+            ArithUop::Nop,
+            ControlUop::BnzRet { ctr, target: 0 },
+        );
+    }
+
+    /// Emits an arithmetic μop fused with `bnz.r`.
+    pub fn arith_branch_nz_ret(&mut self, arith: ArithUop, ctr: crate::CounterId, label: &str) {
+        let at = self.tuples.len();
+        self.fixups.push((at, label.to_owned()));
+        self.emit(
+            CounterUop::Nop,
+            arith,
+            ControlUop::BnzRet { ctr, target: 0 },
+        );
+    }
+
+    /// Emits `bnd ctr, label`.
+    pub fn branch_decade(&mut self, ctr: crate::CounterId, label: &str) {
+        let at = self.tuples.len();
+        self.fixups.push((at, label.to_owned()));
+        self.emit(
+            CounterUop::Nop,
+            ArithUop::Nop,
+            ControlUop::Bnd { ctr, target: 0 },
+        );
+    }
+
+    /// Emits an unconditional jump to `label`.
+    pub fn jump(&mut self, label: &str) {
+        let at = self.tuples.len();
+        self.fixups.push((at, label.to_owned()));
+        self.emit(CounterUop::Nop, ArithUop::Nop, ControlUop::Jump { target: 0 });
+    }
+
+    /// Emits `ret`.
+    pub fn ret(&mut self) {
+        self.emit(CounterUop::Nop, ArithUop::Nop, ControlUop::Ret);
+    }
+
+    /// Resolves labels and produces the program.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ConfigError`] if a referenced label was never defined
+    /// or the program does not end by returning.
+    pub fn build(mut self) -> ConfigResult<MicroProgram> {
+        for (at, label) in &self.fixups {
+            let Some(&target) = self.labels.get(label) else {
+                return Err(ConfigError::new(format!(
+                    "program {}: undefined label {label}",
+                    self.name
+                )));
+            };
+            let tuple = &mut self.tuples[*at];
+            tuple.control = match tuple.control {
+                ControlUop::Bnz { ctr, .. } => ControlUop::Bnz { ctr, target },
+                ControlUop::BnzRet { ctr, .. } => ControlUop::BnzRet { ctr, target },
+                ControlUop::Bnd { ctr, .. } => ControlUop::Bnd { ctr, target },
+                ControlUop::Jump { .. } => ControlUop::Jump { target },
+                other => other,
+            };
+        }
+        let terminates = self.tuples.iter().any(|t| {
+            matches!(
+                t.control,
+                ControlUop::Ret | ControlUop::BnzRet { .. }
+            )
+        });
+        if !terminates {
+            return Err(ConfigError::new(format!(
+                "program {} never returns",
+                self.name
+            )));
+        }
+        Ok(MicroProgram {
+            name: self.name,
+            tuples: self.tuples,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::counter::CounterId;
+
+    #[test]
+    fn config_validation() {
+        for n in [1u32, 2, 4, 8, 16, 32] {
+            let cfg = HybridConfig::new(n).unwrap();
+            assert_eq!(cfg.segment_bits() * cfg.segments(), 32);
+        }
+        assert!(HybridConfig::new(0).is_err());
+        assert!(HybridConfig::new(3).is_err());
+        assert!(HybridConfig::new(64).is_err());
+    }
+
+    #[test]
+    fn config_extremes() {
+        assert!(HybridConfig::new(1).unwrap().is_bit_serial());
+        assert!(HybridConfig::new(32).unwrap().is_bit_parallel());
+        let hybrid = HybridConfig::new(8).unwrap();
+        assert!(!hybrid.is_bit_serial() && !hybrid.is_bit_parallel());
+        assert_eq!(hybrid.to_string(), "EVE-8");
+    }
+
+    #[test]
+    fn all_lists_six_configs() {
+        let all = HybridConfig::all();
+        assert_eq!(all.len(), 6);
+        assert!(all.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn undefined_label_is_an_error() {
+        let mut b = ProgramBuilder::new("bad");
+        b.branch_nz(CounterId::seg(0), "nowhere");
+        b.ret();
+        let err = b.build().unwrap_err();
+        assert!(err.to_string().contains("undefined label"));
+    }
+
+    #[test]
+    fn program_must_return() {
+        let mut b = ProgramBuilder::new("fallsoff");
+        b.arith(ArithUop::Nop);
+        let err = b.build().unwrap_err();
+        assert!(err.to_string().contains("never returns"));
+    }
+
+    #[test]
+    #[should_panic(expected = "defined twice")]
+    fn duplicate_label_panics() {
+        let mut b = ProgramBuilder::new("dup");
+        b.label("x");
+        b.label("x");
+    }
+
+    #[test]
+    fn branch_targets_resolve() {
+        let seg = CounterId::seg(0);
+        let mut b = ProgramBuilder::new("loop");
+        b.counter(CounterUop::Init { ctr: seg, value: 2 });
+        b.label("top");
+        b.counter(CounterUop::Decr(seg));
+        b.branch_nz(seg, "top");
+        b.ret();
+        let p = b.build().unwrap();
+        match p.tuples()[2].control {
+            ControlUop::Bnz { target, .. } => assert_eq!(target, 1),
+            other => panic!("expected bnz, got {other:?}"),
+        }
+        assert_eq!(p.name(), "loop");
+        assert!(!p.is_empty());
+    }
+}

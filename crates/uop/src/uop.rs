@@ -1,0 +1,318 @@
+//! The μop vocabulary (paper Table II).
+//!
+//! A [`Tuple`] is the VLIW word the VSU fetches each cycle: one
+//! [`CounterUop`], one [`ArithUop`], one [`ControlUop`]. Arithmetic μops
+//! are executed by the EVE SRAM circuits (§III); counter and control μops
+//! by the VSU's unified control logic.
+
+use crate::counter::CounterId;
+
+/// Virtual register slot referenced by a μprogram.
+///
+/// μprograms are written against abstract slots; the VSU binds them to
+/// physical vector registers when it issues the macro-op, so one ROM image
+/// serves every register combination.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum VSlot {
+    /// Destination vector register.
+    D,
+    /// First source vector register.
+    S1,
+    /// Second source vector register.
+    S2,
+    /// Current mask register (`v0` in RVV terms).
+    Mask,
+    /// Engine-managed scratch register (partial products, inverted
+    /// operands, constants). EVE reserves a handful of rows for these.
+    Scratch(u8),
+}
+
+/// Selects which segment of an element a μop addresses.
+///
+/// Segment-serial loops address "the current segment"; the direction
+/// matters because carry chains run low→high while shifts and sign logic
+/// sometimes run high→low.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SegSel {
+    /// `segments - counter_value`: walks segments from least significant
+    /// to most significant as `ctr` counts down.
+    Up(CounterId),
+    /// `counter_value - 1`: walks segments from most significant to least
+    /// significant as `ctr` counts down.
+    Down(CounterId),
+    /// A fixed segment index.
+    At(u8),
+}
+
+/// A row operand: a segment of a register slot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Operand {
+    /// Which register slot.
+    pub slot: VSlot,
+    /// Which segment of each element in that register.
+    pub seg: SegSel,
+}
+
+impl Operand {
+    /// Operand addressing `seg` of `slot`.
+    #[must_use]
+    pub fn new(slot: VSlot, seg: SegSel) -> Self {
+        Self { slot, seg }
+    }
+
+    /// Operand walking segments upward with `ctr`.
+    #[must_use]
+    pub fn up(slot: VSlot, ctr: CounterId) -> Self {
+        Self::new(slot, SegSel::Up(ctr))
+    }
+
+    /// Operand walking segments downward with `ctr`.
+    #[must_use]
+    pub fn down(slot: VSlot, ctr: CounterId) -> Self {
+        Self::new(slot, SegSel::Down(ctr))
+    }
+
+    /// Operand at a fixed segment.
+    #[must_use]
+    pub fn at(slot: VSlot, seg: u8) -> Self {
+        Self::new(slot, SegSel::At(seg))
+    }
+}
+
+/// Values the bit-line compute and the circuit stacks produce, selectable
+/// by the bus logic for writeback (`src` column of Table II).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ComputeSrc {
+    /// Bit-wise AND from the single-ended sense amplifiers.
+    And,
+    /// Bit-wise NAND from the single-ended sense amplifiers.
+    Nand,
+    /// Bit-wise OR from the single-ended sense amplifiers.
+    Or,
+    /// Bit-wise NOR from the single-ended sense amplifiers.
+    Nor,
+    /// XOR computed by the XOR/XNOR logic layer.
+    Xor,
+    /// XNOR computed by the XOR/XNOR logic layer.
+    Xnor,
+    /// Sum from the add logic (Manchester carry chain).
+    Add,
+    /// Contents of the constant shifter.
+    Shift,
+    /// The per-lane mask latches driven onto the bus (persisting a
+    /// computed mask into a mask-register row).
+    Mask,
+}
+
+/// Writeback destination (`wb` μop).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum WbDest {
+    /// A row of the SRAM.
+    Row(Operand),
+    /// The per-column mask latches.
+    MaskReg,
+    /// The XRegister shift register.
+    XReg,
+}
+
+/// Carry-in source for the add logic on a `blc` μop.
+///
+/// Bit-hybrid addition stores the inter-segment carry in a spare-shifter
+/// flip-flop (§III-C); subtraction presets it to one.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CarryIn {
+    /// Use the stored carry flip-flop (chained segments).
+    Stored,
+    /// Force zero (first segment of an add).
+    Zero,
+    /// Force one (first segment of a subtract).
+    One,
+}
+
+/// Sources the mask latch can be loaded from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MaskSrc {
+    /// XRegister value of the least-significant column of the segment —
+    /// extracts multiplier bits during `mul`.
+    XRegLsb,
+    /// XRegister value of the most-significant column of the segment —
+    /// extracts sign bits for compares and division.
+    XRegMsb,
+    /// Most-significant bit of the last add result (per lane) — the sign
+    /// of a just-computed difference.
+    AddMsb,
+    /// The per-lane carry flip-flop — the borrow-complement after a
+    /// subtraction, which is how unsigned compares reach the mask.
+    Carry,
+    /// All lanes active.
+    AllOnes,
+}
+
+/// Arithmetic μops, executed by the EVE SRAM circuits (Table II).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ArithUop {
+    /// No SRAM activity this cycle.
+    Nop,
+    /// Native SRAM read: drive `op`'s row onto the data port (used when
+    /// streaming to the VRU or the store path).
+    Read { op: Operand },
+    /// Native SRAM write of a broadcast constant segment into `op`'s row.
+    /// The VSU supplies the value on the data-in port; `masked` restricts
+    /// the write to lanes whose mask latch is set.
+    WriteConst { op: Operand, value: u32, masked: bool },
+    /// Native SRAM write from the data-in port (memory fill path).
+    WriteDataIn { op: Operand },
+    /// Bit-line compute between the rows of `a` and `b`: both wordlines
+    /// asserted, sense amps in single-ended mode. Feeds every circuit
+    /// layer; the add logic consumes `carry_in` and latches carry-out.
+    Blc { a: Operand, b: Operand, carry_in: CarryIn },
+    /// Write a computed value back into the SRAM (or the mask/X
+    /// registers). `masked` gates the write per lane by the mask latch.
+    Writeback { dst: WbDest, src: ComputeSrc, masked: bool },
+    /// Load a row into the constant shifter.
+    LoadShifter { op: Operand },
+    /// Store the constant shifter back to a row (optionally masked).
+    StoreShifter { op: Operand, masked: bool },
+    /// Load a row into the XRegister.
+    LoadXReg { op: Operand },
+    /// Shift the constant shifter left one bit; in bit-hybrid mode the
+    /// spare shifter simultaneously shifts right, catching the bits that
+    /// cross segment boundaries. `masked` makes it conditional per lane.
+    ShiftLeft { masked: bool },
+    /// Shift the constant shifter right one bit (spare shifter left).
+    ShiftRight { masked: bool },
+    /// Rotate the constant shifter left one bit within the segment
+    /// (`lrotate` in Table II).
+    RotateLeft { masked: bool },
+    /// Rotate the constant shifter right one bit within the segment
+    /// (`rrotate` in Table II).
+    RotateRight { masked: bool },
+    /// Shift the XRegister right one bit (`mask_shft` in Table II):
+    /// exposes successive bits at the LSB column.
+    MaskShift,
+    /// Load the mask latches.
+    SetMask { src: MaskSrc, invert: bool },
+    /// Preset the carry flip-flop.
+    SetCarry { value: bool },
+    /// Clear the spare shifter's cross-segment bit (shift-pass setup:
+    /// the first segment of a pass must shift in zero).
+    ClearSpare,
+}
+
+/// Counter μops, executed by the VSU's unified control logic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CounterUop {
+    /// No counter activity.
+    Nop,
+    /// `init cnt, val`: force-initialize `ctr` to `value`.
+    Init { ctr: CounterId, value: u32 },
+    /// `decr cnt`: decrement by one; on reaching zero the counter resets
+    /// to its initial value and raises its zero flag.
+    Decr(CounterId),
+    /// `incr cnt`: increment by one.
+    Incr(CounterId),
+}
+
+/// Control μops: manipulate the micro-program counter.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ControlUop {
+    /// Fall through to the next tuple.
+    Nop,
+    /// `bnz cnt, l`: branch to `target` while `ctr` has not completed its
+    /// count (zero flag clear); consumes the flag on fall-through.
+    Bnz { ctr: CounterId, target: u16 },
+    /// `bnz.r`: like [`ControlUop::Bnz`] but the fall-through also
+    /// terminates the μprogram (the `ret` flag of §IV-A).
+    BnzRet { ctr: CounterId, target: u16 },
+    /// `bnd cnt, l`: branch to `target` if `ctr` sits on a binary decade
+    /// (power of two); consumes the decade flag when taken.
+    Bnd { ctr: CounterId, target: u16 },
+    /// Unconditional jump.
+    Jump { target: u16 },
+    /// `ret`: conclude execution, yield to the next macro-op.
+    Ret,
+}
+
+/// One VLIW micro-instruction: the three μops the VSU executes in a
+/// single cycle, in counter → arithmetic → control order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Tuple {
+    /// Counter μop.
+    pub counter: CounterUop,
+    /// Arithmetic μop (sent to the EVE SRAMs).
+    pub arith: ArithUop,
+    /// Control μop.
+    pub control: ControlUop,
+}
+
+impl Tuple {
+    /// A tuple doing nothing in every slot (an `empty` VSU cycle).
+    pub const NOP: Tuple = Tuple {
+        counter: CounterUop::Nop,
+        arith: ArithUop::Nop,
+        control: ControlUop::Nop,
+    };
+}
+
+impl Default for Tuple {
+    fn default() -> Self {
+        Tuple::NOP
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::counter::CounterId;
+
+    #[test]
+    fn operand_constructors() {
+        let ctr = CounterId::seg(0);
+        assert_eq!(Operand::up(VSlot::D, ctr).seg, SegSel::Up(ctr));
+        assert_eq!(Operand::down(VSlot::S1, ctr).seg, SegSel::Down(ctr));
+        assert_eq!(Operand::at(VSlot::S2, 3).seg, SegSel::At(3));
+    }
+
+    #[test]
+    fn default_tuple_is_nop() {
+        let t = Tuple::default();
+        assert_eq!(t.counter, CounterUop::Nop);
+        assert_eq!(t.arith, ArithUop::Nop);
+        assert_eq!(t.control, ControlUop::Nop);
+    }
+
+    #[test]
+    fn table_ii_surface_is_covered() {
+        // Every μop class from Table II exists: rd, wr, blc, lshift,
+        // rshift, rotates (as shifts w/ wraparound handled by programs),
+        // mask shift, cnt init/decr, bnz, bnd, ret.
+        let _rd = ArithUop::Read {
+            op: Operand::at(VSlot::D, 0),
+        };
+        let _wr = ArithUop::WriteDataIn {
+            op: Operand::at(VSlot::D, 0),
+        };
+        let _blc = ArithUop::Blc {
+            a: Operand::at(VSlot::S1, 0),
+            b: Operand::at(VSlot::S2, 0),
+            carry_in: CarryIn::Zero,
+        };
+        let _ls = ArithUop::ShiftLeft { masked: false };
+        let _rs = ArithUop::ShiftRight { masked: false };
+        let _ms = ArithUop::MaskShift;
+        let _init = CounterUop::Init {
+            ctr: CounterId::seg(0),
+            value: 4,
+        };
+        let _decr = CounterUop::Decr(CounterId::seg(0));
+        let _bnz = ControlUop::Bnz {
+            ctr: CounterId::seg(0),
+            target: 0,
+        };
+        let _bnd = ControlUop::Bnd {
+            ctr: CounterId::bit(0),
+            target: 0,
+        };
+        let _ret = ControlUop::Ret;
+    }
+}

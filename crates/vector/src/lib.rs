@@ -1,0 +1,27 @@
+//! The baseline vector units: integrated (**O3+IV**) and decoupled
+//! (**O3+DV**) from Table III.
+//!
+//! * [`IntegratedVector`] models a small SIMD-width unit tightly
+//!   coupled into the O3 pipeline (loosely after the Samsung M3 / ARM
+//!   SVE designs the paper cites): hardware vector length 4,
+//!   out-of-order issue onto three pipes shared with the core, and
+//!   vector memory decomposed into per-element scalar accesses through
+//!   the core's load-store queue.
+//! * [`DecoupledVector`] models an aggressive long-vector engine
+//!   (loosely after Tarantula, Fig 5): hardware vector length 64,
+//!   in-order issue onto four dedicated pipes (simple integer,
+//!   pipelined complex, iterative complex / cross-element, memory)
+//!   with 8 lanes each, chaining through an internal register
+//!   scoreboard, and a dedicated vector memory unit that generates
+//!   cache-line requests into the L2.
+//!
+//! Both implement [`eve_cpu::VectorUnit`], so they plug straight into
+//! the O3 core.
+
+pub mod dv;
+pub mod iv;
+pub mod pipes;
+
+pub use dv::DecoupledVector;
+pub use iv::IntegratedVector;
+pub use pipes::{classify_pipe, PipeClass};

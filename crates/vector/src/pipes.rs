@@ -1,0 +1,118 @@
+//! Execution-pipe classification shared by the baseline units.
+
+use eve_isa::{Inst, VArithOp};
+
+/// Which execution pipe a vector instruction occupies (DV's four-pipe
+/// organization; IV folds `Complex`/`Iterative` onto its second pipe).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PipeClass {
+    /// Simple integer: add/sub/logic/shift/min/max/compare/merge/moves.
+    Simple,
+    /// Pipelined complex integer: multiplies.
+    Complex,
+    /// Iterative complex integer and cross-element: divides,
+    /// reductions, slides, gathers.
+    Iterative,
+    /// Memory.
+    Memory,
+}
+
+/// Classifies a vector instruction onto a pipe. Returns `None` for
+/// non-vector instructions and for `vsetvl` (handled by the control
+/// processor).
+#[must_use]
+pub fn classify_pipe(inst: &Inst) -> Option<PipeClass> {
+    match inst {
+        Inst::VLoad { .. } | Inst::VStore { .. } => Some(PipeClass::Memory),
+        Inst::VOp { op, .. } => Some(match op {
+            VArithOp::Mul | VArithOp::Macc | VArithOp::Mulh | VArithOp::Mulhu => {
+                PipeClass::Complex
+            }
+            VArithOp::Div | VArithOp::Divu | VArithOp::Rem | VArithOp::Remu => {
+                PipeClass::Iterative
+            }
+            _ => PipeClass::Simple,
+        }),
+        Inst::VCmp { .. } | Inst::VMerge { .. } | Inst::VMask { .. } | Inst::VMv { .. } => {
+            Some(PipeClass::Simple)
+        }
+        Inst::VRed { .. }
+        | Inst::VSlide { .. }
+        | Inst::VRGather { .. }
+        | Inst::VId { .. }
+        | Inst::VMvXS { .. }
+        | Inst::VMvSX { .. } => Some(PipeClass::Iterative),
+        Inst::VMFence => Some(PipeClass::Memory),
+        _ => None,
+    }
+}
+
+/// Per-element issue cost on the pipe, in lane-cycles.
+#[must_use]
+pub fn element_cost(class: PipeClass, inst: &Inst) -> u64 {
+    match class {
+        PipeClass::Simple => 1,
+        PipeClass::Complex => 1, // pipelined multiplier
+        PipeClass::Iterative => match inst {
+            Inst::VOp { .. } => 6, // iterative divider
+            _ => 2,                // reduction/permute network
+        },
+        PipeClass::Memory => 1,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eve_isa::{vreg, xreg, VOperand};
+
+    #[test]
+    fn classification_covers_vector_surface() {
+        let add = Inst::VOp {
+            op: VArithOp::Add,
+            vd: vreg::V1,
+            vs1: vreg::V2,
+            rhs: VOperand::Imm(0),
+            masked: false,
+        };
+        assert_eq!(classify_pipe(&add), Some(PipeClass::Simple));
+        let mul = Inst::VOp {
+            op: VArithOp::Mul,
+            vd: vreg::V1,
+            vs1: vreg::V2,
+            rhs: VOperand::Imm(0),
+            masked: false,
+        };
+        assert_eq!(classify_pipe(&mul), Some(PipeClass::Complex));
+        let div = Inst::VOp {
+            op: VArithOp::Divu,
+            vd: vreg::V1,
+            vs1: vreg::V2,
+            rhs: VOperand::Imm(0),
+            masked: false,
+        };
+        assert_eq!(classify_pipe(&div), Some(PipeClass::Iterative));
+        assert_eq!(classify_pipe(&Inst::VId { vd: vreg::V1 }), Some(PipeClass::Iterative));
+        assert_eq!(classify_pipe(&Inst::VMFence), Some(PipeClass::Memory));
+        assert_eq!(classify_pipe(&Inst::Halt), None);
+        assert_eq!(
+            classify_pipe(&Inst::SetVl {
+                rd: xreg::T0,
+                avl: xreg::A0
+            }),
+            None
+        );
+    }
+
+    #[test]
+    fn iterative_ops_cost_more() {
+        let div = Inst::VOp {
+            op: VArithOp::Divu,
+            vd: vreg::V1,
+            vs1: vreg::V2,
+            rhs: VOperand::Imm(1),
+            masked: false,
+        };
+        assert!(element_cost(PipeClass::Iterative, &div) > element_cost(PipeClass::Simple, &div));
+    }
+}

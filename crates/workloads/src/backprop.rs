@@ -1,0 +1,155 @@
+//! `backprop` (Rodinia): one dense-layer forward pass.
+//!
+//! `hidden[j] = (sum_i input[i] * w[i][j]) >> 8`. The weight matrix is
+//! row-major `[input][hidden]`, so sweeping `i` for a fixed `j` is a
+//! constant-stride walk of `hidden * 4` bytes — with 16 hidden units
+//! that is 64 bytes, exactly one cache line per element. This is the
+//! access pattern §VII-B singles out: "no two elements in these
+//! operations would reside in the same cacheline, and thus this
+//! application requires significantly more MSHRs than available"
+//! (Fig 8's worst case).
+
+use crate::common::{fill_random, rng, Layout};
+use crate::Built;
+use eve_isa::{vreg, xreg, Asm, Memory, VOperand};
+
+/// Builds a forward pass `inputs -> hidden`.
+///
+/// # Panics
+///
+/// Panics if either dimension is zero.
+#[must_use]
+pub fn build(inputs: usize, hidden: usize) -> Built {
+    build_at(inputs, hidden, crate::common::DATA_BASE)
+}
+
+/// Like [`build`], laying data out from `base` (disjoint address
+/// spaces for CMP cores).
+#[must_use]
+pub fn build_at(inputs: usize, hidden: usize, base: u64) -> Built {
+    assert!(inputs > 0 && hidden > 0, "backprop needs real dimensions");
+    let mut layout = Layout::at(base);
+    let input = layout.alloc_words(inputs);
+    let weights = layout.alloc_words(inputs * hidden);
+    let out = layout.alloc_words(hidden);
+    let mut mem = Memory::new(layout.memory_size());
+    let mut r = rng(0xBAC4);
+    fill_random(&mut mem, input, inputs, 1 << 8, &mut r);
+    fill_random(&mut mem, weights, inputs * hidden, 1 << 8, &mut r);
+
+    let iv = mem.load_u32_slice(input, inputs);
+    let wv = mem.load_u32_slice(weights, inputs * hidden);
+    let expected = (0..hidden)
+        .map(|j| {
+            let mut acc = 0u32;
+            for i in 0..inputs {
+                acc = acc.wrapping_add(iv[i].wrapping_mul(wv[i * hidden + j]));
+            }
+            (out + j as u64 * 4, acc >> 8)
+        })
+        .collect();
+
+    Built {
+        name: "backprop",
+        scalar: scalar(inputs, hidden, input, weights, out),
+        vector: vector(inputs, hidden, input, weights, out),
+        memory: mem,
+        expected,
+    }
+}
+
+fn scalar(inputs: usize, hidden: usize, input: u64, weights: u64, out: u64) -> eve_isa::Program {
+    let h64 = hidden as i64;
+    let mut s = Asm::new();
+    s.li(xreg::S0, 0); // j
+    s.label("j_loop");
+    s.li(xreg::T0, 0); // acc
+    s.li(xreg::S1, 0); // i
+    s.li(xreg::A0, input as i64);
+    s.slli(xreg::A1, xreg::S0, 2);
+    s.addi(xreg::A1, xreg::A1, weights as i64); // &w[0][j]
+    s.label("i_loop");
+    s.lw(xreg::T1, xreg::A0, 0);
+    s.lw(xreg::T2, xreg::A1, 0);
+    s.mul(xreg::T1, xreg::T1, xreg::T2);
+    s.add(xreg::T0, xreg::T0, xreg::T1);
+    s.addi(xreg::A0, xreg::A0, 4);
+    s.addi(xreg::A1, xreg::A1, h64 * 4);
+    s.addi(xreg::S1, xreg::S1, 1);
+    s.li(xreg::T5, inputs as i64);
+    s.bne(xreg::S1, xreg::T5, "i_loop");
+    s.andi(xreg::T0, xreg::T0, 0xFFFF_FFFF);
+    s.srli(xreg::T0, xreg::T0, 8);
+    s.slli(xreg::T5, xreg::S0, 2);
+    s.addi(xreg::T5, xreg::T5, out as i64);
+    s.sw(xreg::T0, xreg::T5, 0);
+    s.addi(xreg::S0, xreg::S0, 1);
+    s.li(xreg::T5, h64);
+    s.bne(xreg::S0, xreg::T5, "j_loop");
+    s.halt();
+    s.assemble().expect("backprop scalar assembles")
+}
+
+fn vector(inputs: usize, hidden: usize, input: u64, weights: u64, out: u64) -> eve_isa::Program {
+    let h64 = hidden as i64;
+    let mut s = Asm::new();
+    s.li(xreg::S7, h64 * 4); // weight-column stride (one line!)
+    s.li(xreg::S0, 0); // j
+    s.label("j_loop");
+    s.li(xreg::S1, 0); // i0: input-strip base
+    s.li(xreg::T6, 0); // scalar accumulator
+    s.label("strip");
+    s.li(xreg::T0, inputs as i64);
+    s.sub(xreg::T0, xreg::T0, xreg::S1);
+    s.setvl(xreg::T1, xreg::T0);
+    // inputs[i0..] unit stride; w[i0..][j] giant stride.
+    s.slli(xreg::T2, xreg::S1, 2);
+    s.addi(xreg::T2, xreg::T2, input as i64);
+    s.vload(vreg::V1, xreg::T2);
+    s.muli(xreg::T3, xreg::S1, h64 * 4);
+    s.slli(xreg::T4, xreg::S0, 2);
+    s.add(xreg::T3, xreg::T3, xreg::T4);
+    s.addi(xreg::T3, xreg::T3, weights as i64);
+    s.vload_strided(vreg::V2, xreg::T3, xreg::S7);
+    s.vmul(vreg::V3, vreg::V1, VOperand::Reg(vreg::V2));
+    // Reduce this strip into the scalar accumulator.
+    s.vmv(vreg::V4, VOperand::Imm(0));
+    s.vred(eve_isa::RedOp::Sum, vreg::V5, vreg::V3, vreg::V4);
+    s.vmv_xs(xreg::T2, vreg::V5);
+    s.add(xreg::T6, xreg::T6, xreg::T2);
+    s.andi(xreg::T6, xreg::T6, 0xFFFF_FFFF);
+    s.add(xreg::S1, xreg::S1, xreg::T1);
+    s.li(xreg::T5, inputs as i64);
+    s.bne(xreg::S1, xreg::T5, "strip");
+    s.srli(xreg::T6, xreg::T6, 8);
+    s.slli(xreg::T5, xreg::S0, 2);
+    s.addi(xreg::T5, xreg::T5, out as i64);
+    s.sw(xreg::T6, xreg::T5, 0);
+    s.addi(xreg::S0, xreg::S0, 1);
+    s.li(xreg::T5, h64);
+    s.bne(xreg::S0, xreg::T5, "j_loop");
+    s.vmfence();
+    s.halt();
+    s.assemble().expect("backprop vector assembles")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eve_isa::Interpreter;
+
+    #[test]
+    fn forward_pass_matches() {
+        for (i, h) in [(16usize, 4usize), (100, 8), (130, 16)] {
+            let built = build(i, h);
+            for hw_vl in [4u32, 64] {
+                let mut it =
+                    Interpreter::new(built.vector.clone(), built.memory.clone(), hw_vl);
+                it.run_to_halt().unwrap();
+                built
+                    .verify(it.memory())
+                    .unwrap_or_else(|e| panic!("{i}x{h} vl={hw_vl}: {e}"));
+            }
+        }
+    }
+}

@@ -1,0 +1,90 @@
+//! Shared helpers: memory layout and deterministic input generation.
+
+use eve_isa::Memory;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Base address of workload data (above the null page and stack).
+pub const DATA_BASE: u64 = 0x1_0000;
+
+/// Bump allocator laying arrays out line-aligned in simulated memory.
+#[derive(Debug)]
+pub struct Layout {
+    next: u64,
+}
+
+impl Layout {
+    /// Starts allocating at [`DATA_BASE`].
+    #[must_use]
+    pub fn new() -> Self {
+        Self::at(DATA_BASE)
+    }
+
+    /// Starts allocating at `base` (rounded up to a line boundary) —
+    /// how CMP runs give each core a disjoint address space.
+    #[must_use]
+    pub fn at(base: u64) -> Self {
+        Self {
+            next: base.div_ceil(64) * 64,
+        }
+    }
+
+    /// Reserves `words` 32-bit words, 64-byte aligned.
+    pub fn alloc_words(&mut self, words: usize) -> u64 {
+        let addr = self.next;
+        let bytes = (words as u64 * 4).div_ceil(64) * 64;
+        self.next = addr + bytes;
+        addr
+    }
+
+    /// Bytes needed for everything allocated so far (plus slack).
+    #[must_use]
+    pub fn memory_size(&self) -> usize {
+        (self.next + 0x1_0000) as usize
+    }
+}
+
+impl Default for Layout {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// A deterministic RNG for input generation (fixed seed per kernel so
+/// golden outputs are reproducible).
+#[must_use]
+pub fn rng(seed: u64) -> StdRng {
+    StdRng::seed_from_u64(seed)
+}
+
+/// Fills `words` consecutive 32-bit words with values in `0..bound`.
+pub fn fill_random(mem: &mut Memory, addr: u64, words: usize, bound: u32, rng: &mut StdRng) {
+    for i in 0..words {
+        mem.store_u32(addr + i as u64 * 4, rng.gen_range(0..bound));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn layout_is_line_aligned() {
+        let mut l = Layout::new();
+        let a = l.alloc_words(3);
+        let b = l.alloc_words(100);
+        assert_eq!(a % 64, 0);
+        assert_eq!(b % 64, 0);
+        assert!(b >= a + 64);
+        assert!(l.memory_size() > b as usize);
+    }
+
+    #[test]
+    fn rng_is_deterministic() {
+        let mut m1 = Memory::new(1024);
+        let mut m2 = Memory::new(1024);
+        fill_random(&mut m1, 0, 64, 100, &mut rng(7));
+        fill_random(&mut m2, 0, 64, 100, &mut rng(7));
+        assert_eq!(m1, m2);
+    }
+}

@@ -1,0 +1,219 @@
+//! `jacobi-2d` (RiVEC): 5-point stencil sweeps.
+//!
+//! The vector form keeps the left-neighbor in registers via
+//! `vslideup` + `vmv.s.x` (the cross-element operations that give the
+//! kernel its 17 % `xe` share in Table IV) and divides by 5 with the
+//! exact magic-multiply sequence `mulhu(x, 0xCCCC_CCCD) >> 2`.
+
+use crate::common::{fill_random, rng, Layout};
+use crate::Built;
+use eve_isa::{vreg, xreg, Asm, Memory, VArithOp, VOperand};
+
+/// Magic constant for exact unsigned division by five.
+const DIV5_MAGIC: i64 = 0xCCCC_CCCD;
+
+fn div5(x: u32) -> u32 {
+    ((u64::from(x) * 0xCCCC_CCCD) >> 34) as u32
+}
+
+/// Builds an `n x n` grid swept `steps` times (interior cells only).
+///
+/// # Panics
+///
+/// Panics if `n < 3` or `steps == 0`.
+#[must_use]
+pub fn build(n: usize, steps: usize) -> Built {
+    build_at(n, steps, crate::common::DATA_BASE)
+}
+
+/// Like [`build`], laying data out from `base` (disjoint address
+/// spaces for CMP cores).
+#[must_use]
+pub fn build_at(n: usize, steps: usize, base: u64) -> Built {
+    assert!(n >= 3 && steps > 0, "jacobi needs an interior and work");
+    let mut layout = Layout::at(base);
+    let a = layout.alloc_words(n * n);
+    let b = layout.alloc_words(n * n);
+    let mut mem = Memory::new(layout.memory_size());
+    let mut r = rng(0x1AC0B1);
+    fill_random(&mut mem, a, n * n, 1 << 10, &mut r);
+
+    // Golden sweeps.
+    let mut cur = mem.load_u32_slice(a, n * n);
+    let mut nxt = vec![0u32; n * n];
+    for _ in 0..steps {
+        for i in 1..n - 1 {
+            for j in 1..n - 1 {
+                let sum = cur[i * n + j]
+                    .wrapping_add(cur[i * n + j - 1])
+                    .wrapping_add(cur[i * n + j + 1])
+                    .wrapping_add(cur[(i - 1) * n + j])
+                    .wrapping_add(cur[(i + 1) * n + j]);
+                nxt[i * n + j] = div5(sum);
+            }
+        }
+        std::mem::swap(&mut cur, &mut nxt);
+    }
+    let final_base = if steps % 2 == 1 { b } else { a };
+    // Interior cells only: borders of the destination buffer are
+    // whatever that buffer held before (never written).
+    let expected = (1..n - 1)
+        .flat_map(|i| {
+            let cur = &cur;
+            (1..n - 1).map(move |j| (final_base + ((i * n + j) as u64) * 4, cur[i * n + j]))
+        })
+        .collect();
+
+    Built {
+        name: "jacobi-2d",
+        scalar: scalar(n, steps, a, b),
+        vector: vector(n, steps, a, b),
+        memory: mem,
+        expected,
+    }
+}
+
+fn scalar(n: usize, steps: usize, a: u64, b: u64) -> eve_isa::Program {
+    let n64 = n as i64;
+    let mut s = Asm::new();
+    s.li(xreg::S5, steps as i64);
+    s.li(xreg::A0, a as i64); // src
+    s.li(xreg::A1, b as i64); // dst
+    s.label("step_loop");
+    s.li(xreg::S0, 1); // i
+    s.label("i_loop");
+    // cursors at (i, 1)
+    s.muli(xreg::A2, xreg::S0, n64 * 4);
+    s.add(xreg::A2, xreg::A2, xreg::A0);
+    s.addi(xreg::A2, xreg::A2, 4);
+    s.muli(xreg::A3, xreg::S0, n64 * 4);
+    s.add(xreg::A3, xreg::A3, xreg::A1);
+    s.addi(xreg::A3, xreg::A3, 4);
+    s.li(xreg::S1, 1); // j
+    s.label("j_loop");
+    s.lw(xreg::T1, xreg::A2, 0);
+    s.lw(xreg::T2, xreg::A2, -4);
+    s.add(xreg::T1, xreg::T1, xreg::T2);
+    s.lw(xreg::T2, xreg::A2, 4);
+    s.add(xreg::T1, xreg::T1, xreg::T2);
+    s.lw(xreg::T2, xreg::A2, -(n64 * 4));
+    s.add(xreg::T1, xreg::T1, xreg::T2);
+    s.lw(xreg::T2, xreg::A2, n64 * 4);
+    s.add(xreg::T1, xreg::T1, xreg::T2);
+    // Exact /5: (x * magic) >> 34 on the 64-bit scalar datapath, then
+    // keep 32 bits.
+    s.andi(xreg::T1, xreg::T1, 0xFFFF_FFFF);
+    s.li(xreg::T3, DIV5_MAGIC);
+    s.mul(xreg::T1, xreg::T1, xreg::T3);
+    s.srli(xreg::T1, xreg::T1, 34);
+    s.sw(xreg::T1, xreg::A3, 0);
+    s.addi(xreg::A2, xreg::A2, 4);
+    s.addi(xreg::A3, xreg::A3, 4);
+    s.addi(xreg::S1, xreg::S1, 1);
+    s.li(xreg::T5, n64 - 1);
+    s.bne(xreg::S1, xreg::T5, "j_loop");
+    s.addi(xreg::S0, xreg::S0, 1);
+    s.li(xreg::T5, n64 - 1);
+    s.bne(xreg::S0, xreg::T5, "i_loop");
+    // swap buffers
+    s.mv(xreg::T5, xreg::A0);
+    s.mv(xreg::A0, xreg::A1);
+    s.mv(xreg::A1, xreg::T5);
+    s.addi(xreg::S5, xreg::S5, -1);
+    s.bnez(xreg::S5, "step_loop");
+    s.halt();
+    s.assemble().expect("jacobi scalar assembles")
+}
+
+fn vector(n: usize, steps: usize, a: u64, b: u64) -> eve_isa::Program {
+    let n64 = n as i64;
+    let mut s = Asm::new();
+    s.li(xreg::S5, steps as i64);
+    s.li(xreg::A0, a as i64);
+    s.li(xreg::A1, b as i64);
+    s.label("step_loop");
+    s.li(xreg::S0, 1); // i
+    s.label("i_loop");
+    s.li(xreg::S1, 1); // j0
+    s.label("strip");
+    s.li(xreg::T0, n64 - 1);
+    s.sub(xreg::T0, xreg::T0, xreg::S1);
+    s.setvl(xreg::T1, xreg::T0);
+    // &src[i][j0]
+    s.muli(xreg::A2, xreg::S0, n64 * 4);
+    s.add(xreg::A2, xreg::A2, xreg::A0);
+    s.slli(xreg::T2, xreg::S1, 2);
+    s.add(xreg::A2, xreg::A2, xreg::T2);
+    s.vload(vreg::V1, xreg::A2); // center
+    // Left neighbor: slide the center up one and inject src[i][j0-1]
+    // into element 0 (cross-element work, §Table IV "xe").
+    s.vslide(vreg::V2, vreg::V1, xreg::ZERO, true); // placeholder copy
+    s.li(xreg::T3, 1);
+    s.vslide(vreg::V2, vreg::V1, xreg::T3, true);
+    s.lw(xreg::T4, xreg::A2, -4);
+    s.vmv_sx(vreg::V2, xreg::T4);
+    // Right neighbor: unaligned unit load.
+    s.addi(xreg::T3, xreg::A2, 4);
+    s.vload(vreg::V3, xreg::T3);
+    // Up/down rows.
+    s.addi(xreg::T3, xreg::A2, -(n64 * 4));
+    s.vload(vreg::V4, xreg::T3);
+    s.addi(xreg::T3, xreg::A2, n64 * 4);
+    s.vload(vreg::V5, xreg::T3);
+    // Sum and exact /5.
+    s.vadd(vreg::V6, vreg::V1, VOperand::Reg(vreg::V2));
+    s.vadd(vreg::V6, vreg::V6, VOperand::Reg(vreg::V3));
+    s.vadd(vreg::V6, vreg::V6, VOperand::Reg(vreg::V4));
+    s.vadd(vreg::V6, vreg::V6, VOperand::Reg(vreg::V5));
+    s.li(xreg::T3, DIV5_MAGIC);
+    s.vop(VArithOp::Mulhu, vreg::V7, vreg::V6, VOperand::Scalar(xreg::T3));
+    s.vsrl(vreg::V7, vreg::V7, VOperand::Imm(2));
+    // &dst[i][j0]
+    s.muli(xreg::A3, xreg::S0, n64 * 4);
+    s.add(xreg::A3, xreg::A3, xreg::A1);
+    s.slli(xreg::T2, xreg::S1, 2);
+    s.add(xreg::A3, xreg::A3, xreg::T2);
+    s.vstore(vreg::V7, xreg::A3);
+    s.add(xreg::S1, xreg::S1, xreg::T1);
+    s.li(xreg::T5, n64 - 1);
+    s.bne(xreg::S1, xreg::T5, "strip");
+    s.addi(xreg::S0, xreg::S0, 1);
+    s.li(xreg::T5, n64 - 1);
+    s.bne(xreg::S0, xreg::T5, "i_loop");
+    s.vmfence();
+    s.mv(xreg::T5, xreg::A0);
+    s.mv(xreg::A0, xreg::A1);
+    s.mv(xreg::A1, xreg::T5);
+    s.addi(xreg::S5, xreg::S5, -1);
+    s.bnez(xreg::S5, "step_loop");
+    s.halt();
+    s.assemble().expect("jacobi vector assembles")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eve_isa::Interpreter;
+
+    #[test]
+    fn div5_magic_is_exact() {
+        for x in [0u32, 1, 4, 5, 6, 1000, u32::MAX, u32::MAX - 3] {
+            assert_eq!(div5(x), x / 5, "{x}");
+        }
+    }
+
+    #[test]
+    fn stencil_matches_at_strip_boundaries() {
+        for (n, steps) in [(3usize, 1usize), (10, 3), (70, 2)] {
+            let built = build(n, steps);
+            for hw_vl in [4u32, 64] {
+                let mut i =
+                    Interpreter::new(built.vector.clone(), built.memory.clone(), hw_vl);
+                i.run_to_halt().unwrap();
+                built
+                    .verify(i.memory())
+                    .unwrap_or_else(|e| panic!("n={n} steps={steps} vl={hw_vl}: {e}"));
+            }
+        }
+    }
+}

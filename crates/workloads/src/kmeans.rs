@@ -1,0 +1,252 @@
+//! `k-means` (Rodinia): nearest-centroid assignment.
+//!
+//! Vectorized over points: feature columns arrive through strided
+//! loads (points are row-major `[point][feature]`), the running
+//! nearest-centroid selection is predicated compare + merge, and a
+//! final quantization-error pass gathers each point's centroid with an
+//! indexed load — reproducing the `st`/`prd`/`idx` mix of Table IV.
+
+use crate::common::{fill_random, rng, Layout};
+use crate::Built;
+use eve_isa::{vreg, xreg, Asm, Memory, VCmpCond, VOperand};
+
+/// Builds an assignment pass over `points x features` with `clusters`
+/// centroids.
+///
+/// # Panics
+///
+/// Panics if any dimension is zero or `clusters > points`.
+#[must_use]
+pub fn build(points: usize, features: usize, clusters: usize) -> Built {
+    build_at(points, features, clusters, crate::common::DATA_BASE)
+}
+
+/// Like [`build`], laying data out from `base` (disjoint address
+/// spaces for CMP cores).
+#[must_use]
+pub fn build_at(points: usize, features: usize, clusters: usize, base: u64) -> Built {
+    assert!(
+        points > 0 && features > 0 && clusters > 0 && clusters <= points,
+        "degenerate k-means configuration"
+    );
+    let mut layout = Layout::at(base);
+    let data = layout.alloc_words(points * features);
+    let centers = layout.alloc_words(clusters * features);
+    let membership = layout.alloc_words(points);
+    let error_addr = layout.alloc_words(1);
+    let mut mem = Memory::new(layout.memory_size());
+    let mut r = rng(0x36EA15);
+    fill_random(&mut mem, data, points * features, 1 << 8, &mut r);
+    fill_random(&mut mem, centers, clusters * features, 1 << 8, &mut r);
+
+    // Golden assignment + error.
+    let d = mem.load_u32_slice(data, points * features);
+    let c = mem.load_u32_slice(centers, clusters * features);
+    let mut expected = Vec::with_capacity(points + 1);
+    let mut best_idx = vec![0u32; points];
+    for p in 0..points {
+        let mut best = i32::MAX as u32;
+        for k in 0..clusters {
+            let mut dist = 0u32;
+            for f in 0..features {
+                let diff = d[p * features + f].wrapping_sub(c[k * features + f]);
+                dist = dist.wrapping_add(diff.wrapping_mul(diff));
+            }
+            // Signed compare, as the vector code uses vmslt.
+            if (dist as i32) < (best as i32) {
+                best = dist;
+                best_idx[p] = k as u32;
+            }
+        }
+        expected.push((membership + p as u64 * 4, best_idx[p]));
+    }
+    let mut error = 0u32;
+    for p in 0..points {
+        let k = best_idx[p] as usize;
+        let diff = d[p * features].wrapping_sub(c[k * features]);
+        error = error.wrapping_add(diff.wrapping_mul(diff));
+    }
+    expected.push((error_addr, error));
+
+    Built {
+        name: "kmeans",
+        scalar: scalar(points, features, clusters, data, centers, membership, error_addr),
+        vector: vector(points, features, clusters, data, centers, membership, error_addr),
+        memory: mem,
+        expected,
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn scalar(
+    points: usize,
+    features: usize,
+    clusters: usize,
+    data: u64,
+    centers: u64,
+    membership: u64,
+    error_addr: u64,
+) -> eve_isa::Program {
+    let f64_ = features as i64;
+    let mut s = Asm::new();
+    s.li(xreg::S0, 0); // p
+    s.li(xreg::S6, 0); // error accumulator
+    s.label("p_loop");
+    s.li(xreg::S1, 0); // k
+    s.li(xreg::S2, i64::from(i32::MAX)); // best (signed)
+    s.li(xreg::S3, 0); // best idx
+    s.label("k_loop");
+    s.li(xreg::T0, 0); // dist
+    s.li(xreg::S4, 0); // f
+    s.muli(xreg::A0, xreg::S0, f64_ * 4);
+    s.addi(xreg::A0, xreg::A0, data as i64);
+    s.muli(xreg::A1, xreg::S1, f64_ * 4);
+    s.addi(xreg::A1, xreg::A1, centers as i64);
+    s.label("f_loop");
+    s.lw(xreg::T1, xreg::A0, 0);
+    s.lw(xreg::T2, xreg::A1, 0);
+    s.sub(xreg::T1, xreg::T1, xreg::T2);
+    s.andi(xreg::T1, xreg::T1, 0xFFFF_FFFF);
+    s.mul(xreg::T1, xreg::T1, xreg::T1);
+    s.add(xreg::T0, xreg::T0, xreg::T1);
+    s.andi(xreg::T0, xreg::T0, 0xFFFF_FFFF);
+    s.addi(xreg::A0, xreg::A0, 4);
+    s.addi(xreg::A1, xreg::A1, 4);
+    s.addi(xreg::S4, xreg::S4, 1);
+    s.li(xreg::T5, f64_);
+    s.bne(xreg::S4, xreg::T5, "f_loop");
+    // Sign-extend dist to compare signed like the vector code.
+    s.slli(xreg::T0, xreg::T0, 32);
+    s.srai(xreg::T0, xreg::T0, 32);
+    s.bge(xreg::T0, xreg::S2, "not_better");
+    s.mv(xreg::S2, xreg::T0);
+    s.mv(xreg::S3, xreg::S1);
+    s.label("not_better");
+    s.addi(xreg::S1, xreg::S1, 1);
+    s.li(xreg::T5, clusters as i64);
+    s.bne(xreg::S1, xreg::T5, "k_loop");
+    // membership[p] = best idx
+    s.slli(xreg::T5, xreg::S0, 2);
+    s.addi(xreg::T5, xreg::T5, membership as i64);
+    s.sw(xreg::S3, xreg::T5, 0);
+    // error += (x[p][0] - centers[best][0])^2
+    s.muli(xreg::A0, xreg::S0, f64_ * 4);
+    s.addi(xreg::A0, xreg::A0, data as i64);
+    s.lw(xreg::T1, xreg::A0, 0);
+    s.muli(xreg::A1, xreg::S3, f64_ * 4);
+    s.addi(xreg::A1, xreg::A1, centers as i64);
+    s.lw(xreg::T2, xreg::A1, 0);
+    s.sub(xreg::T1, xreg::T1, xreg::T2);
+    s.andi(xreg::T1, xreg::T1, 0xFFFF_FFFF);
+    s.mul(xreg::T1, xreg::T1, xreg::T1);
+    s.add(xreg::S6, xreg::S6, xreg::T1);
+    s.andi(xreg::S6, xreg::S6, 0xFFFF_FFFF);
+    s.addi(xreg::S0, xreg::S0, 1);
+    s.li(xreg::T5, points as i64);
+    s.bne(xreg::S0, xreg::T5, "p_loop");
+    s.li(xreg::T5, error_addr as i64);
+    s.sw(xreg::S6, xreg::T5, 0);
+    s.halt();
+    s.assemble().expect("kmeans scalar assembles")
+}
+
+#[allow(clippy::too_many_arguments)]
+fn vector(
+    points: usize,
+    features: usize,
+    clusters: usize,
+    data: u64,
+    centers: u64,
+    membership: u64,
+    error_addr: u64,
+) -> eve_isa::Program {
+    let f64_ = features as i64;
+    let mut s = Asm::new();
+    s.li(xreg::S0, 0); // p0: point-strip base
+    s.li(xreg::S6, 0); // scalar error accumulator
+    s.li(xreg::S7, f64_ * 4); // feature stride in bytes
+    s.label("strip");
+    s.li(xreg::T0, points as i64);
+    s.sub(xreg::T0, xreg::T0, xreg::S0);
+    s.setvl(xreg::T1, xreg::T0);
+    s.vmv(vreg::V8, VOperand::Imm(i32::MAX)); // best dist
+    s.vmv(vreg::V9, VOperand::Imm(0)); // best idx
+    s.li(xreg::S1, 0); // k
+    s.label("k_loop");
+    s.vmv(vreg::V10, VOperand::Imm(0)); // dist
+    s.li(xreg::S4, 0); // f
+    // &data[p0][0]
+    s.muli(xreg::A0, xreg::S0, f64_ * 4);
+    s.addi(xreg::A0, xreg::A0, data as i64);
+    // &centers[k][0]
+    s.muli(xreg::A1, xreg::S1, f64_ * 4);
+    s.addi(xreg::A1, xreg::A1, centers as i64);
+    s.label("f_loop");
+    // Strided feature column across the point strip.
+    s.vload_strided(vreg::V1, xreg::A0, xreg::S7);
+    s.lw(xreg::T2, xreg::A1, 0);
+    s.vsub(vreg::V2, vreg::V1, VOperand::Scalar(xreg::T2));
+    s.vmul(vreg::V2, vreg::V2, VOperand::Reg(vreg::V2));
+    s.vadd(vreg::V10, vreg::V10, VOperand::Reg(vreg::V2));
+    s.addi(xreg::A0, xreg::A0, 4);
+    s.addi(xreg::A1, xreg::A1, 4);
+    s.addi(xreg::S4, xreg::S4, 1);
+    s.li(xreg::T5, f64_);
+    s.bne(xreg::S4, xreg::T5, "f_loop");
+    // Predicated running minimum.
+    s.vcmp(VCmpCond::Lt, vreg::V0, vreg::V10, VOperand::Reg(vreg::V8));
+    s.vmerge(vreg::V8, vreg::V10, VOperand::Reg(vreg::V8));
+    s.vmv(vreg::V11, VOperand::Scalar(xreg::S1));
+    s.vmerge(vreg::V9, vreg::V11, VOperand::Reg(vreg::V9));
+    s.addi(xreg::S1, xreg::S1, 1);
+    s.li(xreg::T5, clusters as i64);
+    s.bne(xreg::S1, xreg::T5, "k_loop");
+    // membership[p0..] = best idx
+    s.slli(xreg::T5, xreg::S0, 2);
+    s.addi(xreg::T5, xreg::T5, membership as i64);
+    s.vstore(vreg::V9, xreg::T5);
+    // Error pass: gather centers[best][0] (indexed) and accumulate.
+    s.vmul(vreg::V12, vreg::V9, VOperand::Imm((f64_ * 4) as i32));
+    s.li(xreg::T5, centers as i64);
+    s.vload_indexed(vreg::V13, xreg::T5, vreg::V12);
+    s.muli(xreg::A0, xreg::S0, f64_ * 4);
+    s.addi(xreg::A0, xreg::A0, data as i64);
+    s.vload_strided(vreg::V1, xreg::A0, xreg::S7); // x[p][0]
+    s.vsub(vreg::V2, vreg::V1, VOperand::Reg(vreg::V13));
+    s.vmul(vreg::V2, vreg::V2, VOperand::Reg(vreg::V2));
+    s.vmv(vreg::V14, VOperand::Imm(0));
+    s.vred(eve_isa::RedOp::Sum, vreg::V15, vreg::V2, vreg::V14);
+    s.vmv_xs(xreg::T2, vreg::V15);
+    s.add(xreg::S6, xreg::S6, xreg::T2);
+    s.andi(xreg::S6, xreg::S6, 0xFFFF_FFFF);
+    // next strip
+    s.add(xreg::S0, xreg::S0, xreg::T1);
+    s.li(xreg::T5, points as i64);
+    s.bne(xreg::S0, xreg::T5, "strip");
+    s.li(xreg::T5, error_addr as i64);
+    s.sw(xreg::S6, xreg::T5, 0);
+    s.vmfence();
+    s.halt();
+    s.assemble().expect("kmeans vector assembles")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eve_isa::Interpreter;
+
+    #[test]
+    fn assignment_and_error_match() {
+        for (p, f, k) in [(16usize, 4usize, 2usize), (65, 8, 3), (40, 3, 5)] {
+            let built = build(p, f, k);
+            for hw_vl in [4u32, 64] {
+                let mut i =
+                    Interpreter::new(built.vector.clone(), built.memory.clone(), hw_vl);
+                i.run_to_halt().unwrap();
+                built
+                    .verify(i.memory())
+                    .unwrap_or_else(|e| panic!("{p}x{f}x{k} vl={hw_vl}: {e}"));
+            }
+        }
+    }
+}

@@ -1,0 +1,164 @@
+//! `mmult`: dense integer matrix multiply — the compute-bound
+//! micro-kernel of Table IV (97 % vector operations, arithmetic
+//! intensity 2.0).
+
+use crate::common::{fill_random, rng, Layout};
+use crate::Built;
+use eve_isa::{vreg, xreg, Asm, Memory, VArithOp, VOperand};
+
+/// Builds `C = A x B` for `n x n` row-major `i32` matrices.
+///
+/// # Panics
+///
+/// Panics if `n` is zero.
+#[must_use]
+pub fn build(n: usize) -> Built {
+    build_at(n, crate::common::DATA_BASE)
+}
+
+/// Like [`build`], laying data out from `base` (disjoint address
+/// spaces for CMP cores).
+#[must_use]
+pub fn build_at(n: usize, base: u64) -> Built {
+    assert!(n > 0, "mmult needs a nonzero dimension");
+    let mut layout = Layout::at(base);
+    let a = layout.alloc_words(n * n);
+    let b = layout.alloc_words(n * n);
+    let c = layout.alloc_words(n * n);
+    let mut mem = Memory::new(layout.memory_size());
+    let mut r = rng(0x3A7);
+    fill_random(&mut mem, a, n * n, 1 << 10, &mut r);
+    fill_random(&mut mem, b, n * n, 1 << 10, &mut r);
+
+    let av = mem.load_u32_slice(a, n * n);
+    let bv = mem.load_u32_slice(b, n * n);
+    let mut expected = Vec::with_capacity(n * n);
+    for i in 0..n {
+        for j in 0..n {
+            let mut acc = 0u32;
+            for k in 0..n {
+                acc = acc.wrapping_add(av[i * n + k].wrapping_mul(bv[k * n + j]));
+            }
+            expected.push((c + ((i * n + j) as u64) * 4, acc));
+        }
+    }
+
+    Built {
+        name: "mmult",
+        scalar: scalar(n, a, b, c),
+        vector: vector(n, a, b, c),
+        memory: mem,
+        expected,
+    }
+}
+
+fn scalar(n: usize, a: u64, b: u64, c: u64) -> eve_isa::Program {
+    let n64 = n as i64;
+    let mut s = Asm::new();
+    s.li(xreg::S0, 0); // i
+    s.label("i_loop");
+    s.li(xreg::S1, 0); // j
+    s.label("j_loop");
+    s.li(xreg::T3, 0); // acc
+    s.li(xreg::S2, 0); // k
+    // &A[i][0]
+    s.muli(xreg::A0, xreg::S0, n64 * 4);
+    s.addi(xreg::A0, xreg::A0, a as i64);
+    // &B[0][j]
+    s.slli(xreg::A1, xreg::S1, 2);
+    s.addi(xreg::A1, xreg::A1, b as i64);
+    s.label("k_loop");
+    s.lw(xreg::T1, xreg::A0, 0);
+    s.lw(xreg::T2, xreg::A1, 0);
+    s.mul(xreg::T1, xreg::T1, xreg::T2);
+    s.add(xreg::T3, xreg::T3, xreg::T1);
+    s.addi(xreg::A0, xreg::A0, 4);
+    s.addi(xreg::A1, xreg::A1, n64 * 4);
+    s.addi(xreg::S2, xreg::S2, 1);
+    s.li(xreg::T4, n64);
+    s.bne(xreg::S2, xreg::T4, "k_loop");
+    // C[i][j] = acc
+    s.muli(xreg::A2, xreg::S0, n64 * 4);
+    s.slli(xreg::T5, xreg::S1, 2);
+    s.add(xreg::A2, xreg::A2, xreg::T5);
+    s.addi(xreg::A2, xreg::A2, c as i64);
+    s.sw(xreg::T3, xreg::A2, 0);
+    s.addi(xreg::S1, xreg::S1, 1);
+    s.li(xreg::T4, n64);
+    s.bne(xreg::S1, xreg::T4, "j_loop");
+    s.addi(xreg::S0, xreg::S0, 1);
+    s.li(xreg::T4, n64);
+    s.bne(xreg::S0, xreg::T4, "i_loop");
+    s.halt();
+    s.assemble().expect("mmult scalar assembles")
+}
+
+/// Row-block vectorization: for each row `i` and column strip, the
+/// accumulator vector sweeps `k`, adding `A[i][k] * B[k][j..]`.
+fn vector(n: usize, a: u64, b: u64, c: u64) -> eve_isa::Program {
+    let n64 = n as i64;
+    let mut s = Asm::new();
+    s.li(xreg::S0, 0); // i
+    s.label("i_loop");
+    s.li(xreg::S1, 0); // j0: column-strip base
+    s.label("j_loop");
+    // vl = min(n - j0, hw)
+    s.li(xreg::T0, n64);
+    s.sub(xreg::T0, xreg::T0, xreg::S1);
+    s.setvl(xreg::T1, xreg::T0);
+    s.vmv(vreg::V4, VOperand::Imm(0)); // acc
+    s.li(xreg::S2, 0); // k
+    // &A[i][0]
+    s.muli(xreg::A0, xreg::S0, n64 * 4);
+    s.addi(xreg::A0, xreg::A0, a as i64);
+    // &B[0][j0]
+    s.slli(xreg::A1, xreg::S1, 2);
+    s.addi(xreg::A1, xreg::A1, b as i64);
+    s.label("k_loop");
+    s.lw(xreg::T2, xreg::A0, 0); // a_ik
+    s.vload(vreg::V1, xreg::A1); // B[k][j0..]
+    // Multiply-accumulate, as real RVV mmult kernels are written.
+    s.vop(VArithOp::Macc, vreg::V4, vreg::V1, VOperand::Scalar(xreg::T2));
+    s.addi(xreg::A0, xreg::A0, 4);
+    s.addi(xreg::A1, xreg::A1, n64 * 4);
+    s.addi(xreg::S2, xreg::S2, 1);
+    s.li(xreg::T4, n64);
+    s.bne(xreg::S2, xreg::T4, "k_loop");
+    // C[i][j0..] = acc
+    s.muli(xreg::A2, xreg::S0, n64 * 4);
+    s.slli(xreg::T5, xreg::S1, 2);
+    s.add(xreg::A2, xreg::A2, xreg::T5);
+    s.addi(xreg::A2, xreg::A2, c as i64);
+    s.vstore(vreg::V4, xreg::A2);
+    // j0 += vl
+    s.add(xreg::S1, xreg::S1, xreg::T1);
+    s.li(xreg::T4, n64);
+    s.bne(xreg::S1, xreg::T4, "j_loop");
+    s.addi(xreg::S0, xreg::S0, 1);
+    s.li(xreg::T4, n64);
+    s.bne(xreg::S0, xreg::T4, "i_loop");
+    s.vmfence();
+    s.halt();
+    s.assemble().expect("mmult vector assembles")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eve_isa::Interpreter;
+
+    #[test]
+    fn small_matrices_at_various_vl() {
+        for n in [1usize, 3, 8, 17] {
+            let built = build(n);
+            for hw_vl in [4u32, 16, 64] {
+                let mut i =
+                    Interpreter::new(built.vector.clone(), built.memory.clone(), hw_vl);
+                i.run_to_halt().unwrap();
+                built
+                    .verify(i.memory())
+                    .unwrap_or_else(|e| panic!("n={n} vl={hw_vl}: {e}"));
+            }
+        }
+    }
+}

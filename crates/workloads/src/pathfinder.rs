@@ -1,0 +1,188 @@
+//! `pathfinder` (Rodinia): row-by-row grid dynamic programming.
+//!
+//! `dst[j] = wall[r][j] + min(src[j-1], src[j], src[j+1])`. The
+//! vectorized form uses three overlapping unit-stride loads; one of
+//! the two minima is computed as a compare + mask + merge (as the
+//! Rodinia RVV port does), which is where the kernel's 25 %
+//! predication in Table IV comes from.
+
+use crate::common::{fill_random, rng, Layout};
+use crate::Built;
+use eve_isa::{vreg, xreg, Asm, Memory, VCmpCond, VOperand};
+
+/// Sentinel padding so `j-1`/`j+1` never need branches.
+const PAD_VALUE: u32 = i32::MAX as u32 / 2;
+
+/// Builds a `rows x cols` pathfinder instance.
+///
+/// # Panics
+///
+/// Panics if `rows < 2` or `cols < 3`.
+#[must_use]
+pub fn build(rows: usize, cols: usize) -> Built {
+    build_at(rows, cols, crate::common::DATA_BASE)
+}
+
+/// Like [`build`], laying data out from `base` (disjoint address
+/// spaces for CMP cores).
+#[must_use]
+pub fn build_at(rows: usize, cols: usize, base: u64) -> Built {
+    assert!(rows >= 2 && cols >= 3, "pathfinder needs a real grid");
+    let mut layout = Layout::at(base);
+    let wall = layout.alloc_words(rows * cols);
+    // src/dst rows padded by one sentinel on each side.
+    let src = layout.alloc_words(cols + 2) + 4;
+    let dst = layout.alloc_words(cols + 2) + 4;
+    let mut mem = Memory::new(layout.memory_size());
+    let mut r = rng(0x9A7);
+    fill_random(&mut mem, wall, rows * cols, 1 << 10, &mut r);
+    mem.store_u32(src - 4, PAD_VALUE);
+    mem.store_u32(src + cols as u64 * 4, PAD_VALUE);
+    mem.store_u32(dst - 4, PAD_VALUE);
+    mem.store_u32(dst + cols as u64 * 4, PAD_VALUE);
+    // First DP row = wall row 0.
+    for j in 0..cols {
+        mem.store_u32(src + j as u64 * 4, mem.load_u32(wall + j as u64 * 4));
+    }
+
+    // Golden: run the DP in Rust. Result lands in src or dst depending
+    // on row parity (rows-1 sweeps).
+    let w = mem.load_u32_slice(wall, rows * cols);
+    let mut cur: Vec<u32> = (0..cols).map(|j| w[j]).collect();
+    for row in 1..rows {
+        let mut next = vec![0u32; cols];
+        for j in 0..cols {
+            let left = if j > 0 { cur[j - 1] } else { PAD_VALUE };
+            let right = if j + 1 < cols { cur[j + 1] } else { PAD_VALUE };
+            next[j] = w[row * cols + j].wrapping_add(left.min(cur[j]).min(right));
+        }
+        cur = next;
+    }
+    let final_base = if rows % 2 == 1 { src } else { dst };
+    let expected = cur
+        .iter()
+        .enumerate()
+        .map(|(j, &v)| (final_base + j as u64 * 4, v))
+        .collect();
+
+    Built {
+        name: "pathfinder",
+        scalar: scalar(rows, cols, wall, src, dst),
+        vector: vector(rows, cols, wall, src, dst),
+        memory: mem,
+        expected,
+    }
+}
+
+fn scalar(rows: usize, cols: usize, wall: u64, src: u64, dst: u64) -> eve_isa::Program {
+    let mut s = Asm::new();
+    s.li(xreg::S0, 1); // row
+    s.li(xreg::A0, src as i64);
+    s.li(xreg::A1, dst as i64);
+    s.label("row_loop");
+    s.li(xreg::S1, 0); // j
+    s.muli(xreg::A2, xreg::S0, cols as i64 * 4);
+    s.addi(xreg::A2, xreg::A2, wall as i64); // &wall[row][0]
+    s.mv(xreg::A3, xreg::A0); // src cursor (points at j)
+    s.mv(xreg::A4, xreg::A1); // dst cursor
+    s.label("col_loop");
+    s.lw(xreg::T1, xreg::A3, -4);
+    s.lw(xreg::T2, xreg::A3, 0);
+    s.lw(xreg::T3, xreg::A3, 4);
+    // min3 via slt+branchless select is verbose scalar; use branches.
+    s.blt(xreg::T1, xreg::T2, "skip1");
+    s.mv(xreg::T1, xreg::T2);
+    s.label("skip1");
+    s.blt(xreg::T1, xreg::T3, "skip2");
+    s.mv(xreg::T1, xreg::T3);
+    s.label("skip2");
+    s.lw(xreg::T4, xreg::A2, 0);
+    s.add(xreg::T4, xreg::T4, xreg::T1);
+    s.sw(xreg::T4, xreg::A4, 0);
+    s.addi(xreg::A2, xreg::A2, 4);
+    s.addi(xreg::A3, xreg::A3, 4);
+    s.addi(xreg::A4, xreg::A4, 4);
+    s.addi(xreg::S1, xreg::S1, 1);
+    s.li(xreg::T5, cols as i64);
+    s.bne(xreg::S1, xreg::T5, "col_loop");
+    // swap src/dst
+    s.mv(xreg::T5, xreg::A0);
+    s.mv(xreg::A0, xreg::A1);
+    s.mv(xreg::A1, xreg::T5);
+    s.addi(xreg::S0, xreg::S0, 1);
+    s.li(xreg::T5, rows as i64);
+    s.bne(xreg::S0, xreg::T5, "row_loop");
+    s.halt();
+    s.assemble().expect("pathfinder scalar assembles")
+}
+
+fn vector(rows: usize, cols: usize, wall: u64, src: u64, dst: u64) -> eve_isa::Program {
+    let mut s = Asm::new();
+    s.li(xreg::S0, 1); // row
+    s.li(xreg::A0, src as i64);
+    s.li(xreg::A1, dst as i64);
+    s.label("row_loop");
+    s.li(xreg::S1, 0); // j0
+    s.muli(xreg::A2, xreg::S0, cols as i64 * 4);
+    s.addi(xreg::A2, xreg::A2, wall as i64);
+    s.mv(xreg::A3, xreg::A0);
+    s.mv(xreg::A4, xreg::A1);
+    s.label("strip");
+    s.li(xreg::T0, cols as i64);
+    s.sub(xreg::T0, xreg::T0, xreg::S1);
+    s.setvl(xreg::T1, xreg::T0);
+    // Three overlapping unit loads of the previous DP row.
+    s.addi(xreg::T2, xreg::A3, -4);
+    s.vload(vreg::V1, xreg::T2); // src[j-1]
+    s.vload(vreg::V2, xreg::A3); // src[j]
+    s.addi(xreg::T2, xreg::A3, 4);
+    s.vload(vreg::V3, xreg::T2); // src[j+1]
+    // min(left, center) hardware-min; min(.., right) via predication
+    // (compare + merge), as the Rodinia port does.
+    s.vmin(vreg::V4, vreg::V1, VOperand::Reg(vreg::V2));
+    s.vcmp(VCmpCond::Lt, vreg::V0, vreg::V3, VOperand::Reg(vreg::V4));
+    s.vmerge(vreg::V4, vreg::V3, VOperand::Reg(vreg::V4));
+    // += wall row
+    s.vload(vreg::V5, xreg::A2);
+    s.vadd(vreg::V6, vreg::V5, VOperand::Reg(vreg::V4));
+    s.vstore(vreg::V6, xreg::A4);
+    // advance cursors by vl
+    s.slli(xreg::T2, xreg::T1, 2);
+    s.add(xreg::A2, xreg::A2, xreg::T2);
+    s.add(xreg::A3, xreg::A3, xreg::T2);
+    s.add(xreg::A4, xreg::A4, xreg::T2);
+    s.add(xreg::S1, xreg::S1, xreg::T1);
+    s.li(xreg::T5, cols as i64);
+    s.bne(xreg::S1, xreg::T5, "strip");
+    // Fence before the swapped buffer is consumed next sweep.
+    s.vmfence();
+    s.mv(xreg::T5, xreg::A0);
+    s.mv(xreg::A0, xreg::A1);
+    s.mv(xreg::A1, xreg::T5);
+    s.addi(xreg::S0, xreg::S0, 1);
+    s.li(xreg::T5, rows as i64);
+    s.bne(xreg::S0, xreg::T5, "row_loop");
+    s.halt();
+    s.assemble().expect("pathfinder vector assembles")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eve_isa::Interpreter;
+
+    #[test]
+    fn dp_matches_at_odd_strip_boundaries() {
+        for (rows, cols) in [(2usize, 3usize), (3, 65), (5, 130), (4, 64)] {
+            let built = build(rows, cols);
+            for hw_vl in [4u32, 64] {
+                let mut i =
+                    Interpreter::new(built.vector.clone(), built.memory.clone(), hw_vl);
+                i.run_to_halt().unwrap();
+                built
+                    .verify(i.memory())
+                    .unwrap_or_else(|e| panic!("{rows}x{cols} vl={hw_vl}: {e}"));
+            }
+        }
+    }
+}

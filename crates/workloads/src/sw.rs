@@ -1,0 +1,244 @@
+//! `sw` (genomics): Smith-Waterman local alignment with linear gaps.
+//!
+//! The vectorized form walks anti-diagonals: cells along a diagonal
+//! are independent, and in a row-major score matrix they sit a
+//! constant `n*4`-byte stride apart — so the kernel is dominated by
+//! constant-stride loads/stores, compare+merge substitution scoring
+//! (predication), and a per-diagonal `vredmax` (cross-element), the
+//! Table IV signature of `sw`.
+
+use crate::common::{fill_random, rng, Layout};
+use crate::Built;
+use eve_isa::{vreg, xreg, Asm, Memory, RedOp, VCmpCond, VOperand};
+
+/// Match reward.
+const MATCH: i32 = 2;
+/// Mismatch penalty.
+const MISMATCH: i32 = -1;
+/// Gap penalty.
+const GAP: i32 = 1;
+
+/// Builds an alignment of two random length-`n` sequences over a
+/// 4-letter alphabet.
+///
+/// # Panics
+///
+/// Panics if `n < 2`.
+#[must_use]
+pub fn build(n: usize) -> Built {
+    build_at(n, crate::common::DATA_BASE)
+}
+
+/// Like [`build`], laying data out from `base` (disjoint address
+/// spaces for CMP cores).
+#[must_use]
+pub fn build_at(n: usize, base: u64) -> Built {
+    assert!(n >= 2, "sw needs sequences of length >= 2");
+    let w = n + 1; // score-matrix row width
+    let mut layout = Layout::at(base);
+    let h = layout.alloc_words(w * w);
+    let a = layout.alloc_words(n);
+    let b = layout.alloc_words(n);
+    let result = layout.alloc_words(1);
+    let mut mem = Memory::new(layout.memory_size());
+    let mut r = rng(0x5317);
+    fill_random(&mut mem, a, n, 4, &mut r);
+    fill_random(&mut mem, b, n, 4, &mut r);
+
+    // Golden DP.
+    let av = mem.load_u32_slice(a, n);
+    let bv = mem.load_u32_slice(b, n);
+    let mut hm = vec![0i32; w * w];
+    let mut best = 0i32;
+    for i in 1..=n {
+        for j in 1..=n {
+            let s = if av[i - 1] == bv[j - 1] { MATCH } else { MISMATCH };
+            let v = (hm[(i - 1) * w + j - 1] + s)
+                .max(hm[(i - 1) * w + j] - GAP)
+                .max(hm[i * w + j - 1] - GAP)
+                .max(0);
+            hm[i * w + j] = v;
+            best = best.max(v);
+        }
+    }
+    let mut expected: Vec<(u64, u32)> = (1..=n)
+        .flat_map(|i| {
+            let hm = &hm;
+            (1..=n).map(move |j| (h + ((i * w + j) as u64) * 4, hm[i * w + j] as u32))
+        })
+        .collect();
+    expected.push((result, best as u32));
+
+    Built {
+        name: "sw",
+        scalar: scalar(n, h, a, b, result),
+        vector: vector(n, h, a, b, result),
+        memory: mem,
+        expected,
+    }
+}
+
+fn scalar(n: usize, h: u64, a: u64, b: u64, result: u64) -> eve_isa::Program {
+    let w = (n + 1) as i64;
+    let mut s = Asm::new();
+    s.li(xreg::S6, 0); // best
+    s.li(xreg::S0, 1); // i
+    s.label("i_loop");
+    s.li(xreg::S1, 1); // j
+    // &H[i][1], &H[i-1][1]
+    s.muli(xreg::A2, xreg::S0, w * 4);
+    s.addi(xreg::A2, xreg::A2, h as i64 + 4);
+    s.label("j_loop");
+    // substitution score
+    s.slli(xreg::T0, xreg::S0, 2);
+    s.addi(xreg::T0, xreg::T0, a as i64 - 4);
+    s.lw(xreg::T1, xreg::T0, 0); // a[i-1]
+    s.slli(xreg::T0, xreg::S1, 2);
+    s.addi(xreg::T0, xreg::T0, b as i64 - 4);
+    s.lw(xreg::T2, xreg::T0, 0); // b[j-1]
+    s.li(xreg::T3, i64::from(MATCH));
+    s.beq(xreg::T1, xreg::T2, "matched");
+    s.li(xreg::T3, i64::from(MISMATCH));
+    s.label("matched");
+    // candidates
+    s.lw(xreg::T1, xreg::A2, -(w * 4) - 4); // H[i-1][j-1]
+    s.add(xreg::T1, xreg::T1, xreg::T3);
+    s.lw(xreg::T2, xreg::A2, -(w * 4)); // H[i-1][j]
+    s.addi(xreg::T2, xreg::T2, -i64::from(GAP));
+    s.bge(xreg::T1, xreg::T2, "m1");
+    s.mv(xreg::T1, xreg::T2);
+    s.label("m1");
+    s.lw(xreg::T2, xreg::A2, -4); // H[i][j-1]
+    s.addi(xreg::T2, xreg::T2, -i64::from(GAP));
+    s.bge(xreg::T1, xreg::T2, "m2");
+    s.mv(xreg::T1, xreg::T2);
+    s.label("m2");
+    s.bge(xreg::T1, xreg::ZERO, "m3");
+    s.li(xreg::T1, 0);
+    s.label("m3");
+    s.sw(xreg::T1, xreg::A2, 0);
+    s.bge(xreg::S6, xreg::T1, "nobest");
+    s.mv(xreg::S6, xreg::T1);
+    s.label("nobest");
+    s.addi(xreg::A2, xreg::A2, 4);
+    s.addi(xreg::S1, xreg::S1, 1);
+    s.li(xreg::T5, w);
+    s.bne(xreg::S1, xreg::T5, "j_loop");
+    s.addi(xreg::S0, xreg::S0, 1);
+    s.li(xreg::T5, w);
+    s.bne(xreg::S0, xreg::T5, "i_loop");
+    s.li(xreg::T5, result as i64);
+    s.sw(xreg::S6, xreg::T5, 0);
+    s.halt();
+    s.assemble().expect("sw scalar assembles")
+}
+
+fn vector(n: usize, h: u64, a: u64, b: u64, result: u64) -> eve_isa::Program {
+    let n64 = n as i64;
+    let w = n64 + 1;
+    let k4 = (w - 1) * 4; // diagonal stride in bytes = n*4
+    let mut s = Asm::new();
+    s.li(xreg::S6, 0); // best score
+    s.li(xreg::S0, 2); // d = i + j
+    s.label("d_loop");
+    // ilo = max(1, d - n)
+    s.addi(xreg::T0, xreg::S0, -n64);
+    s.li(xreg::S1, 1);
+    s.blt(xreg::T0, xreg::S1, "ilo_done");
+    s.mv(xreg::S1, xreg::T0);
+    s.label("ilo_done");
+    // ihi = min(n, d - 1)
+    s.addi(xreg::T1, xreg::S0, -1);
+    s.li(xreg::T3, n64);
+    s.bge(xreg::T1, xreg::T3, "ihi_done");
+    s.mv(xreg::T3, xreg::T1);
+    s.label("ihi_done");
+    // remaining = ihi - ilo + 1; i0 = ilo
+    s.sub(xreg::S4, xreg::T3, xreg::S1);
+    s.addi(xreg::S4, xreg::S4, 1);
+    s.mv(xreg::S3, xreg::S1);
+    s.label("strip");
+    s.setvl(xreg::T1, xreg::S4);
+    // Cell (i, d-i) lives at H + (i*(w-1) + d)*4: stride k4 over i.
+    s.muli(xreg::T2, xreg::S3, k4);
+    s.slli(xreg::T4, xreg::S0, 2);
+    s.add(xreg::T2, xreg::T2, xreg::T4);
+    s.addi(xreg::A2, xreg::T2, h as i64); // current diagonal cells
+    s.addi(xreg::A3, xreg::T2, h as i64 - k4 - 8); // H[i-1][j-1]
+    s.addi(xreg::A4, xreg::T2, h as i64 - k4 - 4); // H[i-1][j]
+    s.addi(xreg::A5, xreg::T2, h as i64 - 4); // H[i][j-1]
+    s.li(xreg::S7, k4);
+    s.vload_strided(vreg::V1, xreg::A3, xreg::S7);
+    s.vload_strided(vreg::V2, xreg::A4, xreg::S7);
+    s.vload_strided(vreg::V3, xreg::A5, xreg::S7);
+    // a[i-1] ascending (unit), b[d-i-1] descending (negative stride).
+    s.slli(xreg::T4, xreg::S3, 2);
+    s.addi(xreg::A6, xreg::T4, a as i64 - 4);
+    s.vload(vreg::V4, xreg::A6);
+    s.sub(xreg::T4, xreg::S0, xreg::S3);
+    s.slli(xreg::T4, xreg::T4, 2);
+    s.addi(xreg::A7, xreg::T4, b as i64 - 4);
+    s.li(xreg::T4, -4);
+    s.vload_strided(vreg::V5, xreg::A7, xreg::T4);
+    // Substitution score: predicated select of match/mismatch.
+    s.vmv(vreg::V6, VOperand::Imm(MATCH));
+    s.vcmp(VCmpCond::Eq, vreg::V0, vreg::V4, VOperand::Reg(vreg::V5));
+    s.vmerge(vreg::V7, vreg::V6, VOperand::Imm(MISMATCH));
+    // H = max(diag + s, up - gap, left - gap, 0).
+    s.vadd(vreg::V8, vreg::V1, VOperand::Reg(vreg::V7));
+    s.vadd(vreg::V9, vreg::V2, VOperand::Imm(-GAP));
+    s.vadd(vreg::V10, vreg::V3, VOperand::Imm(-GAP));
+    s.vmax(vreg::V8, vreg::V8, VOperand::Reg(vreg::V9));
+    s.vmax(vreg::V8, vreg::V8, VOperand::Reg(vreg::V10));
+    s.vmax(vreg::V8, vreg::V8, VOperand::Imm(0));
+    s.vstore_strided(vreg::V8, xreg::A2, xreg::S7);
+    // Track the running best (cross-element reduction).
+    s.vmv(vreg::V11, VOperand::Imm(0));
+    s.vred(RedOp::Max, vreg::V12, vreg::V8, vreg::V11);
+    s.vmv_xs(xreg::T4, vreg::V12);
+    s.bge(xreg::S6, xreg::T4, "nobest");
+    s.mv(xreg::S6, xreg::T4);
+    s.label("nobest");
+    // Next strip / next diagonal.
+    s.add(xreg::S3, xreg::S3, xreg::T1);
+    s.sub(xreg::S4, xreg::S4, xreg::T1);
+    s.bnez(xreg::S4, "strip");
+    s.addi(xreg::S0, xreg::S0, 1);
+    s.li(xreg::T4, 2 * n64 + 1);
+    s.bne(xreg::S0, xreg::T4, "d_loop");
+    s.li(xreg::T4, result as i64);
+    s.sw(xreg::S6, xreg::T4, 0);
+    s.vmfence();
+    s.halt();
+    s.assemble().expect("sw vector assembles")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eve_isa::Interpreter;
+
+    #[test]
+    fn alignment_scores_match_dp() {
+        for n in [2usize, 5, 33, 70] {
+            let built = build(n);
+            for hw_vl in [4u32, 64] {
+                let mut i =
+                    Interpreter::new(built.vector.clone(), built.memory.clone(), hw_vl);
+                i.run_to_halt().unwrap();
+                built
+                    .verify(i.memory())
+                    .unwrap_or_else(|e| panic!("n={n} vl={hw_vl}: {e}"));
+            }
+        }
+    }
+
+    #[test]
+    fn identical_sequences_score_perfectly() {
+        // Manual golden sanity check: align a sequence with itself.
+        let built = build(16);
+        let mut i = Interpreter::new(built.scalar.clone(), built.memory.clone(), 1);
+        i.run_to_halt().unwrap();
+        built.verify(i.memory()).unwrap();
+    }
+}

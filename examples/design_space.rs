@@ -1,0 +1,52 @@
+//! Design-space sweep: the paper's headline experiment in miniature.
+//!
+//! Runs one Rodinia-style kernel across every simulated system and
+//! prints performance, area, and area-normalized performance — the
+//! §VII argument that EVE reaches decoupled-engine performance at
+//! integrated-unit area.
+//!
+//! ```sh
+//! cargo run --release --example design_space
+//! ```
+
+use eve_sim::{Runner, SystemKind};
+use eve_workloads::Workload;
+
+fn main() {
+    let workload = Workload::Pathfinder {
+        rows: 6,
+        cols: 4096,
+    };
+    let runner = Runner::new();
+    let io = runner
+        .run(SystemKind::Io, &workload)
+        .expect("baseline runs");
+
+    println!(
+        "{} on every Table III system (normalized to IO):\n",
+        workload.name()
+    );
+    println!(
+        "{:>8} {:>12} {:>10} {:>10} {:>12}",
+        "system", "wall (ns)", "speedup", "rel.area", "perf/area"
+    );
+    let mut best: Option<(SystemKind, f64)> = None;
+    for sys in SystemKind::all() {
+        let r = runner.run(sys, &workload).expect("system runs");
+        let speedup = r.speedup_over(&io);
+        let per_area = speedup / sys.relative_area();
+        if best.is_none_or(|(_, b)| per_area > b) {
+            best = Some((sys, per_area));
+        }
+        println!(
+            "{:>8} {:>12.1} {:>9.2}x {:>9.2}x {:>11.2}x",
+            sys.to_string(),
+            r.wall_ps.as_nanos_f64(),
+            speedup,
+            sys.relative_area(),
+            per_area
+        );
+    }
+    let (sys, per_area) = best.expect("at least one system");
+    println!("\nbest area-normalized performance: {sys} at {per_area:.2}x");
+}

@@ -1,0 +1,46 @@
+//! Quickstart: simulate one kernel on an in-order core and on an
+//! EVE-8 engine, and compare.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use eve_sim::{Runner, SystemKind};
+use eve_workloads::Workload;
+
+fn main() {
+    // A 16K-element streaming vector add.
+    let workload = Workload::vvadd(16384);
+    let runner = Runner::new();
+
+    println!("simulating {} ...", workload.name());
+    let io = runner
+        .run(SystemKind::Io, &workload)
+        .expect("IO simulation succeeds");
+    let eve = runner
+        .run(SystemKind::EveN(8), &workload)
+        .expect("EVE-8 simulation succeeds");
+
+    println!(
+        "  IO    : {:>12} cycles  ({} dynamic instructions)",
+        io.cycles.0, io.dyn_insts
+    );
+    println!(
+        "  EVE-8 : {:>12} cycles  ({} dynamic instructions, hw VL = {})",
+        eve.cycles.0,
+        eve.dyn_insts,
+        eve.stats.get("hw_vl")
+    );
+    println!("  speedup (wall-time): {:.2}x", eve.speedup_over(&io));
+
+    // Every simulation functionally verifies its outputs against a
+    // golden model, so these numbers come from a run that provably
+    // computed the right answer.
+    let b = eve.breakdown.expect("EVE reports its Fig 7 breakdown");
+    println!("\n  where EVE-8's cycles went:");
+    for (name, cycles) in b.entries() {
+        if cycles.0 > 0 {
+            println!("    {name:<14} {:>10}", cycles.0);
+        }
+    }
+}

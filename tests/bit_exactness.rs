@@ -1,0 +1,137 @@
+//! Property-based bit-exactness: the EVE SRAM circuits, driven by the
+//! real μprograms, must agree with plain Rust integer semantics on
+//! random inputs for every macro-operation and every parallelization
+//! factor — the role SPICE/schematic verification played in §VI.
+
+use eve_sram::{Binding, EveArray};
+use eve_uop::{HybridConfig, MacroOpKind, ProgramLibrary};
+use proptest::prelude::*;
+
+fn run_op(cfg: HybridConfig, kind: MacroOpKind, a: u32, b: u32) -> u32 {
+    let lib = ProgramLibrary::new(cfg);
+    let mut arr = EveArray::new(cfg, 2);
+    arr.write_element(1, 0, a);
+    arr.write_element(2, 0, b);
+    arr.write_element(1, 1, b);
+    arr.write_element(2, 1, a);
+    let prog = lib.program(kind);
+    arr.execute(&prog, &Binding::new(3, 1, 2));
+    arr.read_element(3, 0)
+}
+
+fn configs() -> impl Strategy<Value = HybridConfig> {
+    prop_oneof![
+        Just(HybridConfig::new(1).unwrap()),
+        Just(HybridConfig::new(2).unwrap()),
+        Just(HybridConfig::new(4).unwrap()),
+        Just(HybridConfig::new(8).unwrap()),
+        Just(HybridConfig::new(16).unwrap()),
+        Just(HybridConfig::new(32).unwrap()),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn add_sub_exact(cfg in configs(), a: u32, b: u32) {
+        prop_assert_eq!(run_op(cfg, MacroOpKind::Add, a, b), a.wrapping_add(b));
+        prop_assert_eq!(run_op(cfg, MacroOpKind::Sub, a, b), a.wrapping_sub(b));
+    }
+
+    #[test]
+    fn logic_exact(cfg in configs(), a: u32, b: u32) {
+        prop_assert_eq!(run_op(cfg, MacroOpKind::And, a, b), a & b);
+        prop_assert_eq!(run_op(cfg, MacroOpKind::Or, a, b), a | b);
+        prop_assert_eq!(run_op(cfg, MacroOpKind::Xor, a, b), a ^ b);
+        prop_assert_eq!(run_op(cfg, MacroOpKind::Not, a, b), !a);
+        prop_assert_eq!(run_op(cfg, MacroOpKind::Mv, a, b), a);
+    }
+
+    #[test]
+    fn mul_exact(cfg in configs(), a: u32, b: u32) {
+        prop_assert_eq!(run_op(cfg, MacroOpKind::Mul, a, b), a.wrapping_mul(b));
+    }
+
+    #[test]
+    fn div_rem_exact(cfg in configs(), a: u32, b: u32) {
+        let want_q = a.checked_div(b).unwrap_or(u32::MAX);
+        let want_r = a.checked_rem(b).unwrap_or(a);
+        prop_assert_eq!(run_op(cfg, MacroOpKind::Divu, a, b), want_q);
+        prop_assert_eq!(run_op(cfg, MacroOpKind::Remu, a, b), want_r);
+    }
+
+    #[test]
+    fn shifts_exact(cfg in configs(), a: u32, k in 0u8..32) {
+        prop_assert_eq!(run_op(cfg, MacroOpKind::SllI(k), a, 0), a << k);
+        prop_assert_eq!(run_op(cfg, MacroOpKind::SrlI(k), a, 0), a >> k);
+        prop_assert_eq!(
+            run_op(cfg, MacroOpKind::SraI(k), a, 0),
+            ((a as i32) >> k) as u32
+        );
+    }
+
+    #[test]
+    fn variable_shifts_exact(cfg in configs(), a: u32, k in 0u32..32) {
+        prop_assert_eq!(run_op(cfg, MacroOpKind::SllV, a, k), a << k);
+        prop_assert_eq!(run_op(cfg, MacroOpKind::SrlV, a, k), a >> k);
+        prop_assert_eq!(
+            run_op(cfg, MacroOpKind::SraV, a, k),
+            ((a as i32) >> k) as u32
+        );
+    }
+
+    #[test]
+    fn compares_exact(cfg in configs(), a: u32, b: u32) {
+        prop_assert_eq!(run_op(cfg, MacroOpKind::CmpLtu, a, b) & 1, u32::from(a < b));
+        prop_assert_eq!(
+            run_op(cfg, MacroOpKind::CmpLt, a, b) & 1,
+            u32::from((a as i32) < (b as i32))
+        );
+        prop_assert_eq!(run_op(cfg, MacroOpKind::CmpEq, a, b) & 1, u32::from(a == b));
+        prop_assert_eq!(run_op(cfg, MacroOpKind::CmpNe, a, b) & 1, u32::from(a != b));
+    }
+
+    #[test]
+    fn minmax_exact(cfg in configs(), a: u32, b: u32) {
+        prop_assert_eq!(run_op(cfg, MacroOpKind::Minu, a, b), a.min(b));
+        prop_assert_eq!(run_op(cfg, MacroOpKind::Maxu, a, b), a.max(b));
+        prop_assert_eq!(
+            run_op(cfg, MacroOpKind::Min, a, b),
+            (a as i32).min(b as i32) as u32
+        );
+        prop_assert_eq!(
+            run_op(cfg, MacroOpKind::Max, a, b),
+            (a as i32).max(b as i32) as u32
+        );
+    }
+
+    #[test]
+    fn splat_exact(cfg in configs(), v: u32) {
+        prop_assert_eq!(run_op(cfg, MacroOpKind::Splat(v), 0, 0), v);
+    }
+
+    /// Cycle counts are identical whether a program runs on the
+    /// counting executor or the bit-accurate array — the vertical
+    /// integration the engine's timing model relies on.
+    #[test]
+    fn counting_and_bit_accurate_executors_agree(cfg in configs(), a: u32, b: u32, k in 0u8..32) {
+        use eve_uop::count_cycles;
+        for kind in [
+            MacroOpKind::Add,
+            MacroOpKind::Mul,
+            MacroOpKind::Divu,
+            MacroOpKind::SllI(k),
+            MacroOpKind::Min,
+            MacroOpKind::Merge,
+        ] {
+            let lib = ProgramLibrary::new(cfg);
+            let prog = lib.program(kind);
+            let mut arr = EveArray::new(cfg, 2);
+            arr.write_element(1, 0, a);
+            arr.write_element(2, 0, b);
+            let real = arr.execute(&prog, &Binding::new(3, 1, 2));
+            prop_assert_eq!(real, count_cycles(&prog, cfg));
+        }
+    }
+}

@@ -1,0 +1,114 @@
+//! End-to-end integration: every kernel, several systems, golden
+//! verification, and cross-system sanity orderings.
+
+use eve_sim::{Runner, SystemKind};
+use eve_workloads::Workload;
+
+/// Every system simulates every tiny kernel and the runner's built-in
+/// golden verification passes (it returns an error otherwise).
+#[test]
+fn full_matrix_on_tiny_suite() {
+    let runner = Runner::new();
+    for w in Workload::tiny_suite() {
+        for sys in SystemKind::all() {
+            let r = runner
+                .run(sys, &w)
+                .unwrap_or_else(|e| panic!("{sys} on {}: {e}", w.name()));
+            assert!(r.cycles.0 > 0);
+            assert!(r.dyn_insts > 0);
+            assert!(r.wall_ps.0 > 0);
+        }
+    }
+}
+
+/// The out-of-order core never loses to the in-order core.
+#[test]
+fn o3_never_slower_than_io() {
+    let runner = Runner::new();
+    for w in Workload::tiny_suite() {
+        let io = runner.run(SystemKind::Io, &w).unwrap();
+        let o3 = runner.run(SystemKind::O3, &w).unwrap();
+        assert!(
+            o3.wall_ps <= io.wall_ps,
+            "{}: O3 {} vs IO {}",
+            w.name(),
+            o3.wall_ps,
+            io.wall_ps
+        );
+    }
+}
+
+/// Vector systems run far fewer dynamic instructions than scalar ones
+/// (the VPar effect of Table IV).
+#[test]
+fn vectorization_compresses_dynamic_instructions() {
+    let runner = Runner::new();
+    let w = Workload::vvadd(4096);
+    let io = runner.run(SystemKind::Io, &w).unwrap();
+    let dv = runner.run(SystemKind::O3Dv, &w).unwrap();
+    let eve = runner.run(SystemKind::EveN(4), &w).unwrap();
+    assert!(io.dyn_insts > 10 * dv.dyn_insts);
+    // Longer hardware vectors compress the instruction stream further.
+    assert!(dv.dyn_insts > eve.dyn_insts);
+}
+
+/// Strip-mining makes binaries portable across hardware vector
+/// lengths: the same vector binary verifies on IV (VL=4), DV (VL=64),
+/// and every EVE point — the §II portability claim.
+#[test]
+fn one_binary_every_vector_length() {
+    let runner = Runner::new();
+    let w = Workload::Sw { n: 40 };
+    for sys in [
+        SystemKind::O3Iv,
+        SystemKind::O3Dv,
+        SystemKind::EveN(1),
+        SystemKind::EveN(32),
+    ] {
+        runner
+            .run(sys, &w)
+            .unwrap_or_else(|e| panic!("{sys}: {e}"));
+    }
+}
+
+/// EVE's stall breakdown accounts for its entire execution.
+#[test]
+fn breakdown_accounts_for_engine_time() {
+    let runner = Runner::new();
+    for w in [Workload::vvadd(2048), Workload::Mmult { n: 16 }] {
+        let r = runner.run(SystemKind::EveN(8), &w).unwrap();
+        let b = r.breakdown.unwrap();
+        assert!(b.total().0 > 0, "{}", w.name());
+        // The attributed total plus the spawn cost cannot exceed the
+        // system's total cycles.
+        let spawn = r.stats.get("spawn_cycles");
+        assert!(
+            b.total().0 + spawn <= r.cycles.0 + 1,
+            "{}: breakdown {} + spawn {spawn} vs cycles {}",
+            w.name(),
+            b.total().0,
+            r.cycles.0
+        );
+    }
+}
+
+/// Memory-bound kernels show memory stalls on EVE; compute-bound
+/// kernels show busy time (the Fig 7 contrast).
+#[test]
+fn fig7_contrast_vvadd_vs_mmult() {
+    let runner = Runner::new();
+    let vv = runner
+        .run(SystemKind::EveN(4), &Workload::vvadd(8192))
+        .unwrap()
+        .breakdown
+        .unwrap();
+    let mm = runner
+        .run(SystemKind::EveN(4), &Workload::Mmult { n: 24 })
+        .unwrap()
+        .breakdown
+        .unwrap();
+    let vv_mem = (vv.ld_mem_stall + vv.st_mem_stall).0 as f64 / vv.total().0 as f64;
+    let mm_busy = mm.busy_fraction();
+    assert!(vv_mem > 0.3, "vvadd should be memory-bound: {vv:?}");
+    assert!(mm_busy > 0.8, "mmult should be compute-bound: {mm:?}");
+}
