@@ -45,8 +45,7 @@ pub const ROM_SUBARRAY_EQUIV: f64 = 1.0;
 pub fn eve_total_overhead_pct(factor: u32) -> f64 {
     // Only half the ways use EVE SRAMs, halving the circuit share.
     let circuits = banked_overhead_pct(factor) / 2.0;
-    let subarrays =
-        (DTU_SUBARRAY_EQUIV + ROM_SUBARRAY_EQUIV) / f64::from(L2_SUBARRAYS) * 100.0;
+    let subarrays = (DTU_SUBARRAY_EQUIV + ROM_SUBARRAY_EQUIV) / f64::from(L2_SUBARRAYS) * 100.0;
     circuits + subarrays
 }
 

@@ -145,8 +145,7 @@ mod tests {
         // have comparable energy efficiency.
         let e4 = energy_per_element(MacroOpKind::Add, HybridConfig::new(4).unwrap(), lanes(4));
         let e8 = energy_per_element(MacroOpKind::Add, HybridConfig::new(8).unwrap(), lanes(8));
-        let e32 =
-            energy_per_element(MacroOpKind::Add, HybridConfig::new(32).unwrap(), lanes(32));
+        let e32 = energy_per_element(MacroOpKind::Add, HybridConfig::new(32).unwrap(), lanes(32));
         assert!((e8 / e4 - 1.0).abs() < 0.5, "e4 {e4} e8 {e8}");
         assert!((e32 / e4 - 1.0).abs() < 1.0, "e4 {e4} e32 {e32}");
     }

@@ -52,8 +52,7 @@ pub fn spectrum(geometry: SramGeometry, vregs: u32) -> Vec<SpectrumPoint> {
         .iter()
         .map(|cfg| {
             let p = cfg.segment_bits();
-            let layout =
-                LayoutModel::new(geometry, 32, vregs, p).expect("valid spectrum layout");
+            let layout = LayoutModel::new(geometry, 32, vregs, p).expect("valid spectrum layout");
             let mut lat = LatencyTable::new(*cfg);
             let add = lat.latency(MacroOpKind::Add).0;
             let mul = lat.latency(MacroOpKind::Mul).0;

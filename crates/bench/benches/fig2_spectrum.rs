@@ -1,41 +1,32 @@
-//! Criterion bench for the Fig 2 analytical spectrum: measures the
+//! Bench for the Fig 2 analytical spectrum: measures the
 //! μprogram-backed latency/throughput model and asserts its shape on
 //! every iteration (a regenerating benchmark — the series it times is
 //! exactly the figure's data).
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use eve_analytical::spectrum::spectrum_paper;
+use eve_bench::time_it;
 use std::hint::black_box;
 
-fn bench_spectrum(c: &mut Criterion) {
-    c.bench_function("fig2/spectrum_paper", |b| {
-        b.iter(|| {
-            let pts = spectrum_paper();
-            // The figure's headline claims must hold every time.
-            assert_eq!(pts.len(), 6);
-            let peak = pts
-                .iter()
-                .max_by(|a, b| a.add_throughput.total_cmp(&b.add_throughput))
-                .unwrap();
-            assert_eq!(peak.factor, 4);
-            black_box(pts)
-        });
+fn main() {
+    time_it("fig2/spectrum_paper", || {
+        let pts = spectrum_paper();
+        // The figure's headline claims must hold every time.
+        assert_eq!(pts.len(), 6);
+        let peak = pts
+            .iter()
+            .max_by(|a, b| a.add_throughput.total_cmp(&b.add_throughput))
+            .unwrap();
+        assert_eq!(peak.factor, 4);
+        black_box(pts)
     });
-}
 
-fn bench_latency_tables(c: &mut Criterion) {
-    use eve_uop::{HybridConfig, LatencyTable, MacroOpKind};
-    let mut group = c.benchmark_group("fig2/latency_table");
-    for n in [1u32, 8, 32] {
-        group.bench_function(format!("eve{n}_mul"), |b| {
-            b.iter(|| {
+    {
+        use eve_uop::{HybridConfig, LatencyTable, MacroOpKind};
+        for n in [1u32, 8, 32] {
+            time_it(&format!("fig2/latency_table/eve{n}_mul"), || {
                 let mut t = LatencyTable::new(HybridConfig::new(n).unwrap());
                 black_box(t.latency(MacroOpKind::Mul))
             });
-        });
+        }
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_spectrum, bench_latency_tables);
-criterion_main!(benches);

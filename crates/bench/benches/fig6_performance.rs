@@ -1,16 +1,14 @@
-//! Criterion bench driving the Fig 6 simulations on reduced inputs:
-//! times whole system simulations end-to-end (interpret + timing +
-//! golden verification) and asserts the headline ordering — EVE-8 and
-//! O3+DV both beat O3+IV — on every sample.
+//! Bench driving the Fig 6 simulations on reduced inputs: times whole
+//! system simulations end-to-end (interpret + timing + golden
+//! verification) and asserts the headline ordering — EVE-8 and O3+DV
+//! both beat O3+IV — on every sample.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use eve_bench::time_it;
 use eve_sim::{Runner, SystemKind};
 use eve_workloads::Workload;
 use std::hint::black_box;
 
-fn bench_systems_on_vvadd(c: &mut Criterion) {
-    let mut group = c.benchmark_group("fig6/vvadd4k");
-    group.sample_size(10);
+fn main() {
     let w = Workload::vvadd(4096);
     for sys in [
         SystemKind::Io,
@@ -19,30 +17,22 @@ fn bench_systems_on_vvadd(c: &mut Criterion) {
         SystemKind::O3Dv,
         SystemKind::EveN(8),
     ] {
-        group.bench_function(sys.to_string(), |b| {
-            b.iter(|| black_box(Runner::new().run(sys, &w).expect("runs")));
+        time_it(&format!("fig6/vvadd4k/{sys}"), || {
+            black_box(Runner::new().run(sys, &w).expect("runs"))
         });
     }
-    group.finish();
-}
 
-fn bench_headline_ordering(c: &mut Criterion) {
-    let mut group = c.benchmark_group("fig6/ordering");
-    group.sample_size(10);
-    let w = Workload::Pathfinder { rows: 4, cols: 2048 };
-    group.bench_function("iv_dv_eve8", |b| {
-        b.iter(|| {
-            let runner = Runner::new();
-            let iv = runner.run(SystemKind::O3Iv, &w).expect("iv");
-            let dv = runner.run(SystemKind::O3Dv, &w).expect("dv");
-            let e8 = runner.run(SystemKind::EveN(8), &w).expect("e8");
-            assert!(dv.wall_ps < iv.wall_ps, "DV must beat IV on pathfinder");
-            assert!(e8.wall_ps < iv.wall_ps, "EVE-8 must beat IV on pathfinder");
-            black_box((iv, dv, e8))
-        });
+    let w = Workload::Pathfinder {
+        rows: 4,
+        cols: 2048,
+    };
+    time_it("fig6/ordering/iv_dv_eve8", || {
+        let runner = Runner::new();
+        let iv = runner.run(SystemKind::O3Iv, &w).expect("iv");
+        let dv = runner.run(SystemKind::O3Dv, &w).expect("dv");
+        let e8 = runner.run(SystemKind::EveN(8), &w).expect("e8");
+        assert!(dv.wall_ps < iv.wall_ps, "DV must beat IV on pathfinder");
+        assert!(e8.wall_ps < iv.wall_ps, "EVE-8 must beat IV on pathfinder");
+        black_box((iv, dv, e8))
     });
-    group.finish();
 }
-
-criterion_group!(benches, bench_systems_on_vvadd, bench_headline_ordering);
-criterion_main!(benches);

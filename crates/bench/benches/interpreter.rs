@@ -1,47 +1,39 @@
-//! Criterion bench of the simulator's own substrate: functional
-//! interpretation throughput (instructions/second on the host) and
-//! full-system simulation rates. These bound how large an input the
-//! evaluation can afford.
+//! Bench of the simulator's own substrate: functional interpretation
+//! throughput (instructions/second on the host) and μprogram
+//! generation. These bound how large an input the evaluation can
+//! afford.
 
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use eve_bench::time_it;
 use eve_isa::Interpreter;
 use eve_workloads::Workload;
 use std::hint::black_box;
 
-fn bench_functional_interpretation(c: &mut Criterion) {
+fn main() {
     let built = Workload::Mmult { n: 24 }.build();
     // Count the dynamic instructions once.
     let mut probe = Interpreter::new(built.scalar.clone(), built.memory.clone(), 1);
     probe.run_to_halt().expect("runs");
-    let insts = probe.retired_count();
+    println!(
+        "interp: mmult24 retires {} scalar insts",
+        probe.retired_count()
+    );
 
-    let mut group = c.benchmark_group("interp");
-    group.throughput(Throughput::Elements(insts));
-    group.sample_size(10);
-    group.bench_function("scalar_mmult24", |b| {
-        b.iter(|| {
-            let mut i = Interpreter::new(built.scalar.clone(), built.memory.clone(), 1);
-            i.run_to_halt().expect("runs");
-            black_box(i.retired_count())
-        });
+    time_it("interp/scalar_mmult24", || {
+        let mut i = Interpreter::new(built.scalar.clone(), built.memory.clone(), 1);
+        i.run_to_halt().expect("runs");
+        black_box(i.retired_count())
     });
-    group.bench_function("vector_mmult24_vl64", |b| {
-        b.iter(|| {
-            let mut i = Interpreter::new(built.vector.clone(), built.memory.clone(), 64);
-            i.run_to_halt().expect("runs");
-            black_box(i.retired_count())
-        });
+    time_it("interp/vector_mmult24_vl64", || {
+        let mut i = Interpreter::new(built.vector.clone(), built.memory.clone(), 64);
+        i.run_to_halt().expect("runs");
+        black_box(i.retired_count())
     });
-    group.finish();
-}
 
-fn bench_program_generation(c: &mut Criterion) {
-    use eve_uop::{HybridConfig, MacroOpKind, ProgramLibrary};
-    c.bench_function("uop/generate_divu_eve1", |b| {
+    {
+        use eve_uop::{HybridConfig, MacroOpKind, ProgramLibrary};
         let lib = ProgramLibrary::new(HybridConfig::new(1).unwrap());
-        b.iter(|| black_box(lib.program(MacroOpKind::Divu)));
-    });
+        time_it("uop/generate_divu_eve1", || {
+            black_box(lib.program(MacroOpKind::Divu))
+        });
+    }
 }
-
-criterion_group!(benches, bench_functional_interpretation, bench_program_generation);
-criterion_main!(benches);

@@ -1,57 +1,43 @@
-//! Criterion bench of the memory substrate: hit/miss path costs and
-//! the MSHR-saturated pattern backprop triggers (Fig 8's mechanism).
+//! Bench of the memory substrate: hit/miss path costs and the
+//! MSHR-saturated pattern backprop triggers (Fig 8's mechanism).
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use eve_bench::time_it;
 use eve_common::Cycle;
 use eve_mem::{Hierarchy, HierarchyConfig, Level};
 use std::hint::black_box;
 
-fn bench_hit_path(c: &mut Criterion) {
-    c.bench_function("mem/l1_hits", |b| {
+fn main() {
+    {
         let mut h = Hierarchy::new(HierarchyConfig::table_iii());
         h.access(Level::L1D, 0x1000, false, Cycle(0));
         let mut t = 200u64;
-        b.iter(|| {
+        time_it("mem/l1_hits", || {
             t += 4;
             black_box(h.access(Level::L1D, 0x1000, false, Cycle(t)))
         });
-    });
-}
+    }
 
-fn bench_streaming_misses(c: &mut Criterion) {
-    c.bench_function("mem/streaming_misses", |b| {
+    {
         let mut addr = 0u64;
         let mut h = Hierarchy::new(HierarchyConfig::table_iii());
         let mut t = 0u64;
-        b.iter(|| {
+        time_it("mem/streaming_misses", || {
             addr += 64;
             t += 4;
             black_box(h.access(Level::L1D, addr, false, Cycle(t)))
         });
+    }
+
+    time_it("mem/llc_mshr_saturation_burst", || {
+        let mut h = Hierarchy::new(HierarchyConfig::table_iii());
+        let mut wait = Cycle::ZERO;
+        // A 256-line burst against 32 LLC MSHRs, like a large-stride
+        // EVE vector load.
+        for i in 0..256u64 {
+            let a = h.access(Level::Llc, 0x100_0000 + i * 4096, false, Cycle(i));
+            wait += a.mshr_wait;
+        }
+        assert!(wait.0 > 0, "burst must hit MSHR back-pressure");
+        black_box(wait)
     });
 }
-
-fn bench_mshr_saturation(c: &mut Criterion) {
-    c.bench_function("mem/llc_mshr_saturation_burst", |b| {
-        b.iter(|| {
-            let mut h = Hierarchy::new(HierarchyConfig::table_iii());
-            let mut wait = Cycle::ZERO;
-            // A 256-line burst against 32 LLC MSHRs, like a
-            // large-stride EVE vector load.
-            for i in 0..256u64 {
-                let a = h.access(Level::Llc, 0x100_0000 + i * 4096, false, Cycle(i));
-                wait += a.mshr_wait;
-            }
-            assert!(wait.0 > 0, "burst must hit MSHR back-pressure");
-            black_box(wait)
-        });
-    });
-}
-
-criterion_group!(
-    benches,
-    bench_hit_path,
-    bench_streaming_misses,
-    bench_mshr_saturation
-);
-criterion_main!(benches);

@@ -1,48 +1,39 @@
-//! Criterion bench of the bit-accurate EVE SRAM: μprogram execution
-//! cost on the host for the hot macro-operations, across bit-serial,
-//! bit-hybrid, and bit-parallel configurations.
+//! Bench of the bit-accurate EVE SRAM: μprogram execution cost on the
+//! host for the hot macro-operations, across bit-serial, bit-hybrid,
+//! and bit-parallel configurations.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use eve_bench::time_it;
 use eve_sram::{Binding, EveArray};
 use eve_uop::{HybridConfig, MacroOpKind, ProgramLibrary};
 use std::hint::black_box;
 
-fn bench_macro_ops(c: &mut Criterion) {
-    let mut group = c.benchmark_group("sram/macro_ops");
+fn main() {
     for n in [1u32, 8, 32] {
         let cfg = HybridConfig::new(n).unwrap();
         let lib = ProgramLibrary::new(cfg);
         for kind in [MacroOpKind::Add, MacroOpKind::Mul] {
             let prog = lib.program(kind);
-            group.bench_function(format!("eve{n}/{}", prog.name()), |b| {
-                let mut arr = EveArray::new(cfg, 64);
-                for lane in 0..64 {
-                    arr.write_element(1, lane, lane as u32 * 0x9E37 + 7);
-                    arr.write_element(2, lane, lane as u32 * 0x79B9 + 3);
-                }
-                b.iter(|| black_box(arr.execute(&prog, &Binding::new(3, 1, 2))));
+            let mut arr = EveArray::new(cfg, 64);
+            for lane in 0..64 {
+                arr.write_element(1, lane, lane as u32 * 0x9E37 + 7);
+                arr.write_element(2, lane, lane as u32 * 0x79B9 + 3);
+            }
+            time_it(&format!("sram/macro_ops/eve{n}/{}", prog.name()), || {
+                black_box(arr.execute(&prog, &Binding::new(3, 1, 2)))
             });
         }
     }
-    group.finish();
-}
 
-fn bench_element_io(c: &mut Criterion) {
     let cfg = HybridConfig::new(8).unwrap();
-    c.bench_function("sram/element_roundtrip", |b| {
-        let mut arr = EveArray::new(cfg, 64);
-        b.iter(|| {
-            for lane in 0..64 {
-                arr.write_element(5, lane, lane as u32);
-            }
-            let mut sum = 0u32;
-            for lane in 0..64 {
-                sum = sum.wrapping_add(arr.read_element(5, lane));
-            }
-            black_box(sum)
-        });
+    let mut arr = EveArray::new(cfg, 64);
+    time_it("sram/element_roundtrip", || {
+        for lane in 0..64 {
+            arr.write_element(5, lane, lane as u32);
+        }
+        let mut sum = 0u32;
+        for lane in 0..64 {
+            sum = sum.wrapping_add(arr.read_element(5, lane));
+        }
+        black_box(sum)
     });
 }
-
-criterion_group!(benches, bench_macro_ops, bench_element_io);
-criterion_main!(benches);

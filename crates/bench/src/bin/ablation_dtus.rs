@@ -16,9 +16,15 @@ fn main() {
     let args: Vec<String> = std::env::args().collect();
     let tiny = args.iter().any(|a| a == "--tiny");
     let w = if tiny {
-        Workload::Pathfinder { rows: 4, cols: 2048 }
+        Workload::Pathfinder {
+            rows: 4,
+            cols: 2048,
+        }
     } else {
-        Workload::Pathfinder { rows: 8, cols: 8192 }
+        Workload::Pathfinder {
+            rows: 8,
+            cols: 8192,
+        }
     };
     let runner = Runner::new();
     let mut rows = Vec::new();

@@ -58,7 +58,13 @@ fn main() {
     println!(
         "{}",
         render_table(
-            &["llc mshrs", "backprop cyc", "speedup", "vvadd cyc", "speedup"],
+            &[
+                "llc mshrs",
+                "backprop cyc",
+                "speedup",
+                "vvadd cyc",
+                "speedup"
+            ],
             &rows
         )
     );

@@ -33,7 +33,7 @@ fn run_with_window<V: VectorUnit>(
     };
     let mut interp = Interpreter::new(prog, built.memory.clone(), core.hw_vl());
     while let Some(r) = interp.step().expect("runs") {
-        core.retire(&r);
+        core.retire(&r).expect("retires");
     }
     let cycles = core.finish();
     built.verify(interp.memory()).expect("golden match");
@@ -82,7 +82,13 @@ fn main() {
     println!(
         "{}",
         render_table(
-            &["window", "O3 cyc", "O3 speedup", "O3+EVE-8 cyc", "EVE speedup"],
+            &[
+                "window",
+                "O3 cyc",
+                "O3 speedup",
+                "O3+EVE-8 cyc",
+                "EVE speedup"
+            ],
             &rows
         )
     );

@@ -9,8 +9,7 @@ fn main() {
     let mut rows = Vec::new();
     for &vregs in &[1u32, 2, 4] {
         for &p in &[1u32, 2, 4, 8] {
-            let m = LayoutModel::new(SramGeometry::FIG1, 8, vregs, p)
-                .expect("valid Fig 1 layout");
+            let m = LayoutModel::new(SramGeometry::FIG1, 8, vregs, p).expect("valid Fig 1 layout");
             let regime = if m.column_underutilized() {
                 "column-underutilized"
             } else if m.row_underutilized() {
@@ -32,7 +31,14 @@ fn main() {
     println!(
         "{}",
         render_table(
-            &["vregs", "factor", "segments", "in-situ ALUs", "utilization", "regime"],
+            &[
+                "vregs",
+                "factor",
+                "segments",
+                "in-situ ALUs",
+                "utilization",
+                "regime"
+            ],
             &rows
         )
     );
@@ -49,6 +55,9 @@ fn main() {
     }
     println!(
         "{}",
-        render_table(&["factor", "lanes/array", "hw VL (32 arrays)", "utilization"], &rows)
+        render_table(
+            &["factor", "lanes/array", "hw VL (32 arrays)", "utilization"],
+            &rows
+        )
     );
 }

@@ -18,7 +18,11 @@ fn main() {
         std::process::exit(1);
     });
     let lib = ProgramLibrary::new(cfg);
-    println!("Fig 4 micro-programs for {cfg} ({} segments of {} bits)\n", cfg.segments(), cfg.segment_bits());
+    println!(
+        "Fig 4 micro-programs for {cfg} ({} segments of {} bits)\n",
+        cfg.segments(),
+        cfg.segment_bits()
+    );
     for kind in [MacroOpKind::Add, MacroOpKind::Mul] {
         let prog = lib.program(kind);
         println!("{}", listing(&prog));

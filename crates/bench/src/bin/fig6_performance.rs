@@ -4,6 +4,7 @@
 //! Run with `--tiny` for a fast smoke sweep, `--json` for raw data.
 
 use eve_bench::{fmt_x, render_table};
+use eve_common::json::JsonValue;
 use eve_sim::experiments::{geomean_speedup, performance_matrix};
 use eve_sim::SystemKind;
 use eve_workloads::Workload;
@@ -20,10 +21,25 @@ fn main() {
     let perf = performance_matrix(&suite).expect("simulation succeeds");
 
     if json {
-        println!(
-            "{}",
-            serde_json::to_string_pretty(&perf).expect("serializable")
-        );
+        let doc = JsonValue::array(perf.iter().map(|wp| {
+            JsonValue::object([
+                ("workload", JsonValue::from(wp.workload.clone())),
+                ("scalar_dyn_insts", JsonValue::from(wp.scalar_dyn_insts)),
+                ("vector_dyn_insts", JsonValue::from(wp.vector_dyn_insts)),
+                (
+                    "cells",
+                    JsonValue::array(wp.cells.iter().map(|c| {
+                        JsonValue::object([
+                            ("system", JsonValue::from(c.system.clone())),
+                            ("cycles", JsonValue::from(c.cycles)),
+                            ("wall_ps", JsonValue::from(c.wall_ps)),
+                            ("speedup_vs_io", JsonValue::from(c.speedup_vs_io)),
+                        ])
+                    })),
+                ),
+            ])
+        }));
+        println!("{}", doc.to_pretty());
         return;
     }
 

@@ -3,6 +3,7 @@
 //! transpose / vmu / empty / dependency stalls).
 
 use eve_bench::render_table;
+use eve_common::json::JsonValue;
 use eve_sim::experiments::breakdown_matrix;
 use eve_workloads::Workload;
 
@@ -30,10 +31,22 @@ fn main() {
     let rows = breakdown_matrix(&suite).expect("simulation succeeds");
 
     if json {
-        println!(
-            "{}",
-            serde_json::to_string_pretty(&rows).expect("serializable")
-        );
+        let doc = JsonValue::array(rows.iter().map(|r| {
+            JsonValue::object([
+                ("workload", JsonValue::from(r.workload.clone())),
+                ("factor", JsonValue::from(r.factor)),
+                (
+                    "fractions",
+                    JsonValue::object(
+                        r.fractions
+                            .iter()
+                            .map(|(k, v)| (k.clone(), JsonValue::from(*v))),
+                    ),
+                ),
+                ("total_cycles", JsonValue::from(r.total_cycles)),
+            ])
+        }));
+        println!("{}", doc.to_pretty());
         return;
     }
 

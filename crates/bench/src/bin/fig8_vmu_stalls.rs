@@ -2,6 +2,7 @@
 //! stalled issuing requests to the LLC (MSHR back-pressure).
 
 use eve_bench::{fmt_pct, render_table};
+use eve_common::json::JsonValue;
 use eve_sim::experiments::vmu_stall_matrix;
 use eve_workloads::Workload;
 use std::collections::BTreeMap;
@@ -18,10 +19,14 @@ fn main() {
     let rows = vmu_stall_matrix(&suite).expect("simulation succeeds");
 
     if json {
-        println!(
-            "{}",
-            serde_json::to_string_pretty(&rows).expect("serializable")
-        );
+        let doc = JsonValue::array(rows.iter().map(|r| {
+            JsonValue::object([
+                ("workload", JsonValue::from(r.workload.clone())),
+                ("factor", JsonValue::from(r.factor)),
+                ("stall_fraction", JsonValue::from(r.stall_fraction)),
+            ])
+        }));
+        println!("{}", doc.to_pretty());
         return;
     }
 

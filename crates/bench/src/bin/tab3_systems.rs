@@ -1,8 +1,8 @@
 //! Prints **Table III**: the simulated system configurations.
 
 use eve_bench::render_table;
-use eve_mem::{CacheConfig, DramConfig};
 use eve_cpu::VectorUnit;
+use eve_mem::{CacheConfig, DramConfig};
 use eve_sim::SystemKind;
 
 fn cache_row(c: &CacheConfig) -> Vec<String> {
@@ -27,7 +27,10 @@ fn main() {
     ];
     println!(
         "{}",
-        render_table(&["level", "size", "assoc", "latency", "mshrs", "banks"], &rows)
+        render_table(
+            &["level", "size", "assoc", "latency", "mshrs", "banks"],
+            &rows
+        )
     );
     let d = DramConfig::ddr4_2400();
     println!(
@@ -41,12 +44,14 @@ fn main() {
         let (vl, notes): (String, &str) = match sys {
             SystemKind::Io => ("-".into(), "single-issue in-order RV-like core"),
             SystemKind::O3 => ("-".into(), "8-way out-of-order core"),
-            SystemKind::O3Iv => {
-                ("4".into(), "integrated unit, OOO issue, 3 shared exec pipes")
-            }
-            SystemKind::O3Dv => {
-                ("64".into(), "decoupled engine, in-order issue, 4 exec pipes")
-            }
+            SystemKind::O3Iv => (
+                "4".into(),
+                "integrated unit, OOO issue, 3 shared exec pipes",
+            ),
+            SystemKind::O3Dv => (
+                "64".into(),
+                "decoupled engine, in-order issue, 4 exec pipes",
+            ),
             SystemKind::EveN(n) => {
                 let vl = eve_core::EveEngine::new(n).expect("valid factor").hw_vl();
                 (vl.to_string(), "L2-resident engine, in-order, 1 exec pipe")
@@ -62,6 +67,9 @@ fn main() {
     }
     println!(
         "{}",
-        render_table(&["system", "hw VL", "cycle time", "rel. area", "notes"], &rows)
+        render_table(
+            &["system", "hw VL", "cycle time", "rel. area", "notes"],
+            &rows
+        )
     );
 }

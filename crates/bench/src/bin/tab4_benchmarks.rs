@@ -62,8 +62,8 @@ fn main() {
         "{}",
         render_table(
             &[
-                "name", "DIns(sc)", "DIns(v)", "VI%", "ctrl", "ialu", "imul", "xe", "us",
-                "st", "idx", "prd", "DOp", "VO%", "VPar", "WInf", "ArInt",
+                "name", "DIns(sc)", "DIns(v)", "VI%", "ctrl", "ialu", "imul", "xe", "us", "st",
+                "idx", "prd", "DOp", "VO%", "VPar", "WInf", "ArInt",
             ],
             &rows
         )
@@ -97,9 +97,7 @@ fn main() {
     println!(
         "{}",
         render_table(
-            &[
-                "name", "DV", "E-1", "E-2", "E-4", "E-8", "E-16", "E-32", "E8/E1", "E8/E32",
-            ],
+            &["name", "DV", "E-1", "E-2", "E-4", "E-8", "E-16", "E-32", "E8/E1", "E8/E32",],
             &rows
         )
     );

@@ -44,7 +44,12 @@ fn main() {
     println!(
         "{}",
         render_table(
-            &["system", "geomean speedup vs IO", "rel. area", "speedup / area"],
+            &[
+                "system",
+                "geomean speedup vs IO",
+                "rel. area",
+                "speedup / area"
+            ],
             &rows
         )
     );

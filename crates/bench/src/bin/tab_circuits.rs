@@ -2,7 +2,7 @@
 //! area overheads, total EVE overhead, and cycle times per design
 //! point.
 
-use eve_analytical::area::{banked_overhead_pct, eve_total_overhead_pct, array_overhead_pct};
+use eve_analytical::area::{array_overhead_pct, banked_overhead_pct, eve_total_overhead_pct};
 use eve_analytical::timing::{cycle_time, penalty_ratio};
 use eve_bench::{fmt_pct, render_table};
 

@@ -66,7 +66,11 @@ pub fn set_bit(value: u32, index: u32, on: bool) -> u32 {
 #[must_use]
 pub fn extract_bits(value: u32, lo: u32, width: u32) -> u32 {
     assert!(width > 0 && lo + width <= 32, "bad field {lo}+{width}");
-    let mask = if width == 32 { u32::MAX } else { (1 << width) - 1 };
+    let mask = if width == 32 {
+        u32::MAX
+    } else {
+        (1 << width) - 1
+    };
     (value >> lo) & mask
 }
 
@@ -89,7 +93,11 @@ pub fn extract_bits(value: u32, lo: u32, width: u32) -> u32 {
 #[must_use]
 pub fn deposit_bits(value: u32, lo: u32, width: u32, field: u32) -> u32 {
     assert!(width > 0 && lo + width <= 32, "bad field {lo}+{width}");
-    let mask = if width == 32 { u32::MAX } else { (1 << width) - 1 };
+    let mask = if width == 32 {
+        u32::MAX
+    } else {
+        (1 << width) - 1
+    };
     assert!(field <= mask, "field 0x{field:x} wider than {width} bits");
     (value & !(mask << lo)) | (field << lo)
 }

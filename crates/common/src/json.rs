@@ -1,0 +1,277 @@
+//! A minimal, dependency-free JSON document builder.
+//!
+//! The experiment binaries emit machine-readable reports, and the fault
+//! campaign's acceptance test requires *byte-identical* output for a
+//! fixed seed. This module therefore renders JSON deterministically:
+//! objects keep insertion order, floats use Rust's shortest-roundtrip
+//! `Display`, and strings are escaped per RFC 8259.
+//!
+//! # Examples
+//!
+//! ```
+//! use eve_common::json::JsonValue;
+//!
+//! let doc = JsonValue::object([
+//!     ("name", JsonValue::from("vvadd")),
+//!     ("cycles", JsonValue::from(1234u64)),
+//! ]);
+//! assert_eq!(doc.to_compact(), r#"{"name":"vvadd","cycles":1234}"#);
+//! ```
+
+use std::fmt::Write as _;
+
+/// A JSON document node.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JsonValue {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// An unsigned integer (rendered without an exponent).
+    UInt(u64),
+    /// A signed integer.
+    Int(i64),
+    /// A finite float; non-finite values render as `null`.
+    Float(f64),
+    /// A string (escaped on render).
+    Str(String),
+    /// An ordered array.
+    Array(Vec<JsonValue>),
+    /// An object preserving insertion order, so renders are stable.
+    Object(Vec<(String, JsonValue)>),
+}
+
+impl JsonValue {
+    /// Builds an object from `(key, value)` pairs, preserving order.
+    pub fn object<K: Into<String>>(pairs: impl IntoIterator<Item = (K, JsonValue)>) -> Self {
+        JsonValue::Object(pairs.into_iter().map(|(k, v)| (k.into(), v)).collect())
+    }
+
+    /// Builds an array from values.
+    pub fn array(items: impl IntoIterator<Item = JsonValue>) -> Self {
+        JsonValue::Array(items.into_iter().collect())
+    }
+
+    /// Renders without whitespace.
+    #[must_use]
+    pub fn to_compact(&self) -> String {
+        let mut s = String::new();
+        self.render(&mut s, None, 0);
+        s
+    }
+
+    /// Renders with two-space indentation (one node per line).
+    #[must_use]
+    pub fn to_pretty(&self) -> String {
+        let mut s = String::new();
+        self.render(&mut s, Some(2), 0);
+        s
+    }
+
+    fn render(&self, out: &mut String, indent: Option<usize>, depth: usize) {
+        match self {
+            JsonValue::Null => out.push_str("null"),
+            JsonValue::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            JsonValue::UInt(u) => {
+                let _ = write!(out, "{u}");
+            }
+            JsonValue::Int(i) => {
+                let _ = write!(out, "{i}");
+            }
+            JsonValue::Float(f) => {
+                if f.is_finite() {
+                    // Shortest-roundtrip Display is deterministic and
+                    // always includes enough digits to reparse exactly.
+                    let mut num = format!("{f}");
+                    if !num.contains(['.', 'e', 'E']) {
+                        // Mark integral floats as floats (`1` → `1.0`)
+                        // so the column's type is stable across rows.
+                        num.push_str(".0");
+                    }
+                    out.push_str(&num);
+                } else {
+                    out.push_str("null");
+                }
+            }
+            JsonValue::Str(s) => render_string(out, s),
+            JsonValue::Array(items) => {
+                render_seq(out, indent, depth, '[', ']', items.len(), |out, i, d| {
+                    items[i].render(out, indent, d);
+                });
+            }
+            JsonValue::Object(pairs) => {
+                render_seq(out, indent, depth, '{', '}', pairs.len(), |out, i, d| {
+                    render_string(out, &pairs[i].0);
+                    out.push(':');
+                    if indent.is_some() {
+                        out.push(' ');
+                    }
+                    pairs[i].1.render(out, indent, d);
+                });
+            }
+        }
+    }
+}
+
+fn render_seq(
+    out: &mut String,
+    indent: Option<usize>,
+    depth: usize,
+    open: char,
+    close: char,
+    len: usize,
+    mut item: impl FnMut(&mut String, usize, usize),
+) {
+    out.push(open);
+    if len == 0 {
+        out.push(close);
+        return;
+    }
+    for i in 0..len {
+        if i > 0 {
+            out.push(',');
+        }
+        if let Some(w) = indent {
+            out.push('\n');
+            out.push_str(&" ".repeat(w * (depth + 1)));
+        }
+        item(out, i, depth + 1);
+    }
+    if let Some(w) = indent {
+        out.push('\n');
+        out.push_str(&" ".repeat(w * depth));
+    }
+    out.push(close);
+}
+
+fn render_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+impl From<&str> for JsonValue {
+    fn from(s: &str) -> Self {
+        JsonValue::Str(s.to_string())
+    }
+}
+
+impl From<String> for JsonValue {
+    fn from(s: String) -> Self {
+        JsonValue::Str(s)
+    }
+}
+
+impl From<bool> for JsonValue {
+    fn from(b: bool) -> Self {
+        JsonValue::Bool(b)
+    }
+}
+
+impl From<u64> for JsonValue {
+    fn from(u: u64) -> Self {
+        JsonValue::UInt(u)
+    }
+}
+
+impl From<u32> for JsonValue {
+    fn from(u: u32) -> Self {
+        JsonValue::UInt(u64::from(u))
+    }
+}
+
+impl From<usize> for JsonValue {
+    fn from(u: usize) -> Self {
+        JsonValue::UInt(u as u64)
+    }
+}
+
+impl From<i64> for JsonValue {
+    fn from(i: i64) -> Self {
+        JsonValue::Int(i)
+    }
+}
+
+impl From<f64> for JsonValue {
+    fn from(f: f64) -> Self {
+        JsonValue::Float(f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalars_render() {
+        assert_eq!(JsonValue::Null.to_compact(), "null");
+        assert_eq!(JsonValue::from(true).to_compact(), "true");
+        assert_eq!(JsonValue::from(42u64).to_compact(), "42");
+        assert_eq!(JsonValue::from(-7i64).to_compact(), "-7");
+        assert_eq!(JsonValue::from(1.5).to_compact(), "1.5");
+        assert_eq!(JsonValue::Float(f64::NAN).to_compact(), "null");
+    }
+
+    #[test]
+    fn integral_floats_keep_a_decimal_point() {
+        assert_eq!(JsonValue::from(1.0).to_compact(), "1.0");
+        assert_eq!(JsonValue::from(-3.0).to_compact(), "-3.0");
+        assert_eq!(JsonValue::from(0.0).to_compact(), "0.0");
+    }
+
+    #[test]
+    fn strings_escape() {
+        assert_eq!(
+            JsonValue::from("a\"b\\c\nd").to_compact(),
+            r#""a\"b\\c\nd""#
+        );
+        assert_eq!(JsonValue::from("\u{1}").to_compact(), "\"\\u0001\"");
+    }
+
+    #[test]
+    fn object_preserves_insertion_order() {
+        let doc = JsonValue::object([("z", JsonValue::from(1u64)), ("a", JsonValue::from(2u64))]);
+        assert_eq!(doc.to_compact(), r#"{"z":1,"a":2}"#);
+    }
+
+    #[test]
+    fn pretty_rendering_is_stable() {
+        let doc = JsonValue::object([
+            (
+                "k",
+                JsonValue::array([JsonValue::from(1u64), JsonValue::Null]),
+            ),
+            ("empty", JsonValue::Array(vec![])),
+        ]);
+        assert_eq!(
+            doc.to_pretty(),
+            "{\n  \"k\": [\n    1,\n    null\n  ],\n  \"empty\": []\n}"
+        );
+    }
+
+    #[test]
+    fn same_doc_same_bytes() {
+        let build = || {
+            JsonValue::object([
+                ("rate", JsonValue::from(0.001)),
+                (
+                    "runs",
+                    JsonValue::array((0..4).map(|i| JsonValue::from(i as u64))),
+                ),
+            ])
+        };
+        assert_eq!(build().to_pretty(), build().to_pretty());
+    }
+}

@@ -16,10 +16,13 @@
 //! ```
 
 pub mod bits;
+pub mod json;
+pub mod rng;
 pub mod stats;
 pub mod time;
 
 pub use bits::{bit, deposit_bits, extract_bits, set_bit, transpose32};
+pub use rng::SplitMix64;
 pub use stats::{Stat, Stats};
 pub use time::{Cycle, Picos};
 

@@ -1,0 +1,166 @@
+//! A tiny deterministic RNG for fault injection and sampling.
+//!
+//! [`SplitMix64`] is the classic Steele/Lea/Flood generator: a 64-bit
+//! counter stepped by the golden-gamma constant and finalized with two
+//! xor-shift-multiply rounds. It is not cryptographic; it is chosen
+//! because it is *reproducible* — one `u64` of state, no platform
+//! dependence — which is exactly what a seeded fault campaign needs:
+//! the same seed must flip the same bits on every run, on every
+//! machine.
+//!
+//! # Examples
+//!
+//! ```
+//! use eve_common::SplitMix64;
+//!
+//! let mut a = SplitMix64::new(42);
+//! let mut b = SplitMix64::new(42);
+//! assert_eq!(a.next_u64(), b.next_u64()); // same seed, same stream
+//! ```
+
+/// The golden-gamma increment (2^64 / φ, odd).
+const GAMMA: u64 = 0x9E37_79B9_7F4A_7C15;
+
+/// A splitmix64 pseudo-random number generator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// A generator seeded with `seed`.
+    #[must_use]
+    pub fn new(seed: u64) -> Self {
+        Self { state: seed }
+    }
+
+    /// The next 64-bit output.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(GAMMA);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// The next 32-bit output (high half of [`Self::next_u64`]).
+    pub fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    /// A uniform value in `[0, bound)`; returns 0 when `bound` is 0.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        if bound == 0 {
+            0
+        } else {
+            // Multiply-shift range reduction (Lemire); bias is < 2^-32
+            // for the small bounds (lanes, bits) used here.
+            ((u128::from(self.next_u64()) * u128::from(bound)) >> 64) as u64
+        }
+    }
+
+    /// A uniform `f64` in `[0, 1)` with 53 bits of precision.
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// One Bernoulli trial: `true` with probability `p` (clamped to
+    /// `[0, 1]`). Always draws exactly one value, so interleaved
+    /// streams stay aligned regardless of outcome.
+    pub fn chance(&mut self, p: f64) -> bool {
+        let draw = self.next_f64();
+        draw < p
+    }
+
+    /// Forks an independent generator: the child is seeded from this
+    /// stream, so `(seed, split order)` fully determines it.
+    pub fn split(&mut self) -> SplitMix64 {
+        SplitMix64::new(self.next_u64())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_reference_vectors() {
+        // First three outputs of splitmix64 seeded with 0 (Vigna's
+        // public-domain reference implementation).
+        let mut r = SplitMix64::new(0);
+        assert_eq!(r.next_u64(), 0xE220_A839_7B1D_CDAF);
+        assert_eq!(r.next_u64(), 0x6E78_9E6A_A1B9_65F4);
+        assert_eq!(r.next_u64(), 0x06C4_5D18_8009_454F);
+    }
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = SplitMix64::new(0xDEAD_BEEF);
+        let mut b = SplitMix64::new(0xDEAD_BEEF);
+        for _ in 0..1000 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = SplitMix64::new(1);
+        let mut b = SplitMix64::new(2);
+        let same = (0..64).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert_eq!(same, 0);
+    }
+
+    #[test]
+    fn below_respects_bound() {
+        let mut r = SplitMix64::new(7);
+        for _ in 0..10_000 {
+            assert!(r.below(13) < 13);
+        }
+        assert_eq!(r.below(0), 0);
+        assert_eq!(r.below(1), 0);
+    }
+
+    #[test]
+    fn f64_in_unit_interval_and_roughly_uniform() {
+        let mut r = SplitMix64::new(99);
+        let mut sum = 0.0;
+        for _ in 0..10_000 {
+            let v = r.next_f64();
+            assert!((0.0..1.0).contains(&v));
+            sum += v;
+        }
+        let mean = sum / 10_000.0;
+        assert!((mean - 0.5).abs() < 0.02, "mean {mean}");
+    }
+
+    #[test]
+    fn chance_extremes() {
+        let mut r = SplitMix64::new(3);
+        for _ in 0..1000 {
+            assert!(!r.chance(0.0));
+        }
+        for _ in 0..1000 {
+            assert!(r.chance(1.0));
+        }
+    }
+
+    #[test]
+    fn chance_rate_is_calibrated() {
+        let mut r = SplitMix64::new(11);
+        let hits = (0..100_000).filter(|_| r.chance(0.01)).count();
+        assert!((800..1200).contains(&hits), "hits {hits}");
+    }
+
+    #[test]
+    fn split_streams_are_independent_and_reproducible() {
+        let mut parent1 = SplitMix64::new(5);
+        let mut parent2 = SplitMix64::new(5);
+        let mut c1 = parent1.split();
+        let mut c2 = parent2.split();
+        for _ in 0..100 {
+            assert_eq!(c1.next_u64(), c2.next_u64());
+        }
+        // The child stream differs from the parent's continuation.
+        assert_ne!(parent1.next_u64(), c1.next_u64());
+    }
+}

@@ -4,7 +4,7 @@
 use crate::mapping::macro_ops;
 use crate::stats::StallBreakdown;
 use eve_common::{ConfigError, ConfigResult, Cycle, Stats};
-use eve_cpu::{VectorPlacement, VectorUnit};
+use eve_cpu::{EngineError, VectorPlacement, VectorUnit};
 use eve_isa::{Inst, MemEffect, RegId, Retired, VStride};
 use eve_mem::{Hierarchy, Level, Tlb, LINE_BYTES};
 use eve_sram::{LayoutModel, SramGeometry};
@@ -46,6 +46,33 @@ impl Default for EngineTuning {
     }
 }
 
+/// Timing model of the detection layer: one interleaved parity bit per
+/// SRAM row, verified when a μprogram reads its operand rows. The
+/// checker is a narrow tree shared per array, so it retires a few rows
+/// per cycle; the charge lands in the `parity_stall` breakdown bucket.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ResilienceConfig {
+    /// Parity rows the shared checker verifies per cycle.
+    pub check_rows_per_cycle: u64,
+}
+
+impl Default for ResilienceConfig {
+    fn default() -> Self {
+        Self {
+            check_rows_per_cycle: 4,
+        }
+    }
+}
+
+impl ResilienceConfig {
+    /// Cycles to verify both operand registers of a compute macro-op
+    /// (`segments` rows each).
+    #[must_use]
+    pub fn check_cycles(&self, segments: u64) -> Cycle {
+        Cycle((2 * segments).div_ceil(self.check_rows_per_cycle.max(1)))
+    }
+}
+
 /// The ephemeral vector engine.
 #[derive(Debug)]
 pub struct EveEngine {
@@ -70,6 +97,8 @@ pub struct EveEngine {
     vreg_ready: [Cycle; 32],
     pending_store_done: Cycle,
     breakdown: StallBreakdown,
+    /// Detection-layer timing model, when fault checking is enabled.
+    resilience: Option<ResilienceConfig>,
     /// Cycles the VMU spent unable to issue to the LLC (Fig 8).
     llc_issue_stall: Cycle,
     tlb: Tlb,
@@ -102,9 +131,7 @@ impl EveEngine {
             return Err(ConfigError::new("need at least one exec pipe"));
         }
         if tuning.dtus == 0 && !cfg.is_bit_parallel() {
-            return Err(ConfigError::new(
-                "transposed layouts need at least one DTU",
-            ));
+            return Err(ConfigError::new("transposed layouts need at least one DTU"));
         }
         let layout = LayoutModel::new(SramGeometry::PAPER, 32, 32, n)?;
         let hw_vl = layout.lanes() * EVE_ARRAYS;
@@ -128,6 +155,7 @@ impl EveEngine {
             vreg_ready: [Cycle::ZERO; 32],
             pending_store_done: Cycle::ZERO,
             breakdown: StallBreakdown::default(),
+            resilience: None,
             llc_issue_stall: Cycle::ZERO,
             tlb: Tlb::new(),
             stats: Stats::new(),
@@ -144,6 +172,18 @@ impl EveEngine {
     #[must_use]
     pub fn breakdown(&self) -> &StallBreakdown {
         &self.breakdown
+    }
+
+    /// Enables the detection layer: every compute macro-op pays for
+    /// verifying the interleaved parity of its operand rows.
+    pub fn enable_resilience(&mut self, cfg: ResilienceConfig) {
+        self.resilience = Some(cfg);
+    }
+
+    /// The detection-layer configuration, if checking is enabled.
+    #[must_use]
+    pub fn resilience(&self) -> Option<ResilienceConfig> {
+        self.resilience
     }
 
     /// Cycles the VMU could not issue to the LLC (Fig 8 numerator).
@@ -218,7 +258,13 @@ impl EveEngine {
 
     /// One VMU line request: generation + translation (one cycle),
     /// retried while the LLC has no free MSHR.
-    fn vmu_request(&mut self, line: u64, store: bool, t: Cycle, mem: &mut Hierarchy) -> (Cycle, Cycle) {
+    fn vmu_request(
+        &mut self,
+        line: u64,
+        store: bool,
+        t: Cycle,
+        mem: &mut Hierarchy,
+    ) -> (Cycle, Cycle) {
         let issued = self.tlb.translate(line * LINE_BYTES, t);
         let a = mem.access(Level::Llc, line * LINE_BYTES, store, issued);
         self.llc_issue_stall += a.mshr_wait;
@@ -250,11 +296,10 @@ impl EveEngine {
         }
 
         let lines = Self::line_requests(&r.mem);
-        let mut t = self.vmu_now.max(accept).max(if indexed {
-            self.vsu_now
-        } else {
-            Cycle::ZERO
-        });
+        let mut t = self
+            .vmu_now
+            .max(accept)
+            .max(if indexed { self.vsu_now } else { Cycle::ZERO });
         let dt = self.dtu_line_cycles();
         let mut mem_done = t;
         let mut data_done = t;
@@ -401,6 +446,14 @@ impl EveEngine {
         }
         self.advance_vsu(accept, |b| &mut b.empty_stall);
         self.advance_vsu(deps, |b| &mut b.dep_stall);
+        // Detection layer: verify operand-row parity before latching
+        // the first bit-line compute (serializes with the VSU).
+        if let Some(res) = self.resilience {
+            let check = res.check_cycles(self.segments);
+            self.breakdown.parity_stall += check;
+            self.vsu_now += check;
+            self.stats.add("parity_check_cycles", check.0);
+        }
         self.busy(total);
         self.set_write_ready(r, self.vsu_now);
         self.vsu_now
@@ -418,7 +471,7 @@ impl VectorUnit for EveEngine {
         _ready: Cycle,
         commit: Cycle,
         mem: &mut Hierarchy,
-    ) -> VectorPlacement {
+    ) -> Result<VectorPlacement, EngineError> {
         // Spawn lazily on first vector work: way-partition the L2 and
         // invalidate the donated ways (§V-E).
         if !self.spawned {
@@ -448,10 +501,10 @@ impl VectorUnit for EveEngine {
                 .max(self.vmu_now)
                 .max(self.vsu_now)
                 .max(accept);
-            return VectorPlacement::Decoupled {
+            return Ok(VectorPlacement::Decoupled {
                 accept,
                 writeback: Some(done),
-            };
+            });
         }
 
         let completion = match &r.inst {
@@ -464,8 +517,12 @@ impl VectorUnit for EveEngine {
             | Inst::VMvXS { .. }
             | Inst::VMvSX { .. } => self.handle_vru(r, accept),
             inst => {
-                let ops = macro_ops(inst, r.scalar_operand)
-                    .unwrap_or_else(|| panic!("unmapped vector instruction {inst:?}"));
+                let Some(ops) = macro_ops(inst, r.scalar_operand) else {
+                    return Err(EngineError::UnmappedInstruction {
+                        inst: format!("{inst:?}"),
+                        pc: u64::from(r.pc),
+                    });
+                };
                 self.handle_compute(r, accept, &ops)
             }
         };
@@ -475,11 +532,16 @@ impl VectorUnit for EveEngine {
             Inst::VMvXS { .. } => Some(completion),
             _ => None,
         };
-        VectorPlacement::Decoupled { accept, writeback }
+        Ok(VectorPlacement::Decoupled { accept, writeback })
     }
 
     fn drain(&mut self, _mem: &mut Hierarchy) -> Cycle {
-        let pipes = self.extra_pipes.iter().copied().max().unwrap_or(Cycle::ZERO);
+        let pipes = self
+            .extra_pipes
+            .iter()
+            .copied()
+            .max()
+            .unwrap_or(Cycle::ZERO);
         self.vsu_now
             .max(self.vmu_now)
             .max(self.pending_store_done)
@@ -541,7 +603,14 @@ mod tests {
 
     #[test]
     fn hardware_vector_lengths_match_table_iii() {
-        for (n, vl) in [(1u32, 2048u32), (2, 2048), (4, 2048), (8, 1024), (16, 512), (32, 256)] {
+        for (n, vl) in [
+            (1u32, 2048u32),
+            (2, 2048),
+            (4, 2048),
+            (8, 1024),
+            (16, 512),
+            (32, 256),
+        ] {
             assert_eq!(EveEngine::new(n).unwrap().hw_vl(), vl, "EVE-{n}");
         }
     }
@@ -560,11 +629,13 @@ mod tests {
         for i in 0..32u64 {
             mem.access(Level::L1D, 0x8000 + i * 64, true, Cycle(i * 200));
         }
-        e.issue(&retired(vadd(), 1024), Cycle(0), Cycle(10_000), &mut mem);
+        e.issue(&retired(vadd(), 1024), Cycle(0), Cycle(10_000), &mut mem)
+            .unwrap();
         assert!(e.stats().get("spawn_cycles") > 0);
         assert_eq!(mem.cache(Level::L2).config().ways, 4);
         let spawn1 = e.stats().get("spawn_cycles");
-        e.issue(&retired(vadd(), 1024), Cycle(0), Cycle(20_000), &mut mem);
+        e.issue(&retired(vadd(), 1024), Cycle(0), Cycle(20_000), &mut mem)
+            .unwrap();
         assert_eq!(e.stats().get("spawn_cycles"), spawn1, "spawns once");
     }
 
@@ -573,7 +644,8 @@ mod tests {
         // add on EVE-8: 2*4+1 = 9 cycles of busy work.
         let mut e = EveEngine::new(8).unwrap();
         let mut mem = Hierarchy::new(HierarchyConfig::table_iii());
-        e.issue(&retired(vadd(), 1024), Cycle(0), Cycle(0), &mut mem);
+        e.issue(&retired(vadd(), 1024), Cycle(0), Cycle(0), &mut mem)
+            .unwrap();
         assert_eq!(e.breakdown().busy, Cycle(9));
     }
 
@@ -583,7 +655,8 @@ mod tests {
         for n in [1u32, 8, 32] {
             let mut e = EveEngine::new(n).unwrap();
             let mut mem = Hierarchy::new(HierarchyConfig::table_iii());
-            e.issue(&retired(vmul(), e.hw_vl()), Cycle(0), Cycle(0), &mut mem);
+            e.issue(&retired(vmul(), e.hw_vl()), Cycle(0), Cycle(0), &mut mem)
+                .unwrap();
             lat.push(e.breakdown().busy.0);
         }
         assert!(lat[0] > lat[1] && lat[1] > lat[2], "{lat:?}");
@@ -593,12 +666,13 @@ mod tests {
     fn dependent_ops_serialize_independent_ops_do_not_stall() {
         let mut e = EveEngine::new(8).unwrap();
         let mut mem = Hierarchy::new(HierarchyConfig::table_iii());
-        e.issue(&retired(vadd(), 1024), Cycle(0), Cycle(0), &mut mem);
+        e.issue(&retired(vadd(), 1024), Cycle(0), Cycle(0), &mut mem)
+            .unwrap();
         let busy1 = e.breakdown().busy;
         // Dependent on v3.
         let mut dep = retired(vadd(), 1024);
         dep.reads[0] = Some(RegId::V(vreg::V3));
-        e.issue(&dep, Cycle(0), Cycle(0), &mut mem);
+        e.issue(&dep, Cycle(0), Cycle(0), &mut mem).unwrap();
         assert_eq!(e.breakdown().busy, busy1 * 2);
         // Single in-order pipe: no dep_stall beyond serialization.
         assert_eq!(e.breakdown().dep_stall, Cycle::ZERO);
@@ -620,7 +694,7 @@ mod tests {
             bytes: 4096,
             store: false,
         };
-        e.issue(&r, Cycle(0), Cycle(0), &mut mem);
+        e.issue(&r, Cycle(0), Cycle(0), &mut mem).unwrap();
         let b = e.breakdown();
         assert!(b.ld_mem_stall > Cycle::ZERO, "{b:?}");
         assert!(b.busy >= Cycle(4), "row writes counted as busy: {b:?}");
@@ -646,13 +720,13 @@ mod tests {
         };
         let mut e32 = EveEngine::new(32).unwrap();
         let mut mem = Hierarchy::new(HierarchyConfig::table_iii());
-        e32.issue(&mk(256), Cycle(0), Cycle(0), &mut mem);
+        e32.issue(&mk(256), Cycle(0), Cycle(0), &mut mem).unwrap();
         assert_eq!(e32.breakdown().ld_dt_stall, Cycle::ZERO);
         // EVE-1 on the same footprint pays transpose time somewhere
         // (dt stall or overlapped) - its DTU line cost is 32 cycles.
         let mut e1 = EveEngine::new(1).unwrap();
         let mut mem = Hierarchy::new(HierarchyConfig::table_iii());
-        e1.issue(&mk(256), Cycle(0), Cycle(0), &mut mem);
+        e1.issue(&mk(256), Cycle(0), Cycle(0), &mut mem).unwrap();
         let total1 = e1.breakdown().total();
         assert!(total1 > Cycle::ZERO);
     }
@@ -676,7 +750,7 @@ mod tests {
             count: 1024,
             store: false,
         };
-        e.issue(&r, Cycle(0), Cycle(0), &mut mem);
+        e.issue(&r, Cycle(0), Cycle(0), &mut mem).unwrap();
         assert!(
             e.llc_issue_stall() > Cycle(1000),
             "expected heavy MSHR stalling, got {:?}",
@@ -701,8 +775,10 @@ mod tests {
             store: true,
         };
         r.write = None;
-        e.issue(&r, Cycle(0), Cycle(0), &mut mem);
-        let f = e.issue(&retired(Inst::VMFence, 1024), Cycle(1), Cycle(1), &mut mem);
+        e.issue(&r, Cycle(0), Cycle(0), &mut mem).unwrap();
+        let f = e
+            .issue(&retired(Inst::VMFence, 1024), Cycle(1), Cycle(1), &mut mem)
+            .unwrap();
         match f {
             VectorPlacement::Decoupled {
                 writeback: Some(wb),
@@ -722,8 +798,10 @@ mod tests {
             vs2: vreg::V1,
             vs1: vreg::V2,
         };
-        e.issue(&retired(red, 1024), Cycle(0), Cycle(0), &mut mem);
-        e.issue(&retired(red, 1024), Cycle(0), Cycle(0), &mut mem);
+        e.issue(&retired(red, 1024), Cycle(0), Cycle(0), &mut mem)
+            .unwrap();
+        e.issue(&retired(red, 1024), Cycle(0), Cycle(0), &mut mem)
+            .unwrap();
         assert!(e.breakdown().vru_stall > Cycle::ZERO);
         assert_eq!(e.stats().get("vru_ops"), 2);
     }
@@ -738,7 +816,7 @@ mod tests {
         };
         let mut r = retired(mv, 1024);
         r.write = Some(RegId::X(xreg::T0));
-        match e.issue(&r, Cycle(0), Cycle(0), &mut mem) {
+        match e.issue(&r, Cycle(0), Cycle(0), &mut mem).unwrap() {
             VectorPlacement::Decoupled {
                 writeback: Some(_), ..
             } => {}
@@ -751,13 +829,47 @@ mod tests {
         let mut e = EveEngine::new(4).unwrap();
         let mut mem = Hierarchy::new(HierarchyConfig::table_iii());
         for i in 0..20u64 {
-            e.issue(&retired(vadd(), 2048), Cycle(0), Cycle(i * 3), &mut mem);
+            e.issue(&retired(vadd(), 2048), Cycle(0), Cycle(i * 3), &mut mem)
+                .unwrap();
         }
         let b = *e.breakdown();
         // The VSU timeline (minus spawn) equals the attributed total.
         assert_eq!(
             b.total() + Cycle(e.stats().get("spawn_cycles")),
             e.drain(&mut mem),
+        );
+    }
+
+    #[test]
+    fn resilience_charges_parity_stall() {
+        let mut plain = EveEngine::new(8).unwrap();
+        let mut checked = EveEngine::new(8).unwrap();
+        checked.enable_resilience(ResilienceConfig::default());
+        let mut mem = Hierarchy::new(HierarchyConfig::table_iii());
+        let mut mem2 = Hierarchy::new(HierarchyConfig::table_iii());
+        for i in 0..10u64 {
+            plain
+                .issue(&retired(vadd(), 2048), Cycle(0), Cycle(i * 3), &mut mem)
+                .unwrap();
+            checked
+                .issue(&retired(vadd(), 2048), Cycle(0), Cycle(i * 3), &mut mem2)
+                .unwrap();
+        }
+        assert_eq!(plain.breakdown().parity_stall, Cycle::ZERO);
+        let parity = checked.breakdown().parity_stall;
+        // EVE-8 has 4 segments: 2 regs * 4 rows / 4 per cycle = 2
+        // cycles per compute macro-op, 10 ops issued.
+        assert_eq!(parity, Cycle(20));
+        assert_eq!(checked.stats().get("parity_check_cycles"), 20);
+        // Checking slows the engine down by exactly the charged time,
+        // and the attribution identity still holds.
+        let plain_done = plain.drain(&mut mem);
+        let checked_done = checked.drain(&mut mem2);
+        assert_eq!(checked_done, plain_done + parity);
+        let b = *checked.breakdown();
+        assert_eq!(
+            b.total() + Cycle(checked.stats().get("spawn_cycles")),
+            checked_done,
         );
     }
 }
@@ -799,7 +911,7 @@ mod path_tests {
             bytes: 8192,
             store: true,
         };
-        e.issue(&r, Cycle(0), Cycle(0), &mut mem);
+        e.issue(&r, Cycle(0), Cycle(0), &mut mem).unwrap();
         assert_eq!(e.stats().get("stores"), 1);
         assert_eq!(e.stats().get("vmu.line_requests"), 128);
         assert!(e.pending_store_done > Cycle::ZERO);
@@ -832,16 +944,20 @@ mod path_tests {
             r
         };
         let mut e_unit = EveEngine::new(8).unwrap();
-        e_unit.issue(&mk(VStride::Unit), Cycle(0), Cycle(0), &mut mem);
+        e_unit
+            .issue(&mk(VStride::Unit), Cycle(0), Cycle(0), &mut mem)
+            .unwrap();
         let unit_busy = e_unit.breakdown().busy;
         let mut mem2 = Hierarchy::new(HierarchyConfig::table_iii());
         let mut e_idx = EveEngine::new(8).unwrap();
-        e_idx.issue(
-            &mk(VStride::Indexed(vreg::V2)),
-            Cycle(0),
-            Cycle(0),
-            &mut mem2,
-        );
+        e_idx
+            .issue(
+                &mk(VStride::Indexed(vreg::V2)),
+                Cycle(0),
+                Cycle(0),
+                &mut mem2,
+            )
+            .unwrap();
         // The VSU reads the index register rows before the VMU starts.
         assert!(e_idx.breakdown().busy > unit_busy);
     }
@@ -862,9 +978,13 @@ mod path_tests {
             )
         };
         let mut plain = EveEngine::new(8).unwrap();
-        plain.issue(&mk(false), Cycle(0), Cycle(0), &mut mem);
+        plain
+            .issue(&mk(false), Cycle(0), Cycle(0), &mut mem)
+            .unwrap();
         let mut masked = EveEngine::new(8).unwrap();
-        masked.issue(&mk(true), Cycle(0), Cycle(0), &mut mem);
+        masked
+            .issue(&mk(true), Cycle(0), Cycle(0), &mut mem)
+            .unwrap();
         assert_eq!(
             masked.breakdown().busy,
             plain.breakdown().busy + Cycle(2),
@@ -884,7 +1004,8 @@ mod path_tests {
             masked: false,
         };
         for _ in 0..12 {
-            e.issue(&retired(mul, 2048), Cycle(0), Cycle(0), &mut mem);
+            e.issue(&retired(mul, 2048), Cycle(0), Cycle(0), &mut mem)
+                .unwrap();
         }
         assert!(e.stats().get("queue_stall_cycles") > 0);
     }

@@ -11,7 +11,9 @@ use eve_common::{Cycle, Stats};
 /// * `ld_dt_stall` / `st_dt_stall` — waiting on (de)transpose units;
 /// * `vmu_stall` — VMU structural hazard (request generation backlog);
 /// * `empty_stall` — no instruction available;
-/// * `dep_stall` — register dependences not yet resolved.
+/// * `dep_stall` — register dependences not yet resolved;
+/// * `parity_stall` — checking interleaved row parity on μprogram
+///   operand reads (only nonzero when resilience checking is enabled).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct StallBreakdown {
     /// Cycles doing useful work.
@@ -32,6 +34,8 @@ pub struct StallBreakdown {
     pub empty_stall: Cycle,
     /// Register-dependency stalls.
     pub dep_stall: Cycle,
+    /// Parity-check cycles charged by the resilience layer.
+    pub parity_stall: Cycle,
 }
 
 impl StallBreakdown {
@@ -47,11 +51,12 @@ impl StallBreakdown {
             + self.vmu_stall
             + self.empty_stall
             + self.dep_stall
+            + self.parity_stall
     }
 
     /// `(label, cycles)` pairs in the paper's plotting order.
     #[must_use]
-    pub fn entries(&self) -> [(&'static str, Cycle); 9] {
+    pub fn entries(&self) -> [(&'static str, Cycle); 10] {
         [
             ("busy", self.busy),
             ("vru_stall", self.vru_stall),
@@ -62,6 +67,7 @@ impl StallBreakdown {
             ("vmu_stall", self.vmu_stall),
             ("empty_stall", self.empty_stall),
             ("dep_stall", self.dep_stall),
+            ("parity_stall", self.parity_stall),
         ]
     }
 
@@ -103,9 +109,10 @@ mod tests {
             vmu_stall: Cycle(6),
             empty_stall: Cycle(7),
             dep_stall: Cycle(8),
+            parity_stall: Cycle(9),
         };
-        assert_eq!(b.total(), Cycle(46));
-        assert!((b.busy_fraction() - 10.0 / 46.0).abs() < 1e-12);
+        assert_eq!(b.total(), Cycle(55));
+        assert!((b.busy_fraction() - 10.0 / 55.0).abs() < 1e-12);
     }
 
     #[test]
@@ -117,7 +124,7 @@ mod tests {
         let s = b.as_stats();
         assert_eq!(s.get("breakdown.busy"), 5);
         assert_eq!(s.get("breakdown.empty_stall"), 0);
-        assert_eq!(s.len(), 9);
+        assert_eq!(s.len(), 10);
     }
 
     #[test]

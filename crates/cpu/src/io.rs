@@ -4,6 +4,7 @@
 //! store buffer and static not-taken branch prediction — a deliberate
 //! low-end baseline, like the paper's own in-order core model.
 
+use crate::vector_if::EngineError;
 use crate::CODE_BASE;
 use eve_common::{Cycle, Stats};
 use eve_isa::{Inst, MemEffect, Retired, ScalarOp};
@@ -63,15 +64,17 @@ impl IoCore {
 
     /// Accounts one committed instruction.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if fed a vector instruction — IO runs scalar binaries.
-    pub fn retire(&mut self, r: &Retired) {
-        assert!(
-            !r.inst.is_vector(),
-            "in-order scalar core received vector instruction at pc {}",
-            r.pc
-        );
+    /// Returns [`EngineError::NoVectorUnit`] if fed a vector
+    /// instruction — IO runs scalar binaries.
+    pub fn retire(&mut self, r: &Retired) -> Result<(), EngineError> {
+        if r.inst.is_vector() {
+            return Err(EngineError::NoVectorUnit {
+                inst: format!("{:?}", r.inst),
+                pc: u64::from(r.pc),
+            });
+        }
         self.stats.incr("insts");
         // Fetch: charge the I-cache when crossing into a new line.
         let fetch_addr = CODE_BASE + u64::from(r.pc) * 4;
@@ -87,14 +90,24 @@ impl IoCore {
         // Issue.
         self.now += Cycle(1);
         match (&r.inst, &r.mem) {
-            (_, MemEffect::Scalar { addr, store: false, .. }) => {
+            (
+                _,
+                MemEffect::Scalar {
+                    addr, store: false, ..
+                },
+            ) => {
                 let a = self.mem.access(Level::L1D, *addr, false, self.now);
                 self.stats
                     .add("load_stall_cycles", a.complete.saturating_since(self.now).0);
                 self.now = a.complete;
                 self.stats.incr("loads");
             }
-            (_, MemEffect::Scalar { addr, store: true, .. }) => {
+            (
+                _,
+                MemEffect::Scalar {
+                    addr, store: true, ..
+                },
+            ) => {
                 // Drain the store buffer of completed entries.
                 while let Some(&front) = self.store_buf.front() {
                     if front <= self.now {
@@ -127,6 +140,7 @@ impl IoCore {
             }
             _ => {}
         }
+        Ok(())
     }
 
     /// Finishes simulation: drains the store buffer and returns total
@@ -163,7 +177,7 @@ mod tests {
         let mut i = Interpreter::new(asm.assemble().unwrap(), Memory::new(1 << 16), 1);
         let mut core = IoCore::new();
         while let Some(r) = i.step().unwrap() {
-            core.retire(&r);
+            core.retire(&r).unwrap();
         }
         (core.finish(), core.stats())
     }
@@ -185,10 +199,7 @@ mod tests {
         assert!(cycles.0 >= insts, "at least 1 cycle per inst");
         // 4 insts + 2 branch-bubble cycles per iteration, plus a cold
         // fetch at the start.
-        assert!(
-            cycles.0 < insts * 2,
-            "cycles {cycles} for {insts} insts"
-        );
+        assert!(cycles.0 < insts * 2, "cycles {cycles} for {insts} insts");
     }
 
     #[test]
@@ -229,15 +240,19 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "vector instruction")]
     fn rejects_vector_instructions() {
         let mut a = Asm::new();
         a.setvl(xreg::T0, xreg::A0);
         a.halt();
         let mut i = Interpreter::new(a.assemble().unwrap(), Memory::new(64), 4);
         let mut core = IoCore::new();
+        let mut err = None;
         while let Some(r) = i.step().unwrap() {
-            core.retire(&r);
+            if let Err(e) = core.retire(&r) {
+                err = Some(e);
+                break;
+            }
         }
+        assert!(matches!(err, Some(EngineError::NoVectorUnit { .. })));
     }
 }

@@ -25,14 +25,14 @@
 //! let mut interp = Interpreter::new(prog.clone(), Memory::new(4096), 4);
 //! let mut io = IoCore::new();
 //! while let Some(r) = interp.step()? {
-//!     io.retire(&r);
+//!     io.retire(&r).expect("scalar program");
 //! }
 //! let io_cycles = io.finish();
 //!
 //! let mut interp = Interpreter::new(prog, Memory::new(4096), 4);
 //! let mut o3 = O3Core::scalar();
 //! while let Some(r) = interp.step()? {
-//!     o3.retire(&r);
+//!     o3.retire(&r).expect("scalar program");
 //! }
 //! assert!(o3.finish() < io_cycles, "o3 overlaps what io serializes");
 //! # Ok::<(), eve_isa::IsaError>(())
@@ -46,7 +46,7 @@ pub mod vector_if;
 pub use branch::BranchPredictor;
 pub use io::IoCore;
 pub use o3::{O3Config, O3Core};
-pub use vector_if::{NoVector, VectorPlacement, VectorUnit};
+pub use vector_if::{EngineError, NoVector, VectorPlacement, VectorUnit};
 
 /// Base address instruction fetches are mapped to (a code region
 /// disjoint from workload data, so I-cache and D-cache traffic do not

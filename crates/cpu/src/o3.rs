@@ -15,7 +15,7 @@
 //! `vmfence` stall the core (§V-A).
 
 use crate::branch::BranchPredictor;
-use crate::vector_if::{NoVector, VectorPlacement, VectorUnit};
+use crate::vector_if::{EngineError, NoVector, VectorPlacement, VectorUnit};
 use crate::CODE_BASE;
 use eve_common::{Cycle, Stats};
 use eve_isa::{Inst, MemEffect, RegId, Retired, ScalarOp};
@@ -112,6 +112,12 @@ impl<V: VectorUnit> O3Core<V> {
         &self.vu
     }
 
+    /// Mutable access to the plugged-in vector unit (reconfiguration,
+    /// fault-recovery actions like retiring EVE ways).
+    pub fn vector_unit_mut(&mut self) -> &mut V {
+        &mut self.vu
+    }
+
     /// The hardware vector length the attached unit provides.
     #[must_use]
     pub fn hw_vl(&self) -> u32 {
@@ -160,7 +166,12 @@ impl<V: VectorUnit> O3Core<V> {
     }
 
     /// Accounts one committed instruction.
-    pub fn retire(&mut self, r: &Retired) {
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`EngineError`] from the vector unit when a vector
+    /// instruction cannot be handled (no unit, no μprogram mapping).
+    pub fn retire(&mut self, r: &Retired) -> Result<(), EngineError> {
         self.stats.incr("insts");
         let d = self.dispatch_slot();
         let ready = self.deps_ready(r, d);
@@ -173,7 +184,7 @@ impl<V: VectorUnit> O3Core<V> {
             // Vector instructions reach decoupled units at commit time
             // (§V-A); integrated units issue when dependences resolve.
             let commit_est = ready.max(self.last_commit);
-            match self.vu.issue(r, ready, commit_est, &mut self.mem) {
+            match self.vu.issue(r, ready, commit_est, &mut self.mem)? {
                 VectorPlacement::InWindow { completion: c } => {
                     completion = c;
                 }
@@ -188,7 +199,12 @@ impl<V: VectorUnit> O3Core<V> {
             }
         } else {
             completion = match (&r.inst, &r.mem) {
-                (_, MemEffect::Scalar { addr, store: false, .. }) => {
+                (
+                    _,
+                    MemEffect::Scalar {
+                        addr, store: false, ..
+                    },
+                ) => {
                     self.stats.incr("loads");
                     self.mem.access(Level::L1D, *addr, false, ready).complete
                 }
@@ -212,8 +228,7 @@ impl<V: VectorUnit> O3Core<V> {
                         self.bp.update(r.pc, taken);
                         if predicted != taken {
                             self.stats.incr("mispredicts");
-                            self.fetch_floor =
-                                resolve + Cycle(self.cfg.mispredict_penalty);
+                            self.fetch_floor = resolve + Cycle(self.cfg.mispredict_penalty);
                         }
                     }
                     resolve
@@ -239,13 +254,17 @@ impl<V: VectorUnit> O3Core<V> {
         self.end = self.end.max(ct);
 
         // Stores access memory at commit, off the critical path.
-        if let MemEffect::Scalar { addr, store: true, .. } = r.mem {
+        if let MemEffect::Scalar {
+            addr, store: true, ..
+        } = r.mem
+        {
             self.mem.access(Level::L1D, addr, true, ct);
         }
 
         if let Some(w) = r.write {
             self.reg_ready[Self::reg_slot(w)] = completion.max(commit_floor);
         }
+        Ok(())
     }
 
     /// Finishes simulation: drains the vector unit and returns total
@@ -286,7 +305,7 @@ mod tests {
         let mut i = Interpreter::new(asm.assemble().unwrap(), Memory::new(1 << 20), 1);
         let mut core = O3Core::scalar();
         while let Some(r) = i.step().unwrap() {
-            core.retire(&r);
+            core.retire(&r).unwrap();
         }
         (core.finish(), core.stats())
     }
@@ -295,7 +314,7 @@ mod tests {
         let mut i = Interpreter::new(asm.assemble().unwrap(), Memory::new(1 << 20), 1);
         let mut core = crate::IoCore::new();
         while let Some(r) = i.step().unwrap() {
-            core.retire(&r);
+            core.retire(&r).unwrap();
         }
         core.finish()
     }
@@ -377,7 +396,11 @@ mod tests {
         alternating.bnez(xreg::T0, "top");
         alternating.halt();
         let (_, stats) = run_o3(alternating);
-        assert!(stats.get("mispredicts") > 100, "{}", stats.get("mispredicts"));
+        assert!(
+            stats.get("mispredicts") > 100,
+            "{}",
+            stats.get("mispredicts")
+        );
     }
 
     #[test]

@@ -7,9 +7,65 @@
 //! responding later — with `vmv.x.s`-style writebacks and `vmfence`
 //! stalling commit until the unit answers.
 
+use std::fmt;
+
 use eve_common::{Cycle, Stats};
 use eve_isa::Retired;
 use eve_mem::Hierarchy;
+
+/// A fault the engine or control processor detected while handling a
+/// vector instruction. These used to abort the process; they now
+/// propagate to the caller so a simulation driver can report the
+/// failing configuration (or degrade gracefully) instead of dying.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EngineError {
+    /// A vector instruction reached a unit with no μprogram mapping
+    /// for it.
+    UnmappedInstruction {
+        /// Debug rendering of the offending instruction.
+        inst: String,
+        /// Program counter (instruction index) where it retired.
+        pc: u64,
+    },
+    /// A vector instruction reached a scalar-only core.
+    NoVectorUnit {
+        /// Debug rendering of the offending instruction.
+        inst: String,
+        /// Program counter (instruction index) where it retired.
+        pc: u64,
+    },
+    /// The unit was asked for a writeback value it never produced.
+    UnexpectedWriteback {
+        /// Debug rendering of the offending instruction.
+        inst: String,
+        /// Program counter (instruction index) where it retired.
+        pc: u64,
+    },
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::UnmappedInstruction { inst, pc } => {
+                write!(
+                    f,
+                    "no μprogram mapping for vector instruction {inst} at pc {pc}"
+                )
+            }
+            Self::NoVectorUnit { inst, pc } => {
+                write!(
+                    f,
+                    "scalar core received vector instruction {inst} at pc {pc}"
+                )
+            }
+            Self::UnexpectedWriteback { inst, pc } => {
+                write!(f, "unit produced no writeback for {inst} at pc {pc}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
 
 /// How a vector instruction lands in the control processor's timing.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -43,13 +99,18 @@ pub trait VectorUnit {
     /// integrated, out-of-order-issue unit keys on); `commit` is when
     /// the instruction reaches the head of the ROB (when a decoupled
     /// engine receives it, §V-A).
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`EngineError`] when the unit cannot handle the
+    /// instruction (no mapping, or no unit at all).
     fn issue(
         &mut self,
         r: &Retired,
         ready: Cycle,
         commit: Cycle,
         mem: &mut Hierarchy,
-    ) -> VectorPlacement;
+    ) -> Result<VectorPlacement, EngineError>;
 
     /// Completes all outstanding work, returning the time the unit
     /// goes idle.
@@ -61,8 +122,9 @@ pub trait VectorUnit {
 
 /// The absent vector unit: scalar-only O3.
 ///
-/// Vector instructions are rejected loudly — a scalar baseline fed a
-/// vectorized binary is a harness bug.
+/// Vector instructions are rejected with a typed error — a scalar
+/// baseline fed a vectorized binary is a harness bug, but one the
+/// driver should report rather than die on.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct NoVector;
 
@@ -77,11 +139,11 @@ impl VectorUnit for NoVector {
         _ready: Cycle,
         _commit: Cycle,
         _mem: &mut Hierarchy,
-    ) -> VectorPlacement {
-        panic!(
-            "scalar core received vector instruction {:?} at pc {}",
-            r.inst, r.pc
-        );
+    ) -> Result<VectorPlacement, EngineError> {
+        Err(EngineError::NoVectorUnit {
+            inst: format!("{:?}", r.inst),
+            pc: u64::from(r.pc),
+        })
     }
 
     fn drain(&mut self, _mem: &mut Hierarchy) -> Cycle {

@@ -290,7 +290,12 @@ mod tests {
         a.li(xreg::A0, 4);
         a.setvl(xreg::T0, xreg::A0);
         a.vid(vreg::V1);
-        a.vcmp(crate::inst::VCmpCond::Lt, vreg::V0, vreg::V1, VOperand::Imm(2));
+        a.vcmp(
+            crate::inst::VCmpCond::Lt,
+            vreg::V0,
+            vreg::V1,
+            VOperand::Imm(2),
+        );
         a.vop_masked(VArithOp::Add, vreg::V1, vreg::V1, VOperand::Imm(1));
         a.vmerge(vreg::V2, vreg::V1, VOperand::Imm(0));
         a.halt();

@@ -209,6 +209,36 @@ impl Interpreter {
         self.seq
     }
 
+    /// The instruction the next [`Self::step`] will execute, without
+    /// executing it. `None` once halted or if the pc escaped the
+    /// program — shadow checkers use this to set up side execution
+    /// before the architectural state changes.
+    #[must_use]
+    pub fn peek(&self) -> Option<Inst> {
+        if self.halted {
+            return None;
+        }
+        self.prog.insts().get(self.pc as usize).copied()
+    }
+
+    /// Overwrites the first `values.len()` lanes of a vector register
+    /// — the fault-recovery hook that lets a detected-but-uncorrected
+    /// corruption propagate architecturally (SDC modeling).
+    ///
+    /// # Panics
+    ///
+    /// Panics if more lanes are given than the register holds.
+    pub fn poke_vreg(&mut self, r: Vreg, values: &[u32]) {
+        let reg = &mut self.v[r.index() as usize];
+        assert!(
+            values.len() <= reg.len(),
+            "poke of {} lanes into a {}-lane register",
+            values.len(),
+            reg.len()
+        );
+        reg[..values.len()].copy_from_slice(values);
+    }
+
     fn rx(&self, r: Xreg) -> i64 {
         self.x[r.index() as usize]
     }
@@ -567,7 +597,11 @@ impl Interpreter {
                     }
                 } else {
                     for i in 0..vl as usize {
-                        dst[i] = if i + amt < vl as usize { src[i + amt] } else { 0 };
+                        dst[i] = if i + amt < vl as usize {
+                            src[i + amt]
+                        } else {
+                            0
+                        };
                     }
                 }
                 write = Some(RegId::V(vd));

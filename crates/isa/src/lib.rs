@@ -56,19 +56,18 @@
 //! ```
 
 pub mod asm;
-pub mod disasm;
 pub mod characterize;
+pub mod disasm;
 pub mod inst;
 pub mod interp;
 pub mod mem;
 pub mod reg;
 
 pub use asm::{Asm, Program};
-pub use disasm::disasm;
 pub use characterize::{Characterization, InstClass};
+pub use disasm::disasm;
 pub use inst::{
-    MaskOp,
-    BranchCond, Inst, MemWidth, RedOp, ScalarOp, VArithOp, VCmpCond, VOperand, VStride,
+    BranchCond, Inst, MaskOp, MemWidth, RedOp, ScalarOp, VArithOp, VCmpCond, VOperand, VStride,
 };
 pub use interp::{Interpreter, IsaError, MemEffect, Retired};
 pub use mem::Memory;

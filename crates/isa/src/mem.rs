@@ -88,17 +88,20 @@ impl Memory {
 
     /// Stores a 16-bit little-endian value.
     pub fn store_u16(&mut self, addr: u64, value: u16) {
-        self.slice_mut(addr, 2).copy_from_slice(&value.to_le_bytes());
+        self.slice_mut(addr, 2)
+            .copy_from_slice(&value.to_le_bytes());
     }
 
     /// Stores a 32-bit little-endian value.
     pub fn store_u32(&mut self, addr: u64, value: u32) {
-        self.slice_mut(addr, 4).copy_from_slice(&value.to_le_bytes());
+        self.slice_mut(addr, 4)
+            .copy_from_slice(&value.to_le_bytes());
     }
 
     /// Stores a 64-bit little-endian value.
     pub fn store_u64(&mut self, addr: u64, value: u64) {
-        self.slice_mut(addr, 8).copy_from_slice(&value.to_le_bytes());
+        self.slice_mut(addr, 8)
+            .copy_from_slice(&value.to_le_bytes());
     }
 
     /// Reads `count` consecutive 32-bit words starting at `addr`.

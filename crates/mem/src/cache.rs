@@ -112,11 +112,7 @@ impl Cache {
         let set = self.set_of(line);
         self.use_clock += 1;
         let clock = self.use_clock;
-        if let Some(entry) = self.tags[set]
-            .iter_mut()
-            .flatten()
-            .find(|e| e.line == line)
-        {
+        if let Some(entry) = self.tags[set].iter_mut().flatten().find(|e| e.line == line) {
             entry.last_used = clock;
             entry.dirty |= store;
             self.stats.incr("hits");

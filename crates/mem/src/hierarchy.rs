@@ -128,9 +128,7 @@ impl Hierarchy {
                 if !out.hit {
                     // Allocate-on-writeback.
                     let t = out.ready;
-                    if let Some(l2evict) =
-                        self.l2.fill_slot(addr, true, t, out.mshr_slot)
-                    {
+                    if let Some(l2evict) = self.l2.fill_slot(addr, true, t, out.mshr_slot) {
                         self.writeback_below(Level::L2, l2evict * crate::LINE_BYTES, t);
                     }
                 }

@@ -82,7 +82,7 @@ impl CoreDriver for Driver<IoCore> {
         match self.interp.step()? {
             Some(r) => {
                 self.chars.record(&r);
-                self.core.retire(&r);
+                self.core.retire(&r)?;
                 Ok(true)
             }
             None => Ok(false),
@@ -103,6 +103,7 @@ impl CoreDriver for Driver<IoCore> {
             stats: self.core.stats(),
             characterization: self.chars.clone(),
             breakdown: None,
+            resilience: None,
         })
     }
 }
@@ -115,7 +116,7 @@ where
         match self.interp.step()? {
             Some(r) => {
                 self.chars.record(&r);
-                self.core.retire(&r);
+                self.core.retire(&r)?;
                 Ok(true)
             }
             None => Ok(false),
@@ -136,6 +137,7 @@ where
             stats: self.core.stats(),
             characterization: self.chars.clone(),
             breakdown: self.core.breakdown(),
+            resilience: None,
         })
     }
 }
@@ -204,7 +206,11 @@ pub fn run_cmp(
         .iter_mut()
         .map(|d| d.finish(system))
         .collect::<Result<_, _>>()?;
-    let finish = per_core.iter().map(|r| r.cycles).max().unwrap_or(Cycle::ZERO);
+    let finish = per_core
+        .iter()
+        .map(|r| r.cycles)
+        .max()
+        .unwrap_or(Cycle::ZERO);
     Ok(CmpReport {
         cores,
         per_core,
@@ -246,7 +252,10 @@ mod tests {
         let solo = run_cmp(SystemKind::EveN(8), &w, 1).unwrap();
         let quad = run_cmp(SystemKind::EveN(8), &w, 4).unwrap();
         let slowdown = quad.finish.0 as f64 / solo.finish.0 as f64;
-        assert!(slowdown > 1.5, "expected DRAM contention, got {slowdown:.2}x");
+        assert!(
+            slowdown > 1.5,
+            "expected DRAM contention, got {slowdown:.2}x"
+        );
         // And every core still verified its golden outputs (finish()
         // would have errored otherwise).
         assert_eq!(quad.per_core.len(), 4);

@@ -7,11 +7,10 @@
 use crate::runner::{Runner, SimError};
 use crate::system::SystemKind;
 use eve_workloads::Workload;
-use serde::Serialize;
 use std::collections::BTreeMap;
 
 /// One cell of the performance matrix.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct PerfCell {
     /// System label.
     pub system: String,
@@ -24,7 +23,7 @@ pub struct PerfCell {
 }
 
 /// Fig 6 / Table IV performance data for one workload.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct WorkloadPerf {
     /// Kernel name.
     pub workload: String,
@@ -94,7 +93,7 @@ pub fn geomean_speedup(perf: &[WorkloadPerf], system: &str) -> f64 {
 
 /// Fig 7 data: the EVE stall breakdown per workload per design point,
 /// normalized to EVE-1's total.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct BreakdownRow {
     /// Kernel name.
     pub workload: String,
@@ -117,7 +116,9 @@ pub fn breakdown_matrix(workloads: &[Workload]) -> Result<Vec<BreakdownRow>, Sim
     for w in workloads {
         let mut eve1_total: f64 = 0.0;
         for sys in SystemKind::eve_points() {
-            let SystemKind::EveN(n) = sys else { unreachable!() };
+            let SystemKind::EveN(n) = sys else {
+                unreachable!()
+            };
             let r = runner.run(sys, w)?;
             let b = r.breakdown.expect("EVE runs have breakdowns");
             if n == 1 {
@@ -140,7 +141,7 @@ pub fn breakdown_matrix(workloads: &[Workload]) -> Result<Vec<BreakdownRow>, Sim
 }
 
 /// Fig 8 data: the fraction of time the VMU stalls issuing to the LLC.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct VmuStallRow {
     /// Kernel name.
     pub workload: String,
@@ -160,7 +161,9 @@ pub fn vmu_stall_matrix(workloads: &[Workload]) -> Result<Vec<VmuStallRow>, SimE
     let mut out = Vec::new();
     for w in workloads {
         for sys in SystemKind::eve_points() {
-            let SystemKind::EveN(n) = sys else { unreachable!() };
+            let SystemKind::EveN(n) = sys else {
+                unreachable!()
+            };
             let r = runner.run(sys, w)?;
             out.push(VmuStallRow {
                 workload: w.name().to_string(),
@@ -205,7 +208,10 @@ mod tests {
         let rows = breakdown_matrix(&[Workload::Vvadd { n: 600 }]).unwrap();
         assert_eq!(rows.len(), 6);
         let eve1: f64 = rows[0].fractions.values().sum();
-        assert!((eve1 - 1.0).abs() < 1e-9, "EVE-1 fractions sum to 1: {eve1}");
+        assert!(
+            (eve1 - 1.0).abs() < 1e-9,
+            "EVE-1 fractions sum to 1: {eve1}"
+        );
     }
 
     #[test]

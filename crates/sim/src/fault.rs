@@ -1,0 +1,620 @@
+//! Fault injection, detection, and graceful degradation at the system
+//! level.
+//!
+//! The bit-accurate injector and the parity model live in `eve-sram`;
+//! the check-latency model lives in `eve-core`. This module closes the
+//! loop: [`Runner::run_faulty`] drives a workload on an EVE system
+//! while a [`ShadowChecker`] executes every checkable compute
+//! instruction's μprograms on a live [`EveArray`] with faults armed.
+//! Parity alarms trigger bounded re-execution; exhausted retries
+//! retire the engine back to cache and re-run the workload on the
+//! decoupled vector baseline; silent corruptions are written back into
+//! the architectural state so they propagate exactly as real silent
+//! data corruption would. The per-run verdict lands in
+//! [`RunReport::resilience`].
+//!
+//! [`Runner::run_faulty`]: crate::Runner::run_faulty
+//! [`RunReport::resilience`]: crate::RunReport::resilience
+
+use crate::report::RunReport;
+use crate::runner::{CoreStats, Runner, SimError};
+use crate::system::SystemKind;
+use eve_common::json::JsonValue;
+use eve_common::SplitMix64;
+use eve_core::{EveEngine, ResilienceConfig};
+use eve_cpu::O3Core;
+use eve_isa::{Characterization, Inst, Interpreter, VArithOp, VOperand, Vreg};
+use eve_mem::HierarchyConfig;
+use eve_sram::{Binding, EveArray, FaultConfig, FaultInjector, FaultStats};
+use eve_uop::{HybridConfig, MacroOpKind, ProgramLibrary};
+use eve_workloads::Workload;
+
+/// Lanes the shadow array carries. Checking is a sampled model — the
+/// real detector covers every lane, but corrupting and comparing a
+/// fixed-width slice keeps campaign runs fast while still exercising
+/// every register row the workload touches.
+pub const SHADOW_LANES: usize = 16;
+
+/// How the recovery protocol responds to parity alarms.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RecoveryPolicy {
+    /// Re-executions allowed per macro-op before the engine degrades.
+    pub max_retries: u32,
+}
+
+impl Default for RecoveryPolicy {
+    fn default() -> Self {
+        Self { max_retries: 2 }
+    }
+}
+
+/// The architecturally visible verdict of one faulty run, ordered from
+/// benign to worst.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultOutcome {
+    /// Faults were injected (or none fired) but never became
+    /// architecturally visible and never raised an alarm.
+    Masked,
+    /// Parity alarms fired; bounded re-execution recovered every one.
+    DetectedCorrected,
+    /// Retries exhausted: the engine retired its ways back to cache
+    /// and the workload re-ran on the decoupled vector baseline.
+    DetectedDegraded,
+    /// A corruption slipped past the parity check and reached
+    /// architectural state.
+    SilentDataCorruption,
+}
+
+impl FaultOutcome {
+    /// Stable string form for reports.
+    #[must_use]
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            FaultOutcome::Masked => "masked",
+            FaultOutcome::DetectedCorrected => "detected_corrected",
+            FaultOutcome::DetectedDegraded => "detected_degraded",
+            FaultOutcome::SilentDataCorruption => "silent_data_corruption",
+        }
+    }
+}
+
+/// What the resilience layer observed and did during one run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ResilienceReport {
+    /// The run's verdict.
+    pub outcome: FaultOutcome,
+    /// Compute instructions shadow-checked.
+    pub checked_ops: u64,
+    /// Parity alarms raised across all checks and retries.
+    pub parity_alarms: u64,
+    /// Re-executions performed.
+    pub retries: u64,
+    /// Lanes where a silent corruption reached architectural state.
+    pub corrupted_lanes: u64,
+    /// What the injector actually did.
+    pub fault_stats: FaultStats,
+    /// Whether the final memory image matched the golden outputs.
+    pub verified: bool,
+    /// The system that degraded, when `outcome` is
+    /// [`FaultOutcome::DetectedDegraded`] (the report's own `system`
+    /// is then the fallback that finished the work).
+    pub degraded_from: Option<SystemKind>,
+}
+
+/// A compute instruction captured just before the interpreter executes
+/// it: operand values are read pre-step so destructive aliasing
+/// (`vd == vs1`) still checks correctly.
+#[derive(Debug, Clone)]
+pub struct PreparedCheck {
+    vd: Vreg,
+    vs1: Vreg,
+    vs2: Vreg,
+    kind: MacroOpKind,
+    a: Vec<u32>,
+    b: Vec<u32>,
+    d0: Vec<u32>,
+}
+
+/// What one shadow check concluded.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CheckVerdict {
+    /// Execution matched the interpreter (possibly after retries).
+    Clean,
+    /// A mismatch reached architectural state (already poked into the
+    /// interpreter).
+    Silent,
+    /// Retries exhausted — the engine must degrade.
+    Degrade,
+}
+
+/// Executes checkable μprograms on a fault-armed [`EveArray`] and
+/// compares against the functional interpreter.
+#[derive(Debug)]
+pub struct ShadowChecker {
+    lib: ProgramLibrary,
+    arr: EveArray,
+    lanes: usize,
+    policy: RecoveryPolicy,
+    /// Compute instructions checked.
+    pub checked_ops: u64,
+    /// Parity alarms seen.
+    pub parity_alarms: u64,
+    /// Re-executions performed.
+    pub retries: u64,
+    /// Architecturally corrupted lanes.
+    pub corrupted_lanes: u64,
+}
+
+impl ShadowChecker {
+    /// A checker for an EVE-`n` engine with `fault_cfg` armed.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`eve_common::ConfigError`] for an invalid factor.
+    pub fn new(
+        n: u32,
+        fault_cfg: FaultConfig,
+        policy: RecoveryPolicy,
+    ) -> eve_common::ConfigResult<Self> {
+        let cfg = HybridConfig::new(n)?;
+        let mut arr = EveArray::new(cfg, SHADOW_LANES);
+        arr.attach_injector(FaultInjector::new(fault_cfg));
+        Ok(Self {
+            lib: ProgramLibrary::new(cfg),
+            arr,
+            lanes: SHADOW_LANES,
+            policy,
+            checked_ops: 0,
+            parity_alarms: 0,
+            retries: 0,
+            corrupted_lanes: 0,
+        })
+    }
+
+    /// The single macro-op the shadow model can execute with full
+    /// semantics for a compute instruction, if any. `Mulh`/`Mulhu`
+    /// keep only timing fidelity in the μprogram library and shifts /
+    /// signed division use multi-program sequences, so those are left
+    /// to the parity-latency model alone.
+    fn shadow_kind(op: VArithOp) -> Option<MacroOpKind> {
+        use MacroOpKind as M;
+        Some(match op {
+            VArithOp::Add => M::Add,
+            VArithOp::Sub => M::Sub,
+            VArithOp::Mul => M::Mul,
+            VArithOp::Macc => M::MulAcc,
+            VArithOp::Divu => M::Divu,
+            VArithOp::Remu => M::Remu,
+            VArithOp::And => M::And,
+            VArithOp::Or => M::Or,
+            VArithOp::Xor => M::Xor,
+            VArithOp::Min => M::Min,
+            VArithOp::Max => M::Max,
+            VArithOp::Minu => M::Minu,
+            VArithOp::Maxu => M::Maxu,
+            _ => return None,
+        })
+    }
+
+    /// Captures operand state for `inst` if it is shadow-checkable: an
+    /// unmasked compute op with a lane to check. Scalar/immediate
+    /// right-hand sides are broadcast into a register the instruction
+    /// doesn't read — the VSU's `Splat`-into-scratch, compressed to
+    /// one write since the shadow register file is reloaded per check.
+    #[must_use]
+    pub fn prepare(&self, interp: &Interpreter) -> Option<PreparedCheck> {
+        let Some(Inst::VOp {
+            op,
+            vd,
+            vs1,
+            rhs,
+            masked: false,
+        }) = interp.peek()
+        else {
+            return None;
+        };
+        let kind = Self::shadow_kind(op)?;
+        let lanes = self.lanes.min(interp.vl() as usize);
+        if lanes == 0 {
+            return None;
+        }
+        let (vs2, b) = match rhs {
+            VOperand::Reg(vs2) => (vs2, interp.vreg(vs2)[..lanes].to_vec()),
+            VOperand::Scalar(x) => (Self::spare_reg(vd, vs1), vec![interp.xreg(x) as u32; lanes]),
+            VOperand::Imm(i) => (Self::spare_reg(vd, vs1), vec![i as u32; lanes]),
+        };
+        Some(PreparedCheck {
+            vd,
+            vs1,
+            vs2,
+            kind,
+            a: interp.vreg(vs1)[..lanes].to_vec(),
+            b,
+            d0: interp.vreg(vd)[..lanes].to_vec(),
+        })
+    }
+
+    /// An architectural register distinct from both operands, used to
+    /// hold a broadcast value. Clobbering it is harmless: the shadow
+    /// register file is reloaded from the interpreter on every check.
+    fn spare_reg(vd: Vreg, vs1: Vreg) -> Vreg {
+        for idx in [29u8, 30, 31] {
+            let r = Vreg::new(idx);
+            if r != vd && r != vs1 {
+                return r;
+            }
+        }
+        unreachable!("three candidates cannot all collide with two registers")
+    }
+
+    /// Loads operands into the shadow register file. Rewriting also
+    /// *repairs* transiently corrupted rows — this is the recovery
+    /// action a retry performs.
+    fn load_operands(&mut self, p: &PreparedCheck) {
+        for lane in 0..p.a.len() {
+            self.arr
+                .write_element(u32::from(p.vs1.index()), lane, p.a[lane]);
+            self.arr
+                .write_element(u32::from(p.vs2.index()), lane, p.b[lane]);
+            self.arr
+                .write_element(u32::from(p.vd.index()), lane, p.d0[lane]);
+        }
+    }
+
+    /// Executes the μprogram for a prepared instruction (after the
+    /// interpreter stepped), retrying on parity alarms per the policy.
+    /// Silent mismatches are poked into the interpreter so they
+    /// propagate architecturally.
+    pub fn check(&mut self, p: &PreparedCheck, interp: &mut Interpreter) -> CheckVerdict {
+        self.checked_ops += 1;
+        let prog = self.lib.program(p.kind);
+        let binding = Binding::new(p.vd.index(), p.vs1.index(), p.vs2.index());
+        let mut attempt = 0;
+        loop {
+            self.load_operands(p);
+            self.arr.take_parity_alarms();
+            self.arr.execute(&prog, &binding);
+            let alarms = self.arr.take_parity_alarms();
+            if alarms == 0 {
+                break;
+            }
+            self.parity_alarms += alarms;
+            if attempt >= self.policy.max_retries {
+                return CheckVerdict::Degrade;
+            }
+            attempt += 1;
+            self.retries += 1;
+        }
+        // Alarm-free execution: compare against the architectural
+        // result. A mismatch here slipped past the detector.
+        let lanes = p.a.len();
+        let golden = &interp.vreg(p.vd)[..lanes];
+        let mut shadow = Vec::with_capacity(lanes);
+        let mut bad = 0u64;
+        for (lane, &want) in golden.iter().enumerate() {
+            let got = self.arr.read_element(u32::from(p.vd.index()), lane);
+            if got != want {
+                bad += 1;
+            }
+            shadow.push(got);
+        }
+        if bad == 0 {
+            return CheckVerdict::Clean;
+        }
+        self.corrupted_lanes += bad;
+        interp.poke_vreg(p.vd, &shadow);
+        CheckVerdict::Silent
+    }
+
+    /// The injector's damage counters so far.
+    #[must_use]
+    pub fn fault_stats(&self) -> FaultStats {
+        self.arr.injector().map(|i| *i.stats()).unwrap_or_default()
+    }
+}
+
+impl Runner {
+    /// Simulates `workload` on EVE-`n` with faults armed: the engine
+    /// charges parity-check latency, a [`ShadowChecker`] executes each
+    /// checkable compute op bit-accurately under injection, alarms
+    /// retry per `policy`, and exhausted retries retire the engine and
+    /// re-run the workload on the decoupled vector baseline. The
+    /// verdict is in [`RunReport::resilience`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError`] on interpreter failure, an invalid factor,
+    /// or a verification mismatch *not* attributable to injected
+    /// faults (a simulator bug).
+    pub fn run_faulty(
+        &self,
+        n: u32,
+        workload: &Workload,
+        fault_cfg: FaultConfig,
+        policy: RecoveryPolicy,
+    ) -> Result<RunReport, SimError> {
+        let mem_cfg = HierarchyConfig::table_iii();
+        let built = workload.build();
+        let mut engine = EveEngine::new(n).map_err(|e| SimError::Config(e.to_string()))?;
+        engine.enable_resilience(ResilienceConfig::default());
+        let mut core = O3Core::with_unit(engine, mem_cfg.clone());
+        let mut checker = ShadowChecker::new(n, fault_cfg, policy)
+            .map_err(|e| SimError::Config(e.to_string()))?;
+        let hw_vl = core.hw_vl();
+        let mut interp = Interpreter::new(built.vector.clone(), built.memory.clone(), hw_vl);
+        let mut chars = Characterization::new();
+        let mut degraded = false;
+        loop {
+            let prepared = checker.prepare(&interp);
+            let Some(r) = interp.step()? else { break };
+            chars.record(&r);
+            core.retire(&r)?;
+            if let Some(p) = prepared {
+                if checker.check(&p, &mut interp) == CheckVerdict::Degrade {
+                    degraded = true;
+                    break;
+                }
+            }
+        }
+
+        if degraded {
+            // Graceful degradation: give the donated ways back to the
+            // cache, then finish the job on the O3+DV baseline.
+            let now = core.finish();
+            core.hierarchy_mut().despawn_vector_mode(now);
+            let mut fallback = self.run_with_memory(SystemKind::O3Dv, workload, mem_cfg)?;
+            fallback.resilience = Some(ResilienceReport {
+                outcome: FaultOutcome::DetectedDegraded,
+                checked_ops: checker.checked_ops,
+                parity_alarms: checker.parity_alarms,
+                retries: checker.retries,
+                corrupted_lanes: checker.corrupted_lanes,
+                fault_stats: checker.fault_stats(),
+                verified: true,
+                degraded_from: Some(SystemKind::EveN(n)),
+            });
+            return Ok(fallback);
+        }
+
+        let cycles = core.finish();
+        let verified = built.verify(interp.memory()).is_ok();
+        if !verified && checker.corrupted_lanes == 0 {
+            // Not explainable by injection — a real simulator bug.
+            return Err(SimError::Verification(
+                "outputs diverged without any injected corruption".into(),
+            ));
+        }
+        let outcome = if checker.corrupted_lanes > 0 {
+            FaultOutcome::SilentDataCorruption
+        } else if checker.parity_alarms > 0 {
+            FaultOutcome::DetectedCorrected
+        } else {
+            FaultOutcome::Masked
+        };
+        let system = SystemKind::EveN(n);
+        Ok(RunReport {
+            system,
+            workload: built.name,
+            wall_ps: cycles.to_picos(system.cycle_time()),
+            cycles,
+            dyn_insts: interp.retired_count(),
+            stats: core.stats(),
+            characterization: chars,
+            breakdown: core.breakdown(),
+            resilience: Some(ResilienceReport {
+                outcome,
+                checked_ops: checker.checked_ops,
+                parity_alarms: checker.parity_alarms,
+                retries: checker.retries,
+                corrupted_lanes: checker.corrupted_lanes,
+                fault_stats: checker.fault_stats(),
+                verified,
+                degraded_from: None,
+            }),
+        })
+    }
+}
+
+/// One fault-injection campaign: the cross product of fault rates and
+/// EVE parallelization factors over a workload list.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultPlan {
+    /// Master seed; every run's injector seed derives from it.
+    pub seed: u64,
+    /// Uniform transient rates to sweep (0.0 is the control point).
+    pub rates: Vec<f64>,
+    /// EVE factors to sweep.
+    pub factors: Vec<u32>,
+    /// Recovery policy for every run.
+    pub policy: RecoveryPolicy,
+}
+
+impl Default for FaultPlan {
+    fn default() -> Self {
+        Self {
+            seed: 0xFA_017,
+            rates: vec![0.0, 1e-4, 1e-3, 1e-2],
+            factors: vec![8, 32],
+            policy: RecoveryPolicy::default(),
+        }
+    }
+}
+
+/// Runs the campaign and renders a deterministic JSON document: the
+/// same plan and workloads always produce byte-identical output.
+///
+/// # Errors
+///
+/// Propagates the first [`SimError`] any run hits.
+pub fn campaign_json(plan: &FaultPlan, workloads: &[Workload]) -> Result<String, SimError> {
+    let mut seeder = SplitMix64::new(plan.seed);
+    let mut runs = Vec::new();
+    let mut tally = [0u64; 4];
+    for &rate in &plan.rates {
+        for &n in &plan.factors {
+            for w in workloads {
+                let seed = seeder.next_u64();
+                let cfg = if rate == 0.0 {
+                    FaultConfig::none(seed)
+                } else {
+                    FaultConfig::uniform(seed, rate)
+                };
+                let report = Runner::new().run_faulty(n, w, cfg, plan.policy)?;
+                let res = report.resilience.as_ref().expect("faulty runs report");
+                tally[match res.outcome {
+                    FaultOutcome::Masked => 0,
+                    FaultOutcome::DetectedCorrected => 1,
+                    FaultOutcome::DetectedDegraded => 2,
+                    FaultOutcome::SilentDataCorruption => 3,
+                }] += 1;
+                runs.push(JsonValue::object([
+                    ("rate", rate.into()),
+                    ("factor", u64::from(n).into()),
+                    ("workload", report.workload.into()),
+                    ("seed", seed.into()),
+                    ("system", report.system.to_string().into()),
+                    ("outcome", res.outcome.as_str().into()),
+                    ("verified", res.verified.into()),
+                    ("cycles", report.cycles.0.into()),
+                    ("wall_ps", report.wall_ps.0.into()),
+                    ("checked_ops", res.checked_ops.into()),
+                    ("parity_alarms", res.parity_alarms.into()),
+                    ("retries", res.retries.into()),
+                    ("corrupted_lanes", res.corrupted_lanes.into()),
+                    ("fault_events", res.fault_stats.total_events().into()),
+                    ("stuck_cells", res.fault_stats.stuck_cells.into()),
+                ]));
+            }
+        }
+    }
+    let doc = JsonValue::object([
+        ("seed", plan.seed.into()),
+        (
+            "policy",
+            JsonValue::object([("max_retries", u64::from(plan.policy.max_retries).into())]),
+        ),
+        (
+            "summary",
+            JsonValue::object([
+                ("masked", tally[0].into()),
+                ("detected_corrected", tally[1].into()),
+                ("detected_degraded", tally[2].into()),
+                ("silent_data_corruption", tally[3].into()),
+            ]),
+        ),
+        ("runs", JsonValue::Array(runs)),
+    ]);
+    Ok(doc.to_pretty())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eve_isa::{vreg, xreg, Asm, Memory};
+    use eve_sram::{Fault, FaultLayer};
+
+    fn vadd_program(n: usize) -> (Interpreter, Vreg) {
+        let mut mem = Memory::new(0x8000);
+        let a: Vec<u32> = (0..n as u32).map(|i| i * 3 + 1).collect();
+        let b: Vec<u32> = (0..n as u32).map(|i| i * 7 + 2).collect();
+        mem.store_u32_slice(0x1000, &a);
+        mem.store_u32_slice(0x2000, &b);
+        let mut s = Asm::new();
+        s.li(xreg::A0, n as i64);
+        s.setvl(xreg::T0, xreg::A0);
+        s.li(xreg::A1, 0x1000);
+        s.vload(vreg::V1, xreg::A1);
+        s.li(xreg::A2, 0x2000);
+        s.vload(vreg::V2, xreg::A2);
+        s.vop(VArithOp::Add, vreg::V3, vreg::V1, VOperand::Reg(vreg::V2));
+        s.halt();
+        (
+            Interpreter::new(s.assemble().unwrap(), mem, n as u32),
+            vreg::V3,
+        )
+    }
+
+    fn drive(interp: &mut Interpreter, checker: &mut ShadowChecker) -> Vec<CheckVerdict> {
+        let mut verdicts = Vec::new();
+        loop {
+            let prepared = checker.prepare(interp);
+            if interp.step().unwrap().is_none() {
+                break;
+            }
+            if let Some(p) = prepared {
+                verdicts.push(checker.check(&p, interp));
+            }
+        }
+        verdicts
+    }
+
+    #[test]
+    fn zero_fault_checks_are_clean() {
+        let (mut interp, _) = vadd_program(8);
+        let mut checker =
+            ShadowChecker::new(32, FaultConfig::none(7), RecoveryPolicy::default()).unwrap();
+        let verdicts = drive(&mut interp, &mut checker);
+        assert_eq!(verdicts, vec![CheckVerdict::Clean]);
+        assert_eq!(checker.checked_ops, 1);
+        assert_eq!(checker.parity_alarms, 0);
+        assert_eq!(checker.fault_stats().total_events(), 0);
+    }
+
+    #[test]
+    fn persistent_alarms_degrade() {
+        // A stuck cell in a *source* row: with EVE-32 (1 segment)
+        // register v is row v. Every operand reload re-perturbs the
+        // row, and the μprogram's parity-checked read alarms on every
+        // retry until the policy gives up.
+        let mut cfg = FaultConfig::none(7);
+        cfg.scripted.push(Fault::stuck_at(1, 0, 5, true));
+        let (mut interp, _) = vadd_program(4);
+        let mut checker = ShadowChecker::new(32, cfg, RecoveryPolicy::default()).unwrap();
+        let verdicts = drive(&mut interp, &mut checker);
+        assert!(
+            verdicts.contains(&CheckVerdict::Degrade),
+            "stuck destination must exhaust retries: {verdicts:?}"
+        );
+        assert!(checker.retries > 0);
+    }
+
+    #[test]
+    fn transient_write_faults_are_corrected_by_retry() {
+        // A one-shot writeback-layer transient corrupts a source row
+        // after its parity was generated: the μprogram's read alarms,
+        // and the retry's operand reload restores a clean row.
+        let mut cfg = FaultConfig::none(7);
+        cfg.scripted.push(Fault::transient(
+            FaultLayer::Writeback,
+            1,
+            0,
+            3,
+            0,
+            u64::MAX,
+        ));
+        let (mut interp, _) = vadd_program(4);
+        let mut checker = ShadowChecker::new(32, cfg, RecoveryPolicy::default()).unwrap();
+        let verdicts = drive(&mut interp, &mut checker);
+        assert_eq!(verdicts, vec![CheckVerdict::Clean]);
+        assert!(checker.parity_alarms > 0, "the flip must be detected");
+        assert_eq!(checker.retries, 1, "one re-execution recovers");
+    }
+
+    #[test]
+    fn sense_faults_are_silent_and_poked() {
+        // Sense-layer faults corrupt operands before the parity-bearing
+        // latch, so no alarm fires — the corruption must instead land
+        // in the interpreter's register (SDC modeling).
+        let mut cfg = FaultConfig::none(7);
+        cfg.scripted
+            .push(Fault::transient(FaultLayer::Sense, 1, 0, 4, 0, u64::MAX));
+        let (mut interp, vd) = vadd_program(4);
+        let mut checker = ShadowChecker::new(32, cfg, RecoveryPolicy::default()).unwrap();
+        let verdicts = drive(&mut interp, &mut checker);
+        assert_eq!(verdicts, vec![CheckVerdict::Silent]);
+        assert!(checker.corrupted_lanes > 0);
+        // The poked value differs from the true sum for lane 0.
+        let true_sum = 1u32 + 2;
+        assert_ne!(interp.vreg(vd)[0], true_sum);
+    }
+}

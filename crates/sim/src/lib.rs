@@ -21,11 +21,16 @@
 
 pub mod cmp;
 pub mod experiments;
+pub mod fault;
 pub mod report;
 pub mod runner;
 pub mod system;
 
 pub use cmp::{run_cmp, CmpReport};
+pub use fault::{
+    campaign_json, CheckVerdict, FaultOutcome, FaultPlan, RecoveryPolicy, ResilienceReport,
+    ShadowChecker,
+};
 pub use report::RunReport;
 pub use runner::{Runner, SimError};
 pub use system::SystemKind;

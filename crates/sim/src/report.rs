@@ -1,5 +1,6 @@
 //! Run reports.
 
+use crate::fault::ResilienceReport;
 use crate::system::SystemKind;
 use eve_common::{Cycle, Picos, Stats};
 use eve_core::StallBreakdown;
@@ -25,6 +26,8 @@ pub struct RunReport {
     pub characterization: Characterization,
     /// EVE-only: the Fig 7 cycle attribution.
     pub breakdown: Option<StallBreakdown>,
+    /// Fault-injection runs only: what the resilience layer saw and did.
+    pub resilience: Option<ResilienceReport>,
 }
 
 impl RunReport {
@@ -63,6 +66,7 @@ mod tests {
             stats: Stats::new(),
             characterization: Characterization::new(),
             breakdown: None,
+            resilience: None,
         }
     }
 

@@ -4,7 +4,7 @@ use crate::report::RunReport;
 use crate::system::SystemKind;
 use eve_common::Stats;
 use eve_core::EveEngine;
-use eve_cpu::{IoCore, O3Core, VectorUnit};
+use eve_cpu::{EngineError, IoCore, O3Core, VectorUnit};
 use eve_isa::{Characterization, Interpreter, IsaError};
 use eve_mem::HierarchyConfig;
 use eve_vector::{DecoupledVector, IntegratedVector};
@@ -20,6 +20,9 @@ pub enum SimError {
     Verification(String),
     /// An invalid system configuration (e.g. EVE-3).
     Config(String),
+    /// The timing engine rejected an instruction (unmapped vector op,
+    /// vector work on a scalar core).
+    Engine(EngineError),
 }
 
 impl fmt::Display for SimError {
@@ -28,6 +31,7 @@ impl fmt::Display for SimError {
             SimError::Isa(e) => write!(f, "isa error: {e}"),
             SimError::Verification(e) => write!(f, "verification failed: {e}"),
             SimError::Config(e) => write!(f, "bad configuration: {e}"),
+            SimError::Engine(e) => write!(f, "engine error: {e}"),
         }
     }
 }
@@ -37,6 +41,12 @@ impl std::error::Error for SimError {}
 impl From<IsaError> for SimError {
     fn from(e: IsaError) -> Self {
         SimError::Isa(e)
+    }
+}
+
+impl From<EngineError> for SimError {
+    fn from(e: EngineError) -> Self {
+        SimError::Engine(e)
     }
 }
 
@@ -84,13 +94,21 @@ impl Runner {
                 let mut c = Characterization::new();
                 while let Some(r) = interp.step()? {
                     c.record(&r);
-                    core.retire(&r);
+                    core.retire(&r)?;
                 }
                 let cycles = core.finish();
                 built
                     .verify(interp.memory())
                     .map_err(SimError::Verification)?;
-                Ok(self.report(system, name, cycles, interp.retired_count(), core.stats(), c, None))
+                Ok(self.report(
+                    system,
+                    name,
+                    cycles,
+                    interp.retired_count(),
+                    core.stats(),
+                    c,
+                    None,
+                ))
             }
             SystemKind::O3 => {
                 let mut interp = Interpreter::new(built.scalar.clone(), built.memory.clone(), 1);
@@ -98,13 +116,21 @@ impl Runner {
                 let mut c = Characterization::new();
                 while let Some(r) = interp.step()? {
                     c.record(&r);
-                    core.retire(&r);
+                    core.retire(&r)?;
                 }
                 let cycles = core.finish();
                 built
                     .verify(interp.memory())
                     .map_err(SimError::Verification)?;
-                Ok(self.report(system, name, cycles, interp.retired_count(), core.stats(), c, None))
+                Ok(self.report(
+                    system,
+                    name,
+                    cycles,
+                    interp.retired_count(),
+                    core.stats(),
+                    c,
+                    None,
+                ))
             }
             SystemKind::O3Iv => self.run_vector(
                 system,
@@ -117,8 +143,7 @@ impl Runner {
                 O3Core::with_unit(DecoupledVector::new(), mem_cfg),
             ),
             SystemKind::EveN(n) => {
-                let engine =
-                    EveEngine::new(n).map_err(|e| SimError::Config(e.to_string()))?;
+                let engine = EveEngine::new(n).map_err(|e| SimError::Config(e.to_string()))?;
                 // The L2 starts at full capacity; the engine halves it
                 // when it spawns (§V-E).
                 self.run_vector(system, &built, O3Core::with_unit(engine, mem_cfg))
@@ -164,7 +189,7 @@ impl Runner {
         let mut c = Characterization::new();
         while let Some(r) = interp.step()? {
             c.record(&r);
-            core.retire(&r);
+            core.retire(&r)?;
         }
         let cycles = core.finish();
         built
@@ -202,6 +227,7 @@ impl Runner {
             stats,
             characterization,
             breakdown,
+            resilience: None,
         }
     }
 }

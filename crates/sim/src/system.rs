@@ -3,11 +3,10 @@
 use eve_analytical::area::SystemAreaTable;
 use eve_analytical::timing::cycle_time;
 use eve_common::Picos;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// One of the paper's simulated systems.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum SystemKind {
     /// Single-issue in-order core.
     Io,

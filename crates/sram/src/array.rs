@@ -16,6 +16,7 @@
 // mirroring the physical column groups; iterator zips would obscure that.
 #![allow(clippy::needless_range_loop)]
 
+use crate::fault::FaultInjector;
 use eve_common::bits::{deposit_bits, extract_bits};
 use eve_common::Cycle;
 use eve_uop::{
@@ -79,6 +80,24 @@ impl Binding {
     }
 }
 
+/// Fault-injection state: the attached injector plus the per-row
+/// interleaved parity bits (one per lane segment) the detection model
+/// checks on μprogram reads.
+#[derive(Debug, Clone)]
+struct FaultState {
+    inj: FaultInjector,
+    /// `parity[row][lane]`: odd parity of the cell's intended value,
+    /// generated at write time *before* the writeback layer can
+    /// corrupt the latch.
+    parity: Vec<Vec<bool>>,
+    /// Parity mismatches observed on μprogram reads.
+    alarms: u64,
+}
+
+fn odd_parity(v: u32) -> bool {
+    v.count_ones() & 1 == 1
+}
+
 /// Combinational outputs of the last bit-line compute, latched for the
 /// following writeback (per lane).
 #[derive(Debug, Clone, Default)]
@@ -122,6 +141,9 @@ pub struct EveArray {
     data_out: Vec<u32>,
     /// Data presented on the data-in port for `WriteDataIn`.
     data_in: Vec<u32>,
+    /// Fault injection and parity tracking; `None` in healthy runs so
+    /// the hot path pays nothing.
+    fault: Option<FaultState>,
 }
 
 impl EveArray {
@@ -137,7 +159,11 @@ impl EveArray {
         let segs = cfg.segments() as usize;
         let rows = (ARCH_VREGS + SCRATCH_VREGS) as usize * segs;
         let bits = cfg.segment_bits();
-        let seg_mask = if bits == 32 { u32::MAX } else { (1 << bits) - 1 };
+        let seg_mask = if bits == 32 {
+            u32::MAX
+        } else {
+            (1 << bits) - 1
+        };
         Self {
             cfg,
             lanes,
@@ -151,6 +177,87 @@ impl EveArray {
             blc: BlcLatch::default(),
             data_out: vec![0; lanes],
             data_in: vec![0; lanes],
+            fault: None,
+        }
+    }
+
+    /// Attaches a fault injector and switches on parity tracking: the
+    /// current contents get fresh parity, and every later write
+    /// regenerates its row's parity from the intended value.
+    pub fn attach_injector(&mut self, mut inj: FaultInjector) {
+        let rows = self.storage.len();
+        inj.arm(rows as u32, self.lanes as u32, self.cfg.segment_bits());
+        let parity = self
+            .storage
+            .iter()
+            .map(|row| row.iter().map(|&v| odd_parity(v)).collect())
+            .collect();
+        self.fault = Some(FaultState {
+            inj,
+            parity,
+            alarms: 0,
+        });
+    }
+
+    /// Detaches and returns the injector, switching parity checking
+    /// off.
+    pub fn detach_injector(&mut self) -> Option<FaultInjector> {
+        self.fault.take().map(|f| f.inj)
+    }
+
+    /// The attached injector, if any.
+    #[must_use]
+    pub fn injector(&self) -> Option<&FaultInjector> {
+        self.fault.as_ref().map(|f| &f.inj)
+    }
+
+    /// Parity mismatches observed on μprogram reads so far.
+    #[must_use]
+    pub fn parity_alarms(&self) -> u64 {
+        self.fault.as_ref().map_or(0, |f| f.alarms)
+    }
+
+    /// Returns and clears the parity alarm counter (the recovery
+    /// controller's acknowledge).
+    pub fn take_parity_alarms(&mut self) -> u64 {
+        match &mut self.fault {
+            Some(f) => std::mem::take(&mut f.alarms),
+            None => 0,
+        }
+    }
+
+    /// Writes one segment cell, generating parity from the intended
+    /// value and then letting the injector corrupt the latch.
+    #[inline]
+    fn store_cell(&mut self, row: usize, lane: usize, value: u32) {
+        match &mut self.fault {
+            None => self.storage[row][lane] = value,
+            Some(f) => {
+                f.parity[row][lane] = odd_parity(value);
+                self.storage[row][lane] = f.inj.corrupt_write(row as u32, lane as u32, value);
+            }
+        }
+    }
+
+    /// Checks a cell's parity on a μprogram read, raising an alarm on
+    /// mismatch.
+    #[inline]
+    fn check_parity(&mut self, row: usize, lane: usize) {
+        if let Some(f) = &mut self.fault {
+            if f.parity[row][lane] != odd_parity(self.storage[row][lane]) {
+                f.alarms += 1;
+            }
+        }
+    }
+
+    /// Parity-checks every lane of a row (the row is read as one wide
+    /// word, parity bits interleaved lane by lane).
+    #[inline]
+    fn check_row_parity(&mut self, row: usize) {
+        if self.fault.is_some() {
+            for lane in 0..self.lanes {
+                self.check_parity(row, lane);
+            }
         }
     }
 
@@ -177,7 +284,8 @@ impl EveArray {
         let bits = self.cfg.segment_bits();
         for s in 0..segs {
             let row = self.reg_row(vreg, s);
-            self.storage[row][lane] = extract_bits(value, s * bits, bits);
+            let seg = extract_bits(value, s * bits, bits);
+            self.store_cell(row, lane, seg);
         }
     }
 
@@ -209,7 +317,7 @@ impl EveArray {
     /// Writes a mask bit into register `vreg` for `lane`.
     pub fn write_mask_bit(&mut self, vreg: u32, lane: usize, value: bool) {
         let row = self.reg_row(vreg, 0);
-        self.storage[row][lane] = u32::from(value);
+        self.store_cell(row, lane, u32::from(value));
     }
 
     /// Presents per-lane data on the data-in port (consumed by
@@ -242,6 +350,9 @@ impl EveArray {
             let tuple = &tuples[pc];
             cycles += 1;
             assert!(cycles < 2_000_000, "{}: runaway program", prog.name());
+            if let Some(f) = &mut self.fault {
+                f.inj.tick();
+            }
             // Arithmetic resolves rows against start-of-cycle counters.
             self.exec_arith(&tuple.arith, binding, &counters);
             match tuple.counter {
@@ -312,20 +423,22 @@ impl EveArray {
             ArithUop::Nop => {}
             ArithUop::Read { op } => {
                 let row = self.resolve(&op, binding, counters);
+                self.check_row_parity(row);
                 self.data_out.copy_from_slice(&self.storage[row]);
             }
             ArithUop::WriteConst { op, value, masked } => {
                 let row = self.resolve(&op, binding, counters);
                 for lane in 0..self.lanes {
                     if !masked || self.mask[lane] {
-                        self.storage[row][lane] = value & self.seg_mask;
+                        self.store_cell(row, lane, value & self.seg_mask);
                     }
                 }
             }
             ArithUop::WriteDataIn { op } => {
                 let row = self.resolve(&op, binding, counters);
                 for lane in 0..self.lanes {
-                    self.storage[row][lane] = self.data_in[lane] & self.seg_mask;
+                    let v = self.data_in[lane] & self.seg_mask;
+                    self.store_cell(row, lane, v);
                 }
             }
             ArithUop::Blc { a, b, carry_in } => {
@@ -342,7 +455,7 @@ impl EveArray {
                         let row = self.resolve(&op, binding, counters);
                         for lane in 0..self.lanes {
                             if !masked || self.mask[lane] {
-                                self.storage[row][lane] = value[lane];
+                                self.store_cell(row, lane, value[lane]);
                             }
                         }
                     }
@@ -364,18 +477,21 @@ impl EveArray {
             }
             ArithUop::LoadShifter { op } => {
                 let row = self.resolve(&op, binding, counters);
+                self.check_row_parity(row);
                 self.shifter.copy_from_slice(&self.storage[row]);
             }
             ArithUop::StoreShifter { op, masked } => {
                 let row = self.resolve(&op, binding, counters);
                 for lane in 0..self.lanes {
                     if !masked || self.mask[lane] {
-                        self.storage[row][lane] = self.shifter[lane];
+                        let v = self.shifter[lane];
+                        self.store_cell(row, lane, v);
                     }
                 }
             }
             ArithUop::LoadXReg { op } => {
                 let row = self.resolve(&op, binding, counters);
+                self.check_row_parity(row);
                 self.xreg.copy_from_slice(&self.storage[row]);
             }
             ArithUop::ShiftLeft { masked } => {
@@ -409,8 +525,7 @@ impl EveArray {
                         continue;
                     }
                     let out = (self.shifter[lane] >> msb) & 1;
-                    self.shifter[lane] =
-                        ((self.shifter[lane] << 1) | out) & self.seg_mask;
+                    self.shifter[lane] = ((self.shifter[lane] << 1) | out) & self.seg_mask;
                 }
             }
             ArithUop::RotateRight { masked } => {
@@ -454,6 +569,8 @@ impl EveArray {
     }
 
     fn do_blc(&mut self, ra: usize, rb: usize, carry_in: CarryIn) {
+        self.check_row_parity(ra);
+        self.check_row_parity(rb);
         let lanes = self.lanes;
         let mut latch = BlcLatch {
             and: Vec::with_capacity(lanes),
@@ -465,8 +582,14 @@ impl EveArray {
             sum: Vec::with_capacity(lanes),
         };
         for lane in 0..lanes {
-            let a = self.storage[ra][lane];
-            let b = self.storage[rb][lane];
+            let mut a = self.storage[ra][lane];
+            let mut b = self.storage[rb][lane];
+            if let Some(f) = &mut self.fault {
+                // Sense-amp glitches corrupt the operands *before* the
+                // logic layers latch them.
+                a = f.inj.corrupt_sense(ra as u32, lane as u32, a);
+                b = f.inj.corrupt_sense(rb as u32, lane as u32, b);
+            }
             let and = a & b;
             let or = a | b;
             let nand = !and & self.seg_mask;
@@ -616,8 +739,16 @@ mod tests {
         let x = 0xDEAD_BEEF;
         for cfg in HybridConfig::all() {
             for k in [0u8, 1, 3, 8, 13, 16, 31] {
-                assert_eq!(run(cfg, MacroOpKind::SllI(k), x, 0), x << k, "{cfg} sll {k}");
-                assert_eq!(run(cfg, MacroOpKind::SrlI(k), x, 0), x >> k, "{cfg} srl {k}");
+                assert_eq!(
+                    run(cfg, MacroOpKind::SllI(k), x, 0),
+                    x << k,
+                    "{cfg} sll {k}"
+                );
+                assert_eq!(
+                    run(cfg, MacroOpKind::SrlI(k), x, 0),
+                    x >> k,
+                    "{cfg} srl {k}"
+                );
                 assert_eq!(
                     run(cfg, MacroOpKind::SraI(k), x, 0),
                     ((x as i32) >> k) as u32,
@@ -730,7 +861,10 @@ mod tests {
             }
             let lib = ProgramLibrary::new(cfg);
             for (kind, f) in [
-                (MacroOpKind::MaskAnd, (|x, y| x && y) as fn(bool, bool) -> bool),
+                (
+                    MacroOpKind::MaskAnd,
+                    (|x, y| x && y) as fn(bool, bool) -> bool,
+                ),
                 (MacroOpKind::MaskOr, |x, y| x || y),
                 (MacroOpKind::MaskXor, |x, y| x != y),
             ] {
@@ -793,6 +927,174 @@ mod tests {
                 assert_eq!(real, counted, "{cfg} {kind:?}");
             }
         }
+    }
+}
+
+#[cfg(test)]
+mod fault_integration_tests {
+    use super::*;
+    use crate::fault::{Fault, FaultConfig, FaultInjector, FaultLayer};
+    use eve_uop::{MacroOpKind, ProgramLibrary};
+
+    /// EVE-32: one segment per register, so register `v` is row `v`.
+    fn cfg32() -> HybridConfig {
+        HybridConfig::new(32).unwrap()
+    }
+
+    #[test]
+    fn zero_fault_injector_is_bit_exact_and_silent() {
+        for cfg in HybridConfig::all() {
+            let lib = ProgramLibrary::new(cfg);
+            let mut clean = EveArray::new(cfg, 4);
+            let mut faulty = EveArray::new(cfg, 4);
+            faulty.attach_injector(FaultInjector::new(FaultConfig::none(1234)));
+            for lane in 0..4 {
+                let (a, b) = (lane as u32 * 0x1357 + 11, lane as u32 * 0x2468 + 7);
+                clean.write_element(1, lane, a);
+                clean.write_element(2, lane, b);
+                faulty.write_element(1, lane, a);
+                faulty.write_element(2, lane, b);
+            }
+            for kind in [MacroOpKind::Add, MacroOpKind::Mul, MacroOpKind::Divu] {
+                let prog = lib.program(kind);
+                clean.execute(&prog, &Binding::new(3, 1, 2));
+                faulty.execute(&prog, &Binding::new(3, 1, 2));
+                for lane in 0..4 {
+                    assert_eq!(
+                        clean.read_element(3, lane),
+                        faulty.read_element(3, lane),
+                        "{cfg} {kind:?}"
+                    );
+                }
+            }
+            assert_eq!(faulty.parity_alarms(), 0, "{cfg}");
+        }
+    }
+
+    #[test]
+    fn writeback_fault_raises_parity_alarm_on_next_read() {
+        let cfg = cfg32();
+        let mut arr = EveArray::new(cfg, 2);
+        let mut fc = FaultConfig::none(0);
+        // Row 3 = register v3 (the destination). Flip bit 7 at the
+        // writeback layer, any cycle.
+        fc.scripted.push(Fault::transient(
+            FaultLayer::Writeback,
+            3,
+            0,
+            7,
+            0,
+            u64::MAX,
+        ));
+        arr.attach_injector(FaultInjector::new(fc));
+        arr.write_element(1, 0, 100);
+        arr.write_element(2, 0, 23);
+        let lib = ProgramLibrary::new(cfg);
+        arr.execute(&lib.program(MacroOpKind::Add), &Binding::new(3, 1, 2));
+        // The corrupted row hasn't been re-read yet; the stored value
+        // is wrong but the alarm hasn't fired.
+        assert_eq!(arr.read_element(3, 0), 123 ^ 0x80);
+        let before = arr.parity_alarms();
+        // Any μprogram reading v3 must see the mismatch.
+        arr.execute(&lib.program(MacroOpKind::Mv), &Binding::new(4, 3, 3));
+        assert!(arr.parity_alarms() > before, "parity must catch the flip");
+    }
+
+    #[test]
+    fn sense_fault_corrupts_result_but_stays_silent() {
+        let cfg = cfg32();
+        let mut arr = EveArray::new(cfg, 2);
+        let mut fc = FaultConfig::none(0);
+        // Row 1 = source v1. Glitch bit 0 as the bit-line compute
+        // senses it, exactly once.
+        fc.scripted
+            .push(Fault::transient(FaultLayer::Sense, 1, 0, 0, 0, u64::MAX));
+        arr.attach_injector(FaultInjector::new(fc));
+        arr.write_element(1, 0, 100);
+        arr.write_element(2, 0, 23);
+        let lib = ProgramLibrary::new(cfg);
+        arr.execute(&lib.program(MacroOpKind::Add), &Binding::new(3, 1, 2));
+        assert_eq!(arr.read_element(3, 0), 101 + 23, "operand bit 0 flipped");
+        // Read everything back: parity is self-consistent everywhere.
+        arr.execute(&lib.program(MacroOpKind::Mv), &Binding::new(4, 3, 3));
+        assert_eq!(arr.parity_alarms(), 0, "sense faults are undetectable");
+    }
+
+    #[test]
+    fn stuck_cell_is_masked_when_value_matches() {
+        let cfg = cfg32();
+        let lib = ProgramLibrary::new(cfg);
+        let mut fc = FaultConfig::none(0);
+        fc.scripted.push(Fault::stuck_at(3, 0, 0, true)); // v3 bit 0 stuck at 1
+        let mut arr = EveArray::new(cfg, 1);
+        arr.attach_injector(FaultInjector::new(fc));
+        arr.write_element(1, 0, 100);
+        arr.write_element(2, 0, 23);
+        // 100 + 23 = 123 has bit 0 set: the stuck bit agrees, the
+        // fault is architecturally masked and parity stays clean.
+        arr.execute(&lib.program(MacroOpKind::Add), &Binding::new(3, 1, 2));
+        assert_eq!(arr.read_element(3, 0), 123);
+        arr.execute(&lib.program(MacroOpKind::Mv), &Binding::new(4, 3, 3));
+        assert_eq!(arr.parity_alarms(), 0);
+
+        // 100 + 24 = 124 has bit 0 clear: now the stuck bit perturbs
+        // the stored value and the next read alarms.
+        arr.write_element(2, 0, 24);
+        arr.execute(&lib.program(MacroOpKind::Add), &Binding::new(3, 1, 2));
+        assert_eq!(arr.read_element(3, 0), 125);
+        arr.execute(&lib.program(MacroOpKind::Mv), &Binding::new(4, 3, 3));
+        assert!(arr.parity_alarms() > 0);
+    }
+
+    #[test]
+    fn detach_returns_stats_and_restores_clean_operation() {
+        let cfg = cfg32();
+        let mut arr = EveArray::new(cfg, 1);
+        let mut fc = FaultConfig::none(0);
+        fc.scripted.push(Fault::transient(
+            FaultLayer::Writeback,
+            3,
+            0,
+            2,
+            0,
+            u64::MAX,
+        ));
+        arr.attach_injector(FaultInjector::new(fc));
+        arr.write_element(1, 0, 8);
+        arr.write_element(2, 0, 8);
+        let lib = ProgramLibrary::new(cfg);
+        arr.execute(&lib.program(MacroOpKind::Add), &Binding::new(3, 1, 2));
+        let inj = arr.detach_injector().expect("injector attached");
+        assert_eq!(inj.stats().scripted_fired, 1);
+        assert!(arr.injector().is_none());
+        // With the injector gone, writes are clean again.
+        arr.write_element(3, 0, 16);
+        assert_eq!(arr.read_element(3, 0), 16);
+    }
+
+    #[test]
+    fn random_rates_eventually_corrupt_and_alarm() {
+        let cfg = cfg32();
+        let lib = ProgramLibrary::new(cfg);
+        let mut arr = EveArray::new(cfg, 8);
+        arr.attach_injector(FaultInjector::new(FaultConfig {
+            seed: 42,
+            stuck_rate: 0.0,
+            transient_write_rate: 0.02,
+            transient_sense_rate: 0.0,
+            scripted: Vec::new(),
+        }));
+        for lane in 0..8 {
+            arr.write_element(1, lane, lane as u32);
+            arr.write_element(2, lane, lane as u32 * 3);
+        }
+        for _ in 0..50 {
+            arr.execute(&lib.program(MacroOpKind::Add), &Binding::new(3, 1, 2));
+            arr.execute(&lib.program(MacroOpKind::Mv), &Binding::new(4, 3, 3));
+        }
+        let stats = *arr.injector().unwrap().stats();
+        assert!(stats.write_flips > 0, "2% over thousands of writes");
+        assert!(arr.parity_alarms() > 0, "writeback flips must be caught");
     }
 }
 

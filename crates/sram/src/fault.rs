@@ -1,0 +1,458 @@
+//! Deterministic, seed-driven fault injection for the EVE SRAM.
+//!
+//! EVE computes inside live L2 ways, so a flipped cell or a glitched
+//! sense amplifier during a bit-line compute silently corrupts
+//! architectural vector state. This module models that failure class
+//! at the two layers where §III's circuits actually touch bits:
+//!
+//! * **Bit-line compute (sense) layer** — the single-ended sense
+//!   amplifiers mis-read an operand bit while two wordlines are
+//!   asserted. The corrupted operand flows through the logic/add
+//!   layers and is written back with *self-consistent* parity, so the
+//!   array cannot detect it: a potential silent data corruption.
+//! * **Writeback layer** — the bus-logic drivers (or the cell itself)
+//!   corrupt a bit *after* the row's parity was generated, so the next
+//!   μprogram read of that row sees a parity mismatch and raises an
+//!   alarm.
+//!
+//! Three fault populations are supported, all drawn from one
+//! [`SplitMix64`] stream so a `(seed, execution)` pair reproduces the
+//! exact same corruptions on every run and every machine:
+//!
+//! * **Stuck-at cells** — sampled per cell at arm time with
+//!   probability `stuck_rate`; the cell forces one bit to 0 or 1 on
+//!   every write, forever (manufacturing defects, worn cells).
+//! * **Random transients** — each writeback event (per lane) flips
+//!   one random bit with probability `transient_write_rate`; each
+//!   bit-line-compute operand read likewise with
+//!   `transient_sense_rate` (particle strikes, droop glitches).
+//! * **Scripted faults** — explicit [`Fault`] records scoped to a
+//!   row, lane, bit, and cycle window, for targeted experiments and
+//!   unit tests. Scripted transients fire at most once.
+
+use eve_common::SplitMix64;
+use std::collections::HashMap;
+
+/// The circuit layer a scripted transient strikes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultLayer {
+    /// Operand corruption during a bit-line compute — undetectable by
+    /// parity (the corrupt result is written back self-consistently).
+    Sense,
+    /// Corruption between parity generation and the cell latch —
+    /// detectable on the next parity-checked read of the row.
+    Writeback,
+}
+
+/// What a scripted fault does to its target bit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// The cell reads/writes 0 at the target bit on every write.
+    StuckAt0,
+    /// The cell reads/writes 1 at the target bit on every write.
+    StuckAt1,
+    /// A one-shot bit flip at `layer`, armed inside the cycle window.
+    Transient(FaultLayer),
+}
+
+/// One scripted fault, scoped to a cell and a cycle window.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Fault {
+    /// What happens to the bit.
+    pub kind: FaultKind,
+    /// Target logical row.
+    pub row: u32,
+    /// Target lane (column group).
+    pub lane: u32,
+    /// Bit position within the lane's `n`-bit segment.
+    pub bit: u8,
+    /// First μprogram cycle (inclusive) the fault is live.
+    pub from_cycle: u64,
+    /// Last μprogram cycle (inclusive) the fault is live.
+    pub until_cycle: u64,
+}
+
+impl Fault {
+    /// A permanently stuck cell (live on every cycle).
+    #[must_use]
+    pub fn stuck_at(row: u32, lane: u32, bit: u8, value: bool) -> Self {
+        Self {
+            kind: if value {
+                FaultKind::StuckAt1
+            } else {
+                FaultKind::StuckAt0
+            },
+            row,
+            lane,
+            bit,
+            from_cycle: 0,
+            until_cycle: u64::MAX,
+        }
+    }
+
+    /// A one-shot transient at `layer`, live in `[from, until]`.
+    #[must_use]
+    pub fn transient(
+        layer: FaultLayer,
+        row: u32,
+        lane: u32,
+        bit: u8,
+        from: u64,
+        until: u64,
+    ) -> Self {
+        Self {
+            kind: FaultKind::Transient(layer),
+            row,
+            lane,
+            bit,
+            from_cycle: from,
+            until_cycle: until,
+        }
+    }
+}
+
+/// Rates and scripted faults describing one injection campaign point.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultConfig {
+    /// Seed for all random draws.
+    pub seed: u64,
+    /// Per-cell probability of a stuck bit, sampled once at arm time.
+    pub stuck_rate: f64,
+    /// Per-writeback-event, per-lane probability of one flipped bit.
+    pub transient_write_rate: f64,
+    /// Per-bit-line-compute operand, per-lane probability of one
+    /// flipped bit.
+    pub transient_sense_rate: f64,
+    /// Explicit scripted faults.
+    pub scripted: Vec<Fault>,
+}
+
+impl FaultConfig {
+    /// A configuration that injects nothing (the zero-fault control).
+    #[must_use]
+    pub fn none(seed: u64) -> Self {
+        Self {
+            seed,
+            stuck_rate: 0.0,
+            transient_write_rate: 0.0,
+            transient_sense_rate: 0.0,
+            scripted: Vec::new(),
+        }
+    }
+
+    /// A uniform-rate configuration: `rate` for both transient layers
+    /// and `rate / 10` for stuck cells (permanent faults are rarer
+    /// than particle strikes).
+    #[must_use]
+    pub fn uniform(seed: u64, rate: f64) -> Self {
+        Self {
+            seed,
+            stuck_rate: rate / 10.0,
+            transient_write_rate: rate,
+            transient_sense_rate: rate,
+            scripted: Vec::new(),
+        }
+    }
+
+    /// True when no fault source is armed.
+    #[must_use]
+    pub fn is_zero(&self) -> bool {
+        self.stuck_rate == 0.0
+            && self.transient_write_rate == 0.0
+            && self.transient_sense_rate == 0.0
+            && self.scripted.is_empty()
+    }
+}
+
+/// Counters describing what an injector actually did.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FaultStats {
+    /// Stuck cells sampled at arm time (plus scripted stuck-ats).
+    pub stuck_cells: u64,
+    /// Writes where a stuck cell forced a bit away from its intended
+    /// value (writes matching the stuck value are *masked*).
+    pub stuck_perturbed_writes: u64,
+    /// Random bit flips applied at the writeback layer.
+    pub write_flips: u64,
+    /// Random bit flips applied at the sense (bit-line compute) layer.
+    pub sense_flips: u64,
+    /// Scripted transients that fired.
+    pub scripted_fired: u64,
+}
+
+impl FaultStats {
+    /// Total corruption events of any kind.
+    #[must_use]
+    pub fn total_events(&self) -> u64 {
+        self.stuck_perturbed_writes + self.write_flips + self.sense_flips + self.scripted_fired
+    }
+}
+
+/// A deterministic fault injector bound to one [`EveArray`].
+///
+/// Create one from a [`FaultConfig`], attach it with
+/// [`crate::EveArray::attach_injector`], and read the damage back via
+/// [`FaultInjector::stats`] after execution.
+#[derive(Debug, Clone)]
+pub struct FaultInjector {
+    config: FaultConfig,
+    rng: SplitMix64,
+    /// `(row, lane)` → `(bit, stuck_value)` for sampled + scripted
+    /// stuck cells.
+    stuck: HashMap<(u32, u32), (u8, bool)>,
+    /// Tracks which scripted transients already fired.
+    fired: Vec<bool>,
+    cycle: u64,
+    seg_bits: u32,
+    armed: bool,
+    stats: FaultStats,
+}
+
+impl FaultInjector {
+    /// An injector for `config`; call [`Self::arm`] (done by
+    /// `attach_injector`) before use.
+    #[must_use]
+    pub fn new(config: FaultConfig) -> Self {
+        let rng = SplitMix64::new(config.seed);
+        let fired = vec![false; config.scripted.len()];
+        Self {
+            config,
+            rng,
+            stuck: HashMap::new(),
+            fired,
+            cycle: 0,
+            seg_bits: 32,
+            armed: false,
+            stats: FaultStats::default(),
+        }
+    }
+
+    /// Samples the stuck-cell population for an array of
+    /// `rows × lanes` cells with `seg_bits`-bit segments. Idempotent.
+    pub fn arm(&mut self, rows: u32, lanes: u32, seg_bits: u32) {
+        if self.armed {
+            return;
+        }
+        self.armed = true;
+        self.seg_bits = seg_bits;
+        if self.config.stuck_rate > 0.0 {
+            // Row-major scan with one Bernoulli draw per cell: the
+            // sampled population depends only on (seed, dimensions).
+            for row in 0..rows {
+                for lane in 0..lanes {
+                    if self.rng.chance(self.config.stuck_rate) {
+                        let bit = self.rng.below(u64::from(seg_bits)) as u8;
+                        let value = self.rng.chance(0.5);
+                        self.stuck.insert((row, lane), (bit, value));
+                    }
+                }
+            }
+        }
+        for f in &self.config.scripted {
+            match f.kind {
+                FaultKind::StuckAt0 => {
+                    self.stuck.insert((f.row, f.lane), (f.bit, false));
+                }
+                FaultKind::StuckAt1 => {
+                    self.stuck.insert((f.row, f.lane), (f.bit, true));
+                }
+                FaultKind::Transient(_) => {}
+            }
+        }
+        self.stats.stuck_cells = self.stuck.len() as u64;
+    }
+
+    /// Advances the μprogram cycle counter (one call per tuple).
+    pub fn tick(&mut self) {
+        self.cycle += 1;
+    }
+
+    /// The current μprogram cycle (for scripted windows).
+    #[must_use]
+    pub fn cycle(&self) -> u64 {
+        self.cycle
+    }
+
+    /// The configuration this injector was built from.
+    #[must_use]
+    pub fn config(&self) -> &FaultConfig {
+        &self.config
+    }
+
+    /// What the injector has done so far.
+    #[must_use]
+    pub fn stats(&self) -> &FaultStats {
+        &self.stats
+    }
+
+    /// Corrupts a value on its way into cell `(row, lane)` at the
+    /// writeback layer. Parity for the row was already generated from
+    /// the intended value, so any change here is detectable.
+    #[must_use]
+    pub fn corrupt_write(&mut self, row: u32, lane: u32, value: u32) -> u32 {
+        let mut v = value;
+        if self.config.transient_write_rate > 0.0
+            && self.rng.chance(self.config.transient_write_rate)
+        {
+            v ^= 1 << self.rng.below(u64::from(self.seg_bits));
+            self.stats.write_flips += 1;
+        }
+        v = self.apply_scripted(FaultLayer::Writeback, row, lane, v);
+        if let Some(&(bit, stuck)) = self.stuck.get(&(row, lane)) {
+            let forced = if stuck {
+                v | (1 << bit)
+            } else {
+                v & !(1 << bit)
+            };
+            if forced != v {
+                self.stats.stuck_perturbed_writes += 1;
+            }
+            v = forced;
+        }
+        v
+    }
+
+    /// Corrupts an operand read by the bit-line compute layer. The
+    /// downstream result is written back with consistent parity, so
+    /// these faults are silent at the array level.
+    #[must_use]
+    pub fn corrupt_sense(&mut self, row: u32, lane: u32, value: u32) -> u32 {
+        let mut v = value;
+        if self.config.transient_sense_rate > 0.0
+            && self.rng.chance(self.config.transient_sense_rate)
+        {
+            v ^= 1 << self.rng.below(u64::from(self.seg_bits));
+            self.stats.sense_flips += 1;
+        }
+        self.apply_scripted(FaultLayer::Sense, row, lane, v)
+    }
+
+    /// True when this injector can never corrupt anything.
+    #[must_use]
+    pub fn is_inert(&self) -> bool {
+        self.config.is_zero()
+    }
+
+    fn apply_scripted(&mut self, layer: FaultLayer, row: u32, lane: u32, value: u32) -> u32 {
+        if self.config.scripted.is_empty() {
+            return value;
+        }
+        let mut v = value;
+        for (i, f) in self.config.scripted.iter().enumerate() {
+            if self.fired[i]
+                || f.kind != FaultKind::Transient(layer)
+                || f.row != row
+                || f.lane != lane
+                || self.cycle < f.from_cycle
+                || self.cycle > f.until_cycle
+            {
+                continue;
+            }
+            v ^= 1 << f.bit;
+            self.fired[i] = true;
+            self.stats.scripted_fired += 1;
+        }
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn armed(config: FaultConfig) -> FaultInjector {
+        let mut inj = FaultInjector::new(config);
+        inj.arm(64, 8, 8);
+        inj
+    }
+
+    #[test]
+    fn zero_config_is_inert() {
+        let mut inj = armed(FaultConfig::none(1));
+        for row in 0..64 {
+            for lane in 0..8 {
+                assert_eq!(inj.corrupt_write(row, lane, 0xA5), 0xA5);
+                assert_eq!(inj.corrupt_sense(row, lane, 0x5A), 0x5A);
+            }
+        }
+        assert!(inj.is_inert());
+        assert_eq!(inj.stats().total_events(), 0);
+    }
+
+    #[test]
+    fn same_seed_same_corruptions() {
+        let run = || {
+            let mut inj = armed(FaultConfig::uniform(77, 0.05));
+            let out: Vec<u32> = (0..2000)
+                .map(|i| inj.corrupt_write(i % 64, i % 8, i.wrapping_mul(0x9E37)))
+                .collect();
+            (out, *inj.stats())
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = armed(FaultConfig::uniform(1, 0.05));
+        let mut b = armed(FaultConfig::uniform(2, 0.05));
+        let va: Vec<u32> = (0..2000).map(|i| a.corrupt_write(i % 64, 0, 0)).collect();
+        let vb: Vec<u32> = (0..2000).map(|i| b.corrupt_write(i % 64, 0, 0)).collect();
+        assert_ne!(va, vb);
+    }
+
+    #[test]
+    fn stuck_cells_force_their_bit_on_every_write() {
+        let mut cfg = FaultConfig::none(3);
+        cfg.scripted.push(Fault::stuck_at(5, 2, 3, true));
+        cfg.scripted.push(Fault::stuck_at(6, 1, 0, false));
+        let mut inj = armed(cfg);
+        assert_eq!(inj.corrupt_write(5, 2, 0x00), 0x08);
+        assert_eq!(inj.corrupt_write(5, 2, 0x08), 0x08); // masked: no change
+        assert_eq!(inj.corrupt_write(6, 1, 0xFF), 0xFE);
+        assert_eq!(inj.corrupt_write(7, 7, 0xAA), 0xAA); // other cells clean
+        assert_eq!(inj.stats().stuck_perturbed_writes, 2);
+        assert_eq!(inj.stats().stuck_cells, 2);
+    }
+
+    #[test]
+    fn scripted_transient_fires_once_inside_its_window() {
+        let mut cfg = FaultConfig::none(4);
+        cfg.scripted
+            .push(Fault::transient(FaultLayer::Writeback, 9, 0, 4, 10, 20));
+        let mut inj = armed(cfg);
+        // Before the window: clean.
+        assert_eq!(inj.corrupt_write(9, 0, 0), 0);
+        for _ in 0..15 {
+            inj.tick();
+        }
+        // Inside the window: flips bit 4, exactly once.
+        assert_eq!(inj.corrupt_write(9, 0, 0), 0x10);
+        assert_eq!(inj.corrupt_write(9, 0, 0), 0);
+        assert_eq!(inj.stats().scripted_fired, 1);
+    }
+
+    #[test]
+    fn sense_and_writeback_layers_are_independent() {
+        let mut cfg = FaultConfig::none(5);
+        cfg.scripted
+            .push(Fault::transient(FaultLayer::Sense, 3, 1, 0, 0, u64::MAX));
+        let mut inj = armed(cfg);
+        // A sense-layer fault never perturbs writes.
+        assert_eq!(inj.corrupt_write(3, 1, 6), 6);
+        assert_eq!(inj.corrupt_sense(3, 1, 6), 7);
+    }
+
+    #[test]
+    fn stuck_population_scales_with_rate() {
+        let small = armed(FaultConfig {
+            stuck_rate: 0.01,
+            ..FaultConfig::none(9)
+        });
+        let large = armed(FaultConfig {
+            stuck_rate: 0.2,
+            ..FaultConfig::none(9)
+        });
+        assert!(small.stats().stuck_cells < large.stats().stuck_cells);
+        assert!(large.stats().stuck_cells > 0);
+    }
+}

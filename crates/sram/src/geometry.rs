@@ -199,8 +199,8 @@ impl LayoutModel {
     /// (`p = E·V / R`), clamped to a valid factor.
     #[must_use]
     pub fn balanced_factor(geometry: SramGeometry, element_bits: u32, vregs: u32) -> u32 {
-        let ideal = (u64::from(element_bits) * u64::from(vregs) / u64::from(geometry.rows()))
-            .max(1) as u32;
+        let ideal =
+            (u64::from(element_bits) * u64::from(vregs) / u64::from(geometry.rows())).max(1) as u32;
         ideal.next_power_of_two().min(element_bits)
     }
 }
@@ -263,10 +263,7 @@ mod tests {
         // 32-bit x 32 vregs on 256 rows balances at p = 4 (§II:
         // "throughput peaks when the parallelization factor reaches
         // four").
-        assert_eq!(
-            LayoutModel::balanced_factor(SramGeometry::PAPER, 32, 32),
-            4
-        );
+        assert_eq!(LayoutModel::balanced_factor(SramGeometry::PAPER, 32, 32), 4);
     }
 
     #[test]
@@ -279,10 +276,7 @@ mod tests {
                     .utilization()
             })
             .collect();
-        let peak = utils
-            .iter()
-            .cloned()
-            .fold(f64::NEG_INFINITY, f64::max);
+        let peak = utils.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
         assert!((utils[2] - peak).abs() < 1e-9, "{utils:?}"); // p=4
     }
 

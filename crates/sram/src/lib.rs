@@ -39,7 +39,9 @@
 //! ```
 
 pub mod array;
+pub mod fault;
 pub mod geometry;
 
 pub use array::{Binding, EveArray};
+pub use fault::{Fault, FaultConfig, FaultInjector, FaultKind, FaultLayer, FaultStats};
 pub use geometry::{LayoutModel, SramGeometry};

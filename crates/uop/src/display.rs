@@ -186,7 +186,10 @@ mod tests {
         let text = listing(&lib.program(MacroOpKind::Add));
         // Fig 4(a): init, blc, writeback of the sum, loop-ret.
         assert!(text.contains("init seg_cnt[0], 4"), "{text}");
-        assert!(text.contains("blc a[seg_cnt[0]\u{2191}], b[seg_cnt[0]\u{2191}]"), "{text}");
+        assert!(
+            text.contains("blc a[seg_cnt[0]\u{2191}], b[seg_cnt[0]\u{2191}]"),
+            "{text}"
+        );
         assert!(text.contains("wb d[seg_cnt[0]\u{2191}], add"), "{text}");
         assert!(text.contains("bnz.r seg_cnt[0], @1"), "{text}");
     }
@@ -200,7 +203,10 @@ mod tests {
         assert!(text.contains("setm xreg.lsb"), "{text}");
         // Predicated accumulate writes under the mask (into the
         // aliasing-safe scratch-1 accumulator).
-        assert!(text.contains("wb sc1[seg_cnt[0]\u{2191}], add, m"), "{text}");
+        assert!(
+            text.contains("wb sc1[seg_cnt[0]\u{2191}], add, m"),
+            "{text}"
+        );
     }
 
     #[test]

@@ -167,7 +167,10 @@ mod tests {
             let mut t = LatencyTable::new(cfg);
             let add = t.latency(MacroOpKind::Add).0;
             let sub = t.latency(MacroOpKind::Sub).0;
-            assert!(sub > add && sub <= 2 * add + 2, "{cfg}: add {add} sub {sub}");
+            assert!(
+                sub > add && sub <= 2 * add + 2,
+                "{cfg}: add {add} sub {sub}"
+            );
         }
     }
 

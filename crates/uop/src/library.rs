@@ -30,8 +30,7 @@
 use crate::counter::CounterId;
 use crate::program::{HybridConfig, MicroProgram, ProgramBuilder};
 use crate::uop::{
-    ArithUop, CarryIn, ComputeSrc, ControlUop, CounterUop, MaskSrc, Operand, SegSel, VSlot,
-    WbDest,
+    ArithUop, CarryIn, ComputeSrc, ControlUop, CounterUop, MaskSrc, Operand, SegSel, VSlot, WbDest,
 };
 use eve_common::bits::extract_bits;
 
@@ -326,7 +325,9 @@ impl Gen {
             value: self.segs,
         };
         match carry {
-            Some(v) => self.b.emit(init, ArithUop::SetCarry { value: v }, ControlUop::Nop),
+            Some(v) => self
+                .b
+                .emit(init, ArithUop::SetCarry { value: v }, ControlUop::Nop),
             None => self.b.counter(init),
         }
     }
@@ -569,7 +570,13 @@ impl Gen {
             invert: false,
         });
         // Restore: R = T where mask; Q = 2Q + mask.
-        self.unary_pass(VSlot::Scratch(1), VSlot::Scratch(0), ComputeSrc::And, true, false);
+        self.unary_pass(
+            VSlot::Scratch(1),
+            VSlot::Scratch(0),
+            ComputeSrc::And,
+            true,
+            false,
+        );
         self.double(VSlot::D);
         self.binary_pass(
             VSlot::D,
@@ -613,15 +620,7 @@ impl Gen {
     }
 
     fn double(&mut self, slot: VSlot) {
-        self.binary_pass(
-            slot,
-            slot,
-            slot,
-            ComputeSrc::Add,
-            Some(false),
-            false,
-            false,
-        );
+        self.binary_pass(slot, slot, slot, ComputeSrc::Add, Some(false), false, false);
     }
 
     /// Broadcast `value` into `slot`: one constant row write per segment
@@ -1196,9 +1195,7 @@ mod tests {
     fn add_latency_decreases_with_parallelization() {
         let lat: Vec<u64> = HybridConfig::all()
             .iter()
-            .map(|&cfg| {
-                count_cycles(&ProgramLibrary::new(cfg).program(MacroOpKind::Add), cfg).0
-            })
+            .map(|&cfg| count_cycles(&ProgramLibrary::new(cfg).program(MacroOpKind::Add), cfg).0)
             .collect();
         assert!(lat.windows(2).all(|w| w[0] > w[1]), "{lat:?}");
     }
@@ -1230,11 +1227,19 @@ mod tests {
         // §III-C: segment-multiple shifts are far cheaper bit-hybrid.
         let serial = {
             let cfg = HybridConfig::new(1).unwrap();
-            count_cycles(&ProgramLibrary::new(cfg).program(MacroOpKind::SllI(16)), cfg).0
+            count_cycles(
+                &ProgramLibrary::new(cfg).program(MacroOpKind::SllI(16)),
+                cfg,
+            )
+            .0
         };
         let hybrid = {
             let cfg = HybridConfig::new(8).unwrap();
-            count_cycles(&ProgramLibrary::new(cfg).program(MacroOpKind::SllI(16)), cfg).0
+            count_cycles(
+                &ProgramLibrary::new(cfg).program(MacroOpKind::SllI(16)),
+                cfg,
+            )
+            .0
         };
         assert!(hybrid < serial, "slli16: serial {serial} hybrid {hybrid}");
     }

@@ -208,11 +208,7 @@ impl ProgramBuilder {
     pub fn arith_branch_nz(&mut self, arith: ArithUop, ctr: crate::CounterId, label: &str) {
         let at = self.tuples.len();
         self.fixups.push((at, label.to_owned()));
-        self.emit(
-            CounterUop::Nop,
-            arith,
-            ControlUop::Bnz { ctr, target: 0 },
-        );
+        self.emit(CounterUop::Nop, arith, ControlUop::Bnz { ctr, target: 0 });
     }
 
     /// Emits the canonical loop back-edge: `decr ctr` fused with an
@@ -310,7 +306,11 @@ impl ProgramBuilder {
     pub fn jump(&mut self, label: &str) {
         let at = self.tuples.len();
         self.fixups.push((at, label.to_owned()));
-        self.emit(CounterUop::Nop, ArithUop::Nop, ControlUop::Jump { target: 0 });
+        self.emit(
+            CounterUop::Nop,
+            ArithUop::Nop,
+            ControlUop::Jump { target: 0 },
+        );
     }
 
     /// Emits `ret`.
@@ -341,12 +341,10 @@ impl ProgramBuilder {
                 other => other,
             };
         }
-        let terminates = self.tuples.iter().any(|t| {
-            matches!(
-                t.control,
-                ControlUop::Ret | ControlUop::BnzRet { .. }
-            )
-        });
+        let terminates = self
+            .tuples
+            .iter()
+            .any(|t| matches!(t.control, ControlUop::Ret | ControlUop::BnzRet { .. }));
         if !terminates {
             return Err(ConfigError::new(format!(
                 "program {} never returns",

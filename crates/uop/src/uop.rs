@@ -159,16 +159,28 @@ pub enum ArithUop {
     /// Native SRAM write of a broadcast constant segment into `op`'s row.
     /// The VSU supplies the value on the data-in port; `masked` restricts
     /// the write to lanes whose mask latch is set.
-    WriteConst { op: Operand, value: u32, masked: bool },
+    WriteConst {
+        op: Operand,
+        value: u32,
+        masked: bool,
+    },
     /// Native SRAM write from the data-in port (memory fill path).
     WriteDataIn { op: Operand },
     /// Bit-line compute between the rows of `a` and `b`: both wordlines
     /// asserted, sense amps in single-ended mode. Feeds every circuit
     /// layer; the add logic consumes `carry_in` and latches carry-out.
-    Blc { a: Operand, b: Operand, carry_in: CarryIn },
+    Blc {
+        a: Operand,
+        b: Operand,
+        carry_in: CarryIn,
+    },
     /// Write a computed value back into the SRAM (or the mask/X
     /// registers). `masked` gates the write per lane by the mask latch.
-    Writeback { dst: WbDest, src: ComputeSrc, masked: bool },
+    Writeback {
+        dst: WbDest,
+        src: ComputeSrc,
+        masked: bool,
+    },
     /// Load a row into the constant shifter.
     LoadShifter { op: Operand },
     /// Store the constant shifter back to a row (optionally masked).

@@ -9,7 +9,7 @@
 
 use crate::pipes::{classify_pipe, element_cost, PipeClass};
 use eve_common::{Cycle, Stats};
-use eve_cpu::{VectorPlacement, VectorUnit};
+use eve_cpu::{EngineError, VectorPlacement, VectorUnit};
 use eve_isa::{Inst, MemEffect, RegId, Retired};
 use eve_mem::{Hierarchy, Level, Tlb, LINE_BYTES};
 
@@ -78,9 +78,7 @@ impl DecoupledVector {
             } => (0..u64::from(*count))
                 .map(|i| ((*base as i64 + stride * i as i64) as u64) / LINE_BYTES)
                 .collect(),
-            MemEffect::VecIndexed { addrs, .. } => {
-                addrs.iter().map(|a| a / LINE_BYTES).collect()
-            }
+            MemEffect::VecIndexed { addrs, .. } => addrs.iter().map(|a| a / LINE_BYTES).collect(),
             _ => Vec::new(),
         };
         // Adjacent duplicates collapse (the VMU guarantees line
@@ -101,7 +99,7 @@ impl VectorUnit for DecoupledVector {
         _ready: Cycle,
         commit: Cycle,
         mem: &mut Hierarchy,
-    ) -> VectorPlacement {
+    ) -> Result<VectorPlacement, EngineError> {
         self.stats.incr("issued");
         // Queue back-pressure: a full queue delays acceptance until the
         // oldest instruction completes.
@@ -118,10 +116,10 @@ impl VectorUnit for DecoupledVector {
         if matches!(r.inst, Inst::VMFence) {
             // Fence: answer once all pending engine stores are visible.
             let done = self.pending_store_done.max(self.idle_at).max(accept);
-            return VectorPlacement::Decoupled {
+            return Ok(VectorPlacement::Decoupled {
                 accept,
                 writeback: Some(done),
-            };
+            });
         }
 
         let class = classify_pipe(&r.inst).unwrap_or(PipeClass::Simple);
@@ -175,7 +173,7 @@ impl VectorUnit for DecoupledVector {
             Inst::VMvXS { .. } => Some(completion),
             _ => None,
         };
-        VectorPlacement::Decoupled { accept, writeback }
+        Ok(VectorPlacement::Decoupled { accept, writeback })
     }
 
     fn drain(&mut self, _mem: &mut Hierarchy) -> Cycle {
@@ -226,12 +224,14 @@ mod tests {
     fn occupancy_scales_with_vl_over_lanes() {
         let mut dv = DecoupledVector::new();
         let mut mem = Hierarchy::new(HierarchyConfig::table_iii());
-        let p = dv.issue(
-            &retired(vadd(3), 64, MemEffect::None, Some(RegId::V(vreg::V3))),
-            Cycle(0),
-            Cycle(0),
-            &mut mem,
-        );
+        let p = dv
+            .issue(
+                &retired(vadd(3), 64, MemEffect::None, Some(RegId::V(vreg::V3))),
+                Cycle(0),
+                Cycle(0),
+                &mut mem,
+            )
+            .unwrap();
         match p {
             VectorPlacement::Decoupled { accept, .. } => assert_eq!(accept, Cycle(0)),
             other => panic!("{other:?}"),
@@ -249,11 +249,12 @@ mod tests {
             Cycle(0),
             Cycle(0),
             &mut mem,
-        );
+        )
+        .unwrap();
         // Dependent op reading v3.
         let mut dep = retired(vadd(4), 64, MemEffect::None, Some(RegId::V(vreg::V4)));
         dep.reads[0] = Some(RegId::V(vreg::V3));
-        dv.issue(&dep, Cycle(0), Cycle(0), &mut mem);
+        dv.issue(&dep, Cycle(0), Cycle(0), &mut mem).unwrap();
         assert!(dv.idle_at >= Cycle(2 * 8 + STARTUP), "{:?}", dv.idle_at);
     }
 
@@ -277,7 +278,8 @@ mod tests {
             Cycle(0),
             Cycle(0),
             &mut mem,
-        );
+        )
+        .unwrap();
         assert_eq!(dv.stats().get("line_requests"), 4); // 256B / 64B
     }
 
@@ -302,7 +304,8 @@ mod tests {
             Cycle(0),
             Cycle(0),
             &mut mem,
-        );
+        )
+        .unwrap();
         assert_eq!(dv.stats().get("line_requests"), 64);
         // 64 distinct lines against 32 L2 MSHRs: some waiting occurred.
         assert!(dv.stats().get("vmu_mshr_wait") > 0);
@@ -323,13 +326,16 @@ mod tests {
             bytes: 256,
             store: true,
         };
-        dv.issue(&retired(st, 64, eff, None), Cycle(0), Cycle(0), &mut mem);
-        let f = dv.issue(
-            &retired(Inst::VMFence, 64, MemEffect::None, None),
-            Cycle(1),
-            Cycle(1),
-            &mut mem,
-        );
+        dv.issue(&retired(st, 64, eff, None), Cycle(0), Cycle(0), &mut mem)
+            .unwrap();
+        let f = dv
+            .issue(
+                &retired(Inst::VMFence, 64, MemEffect::None, None),
+                Cycle(1),
+                Cycle(1),
+                &mut mem,
+            )
+            .unwrap();
         match f {
             VectorPlacement::Decoupled {
                 writeback: Some(wb),
@@ -353,12 +359,15 @@ mod tests {
         };
         let mut last_accept = Cycle(0);
         for _ in 0..QUEUE_DEPTH + 4 {
-            match dv.issue(
-                &retired(div, 64, MemEffect::None, Some(RegId::V(vreg::V3))),
-                Cycle(0),
-                Cycle(0),
-                &mut mem,
-            ) {
+            match dv
+                .issue(
+                    &retired(div, 64, MemEffect::None, Some(RegId::V(vreg::V3))),
+                    Cycle(0),
+                    Cycle(0),
+                    &mut mem,
+                )
+                .unwrap()
+            {
                 VectorPlacement::Decoupled { accept, .. } => last_accept = accept,
                 other => panic!("{other:?}"),
             }
@@ -388,14 +397,19 @@ mod xe_tests {
             seq: 0,
             pc: 0,
             inst: red,
-            reads: [Some(RegId::V(vreg::V1)), Some(RegId::V(vreg::V2)), None, None],
+            reads: [
+                Some(RegId::V(vreg::V1)),
+                Some(RegId::V(vreg::V2)),
+                None,
+                None,
+            ],
             write: Some(RegId::V(vreg::V3)),
             mem: MemEffect::None,
             vl: 64,
             branch: None,
             scalar_operand: None,
         };
-        dv.issue(&r, Cycle(0), Cycle(0), &mut mem);
+        dv.issue(&r, Cycle(0), Cycle(0), &mut mem).unwrap();
         // 64 elements / 8 lanes x 2 cycles + startup on the iterative pipe.
         assert_eq!(dv.idle_at, Cycle(16 + STARTUP));
         // A simple add right after is unaffected (different pipe), only
@@ -418,7 +432,7 @@ mod xe_tests {
             branch: None,
             scalar_operand: None,
         };
-        dv.issue(&r2, Cycle(0), Cycle(0), &mut mem);
+        dv.issue(&r2, Cycle(0), Cycle(0), &mut mem).unwrap();
         assert_eq!(dv.idle_at, Cycle(16 + STARTUP)); // add finishes earlier
     }
 }

@@ -10,7 +10,7 @@
 
 use crate::pipes::{classify_pipe, element_cost, PipeClass};
 use eve_common::{Cycle, Stats};
-use eve_cpu::{VectorPlacement, VectorUnit};
+use eve_cpu::{EngineError, VectorPlacement, VectorUnit};
 use eve_isa::{Inst, MemEffect, Retired};
 use eve_mem::{Hierarchy, Level};
 
@@ -74,7 +74,7 @@ impl VectorUnit for IntegratedVector {
         ready: Cycle,
         _commit: Cycle,
         mem: &mut Hierarchy,
-    ) -> VectorPlacement {
+    ) -> Result<VectorPlacement, EngineError> {
         let class = classify_pipe(&r.inst).unwrap_or(PipeClass::Simple);
         self.stats.incr("issued");
         let completion = match class {
@@ -113,7 +113,7 @@ impl VectorUnit for IntegratedVector {
                 start + Cycle(per * u64::from(r.vl.max(1)))
             }
         };
-        VectorPlacement::InWindow { completion }
+        Ok(VectorPlacement::InWindow { completion })
     }
 
     fn drain(&mut self, _mem: &mut Hierarchy) -> Cycle {
@@ -160,7 +160,15 @@ mod tests {
         };
         let c: Vec<Cycle> = (0..3)
             .map(|_| {
-                match iv.issue(&retired(add, 4, MemEffect::None), Cycle(0), Cycle(0), &mut mem) {
+                match iv
+                    .issue(
+                        &retired(add, 4, MemEffect::None),
+                        Cycle(0),
+                        Cycle(0),
+                        &mut mem,
+                    )
+                    .unwrap()
+                {
                     VectorPlacement::InWindow { completion } => completion,
                     other => panic!("{other:?}"),
                 }
@@ -187,7 +195,8 @@ mod tests {
             bytes: 16,
             store: false,
         };
-        iv.issue(&retired(ld, 4, eff), Cycle(0), Cycle(0), &mut mem);
+        iv.issue(&retired(ld, 4, eff), Cycle(0), Cycle(0), &mut mem)
+            .unwrap();
         assert_eq!(iv.stats().get("lsq_uops"), 4);
     }
 
@@ -206,16 +215,22 @@ mod tests {
             bytes: 16,
             store: true,
         };
-        iv.issue(&retired(st, 4, eff), Cycle(0), Cycle(0), &mut mem);
-        let f = iv.issue(
-            &retired(Inst::VMFence, 4, MemEffect::None),
-            Cycle(0),
-            Cycle(0),
-            &mut mem,
-        );
+        iv.issue(&retired(st, 4, eff), Cycle(0), Cycle(0), &mut mem)
+            .unwrap();
+        let f = iv
+            .issue(
+                &retired(Inst::VMFence, 4, MemEffect::None),
+                Cycle(0),
+                Cycle(0),
+                &mut mem,
+            )
+            .unwrap();
         match f {
             VectorPlacement::InWindow { completion } => {
-                assert!(completion > Cycle(50), "fence before store done: {completion:?}")
+                assert!(
+                    completion > Cycle(50),
+                    "fence before store done: {completion:?}"
+                )
             }
             other => panic!("{other:?}"),
         }
@@ -252,7 +267,7 @@ mod gather_tests {
             branch: None,
             scalar_operand: None,
         };
-        iv.issue(&r, Cycle(0), Cycle(0), &mut mem);
+        iv.issue(&r, Cycle(0), Cycle(0), &mut mem).unwrap();
         assert_eq!(iv.stats().get("lsq_uops"), 4);
     }
 
@@ -282,7 +297,7 @@ mod gather_tests {
             branch: None,
             scalar_operand: None,
         };
-        iv.issue(&r, Cycle(0), Cycle(0), &mut mem);
+        iv.issue(&r, Cycle(0), Cycle(0), &mut mem).unwrap();
         assert_eq!(iv.stats().get("lsq_uops"), 4);
         // Distinct lines: four L1D misses.
         assert_eq!(mem.cache(Level::L1D).stats().get("misses"), 4);

@@ -25,12 +25,8 @@ pub fn classify_pipe(inst: &Inst) -> Option<PipeClass> {
     match inst {
         Inst::VLoad { .. } | Inst::VStore { .. } => Some(PipeClass::Memory),
         Inst::VOp { op, .. } => Some(match op {
-            VArithOp::Mul | VArithOp::Macc | VArithOp::Mulh | VArithOp::Mulhu => {
-                PipeClass::Complex
-            }
-            VArithOp::Div | VArithOp::Divu | VArithOp::Rem | VArithOp::Remu => {
-                PipeClass::Iterative
-            }
+            VArithOp::Mul | VArithOp::Macc | VArithOp::Mulh | VArithOp::Mulhu => PipeClass::Complex,
+            VArithOp::Div | VArithOp::Divu | VArithOp::Rem | VArithOp::Remu => PipeClass::Iterative,
             _ => PipeClass::Simple,
         }),
         Inst::VCmp { .. } | Inst::VMerge { .. } | Inst::VMask { .. } | Inst::VMv { .. } => {
@@ -92,7 +88,10 @@ mod tests {
             masked: false,
         };
         assert_eq!(classify_pipe(&div), Some(PipeClass::Iterative));
-        assert_eq!(classify_pipe(&Inst::VId { vd: vreg::V1 }), Some(PipeClass::Iterative));
+        assert_eq!(
+            classify_pipe(&Inst::VId { vd: vreg::V1 }),
+            Some(PipeClass::Iterative)
+        );
         assert_eq!(classify_pipe(&Inst::VMFence), Some(PipeClass::Memory));
         assert_eq!(classify_pipe(&Inst::Halt), None);
         assert_eq!(

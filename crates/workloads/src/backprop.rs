@@ -143,8 +143,7 @@ mod tests {
         for (i, h) in [(16usize, 4usize), (100, 8), (130, 16)] {
             let built = build(i, h);
             for hw_vl in [4u32, 64] {
-                let mut it =
-                    Interpreter::new(built.vector.clone(), built.memory.clone(), hw_vl);
+                let mut it = Interpreter::new(built.vector.clone(), built.memory.clone(), hw_vl);
                 it.run_to_halt().unwrap();
                 built
                     .verify(it.memory())

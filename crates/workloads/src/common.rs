@@ -1,8 +1,7 @@
 //! Shared helpers: memory layout and deterministic input generation.
 
+use eve_common::SplitMix64;
 use eve_isa::Memory;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
 /// Base address of workload data (above the null page and stack).
 pub const DATA_BASE: u64 = 0x1_0000;
@@ -53,14 +52,14 @@ impl Default for Layout {
 /// A deterministic RNG for input generation (fixed seed per kernel so
 /// golden outputs are reproducible).
 #[must_use]
-pub fn rng(seed: u64) -> StdRng {
-    StdRng::seed_from_u64(seed)
+pub fn rng(seed: u64) -> SplitMix64 {
+    SplitMix64::new(seed)
 }
 
 /// Fills `words` consecutive 32-bit words with values in `0..bound`.
-pub fn fill_random(mem: &mut Memory, addr: u64, words: usize, bound: u32, rng: &mut StdRng) {
+pub fn fill_random(mem: &mut Memory, addr: u64, words: usize, bound: u32, rng: &mut SplitMix64) {
     for i in 0..words {
-        mem.store_u32(addr + i as u64 * 4, rng.gen_range(0..bound));
+        mem.store_u32(addr + i as u64 * 4, rng.below(u64::from(bound)) as u32);
     }
 }
 

@@ -145,8 +145,8 @@ fn vector(n: usize, steps: usize, a: u64, b: u64) -> eve_isa::Program {
     s.slli(xreg::T2, xreg::S1, 2);
     s.add(xreg::A2, xreg::A2, xreg::T2);
     s.vload(vreg::V1, xreg::A2); // center
-    // Left neighbor: slide the center up one and inject src[i][j0-1]
-    // into element 0 (cross-element work, §Table IV "xe").
+                                 // Left neighbor: slide the center up one and inject src[i][j0-1]
+                                 // into element 0 (cross-element work, §Table IV "xe").
     s.vslide(vreg::V2, vreg::V1, xreg::ZERO, true); // placeholder copy
     s.li(xreg::T3, 1);
     s.vslide(vreg::V2, vreg::V1, xreg::T3, true);
@@ -166,7 +166,12 @@ fn vector(n: usize, steps: usize, a: u64, b: u64) -> eve_isa::Program {
     s.vadd(vreg::V6, vreg::V6, VOperand::Reg(vreg::V4));
     s.vadd(vreg::V6, vreg::V6, VOperand::Reg(vreg::V5));
     s.li(xreg::T3, DIV5_MAGIC);
-    s.vop(VArithOp::Mulhu, vreg::V7, vreg::V6, VOperand::Scalar(xreg::T3));
+    s.vop(
+        VArithOp::Mulhu,
+        vreg::V7,
+        vreg::V6,
+        VOperand::Scalar(xreg::T3),
+    );
     s.vsrl(vreg::V7, vreg::V7, VOperand::Imm(2));
     // &dst[i][j0]
     s.muli(xreg::A3, xreg::S0, n64 * 4);
@@ -207,8 +212,7 @@ mod tests {
         for (n, steps) in [(3usize, 1usize), (10, 3), (70, 2)] {
             let built = build(n, steps);
             for hw_vl in [4u32, 64] {
-                let mut i =
-                    Interpreter::new(built.vector.clone(), built.memory.clone(), hw_vl);
+                let mut i = Interpreter::new(built.vector.clone(), built.memory.clone(), hw_vl);
                 i.run_to_halt().unwrap();
                 built
                     .verify(i.memory())

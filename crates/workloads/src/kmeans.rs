@@ -70,8 +70,12 @@ pub fn build_at(points: usize, features: usize, clusters: usize, base: u64) -> B
 
     Built {
         name: "kmeans",
-        scalar: scalar(points, features, clusters, data, centers, membership, error_addr),
-        vector: vector(points, features, clusters, data, centers, membership, error_addr),
+        scalar: scalar(
+            points, features, clusters, data, centers, membership, error_addr,
+        ),
+        vector: vector(
+            points, features, clusters, data, centers, membership, error_addr,
+        ),
         memory: mem,
         expected,
     }
@@ -175,7 +179,7 @@ fn vector(
     s.label("k_loop");
     s.vmv(vreg::V10, VOperand::Imm(0)); // dist
     s.li(xreg::S4, 0); // f
-    // &data[p0][0]
+                       // &data[p0][0]
     s.muli(xreg::A0, xreg::S0, f64_ * 4);
     s.addi(xreg::A0, xreg::A0, data as i64);
     // &centers[k][0]
@@ -240,8 +244,7 @@ mod tests {
         for (p, f, k) in [(16usize, 4usize, 2usize), (65, 8, 3), (40, 3, 5)] {
             let built = build(p, f, k);
             for hw_vl in [4u32, 64] {
-                let mut i =
-                    Interpreter::new(built.vector.clone(), built.memory.clone(), hw_vl);
+                let mut i = Interpreter::new(built.vector.clone(), built.memory.clone(), hw_vl);
                 i.run_to_halt().unwrap();
                 built
                     .verify(i.memory())

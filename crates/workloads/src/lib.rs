@@ -228,8 +228,7 @@ mod tests {
                 .unwrap_or_else(|e| panic!("scalar {e}"));
             // Vector at several hardware lengths.
             for hw_vl in [4u32, 64, 256, 2048] {
-                let mut i =
-                    Interpreter::new(built.vector.clone(), built.memory.clone(), hw_vl);
+                let mut i = Interpreter::new(built.vector.clone(), built.memory.clone(), hw_vl);
                 i.run_to_halt().unwrap();
                 built
                     .verify(i.memory())

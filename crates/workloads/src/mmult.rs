@@ -61,7 +61,7 @@ fn scalar(n: usize, a: u64, b: u64, c: u64) -> eve_isa::Program {
     s.label("j_loop");
     s.li(xreg::T3, 0); // acc
     s.li(xreg::S2, 0); // k
-    // &A[i][0]
+                       // &A[i][0]
     s.muli(xreg::A0, xreg::S0, n64 * 4);
     s.addi(xreg::A0, xreg::A0, a as i64);
     // &B[0][j]
@@ -108,7 +108,7 @@ fn vector(n: usize, a: u64, b: u64, c: u64) -> eve_isa::Program {
     s.setvl(xreg::T1, xreg::T0);
     s.vmv(vreg::V4, VOperand::Imm(0)); // acc
     s.li(xreg::S2, 0); // k
-    // &A[i][0]
+                       // &A[i][0]
     s.muli(xreg::A0, xreg::S0, n64 * 4);
     s.addi(xreg::A0, xreg::A0, a as i64);
     // &B[0][j0]
@@ -117,8 +117,13 @@ fn vector(n: usize, a: u64, b: u64, c: u64) -> eve_isa::Program {
     s.label("k_loop");
     s.lw(xreg::T2, xreg::A0, 0); // a_ik
     s.vload(vreg::V1, xreg::A1); // B[k][j0..]
-    // Multiply-accumulate, as real RVV mmult kernels are written.
-    s.vop(VArithOp::Macc, vreg::V4, vreg::V1, VOperand::Scalar(xreg::T2));
+                                 // Multiply-accumulate, as real RVV mmult kernels are written.
+    s.vop(
+        VArithOp::Macc,
+        vreg::V4,
+        vreg::V1,
+        VOperand::Scalar(xreg::T2),
+    );
     s.addi(xreg::A0, xreg::A0, 4);
     s.addi(xreg::A1, xreg::A1, n64 * 4);
     s.addi(xreg::S2, xreg::S2, 1);
@@ -152,8 +157,7 @@ mod tests {
         for n in [1usize, 3, 8, 17] {
             let built = build(n);
             for hw_vl in [4u32, 16, 64] {
-                let mut i =
-                    Interpreter::new(built.vector.clone(), built.memory.clone(), hw_vl);
+                let mut i = Interpreter::new(built.vector.clone(), built.memory.clone(), hw_vl);
                 i.run_to_halt().unwrap();
                 built
                     .verify(i.memory())

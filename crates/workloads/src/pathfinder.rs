@@ -137,8 +137,8 @@ fn vector(rows: usize, cols: usize, wall: u64, src: u64, dst: u64) -> eve_isa::P
     s.vload(vreg::V2, xreg::A3); // src[j]
     s.addi(xreg::T2, xreg::A3, 4);
     s.vload(vreg::V3, xreg::T2); // src[j+1]
-    // min(left, center) hardware-min; min(.., right) via predication
-    // (compare + merge), as the Rodinia port does.
+                                 // min(left, center) hardware-min; min(.., right) via predication
+                                 // (compare + merge), as the Rodinia port does.
     s.vmin(vreg::V4, vreg::V1, VOperand::Reg(vreg::V2));
     s.vcmp(VCmpCond::Lt, vreg::V0, vreg::V3, VOperand::Reg(vreg::V4));
     s.vmerge(vreg::V4, vreg::V3, VOperand::Reg(vreg::V4));
@@ -176,8 +176,7 @@ mod tests {
         for (rows, cols) in [(2usize, 3usize), (3, 65), (5, 130), (4, 64)] {
             let built = build(rows, cols);
             for hw_vl in [4u32, 64] {
-                let mut i =
-                    Interpreter::new(built.vector.clone(), built.memory.clone(), hw_vl);
+                let mut i = Interpreter::new(built.vector.clone(), built.memory.clone(), hw_vl);
                 i.run_to_halt().unwrap();
                 built
                     .verify(i.memory())

@@ -52,7 +52,11 @@ pub fn build_at(n: usize, base: u64) -> Built {
     let mut best = 0i32;
     for i in 1..=n {
         for j in 1..=n {
-            let s = if av[i - 1] == bv[j - 1] { MATCH } else { MISMATCH };
+            let s = if av[i - 1] == bv[j - 1] {
+                MATCH
+            } else {
+                MISMATCH
+            };
             let v = (hm[(i - 1) * w + j - 1] + s)
                 .max(hm[(i - 1) * w + j] - GAP)
                 .max(hm[i * w + j - 1] - GAP)
@@ -85,7 +89,7 @@ fn scalar(n: usize, h: u64, a: u64, b: u64, result: u64) -> eve_isa::Program {
     s.li(xreg::S0, 1); // i
     s.label("i_loop");
     s.li(xreg::S1, 1); // j
-    // &H[i][1], &H[i-1][1]
+                       // &H[i][1], &H[i-1][1]
     s.muli(xreg::A2, xreg::S0, w * 4);
     s.addi(xreg::A2, xreg::A2, h as i64 + 4);
     s.label("j_loop");
@@ -223,8 +227,7 @@ mod tests {
         for n in [2usize, 5, 33, 70] {
             let built = build(n);
             for hw_vl in [4u32, 64] {
-                let mut i =
-                    Interpreter::new(built.vector.clone(), built.memory.clone(), hw_vl);
+                let mut i = Interpreter::new(built.vector.clone(), built.memory.clone(), hw_vl);
                 i.run_to_halt().unwrap();
                 built
                     .verify(i.memory())

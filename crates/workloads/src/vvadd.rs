@@ -100,7 +100,9 @@ mod tests {
             let built = build(n);
             let mut i = Interpreter::new(built.vector.clone(), built.memory.clone(), 64);
             i.run_to_halt().unwrap();
-            built.verify(i.memory()).unwrap_or_else(|e| panic!("n={n}: {e}"));
+            built
+                .verify(i.memory())
+                .unwrap_or_else(|e| panic!("n={n}: {e}"));
         }
     }
 }

@@ -33,8 +33,13 @@ fn saxpy() -> eve_isa::Program {
     s.setvl(xreg::T1, xreg::T0);
     s.vload(vreg::V1, xreg::A0); // x
     s.vload(vreg::V2, xreg::A1); // y
-    // y += a * x  (vmacc.vx)
-    s.vop(VArithOp::Macc, vreg::V2, vreg::V1, VOperand::Scalar(xreg::A2));
+                                 // y += a * x  (vmacc.vx)
+    s.vop(
+        VArithOp::Macc,
+        vreg::V2,
+        vreg::V1,
+        VOperand::Scalar(xreg::A2),
+    );
     s.vstore(vreg::V2, xreg::A1);
     s.slli(xreg::T2, xreg::T1, 2);
     s.add(xreg::A0, xreg::A0, xreg::T2);
@@ -68,7 +73,7 @@ fn time_on<V: VectorUnit>(unit: V, prog: &eve_isa::Program) -> u64 {
     let mut core = O3Core::with_unit(unit, HierarchyConfig::table_iii());
     let mut interp = Interpreter::new(prog.clone(), initial_memory(), core.hw_vl());
     while let Some(r) = interp.step().expect("runs") {
-        core.retire(&r);
+        core.retire(&r).expect("retires");
     }
     let cycles = core.finish();
     verify(interp.memory());

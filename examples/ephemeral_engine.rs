@@ -46,7 +46,12 @@ fn main() {
             rhs: VOperand::Reg(vreg::V2),
             masked: false,
         },
-        reads: [Some(RegId::V(vreg::V1)), Some(RegId::V(vreg::V2)), None, None],
+        reads: [
+            Some(RegId::V(vreg::V1)),
+            Some(RegId::V(vreg::V2)),
+            None,
+            None,
+        ],
         write: Some(RegId::V(vreg::V3)),
         mem: MemEffect::None,
         vl: 1024,
@@ -54,7 +59,9 @@ fn main() {
         scalar_operand: None,
     };
     let commit = Cycle(40_000);
-    engine.issue(&vadd, commit, commit, &mut mem);
+    engine
+        .issue(&vadd, commit, commit, &mut mem)
+        .expect("mapped");
 
     let spawn = engine.stats().get("spawn_cycles");
     println!(

@@ -65,9 +65,7 @@ fn one_binary_every_vector_length() {
         SystemKind::EveN(1),
         SystemKind::EveN(32),
     ] {
-        runner
-            .run(sys, &w)
-            .unwrap_or_else(|e| panic!("{sys}: {e}"));
+        runner.run(sys, &w).unwrap_or_else(|e| panic!("{sys}: {e}"));
     }
 }
 

@@ -16,7 +16,10 @@ use eve_workloads::Workload;
 fn claim_suite() -> Vec<Workload> {
     vec![
         Workload::vvadd(8192),
-        Workload::Pathfinder { rows: 4, cols: 4096 },
+        Workload::Pathfinder {
+            rows: 4,
+            cols: 4096,
+        },
         Workload::Kmeans {
             points: 2048,
             features: 8,
@@ -49,7 +52,10 @@ fn eve_matches_dv_and_beats_iv() {
     let dv = geomean(&speedups(SystemKind::O3Dv, &suite));
     let iv = geomean(&speedups(SystemKind::O3Iv, &suite));
     let e8 = geomean(&speedups(SystemKind::EveN(8), &suite));
-    assert!(e8 > 0.8 * dv, "EVE-8 {e8:.2} must be comparable to DV {dv:.2}");
+    assert!(
+        e8 > 0.8 * dv,
+        "EVE-8 {e8:.2} must be comparable to DV {dv:.2}"
+    );
     assert!(e8 > 2.0 * iv, "EVE-8 {e8:.2} must clearly beat IV {iv:.2}");
 }
 
@@ -62,11 +68,7 @@ fn eve8_is_the_compelling_design_point() {
         .iter()
         .map(|&n| (n, geomean(&speedups(SystemKind::EveN(n), &suite))))
         .collect();
-    let best = by_n
-        .iter()
-        .max_by(|a, b| a.1.total_cmp(&b.1))
-        .unwrap()
-        .0;
+    let best = by_n.iter().max_by(|a, b| a.1.total_cmp(&b.1)).unwrap().0;
     assert!(
         best == 4 || best == 8,
         "best EVE point should be a mid hybrid, got EVE-{best}: {by_n:?}"
@@ -110,7 +112,14 @@ fn taxonomy_spectrum_peaks_between_extremes() {
 /// Table III hardware vector lengths.
 #[test]
 fn hardware_vector_lengths() {
-    for (n, vl) in [(1u32, 2048u32), (2, 2048), (4, 2048), (8, 1024), (16, 512), (32, 256)] {
+    for (n, vl) in [
+        (1u32, 2048u32),
+        (2, 2048),
+        (4, 2048),
+        (8, 1024),
+        (16, 512),
+        (32, 256),
+    ] {
         assert_eq!(EveEngine::new(n).unwrap().hw_vl(), vl);
     }
 }

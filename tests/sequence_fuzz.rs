@@ -4,13 +4,14 @@
 //! Single-operation tests cannot catch state leaking between
 //! μprograms — a stale carry flip-flop, mask latches left set, spare
 //! shifter residue, or scratch-register aliasing. This harness runs
-//! random sequences of macro-ops over a live register file and checks
-//! every architectural register against a plain-Rust golden model
-//! after every step, on every parallelization factor.
+//! seeded-random sequences of macro-ops over a live register file and
+//! checks every architectural register against a plain-Rust golden
+//! model after every step, on every parallelization factor. Fixed
+//! seeds make every failure reproducible.
 
+use eve_common::SplitMix64;
 use eve_sram::{Binding, EveArray};
 use eve_uop::{HybridConfig, MacroOpKind, ProgramLibrary};
-use proptest::prelude::*;
 
 /// Golden semantics of one macro-op.
 fn golden(kind: MacroOpKind, a: u32, b: u32, d: u32) -> u32 {
@@ -39,111 +40,111 @@ fn golden(kind: MacroOpKind, a: u32, b: u32, d: u32) -> u32 {
     }
 }
 
-fn op_strategy() -> impl Strategy<Value = MacroOpKind> {
+/// Draws one macro-op from the fuzz set.
+fn random_op(rng: &mut SplitMix64) -> MacroOpKind {
     use MacroOpKind as M;
-    prop_oneof![
-        Just(M::Mv),
-        Just(M::Not),
-        Just(M::And),
-        Just(M::Or),
-        Just(M::Xor),
-        Just(M::Add),
-        Just(M::Sub),
-        Just(M::Mul),
-        Just(M::MulAcc),
-        Just(M::Divu),
-        Just(M::Remu),
-        (0u8..32).prop_map(M::SllI),
-        (0u8..32).prop_map(M::SrlI),
-        (0u8..32).prop_map(M::SraI),
-        Just(M::Min),
-        Just(M::Max),
-        Just(M::Minu),
-        Just(M::Maxu),
-        any::<u32>().prop_map(M::Splat),
-    ]
+    match rng.below(19) {
+        0 => M::Mv,
+        1 => M::Not,
+        2 => M::And,
+        3 => M::Or,
+        4 => M::Xor,
+        5 => M::Add,
+        6 => M::Sub,
+        7 => M::Mul,
+        8 => M::MulAcc,
+        9 => M::Divu,
+        10 => M::Remu,
+        11 => M::SllI(rng.below(32) as u8),
+        12 => M::SrlI(rng.below(32) as u8),
+        13 => M::SraI(rng.below(32) as u8),
+        14 => M::Min,
+        15 => M::Max,
+        16 => M::Minu,
+        17 => M::Maxu,
+        _ => M::Splat(rng.next_u32()),
+    }
 }
 
-fn configs() -> impl Strategy<Value = HybridConfig> {
-    prop_oneof![
-        Just(HybridConfig::new(1).unwrap()),
-        Just(HybridConfig::new(2).unwrap()),
-        Just(HybridConfig::new(4).unwrap()),
-        Just(HybridConfig::new(8).unwrap()),
-        Just(HybridConfig::new(16).unwrap()),
-        Just(HybridConfig::new(32).unwrap()),
-    ]
+fn configs() -> Vec<HybridConfig> {
+    [1u32, 2, 4, 8, 16, 32]
+        .iter()
+        .map(|&n| HybridConfig::new(n).unwrap())
+        .collect()
 }
 
 const LANES: usize = 3;
 const REGS: u8 = 8; // architectural registers the fuzz uses (v1..v8)
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
-    /// Random op sequences over a live register file: the array and
-    /// the golden model must agree on every register after every op.
-    #[test]
-    fn sequences_never_leak_state(
-        cfg in configs(),
-        seed_vals in prop::collection::vec(any::<u32>(), (REGS as usize) * LANES),
-        ops in prop::collection::vec(
-            (op_strategy(), 1u8..=REGS, 1u8..=REGS, 1u8..=REGS),
-            1..24
-        ),
-    ) {
+/// Random op sequences over a live register file: the array and the
+/// golden model must agree on every register after every op.
+#[test]
+fn sequences_never_leak_state() {
+    let mut rng = SplitMix64::new(0xF022_0001);
+    for cfg in configs() {
         let lib = ProgramLibrary::new(cfg);
-        let mut arr = EveArray::new(cfg, LANES);
-        // Golden register file: [reg][lane].
-        let mut gold = vec![[0u32; LANES]; REGS as usize + 1];
-        for r in 1..=REGS {
-            for lane in 0..LANES {
-                let v = seed_vals[(r as usize - 1) * LANES + lane];
-                arr.write_element(u32::from(r), lane, v);
-                gold[r as usize][lane] = v;
-            }
-        }
-        for (i, &(kind, d, s1, s2)) in ops.iter().enumerate() {
-            let prog = lib.program(kind);
-            arr.execute(&prog, &Binding::new(d, s1, s2));
-            #[allow(clippy::needless_range_loop)] // lock-step across three registers
-            for lane in 0..LANES {
-                gold[d as usize][lane] = golden(
-                    kind,
-                    gold[s1 as usize][lane],
-                    gold[s2 as usize][lane],
-                    gold[d as usize][lane],
-                );
-            }
-            // Every register must match after every step — not just
-            // the one written, so clobbers are caught immediately.
+        for _case in 0..4 {
+            let mut arr = EveArray::new(cfg, LANES);
+            // Golden register file: [reg][lane].
+            let mut gold = vec![[0u32; LANES]; REGS as usize + 1];
             for r in 1..=REGS {
-                #[allow(clippy::needless_range_loop)] // parallel indexing
+                for (lane, g) in gold[r as usize].iter_mut().enumerate() {
+                    let v = rng.next_u32();
+                    arr.write_element(u32::from(r), lane, v);
+                    *g = v;
+                }
+            }
+            let steps = 1 + rng.below(23);
+            for i in 0..steps {
+                let kind = random_op(&mut rng);
+                let d = 1 + rng.below(u64::from(REGS)) as u8;
+                let s1 = 1 + rng.below(u64::from(REGS)) as u8;
+                let s2 = 1 + rng.below(u64::from(REGS)) as u8;
+                let prog = lib.program(kind);
+                arr.execute(&prog, &Binding::new(d, s1, s2));
+                #[allow(clippy::needless_range_loop)] // lock-step across three registers
                 for lane in 0..LANES {
-                    prop_assert_eq!(
-                        arr.read_element(u32::from(r), lane),
-                        gold[r as usize][lane],
-                        "step {} ({:?} d={} s1={} s2={}), reg {} lane {} on {}",
-                        i, kind, d, s1, s2, r, lane, cfg
+                    gold[d as usize][lane] = golden(
+                        kind,
+                        gold[s1 as usize][lane],
+                        gold[s2 as usize][lane],
+                        gold[d as usize][lane],
                     );
+                }
+                // Every register must match after every step — not just
+                // the one written, so clobbers are caught immediately.
+                for r in 1..=REGS {
+                    #[allow(clippy::needless_range_loop)] // parallel indexing
+                    for lane in 0..LANES {
+                        assert_eq!(
+                            arr.read_element(u32::from(r), lane),
+                            gold[r as usize][lane],
+                            "step {i} ({kind:?} d={d} s1={s1} s2={s2}), reg {r} lane {lane} on {cfg}",
+                        );
+                    }
                 }
             }
         }
     }
+}
 
-    /// Destructive aliasing: d == s1 == s2 must still match golden.
-    #[test]
-    fn full_aliasing_is_correct(cfg in configs(), v: u32, kind in op_strategy()) {
+/// Destructive aliasing: d == s1 == s2 must still match golden.
+#[test]
+fn full_aliasing_is_correct() {
+    let mut rng = SplitMix64::new(0xF022_0002);
+    for cfg in configs() {
         let lib = ProgramLibrary::new(cfg);
-        let mut arr = EveArray::new(cfg, 1);
-        arr.write_element(5, 0, v);
-        arr.execute(&lib.program(kind), &Binding::new(5, 5, 5));
-        prop_assert_eq!(
-            arr.read_element(5, 0),
-            golden(kind, v, v, v),
-            "{:?} on {}",
-            kind,
-            cfg
-        );
+        for _ in 0..16 {
+            let v = rng.next_u32();
+            let kind = random_op(&mut rng);
+            let mut arr = EveArray::new(cfg, 1);
+            arr.write_element(5, 0, v);
+            arr.execute(&lib.program(kind), &Binding::new(5, 5, 5));
+            assert_eq!(
+                arr.read_element(5, 0),
+                golden(kind, v, v, v),
+                "{kind:?} on {cfg}",
+            );
+        }
     }
 }
