@@ -6,7 +6,7 @@
 //! and EVE-8 against pathfinder, the kernel the paper singles out for
 //! transpose stalls.
 
-use eve_bench::render_table;
+use eve_bench::{pool, render_table};
 use eve_core::EngineTuning;
 use eve_mem::HierarchyConfig;
 use eve_sim::Runner;
@@ -26,28 +26,30 @@ fn main() {
             cols: 8192,
         }
     };
-    let runner = Runner::new();
-    let mut rows = Vec::new();
-    for n in [1u32, 8] {
-        for dtus in [1usize, 2, 4, 8, 16] {
-            let tuning = EngineTuning {
-                dtus,
-                ..EngineTuning::default()
-            };
-            let r = runner
-                .run_eve_tuned(n, tuning, &w, HierarchyConfig::table_iii())
-                .expect("tuned engine runs");
-            let b = r.breakdown.expect("EVE breakdown");
-            let dt = b.ld_dt_stall + b.st_dt_stall;
-            rows.push(vec![
-                format!("EVE-{n}"),
-                dtus.to_string(),
-                r.cycles.0.to_string(),
-                dt.0.to_string(),
-                format!("{:.1}%", dt.0 as f64 / b.total().0.max(1) as f64 * 100.0),
-            ]);
-        }
-    }
+    // One job per (factor, dtus) grid point; rows merge in grid order.
+    let grid: Vec<(u32, usize)> = [1u32, 8]
+        .iter()
+        .flat_map(|&n| [1usize, 2, 4, 8, 16].iter().map(move |&d| (n, d)))
+        .collect();
+    let rows = pool::run_jobs(grid.len(), |i| {
+        let (n, dtus) = grid[i];
+        let tuning = EngineTuning {
+            dtus,
+            ..EngineTuning::default()
+        };
+        let r = Runner::new()
+            .run_eve_tuned(n, tuning, &w, HierarchyConfig::table_iii())
+            .expect("tuned engine runs");
+        let b = r.breakdown.expect("EVE breakdown");
+        let dt = b.ld_dt_stall + b.st_dt_stall;
+        vec![
+            format!("EVE-{n}"),
+            dtus.to_string(),
+            r.cycles.0.to_string(),
+            dt.0.to_string(),
+            format!("{:.1}%", dt.0 as f64 / b.total().0.max(1) as f64 * 100.0),
+        ]
+    });
     println!("Ablation: DTU count vs pathfinder runtime and transpose stalls");
     println!(
         "{}",

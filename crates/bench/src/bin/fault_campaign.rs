@@ -4,13 +4,17 @@
 //!
 //! Output is a deterministic JSON document — the same seed always
 //! produces byte-identical bytes, so campaign reports diff cleanly.
+//! Cells fan out across threads (injector seeds are pre-derived
+//! serially and results merge in job order, so the bytes match a
+//! serial run; set `EVE_BENCH_THREADS=1` to force one).
 //!
 //! ```text
 //! fault_campaign [--seed N] [--rates R1,R2,..] [--factors N1,N2,..]
 //!                [--retries K] [--workloads W]
 //! ```
 
-use eve_sim::fault::{campaign_json, FaultPlan, RecoveryPolicy};
+use eve_bench::pool;
+use eve_sim::fault::{campaign_doc, campaign_jobs, run_campaign_job, FaultPlan, RecoveryPolicy};
 use eve_workloads::Workload;
 
 fn flag_value(args: &[String], name: &str) -> Option<String> {
@@ -49,6 +53,10 @@ fn main() {
             .collect(),
         None => Workload::tiny_suite(),
     };
-    let doc = campaign_json(&plan, &workloads).expect("campaign runs");
-    println!("{doc}");
+    let jobs = campaign_jobs(&plan, &workloads);
+    let runs = pool::run_jobs(jobs.len(), |i| run_campaign_job(&plan, &jobs[i]))
+        .into_iter()
+        .collect::<Result<Vec<_>, _>>()
+        .expect("campaign runs");
+    println!("{}", campaign_doc(&plan, runs));
 }

@@ -2,10 +2,13 @@
 //! normalized to the in-order core, plus the Table IV speedup columns.
 //!
 //! Run with `--tiny` for a fast smoke sweep, `--json` for raw data.
+//! Workloads run in parallel (`EVE_BENCH_THREADS` overrides the worker
+//! count); rows merge in suite order, so output bytes match a serial
+//! run.
 
-use eve_bench::{fmt_x, render_table};
+use eve_bench::{fmt_x, pool, render_table};
 use eve_common::json::JsonValue;
-use eve_sim::experiments::{geomean_speedup, performance_matrix};
+use eve_sim::experiments::{geomean_speedup, workload_perf};
 use eve_sim::SystemKind;
 use eve_workloads::Workload;
 
@@ -18,7 +21,10 @@ fn main() {
     } else {
         Workload::suite()
     };
-    let perf = performance_matrix(&suite).expect("simulation succeeds");
+    let perf = pool::run_jobs(suite.len(), |i| workload_perf(&suite[i]))
+        .into_iter()
+        .collect::<Result<Vec<_>, _>>()
+        .expect("simulation succeeds");
 
     if json {
         let doc = JsonValue::array(perf.iter().map(|wp| {

@@ -2,9 +2,9 @@
 //! point, normalized to EVE-1's total (busy / vru / memory /
 //! transpose / vmu / empty / dependency stalls).
 
-use eve_bench::render_table;
+use eve_bench::{pool, render_table};
 use eve_common::json::JsonValue;
-use eve_sim::experiments::breakdown_matrix;
+use eve_sim::experiments::workload_breakdown;
 use eve_workloads::Workload;
 
 const CATEGORIES: [&str; 9] = [
@@ -28,7 +28,15 @@ fn main() {
     } else {
         Workload::suite()
     };
-    let rows = breakdown_matrix(&suite).expect("simulation succeeds");
+    // One job per workload (the EVE-1 normalization base is internal
+    // to a workload); rows merge in suite order for byte-stable output.
+    let rows: Vec<_> = pool::run_jobs(suite.len(), |i| workload_breakdown(&suite[i]))
+        .into_iter()
+        .collect::<Result<Vec<_>, _>>()
+        .expect("simulation succeeds")
+        .into_iter()
+        .flatten()
+        .collect();
 
     if json {
         let doc = JsonValue::array(rows.iter().map(|r| {

@@ -1,9 +1,9 @@
 //! Regenerates **Fig 8**: the percentage of execution time the VMU is
 //! stalled issuing requests to the LLC (MSHR back-pressure).
 
-use eve_bench::{fmt_pct, render_table};
+use eve_bench::{fmt_pct, pool, render_table};
 use eve_common::json::JsonValue;
-use eve_sim::experiments::vmu_stall_matrix;
+use eve_sim::experiments::workload_vmu_stalls;
 use eve_workloads::Workload;
 use std::collections::BTreeMap;
 
@@ -16,7 +16,13 @@ fn main() {
     } else {
         Workload::suite()
     };
-    let rows = vmu_stall_matrix(&suite).expect("simulation succeeds");
+    let rows: Vec<_> = pool::run_jobs(suite.len(), |i| workload_vmu_stalls(&suite[i]))
+        .into_iter()
+        .collect::<Result<Vec<_>, _>>()
+        .expect("simulation succeeds")
+        .into_iter()
+        .flatten()
+        .collect();
 
     if json {
         let doc = JsonValue::array(rows.iter().map(|r| {

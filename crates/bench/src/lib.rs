@@ -2,7 +2,10 @@
 //!
 //! Every binary in `src/bin/` regenerates one table or figure from the
 //! paper (see DESIGN.md's experiment index); this library holds the
-//! text-table formatting they share.
+//! text-table formatting they share and the scoped-thread [`pool`]
+//! that fans sweep jobs out across cores.
+
+pub mod pool;
 
 /// Renders a simple aligned text table.
 ///

@@ -1,0 +1,104 @@
+//! A dependency-free scoped-thread job pool for the sweep binaries.
+//!
+//! The experiment sweeps (`fig6`, `fig7`, ablations, `fault_campaign`)
+//! are embarrassingly parallel: independent simulations whose results
+//! are merged in a fixed order. [`run_jobs`] fans a job list out across
+//! worker threads with a shared atomic cursor and returns results
+//! **indexed by job**, so output is byte-identical to a serial run —
+//! any seed derivation must happen *before* the fan-out (see
+//! `eve_sim::fault::campaign_jobs`), never inside workers.
+//!
+//! Worker count comes from [`threads`]: the `EVE_BENCH_THREADS`
+//! environment variable when set (`1` forces the serial path — CI uses
+//! this to cross-check determinism), otherwise the machine's available
+//! parallelism.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Worker threads to use: `EVE_BENCH_THREADS` if set to a positive
+/// integer, else the machine's available parallelism.
+#[must_use]
+pub fn threads() -> usize {
+    if let Ok(v) = std::env::var("EVE_BENCH_THREADS") {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            if n > 0 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+}
+
+/// Runs `jobs` invocations of `f` (by job index) and returns the
+/// results in index order.
+///
+/// With one worker (or one job) this degenerates to a plain serial
+/// loop on the calling thread; otherwise scoped workers pull indices
+/// from an atomic cursor. Result order — and therefore any JSON
+/// rendered from it — is independent of scheduling.
+///
+/// # Panics
+///
+/// Propagates a panic from any job.
+pub fn run_jobs<T, F>(jobs: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let workers = threads().min(jobs);
+    if workers <= 1 {
+        return (0..jobs).map(f).collect();
+    }
+    let cursor = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<T>>> = (0..jobs).map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                if i >= jobs {
+                    break;
+                }
+                let result = f(i);
+                *slots[i].lock().expect("job slot lock") = Some(result);
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("job slot lock")
+                .expect("every job index was claimed and completed")
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_are_in_job_order() {
+        let out = run_jobs(64, |i| i * i);
+        assert_eq!(out, (0..64).map(|i| i * i).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn zero_jobs_is_empty() {
+        let out: Vec<u32> = run_jobs(0, |_| unreachable!("no jobs to run"));
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn uneven_work_still_merges_deterministically() {
+        // Jobs with wildly different costs must not affect order.
+        let out = run_jobs(16, |i| {
+            if i % 3 == 0 {
+                std::thread::sleep(std::time::Duration::from_millis(2));
+            }
+            i
+        });
+        assert_eq!(out, (0..16).collect::<Vec<_>>());
+    }
+}

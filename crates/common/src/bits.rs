@@ -19,6 +19,7 @@
 /// assert!(!bit(0b100, 1));
 /// ```
 #[must_use]
+#[inline]
 pub fn bit(value: u32, index: u32) -> bool {
     assert!(index < 32, "bit index {index} out of range");
     (value >> index) & 1 == 1
@@ -38,6 +39,7 @@ pub fn bit(value: u32, index: u32) -> bool {
 /// assert_eq!(set_bit(0b1010, 1, false), 0b1000);
 /// ```
 #[must_use]
+#[inline]
 pub fn set_bit(value: u32, index: u32, on: bool) -> u32 {
     assert!(index < 32, "bit index {index} out of range");
     if on {
@@ -64,6 +66,7 @@ pub fn set_bit(value: u32, index: u32, on: bool) -> u32 {
 /// assert_eq!(extract_bits(0xABCD_1234, 0, 4), 0x4);
 /// ```
 #[must_use]
+#[inline]
 pub fn extract_bits(value: u32, lo: u32, width: u32) -> u32 {
     assert!(width > 0 && lo + width <= 32, "bad field {lo}+{width}");
     let mask = if width == 32 {
@@ -91,6 +94,7 @@ pub fn extract_bits(value: u32, lo: u32, width: u32) -> u32 {
 /// assert_eq!(deposit_bits(0xFFFF_FFFF, 8, 8, 0x12), 0xFFFF_12FF);
 /// ```
 #[must_use]
+#[inline]
 pub fn deposit_bits(value: u32, lo: u32, width: u32, field: u32) -> u32 {
     assert!(width > 0 && lo + width <= 32, "bad field {lo}+{width}");
     let mask = if width == 32 {

@@ -30,11 +30,13 @@ pub struct SplitMix64 {
 impl SplitMix64 {
     /// A generator seeded with `seed`.
     #[must_use]
+    #[inline]
     pub fn new(seed: u64) -> Self {
         Self { state: seed }
     }
 
     /// The next 64-bit output.
+    #[inline]
     pub fn next_u64(&mut self) -> u64 {
         self.state = self.state.wrapping_add(GAMMA);
         let mut z = self.state;
@@ -44,11 +46,13 @@ impl SplitMix64 {
     }
 
     /// The next 32-bit output (high half of [`Self::next_u64`]).
+    #[inline]
     pub fn next_u32(&mut self) -> u32 {
         (self.next_u64() >> 32) as u32
     }
 
     /// A uniform value in `[0, bound)`; returns 0 when `bound` is 0.
+    #[inline]
     pub fn below(&mut self, bound: u64) -> u64 {
         if bound == 0 {
             0
@@ -60,6 +64,7 @@ impl SplitMix64 {
     }
 
     /// A uniform `f64` in `[0, 1)` with 53 bits of precision.
+    #[inline]
     pub fn next_f64(&mut self) -> f64 {
         (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
     }
@@ -67,6 +72,7 @@ impl SplitMix64 {
     /// One Bernoulli trial: `true` with probability `p` (clamped to
     /// `[0, 1]`). Always draws exactly one value, so interleaved
     /// streams stay aligned regardless of outcome.
+    #[inline]
     pub fn chance(&mut self, p: f64) -> bool {
         let draw = self.next_f64();
         draw < p
@@ -74,6 +80,7 @@ impl SplitMix64 {
 
     /// Forks an independent generator: the child is seeded from this
     /// stream, so `(seed, split order)` fully determines it.
+    #[inline]
     pub fn split(&mut self) -> SplitMix64 {
         SplitMix64::new(self.next_u64())
     }

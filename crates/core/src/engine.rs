@@ -103,6 +103,9 @@ pub struct EveEngine {
     llc_issue_stall: Cycle,
     tlb: Tlb,
     stats: Stats,
+    /// Reused scratch for per-instruction line-request lists, so the
+    /// retire hot path allocates nothing.
+    line_buf: Vec<u64>,
 }
 
 impl EveEngine {
@@ -159,6 +162,7 @@ impl EveEngine {
             llc_issue_stall: Cycle::ZERO,
             tlb: Tlb::new(),
             stats: Stats::new(),
+            line_buf: Vec::new(),
         })
     }
 
@@ -203,6 +207,7 @@ impl EveEngine {
     }
 
     /// Advances the VSU timeline to `t`, attributing the gap.
+    #[inline]
     fn advance_vsu(&mut self, t: Cycle, category: fn(&mut StallBreakdown) -> &mut Cycle) {
         if t > self.vsu_now {
             *category(&mut self.breakdown) += t - self.vsu_now;
@@ -210,11 +215,13 @@ impl EveEngine {
         }
     }
 
+    #[inline]
     fn busy(&mut self, cycles: Cycle) {
         self.breakdown.busy += cycles;
         self.vsu_now += cycles;
     }
 
+    #[inline]
     fn vreg_dep_time(&self, r: &Retired) -> Cycle {
         let mut t = Cycle::ZERO;
         for dep in r.reads.iter().flatten() {
@@ -225,35 +232,42 @@ impl EveEngine {
         t
     }
 
+    #[inline]
     fn set_write_ready(&mut self, r: &Retired, t: Cycle) {
         if let Some(RegId::V(v)) = r.write {
             self.vreg_ready[v.index() as usize] = t;
         }
     }
 
-    fn line_requests(mem: &MemEffect) -> Vec<u64> {
-        let mut lines: Vec<u64> = match mem {
+    /// Collects a memory effect's deduplicated line requests into
+    /// `lines` — a caller-owned scratch buffer (see `line_buf`), so
+    /// the per-instruction hot path does not allocate.
+    fn fill_line_requests(lines: &mut Vec<u64>, mem: &MemEffect) {
+        lines.clear();
+        match mem {
             MemEffect::VecUnit { base, bytes, .. } => {
                 if *bytes == 0 {
-                    return Vec::new();
+                    return;
                 }
                 let first = base / LINE_BYTES;
                 let last = (base + bytes - 1) / LINE_BYTES;
-                (first..=last).collect()
+                lines.extend(first..=last);
             }
             MemEffect::VecStrided {
                 base,
                 stride,
                 count,
                 ..
-            } => (0..u64::from(*count))
-                .map(|i| ((*base as i64 + stride * i as i64) as u64) / LINE_BYTES)
-                .collect(),
-            MemEffect::VecIndexed { addrs, .. } => addrs.iter().map(|a| a / LINE_BYTES).collect(),
-            _ => Vec::new(),
-        };
+            } => lines.extend(
+                (0..u64::from(*count))
+                    .map(|i| ((*base as i64 + stride * i as i64) as u64) / LINE_BYTES),
+            ),
+            MemEffect::VecIndexed { addrs, .. } => {
+                lines.extend(addrs.iter().map(|a| a / LINE_BYTES));
+            }
+            _ => {}
+        }
         lines.dedup();
-        lines
     }
 
     /// One VMU line request: generation + translation (one cycle),
@@ -295,7 +309,8 @@ impl EveEngine {
             self.busy(Cycle(MASK_PROLOGUE));
         }
 
-        let lines = Self::line_requests(&r.mem);
+        let mut lines = std::mem::take(&mut self.line_buf);
+        Self::fill_line_requests(&mut lines, &r.mem);
         let mut t = self
             .vmu_now
             .max(accept)
@@ -303,7 +318,7 @@ impl EveEngine {
         let dt = self.dtu_line_cycles();
         let mut mem_done = t;
         let mut data_done = t;
-        for line in lines {
+        for &line in &lines {
             let (next_t, complete) = self.vmu_request(line, false, t, mem);
             t = next_t;
             mem_done = mem_done.max(complete);
@@ -318,6 +333,7 @@ impl EveEngine {
             };
             data_done = data_done.max(transposed);
         }
+        self.line_buf = lines;
         self.vmu_now = t;
 
         // Attribute the VSU's wait: the part beyond raw memory arrival
@@ -358,7 +374,8 @@ impl EveEngine {
 
         // Detranspose on the DTUs; a deep backlog stalls the VSU.
         let dt = self.dtu_line_cycles();
-        let lines = Self::line_requests(&r.mem);
+        let mut lines = std::mem::take(&mut self.line_buf);
+        Self::fill_line_requests(&mut lines, &r.mem);
         let mut detr_done = self.vsu_now;
         for _ in &lines {
             if dt == 0 {
@@ -379,11 +396,12 @@ impl EveEngine {
 
         // VMU sends the line stores once detransposed.
         let mut t = self.vmu_now.max(detr_done);
-        for line in lines {
+        for &line in &lines {
             let (next_t, complete) = self.vmu_request(line, true, t, mem);
             t = next_t;
             self.pending_store_done = self.pending_store_done.max(complete);
         }
+        self.line_buf = lines;
         // If the VMU falls far behind, the VSU blocks on the store path.
         let vmu_slack = Cycle(64);
         if t > self.vsu_now + vmu_slack {

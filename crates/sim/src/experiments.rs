@@ -35,42 +35,48 @@ pub struct WorkloadPerf {
     pub cells: Vec<PerfCell>,
 }
 
+/// One workload's Fig 6 row: every system, normalized to IO. The unit
+/// of work a parallel driver fans out.
+///
+/// # Errors
+///
+/// Propagates the first simulation failure.
+pub fn workload_perf(w: &Workload) -> Result<WorkloadPerf, SimError> {
+    let runner = Runner::new();
+    let io = runner.run(SystemKind::Io, w)?;
+    let mut cells = Vec::new();
+    let mut vector_dyn = 0;
+    for sys in SystemKind::all() {
+        let r = if sys == SystemKind::Io {
+            io.clone()
+        } else {
+            runner.run(sys, w)?
+        };
+        if sys.is_vector() {
+            vector_dyn = r.dyn_insts;
+        }
+        cells.push(PerfCell {
+            system: sys.to_string(),
+            cycles: r.cycles.0,
+            wall_ps: r.wall_ps.0,
+            speedup_vs_io: r.speedup_over(&io).max(f64::MIN_POSITIVE),
+        });
+    }
+    Ok(WorkloadPerf {
+        workload: w.name().to_string(),
+        scalar_dyn_insts: io.dyn_insts,
+        vector_dyn_insts: vector_dyn,
+        cells,
+    })
+}
+
 /// The full Fig 6 sweep.
 ///
 /// # Errors
 ///
 /// Propagates the first simulation failure.
 pub fn performance_matrix(workloads: &[Workload]) -> Result<Vec<WorkloadPerf>, SimError> {
-    let runner = Runner::new();
-    let mut out = Vec::new();
-    for w in workloads {
-        let io = runner.run(SystemKind::Io, w)?;
-        let mut cells = Vec::new();
-        let mut vector_dyn = 0;
-        for sys in SystemKind::all() {
-            let r = if sys == SystemKind::Io {
-                io.clone()
-            } else {
-                runner.run(sys, w)?
-            };
-            if sys.is_vector() {
-                vector_dyn = r.dyn_insts;
-            }
-            cells.push(PerfCell {
-                system: sys.to_string(),
-                cycles: r.cycles.0,
-                wall_ps: r.wall_ps.0,
-                speedup_vs_io: r.speedup_over(&io).max(f64::MIN_POSITIVE),
-            });
-        }
-        out.push(WorkloadPerf {
-            workload: w.name().to_string(),
-            scalar_dyn_insts: io.dyn_insts,
-            vector_dyn_insts: vector_dyn,
-            cells,
-        });
-    }
-    Ok(out)
+    workloads.iter().map(workload_perf).collect()
 }
 
 /// Geometric mean of speedups for one system across workloads.
@@ -105,37 +111,51 @@ pub struct BreakdownRow {
     pub total_cycles: u64,
 }
 
+/// One workload's Fig 7 rows: every EVE design point, normalized to
+/// that workload's EVE-1 total. The unit of work a parallel driver
+/// fans out (the normalization base is internal to the workload, so
+/// rows stay identical regardless of scheduling).
+///
+/// # Errors
+///
+/// Propagates the first simulation failure.
+pub fn workload_breakdown(w: &Workload) -> Result<Vec<BreakdownRow>, SimError> {
+    let runner = Runner::new();
+    let mut out = Vec::new();
+    let mut eve1_total: f64 = 0.0;
+    for sys in SystemKind::eve_points() {
+        let SystemKind::EveN(n) = sys else {
+            unreachable!()
+        };
+        let r = runner.run(sys, w)?;
+        let b = r.breakdown.expect("EVE runs have breakdowns");
+        if n == 1 {
+            eve1_total = b.total().0.max(1) as f64;
+        }
+        let fractions = b
+            .entries()
+            .iter()
+            .map(|(k, v)| ((*k).to_string(), v.0 as f64 / eve1_total))
+            .collect();
+        out.push(BreakdownRow {
+            workload: w.name().to_string(),
+            factor: n,
+            fractions,
+            total_cycles: r.cycles.0,
+        });
+    }
+    Ok(out)
+}
+
 /// Runs the Fig 7 sweep.
 ///
 /// # Errors
 ///
 /// Propagates the first simulation failure.
 pub fn breakdown_matrix(workloads: &[Workload]) -> Result<Vec<BreakdownRow>, SimError> {
-    let runner = Runner::new();
     let mut out = Vec::new();
     for w in workloads {
-        let mut eve1_total: f64 = 0.0;
-        for sys in SystemKind::eve_points() {
-            let SystemKind::EveN(n) = sys else {
-                unreachable!()
-            };
-            let r = runner.run(sys, w)?;
-            let b = r.breakdown.expect("EVE runs have breakdowns");
-            if n == 1 {
-                eve1_total = b.total().0.max(1) as f64;
-            }
-            let fractions = b
-                .entries()
-                .iter()
-                .map(|(k, v)| ((*k).to_string(), v.0 as f64 / eve1_total))
-                .collect();
-            out.push(BreakdownRow {
-                workload: w.name().to_string(),
-                factor: n,
-                fractions,
-                total_cycles: r.cycles.0,
-            });
-        }
+        out.extend(workload_breakdown(w)?);
     }
     Ok(out)
 }
@@ -151,26 +171,38 @@ pub struct VmuStallRow {
     pub stall_fraction: f64,
 }
 
+/// One workload's Fig 8 rows: every EVE design point. The unit of work
+/// a parallel driver fans out.
+///
+/// # Errors
+///
+/// Propagates the first simulation failure.
+pub fn workload_vmu_stalls(w: &Workload) -> Result<Vec<VmuStallRow>, SimError> {
+    let runner = Runner::new();
+    let mut out = Vec::new();
+    for sys in SystemKind::eve_points() {
+        let SystemKind::EveN(n) = sys else {
+            unreachable!()
+        };
+        let r = runner.run(sys, w)?;
+        out.push(VmuStallRow {
+            workload: w.name().to_string(),
+            factor: n,
+            stall_fraction: r.vmu_llc_stall_fraction().unwrap_or(0.0),
+        });
+    }
+    Ok(out)
+}
+
 /// Runs the Fig 8 sweep.
 ///
 /// # Errors
 ///
 /// Propagates the first simulation failure.
 pub fn vmu_stall_matrix(workloads: &[Workload]) -> Result<Vec<VmuStallRow>, SimError> {
-    let runner = Runner::new();
     let mut out = Vec::new();
     for w in workloads {
-        for sys in SystemKind::eve_points() {
-            let SystemKind::EveN(n) = sys else {
-                unreachable!()
-            };
-            let r = runner.run(sys, w)?;
-            out.push(VmuStallRow {
-                workload: w.name().to_string(),
-                factor: n,
-                stall_fraction: r.vmu_llc_stall_fraction().unwrap_or(0.0),
-            });
-        }
+        out.extend(workload_vmu_stalls(w)?);
     }
     Ok(out)
 }

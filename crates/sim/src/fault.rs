@@ -440,52 +440,105 @@ impl Default for FaultPlan {
     }
 }
 
-/// Runs the campaign and renders a deterministic JSON document: the
-/// same plan and workloads always produce byte-identical output.
+/// One cell of a campaign: the sweep coordinates plus the injector
+/// seed, which is derived *serially* from the plan's master seed by
+/// [`campaign_jobs`] so a parallel driver can execute cells in any
+/// order and still reproduce the serial RNG assignment exactly.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CampaignJob {
+    /// Uniform transient fault rate (0.0 is the control point).
+    pub rate: f64,
+    /// EVE parallelization factor.
+    pub factor: u32,
+    /// Workload to run.
+    pub workload: Workload,
+    /// Pre-derived injector seed for this cell.
+    pub seed: u64,
+}
+
+/// The result of one campaign cell: the verdict for the tally plus the
+/// rendered JSON row.
+#[derive(Debug, Clone)]
+pub struct CampaignRun {
+    /// The run's verdict (feeds the summary tally).
+    pub outcome: FaultOutcome,
+    /// The run's JSON row, in final rendered form.
+    pub row: JsonValue,
+}
+
+/// Expands a plan into its cell list, deriving every injector seed
+/// from the master seed in the canonical rate → factor → workload
+/// order. Seed derivation must stay here — outside any worker — or
+/// parallel runs would diverge from serial ones.
+#[must_use]
+pub fn campaign_jobs(plan: &FaultPlan, workloads: &[Workload]) -> Vec<CampaignJob> {
+    let mut seeder = SplitMix64::new(plan.seed);
+    let mut jobs = Vec::with_capacity(plan.rates.len() * plan.factors.len() * workloads.len());
+    for &rate in &plan.rates {
+        for &factor in &plan.factors {
+            for &workload in workloads {
+                jobs.push(CampaignJob {
+                    rate,
+                    factor,
+                    workload,
+                    seed: seeder.next_u64(),
+                });
+            }
+        }
+    }
+    jobs
+}
+
+/// Runs one campaign cell to a finished JSON row.
 ///
 /// # Errors
 ///
-/// Propagates the first [`SimError`] any run hits.
-pub fn campaign_json(plan: &FaultPlan, workloads: &[Workload]) -> Result<String, SimError> {
-    let mut seeder = SplitMix64::new(plan.seed);
-    let mut runs = Vec::new();
+/// Propagates the cell's [`SimError`], if any.
+pub fn run_campaign_job(plan: &FaultPlan, job: &CampaignJob) -> Result<CampaignRun, SimError> {
+    let cfg = if job.rate == 0.0 {
+        FaultConfig::none(job.seed)
+    } else {
+        FaultConfig::uniform(job.seed, job.rate)
+    };
+    let report = Runner::new().run_faulty(job.factor, &job.workload, cfg, plan.policy)?;
+    let res = report.resilience.as_ref().expect("faulty runs report");
+    let row = JsonValue::object([
+        ("rate", job.rate.into()),
+        ("factor", u64::from(job.factor).into()),
+        ("workload", report.workload.into()),
+        ("seed", job.seed.into()),
+        ("system", report.system.to_string().into()),
+        ("outcome", res.outcome.as_str().into()),
+        ("verified", res.verified.into()),
+        ("cycles", report.cycles.0.into()),
+        ("wall_ps", report.wall_ps.0.into()),
+        ("checked_ops", res.checked_ops.into()),
+        ("parity_alarms", res.parity_alarms.into()),
+        ("retries", res.retries.into()),
+        ("corrupted_lanes", res.corrupted_lanes.into()),
+        ("fault_events", res.fault_stats.total_events().into()),
+        ("stuck_cells", res.fault_stats.stuck_cells.into()),
+    ]);
+    Ok(CampaignRun {
+        outcome: res.outcome,
+        row,
+    })
+}
+
+/// Assembles finished cell results — in [`campaign_jobs`] order — into
+/// the final campaign document.
+#[must_use]
+pub fn campaign_doc(plan: &FaultPlan, runs: Vec<CampaignRun>) -> String {
     let mut tally = [0u64; 4];
-    for &rate in &plan.rates {
-        for &n in &plan.factors {
-            for w in workloads {
-                let seed = seeder.next_u64();
-                let cfg = if rate == 0.0 {
-                    FaultConfig::none(seed)
-                } else {
-                    FaultConfig::uniform(seed, rate)
-                };
-                let report = Runner::new().run_faulty(n, w, cfg, plan.policy)?;
-                let res = report.resilience.as_ref().expect("faulty runs report");
-                tally[match res.outcome {
-                    FaultOutcome::Masked => 0,
-                    FaultOutcome::DetectedCorrected => 1,
-                    FaultOutcome::DetectedDegraded => 2,
-                    FaultOutcome::SilentDataCorruption => 3,
-                }] += 1;
-                runs.push(JsonValue::object([
-                    ("rate", rate.into()),
-                    ("factor", u64::from(n).into()),
-                    ("workload", report.workload.into()),
-                    ("seed", seed.into()),
-                    ("system", report.system.to_string().into()),
-                    ("outcome", res.outcome.as_str().into()),
-                    ("verified", res.verified.into()),
-                    ("cycles", report.cycles.0.into()),
-                    ("wall_ps", report.wall_ps.0.into()),
-                    ("checked_ops", res.checked_ops.into()),
-                    ("parity_alarms", res.parity_alarms.into()),
-                    ("retries", res.retries.into()),
-                    ("corrupted_lanes", res.corrupted_lanes.into()),
-                    ("fault_events", res.fault_stats.total_events().into()),
-                    ("stuck_cells", res.fault_stats.stuck_cells.into()),
-                ]));
-            }
-        }
+    let mut rows = Vec::with_capacity(runs.len());
+    for run in runs {
+        tally[match run.outcome {
+            FaultOutcome::Masked => 0,
+            FaultOutcome::DetectedCorrected => 1,
+            FaultOutcome::DetectedDegraded => 2,
+            FaultOutcome::SilentDataCorruption => 3,
+        }] += 1;
+        rows.push(run.row);
     }
     let doc = JsonValue::object([
         ("seed", plan.seed.into()),
@@ -502,9 +555,25 @@ pub fn campaign_json(plan: &FaultPlan, workloads: &[Workload]) -> Result<String,
                 ("silent_data_corruption", tally[3].into()),
             ]),
         ),
-        ("runs", JsonValue::Array(runs)),
+        ("runs", JsonValue::Array(rows)),
     ]);
-    Ok(doc.to_pretty())
+    doc.to_pretty()
+}
+
+/// Runs the campaign serially and renders a deterministic JSON
+/// document: the same plan and workloads always produce byte-identical
+/// output. The `fault_campaign` binary fans the same jobs out across
+/// threads and must byte-match this function.
+///
+/// # Errors
+///
+/// Propagates the first [`SimError`] any run hits.
+pub fn campaign_json(plan: &FaultPlan, workloads: &[Workload]) -> Result<String, SimError> {
+    let runs = campaign_jobs(plan, workloads)
+        .iter()
+        .map(|job| run_campaign_job(plan, job))
+        .collect::<Result<Vec<_>, _>>()?;
+    Ok(campaign_doc(plan, runs))
 }
 
 #[cfg(test)]

@@ -1,20 +1,25 @@
 //! The bit-accurate EVE SRAM array and μprogram executor.
 //!
 //! [`EveArray`] models one array's storage *and* the peripheral circuit
-//! stacks of §III at bit granularity. Because every column group (lane)
-//! is `n` adjacent columns, a row is stored as one `n`-bit segment value
-//! per lane — bit-for-bit equivalent to the physical layout while
-//! keeping the model readable.
+//! stacks of §III at bit granularity. The lane dimension is *bitsliced*:
+//! bit `b` of every lane's segment lives in one packed bit-plane of
+//! `lanes/64` words, so a μop that touches all lanes becomes a handful
+//! of word-wide boolean ops instead of a per-lane loop. The Manchester
+//! carry chain turns into the word-parallel carry recurrence
+//! `carry' = (a & b) | (carry & (a ^ b))` evaluated once per bit
+//! position. See DESIGN.md, "Lane-bitsliced data layout".
 //!
 //! The executor runs complete μprograms: counter and control μops like
 //! the VSU, arithmetic μops like the circuits. Timing semantics match
 //! `eve_uop::latency`: one tuple per cycle, every μop in a tuple reads
 //! start-of-cycle state, and only the fused control μop observes its
 //! counter update.
-
-// Lane loops index several parallel per-lane state vectors in lock-step,
-// mirroring the physical column groups; iterator zips would obscure that.
-#![allow(clippy::needless_range_loop)]
+//!
+//! When a `FaultInjector` is attached, the affected data paths fall
+//! back to lane-serial loops so injector callbacks fire per lane in
+//! exactly the order the scalar reference executor ([`crate::scalar`])
+//! uses — the injector's RNG stream, and therefore every campaign
+//! artifact, stays bit-identical.
 
 use crate::fault::FaultInjector;
 use eve_common::bits::{deposit_bits, extract_bits};
@@ -28,6 +33,9 @@ use eve_uop::{
 pub const ARCH_VREGS: u32 = 32;
 /// Scratch registers reserved for μprograms (see `eve_uop::library`).
 pub const SCRATCH_VREGS: u32 = 6;
+
+/// Lanes per packed storage word.
+const WORD_BITS: usize = 64;
 
 /// Binds the abstract μprogram slots to physical vector registers.
 ///
@@ -94,47 +102,105 @@ struct FaultState {
     alarms: u64,
 }
 
+#[inline]
 fn odd_parity(v: u32) -> bool {
     v.count_ones() & 1 == 1
 }
 
-/// Combinational outputs of the last bit-line compute, latched for the
-/// following writeback (per lane).
-#[derive(Debug, Clone, Default)]
-struct BlcLatch {
-    and: Vec<u32>,
-    nand: Vec<u32>,
-    or: Vec<u32>,
-    nor: Vec<u32>,
-    xor: Vec<u32>,
-    xnor: Vec<u32>,
-    sum: Vec<u32>,
+/// Gathers one lane's segment value out of a bit-plane group
+/// (`bits` planes of `words` words each).
+#[inline]
+fn lane_get(planes: &[u64], words: usize, bits: usize, lane: usize) -> u32 {
+    let (w, s) = (lane / WORD_BITS, lane % WORD_BITS);
+    let mut v = 0u32;
+    for b in 0..bits {
+        v |= (((planes[b * words + w] >> s) & 1) as u32) << b;
+    }
+    v
 }
 
-/// One bit-accurate EVE SRAM array.
+/// Scatters one lane's segment value into a bit-plane group.
+#[inline]
+fn lane_set(planes: &mut [u64], words: usize, bits: usize, lane: usize, value: u32) {
+    let (w, s) = (lane / WORD_BITS, lane % WORD_BITS);
+    let m = 1u64 << s;
+    for b in 0..bits {
+        let i = b * words + w;
+        if (value >> b) & 1 == 1 {
+            planes[i] |= m;
+        } else {
+            planes[i] &= !m;
+        }
+    }
+}
+
+/// One lane's bit of a single-plane latch (mask, carry, spare).
+#[inline]
+fn word_bit(plane: &[u64], lane: usize) -> bool {
+    (plane[lane / WORD_BITS] >> (lane % WORD_BITS)) & 1 == 1
+}
+
+/// Mask-gated blend: lanes set in `m` take `src`, the rest keep `dst`.
+#[inline]
+fn blend(dst: u64, src: u64, m: u64) -> u64 {
+    dst ^ ((dst ^ src) & m)
+}
+
+/// Latched outputs of the last bit-line compute, as lane bit-planes.
+///
+/// Only the positive-polarity layers are stored; `nand`/`nor`/`xnor`
+/// are exact complements over the live lanes and are derived at read
+/// time. `valid` is false until the first `blc`, when every source
+/// (including the complements) must still read as zero — matching the
+/// scalar latch's empty state.
+#[derive(Debug, Clone, Default)]
+struct BlcLatch {
+    and: Vec<u64>,
+    or: Vec<u64>,
+    xor: Vec<u64>,
+    sum: Vec<u64>,
+    valid: bool,
+}
+
+/// One bit-accurate EVE SRAM array, lane-bitsliced.
 ///
 /// Rows are addressed logically: register `v` occupies rows
 /// `v * segments .. (v+1) * segments`, architectural registers first,
 /// then the μprogram scratch registers. (Physically registers beyond a
 /// column group's capacity spill into repurposed column stacks — see
 /// DESIGN.md; the logical view is bit- and cycle-equivalent.)
+///
+/// Storage layout: row `r`, bit `b`, word `w` lives at
+/// `storage[(r * bits + b) * words + w]`; bit `l % 64` of that word is
+/// lane `w * 64 + l`'s bit `b`. Bits at positions `>= lanes` in the
+/// last word of every plane are kept zero (the tail invariant), so
+/// complements are computed as `x ^ full[w]` against the live-lane
+/// mask rather than `!x`.
 #[derive(Debug, Clone)]
 pub struct EveArray {
     cfg: HybridConfig,
     lanes: usize,
+    rows: usize,
+    /// Bits per segment (planes per row).
+    bits: usize,
+    /// Packed words per bit-plane: `lanes.div_ceil(64)`.
+    words: usize,
     seg_mask: u32,
-    /// `storage[row][lane]`: the `n`-bit segment of each lane.
-    storage: Vec<Vec<u32>>,
-    /// XRegister: `n`-bit shift-right register per lane.
-    xreg: Vec<u32>,
-    /// Add-logic carry, held in a spare-shifter flip-flop (§III-C).
-    carry: Vec<bool>,
-    /// Mask latches, one per lane.
-    mask: Vec<bool>,
-    /// Constant shifter contents per lane.
-    shifter: Vec<u32>,
+    /// Live-lane mask per word (all ones except the tail of the last
+    /// word).
+    full: Vec<u64>,
+    /// Row bit-planes: `rows * bits * words` packed words.
+    storage: Vec<u64>,
+    /// XRegister bit-planes (`bits * words`).
+    xreg: Vec<u64>,
+    /// Constant shifter bit-planes (`bits * words`).
+    shifter: Vec<u64>,
+    /// Add-logic carry, one bit per lane (§III-C spare-shifter FF).
+    carry: Vec<u64>,
+    /// Mask latches, one bit per lane.
+    mask: Vec<u64>,
     /// Spare shifter's cross-segment bit per lane.
-    spare: Vec<bool>,
+    spare: Vec<u64>,
     /// Latched outputs of the last `blc`.
     blc: BlcLatch,
     /// Data driven out by the last `Read` μop.
@@ -144,6 +210,12 @@ pub struct EveArray {
     /// Fault injection and parity tracking; `None` in healthy runs so
     /// the hot path pays nothing.
     fault: Option<FaultState>,
+    /// Scratch planes for fault-path sensed operands (reused across
+    /// cycles — no per-cycle allocation).
+    scr_a: Vec<u64>,
+    scr_b: Vec<u64>,
+    /// Scratch word-plane for shifter rotations.
+    scr_c: Vec<u64>,
 }
 
 impl EveArray {
@@ -158,39 +230,76 @@ impl EveArray {
         assert!(lanes > 0, "an array needs at least one lane");
         let segs = cfg.segments() as usize;
         let rows = (ARCH_VREGS + SCRATCH_VREGS) as usize * segs;
-        let bits = cfg.segment_bits();
+        let bits = cfg.segment_bits() as usize;
         let seg_mask = if bits == 32 {
             u32::MAX
         } else {
             (1 << bits) - 1
         };
+        let words = lanes.div_ceil(WORD_BITS);
+        let mut full = vec![u64::MAX; words];
+        let tail = lanes % WORD_BITS;
+        if tail != 0 {
+            full[words - 1] = (1u64 << tail) - 1;
+        }
+        let plane = bits * words;
         Self {
             cfg,
             lanes,
+            rows,
+            bits,
+            words,
             seg_mask,
-            storage: vec![vec![0; lanes]; rows],
-            xreg: vec![0; lanes],
-            carry: vec![false; lanes],
-            mask: vec![false; lanes],
-            shifter: vec![0; lanes],
-            spare: vec![false; lanes],
-            blc: BlcLatch::default(),
+            full,
+            storage: vec![0; rows * plane],
+            xreg: vec![0; plane],
+            shifter: vec![0; plane],
+            carry: vec![0; words],
+            mask: vec![0; words],
+            spare: vec![0; words],
+            blc: BlcLatch {
+                and: vec![0; plane],
+                or: vec![0; plane],
+                xor: vec![0; plane],
+                sum: vec![0; plane],
+                valid: false,
+            },
             data_out: vec![0; lanes],
             data_in: vec![0; lanes],
             fault: None,
+            scr_a: vec![0; plane],
+            scr_b: vec![0; plane],
+            scr_c: vec![0; words],
         }
+    }
+
+    /// Packed words per bit-plane group of one row.
+    #[inline]
+    fn plane_len(&self) -> usize {
+        self.bits * self.words
+    }
+
+    /// Index range of `row`'s bit-planes in `storage`.
+    #[inline]
+    fn row_range(&self, row: usize) -> std::ops::Range<usize> {
+        let pl = self.plane_len();
+        row * pl..(row + 1) * pl
     }
 
     /// Attaches a fault injector and switches on parity tracking: the
     /// current contents get fresh parity, and every later write
     /// regenerates its row's parity from the intended value.
     pub fn attach_injector(&mut self, mut inj: FaultInjector) {
-        let rows = self.storage.len();
-        inj.arm(rows as u32, self.lanes as u32, self.cfg.segment_bits());
-        let parity = self
-            .storage
-            .iter()
-            .map(|row| row.iter().map(|&v| odd_parity(v)).collect())
+        inj.arm(self.rows as u32, self.lanes as u32, self.cfg.segment_bits());
+        let (bits, words) = (self.bits, self.words);
+        let pl = self.plane_len();
+        let parity = (0..self.rows)
+            .map(|row| {
+                let planes = &self.storage[row * pl..(row + 1) * pl];
+                (0..self.lanes)
+                    .map(|lane| odd_parity(lane_get(planes, words, bits, lane)))
+                    .collect()
+            })
             .collect();
         self.fault = Some(FaultState {
             inj,
@@ -230,33 +339,32 @@ impl EveArray {
     /// value and then letting the injector corrupt the latch.
     #[inline]
     fn store_cell(&mut self, row: usize, lane: usize, value: u32) {
-        match &mut self.fault {
-            None => self.storage[row][lane] = value,
+        let (bits, words) = (self.bits, self.words);
+        let range = self.row_range(row);
+        let value = match &mut self.fault {
+            None => value,
             Some(f) => {
                 f.parity[row][lane] = odd_parity(value);
-                self.storage[row][lane] = f.inj.corrupt_write(row as u32, lane as u32, value);
+                f.inj.corrupt_write(row as u32, lane as u32, value)
             }
-        }
+        };
+        lane_set(&mut self.storage[range], words, bits, lane, value);
     }
 
-    /// Checks a cell's parity on a μprogram read, raising an alarm on
-    /// mismatch.
-    #[inline]
-    fn check_parity(&mut self, row: usize, lane: usize) {
-        if let Some(f) = &mut self.fault {
-            if f.parity[row][lane] != odd_parity(self.storage[row][lane]) {
-                f.alarms += 1;
-            }
-        }
-    }
-
-    /// Parity-checks every lane of a row (the row is read as one wide
-    /// word, parity bits interleaved lane by lane).
+    /// Parity-checks every lane of a row on a μprogram read (the row is
+    /// read as one wide word, parity bits interleaved lane by lane),
+    /// raising an alarm per mismatch.
     #[inline]
     fn check_row_parity(&mut self, row: usize) {
-        if self.fault.is_some() {
-            for lane in 0..self.lanes {
-                self.check_parity(row, lane);
+        let (bits, words) = (self.bits, self.words);
+        let range = self.row_range(row);
+        let lanes = self.lanes;
+        if let Some(f) = &mut self.fault {
+            let planes = &self.storage[range];
+            for (lane, &p) in f.parity[row][..lanes].iter().enumerate() {
+                if p != odd_parity(lane_get(planes, words, bits, lane)) {
+                    f.alarms += 1;
+                }
             }
         }
     }
@@ -301,7 +409,13 @@ impl EveArray {
         let mut value = 0;
         for s in 0..segs {
             let row = self.reg_row(vreg, s);
-            value = deposit_bits(value, s * bits, bits, self.storage[row][lane]);
+            let seg = lane_get(
+                &self.storage[self.row_range(row)],
+                self.words,
+                self.bits,
+                lane,
+            );
+            value = deposit_bits(value, s * bits, bits, seg);
         }
         value
     }
@@ -311,7 +425,8 @@ impl EveArray {
     #[must_use]
     pub fn read_mask_bit(&self, vreg: u32, lane: usize) -> bool {
         let row = self.reg_row(vreg, 0);
-        self.storage[row][lane] & 1 == 1
+        let base = row * self.plane_len();
+        word_bit(&self.storage[base..base + self.words], lane)
     }
 
     /// Writes a mask bit into register `vreg` for `lane`.
@@ -418,27 +533,179 @@ impl EveArray {
         self.reg_row(vreg, seg)
     }
 
+    /// One packed word of a writeback source: bit-plane `b`, word `w`.
+    ///
+    /// Complement sources derive from the stored positive planes over
+    /// the live lanes; before the first `blc` they read zero like every
+    /// other latch output.
+    #[inline]
+    fn src_word(&self, src: ComputeSrc, b: usize, w: usize) -> u64 {
+        let i = b * self.words + w;
+        match src {
+            ComputeSrc::And => self.blc.and[i],
+            ComputeSrc::Nand => {
+                if self.blc.valid {
+                    self.blc.and[i] ^ self.full[w]
+                } else {
+                    0
+                }
+            }
+            ComputeSrc::Or => self.blc.or[i],
+            ComputeSrc::Nor => {
+                if self.blc.valid {
+                    self.blc.or[i] ^ self.full[w]
+                } else {
+                    0
+                }
+            }
+            ComputeSrc::Xor => self.blc.xor[i],
+            ComputeSrc::Xnor => {
+                if self.blc.valid {
+                    self.blc.xor[i] ^ self.full[w]
+                } else {
+                    0
+                }
+            }
+            ComputeSrc::Add => self.blc.sum[i],
+            ComputeSrc::Shift => self.shifter[i],
+            ComputeSrc::Mask => {
+                if b == 0 {
+                    self.mask[w]
+                } else {
+                    0
+                }
+            }
+        }
+    }
+
+    /// One lane's value of a writeback source (fault-path writebacks).
+    #[inline]
+    fn src_lane(&self, src: ComputeSrc, lane: usize) -> u32 {
+        let (bits, words) = (self.bits, self.words);
+        let pick = |planes: &[u64]| lane_get(planes, words, bits, lane);
+        match src {
+            ComputeSrc::And => pick(&self.blc.and),
+            ComputeSrc::Nand => {
+                if self.blc.valid {
+                    !pick(&self.blc.and) & self.seg_mask
+                } else {
+                    0
+                }
+            }
+            ComputeSrc::Or => pick(&self.blc.or),
+            ComputeSrc::Nor => {
+                if self.blc.valid {
+                    !pick(&self.blc.or) & self.seg_mask
+                } else {
+                    0
+                }
+            }
+            ComputeSrc::Xor => pick(&self.blc.xor),
+            ComputeSrc::Xnor => {
+                if self.blc.valid {
+                    !pick(&self.blc.xor) & self.seg_mask
+                } else {
+                    0
+                }
+            }
+            ComputeSrc::Add => pick(&self.blc.sum),
+            ComputeSrc::Shift => pick(&self.shifter),
+            ComputeSrc::Mask => u32::from(word_bit(&self.mask, lane)),
+        }
+    }
+
+    /// Writes a computed source into a row. Healthy runs blend whole
+    /// bit-planes; with an injector attached, falls back to per-lane
+    /// stores so `corrupt_write` fires in ascending lane order for the
+    /// mask-selected lanes only — the scalar executor's exact RNG
+    /// order.
+    fn write_row(&mut self, row: usize, src: ComputeSrc, masked: bool) {
+        if self.fault.is_some() {
+            for lane in 0..self.lanes {
+                if !masked || word_bit(&self.mask, lane) {
+                    let v = self.src_lane(src, lane);
+                    self.store_cell(row, lane, v);
+                }
+            }
+            return;
+        }
+        let (bits, words) = (self.bits, self.words);
+        let base = row * self.plane_len();
+        for b in 0..bits {
+            for w in 0..words {
+                let v = self.src_word(src, b, w);
+                let i = base + b * words + w;
+                if masked {
+                    self.storage[i] = blend(self.storage[i], v, self.mask[w]);
+                } else {
+                    self.storage[i] = v;
+                }
+            }
+        }
+    }
+
     fn exec_arith(&mut self, uop: &ArithUop, binding: &Binding, counters: &CounterFile) {
         match *uop {
             ArithUop::Nop => {}
             ArithUop::Read { op } => {
                 let row = self.resolve(&op, binding, counters);
                 self.check_row_parity(row);
-                self.data_out.copy_from_slice(&self.storage[row]);
+                let this = &mut *self;
+                let planes = &this.storage[row * this.bits * this.words..];
+                for (lane, out) in this.data_out.iter_mut().enumerate() {
+                    *out = lane_get(planes, this.words, this.bits, lane);
+                }
             }
             ArithUop::WriteConst { op, value, masked } => {
                 let row = self.resolve(&op, binding, counters);
-                for lane in 0..self.lanes {
-                    if !masked || self.mask[lane] {
-                        self.store_cell(row, lane, value & self.seg_mask);
+                let value = value & self.seg_mask;
+                if self.fault.is_some() {
+                    for lane in 0..self.lanes {
+                        if !masked || word_bit(&self.mask, lane) {
+                            self.store_cell(row, lane, value);
+                        }
+                    }
+                } else {
+                    let (bits, words) = (self.bits, self.words);
+                    let base = row * self.plane_len();
+                    for b in 0..bits {
+                        for w in 0..words {
+                            let v = if (value >> b) & 1 == 1 {
+                                self.full[w]
+                            } else {
+                                0
+                            };
+                            let i = base + b * words + w;
+                            if masked {
+                                self.storage[i] = blend(self.storage[i], v, self.mask[w]);
+                            } else {
+                                self.storage[i] = v;
+                            }
+                        }
                     }
                 }
             }
             ArithUop::WriteDataIn { op } => {
                 let row = self.resolve(&op, binding, counters);
-                for lane in 0..self.lanes {
-                    let v = self.data_in[lane] & self.seg_mask;
-                    self.store_cell(row, lane, v);
+                if self.fault.is_some() {
+                    for lane in 0..self.lanes {
+                        let v = self.data_in[lane] & self.seg_mask;
+                        self.store_cell(row, lane, v);
+                    }
+                } else {
+                    let range = self.row_range(row);
+                    let this = &mut *self;
+                    let planes = &mut this.storage[range];
+                    planes.fill(0);
+                    for (lane, &d) in this.data_in.iter().enumerate() {
+                        let (w, s) = (lane / WORD_BITS, lane % WORD_BITS);
+                        let mut rest = d & this.seg_mask;
+                        while rest != 0 {
+                            let b = rest.trailing_zeros() as usize;
+                            planes[b * this.words + w] |= 1u64 << s;
+                            rest &= rest - 1;
+                        }
+                    }
                 }
             }
             ArithUop::Blc { a, b, carry_in } => {
@@ -446,190 +713,230 @@ impl EveArray {
                 let rb = self.resolve(&b, binding, counters);
                 self.do_blc(ra, rb, carry_in);
             }
-            ArithUop::Writeback { dst, src, masked } => {
-                let value: Vec<u32> = (0..self.lanes)
-                    .map(|lane| self.compute_value(src, lane))
-                    .collect();
-                match dst {
-                    WbDest::Row(op) => {
-                        let row = self.resolve(&op, binding, counters);
-                        for lane in 0..self.lanes {
-                            if !masked || self.mask[lane] {
-                                self.store_cell(row, lane, value[lane]);
-                            }
-                        }
+            ArithUop::Writeback { dst, src, masked } => match dst {
+                WbDest::Row(op) => {
+                    let row = self.resolve(&op, binding, counters);
+                    self.write_row(row, src, masked);
+                }
+                WbDest::MaskReg => {
+                    // The mask latch takes bit 0 of the source; the old
+                    // mask is both the predication gate and the kept
+                    // value.
+                    for w in 0..self.words {
+                        let v = self.src_word(src, 0, w);
+                        self.mask[w] = if masked {
+                            blend(self.mask[w], v, self.mask[w])
+                        } else {
+                            v
+                        };
                     }
-                    WbDest::MaskReg => {
-                        for lane in 0..self.lanes {
-                            if !masked || self.mask[lane] {
-                                self.mask[lane] = value[lane] & 1 == 1;
-                            }
-                        }
-                    }
-                    WbDest::XReg => {
-                        for lane in 0..self.lanes {
-                            if !masked || self.mask[lane] {
-                                self.xreg[lane] = value[lane];
+                }
+                WbDest::XReg => {
+                    let (bits, words) = (self.bits, self.words);
+                    for b in 0..bits {
+                        for w in 0..words {
+                            let v = self.src_word(src, b, w);
+                            let i = b * words + w;
+                            if masked {
+                                self.xreg[i] = blend(self.xreg[i], v, self.mask[w]);
+                            } else {
+                                self.xreg[i] = v;
                             }
                         }
                     }
                 }
-            }
+            },
             ArithUop::LoadShifter { op } => {
                 let row = self.resolve(&op, binding, counters);
                 self.check_row_parity(row);
-                self.shifter.copy_from_slice(&self.storage[row]);
+                let range = self.row_range(row);
+                let this = &mut *self;
+                this.shifter.copy_from_slice(&this.storage[range]);
             }
             ArithUop::StoreShifter { op, masked } => {
                 let row = self.resolve(&op, binding, counters);
-                for lane in 0..self.lanes {
-                    if !masked || self.mask[lane] {
-                        let v = self.shifter[lane];
-                        self.store_cell(row, lane, v);
-                    }
-                }
+                self.write_row(row, ComputeSrc::Shift, masked);
             }
             ArithUop::LoadXReg { op } => {
                 let row = self.resolve(&op, binding, counters);
                 self.check_row_parity(row);
-                self.xreg.copy_from_slice(&self.storage[row]);
+                let range = self.row_range(row);
+                let this = &mut *self;
+                this.xreg.copy_from_slice(&this.storage[range]);
             }
-            ArithUop::ShiftLeft { masked } => {
-                let msb = self.cfg.segment_bits() - 1;
-                for lane in 0..self.lanes {
-                    if masked && !self.mask[lane] {
-                        continue;
-                    }
-                    let out = (self.shifter[lane] >> msb) & 1 == 1;
-                    self.shifter[lane] =
-                        ((self.shifter[lane] << 1) | u32::from(self.spare[lane])) & self.seg_mask;
-                    self.spare[lane] = out;
-                }
-            }
-            ArithUop::ShiftRight { masked } => {
-                let msb = self.cfg.segment_bits() - 1;
-                for lane in 0..self.lanes {
-                    if masked && !self.mask[lane] {
-                        continue;
-                    }
-                    let out = self.shifter[lane] & 1 == 1;
-                    self.shifter[lane] =
-                        (self.shifter[lane] >> 1) | (u32::from(self.spare[lane]) << msb);
-                    self.spare[lane] = out;
-                }
-            }
-            ArithUop::RotateLeft { masked } => {
-                let msb = self.cfg.segment_bits() - 1;
-                for lane in 0..self.lanes {
-                    if masked && !self.mask[lane] {
-                        continue;
-                    }
-                    let out = (self.shifter[lane] >> msb) & 1;
-                    self.shifter[lane] = ((self.shifter[lane] << 1) | out) & self.seg_mask;
-                }
-            }
-            ArithUop::RotateRight { masked } => {
-                let msb = self.cfg.segment_bits() - 1;
-                for lane in 0..self.lanes {
-                    if masked && !self.mask[lane] {
-                        continue;
-                    }
-                    let out = self.shifter[lane] & 1;
-                    self.shifter[lane] = (self.shifter[lane] >> 1) | (out << msb);
-                }
-            }
+            ArithUop::ShiftLeft { masked } => self.shift_left(masked, false),
+            ArithUop::ShiftRight { masked } => self.shift_right(masked, false),
+            ArithUop::RotateLeft { masked } => self.shift_left(masked, true),
+            ArithUop::RotateRight { masked } => self.shift_right(masked, true),
             ArithUop::MaskShift => {
-                for lane in 0..self.lanes {
-                    self.xreg[lane] >>= 1;
+                let (bits, words) = (self.bits, self.words);
+                for b in 0..bits - 1 {
+                    for w in 0..words {
+                        self.xreg[b * words + w] = self.xreg[(b + 1) * words + w];
+                    }
                 }
+                self.xreg[(bits - 1) * words..].fill(0);
             }
             ArithUop::SetMask { src, invert } => {
-                let msb = self.cfg.segment_bits() - 1;
-                for lane in 0..self.lanes {
+                let msb = (self.bits - 1) * self.words;
+                for w in 0..self.words {
                     let bit = match src {
-                        MaskSrc::XRegLsb => self.xreg[lane] & 1 == 1,
-                        MaskSrc::XRegMsb => (self.xreg[lane] >> msb) & 1 == 1,
-                        MaskSrc::AddMsb => {
-                            let sum = self.blc.sum.get(lane).copied().unwrap_or(0);
-                            (sum >> msb) & 1 == 1
-                        }
-                        MaskSrc::Carry => self.carry[lane],
-                        MaskSrc::AllOnes => true,
+                        MaskSrc::XRegLsb => self.xreg[w],
+                        MaskSrc::XRegMsb => self.xreg[msb + w],
+                        MaskSrc::AddMsb => self.blc.sum[msb + w],
+                        MaskSrc::Carry => self.carry[w],
+                        MaskSrc::AllOnes => self.full[w],
                     };
-                    self.mask[lane] = bit != invert;
+                    self.mask[w] = if invert { bit ^ self.full[w] } else { bit };
                 }
             }
             ArithUop::SetCarry { value } => {
-                self.carry.iter_mut().for_each(|c| *c = value);
+                if value {
+                    let this = &mut *self;
+                    this.carry.copy_from_slice(&this.full);
+                } else {
+                    self.carry.fill(0);
+                }
             }
             ArithUop::ClearSpare => {
-                self.spare.iter_mut().for_each(|s| *s = false);
+                self.spare.fill(0);
             }
         }
     }
 
+    /// Bit-line compute: senses rows `ra` and `rb` and latches every
+    /// logic layer's output, one packed word at a time. Carry
+    /// propagation across bit positions is the word-parallel recurrence
+    /// `carry' = (a & b) | (carry & (a ^ b))` — all lanes advance one
+    /// bit per iteration, replacing the per-lane Manchester chain.
     fn do_blc(&mut self, ra: usize, rb: usize, carry_in: CarryIn) {
         self.check_row_parity(ra);
         self.check_row_parity(rb);
-        let lanes = self.lanes;
-        let mut latch = BlcLatch {
-            and: Vec::with_capacity(lanes),
-            nand: Vec::with_capacity(lanes),
-            or: Vec::with_capacity(lanes),
-            nor: Vec::with_capacity(lanes),
-            xor: Vec::with_capacity(lanes),
-            xnor: Vec::with_capacity(lanes),
-            sum: Vec::with_capacity(lanes),
-        };
-        for lane in 0..lanes {
-            let mut a = self.storage[ra][lane];
-            let mut b = self.storage[rb][lane];
-            if let Some(f) = &mut self.fault {
-                // Sense-amp glitches corrupt the operands *before* the
-                // logic layers latch them.
-                a = f.inj.corrupt_sense(ra as u32, lane as u32, a);
-                b = f.inj.corrupt_sense(rb as u32, lane as u32, b);
+        let (bits, words) = (self.bits, self.words);
+        let pl = bits * words;
+        let faulty = self.fault.is_some();
+        if faulty {
+            // Sense-amp glitches corrupt the operands *before* the
+            // logic layers latch them. Unpack and re-pack per lane so
+            // the injector sees the scalar executor's exact call order
+            // (lane 0: a then b, lane 1: a then b, ...).
+            for lane in 0..self.lanes {
+                let av = lane_get(&self.storage[ra * pl..(ra + 1) * pl], words, bits, lane);
+                let bv = lane_get(&self.storage[rb * pl..(rb + 1) * pl], words, bits, lane);
+                let f = self.fault.as_mut().expect("fault state present");
+                let av = f.inj.corrupt_sense(ra as u32, lane as u32, av);
+                let bv = f.inj.corrupt_sense(rb as u32, lane as u32, bv);
+                lane_set(&mut self.scr_a, words, bits, lane, av);
+                lane_set(&mut self.scr_b, words, bits, lane, bv);
             }
-            let and = a & b;
-            let or = a | b;
-            let nand = !and & self.seg_mask;
-            let nor = !or & self.seg_mask;
-            // XOR/XNOR logic layer: derived from nand and or (§III).
-            let xor = nand & or;
-            let xnor = !xor & self.seg_mask;
-            let cin = match carry_in {
-                CarryIn::Stored => u32::from(self.carry[lane]),
-                CarryIn::Zero => 0,
-                CarryIn::One => 1,
-            };
-            // Manchester carry chain over the n-bit segment.
-            let wide = u64::from(a) + u64::from(b) + u64::from(cin);
-            let sum = (wide as u32) & self.seg_mask;
-            let cout = wide >> self.cfg.segment_bits() != 0;
-            self.carry[lane] = cout;
-            latch.and.push(and);
-            latch.nand.push(nand);
-            latch.or.push(or);
-            latch.nor.push(nor);
-            latch.xor.push(xor);
-            latch.xnor.push(xnor);
-            latch.sum.push(sum);
         }
-        self.blc = latch;
+        let this = &mut *self;
+        let (pa, pb): (&[u64], &[u64]) = if faulty {
+            (&this.scr_a, &this.scr_b)
+        } else {
+            (
+                &this.storage[ra * pl..(ra + 1) * pl],
+                &this.storage[rb * pl..(rb + 1) * pl],
+            )
+        };
+        match carry_in {
+            CarryIn::Stored => {}
+            CarryIn::Zero => this.carry.fill(0),
+            CarryIn::One => this.carry.copy_from_slice(&this.full),
+        }
+        for b in 0..bits {
+            let o = b * words;
+            for w in 0..words {
+                let av = pa[o + w];
+                let bv = pb[o + w];
+                let and = av & bv;
+                let xor = av ^ bv;
+                let c = this.carry[w];
+                this.blc.and[o + w] = and;
+                this.blc.or[o + w] = av | bv;
+                this.blc.xor[o + w] = xor;
+                this.blc.sum[o + w] = xor ^ c;
+                this.carry[w] = and | (c & xor);
+            }
+        }
+        this.blc.valid = true;
     }
 
-    fn compute_value(&self, src: ComputeSrc, lane: usize) -> u32 {
-        let pick = |v: &Vec<u32>| v.get(lane).copied().unwrap_or(0);
-        match src {
-            ComputeSrc::And => pick(&self.blc.and),
-            ComputeSrc::Nand => pick(&self.blc.nand),
-            ComputeSrc::Or => pick(&self.blc.or),
-            ComputeSrc::Nor => pick(&self.blc.nor),
-            ComputeSrc::Xor => pick(&self.blc.xor),
-            ComputeSrc::Xnor => pick(&self.blc.xnor),
-            ComputeSrc::Add => pick(&self.blc.sum),
-            ComputeSrc::Shift => self.shifter[lane],
-            ComputeSrc::Mask => u32::from(self.mask[lane]),
+    /// Shift (or rotate) the constant shifter left one bit: bit-plane
+    /// `b` takes plane `b-1`, plane 0 takes the spare shifter (shift)
+    /// or the outgoing MSB plane (rotate), and the spare catches the
+    /// outgoing MSB (shift only).
+    fn shift_left(&mut self, masked: bool, rotate: bool) {
+        let (bits, words) = (self.bits, self.words);
+        let this = &mut *self;
+        this.scr_c
+            .copy_from_slice(&this.shifter[(bits - 1) * words..bits * words]);
+        for b in (1..bits).rev() {
+            for w in 0..words {
+                let v = this.shifter[(b - 1) * words + w];
+                let i = b * words + w;
+                this.shifter[i] = if masked {
+                    blend(this.shifter[i], v, this.mask[w])
+                } else {
+                    v
+                };
+            }
+        }
+        for w in 0..words {
+            let v = if rotate { this.scr_c[w] } else { this.spare[w] };
+            this.shifter[w] = if masked {
+                blend(this.shifter[w], v, this.mask[w])
+            } else {
+                v
+            };
+        }
+        if !rotate {
+            for w in 0..words {
+                this.spare[w] = if masked {
+                    blend(this.spare[w], this.scr_c[w], this.mask[w])
+                } else {
+                    this.scr_c[w]
+                };
+            }
+        }
+    }
+
+    /// Shift (or rotate) the constant shifter right one bit: bit-plane
+    /// `b` takes plane `b+1`, the MSB plane takes the spare shifter
+    /// (shift) or the outgoing LSB plane (rotate), and the spare
+    /// catches the outgoing LSB (shift only).
+    fn shift_right(&mut self, masked: bool, rotate: bool) {
+        let (bits, words) = (self.bits, self.words);
+        let this = &mut *self;
+        this.scr_c.copy_from_slice(&this.shifter[..words]);
+        for b in 0..bits - 1 {
+            for w in 0..words {
+                let v = this.shifter[(b + 1) * words + w];
+                let i = b * words + w;
+                this.shifter[i] = if masked {
+                    blend(this.shifter[i], v, this.mask[w])
+                } else {
+                    v
+                };
+            }
+        }
+        let msb = (bits - 1) * words;
+        for w in 0..words {
+            let v = if rotate { this.scr_c[w] } else { this.spare[w] };
+            this.shifter[msb + w] = if masked {
+                blend(this.shifter[msb + w], v, this.mask[w])
+            } else {
+                v
+            };
+        }
+        if !rotate {
+            for w in 0..words {
+                this.spare[w] = if masked {
+                    blend(this.spare[w], this.scr_c[w], this.mask[w])
+                } else {
+                    this.scr_c[w]
+                };
+            }
         }
     }
 }
@@ -880,8 +1187,8 @@ mod tests {
             }
             let prog = lib.program(MacroOpKind::MaskNot);
             arr.execute(&prog, &Binding::new(3, 1, 2));
-            for lane in 0..4 {
-                assert_eq!(arr.read_mask_bit(3, lane), !a[lane], "{cfg} not");
+            for (lane, &av) in a.iter().enumerate() {
+                assert_eq!(arr.read_mask_bit(3, lane), !av, "{cfg} not");
             }
         }
     }

@@ -41,7 +41,11 @@
 pub mod array;
 pub mod fault;
 pub mod geometry;
+#[cfg(any(test, feature = "scalar-oracle"))]
+pub mod scalar;
 
 pub use array::{Binding, EveArray};
 pub use fault::{Fault, FaultConfig, FaultInjector, FaultKind, FaultLayer, FaultStats};
 pub use geometry::{LayoutModel, SramGeometry};
+#[cfg(any(test, feature = "scalar-oracle"))]
+pub use scalar::ScalarArray;
