@@ -9,26 +9,13 @@ use eve_isa::{disasm, Characterization, Interpreter};
 use eve_workloads::Workload;
 
 fn pick(name: &str) -> Workload {
-    match name {
-        "vvadd" => Workload::Vvadd { n: 256 },
-        "mmult" => Workload::Mmult { n: 8 },
-        "kmeans" => Workload::Kmeans {
-            points: 32,
-            features: 4,
-            clusters: 2,
-        },
-        "pathfinder" => Workload::Pathfinder { rows: 3, cols: 64 },
-        "jacobi-2d" | "jacobi" => Workload::Jacobi2d { n: 8, steps: 1 },
-        "backprop" => Workload::Backprop {
-            inputs: 64,
-            hidden: 4,
-        },
-        "sw" => Workload::Sw { n: 12 },
-        other => {
-            eprintln!("unknown kernel {other}; use one of the Table IV names");
-            std::process::exit(1);
-        }
-    }
+    Workload::tiny_by_name(name).unwrap_or_else(|| {
+        eprintln!(
+            "unknown kernel {name}; valid names: {}",
+            Workload::names().join(", ")
+        );
+        std::process::exit(1);
+    })
 }
 
 fn main() {

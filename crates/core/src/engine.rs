@@ -7,9 +7,21 @@ use eve_common::{ConfigError, ConfigResult, Cycle, Stats};
 use eve_cpu::{EngineError, VectorPlacement, VectorUnit};
 use eve_isa::{Inst, MemEffect, RegId, Retired, VStride};
 use eve_mem::{Hierarchy, Level, Tlb, LINE_BYTES};
+use eve_obs::Tracer;
 use eve_sram::{LayoutModel, SramGeometry};
 use eve_uop::{HybridConfig, LatencyTable, MacroOpKind};
 use std::collections::VecDeque;
+
+/// Static track names for the first DTUs; higher slots share "dtu".
+#[cfg(feature = "obs")]
+const DTU_TRACKS: [&str; 8] = [
+    "dtu0", "dtu1", "dtu2", "dtu3", "dtu4", "dtu5", "dtu6", "dtu7",
+];
+
+#[cfg(feature = "obs")]
+fn dtu_track(slot: usize) -> &'static str {
+    DTU_TRACKS.get(slot).copied().unwrap_or("dtu")
+}
 
 /// EVE arrays available when half of the 512 KB L2's ways are donated:
 /// 256 KB of 8 KB arrays (two banked 256×128 sub-arrays each).
@@ -106,6 +118,8 @@ pub struct EveEngine {
     /// Reused scratch for per-instruction line-request lists, so the
     /// retire hot path allocates nothing.
     line_buf: Vec<u64>,
+    #[cfg_attr(not(feature = "obs"), allow(dead_code))]
+    tracer: Option<Tracer>,
 }
 
 impl EveEngine {
@@ -163,6 +177,7 @@ impl EveEngine {
             tlb: Tlb::new(),
             stats: Stats::new(),
             line_buf: Vec::new(),
+            tracer: None,
         })
     }
 
@@ -206,17 +221,40 @@ impl EveEngine {
         }
     }
 
-    /// Advances the VSU timeline to `t`, attributing the gap.
+    /// Emits one attributed slice of the VSU timeline. Every cycle the
+    /// breakdown accounts flows through here, so the `vsu` track tiles
+    /// `[spawn, vsu_end)` exactly — the property the stall-attribution
+    /// auditor replays (see `eve-sim`'s audit module).
     #[inline]
-    fn advance_vsu(&mut self, t: Cycle, category: fn(&mut StallBreakdown) -> &mut Cycle) {
+    fn trace_vsu(&self, cat: &'static str, name: &'static str, ts: Cycle, dur: Cycle) {
+        #[cfg(feature = "obs")]
+        if let Some(tr) = &self.tracer {
+            tr.span("vsu", cat, name, ts.0, dur.0);
+        }
+        #[cfg(not(feature = "obs"))]
+        let _ = (cat, name, ts, dur);
+    }
+
+    /// Advances the VSU timeline to `t`, attributing the gap to the
+    /// breakdown bucket `category` selects; `cat` is the same bucket's
+    /// name, as recorded by [`StallBreakdown::entries`].
+    #[inline]
+    fn advance_vsu(
+        &mut self,
+        t: Cycle,
+        cat: &'static str,
+        category: fn(&mut StallBreakdown) -> &mut Cycle,
+    ) {
         if t > self.vsu_now {
+            self.trace_vsu(cat, cat, self.vsu_now, t - self.vsu_now);
             *category(&mut self.breakdown) += t - self.vsu_now;
             self.vsu_now = t;
         }
     }
 
     #[inline]
-    fn busy(&mut self, cycles: Cycle) {
+    fn busy(&mut self, name: &'static str, cycles: Cycle) {
+        self.trace_vsu("busy", name, self.vsu_now, cycles);
         self.breakdown.busy += cycles;
         self.vsu_now += cycles;
     }
@@ -283,15 +321,26 @@ impl EveEngine {
         let a = mem.access(Level::Llc, line * LINE_BYTES, store, issued);
         self.llc_issue_stall += a.mshr_wait;
         self.stats.incr("vmu.line_requests");
+        #[cfg(feature = "obs")]
+        if let Some(tr) = &self.tracer {
+            let cat = if store { "store" } else { "load" };
+            tr.instant_arg(
+                "vmu",
+                cat,
+                "line_req",
+                issued.0,
+                ("mshr_wait", a.mshr_wait.0),
+            );
+        }
         // The VMU's generation slot is occupied for the MSHR wait too.
         (issued + a.mshr_wait, a.complete)
     }
 
     fn handle_load(&mut self, r: &Retired, accept: Cycle, mem: &mut Hierarchy) -> Cycle {
         self.stats.incr("loads");
-        self.advance_vsu(accept, |b| &mut b.empty_stall);
+        self.advance_vsu(accept, "empty_stall", |b| &mut b.empty_stall);
         let deps = self.vreg_dep_time(r);
-        self.advance_vsu(deps, |b| &mut b.dep_stall);
+        self.advance_vsu(deps, "dep_stall", |b| &mut b.dep_stall);
 
         let indexed = matches!(
             r.inst,
@@ -302,11 +351,11 @@ impl EveEngine {
         );
         if indexed {
             // The VSU reads the index register rows for the VMU (§V-C).
-            self.busy(Cycle(self.segments + 1));
+            self.busy("index_read", Cycle(self.segments + 1));
         }
         let masked = matches!(r.inst, Inst::VLoad { masked: true, .. });
         if masked {
-            self.busy(Cycle(MASK_PROLOGUE));
+            self.busy("mask_prologue", Cycle(MASK_PROLOGUE));
         }
 
         let mut lines = std::mem::take(&mut self.line_buf);
@@ -329,6 +378,10 @@ impl EveEngine {
                 self.dtu_rr = (self.dtu_rr + 1) % self.dtu_free.len();
                 let start = complete.max(self.dtu_free[slot]);
                 self.dtu_free[slot] = start + Cycle(dt);
+                #[cfg(feature = "obs")]
+                if let Some(tr) = &self.tracer {
+                    tr.span(dtu_track(slot), "transpose", "line", start.0, dt);
+                }
                 start + Cycle(dt)
             };
             data_done = data_done.max(transposed);
@@ -341,21 +394,28 @@ impl EveEngine {
         if data_done > self.vsu_now {
             let wait = data_done - self.vsu_now;
             let dt_part = data_done.saturating_since(mem_done).min(wait);
+            self.trace_vsu("ld_mem_stall", "ld_mem_stall", self.vsu_now, wait - dt_part);
+            self.trace_vsu(
+                "ld_dt_stall",
+                "ld_dt_stall",
+                self.vsu_now + (wait - dt_part),
+                dt_part,
+            );
             self.breakdown.ld_dt_stall += dt_part;
             self.breakdown.ld_mem_stall += wait - dt_part;
             self.vsu_now = data_done;
         }
         // Row writes into the arrays: one per segment row.
-        self.busy(Cycle(self.segments));
+        self.busy("row_write", Cycle(self.segments));
         self.set_write_ready(r, self.vsu_now);
         self.vsu_now
     }
 
     fn handle_store(&mut self, r: &Retired, accept: Cycle, mem: &mut Hierarchy) -> Cycle {
         self.stats.incr("stores");
-        self.advance_vsu(accept, |b| &mut b.empty_stall);
+        self.advance_vsu(accept, "empty_stall", |b| &mut b.empty_stall);
         let deps = self.vreg_dep_time(r);
-        self.advance_vsu(deps, |b| &mut b.dep_stall);
+        self.advance_vsu(deps, "dep_stall", |b| &mut b.dep_stall);
         let indexed = matches!(
             r.inst,
             Inst::VStore {
@@ -364,13 +424,13 @@ impl EveEngine {
             }
         );
         if indexed {
-            self.busy(Cycle(self.segments + 1));
+            self.busy("index_read", Cycle(self.segments + 1));
         }
         if matches!(r.inst, Inst::VStore { masked: true, .. }) {
-            self.busy(Cycle(MASK_PROLOGUE));
+            self.busy("mask_prologue", Cycle(MASK_PROLOGUE));
         }
         // VSU reads the data rows out.
-        self.busy(Cycle(self.segments));
+        self.busy("row_read", Cycle(self.segments));
 
         // Detranspose on the DTUs; a deep backlog stalls the VSU.
         let dt = self.dtu_line_cycles();
@@ -385,11 +445,16 @@ impl EveEngine {
             self.dtu_rr = (self.dtu_rr + 1) % self.dtu_free.len();
             let start = self.vsu_now.max(self.dtu_free[slot]);
             self.dtu_free[slot] = start + Cycle(dt);
+            #[cfg(feature = "obs")]
+            if let Some(tr) = &self.tracer {
+                tr.span(dtu_track(slot), "detranspose", "line", start.0, dt);
+            }
             detr_done = detr_done.max(start + Cycle(dt));
         }
         let backlog_limit = self.vsu_now + Cycle(4 * self.segments);
         if detr_done > backlog_limit {
             let stall = detr_done - backlog_limit;
+            self.trace_vsu("st_dt_stall", "st_dt_stall", self.vsu_now, stall);
             self.breakdown.st_dt_stall += stall;
             self.vsu_now += stall;
         }
@@ -406,6 +471,7 @@ impl EveEngine {
         let vmu_slack = Cycle(64);
         if t > self.vsu_now + vmu_slack {
             let stall = t - (self.vsu_now + vmu_slack);
+            self.trace_vsu("st_mem_stall", "st_mem_stall", self.vsu_now, stall);
             self.breakdown.st_mem_stall += stall;
             self.vsu_now += stall;
         }
@@ -415,11 +481,11 @@ impl EveEngine {
 
     fn handle_vru(&mut self, r: &Retired, accept: Cycle) -> Cycle {
         self.stats.incr("vru_ops");
-        self.advance_vsu(accept, |b| &mut b.empty_stall);
+        self.advance_vsu(accept, "empty_stall", |b| &mut b.empty_stall);
         let deps = self.vreg_dep_time(r);
-        self.advance_vsu(deps, |b| &mut b.dep_stall);
+        self.advance_vsu(deps, "dep_stall", |b| &mut b.dep_stall);
         // VRU structural hazard.
-        self.advance_vsu(self.vru_free, |b| &mut b.vru_stall);
+        self.advance_vsu(self.vru_free, "vru_stall", |b| &mut b.vru_stall);
         // The VSU streams B/n elements per cycle, one segment at a
         // time (§V-D): lanes/8 element groups x S segment beats.
         let lanes = u64::from(self.hw_vl / EVE_ARRAYS);
@@ -427,12 +493,18 @@ impl EveEngine {
             Inst::VMvSX { .. } | Inst::VMvXS { .. } => Cycle(self.segments + 2),
             _ => Cycle((lanes / 8).max(1) * self.segments),
         };
-        self.busy(stream);
+        self.busy("stream", stream);
         let pipeline = match r.inst {
             Inst::VMvSX { .. } | Inst::VMvXS { .. } => Cycle(4),
             _ => Cycle(self.tuning.vru_pipeline),
         };
         let done = self.vsu_now + pipeline;
+        #[cfg(feature = "obs")]
+        if let Some(tr) = &self.tracer {
+            // The VRU drains off the VSU timeline; its own track shows
+            // the pipeline occupancy (starts follow in-order issue).
+            tr.span("vru", "vru", "reduce", self.vsu_now.0, pipeline.0);
+        }
         self.vru_free = done;
         self.set_write_ready(r, done);
         done
@@ -459,20 +531,27 @@ impl EveEngine {
             let done = start + total;
             *best = done;
             self.breakdown.busy += total;
+            // Extra-pipe work runs off the attributed VSU timeline, so
+            // it gets its own (untiled) track.
+            #[cfg(feature = "obs")]
+            if let Some(tr) = &self.tracer {
+                tr.span("vsu_extra", "busy", "uprog", start.0, total.0);
+            }
             self.set_write_ready(r, done);
             return done;
         }
-        self.advance_vsu(accept, |b| &mut b.empty_stall);
-        self.advance_vsu(deps, |b| &mut b.dep_stall);
+        self.advance_vsu(accept, "empty_stall", |b| &mut b.empty_stall);
+        self.advance_vsu(deps, "dep_stall", |b| &mut b.dep_stall);
         // Detection layer: verify operand-row parity before latching
         // the first bit-line compute (serializes with the VSU).
         if let Some(res) = self.resilience {
             let check = res.check_cycles(self.segments);
+            self.trace_vsu("parity_stall", "parity_check", self.vsu_now, check);
             self.breakdown.parity_stall += check;
             self.vsu_now += check;
             self.stats.add("parity_check_cycles", check.0);
         }
-        self.busy(total);
+        self.busy("uprog", total);
         self.set_write_ready(r, self.vsu_now);
         self.vsu_now
     }
@@ -494,8 +573,12 @@ impl VectorUnit for EveEngine {
         // invalidate the donated ways (§V-E).
         if !self.spawned {
             let done = mem.spawn_vector_mode(commit);
+            self.stats.set("spawn_commit_cycle", commit.0);
             self.stats
                 .set("spawn_cycles", done.saturating_since(commit).0);
+            // The spawn span opens the attributed VSU timeline; the
+            // auditor counts it alongside the breakdown buckets.
+            self.trace_vsu("spawn", "spawn", commit, done.saturating_since(commit));
             self.vsu_now = done;
             self.vmu_now = done;
             self.spawned = true;
@@ -571,11 +654,19 @@ impl VectorUnit for EveEngine {
         let mut s = self.stats.clone();
         s.set("hw_vl", u64::from(self.hw_vl));
         s.set("vmu.llc_issue_stall_cycles", self.llc_issue_stall.0);
+        // The attributed VSU timeline's endpoint: spawn + busy + every
+        // stall bucket sums to exactly this (the auditor's identity).
+        s.set("vsu.end_cycles", self.vsu_now.0);
+        s.set("exec_pipes", self.tuning.exec_pipes as u64);
         s.merge(&self.breakdown.as_stats());
         for (k, v) in self.tlb.stats().iter() {
             s.add(&format!("tlb.{k}"), v);
         }
         s
+    }
+
+    fn attach_tracer(&mut self, tracer: &Tracer) {
+        self.tracer = Some(tracer.clone());
     }
 }
 

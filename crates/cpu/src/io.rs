@@ -9,6 +9,7 @@ use crate::CODE_BASE;
 use eve_common::{Cycle, Stats};
 use eve_isa::{Inst, MemEffect, Retired, ScalarOp};
 use eve_mem::{Hierarchy, HierarchyConfig, Level};
+use eve_obs::Tracer;
 use std::collections::VecDeque;
 
 /// Store-buffer depth: retired stores drain in the background; a full
@@ -29,6 +30,8 @@ pub struct IoCore {
     store_buf: VecDeque<Cycle>,
     fetch_line: u64,
     stats: Stats,
+    #[cfg_attr(not(feature = "obs"), allow(dead_code))]
+    tracer: Option<Tracer>,
 }
 
 impl Default for IoCore {
@@ -59,7 +62,15 @@ impl IoCore {
             store_buf: VecDeque::new(),
             fetch_line: u64::MAX,
             stats: Stats::new(),
+            tracer: None,
         }
+    }
+
+    /// Attaches a tracer to the core and its hierarchy. Stalls then
+    /// emit instants on the `io` track (when built with `obs`).
+    pub fn set_tracer(&mut self, tracer: &Tracer) {
+        self.mem.set_tracer(tracer);
+        self.tracer = Some(tracer.clone());
     }
 
     /// Accounts one committed instruction.
@@ -83,6 +94,11 @@ impl IoCore {
             self.fetch_line = line;
             let f = self.mem.access(Level::L1I, fetch_addr, false, self.now);
             if f.hit_level != Level::L1I {
+                #[cfg(feature = "obs")]
+                if let Some(tr) = &self.tracer {
+                    let stall = f.complete.saturating_since(self.now).0;
+                    tr.span("io", "icache_stall", "icache", self.now.0, stall);
+                }
                 self.now = f.complete;
                 self.stats.incr("icache_stalls");
             }
@@ -97,8 +113,13 @@ impl IoCore {
                 },
             ) => {
                 let a = self.mem.access(Level::L1D, *addr, false, self.now);
-                self.stats
-                    .add("load_stall_cycles", a.complete.saturating_since(self.now).0);
+                let stall = a.complete.saturating_since(self.now);
+                #[cfg(feature = "obs")]
+                if let Some(tr) = &self.tracer {
+                    tr.span("io", "load_stall", "load", self.now.0, stall.0);
+                    tr.record("io.load_stall", stall.0);
+                }
+                self.stats.add("load_stall_cycles", stall.0);
                 self.now = a.complete;
                 self.stats.incr("loads");
             }
@@ -118,8 +139,19 @@ impl IoCore {
                 }
                 if self.store_buf.len() >= STORE_BUFFER {
                     let free_at = *self.store_buf.front().expect("nonempty");
-                    self.stats
-                        .add("store_stall_cycles", free_at.saturating_since(self.now).0);
+                    let stall = free_at.saturating_since(self.now);
+                    #[cfg(feature = "obs")]
+                    if let Some(tr) = &self.tracer {
+                        tr.span(
+                            "io",
+                            "store_stall",
+                            "store_buffer_full",
+                            self.now.0,
+                            stall.0,
+                        );
+                        tr.record("io.store_stall", stall.0);
+                    }
+                    self.stats.add("store_stall_cycles", stall.0);
                     self.now = self.now.max(free_at);
                     self.store_buf.pop_front();
                 }

@@ -20,6 +20,7 @@ use crate::CODE_BASE;
 use eve_common::{Cycle, Stats};
 use eve_isa::{Inst, MemEffect, RegId, Retired, ScalarOp};
 use eve_mem::{Hierarchy, HierarchyConfig, Level};
+use eve_obs::Tracer;
 use std::collections::VecDeque;
 
 /// O3 pipeline parameters.
@@ -64,6 +65,8 @@ pub struct O3Core<V: VectorUnit = NoVector> {
     bp: BranchPredictor,
     end: Cycle,
     stats: Stats,
+    #[cfg_attr(not(feature = "obs"), allow(dead_code))]
+    tracer: Option<Tracer>,
 }
 
 impl O3Core<NoVector> {
@@ -98,12 +101,22 @@ impl<V: VectorUnit> O3Core<V> {
             bp: BranchPredictor::new(4096),
             end: Cycle::ZERO,
             stats: Stats::new(),
+            tracer: None,
         }
     }
 
     /// Overrides the pipeline parameters.
     pub fn set_config(&mut self, cfg: O3Config) {
         self.cfg = cfg;
+    }
+
+    /// Attaches a tracer to the core, its hierarchy, and its vector
+    /// unit. Retired instructions then emit dispatch→commit spans on
+    /// the `o3` track (when built with the `obs` feature).
+    pub fn set_tracer(&mut self, tracer: &Tracer) {
+        self.mem.set_tracer(tracer);
+        self.vu.attach_tracer(tracer);
+        self.tracer = Some(tracer.clone());
     }
 
     /// The plugged-in vector unit.
@@ -178,6 +191,10 @@ impl<V: VectorUnit> O3Core<V> {
 
         let completion;
         let mut commit_floor = Cycle::ZERO;
+        // Resolve time of a mispredicted branch, for the redirect
+        // instant (emitted after this instruction's span so the `o3`
+        // track stays monotone).
+        let mut _redirect_at: Option<Cycle> = None;
 
         if r.inst.is_vector() && !matches!(r.inst, Inst::SetVl { .. }) {
             self.stats.incr("vector_insts");
@@ -229,6 +246,7 @@ impl<V: VectorUnit> O3Core<V> {
                         if predicted != taken {
                             self.stats.incr("mispredicts");
                             self.fetch_floor = resolve + Cycle(self.cfg.mispredict_penalty);
+                            _redirect_at = Some(resolve);
                         }
                     }
                     resolve
@@ -249,6 +267,26 @@ impl<V: VectorUnit> O3Core<V> {
 
         // In-order commit.
         let ct = completion.max(self.last_commit).max(commit_floor);
+        #[cfg(feature = "obs")]
+        if let Some(tr) = &self.tracer {
+            let cat = if r.inst.is_vector() {
+                "vector"
+            } else {
+                match (&r.inst, &r.mem) {
+                    (_, MemEffect::Scalar { store: false, .. }) => "load",
+                    (_, MemEffect::Scalar { store: true, .. }) => "store",
+                    (Inst::Branch { .. } | Inst::Jump { .. }, _) => "branch",
+                    _ => "alu",
+                }
+            };
+            // Dispatch slots are monotone, so the track stays ordered
+            // even though commits of neighbouring instructions overlap.
+            tr.span("o3", cat, cat, d.0, (ct - d).0);
+            if let Some(resolve) = _redirect_at {
+                tr.instant("o3", "redirect", "mispredict", resolve.0);
+            }
+            tr.count("o3.insts", 1);
+        }
         self.last_commit = ct;
         self.commit_ring.push_back(ct);
         self.end = self.end.max(ct);

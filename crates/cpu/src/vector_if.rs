@@ -12,6 +12,7 @@ use std::fmt;
 use eve_common::{Cycle, Stats};
 use eve_isa::Retired;
 use eve_mem::Hierarchy;
+use eve_obs::Tracer;
 
 /// A fault the engine or control processor detected while handling a
 /// vector instruction. These used to abort the process; they now
@@ -118,6 +119,11 @@ pub trait VectorUnit {
 
     /// Unit-specific statistics.
     fn stats(&self) -> Stats;
+
+    /// Hands the unit a tracer handle so it can emit structured trace
+    /// events. The default is a no-op: units without instrumentation
+    /// (or builds without the `obs` feature) ignore it.
+    fn attach_tracer(&mut self, _tracer: &Tracer) {}
 }
 
 /// The absent vector unit: scalar-only O3.

@@ -4,6 +4,7 @@ use crate::cache::Cache;
 use crate::config::{CacheConfig, HierarchyConfig};
 use crate::shared::SharedLlc;
 use eve_common::{Cycle, Stats};
+use eve_obs::Tracer;
 
 /// Where a request enters (or is satisfied in) the hierarchy.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -18,6 +19,20 @@ pub enum Level {
     Llc,
     /// Main memory.
     Dram,
+}
+
+impl Level {
+    /// Stable lowercase name, used as the trace category for accesses.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Self::L1I => "l1i",
+            Self::L1D => "l1d",
+            Self::L2 => "l2",
+            Self::Llc => "llc",
+            Self::Dram => "dram",
+        }
+    }
 }
 
 /// Result of one hierarchy access.
@@ -43,6 +58,8 @@ pub struct Hierarchy {
     l2: Cache,
     shared: SharedLlc,
     stats: Stats,
+    #[cfg_attr(not(feature = "obs"), allow(dead_code))]
+    tracer: Option<Tracer>,
 }
 
 impl Hierarchy {
@@ -64,7 +81,14 @@ impl Hierarchy {
             l2: Cache::new(cfg.l2),
             shared,
             stats: Stats::new(),
+            tracer: None,
         }
+    }
+
+    /// Attaches a tracer; memory accesses then emit instants on the
+    /// `mem` track (when built with the `obs` feature).
+    pub fn set_tracer(&mut self, tracer: &Tracer) {
+        self.tracer = Some(tracer.clone());
     }
 
     /// The shared LLC handle (clone it to attach more cores).
@@ -112,6 +136,17 @@ impl Hierarchy {
             let evicted = self.cache_mut(lv).fill_slot(addr, store, t, slot);
             if let Some(line) = evicted {
                 self.writeback_below(lv, line * crate::LINE_BYTES, t);
+            }
+        }
+        #[cfg(feature = "obs")]
+        if let Some(tr) = &self.tracer {
+            // Stamp at the *request* time: completions are out of order
+            // under an O3 core, so request order keeps the track usable.
+            let name = if store { "store" } else { "load" };
+            tr.instant_arg("mem", hit_level.name(), name, now.0, ("mshr_wait", wait.0));
+            tr.record("mem.latency", (t - now).0);
+            if wait > Cycle::ZERO {
+                tr.record("mem.mshr_wait", wait.0);
             }
         }
         Access {
@@ -188,6 +223,16 @@ impl Hierarchy {
         self.shared.spawn_flush(dirty, now);
         self.l2 = Cache::new(CacheConfig::l2_vector_mode());
         self.stats.add("l2_reconfig_lines", clean + dirty);
+        #[cfg(feature = "obs")]
+        if let Some(tr) = &self.tracer {
+            tr.instant_arg(
+                "mem",
+                "reconfig",
+                "spawn_flush",
+                now.0,
+                ("lines", clean + dirty),
+            );
+        }
         now + Cycle((clean + dirty) * CYCLES_PER_LINE)
     }
 

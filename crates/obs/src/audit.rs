@@ -1,0 +1,304 @@
+//! Replay checks over an event stream.
+//!
+//! These are the generic halves of the stall-attribution auditor: the
+//! EVE-specific identity (`total == busy + Σ breakdown buckets`) lives
+//! in `eve-sim`, built on [`tile_track`] — spans on an attributed
+//! timeline must cover it contiguously, without gaps or overlap, and
+//! the per-category duration sums are then the re-derived breakdown.
+
+use crate::event::{EventKind, TraceEvent};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A violated trace invariant.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AuditError {
+    /// The ring buffer overflowed; the timeline is incomplete.
+    DroppedEvents {
+        /// How many events were lost.
+        dropped: u64,
+    },
+    /// An event starts before its predecessor on an ordered track.
+    NonMonotonic {
+        /// The offending track.
+        track: &'static str,
+        /// Previous event's start cycle.
+        prev: u64,
+        /// Offending event's start cycle.
+        ts: u64,
+    },
+    /// Two spans on an attributed track overlap.
+    Overlap {
+        /// The offending track.
+        track: &'static str,
+        /// Previous span's end cycle.
+        prev_end: u64,
+        /// Offending span's start cycle.
+        ts: u64,
+    },
+    /// An attributed track has unaccounted cycles between spans.
+    Gap {
+        /// The offending track.
+        track: &'static str,
+        /// Where the previous span ended.
+        from: u64,
+        /// Where the next span starts.
+        to: u64,
+    },
+    /// An event extends past the run's total cycle count.
+    BeyondEnd {
+        /// The offending track.
+        track: &'static str,
+        /// The event's end cycle.
+        end: u64,
+        /// The run's total cycles.
+        limit: u64,
+    },
+}
+
+impl fmt::Display for AuditError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::DroppedEvents { dropped } => {
+                write!(
+                    f,
+                    "trace dropped {dropped} events; cannot audit a lossy trace"
+                )
+            }
+            Self::NonMonotonic { track, prev, ts } => {
+                write!(
+                    f,
+                    "track {track}: timestamp {ts} after {prev} runs backwards"
+                )
+            }
+            Self::Overlap {
+                track,
+                prev_end,
+                ts,
+            } => {
+                write!(
+                    f,
+                    "track {track}: span at {ts} overlaps previous span ending {prev_end}"
+                )
+            }
+            Self::Gap { track, from, to } => {
+                write!(f, "track {track}: unattributed cycles [{from}, {to})")
+            }
+            Self::BeyondEnd { track, end, limit } => {
+                write!(
+                    f,
+                    "track {track}: event ends at {end}, past run end {limit}"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for AuditError {}
+
+/// Checks that start timestamps never decrease on `track`.
+///
+/// Only meaningful for tracks with an in-order emitter (the VSU/VMU
+/// timelines, in-order issue queues); a track fed at out-of-order
+/// execute times (scalar memory accesses) is legitimately unordered.
+///
+/// # Errors
+///
+/// Returns [`AuditError::NonMonotonic`] at the first reversal.
+pub fn check_monotonic(events: &[TraceEvent], track: &str) -> Result<(), AuditError> {
+    let mut prev: Option<&TraceEvent> = None;
+    for e in events.iter().filter(|e| e.track == track) {
+        if let Some(p) = prev {
+            if e.ts < p.ts {
+                return Err(AuditError::NonMonotonic {
+                    track: e.track,
+                    prev: p.ts,
+                    ts: e.ts,
+                });
+            }
+        }
+        prev = Some(e);
+    }
+    Ok(())
+}
+
+/// Checks that no event extends past `limit` cycles.
+///
+/// # Errors
+///
+/// Returns [`AuditError::BeyondEnd`] for the first event whose end
+/// exceeds `limit`.
+pub fn check_bounds(events: &[TraceEvent], limit: u64) -> Result<(), AuditError> {
+    for e in events {
+        if e.end() > limit {
+            return Err(AuditError::BeyondEnd {
+                track: e.track,
+                end: e.end(),
+                limit,
+            });
+        }
+    }
+    Ok(())
+}
+
+/// The result of tiling one attributed track.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct TrackTiling {
+    /// First cycle covered by a span.
+    pub start: u64,
+    /// First cycle after the last span.
+    pub end: u64,
+    /// Number of spans.
+    pub spans: usize,
+    /// Total span cycles per category — the re-derived breakdown.
+    pub by_cat: BTreeMap<&'static str, u64>,
+}
+
+impl TrackTiling {
+    /// Total cycles attributed to `cat`.
+    #[must_use]
+    pub fn cat(&self, cat: &str) -> u64 {
+        self.by_cat.get(cat).copied().unwrap_or(0)
+    }
+
+    /// Sum over all categories; equals `end - start` for a tiled track.
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        self.by_cat.values().sum()
+    }
+}
+
+/// Tiles the spans of `track`: they must be emitted in order and cover
+/// `[start, end)` exactly — no gap, no overlap. Instants on the track
+/// are ignored. An empty track tiles trivially (all-zero result).
+///
+/// # Errors
+///
+/// Returns [`AuditError::Overlap`] or [`AuditError::Gap`] at the first
+/// tiling violation, or [`AuditError::NonMonotonic`] if spans run
+/// backwards.
+pub fn tile_track(events: &[TraceEvent], track: &str) -> Result<TrackTiling, AuditError> {
+    let mut tiling = TrackTiling::default();
+    let mut cursor: Option<u64> = None;
+    for e in events
+        .iter()
+        .filter(|e| e.track == track && e.kind == EventKind::Span)
+    {
+        match cursor {
+            None => tiling.start = e.ts,
+            Some(c) => {
+                if e.ts < c {
+                    return Err(AuditError::Overlap {
+                        track: e.track,
+                        prev_end: c,
+                        ts: e.ts,
+                    });
+                }
+                if e.ts > c {
+                    return Err(AuditError::Gap {
+                        track: e.track,
+                        from: c,
+                        to: e.ts,
+                    });
+                }
+            }
+        }
+        cursor = Some(e.end());
+        tiling.spans += 1;
+        *tiling.by_cat.entry(e.cat).or_insert(0) += e.dur;
+    }
+    tiling.end = cursor.unwrap_or(0);
+    Ok(tiling)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn span(cat: &'static str, ts: u64, dur: u64) -> TraceEvent {
+        TraceEvent {
+            track: "vsu",
+            cat,
+            name: cat,
+            ts,
+            dur,
+            kind: EventKind::Span,
+            arg: None,
+        }
+    }
+
+    #[test]
+    fn contiguous_spans_tile() {
+        let evs = [
+            span("busy", 10, 5),
+            span("dep_stall", 15, 3),
+            span("busy", 18, 2),
+        ];
+        let t = tile_track(&evs, "vsu").unwrap();
+        assert_eq!((t.start, t.end, t.spans), (10, 20, 3));
+        assert_eq!(t.cat("busy"), 7);
+        assert_eq!(t.cat("dep_stall"), 3);
+        assert_eq!(t.total(), t.end - t.start);
+    }
+
+    #[test]
+    fn gaps_and_overlaps_are_caught() {
+        let gap = [span("busy", 0, 5), span("busy", 7, 1)];
+        assert!(matches!(
+            tile_track(&gap, "vsu"),
+            Err(AuditError::Gap { from: 5, to: 7, .. })
+        ));
+        let overlap = [span("busy", 0, 5), span("busy", 4, 2)];
+        assert!(matches!(
+            tile_track(&overlap, "vsu"),
+            Err(AuditError::Overlap {
+                prev_end: 5,
+                ts: 4,
+                ..
+            })
+        ));
+    }
+
+    #[test]
+    fn instants_do_not_break_tiling() {
+        let mut inst = span("req", 3, 0);
+        inst.kind = EventKind::Instant;
+        let evs = [span("busy", 0, 5), inst, span("busy", 5, 5)];
+        let t = tile_track(&evs, "vsu").unwrap();
+        assert_eq!(t.end, 10);
+    }
+
+    #[test]
+    fn monotonic_and_bounds_checks() {
+        let evs = [span("busy", 0, 5), span("busy", 5, 5)];
+        assert!(check_monotonic(&evs, "vsu").is_ok());
+        assert!(check_bounds(&evs, 10).is_ok());
+        assert!(matches!(
+            check_bounds(&evs, 9),
+            Err(AuditError::BeyondEnd {
+                end: 10,
+                limit: 9,
+                ..
+            })
+        ));
+        let back = [span("busy", 5, 1), span("busy", 0, 1)];
+        assert!(check_monotonic(&back, "vsu").is_err());
+    }
+
+    #[test]
+    fn empty_track_tiles_trivially() {
+        let t = tile_track(&[], "vsu").unwrap();
+        assert_eq!(t.total(), 0);
+        assert_eq!(t.spans, 0);
+    }
+
+    #[test]
+    fn errors_render() {
+        let e = AuditError::Gap {
+            track: "vsu",
+            from: 1,
+            to: 2,
+        };
+        assert!(e.to_string().contains("unattributed"));
+    }
+}

@@ -1,0 +1,110 @@
+//! Chrome trace-event JSON export.
+//!
+//! The output loads directly in `chrome://tracing` or Perfetto: each
+//! track becomes a named thread, spans become complete (`"X"`) events,
+//! instants become `"i"` events. Timestamps are simulated cycles
+//! reported in the `ts`/`dur` microsecond fields — absolute units
+//! don't matter for inspection, relative ones do.
+
+use crate::event::{EventKind, TraceEvent};
+use eve_common::json::JsonValue;
+
+/// Renders events as a Chrome trace-event document.
+///
+/// Tracks get integer thread ids in order of first appearance, each
+/// announced with a `thread_name` metadata event so the UI shows the
+/// track name instead of a bare number.
+#[must_use]
+pub fn chrome_trace(events: &[TraceEvent]) -> JsonValue {
+    let mut tracks: Vec<&'static str> = Vec::new();
+    for e in events {
+        if !tracks.contains(&e.track) {
+            tracks.push(e.track);
+        }
+    }
+    let tid = |track: &str| tracks.iter().position(|&t| t == track).unwrap_or(0) as u64;
+
+    let mut out: Vec<JsonValue> = tracks
+        .iter()
+        .enumerate()
+        .map(|(i, &t)| {
+            JsonValue::object([
+                ("name", "thread_name".into()),
+                ("ph", "M".into()),
+                ("pid", 1u64.into()),
+                ("tid", (i as u64).into()),
+                ("args", JsonValue::object([("name", JsonValue::from(t))])),
+            ])
+        })
+        .collect();
+
+    for e in events {
+        let mut pairs: Vec<(String, JsonValue)> =
+            vec![("name".into(), e.name.into()), ("cat".into(), e.cat.into())];
+        match e.kind {
+            EventKind::Span => {
+                pairs.push(("ph".into(), "X".into()));
+                pairs.push(("ts".into(), e.ts.into()));
+                pairs.push(("dur".into(), e.dur.into()));
+            }
+            EventKind::Instant => {
+                pairs.push(("ph".into(), "i".into()));
+                pairs.push(("ts".into(), e.ts.into()));
+                pairs.push(("s".into(), "t".into()));
+            }
+        }
+        pairs.push(("pid".into(), 1u64.into()));
+        pairs.push(("tid".into(), tid(e.track).into()));
+        if let Some((k, v)) = e.arg {
+            pairs.push(("args".into(), JsonValue::object([(k, JsonValue::from(v))])));
+        }
+        out.push(JsonValue::Object(pairs));
+    }
+
+    JsonValue::object([
+        ("traceEvents", JsonValue::Array(out)),
+        ("displayTimeUnit", "ns".into()),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(track: &'static str, kind: EventKind, ts: u64) -> TraceEvent {
+        TraceEvent {
+            track,
+            cat: "c",
+            name: "n",
+            ts,
+            dur: 2,
+            kind,
+            arg: None,
+        }
+    }
+
+    #[test]
+    fn tracks_become_named_threads() {
+        let events = [
+            ev("vsu", EventKind::Span, 0),
+            ev("vmu", EventKind::Instant, 1),
+            ev("vsu", EventKind::Span, 2),
+        ];
+        let doc = chrome_trace(&events).to_compact();
+        assert!(doc.starts_with("{\"traceEvents\":["));
+        assert!(doc.contains("\"thread_name\""));
+        assert!(doc.contains("{\"name\":\"vsu\"}"));
+        assert!(doc.contains("\"ph\":\"X\""));
+        assert!(doc.contains("\"ph\":\"i\""));
+        // Both vsu events share tid 0; vmu gets tid 1.
+        assert!(doc.contains("\"tid\":1"));
+    }
+
+    #[test]
+    fn args_are_carried() {
+        let mut e = ev("mem", EventKind::Instant, 5);
+        e.arg = Some(("mshr_wait", 12));
+        let doc = chrome_trace(&[e]).to_compact();
+        assert!(doc.contains("\"args\":{\"mshr_wait\":12}"));
+    }
+}

@@ -1,0 +1,62 @@
+//! The structured trace event.
+
+/// How an event occupies time on its track.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EventKind {
+    /// A duration event: occupies `[ts, ts + dur)` on the track.
+    Span,
+    /// A point event at `ts` (duration ignored by consumers).
+    Instant,
+}
+
+/// One cycle-stamped event.
+///
+/// All strings are `&'static str` so emitting an event never allocates;
+/// emitters name tracks and categories with literals. The category of a
+/// span on an attributed track (e.g. the engine's `"vsu"` timeline) is
+/// exactly the stall-breakdown bucket the same cycles were charged to,
+/// which is what lets the auditor re-derive the breakdown from events.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// The timeline this event lives on (rendered as a Chrome thread).
+    pub track: &'static str,
+    /// Category — for attributed spans, the breakdown bucket name.
+    pub cat: &'static str,
+    /// Human-readable label.
+    pub name: &'static str,
+    /// Start cycle.
+    pub ts: u64,
+    /// Duration in cycles (zero for instants).
+    pub dur: u64,
+    /// Span or instant.
+    pub kind: EventKind,
+    /// Optional single key/value payload.
+    pub arg: Option<(&'static str, u64)>,
+}
+
+impl TraceEvent {
+    /// The first cycle after this event.
+    #[must_use]
+    pub fn end(&self) -> u64 {
+        self.ts + self.dur
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn end_is_exclusive() {
+        let e = TraceEvent {
+            track: "vsu",
+            cat: "busy",
+            name: "uprog",
+            ts: 10,
+            dur: 9,
+            kind: EventKind::Span,
+            arg: None,
+        };
+        assert_eq!(e.end(), 19);
+    }
+}

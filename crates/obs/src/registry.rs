@@ -1,0 +1,244 @@
+//! Named counters and log2 histograms.
+
+use eve_common::json::JsonValue;
+use std::collections::BTreeMap;
+
+/// Number of log2 buckets: values 0, 1, 2, 4, … up to `u64::MAX`.
+const BUCKETS: usize = 65;
+
+/// A power-of-two-bucketed histogram of `u64` samples.
+///
+/// Bucket `0` counts zeros; bucket `k > 0` counts values in
+/// `[2^(k-1), 2^k)`. This is the right shape for latency and queue-wait
+/// distributions, which span several orders of magnitude, and it needs
+/// no configuration — one `record` per sample, constant space.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Histogram {
+    buckets: [u64; BUCKETS],
+    count: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self {
+            buckets: [0; BUCKETS],
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, value: u64) {
+        let idx = (64 - value.leading_zeros()) as usize;
+        self.buckets[idx] += 1;
+        self.count += 1;
+        self.sum = self.sum.saturating_add(value);
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+    }
+
+    /// Samples recorded.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all samples (saturating).
+    #[must_use]
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Smallest sample, or zero when empty.
+    #[must_use]
+    pub fn min(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest sample, or zero when empty.
+    #[must_use]
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Mean sample, or zero when empty.
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Serializes summary plus the nonzero buckets as
+    /// `[[bucket_floor, count], …]`.
+    #[must_use]
+    pub fn to_json(&self) -> JsonValue {
+        let buckets = self.buckets.iter().enumerate().filter_map(|(i, &n)| {
+            if n == 0 {
+                return None;
+            }
+            let floor: u64 = if i == 0 { 0 } else { 1u64 << (i - 1) };
+            Some(JsonValue::array([floor.into(), n.into()]))
+        });
+        JsonValue::object([
+            ("count", self.count.into()),
+            ("sum", self.sum.into()),
+            ("min", self.min().into()),
+            ("max", self.max.into()),
+            ("buckets", JsonValue::array(buckets)),
+        ])
+    }
+}
+
+/// An insertion-agnostic (name-ordered) registry of counters and
+/// histograms, serialized into run reports next to the stall breakdown.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CounterRegistry {
+    counters: BTreeMap<String, u64>,
+    histograms: BTreeMap<String, Histogram>,
+}
+
+impl CounterRegistry {
+    /// An empty registry.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds `amount` to the counter `name`, creating it at zero.
+    pub fn add(&mut self, name: &str, amount: u64) {
+        if let Some(c) = self.counters.get_mut(name) {
+            *c += amount;
+        } else {
+            self.counters.insert(name.to_owned(), amount);
+        }
+    }
+
+    /// Adds one to the counter `name`.
+    pub fn incr(&mut self, name: &str) {
+        self.add(name, 1);
+    }
+
+    /// Records one sample into the histogram `name`.
+    pub fn record(&mut self, name: &str, value: u64) {
+        if let Some(h) = self.histograms.get_mut(name) {
+            h.record(value);
+        } else {
+            let mut h = Histogram::new();
+            h.record(value);
+            self.histograms.insert(name.to_owned(), h);
+        }
+    }
+
+    /// Reads the counter `name` (zero if never written).
+    #[must_use]
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Reads the histogram `name`, if any sample was recorded.
+    #[must_use]
+    pub fn histogram(&self, name: &str) -> Option<&Histogram> {
+        self.histograms.get(name)
+    }
+
+    /// Whether nothing was recorded.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty() && self.histograms.is_empty()
+    }
+
+    /// Serializes as `{"counters": {…}, "histograms": {…}}` with keys
+    /// in name order (deterministic bytes for a deterministic run).
+    #[must_use]
+    pub fn to_json(&self) -> JsonValue {
+        JsonValue::object([
+            (
+                "counters",
+                JsonValue::object(
+                    self.counters
+                        .iter()
+                        .map(|(k, &v)| (k.clone(), JsonValue::from(v))),
+                ),
+            ),
+            (
+                "histograms",
+                JsonValue::object(
+                    self.histograms
+                        .iter()
+                        .map(|(k, h)| (k.clone(), h.to_json())),
+                ),
+            ),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_buckets_by_log2() {
+        let mut h = Histogram::new();
+        for v in [0u64, 1, 2, 3, 4, 1000] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 6);
+        assert_eq!(h.sum(), 1010);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 1000);
+        let json = h.to_json().to_compact();
+        // 0 alone; 1 alone; [2,4) holds 2 and 3; 4 alone; 1000 in [512,1024).
+        assert!(json.contains("[2,2]"), "{json}");
+        assert!(json.contains("[512,1]"), "{json}");
+    }
+
+    #[test]
+    fn empty_histogram_reports_zero_min() {
+        let h = Histogram::new();
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 0);
+        assert!((h.mean() - 0.0).abs() < f64::EPSILON);
+    }
+
+    #[test]
+    fn registry_round_trips_counters() {
+        let mut r = CounterRegistry::new();
+        r.incr("vmu.lines");
+        r.add("vmu.lines", 3);
+        r.record("mem.latency", 80);
+        assert_eq!(r.counter("vmu.lines"), 4);
+        assert_eq!(r.counter("never"), 0);
+        assert_eq!(r.histogram("mem.latency").unwrap().count(), 1);
+        assert!(!r.is_empty());
+    }
+
+    #[test]
+    fn json_is_name_ordered_and_stable() {
+        let mut r = CounterRegistry::new();
+        r.add("z", 1);
+        r.add("a", 2);
+        let j = r.to_json().to_compact();
+        assert!(j.find("\"a\"").unwrap() < j.find("\"z\"").unwrap());
+        assert_eq!(j, r.clone().to_json().to_compact());
+    }
+}

@@ -1,0 +1,215 @@
+//! The shared tracer handle.
+
+use crate::buffer::TraceBuffer;
+use crate::event::{EventKind, TraceEvent};
+use crate::registry::CounterRegistry;
+use std::cell::RefCell;
+use std::rc::Rc;
+
+/// Default ring-buffer capacity in events (~1M; see DESIGN.md's sizing
+/// discussion — enough for every Table IV kernel at audit sizes).
+const DEFAULT_CAPACITY: usize = 1 << 20;
+
+/// A cheaply-cloneable handle to one run's trace state.
+///
+/// The simulator is single-threaded per run (cores already share their
+/// LLC through `Rc<RefCell<…>>`), so the tracer uses the same idiom:
+/// every core, hierarchy, and engine holds a clone, and all of them
+/// append to one buffer in retirement order per track. Emission
+/// methods take `&self`, so instrumented models don't need extra
+/// mutability.
+#[derive(Debug, Clone)]
+pub struct Tracer {
+    inner: Rc<RefCell<State>>,
+}
+
+#[derive(Debug)]
+struct State {
+    buf: TraceBuffer,
+    reg: CounterRegistry,
+}
+
+impl Default for Tracer {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Tracer {
+    /// A tracer with the default buffer capacity.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::with_capacity(DEFAULT_CAPACITY)
+    }
+
+    /// A tracer buffering at most `capacity` events.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    #[must_use]
+    pub fn with_capacity(capacity: usize) -> Self {
+        Self {
+            inner: Rc::new(RefCell::new(State {
+                buf: TraceBuffer::new(capacity),
+                reg: CounterRegistry::new(),
+            })),
+        }
+    }
+
+    fn push(&self, event: TraceEvent) {
+        self.inner.borrow_mut().buf.push(event);
+    }
+
+    /// Emits a duration span; zero-length spans are skipped.
+    pub fn span(
+        &self,
+        track: &'static str,
+        cat: &'static str,
+        name: &'static str,
+        ts: u64,
+        dur: u64,
+    ) {
+        if dur == 0 {
+            return;
+        }
+        self.push(TraceEvent {
+            track,
+            cat,
+            name,
+            ts,
+            dur,
+            kind: EventKind::Span,
+            arg: None,
+        });
+    }
+
+    /// Emits a duration span carrying one key/value argument.
+    pub fn span_arg(
+        &self,
+        track: &'static str,
+        cat: &'static str,
+        name: &'static str,
+        ts: u64,
+        dur: u64,
+        arg: (&'static str, u64),
+    ) {
+        if dur == 0 {
+            return;
+        }
+        self.push(TraceEvent {
+            track,
+            cat,
+            name,
+            ts,
+            dur,
+            kind: EventKind::Span,
+            arg: Some(arg),
+        });
+    }
+
+    /// Emits a point event.
+    pub fn instant(&self, track: &'static str, cat: &'static str, name: &'static str, ts: u64) {
+        self.push(TraceEvent {
+            track,
+            cat,
+            name,
+            ts,
+            dur: 0,
+            kind: EventKind::Instant,
+            arg: None,
+        });
+    }
+
+    /// Emits a point event carrying one key/value argument.
+    pub fn instant_arg(
+        &self,
+        track: &'static str,
+        cat: &'static str,
+        name: &'static str,
+        ts: u64,
+        arg: (&'static str, u64),
+    ) {
+        self.push(TraceEvent {
+            track,
+            cat,
+            name,
+            ts,
+            dur: 0,
+            kind: EventKind::Instant,
+            arg: Some(arg),
+        });
+    }
+
+    /// Adds `amount` to the registry counter `name`.
+    pub fn count(&self, name: &str, amount: u64) {
+        self.inner.borrow_mut().reg.add(name, amount);
+    }
+
+    /// Records one histogram sample.
+    pub fn record(&self, name: &str, value: u64) {
+        self.inner.borrow_mut().reg.record(name, value);
+    }
+
+    /// Copies out the buffered events in emission order.
+    #[must_use]
+    pub fn events(&self) -> Vec<TraceEvent> {
+        self.inner.borrow().buf.to_vec()
+    }
+
+    /// Buffered event count.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.inner.borrow().buf.len()
+    }
+
+    /// Whether no event was emitted.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.inner.borrow().buf.is_empty()
+    }
+
+    /// Events lost to ring-buffer overflow.
+    #[must_use]
+    pub fn dropped(&self) -> u64 {
+        self.inner.borrow().buf.dropped()
+    }
+
+    /// A snapshot of the counter/histogram registry.
+    #[must_use]
+    pub fn registry(&self) -> CounterRegistry {
+        self.inner.borrow().reg.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clones_share_one_buffer() {
+        let a = Tracer::with_capacity(16);
+        let b = a.clone();
+        a.span("vsu", "busy", "busy", 0, 5);
+        b.instant("vmu", "req", "line", 3);
+        assert_eq!(a.len(), 2);
+        assert_eq!(b.events()[0].cat, "busy");
+    }
+
+    #[test]
+    fn zero_duration_spans_are_skipped() {
+        let t = Tracer::with_capacity(4);
+        t.span("vsu", "busy", "busy", 7, 0);
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn counters_and_histograms_flow_to_registry() {
+        let t = Tracer::with_capacity(4);
+        t.count("x", 2);
+        t.record("lat", 31);
+        let reg = t.registry();
+        assert_eq!(reg.counter("x"), 2);
+        assert_eq!(reg.histogram("lat").unwrap().max(), 31);
+    }
+}

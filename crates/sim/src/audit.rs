@@ -1,0 +1,224 @@
+//! The stall-attribution auditor.
+//!
+//! Replays a traced run's event stream against its [`RunReport`] and
+//! asserts the accounting identity the Fig 7 breakdown rests on: every
+//! engine cycle is attributed to exactly one bucket, so
+//!
+//! ```text
+//! breakdown.total() + spawn_cycles == vsu.end_cycles <= report.cycles
+//! ```
+//!
+//! and, when the `obs` feature traced the run, the `vsu` track's spans
+//! tile `[spawn_start, vsu_end)` contiguously with per-category sums
+//! that re-derive the breakdown. Generic trace invariants (bounds,
+//! monotonicity, lossless buffer) come from [`eve_obs::audit`].
+
+use crate::report::RunReport;
+use eve_obs::audit::{check_bounds, check_monotonic, tile_track, AuditError, TrackTiling};
+use eve_obs::Tracer;
+use std::fmt;
+
+/// Tracks whose emitters stamp events in nondecreasing cycle order.
+///
+/// Deliberately excluded: `mem` (scalar accesses are stamped at
+/// out-of-order execute time) and `vsu_extra` (extra exec pipes start
+/// μprograms behind the main timeline).
+pub const ORDERED_TRACKS: [&str; 14] = [
+    "vsu", "vmu", "o3", "io", "dv", "vru", "dtu0", "dtu1", "dtu2", "dtu3", "dtu4", "dtu5", "dtu6",
+    "dtu7",
+];
+
+/// Why an audit rejected a run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AuditFailure {
+    /// A generic trace invariant failed (lossy buffer, time running
+    /// backwards, events past the run end, a gap or overlap on the
+    /// attributed timeline).
+    Trace(AuditError),
+    /// The attribution identity itself failed: the breakdown, the
+    /// engine timeline, and the replayed spans disagree.
+    Identity {
+        /// What disagreed, with the numbers.
+        message: String,
+    },
+}
+
+impl fmt::Display for AuditFailure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Trace(e) => write!(f, "trace invariant: {e}"),
+            Self::Identity { message } => write!(f, "attribution identity: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for AuditFailure {}
+
+impl From<AuditError> for AuditFailure {
+    fn from(e: AuditError) -> Self {
+        Self::Trace(e)
+    }
+}
+
+/// What a passing audit established.
+#[derive(Debug, Clone, Default)]
+pub struct AuditSummary {
+    /// Events replayed.
+    pub events: usize,
+    /// The tiled `vsu` timeline; all-zero when the run was not traced
+    /// (obs feature off) or the system has no engine.
+    pub vsu: TrackTiling,
+    /// Cycles between spawn commit and reconfiguration completing.
+    pub spawn_cycles: u64,
+    /// Whether the span-level re-derivation of the breakdown ran (it
+    /// needs a traced single-pipe engine run).
+    pub tiled: bool,
+}
+
+fn identity(message: String) -> AuditFailure {
+    AuditFailure::Identity { message }
+}
+
+/// Replays `tracer`'s event stream against `report`.
+///
+/// Always checks: the buffer dropped nothing, no event outruns
+/// `report.cycles`, every [`ORDERED_TRACKS`] track is monotone, and —
+/// for engine runs — the stats-level identity
+/// `breakdown.total() + spawn_cycles == vsu.end_cycles <= cycles`.
+///
+/// When the run was traced (spans present) on a single-pipe engine, it
+/// additionally tiles the `vsu` track and requires the per-category
+/// durations to reproduce every breakdown bucket exactly.
+///
+/// # Errors
+///
+/// Returns the first violated invariant as an [`AuditFailure`].
+pub fn audit_run(tracer: &Tracer, report: &RunReport) -> Result<AuditSummary, AuditFailure> {
+    let dropped = tracer.dropped();
+    if dropped > 0 {
+        return Err(AuditError::DroppedEvents { dropped }.into());
+    }
+    let events = tracer.events();
+    check_bounds(&events, report.cycles.0)?;
+    for track in ORDERED_TRACKS {
+        check_monotonic(&events, track)?;
+    }
+    let vsu = tile_track(&events, "vsu")?;
+    let spawn_cycles = report.stats.get("spawn_cycles");
+    let mut tiled = false;
+
+    if let Some(b) = &report.breakdown {
+        let vsu_end = report.stats.get("vsu.end_cycles");
+        // The attributed timeline opens when the first vector
+        // instruction commits and the engine spawns.
+        let vsu_start = report.stats.get("spawn_commit_cycle");
+        let attributed = vsu_start + spawn_cycles + b.total().0;
+        if attributed != vsu_end {
+            return Err(identity(format!(
+                "start + spawn + breakdown.total() = \
+                 {vsu_start} + {spawn_cycles} + {} = {attributed}, \
+                 but the engine timeline ends at {vsu_end}",
+                b.total().0
+            )));
+        }
+        if vsu_end > report.cycles.0 {
+            return Err(identity(format!(
+                "engine timeline ends at {vsu_end}, past run end {}",
+                report.cycles.0
+            )));
+        }
+        // Span-level re-derivation. Extra exec pipes overlap μprograms
+        // with the main timeline, so only the 1-pipe engine tiles; an
+        // untraced run (obs off) has no spans to replay.
+        if report.stats.get("exec_pipes") <= 1 && vsu.spans > 0 {
+            tiled = true;
+            if vsu.start != vsu_start {
+                return Err(identity(format!(
+                    "replayed vsu spans start at {}, spawn committed at {vsu_start}",
+                    vsu.start
+                )));
+            }
+            if vsu.end != vsu_end {
+                return Err(identity(format!(
+                    "replayed vsu spans end at {}, stats say {vsu_end}",
+                    vsu.end
+                )));
+            }
+            if vsu.cat("spawn") != spawn_cycles {
+                return Err(identity(format!(
+                    "replayed spawn span is {} cycles, stats say {spawn_cycles}",
+                    vsu.cat("spawn")
+                )));
+            }
+            for (bucket, cycles) in b.entries() {
+                if vsu.cat(bucket) != cycles.0 {
+                    return Err(identity(format!(
+                        "bucket {bucket}: replayed spans sum to {}, breakdown says {}",
+                        vsu.cat(bucket),
+                        cycles.0
+                    )));
+                }
+            }
+        }
+    }
+
+    Ok(AuditSummary {
+        events: events.len(),
+        vsu,
+        spawn_cycles,
+        tiled,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runner::Runner;
+    use crate::system::SystemKind;
+    use eve_workloads::Workload;
+
+    fn traced(system: SystemKind) -> (Tracer, RunReport) {
+        let tracer = Tracer::new();
+        let report = Runner::with_tracer(&tracer)
+            .run(system, &Workload::vvadd(512))
+            .unwrap();
+        (tracer, report)
+    }
+
+    #[test]
+    fn eve_run_passes_the_audit() {
+        let (tracer, report) = traced(SystemKind::EveN(8));
+        let s = audit_run(&tracer, &report).unwrap();
+        assert_eq!(s.tiled, cfg!(feature = "obs"));
+        #[cfg(feature = "obs")]
+        {
+            assert!(s.events > 0);
+            assert_eq!(s.vsu.total(), s.vsu.end - s.vsu.start);
+        }
+    }
+
+    #[test]
+    fn scalar_runs_pass_trivially() {
+        for sys in [SystemKind::Io, SystemKind::O3, SystemKind::O3Dv] {
+            let (tracer, report) = traced(sys);
+            let s = audit_run(&tracer, &report).unwrap();
+            assert!(!s.tiled, "{sys} has no engine timeline");
+        }
+    }
+
+    #[test]
+    fn a_cooked_timeline_fails_the_identity() {
+        let (tracer, mut report) = traced(SystemKind::EveN(8));
+        let end = report.stats.get("vsu.end_cycles");
+        report.stats.set("vsu.end_cycles", end + 1);
+        let err = audit_run(&tracer, &report).unwrap_err();
+        assert!(matches!(err, AuditFailure::Identity { .. }), "{err}");
+        assert!(err.to_string().contains("timeline"), "{err}");
+    }
+
+    #[test]
+    fn failures_render() {
+        let e = AuditFailure::from(AuditError::DroppedEvents { dropped: 3 });
+        assert!(e.to_string().contains("dropped 3"));
+    }
+}

@@ -104,6 +104,7 @@ impl CoreDriver for Driver<IoCore> {
             characterization: self.chars.clone(),
             breakdown: None,
             resilience: None,
+            counters: None,
         })
     }
 }
@@ -138,6 +139,7 @@ where
             characterization: self.chars.clone(),
             breakdown: self.core.breakdown(),
             resilience: None,
+            counters: None,
         })
     }
 }

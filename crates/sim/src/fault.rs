@@ -411,6 +411,7 @@ impl Runner {
                 verified,
                 degraded_from: None,
             }),
+            counters: None,
         })
     }
 }

@@ -19,6 +19,7 @@
 //! assert!(eve.wall_ps < io.wall_ps, "EVE-8 must beat the in-order core");
 //! ```
 
+pub mod audit;
 pub mod cmp;
 pub mod experiments;
 pub mod fault;
@@ -26,6 +27,7 @@ pub mod report;
 pub mod runner;
 pub mod system;
 
+pub use audit::{audit_run, AuditFailure, AuditSummary};
 pub use cmp::{run_cmp, CmpReport};
 pub use fault::{
     campaign_json, CheckVerdict, FaultOutcome, FaultPlan, RecoveryPolicy, ResilienceReport,

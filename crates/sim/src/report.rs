@@ -2,9 +2,11 @@
 
 use crate::fault::ResilienceReport;
 use crate::system::SystemKind;
+use eve_common::json::JsonValue;
 use eve_common::{Cycle, Picos, Stats};
 use eve_core::StallBreakdown;
 use eve_isa::Characterization;
+use eve_obs::CounterRegistry;
 
 /// The result of running one workload on one system.
 #[derive(Debug, Clone)]
@@ -28,6 +30,9 @@ pub struct RunReport {
     pub breakdown: Option<StallBreakdown>,
     /// Fault-injection runs only: what the resilience layer saw and did.
     pub resilience: Option<ResilienceReport>,
+    /// Traced runs only: the observability counter/histogram registry
+    /// snapshot (see `eve-obs`).
+    pub counters: Option<CounterRegistry>,
 }
 
 impl RunReport {
@@ -50,6 +55,60 @@ impl RunReport {
         self.breakdown?;
         Some(stall as f64 / self.cycles.0.max(1) as f64)
     }
+
+    /// Serializes the report deterministically. The key set and
+    /// ordering are locked by the `report_schema` golden test — extend
+    /// the schema consciously, then regenerate the fixture.
+    #[must_use]
+    pub fn to_json(&self) -> JsonValue {
+        let c = &self.characterization;
+        let characterization = JsonValue::object([
+            ("dyn_insts", c.dyn_insts.into()),
+            ("vector_insts", c.vector_insts.into()),
+            ("ctrl", c.ctrl.into()),
+            ("ialu", c.ialu.into()),
+            ("imul", c.imul.into()),
+            ("xe", c.xe.into()),
+            ("unit_stride", c.unit_stride.into()),
+            ("const_stride", c.const_stride.into()),
+            ("indexed", c.indexed.into()),
+            ("predicated", c.predicated.into()),
+            ("ops", c.ops.into()),
+            ("vector_ops", c.vector_ops.into()),
+            ("math_ops", c.math_ops.into()),
+            ("mem_ops", c.mem_ops.into()),
+        ]);
+        let breakdown = match &self.breakdown {
+            Some(b) => JsonValue::Object(
+                b.entries()
+                    .iter()
+                    .map(|(k, v)| ((*k).to_string(), JsonValue::from(v.0)))
+                    .collect(),
+            ),
+            None => JsonValue::Null,
+        };
+        let stats = JsonValue::Object(
+            self.stats
+                .iter()
+                .map(|(k, v)| (k.to_string(), JsonValue::from(v)))
+                .collect(),
+        );
+        let counters = match &self.counters {
+            Some(reg) if !reg.is_empty() => reg.to_json(),
+            _ => JsonValue::Null,
+        };
+        JsonValue::object([
+            ("system", JsonValue::from(self.system.to_string())),
+            ("workload", self.workload.into()),
+            ("cycles", self.cycles.0.into()),
+            ("wall_ps", self.wall_ps.0.into()),
+            ("dyn_insts", self.dyn_insts.into()),
+            ("characterization", characterization),
+            ("breakdown", breakdown),
+            ("stats", stats),
+            ("counters", counters),
+        ])
+    }
 }
 
 #[cfg(test)]
@@ -67,7 +126,16 @@ mod tests {
             characterization: Characterization::new(),
             breakdown: None,
             resilience: None,
+            counters: None,
         }
+    }
+
+    #[test]
+    fn json_shape_is_stable() {
+        let doc = report(10).to_json().to_compact();
+        assert!(doc.starts_with("{\"system\":\"IO\""), "{doc}");
+        assert!(doc.contains("\"breakdown\":null"));
+        assert!(doc.contains("\"counters\":null"));
     }
 
     #[test]

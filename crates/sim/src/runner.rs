@@ -7,6 +7,7 @@ use eve_core::EveEngine;
 use eve_cpu::{EngineError, IoCore, O3Core, VectorUnit};
 use eve_isa::{Characterization, Interpreter, IsaError};
 use eve_mem::HierarchyConfig;
+use eve_obs::Tracer;
 use eve_vector::{DecoupledVector, IntegratedVector};
 use eve_workloads::Workload;
 use std::fmt;
@@ -51,14 +52,27 @@ impl From<EngineError> for SimError {
 }
 
 /// Runs workloads on simulated systems.
-#[derive(Debug, Clone, Copy, Default)]
-pub struct Runner;
+#[derive(Debug, Clone, Default)]
+pub struct Runner {
+    tracer: Option<Tracer>,
+}
 
 impl Runner {
     /// A runner with default settings.
     #[must_use]
     pub fn new() -> Self {
-        Runner
+        Self::default()
+    }
+
+    /// A runner that attaches `tracer` to every core, hierarchy, and
+    /// vector unit it builds. With the `obs` feature the run then
+    /// fills the tracer's event buffer and registry; without it the
+    /// handle is carried but nothing is emitted.
+    #[must_use]
+    pub fn with_tracer(tracer: &Tracer) -> Self {
+        Self {
+            tracer: Some(tracer.clone()),
+        }
     }
 
     /// Simulates `workload` on `system` with the Table III memory
@@ -91,6 +105,9 @@ impl Runner {
             SystemKind::Io => {
                 let mut interp = Interpreter::new(built.scalar.clone(), built.memory.clone(), 1);
                 let mut core = IoCore::with_config(mem_cfg);
+                if let Some(t) = &self.tracer {
+                    core.set_tracer(t);
+                }
                 let mut c = Characterization::new();
                 while let Some(r) = interp.step()? {
                     c.record(&r);
@@ -113,6 +130,9 @@ impl Runner {
             SystemKind::O3 => {
                 let mut interp = Interpreter::new(built.scalar.clone(), built.memory.clone(), 1);
                 let mut core = O3Core::with_unit(eve_cpu::NoVector, mem_cfg);
+                if let Some(t) = &self.tracer {
+                    core.set_tracer(t);
+                }
                 let mut c = Characterization::new();
                 while let Some(r) = interp.step()? {
                     c.record(&r);
@@ -184,6 +204,9 @@ impl Runner {
     where
         O3Core<V>: CoreStats<V>,
     {
+        if let Some(t) = &self.tracer {
+            core.set_tracer(t);
+        }
         let hw_vl = core.hw_vl();
         let mut interp = Interpreter::new(built.vector.clone(), built.memory.clone(), hw_vl);
         let mut c = Characterization::new();
@@ -228,6 +251,7 @@ impl Runner {
             characterization,
             breakdown,
             resilience: None,
+            counters: self.tracer.as_ref().map(Tracer::registry),
         }
     }
 }

@@ -12,6 +12,7 @@ use eve_common::{Cycle, Stats};
 use eve_cpu::{EngineError, VectorPlacement, VectorUnit};
 use eve_isa::{Inst, MemEffect, RegId, Retired};
 use eve_mem::{Hierarchy, Level, Tlb, LINE_BYTES};
+use eve_obs::Tracer;
 
 /// Hardware vector length in elements.
 pub const DV_HW_VL: u32 = 64;
@@ -34,6 +35,8 @@ pub struct DecoupledVector {
     idle_at: Cycle,
     tlb: Tlb,
     stats: Stats,
+    #[cfg_attr(not(feature = "obs"), allow(dead_code))]
+    tracer: Option<Tracer>,
 }
 
 impl DecoupledVector {
@@ -49,6 +52,16 @@ impl DecoupledVector {
             PipeClass::Complex => 1,
             PipeClass::Iterative => 2,
             PipeClass::Memory => 3,
+        }
+    }
+
+    #[cfg(feature = "obs")]
+    fn pipe_name(class: PipeClass) -> &'static str {
+        match class {
+            PipeClass::Simple => "simple",
+            PipeClass::Complex => "complex",
+            PipeClass::Iterative => "iterative",
+            PipeClass::Memory => "memory",
         }
     }
 
@@ -167,6 +180,13 @@ impl VectorUnit for DecoupledVector {
         }
         self.idle_at = self.idle_at.max(completion);
         self.queue_done.push_back(completion);
+        #[cfg(feature = "obs")]
+        if let Some(tr) = &self.tracer {
+            // Issue is in order, so starts are monotone on the track.
+            let pipe_cat = Self::pipe_name(class);
+            tr.span("dv", pipe_cat, pipe_cat, start.0, (completion - start).0);
+            tr.record("dv.queue_depth", self.queue_done.len() as u64);
+        }
 
         // Scalar writebacks stall the core's commit (§V-A).
         let writeback = match r.inst {
@@ -187,6 +207,10 @@ impl VectorUnit for DecoupledVector {
             s.add(&format!("tlb.{k}"), v);
         }
         s
+    }
+
+    fn attach_tracer(&mut self, tracer: &Tracer) {
+        self.tracer = Some(tracer.clone());
     }
 }
 

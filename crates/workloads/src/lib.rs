@@ -154,6 +154,24 @@ impl Workload {
         }
     }
 
+    /// Every valid kernel name, in Table IV order — the vocabulary
+    /// CLI tools accept and print in their usage errors.
+    #[must_use]
+    pub fn names() -> Vec<&'static str> {
+        Self::tiny_suite().iter().map(Workload::name).collect()
+    }
+
+    /// Looks up a tiny-sized workload by its Table IV name. Accepts
+    /// `"jacobi"` as an alias for `"jacobi-2d"`. Returns `None` for
+    /// unknown names — callers print [`Workload::names`].
+    #[must_use]
+    pub fn tiny_by_name(name: &str) -> Option<Workload> {
+        let canonical = if name == "jacobi" { "jacobi-2d" } else { name };
+        Self::tiny_suite()
+            .into_iter()
+            .find(|w| w.name() == canonical)
+    }
+
     /// The default evaluation suite: the paper's seven kernels at
     /// inputs scaled to simulate in seconds (see DESIGN.md).
     #[must_use]
@@ -211,6 +229,19 @@ impl Workload {
 mod tests {
     use super::*;
     use eve_isa::Interpreter;
+
+    #[test]
+    fn every_name_round_trips_through_lookup() {
+        for w in Workload::tiny_suite() {
+            assert_eq!(Workload::tiny_by_name(w.name()), Some(w));
+        }
+        assert_eq!(
+            Workload::tiny_by_name("jacobi"),
+            Workload::tiny_by_name("jacobi-2d")
+        );
+        assert_eq!(Workload::tiny_by_name("nonesuch"), None);
+        assert_eq!(Workload::names().len(), Workload::tiny_suite().len());
+    }
 
     /// Both implementations of every kernel must reproduce the golden
     /// outputs, at several hardware vector lengths (strip-mining must

@@ -1,0 +1,64 @@
+//! The stall-attribution auditor over the whole Table IV suite.
+//!
+//! Every workload runs traced at small size under an in-order core, a
+//! decoupled vector baseline, and EVE design points; the auditor then
+//! replays each event stream and asserts the accounting identity —
+//! every engine cycle lands in exactly one breakdown bucket, ordered
+//! tracks never run backwards, and no event outlives the run.
+#![cfg(feature = "obs")]
+
+use eve_obs::Tracer;
+use eve_sim::{audit_run, Runner, SystemKind};
+use eve_workloads::Workload;
+
+const SYSTEMS: [SystemKind; 4] = [
+    SystemKind::Io,
+    SystemKind::O3Dv,
+    SystemKind::EveN(8),
+    SystemKind::EveN(32),
+];
+
+#[test]
+fn every_workload_passes_the_attribution_audit() {
+    for w in Workload::tiny_suite() {
+        for sys in SYSTEMS {
+            let tracer = Tracer::new();
+            let report = Runner::with_tracer(&tracer)
+                .run(sys, &w)
+                .unwrap_or_else(|e| panic!("{sys} on {}: {e}", w.name()));
+            let summary = audit_run(&tracer, &report)
+                .unwrap_or_else(|e| panic!("{sys} on {}: {e}", w.name()));
+            assert!(
+                summary.events > 0,
+                "{sys} on {}: traced run emitted nothing",
+                w.name()
+            );
+            if report.breakdown.is_some() {
+                assert!(
+                    summary.tiled,
+                    "{sys} on {}: engine run did not tile its timeline",
+                    w.name()
+                );
+                assert_eq!(
+                    summary.vsu.total(),
+                    summary.vsu.end - summary.vsu.start,
+                    "{sys} on {}: tiling is not contiguous",
+                    w.name()
+                );
+            }
+        }
+    }
+}
+
+/// The counter registry rides along in the report for traced runs.
+#[test]
+fn traced_reports_carry_counters() {
+    let tracer = Tracer::new();
+    let report = Runner::with_tracer(&tracer)
+        .run(SystemKind::EveN(8), &Workload::vvadd(512))
+        .unwrap();
+    let reg = report.counters.as_ref().expect("traced run has counters");
+    assert!(!reg.is_empty(), "registry should have counters");
+    let doc = report.to_json().to_compact();
+    assert!(doc.contains("\"counters\":{"), "{doc}");
+}

@@ -1,0 +1,53 @@
+//! Golden-snapshot test locking the [`RunReport::to_json`] schema.
+//!
+//! The serialized report is the repo's stable external surface — the
+//! bench bins, the trace exporter, and downstream plotting all read
+//! it. Any key added, removed, renamed, or reordered must show up
+//! here as a conscious fixture regeneration, not a silent drift.
+#![cfg(feature = "obs")]
+
+use eve_common::json::JsonValue;
+use eve_obs::Tracer;
+use eve_sim::{Runner, SystemKind};
+use eve_workloads::Workload;
+
+const FIXTURE: &str = concat!(
+    env!("CARGO_MANIFEST_DIR"),
+    "/tests/fixtures/report_schema.json"
+);
+
+const REGEN: &str = "EVE_UPDATE_FIXTURES=1 cargo test --features obs --test report_schema";
+
+/// One deterministic document covering both report shapes: a scalar
+/// run (null breakdown) and a traced EVE run (every section filled).
+fn snapshot() -> String {
+    let w = Workload::vvadd(512);
+    let io = Runner::new().run(SystemKind::Io, &w).unwrap();
+    let tracer = Tracer::new();
+    let eve = Runner::with_tracer(&tracer)
+        .run(SystemKind::EveN(8), &w)
+        .unwrap();
+    let doc = JsonValue::object([("io", io.to_json()), ("eve8_traced", eve.to_json())]);
+    let mut text = doc.to_pretty();
+    text.push('\n');
+    text
+}
+
+#[test]
+fn report_json_matches_the_checked_in_fixture() {
+    let got = snapshot();
+    // The snapshot must itself be valid JSON (the parser is the same
+    // one trace_run uses to self-validate exports).
+    JsonValue::parse(&got).expect("snapshot parses");
+
+    if std::env::var_os("EVE_UPDATE_FIXTURES").is_some() {
+        std::fs::write(FIXTURE, &got).expect("fixture writes");
+        return;
+    }
+    let want = std::fs::read_to_string(FIXTURE)
+        .unwrap_or_else(|_| panic!("missing fixture {FIXTURE}; regenerate with: {REGEN}"));
+    assert_eq!(
+        got, want,
+        "RunReport JSON schema changed; if intentional, regenerate with: {REGEN}"
+    );
+}
