@@ -1,26 +1,43 @@
-//! Fault-injection campaign: sweeps fault rate × EVE factor across the
-//! tiny workload suite, classifying every run as masked, detected +
-//! corrected, detected + degraded, or silent data corruption.
+//! Fault-injection campaign: sweeps fault rate × protection mode ×
+//! EVE factor across the tiny workload suite, classifying every run as
+//! masked, detected + corrected, detected + degraded, or silent data
+//! corruption, and reporting per-mode mean availability.
 //!
 //! Output is a deterministic JSON document — the same seed always
 //! produces byte-identical bytes, so campaign reports diff cleanly.
 //! Cells fan out across threads (injector seeds are pre-derived
 //! serially and results merge in job order, so the bytes match a
-//! serial run; set `EVE_BENCH_THREADS=1` to force one).
+//! serial run; set `EVE_BENCH_THREADS=1` to force one). A panicking
+//! or hung cell (see `EVE_BENCH_TIMEOUT`) becomes an error row in the
+//! document instead of killing the sweep.
 //!
 //! ```text
 //! fault_campaign [--seed N] [--rates R1,R2,..] [--factors N1,N2,..]
-//!                [--retries K] [--workloads W]
+//!                [--modes parity,secded,secded_sparing] [--retries K]
+//!                [--workloads W] [--write-only]
 //! ```
 
 use eve_bench::pool;
-use eve_sim::fault::{campaign_doc, campaign_jobs, run_campaign_job, FaultPlan, RecoveryPolicy};
+use eve_sim::fault::{
+    campaign_doc, campaign_jobs, run_campaign_job, CampaignFailure, CampaignMode, FaultPlan,
+    RecoveryPolicy,
+};
 use eve_workloads::Workload;
+use std::sync::Arc;
 
 fn flag_value(args: &[String], name: &str) -> Option<String> {
     args.iter()
         .position(|a| a == name)
         .and_then(|i| args.get(i + 1).cloned())
+}
+
+fn parse_mode(s: &str) -> CampaignMode {
+    match s {
+        "parity" => CampaignMode::Parity,
+        "secded" => CampaignMode::Secded,
+        "secded_sparing" | "sparing" => CampaignMode::SecdedSparing,
+        other => panic!("unknown mode {other:?} (parity|secded|secded_sparing)"),
+    }
 }
 
 fn main() {
@@ -41,10 +58,17 @@ fn main() {
             .map(|n| n.parse().expect("--factors takes comma-separated ints"))
             .collect();
     }
+    if let Some(modes) = flag_value(&args, "--modes") {
+        plan.modes = modes.split(',').map(parse_mode).collect();
+    }
     if let Some(retries) = flag_value(&args, "--retries") {
         plan.policy = RecoveryPolicy {
             max_retries: retries.parse().expect("--retries takes a u32"),
+            ..RecoveryPolicy::default()
         };
+    }
+    if args.iter().any(|a| a == "--write-only") {
+        plan.write_only = true;
     }
     let workloads = match flag_value(&args, "--workloads") {
         Some(n) => Workload::tiny_suite()
@@ -53,10 +77,26 @@ fn main() {
             .collect(),
         None => Workload::tiny_suite(),
     };
-    let jobs = campaign_jobs(&plan, &workloads);
-    let runs = pool::run_jobs(jobs.len(), |i| run_campaign_job(&plan, &jobs[i]))
+    let jobs = Arc::new(campaign_jobs(&plan, &workloads));
+    let shared_plan = Arc::new(plan.clone());
+    let results = pool::try_run_jobs(jobs.len(), {
+        let jobs = Arc::clone(&jobs);
+        move |i| run_campaign_job(&shared_plan, &jobs[i])
+    });
+    let cells = results
         .into_iter()
-        .collect::<Result<Vec<_>, _>>()
-        .expect("campaign runs");
-    println!("{}", campaign_doc(&plan, runs));
+        .zip(jobs.iter())
+        .map(|(result, &job)| match result {
+            Ok(Ok(run)) => Ok(run),
+            Ok(Err(sim_err)) => Err(CampaignFailure {
+                job,
+                error: sim_err.to_string(),
+            }),
+            Err(job_err) => Err(CampaignFailure {
+                job,
+                error: job_err.to_string(),
+            }),
+        })
+        .collect();
+    println!("{}", campaign_doc(&plan, cells));
 }

@@ -12,9 +12,24 @@
 //! environment variable when set (`1` forces the serial path — CI uses
 //! this to cross-check determinism), otherwise the machine's available
 //! parallelism.
+//!
+//! Two entry points with different failure contracts:
+//!
+//! * [`run_jobs`] — a panicking job no longer kills its worker
+//!   mid-queue (the historical bug: the unwind took the worker down
+//!   and left the remaining indices unclaimed); every job now runs to
+//!   completion and the first panic is re-raised only after the queue
+//!   fully drains.
+//! * [`try_run_jobs`] — full isolation for campaign grids: a panic
+//!   becomes a [`JobError::Panicked`] result for that cell, and when
+//!   `EVE_BENCH_TIMEOUT` (seconds) is set, a hung job is abandoned as
+//!   [`JobError::TimedOut`] while the pool keeps draining.
 
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::mpsc;
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
 
 /// Worker threads to use: `EVE_BENCH_THREADS` if set to a positive
 /// integer, else the machine's available parallelism.
@@ -30,6 +45,47 @@ pub fn threads() -> usize {
     std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
 }
 
+/// Per-job watchdog budget: `EVE_BENCH_TIMEOUT` in (positive whole)
+/// seconds, or `None` when unset or unparsable.
+#[must_use]
+pub fn timeout() -> Option<Duration> {
+    let v = std::env::var("EVE_BENCH_TIMEOUT").ok()?;
+    let secs = v.trim().parse::<u64>().ok().filter(|&s| s > 0)?;
+    Some(Duration::from_secs(secs))
+}
+
+/// Why a [`try_run_jobs`] cell failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum JobError {
+    /// The job panicked; the payload's message, when it had one.
+    Panicked(String),
+    /// The job exceeded the `EVE_BENCH_TIMEOUT` watchdog and was
+    /// abandoned.
+    TimedOut(Duration),
+}
+
+impl std::fmt::Display for JobError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            JobError::Panicked(msg) => write!(f, "job panicked: {msg}"),
+            JobError::TimedOut(d) => write!(f, "job timed out after {}s", d.as_secs()),
+        }
+    }
+}
+
+impl std::error::Error for JobError {}
+
+/// Renders a panic payload into something printable.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
 /// Runs `jobs` invocations of `f` (by job index) and returns the
 /// results in index order.
 ///
@@ -40,18 +96,45 @@ pub fn threads() -> usize {
 ///
 /// # Panics
 ///
-/// Propagates a panic from any job.
+/// Re-raises the first job panic — but only after every remaining job
+/// has run: a panic is caught at the job boundary, so it cannot take a
+/// worker (and the queue indices it would have claimed) down with it.
 pub fn run_jobs<T, F>(jobs: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let mut out = Vec::with_capacity(jobs);
+    let mut first_panic: Option<Box<dyn std::any::Any + Send>> = None;
+    for result in run_jobs_caught(jobs, &f) {
+        match result {
+            Ok(v) => out.push(v),
+            Err(p) if first_panic.is_none() => first_panic = Some(p),
+            Err(_) => {}
+        }
+    }
+    if let Some(p) = first_panic {
+        std::panic::resume_unwind(p);
+    }
+    out
+}
+
+/// The shared fan-out: every job runs under `catch_unwind`, results
+/// land in index-ordered slots.
+fn run_jobs_caught<T, F>(jobs: usize, f: &F) -> Vec<Result<T, Box<dyn std::any::Any + Send>>>
 where
     T: Send,
     F: Fn(usize) -> T + Sync,
 {
     let workers = threads().min(jobs);
     if workers <= 1 {
-        return (0..jobs).map(f).collect();
+        return (0..jobs)
+            .map(|i| catch_unwind(AssertUnwindSafe(|| f(i))))
+            .collect();
     }
     let cursor = AtomicUsize::new(0);
-    let slots: Vec<Mutex<Option<T>>> = (0..jobs).map(|_| Mutex::new(None)).collect();
+    type Slot<T> = Mutex<Option<Result<T, Box<dyn std::any::Any + Send>>>>;
+    let slots: Vec<Slot<T>> = (0..jobs).map(|_| Mutex::new(None)).collect();
     std::thread::scope(|scope| {
         for _ in 0..workers {
             scope.spawn(|| loop {
@@ -59,7 +142,75 @@ where
                 if i >= jobs {
                     break;
                 }
-                let result = f(i);
+                let result = catch_unwind(AssertUnwindSafe(|| f(i)));
+                *slots[i].lock().expect("job slot lock") = Some(result);
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("job slot lock")
+                .expect("every job index was claimed and completed")
+        })
+        .collect()
+}
+
+/// Runs `jobs` invocations of `f` with per-job fault isolation: a
+/// panicking cell becomes [`JobError::Panicked`] and, when
+/// `EVE_BENCH_TIMEOUT` is set, a hung cell becomes
+/// [`JobError::TimedOut`] — either way the pool keeps draining and the
+/// results stay in index order.
+///
+/// Timeout enforcement runs each job on its own detached thread and
+/// waits on a channel; an expired job's thread is *abandoned* (safe
+/// Rust cannot kill it), which is why the closure and results must be
+/// `'static`. Without a timeout configured, jobs run inline on the
+/// workers and only panic isolation applies.
+pub fn try_run_jobs<T, F>(jobs: usize, f: F) -> Vec<Result<T, JobError>>
+where
+    T: Send + 'static,
+    F: Fn(usize) -> T + Send + Sync + 'static,
+{
+    let f = Arc::new(f);
+    let deadline = timeout();
+    let run_one = move |i: usize| -> Result<T, JobError> {
+        match deadline {
+            None => catch_unwind(AssertUnwindSafe(|| f(i)))
+                .map_err(|p| JobError::Panicked(panic_message(p.as_ref()))),
+            Some(limit) => {
+                let (tx, rx) = mpsc::channel();
+                let f = Arc::clone(&f);
+                // Detached: if the job hangs we abandon the thread and
+                // report the cell, instead of hanging the whole sweep.
+                std::thread::spawn(move || {
+                    let result = catch_unwind(AssertUnwindSafe(|| f(i)))
+                        .map_err(|p| JobError::Panicked(panic_message(p.as_ref())));
+                    let _ = tx.send(result);
+                });
+                match rx.recv_timeout(limit) {
+                    Ok(result) => result,
+                    Err(_) => Err(JobError::TimedOut(limit)),
+                }
+            }
+        }
+    };
+    let workers = threads().min(jobs);
+    if workers <= 1 {
+        return (0..jobs).map(run_one).collect();
+    }
+    let cursor = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<Result<T, JobError>>>> =
+        (0..jobs).map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                if i >= jobs {
+                    break;
+                }
+                let result = run_one(i);
                 *slots[i].lock().expect("job slot lock") = Some(result);
             });
         }
@@ -100,5 +251,64 @@ mod tests {
             i
         });
         assert_eq!(out, (0..16).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn a_panicking_job_does_not_stall_the_queue() {
+        // The regression: job 1 panics early; with the unwinding
+        // worker gone, later indices it would have claimed were never
+        // run. All surviving jobs must still complete before the
+        // panic re-raises.
+        use std::sync::atomic::AtomicU64;
+        let done = AtomicU64::new(0);
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            run_jobs(32, |i| {
+                if i == 1 {
+                    panic!("cell 1 exploded");
+                }
+                done.fetch_add(1, Ordering::Relaxed);
+                i
+            })
+        }));
+        assert!(result.is_err(), "the panic must still propagate");
+        assert_eq!(done.load(Ordering::Relaxed), 31, "all other jobs ran");
+    }
+
+    #[test]
+    fn try_run_jobs_reports_panics_as_failed_cells() {
+        let out = try_run_jobs(8, |i| {
+            assert!(i != 3, "cell 3 exploded");
+            i * 2
+        });
+        for (i, r) in out.iter().enumerate() {
+            if i == 3 {
+                match r {
+                    Err(JobError::Panicked(msg)) => assert!(msg.contains("cell 3")),
+                    other => panic!("expected a panic cell, got {other:?}"),
+                }
+            } else {
+                assert_eq!(*r.as_ref().expect("clean cell"), i * 2);
+            }
+        }
+    }
+
+    #[test]
+    fn watchdog_abandons_hung_jobs() {
+        // Serial path (EVE_BENCH_THREADS irrelevant): job 2 sleeps far
+        // past the watchdog; the pool must report it and finish the
+        // rest. The env var is process-global, so take care to restore
+        // it even though tests in this binary run in one process.
+        std::env::set_var("EVE_BENCH_TIMEOUT", "1");
+        let out = try_run_jobs(4, |i| {
+            if i == 2 {
+                std::thread::sleep(std::time::Duration::from_secs(3600));
+            }
+            i
+        });
+        std::env::remove_var("EVE_BENCH_TIMEOUT");
+        assert_eq!(out[0], Ok(0));
+        assert_eq!(out[1], Ok(1));
+        assert!(matches!(out[2], Err(JobError::TimedOut(_))));
+        assert_eq!(out[3], Ok(3));
     }
 }

@@ -58,30 +58,81 @@ impl Default for EngineTuning {
     }
 }
 
-/// Timing model of the detection layer: one interleaved parity bit per
-/// SRAM row, verified when a μprogram reads its operand rows. The
+/// How the detection layer protects each SRAM row.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum EccMode {
+    /// No per-row protection; nothing is charged.
+    Off,
+    /// One interleaved parity bit per row: detect-only, escalation
+    /// handles repair.
+    #[default]
+    Parity,
+    /// SECDED Hamming+P check planes per row: single-bit errors are
+    /// corrected in place, double-bit errors flagged uncorrectable.
+    Secded,
+}
+
+/// Timing model of the detection layer: parity or SECDED check planes
+/// per SRAM row, verified when a μprogram reads its operand rows. The
 /// checker is a narrow tree shared per array, so it retires a few rows
 /// per cycle; the charge lands in the `parity_stall` breakdown bucket.
+/// SECDED additionally pays per corrected event (`ecc_correct_stall`),
+/// per remapped row (`remap_stall`), and — when a scrub interval is
+/// set — a periodic background sweep (`scrub_stall`).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ResilienceConfig {
-    /// Parity rows the shared checker verifies per cycle.
+    /// Protection scheme per row.
+    pub mode: EccMode,
+    /// Check-plane rows the shared checker verifies per cycle.
     pub check_rows_per_cycle: u64,
+    /// Background scrub period in VSU cycles (0 disables scrubbing).
+    pub scrub_interval_cycles: u64,
+    /// Read-modify-write cycles to repair one corrected event.
+    pub ecc_correct_cycles: u64,
+    /// Cycles to copy one retired row into its spare and update the
+    /// remap latches.
+    pub remap_cycles: u64,
 }
 
 impl Default for ResilienceConfig {
     fn default() -> Self {
         Self {
+            mode: EccMode::Parity,
             check_rows_per_cycle: 4,
+            scrub_interval_cycles: 0,
+            ecc_correct_cycles: 3,
+            remap_cycles: 64,
         }
     }
 }
 
 impl ResilienceConfig {
+    /// The SECDED preset: correct-in-place with a background scrub
+    /// every 4096 VSU cycles.
+    #[must_use]
+    pub fn secded() -> Self {
+        Self {
+            mode: EccMode::Secded,
+            scrub_interval_cycles: 4096,
+            ..Self::default()
+        }
+    }
+
     /// Cycles to verify both operand registers of a compute macro-op
-    /// (`segments` rows each).
+    /// (`segments` rows each). Zero when protection is off.
     #[must_use]
     pub fn check_cycles(&self, segments: u64) -> Cycle {
+        if matches!(self.mode, EccMode::Off) {
+            return Cycle::ZERO;
+        }
         Cycle((2 * segments).div_ceil(self.check_rows_per_cycle.max(1)))
+    }
+
+    /// Cycles for one background scrub sweep over the register file
+    /// (32 vregs × `segments` rows, through the same shared checker).
+    #[must_use]
+    pub fn scrub_cycles(&self, segments: u64) -> Cycle {
+        Cycle((32 * segments).div_ceil(self.check_rows_per_cycle.max(1)))
     }
 }
 
@@ -111,6 +162,8 @@ pub struct EveEngine {
     breakdown: StallBreakdown,
     /// Detection-layer timing model, when fault checking is enabled.
     resilience: Option<ResilienceConfig>,
+    /// VSU time of the next background scrub sweep (SECDED only).
+    next_scrub: Cycle,
     /// Cycles the VMU spent unable to issue to the LLC (Fig 8).
     llc_issue_stall: Cycle,
     tlb: Tlb,
@@ -173,6 +226,7 @@ impl EveEngine {
             pending_store_done: Cycle::ZERO,
             breakdown: StallBreakdown::default(),
             resilience: None,
+            next_scrub: Cycle::ZERO,
             llc_issue_stall: Cycle::ZERO,
             tlb: Tlb::new(),
             stats: Stats::new(),
@@ -194,9 +248,65 @@ impl EveEngine {
     }
 
     /// Enables the detection layer: every compute macro-op pays for
-    /// verifying the interleaved parity of its operand rows.
+    /// verifying the check planes of its operand rows, and (with a
+    /// scrub interval set) the VSU periodically pays for a background
+    /// sweep of the whole register file.
     pub fn enable_resilience(&mut self, cfg: ResilienceConfig) {
         self.resilience = Some(cfg);
+        self.next_scrub = self.vsu_now + Cycle(cfg.scrub_interval_cycles);
+    }
+
+    /// Charges `events` SECDED single-bit corrections to the VSU
+    /// timeline (`ecc_correct_stall`). The functional array reports
+    /// corrected-event counts after each op; the controller calls this
+    /// so the repair writebacks show up in the attribution.
+    pub fn charge_ecc_corrections(&mut self, events: u64) {
+        let Some(res) = self.resilience else { return };
+        let cost = Cycle(events.saturating_mul(res.ecc_correct_cycles.max(1)));
+        if cost == Cycle::ZERO {
+            return;
+        }
+        self.trace_vsu("ecc_correct_stall", "ecc_correct", self.vsu_now, cost);
+        self.breakdown.ecc_correct_stall += cost;
+        self.vsu_now += cost;
+        self.stats.add("ecc_correct_cycles", cost.0);
+        self.stats.add("ecc_corrected_events", events);
+    }
+
+    /// Charges `rows` spare-row remaps to the VSU timeline
+    /// (`remap_stall`): each retired row is copied into its spare and
+    /// the remap latches updated before execution resumes.
+    pub fn charge_remaps(&mut self, rows: u64) {
+        let Some(res) = self.resilience else { return };
+        let cost = Cycle(rows.saturating_mul(res.remap_cycles.max(1)));
+        if cost == Cycle::ZERO {
+            return;
+        }
+        self.trace_vsu("remap_stall", "row_remap", self.vsu_now, cost);
+        self.breakdown.remap_stall += cost;
+        self.vsu_now += cost;
+        self.stats.add("remap_cycles", cost.0);
+        self.stats.add("remapped_rows", rows);
+    }
+
+    /// Pays for any background scrub sweeps whose deadline has passed
+    /// on the VSU timeline. Called on the compute path so scrub time
+    /// serializes with μprogram execution, like a real port steal.
+    fn charge_due_scrubs(&mut self) {
+        let Some(res) = self.resilience else { return };
+        if res.scrub_interval_cycles == 0 || !matches!(res.mode, EccMode::Secded) {
+            return;
+        }
+        let interval = Cycle(res.scrub_interval_cycles);
+        let cost = res.scrub_cycles(self.segments);
+        while self.vsu_now >= self.next_scrub {
+            self.trace_vsu("scrub_stall", "scrub_sweep", self.vsu_now, cost);
+            self.breakdown.scrub_stall += cost;
+            self.vsu_now += cost;
+            self.stats.add("scrub_cycles", cost.0);
+            self.stats.incr("scrub_sweeps");
+            self.next_scrub += interval;
+        }
     }
 
     /// The detection-layer configuration, if checking is enabled.
@@ -542,14 +652,19 @@ impl EveEngine {
         }
         self.advance_vsu(accept, "empty_stall", |b| &mut b.empty_stall);
         self.advance_vsu(deps, "dep_stall", |b| &mut b.dep_stall);
-        // Detection layer: verify operand-row parity before latching
-        // the first bit-line compute (serializes with the VSU).
+        // Detection layer: verify operand-row check planes before
+        // latching the first bit-line compute (serializes with the
+        // VSU), and pay for any background scrub whose deadline
+        // passed.
+        self.charge_due_scrubs();
         if let Some(res) = self.resilience {
             let check = res.check_cycles(self.segments);
-            self.trace_vsu("parity_stall", "parity_check", self.vsu_now, check);
-            self.breakdown.parity_stall += check;
-            self.vsu_now += check;
-            self.stats.add("parity_check_cycles", check.0);
+            if check > Cycle::ZERO {
+                self.trace_vsu("parity_stall", "parity_check", self.vsu_now, check);
+                self.breakdown.parity_stall += check;
+                self.vsu_now += check;
+                self.stats.add("parity_check_cycles", check.0);
+            }
         }
         self.busy("uprog", total);
         self.set_write_ready(r, self.vsu_now);
@@ -582,6 +697,11 @@ impl VectorUnit for EveEngine {
             self.vsu_now = done;
             self.vmu_now = done;
             self.spawned = true;
+            // The scrub clock starts when the arrays come into
+            // existence, not at construction time.
+            if let Some(res) = self.resilience {
+                self.next_scrub = done + Cycle(res.scrub_interval_cycles);
+            }
         }
         self.stats.incr("issued");
 
@@ -979,6 +1099,75 @@ mod tests {
         assert_eq!(
             b.total() + Cycle(checked.stats().get("spawn_cycles")),
             checked_done,
+        );
+    }
+
+    #[test]
+    fn ecc_off_charges_nothing() {
+        let mut off = EveEngine::new(8).unwrap();
+        off.enable_resilience(ResilienceConfig {
+            mode: EccMode::Off,
+            ..ResilienceConfig::default()
+        });
+        let mut plain = EveEngine::new(8).unwrap();
+        let mut mem = Hierarchy::new(HierarchyConfig::table_iii());
+        let mut mem2 = Hierarchy::new(HierarchyConfig::table_iii());
+        for i in 0..10u64 {
+            off.issue(&retired(vadd(), 2048), Cycle(0), Cycle(i * 3), &mut mem)
+                .unwrap();
+            plain
+                .issue(&retired(vadd(), 2048), Cycle(0), Cycle(i * 3), &mut mem2)
+                .unwrap();
+        }
+        assert_eq!(off.breakdown().parity_stall, Cycle::ZERO);
+        assert_eq!(off.drain(&mut mem), plain.drain(&mut mem2));
+    }
+
+    #[test]
+    fn correction_and_remap_charges_keep_the_identity() {
+        let mut e = EveEngine::new(8).unwrap();
+        e.enable_resilience(ResilienceConfig::secded());
+        let mut mem = Hierarchy::new(HierarchyConfig::table_iii());
+        for i in 0..4u64 {
+            e.issue(&retired(vadd(), 2048), Cycle(0), Cycle(i * 3), &mut mem)
+                .unwrap();
+            e.charge_ecc_corrections(2);
+        }
+        e.charge_remaps(1);
+        let b = *e.breakdown();
+        let res = ResilienceConfig::secded();
+        assert_eq!(b.ecc_correct_stall, Cycle(8 * res.ecc_correct_cycles));
+        assert_eq!(b.remap_stall, Cycle(res.remap_cycles));
+        assert_eq!(e.stats().get("ecc_corrected_events"), 8);
+        assert_eq!(e.stats().get("remapped_rows"), 1);
+        assert_eq!(
+            b.total() + Cycle(e.stats().get("spawn_cycles")),
+            e.drain(&mut mem),
+        );
+    }
+
+    #[test]
+    fn scrub_interval_charges_periodic_sweeps() {
+        let mut e = EveEngine::new(8).unwrap();
+        e.enable_resilience(ResilienceConfig {
+            scrub_interval_cycles: 200,
+            ..ResilienceConfig::secded()
+        });
+        let mut mem = Hierarchy::new(HierarchyConfig::table_iii());
+        for i in 0..40u64 {
+            e.issue(&retired(vadd(), 2048), Cycle(0), Cycle(i * 3), &mut mem)
+                .unwrap();
+        }
+        let b = *e.breakdown();
+        assert!(b.scrub_stall > Cycle::ZERO, "scrub sweeps should charge");
+        // EVE-8: 32 vregs * 4 segment rows / 4 rows per cycle = 32
+        // cycles per sweep.
+        let sweeps = e.stats().get("scrub_sweeps");
+        assert!(sweeps >= 1);
+        assert_eq!(b.scrub_stall, Cycle(32 * sweeps));
+        assert_eq!(
+            b.total() + Cycle(e.stats().get("spawn_cycles")),
+            e.drain(&mut mem),
         );
     }
 }

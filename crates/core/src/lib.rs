@@ -41,6 +41,6 @@ pub mod engine;
 pub mod mapping;
 pub mod stats;
 
-pub use engine::{EngineTuning, EveEngine, ResilienceConfig, EVE_ARRAYS};
+pub use engine::{EccMode, EngineTuning, EveEngine, ResilienceConfig, EVE_ARRAYS};
 pub use mapping::macro_ops;
 pub use stats::StallBreakdown;

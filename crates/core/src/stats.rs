@@ -12,8 +12,14 @@ use eve_common::{Cycle, Stats};
 /// * `vmu_stall` — VMU structural hazard (request generation backlog);
 /// * `empty_stall` — no instruction available;
 /// * `dep_stall` — register dependences not yet resolved;
-/// * `parity_stall` — checking interleaved row parity on μprogram
-///   operand reads (only nonzero when resilience checking is enabled).
+/// * `parity_stall` — checking row parity/ECC syndromes on μprogram
+///   operand reads (only nonzero when resilience checking is enabled);
+/// * `ecc_correct_stall` — read-modify-write repair of SECDED
+///   single-bit corrections;
+/// * `scrub_stall` — background scrub sweeps stealing the array's
+///   read port;
+/// * `remap_stall` — copying a retired row into its spare and
+///   updating the remap latches.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct StallBreakdown {
     /// Cycles doing useful work.
@@ -34,8 +40,14 @@ pub struct StallBreakdown {
     pub empty_stall: Cycle,
     /// Register-dependency stalls.
     pub dep_stall: Cycle,
-    /// Parity-check cycles charged by the resilience layer.
+    /// Parity/ECC-check cycles charged by the resilience layer.
     pub parity_stall: Cycle,
+    /// SECDED single-bit correction (repair writeback) cycles.
+    pub ecc_correct_stall: Cycle,
+    /// Background scrub cycles.
+    pub scrub_stall: Cycle,
+    /// Spare-row remap (row copy + latch update) cycles.
+    pub remap_stall: Cycle,
 }
 
 impl StallBreakdown {
@@ -52,11 +64,15 @@ impl StallBreakdown {
             + self.empty_stall
             + self.dep_stall
             + self.parity_stall
+            + self.ecc_correct_stall
+            + self.scrub_stall
+            + self.remap_stall
     }
 
-    /// `(label, cycles)` pairs in the paper's plotting order.
+    /// `(label, cycles)` pairs in the paper's plotting order, with
+    /// the resilience categories appended.
     #[must_use]
-    pub fn entries(&self) -> [(&'static str, Cycle); 10] {
+    pub fn entries(&self) -> [(&'static str, Cycle); 13] {
         [
             ("busy", self.busy),
             ("vru_stall", self.vru_stall),
@@ -68,6 +84,9 @@ impl StallBreakdown {
             ("empty_stall", self.empty_stall),
             ("dep_stall", self.dep_stall),
             ("parity_stall", self.parity_stall),
+            ("ecc_correct_stall", self.ecc_correct_stall),
+            ("scrub_stall", self.scrub_stall),
+            ("remap_stall", self.remap_stall),
         ]
     }
 
@@ -110,9 +129,12 @@ mod tests {
             empty_stall: Cycle(7),
             dep_stall: Cycle(8),
             parity_stall: Cycle(9),
+            ecc_correct_stall: Cycle(10),
+            scrub_stall: Cycle(11),
+            remap_stall: Cycle(12),
         };
-        assert_eq!(b.total(), Cycle(55));
-        assert!((b.busy_fraction() - 10.0 / 55.0).abs() < 1e-12);
+        assert_eq!(b.total(), Cycle(88));
+        assert!((b.busy_fraction() - 10.0 / 88.0).abs() < 1e-12);
     }
 
     #[test]
@@ -124,7 +146,8 @@ mod tests {
         let s = b.as_stats();
         assert_eq!(s.get("breakdown.busy"), 5);
         assert_eq!(s.get("breakdown.empty_stall"), 0);
-        assert_eq!(s.len(), 10);
+        assert_eq!(s.get("breakdown.scrub_stall"), 0);
+        assert_eq!(s.len(), 13);
     }
 
     #[test]

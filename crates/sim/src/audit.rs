@@ -207,6 +207,41 @@ mod tests {
     }
 
     #[test]
+    fn a_traced_secded_run_passes_with_resilience_buckets_populated() {
+        use crate::fault::RecoveryPolicy;
+        use eve_sram::{DetectionMode, Fault, FaultConfig};
+
+        let tracer = Tracer::new();
+        let runner = Runner::with_tracer(&tracer);
+        // Long enough that the engine timeline crosses the SECDED scrub
+        // interval, with a statistical transient population plus a
+        // stuck source cell: EVE-8 maps v1's segment 0 to row 4, and
+        // vvadd sources are < 2^20, so stuck-at-one on bit 30 perturbs
+        // every operand write and gets the row remapped.
+        let mut cfg = FaultConfig::write_transients(3, 2e-3);
+        cfg.scripted.push(Fault::stuck_at(4, 0, 30, true));
+        let policy = RecoveryPolicy {
+            remap_threshold: 1,
+            ..RecoveryPolicy::sparing()
+        };
+        let report = runner
+            .run_faulty_with(
+                8,
+                &Workload::vvadd(8192),
+                cfg,
+                policy,
+                DetectionMode::Secded,
+            )
+            .unwrap();
+        let b = report.breakdown.as_ref().expect("EVE breakdown");
+        assert!(b.ecc_correct_stall.0 > 0, "corrections must be charged");
+        assert!(b.remap_stall.0 > 0, "the remap must be charged");
+        assert!(b.scrub_stall.0 > 0, "background sweeps must be charged");
+        let s = audit_run(&tracer, &report).unwrap();
+        assert_eq!(s.tiled, cfg!(feature = "obs"));
+    }
+
+    #[test]
     fn a_cooked_timeline_fails_the_identity() {
         let (tracer, mut report) = traced(SystemKind::EveN(8));
         let end = report.stats.get("vsu.end_cycles");

@@ -25,7 +25,7 @@ use eve_core::{EveEngine, ResilienceConfig};
 use eve_cpu::O3Core;
 use eve_isa::{Characterization, Inst, Interpreter, VArithOp, VOperand, Vreg};
 use eve_mem::HierarchyConfig;
-use eve_sram::{Binding, EveArray, FaultConfig, FaultInjector, FaultStats};
+use eve_sram::{Binding, DetectionMode, EveArray, FaultConfig, FaultInjector, FaultStats};
 use eve_uop::{HybridConfig, MacroOpKind, ProgramLibrary};
 use eve_workloads::Workload;
 
@@ -35,17 +35,65 @@ use eve_workloads::Workload;
 /// every register row the workload touches.
 pub const SHADOW_LANES: usize = 16;
 
-/// How the recovery protocol responds to parity alarms.
+/// How the recovery protocol climbs the escalation ladder
+/// (correct in place → retry → remap row → disable way → degrade).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct RecoveryPolicy {
-    /// Re-executions allowed per macro-op before the engine degrades.
+    /// Re-executions allowed per macro-op before escalating past the
+    /// retry stage.
     pub max_retries: u32,
+    /// Spare-row remaps the controller may perform across the run
+    /// (0 disables the remap stage).
+    pub max_row_remaps: u32,
+    /// Way disables (array rebuild onto different physical ways) the
+    /// controller may perform (0 disables the stage).
+    pub max_way_disables: u32,
+    /// Background scrub every this many checked ops (0 disables).
+    pub scrub_every_ops: u64,
+    /// Detection/correction events on one row before it is considered
+    /// permanently damaged and eligible for remap.
+    pub remap_threshold: u64,
 }
 
 impl Default for RecoveryPolicy {
     fn default() -> Self {
-        Self { max_retries: 2 }
+        Self {
+            max_retries: 2,
+            max_row_remaps: 0,
+            max_way_disables: 0,
+            scrub_every_ops: 0,
+            remap_threshold: 3,
+        }
     }
+}
+
+impl RecoveryPolicy {
+    /// The full-ladder preset: spare-row remapping, one way disable,
+    /// and a background scrub every 32 checked ops.
+    #[must_use]
+    pub fn sparing() -> Self {
+        Self {
+            max_row_remaps: 4,
+            max_way_disables: 1,
+            scrub_every_ops: 32,
+            ..Self::default()
+        }
+    }
+}
+
+/// How many macro-ops each escalation stage resolved (or failed to).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EscalationStages {
+    /// Resolved by in-place SECDED correction alone (no alarm).
+    pub corrected: u64,
+    /// Resolved by re-execution.
+    pub retried: u64,
+    /// Resolved after retiring hot rows to spares.
+    pub remapped: u64,
+    /// Resolved after rebuilding the array on fresh ways.
+    pub way_disabled: u64,
+    /// Fell off the ladder into O3+DV degradation.
+    pub degraded: u64,
 }
 
 /// The architecturally visible verdict of one faulty run, ordered from
@@ -79,18 +127,36 @@ impl FaultOutcome {
 }
 
 /// What the resilience layer observed and did during one run.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ResilienceReport {
     /// The run's verdict.
     pub outcome: FaultOutcome,
     /// Compute instructions shadow-checked.
     pub checked_ops: u64,
-    /// Parity alarms raised across all checks and retries.
+    /// Uncorrectable detections (parity mismatches or SECDED
+    /// double-bit syndromes) across all checks and retries.
     pub parity_alarms: u64,
+    /// SECDED single-bit errors corrected in place.
+    pub corrected: u64,
     /// Re-executions performed.
     pub retries: u64,
+    /// Rows retired to spares.
+    pub remapped_rows: u64,
+    /// Ways disabled (array rebuilds).
+    pub ways_disabled: u64,
+    /// Background scrub sweeps performed.
+    pub scrubs: u64,
+    /// Errors the scrubber corrected before they could pair up.
+    pub scrub_corrected: u64,
     /// Lanes where a silent corruption reached architectural state.
     pub corrupted_lanes: u64,
+    /// Per-stage resolution counts for the escalation ladder.
+    pub stages: EscalationStages,
+    /// Fraction of engine service slots that served requests in EVE
+    /// mode: `eve_served / (checked + retries + fallback_served)`.
+    /// Retries burn slots re-serving the same request; degraded runs
+    /// push the remaining work to the fallback.
+    pub availability: f64,
     /// What the injector actually did.
     pub fault_stats: FaultStats,
     /// Whether the final memory image matched the golden outputs.
@@ -128,25 +194,49 @@ pub enum CheckVerdict {
 }
 
 /// Executes checkable μprograms on a fault-armed [`EveArray`] and
-/// compares against the functional interpreter.
+/// compares against the functional interpreter, climbing the
+/// escalation ladder (correct → retry → remap → disable way →
+/// degrade) on detected errors.
 #[derive(Debug)]
 pub struct ShadowChecker {
     lib: ProgramLibrary,
     arr: EveArray,
     lanes: usize,
     policy: RecoveryPolicy,
+    mode: DetectionMode,
+    /// The armed fault population; way-disable rebuilds re-arm a fresh
+    /// injector over it with a deterministically derived seed.
+    base_cfg: FaultConfig,
     /// Compute instructions checked.
     pub checked_ops: u64,
-    /// Parity alarms seen.
+    /// Uncorrectable detections seen (parity mismatches or SECDED
+    /// double-bit syndromes).
     pub parity_alarms: u64,
+    /// SECDED single-bit errors corrected in place.
+    pub corrected: u64,
     /// Re-executions performed.
     pub retries: u64,
+    /// Rows retired to spares.
+    pub remapped_rows: u64,
+    /// Ways disabled (array rebuilds onto fresh physical ways).
+    pub ways_disabled: u64,
+    /// Background scrub sweeps performed.
+    pub scrubs: u64,
+    /// Errors the scrubber corrected.
+    pub scrub_corrected: u64,
     /// Architecturally corrupted lanes.
     pub corrupted_lanes: u64,
+    /// Per-stage resolution tallies.
+    pub stages: EscalationStages,
+    /// Correction events not yet charged to the engine's timeline.
+    pending_corrections: u64,
+    /// Remapped rows not yet charged to the engine's timeline.
+    pending_remaps: u64,
 }
 
 impl ShadowChecker {
-    /// A checker for an EVE-`n` engine with `fault_cfg` armed.
+    /// A parity-mode checker for an EVE-`n` engine with `fault_cfg`
+    /// armed.
     ///
     /// # Errors
     ///
@@ -156,19 +246,60 @@ impl ShadowChecker {
         fault_cfg: FaultConfig,
         policy: RecoveryPolicy,
     ) -> eve_common::ConfigResult<Self> {
+        Self::with_mode(n, fault_cfg, policy, DetectionMode::Parity)
+    }
+
+    /// A checker with an explicit detection mode.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`eve_common::ConfigError`] for an invalid factor.
+    pub fn with_mode(
+        n: u32,
+        fault_cfg: FaultConfig,
+        policy: RecoveryPolicy,
+        mode: DetectionMode,
+    ) -> eve_common::ConfigResult<Self> {
         let cfg = HybridConfig::new(n)?;
         let mut arr = EveArray::new(cfg, SHADOW_LANES);
-        arr.attach_injector(FaultInjector::new(fault_cfg));
+        arr.attach_injector_with(FaultInjector::new(fault_cfg.clone()), mode);
         Ok(Self {
             lib: ProgramLibrary::new(cfg),
             arr,
             lanes: SHADOW_LANES,
             policy,
+            mode,
+            base_cfg: fault_cfg,
             checked_ops: 0,
             parity_alarms: 0,
+            corrected: 0,
             retries: 0,
+            remapped_rows: 0,
+            ways_disabled: 0,
+            scrubs: 0,
+            scrub_corrected: 0,
             corrupted_lanes: 0,
+            stages: EscalationStages::default(),
+            pending_corrections: 0,
+            pending_remaps: 0,
         })
+    }
+
+    /// The active detection mode.
+    #[must_use]
+    pub fn mode(&self) -> DetectionMode {
+        self.mode
+    }
+
+    /// Drains the (corrections, remapped rows) not yet charged to the
+    /// engine's timing model; the driver forwards them to
+    /// [`eve_core::EveEngine::charge_ecc_corrections`] and
+    /// [`eve_core::EveEngine::charge_remaps`].
+    pub fn take_charges(&mut self) -> (u64, u64) {
+        (
+            std::mem::take(&mut self.pending_corrections),
+            std::mem::take(&mut self.pending_remaps),
+        )
     }
 
     /// The single macro-op the shadow model can execute with full
@@ -261,30 +392,134 @@ impl ShadowChecker {
         }
     }
 
+    /// Retires rows whose event counters crossed the policy threshold
+    /// to spares, within the remap budget. Returns how many rows were
+    /// remapped.
+    fn remap_hot_rows(&mut self) -> u64 {
+        let budget = u64::from(self.policy.max_row_remaps).saturating_sub(self.remapped_rows);
+        if budget == 0 {
+            return 0;
+        }
+        let mut done = 0u64;
+        for row in self.arr.hot_rows(self.policy.remap_threshold.max(1)) {
+            if done >= budget || !self.arr.remap_row(row as usize) {
+                break;
+            }
+            done += 1;
+        }
+        self.remapped_rows += done;
+        self.pending_remaps += done;
+        done
+    }
+
+    /// Disables the current way group: rebuilds the array on fresh
+    /// physical ways, re-arming the same fault population under a
+    /// deterministically derived seed (different ways, different
+    /// physical defects). Returns `false` once the budget is spent.
+    fn disable_way(&mut self) -> bool {
+        if self.ways_disabled >= u64::from(self.policy.max_way_disables) {
+            return false;
+        }
+        self.ways_disabled += 1;
+        let mut cfg = self.base_cfg.clone();
+        // Scripted faults describe defects in the *original* ways;
+        // the replacement ways only carry the statistical population.
+        cfg.scripted.clear();
+        cfg.seed = SplitMix64::new(self.base_cfg.seed ^ self.ways_disabled).next_u64();
+        let mut arr = EveArray::new(self.arr.config(), SHADOW_LANES);
+        arr.attach_injector_with(FaultInjector::new(cfg), self.mode);
+        self.arr = arr;
+        true
+    }
+
+    /// Runs a background scrub sweep when the policy's cadence is due.
+    fn maybe_scrub(&mut self) {
+        if self.policy.scrub_every_ops == 0
+            || !self.checked_ops.is_multiple_of(self.policy.scrub_every_ops)
+        {
+            return;
+        }
+        let stats = self.arr.scrub();
+        self.scrubs += 1;
+        self.scrub_corrected += stats.corrected;
+        // Scrub-found events flow through the same array counters as
+        // read-path events; drain them into the run totals/charges.
+        let corrected = self.arr.take_corrected_events();
+        self.corrected += corrected;
+        self.pending_corrections += corrected;
+        self.parity_alarms += self.arr.take_parity_alarms();
+    }
+
     /// Executes the μprogram for a prepared instruction (after the
-    /// interpreter stepped), retrying on parity alarms per the policy.
-    /// Silent mismatches are poked into the interpreter so they
-    /// propagate architecturally.
+    /// interpreter stepped), climbing the escalation ladder on
+    /// uncorrectable detections: bounded retry, then spare-row remap,
+    /// then way disable, then degrade. Silent mismatches are poked
+    /// into the interpreter so they propagate architecturally.
     pub fn check(&mut self, p: &PreparedCheck, interp: &mut Interpreter) -> CheckVerdict {
         self.checked_ops += 1;
         let prog = self.lib.program(p.kind);
         let binding = Binding::new(p.vd.index(), p.vs1.index(), p.vs2.index());
         let mut attempt = 0;
+        let mut stage_retried = false;
+        let mut stage_remapped = false;
+        let mut stage_way = false;
         loop {
             self.load_operands(p);
             self.arr.take_parity_alarms();
+            self.arr.take_corrected_events();
             self.arr.execute(&prog, &binding);
+            // Drain-path audit: the destination leaves the engine
+            // through the same check/correct pipeline operand reads
+            // use, so writeback flips on rows the μprogram never
+            // re-reads are still caught here.
+            let _ = self.arr.audit_register(u32::from(p.vd.index()));
+            let corrected = self.arr.take_corrected_events();
             let alarms = self.arr.take_parity_alarms();
+            self.corrected += corrected;
+            self.pending_corrections += corrected;
             if alarms == 0 {
+                // Resolution bookkeeping: attribute the op to the
+                // highest ladder stage it needed.
+                if stage_way {
+                    self.stages.way_disabled += 1;
+                } else if stage_remapped {
+                    self.stages.remapped += 1;
+                } else if stage_retried {
+                    self.stages.retried += 1;
+                } else if corrected > 0 {
+                    self.stages.corrected += 1;
+                }
                 break;
             }
             self.parity_alarms += alarms;
-            if attempt >= self.policy.max_retries {
-                return CheckVerdict::Degrade;
+            if attempt < self.policy.max_retries {
+                attempt += 1;
+                self.retries += 1;
+                stage_retried = true;
+                continue;
             }
-            attempt += 1;
-            self.retries += 1;
+            // Retries exhausted: retire hot rows to spares and grant a
+            // fresh retry round.
+            if self.remap_hot_rows() > 0 {
+                attempt = 0;
+                stage_remapped = true;
+                continue;
+            }
+            // No row to blame (or spares gone): rebuild on fresh ways.
+            if self.disable_way() {
+                attempt = 0;
+                stage_way = true;
+                continue;
+            }
+            self.stages.degraded += 1;
+            return CheckVerdict::Degrade;
         }
+        // A repeatedly-correcting row is permanently damaged even if
+        // it never alarms; retire it before a second flip pairs up.
+        if self.remap_hot_rows() > 0 {
+            self.stages.remapped += 1;
+        }
+        self.maybe_scrub();
         // Alarm-free execution: compare against the architectural
         // result. A mismatch here slipped past the detector.
         let lanes = p.a.len();
@@ -333,12 +568,40 @@ impl Runner {
         fault_cfg: FaultConfig,
         policy: RecoveryPolicy,
     ) -> Result<RunReport, SimError> {
+        self.run_faulty_with(n, workload, fault_cfg, policy, DetectionMode::Parity)
+    }
+
+    /// [`Runner::run_faulty`] with an explicit detection mode: SECDED
+    /// rows correct single-bit errors in place (charged to the
+    /// engine's `ecc_correct_stall`), spare-row remaps and background
+    /// scrubs land in their own buckets, and the report carries the
+    /// escalation tallies plus the availability metric.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError`] on interpreter failure, an invalid factor,
+    /// or a verification mismatch *not* attributable to injected
+    /// faults (a simulator bug).
+    pub fn run_faulty_with(
+        &self,
+        n: u32,
+        workload: &Workload,
+        fault_cfg: FaultConfig,
+        policy: RecoveryPolicy,
+        mode: DetectionMode,
+    ) -> Result<RunReport, SimError> {
         let mem_cfg = HierarchyConfig::table_iii();
         let built = workload.build();
         let mut engine = EveEngine::new(n).map_err(|e| SimError::Config(e.to_string()))?;
-        engine.enable_resilience(ResilienceConfig::default());
+        engine.enable_resilience(match mode {
+            DetectionMode::Parity => ResilienceConfig::default(),
+            DetectionMode::Secded => ResilienceConfig::secded(),
+        });
         let mut core = O3Core::with_unit(engine, mem_cfg.clone());
-        let mut checker = ShadowChecker::new(n, fault_cfg, policy)
+        if let Some(t) = self.tracer() {
+            core.set_tracer(t);
+        }
+        let mut checker = ShadowChecker::with_mode(n, fault_cfg, policy, mode)
             .map_err(|e| SimError::Config(e.to_string()))?;
         let hw_vl = core.hw_vl();
         let mut interp = Interpreter::new(built.vector.clone(), built.memory.clone(), hw_vl);
@@ -350,7 +613,11 @@ impl Runner {
             chars.record(&r);
             core.retire(&r)?;
             if let Some(p) = prepared {
-                if checker.check(&p, &mut interp) == CheckVerdict::Degrade {
+                let verdict = checker.check(&p, &mut interp);
+                let (corrections, remaps) = checker.take_charges();
+                core.vector_unit_mut().charge_ecc_corrections(corrections);
+                core.vector_unit_mut().charge_remaps(remaps);
+                if verdict == CheckVerdict::Degrade {
                     degraded = true;
                     break;
                 }
@@ -359,7 +626,20 @@ impl Runner {
 
         if degraded {
             // Graceful degradation: give the donated ways back to the
-            // cache, then finish the job on the O3+DV baseline.
+            // cache, then finish the job on the O3+DV baseline. The
+            // remaining checkable work is counted (functionally) so
+            // the availability metric knows how much the fallback
+            // served.
+            let mut fallback_ops = 0u64;
+            loop {
+                let checkable = checker.prepare(&interp).is_some();
+                if interp.step()?.is_none() {
+                    break;
+                }
+                if checkable {
+                    fallback_ops += 1;
+                }
+            }
             let now = core.finish();
             core.hierarchy_mut().despawn_vector_mode(now);
             let mut fallback = self.run_with_memory(SystemKind::O3Dv, workload, mem_cfg)?;
@@ -367,8 +647,15 @@ impl Runner {
                 outcome: FaultOutcome::DetectedDegraded,
                 checked_ops: checker.checked_ops,
                 parity_alarms: checker.parity_alarms,
+                corrected: checker.corrected,
                 retries: checker.retries,
+                remapped_rows: checker.remapped_rows,
+                ways_disabled: checker.ways_disabled,
+                scrubs: checker.scrubs,
+                scrub_corrected: checker.scrub_corrected,
                 corrupted_lanes: checker.corrupted_lanes,
+                stages: checker.stages,
+                availability: availability(&checker, fallback_ops),
                 fault_stats: checker.fault_stats(),
                 verified: true,
                 degraded_from: Some(SystemKind::EveN(n)),
@@ -386,7 +673,7 @@ impl Runner {
         }
         let outcome = if checker.corrupted_lanes > 0 {
             FaultOutcome::SilentDataCorruption
-        } else if checker.parity_alarms > 0 {
+        } else if checker.parity_alarms > 0 || checker.corrected > 0 {
             FaultOutcome::DetectedCorrected
         } else {
             FaultOutcome::Masked
@@ -405,8 +692,15 @@ impl Runner {
                 outcome,
                 checked_ops: checker.checked_ops,
                 parity_alarms: checker.parity_alarms,
+                corrected: checker.corrected,
                 retries: checker.retries,
+                remapped_rows: checker.remapped_rows,
+                ways_disabled: checker.ways_disabled,
+                scrubs: checker.scrubs,
+                scrub_corrected: checker.scrub_corrected,
                 corrupted_lanes: checker.corrupted_lanes,
+                stages: checker.stages,
+                availability: availability(&checker, 0),
                 fault_stats: checker.fault_stats(),
                 verified,
                 degraded_from: None,
@@ -416,18 +710,98 @@ impl Runner {
     }
 }
 
-/// One fault-injection campaign: the cross product of fault rates and
-/// EVE parallelization factors over a workload list.
+/// Fraction of engine service slots that served requests in EVE mode.
+/// Every checked op and every retry occupies one slot; requests the
+/// degraded fallback served never reached the engine at all. An op
+/// that fell off the ladder was ultimately served by the fallback, so
+/// it leaves the numerator.
+fn availability(checker: &ShadowChecker, fallback_ops: u64) -> f64 {
+    let served = checker.checked_ops - checker.stages.degraded;
+    let slots = checker.checked_ops + checker.retries + fallback_ops;
+    if slots == 0 {
+        1.0
+    } else {
+        served as f64 / slots as f64
+    }
+}
+
+/// One protection scheme a campaign sweeps.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CampaignMode {
+    /// Interleaved parity, detect-and-retry only.
+    Parity,
+    /// SECDED, correct-in-place (no sparing).
+    Secded,
+    /// SECDED plus the full ladder: spare-row remapping, way disable,
+    /// and background scrubbing.
+    SecdedSparing,
+}
+
+impl CampaignMode {
+    /// Stable string form for report rows.
+    #[must_use]
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            CampaignMode::Parity => "parity",
+            CampaignMode::Secded => "secded",
+            CampaignMode::SecdedSparing => "secded_sparing",
+        }
+    }
+
+    /// The array-level detection mode this scheme arms.
+    #[must_use]
+    pub fn detection(&self) -> DetectionMode {
+        match self {
+            CampaignMode::Parity => DetectionMode::Parity,
+            CampaignMode::Secded | CampaignMode::SecdedSparing => DetectionMode::Secded,
+        }
+    }
+
+    /// The recovery policy this scheme runs under, derived from the
+    /// plan's base policy: only the sparing scheme gets the remap /
+    /// way-disable / scrub stages.
+    #[must_use]
+    pub fn policy(&self, base: RecoveryPolicy) -> RecoveryPolicy {
+        match self {
+            CampaignMode::Parity | CampaignMode::Secded => RecoveryPolicy {
+                max_row_remaps: 0,
+                max_way_disables: 0,
+                scrub_every_ops: 0,
+                ..base
+            },
+            CampaignMode::SecdedSparing => RecoveryPolicy {
+                max_row_remaps: base.max_row_remaps.max(4),
+                max_way_disables: base.max_way_disables.max(1),
+                scrub_every_ops: if base.scrub_every_ops == 0 {
+                    32
+                } else {
+                    base.scrub_every_ops
+                },
+                ..base
+            },
+        }
+    }
+}
+
+/// One fault-injection campaign: the cross product of fault rates,
+/// protection modes, and EVE parallelization factors over a workload
+/// list.
 #[derive(Debug, Clone, PartialEq)]
 pub struct FaultPlan {
     /// Master seed; every run's injector seed derives from it.
     pub seed: u64,
     /// Uniform transient rates to sweep (0.0 is the control point).
     pub rates: Vec<f64>,
+    /// Protection schemes to sweep.
+    pub modes: Vec<CampaignMode>,
     /// EVE factors to sweep.
     pub factors: Vec<u32>,
-    /// Recovery policy for every run.
+    /// Base recovery policy (each mode derives its own from it).
     pub policy: RecoveryPolicy,
+    /// Restrict the population to writeback-layer transients — the
+    /// single-bit class SECDED corrects completely (the CI zero-SDC
+    /// gate). `false` arms the full uniform population.
+    pub write_only: bool,
 }
 
 impl Default for FaultPlan {
@@ -435,8 +809,14 @@ impl Default for FaultPlan {
         Self {
             seed: 0xFA_017,
             rates: vec![0.0, 1e-4, 1e-3, 1e-2],
+            modes: vec![
+                CampaignMode::Parity,
+                CampaignMode::Secded,
+                CampaignMode::SecdedSparing,
+            ],
             factors: vec![8, 32],
             policy: RecoveryPolicy::default(),
+            write_only: false,
         }
     }
 }
@@ -449,6 +829,8 @@ impl Default for FaultPlan {
 pub struct CampaignJob {
     /// Uniform transient fault rate (0.0 is the control point).
     pub rate: f64,
+    /// Protection scheme for this cell.
+    pub mode: CampaignMode,
     /// EVE parallelization factor.
     pub factor: u32,
     /// Workload to run.
@@ -457,33 +839,45 @@ pub struct CampaignJob {
     pub seed: u64,
 }
 
-/// The result of one campaign cell: the verdict for the tally plus the
-/// rendered JSON row.
+/// The result of one campaign cell: the verdict for the tally, the
+/// coordinates and availability for the per-mode aggregation, plus
+/// the rendered JSON row.
 #[derive(Debug, Clone)]
 pub struct CampaignRun {
     /// The run's verdict (feeds the summary tally).
     pub outcome: FaultOutcome,
+    /// The cell's protection scheme.
+    pub mode: CampaignMode,
+    /// The cell's fault rate.
+    pub rate: f64,
+    /// The run's availability (feeds the per-mode summary).
+    pub availability: f64,
     /// The run's JSON row, in final rendered form.
     pub row: JsonValue,
 }
 
 /// Expands a plan into its cell list, deriving every injector seed
-/// from the master seed in the canonical rate → factor → workload
-/// order. Seed derivation must stay here — outside any worker — or
-/// parallel runs would diverge from serial ones.
+/// from the master seed in the canonical rate → mode → factor →
+/// workload order. Seed derivation must stay here — outside any
+/// worker — or parallel runs would diverge from serial ones.
 #[must_use]
 pub fn campaign_jobs(plan: &FaultPlan, workloads: &[Workload]) -> Vec<CampaignJob> {
     let mut seeder = SplitMix64::new(plan.seed);
-    let mut jobs = Vec::with_capacity(plan.rates.len() * plan.factors.len() * workloads.len());
+    let mut jobs = Vec::with_capacity(
+        plan.rates.len() * plan.modes.len() * plan.factors.len() * workloads.len(),
+    );
     for &rate in &plan.rates {
-        for &factor in &plan.factors {
-            for &workload in workloads {
-                jobs.push(CampaignJob {
-                    rate,
-                    factor,
-                    workload,
-                    seed: seeder.next_u64(),
-                });
+        for &mode in &plan.modes {
+            for &factor in &plan.factors {
+                for &workload in workloads {
+                    jobs.push(CampaignJob {
+                        rate,
+                        mode,
+                        factor,
+                        workload,
+                        seed: seeder.next_u64(),
+                    });
+                }
             }
         }
     }
@@ -498,13 +892,22 @@ pub fn campaign_jobs(plan: &FaultPlan, workloads: &[Workload]) -> Vec<CampaignJo
 pub fn run_campaign_job(plan: &FaultPlan, job: &CampaignJob) -> Result<CampaignRun, SimError> {
     let cfg = if job.rate == 0.0 {
         FaultConfig::none(job.seed)
+    } else if plan.write_only {
+        FaultConfig::write_transients(job.seed, job.rate)
     } else {
         FaultConfig::uniform(job.seed, job.rate)
     };
-    let report = Runner::new().run_faulty(job.factor, &job.workload, cfg, plan.policy)?;
+    let report = Runner::new().run_faulty_with(
+        job.factor,
+        &job.workload,
+        cfg,
+        job.mode.policy(plan.policy),
+        job.mode.detection(),
+    )?;
     let res = report.resilience.as_ref().expect("faulty runs report");
     let row = JsonValue::object([
         ("rate", job.rate.into()),
+        ("mode", job.mode.as_str().into()),
         ("factor", u64::from(job.factor).into()),
         ("workload", report.workload.into()),
         ("seed", job.seed.into()),
@@ -515,37 +918,112 @@ pub fn run_campaign_job(plan: &FaultPlan, job: &CampaignJob) -> Result<CampaignR
         ("wall_ps", report.wall_ps.0.into()),
         ("checked_ops", res.checked_ops.into()),
         ("parity_alarms", res.parity_alarms.into()),
+        ("corrected", res.corrected.into()),
         ("retries", res.retries.into()),
+        ("remapped_rows", res.remapped_rows.into()),
+        ("ways_disabled", res.ways_disabled.into()),
+        ("scrubs", res.scrubs.into()),
+        ("scrub_corrected", res.scrub_corrected.into()),
         ("corrupted_lanes", res.corrupted_lanes.into()),
+        ("availability", res.availability.into()),
         ("fault_events", res.fault_stats.total_events().into()),
         ("stuck_cells", res.fault_stats.stuck_cells.into()),
     ]);
     Ok(CampaignRun {
         outcome: res.outcome,
+        mode: job.mode,
+        rate: job.rate,
+        availability: res.availability,
         row,
     })
 }
 
+/// A campaign cell that could not produce a result: the harness keeps
+/// the sweep alive and reports the cell as an error row instead.
+#[derive(Debug, Clone)]
+pub struct CampaignFailure {
+    /// The failed cell's coordinates.
+    pub job: CampaignJob,
+    /// Human-readable cause (simulation error, panic, or timeout).
+    pub error: String,
+}
+
+impl CampaignFailure {
+    /// The failure's JSON row: the cell coordinates plus the error.
+    #[must_use]
+    pub fn row(&self) -> JsonValue {
+        JsonValue::object([
+            ("rate", self.job.rate.into()),
+            ("mode", self.job.mode.as_str().into()),
+            ("factor", u64::from(self.job.factor).into()),
+            ("seed", self.job.seed.into()),
+            ("error", self.error.as_str().into()),
+        ])
+    }
+}
+
+/// One finished-or-failed campaign cell.
+pub type CampaignCell = Result<CampaignRun, CampaignFailure>;
+
 /// Assembles finished cell results — in [`campaign_jobs`] order — into
-/// the final campaign document.
+/// the final campaign document. Failed cells become error rows and a
+/// `failed` entry in the summary rather than sinking the whole sweep.
 #[must_use]
-pub fn campaign_doc(plan: &FaultPlan, runs: Vec<CampaignRun>) -> String {
+pub fn campaign_doc(plan: &FaultPlan, cells: Vec<CampaignCell>) -> String {
     let mut tally = [0u64; 4];
-    let mut rows = Vec::with_capacity(runs.len());
-    for run in runs {
+    let mut failed = 0u64;
+    let mut rows = Vec::with_capacity(cells.len());
+    // Mean availability per (mode, rate), keyed in plan order so the
+    // output stays byte-deterministic.
+    let mut avail: Vec<((CampaignMode, f64), (f64, u64))> = Vec::new();
+    for &mode in &plan.modes {
+        for &rate in &plan.rates {
+            avail.push(((mode, rate), (0.0, 0)));
+        }
+    }
+    for cell in cells {
+        let run = match cell {
+            Ok(run) => run,
+            Err(failure) => {
+                failed += 1;
+                rows.push(failure.row());
+                continue;
+            }
+        };
         tally[match run.outcome {
             FaultOutcome::Masked => 0,
             FaultOutcome::DetectedCorrected => 1,
             FaultOutcome::DetectedDegraded => 2,
             FaultOutcome::SilentDataCorruption => 3,
         }] += 1;
+        if let Some((_, (sum, count))) = avail
+            .iter_mut()
+            .find(|((m, r), _)| *m == run.mode && *r == run.rate)
+        {
+            *sum += run.availability;
+            *count += 1;
+        }
         rows.push(run.row);
     }
+    let availability = avail
+        .into_iter()
+        .filter(|(_, (_, count))| *count > 0)
+        .map(|((mode, rate), (sum, count))| {
+            JsonValue::object([
+                ("mode", mode.as_str().into()),
+                ("rate", rate.into()),
+                ("mean_availability", (sum / count as f64).into()),
+            ])
+        })
+        .collect::<Vec<_>>();
     let doc = JsonValue::object([
         ("seed", plan.seed.into()),
         (
             "policy",
-            JsonValue::object([("max_retries", u64::from(plan.policy.max_retries).into())]),
+            JsonValue::object([
+                ("max_retries", u64::from(plan.policy.max_retries).into()),
+                ("remap_threshold", plan.policy.remap_threshold.into()),
+            ]),
         ),
         (
             "summary",
@@ -554,8 +1032,10 @@ pub fn campaign_doc(plan: &FaultPlan, runs: Vec<CampaignRun>) -> String {
                 ("detected_corrected", tally[1].into()),
                 ("detected_degraded", tally[2].into()),
                 ("silent_data_corruption", tally[3].into()),
+                ("failed", failed.into()),
             ]),
         ),
+        ("availability", JsonValue::Array(availability)),
         ("runs", JsonValue::Array(rows)),
     ]);
     doc.to_pretty()
@@ -574,7 +1054,7 @@ pub fn campaign_json(plan: &FaultPlan, workloads: &[Workload]) -> Result<String,
         .iter()
         .map(|job| run_campaign_job(plan, job))
         .collect::<Result<Vec<_>, _>>()?;
-    Ok(campaign_doc(plan, runs))
+    Ok(campaign_doc(plan, runs.into_iter().map(Ok).collect()))
 }
 
 #[cfg(test)]

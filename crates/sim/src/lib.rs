@@ -30,8 +30,8 @@ pub mod system;
 pub use audit::{audit_run, AuditFailure, AuditSummary};
 pub use cmp::{run_cmp, CmpReport};
 pub use fault::{
-    campaign_json, CheckVerdict, FaultOutcome, FaultPlan, RecoveryPolicy, ResilienceReport,
-    ShadowChecker,
+    campaign_json, CampaignCell, CampaignFailure, CampaignMode, CheckVerdict, EscalationStages,
+    FaultOutcome, FaultPlan, RecoveryPolicy, ResilienceReport, ShadowChecker,
 };
 pub use report::RunReport;
 pub use runner::{Runner, SimError};

@@ -75,6 +75,11 @@ impl Runner {
         }
     }
 
+    /// The tracer this runner attaches to the cores it builds, if any.
+    pub(crate) fn tracer(&self) -> Option<&Tracer> {
+        self.tracer.as_ref()
+    }
+
     /// Simulates `workload` on `system` with the Table III memory
     /// hierarchy.
     ///

@@ -21,7 +21,9 @@
 //! uses — the injector's RNG stream, and therefore every campaign
 //! artifact, stays bit-identical.
 
+use crate::ecc::{SecdedCode, SecdedVerdict};
 use crate::fault::FaultInjector;
+use crate::geometry::DEFAULT_SPARE_ROWS;
 use eve_common::bits::{deposit_bits, extract_bits};
 use eve_common::Cycle;
 use eve_uop::{
@@ -36,6 +38,31 @@ pub const SCRATCH_VREGS: u32 = 6;
 
 /// Lanes per packed storage word.
 const WORD_BITS: usize = 64;
+
+/// How an attached injector's detection machinery checks rows.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DetectionMode {
+    /// Per-row interleaved parity (PR 1): detects writeback-layer
+    /// corruption, corrects nothing.
+    Parity,
+    /// Hamming-plus-parity SECDED per lane segment: single-bit faults
+    /// corrected in place on the read port, double-bit faults flagged
+    /// uncorrectable. The check runs word-parallel on syndrome planes.
+    Secded,
+}
+
+/// What one background scrub pass over the array found and fixed.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[must_use]
+pub struct ScrubStats {
+    /// Logical rows scanned.
+    pub rows: u64,
+    /// Single-bit errors corrected in place (SECDED only).
+    pub corrected: u64,
+    /// Errors detected but not correctable (parity mismatches, or
+    /// SECDED double-bit syndromes).
+    pub uncorrectable: u64,
+}
 
 /// Binds the abstract μprogram slots to physical vector registers.
 ///
@@ -88,18 +115,43 @@ impl Binding {
     }
 }
 
-/// Fault-injection state: the attached injector plus the per-row
-/// interleaved parity bits (one per lane segment) the detection model
-/// checks on μprogram reads.
+/// Fault-injection state: the attached injector plus the detection
+/// machinery (per-row parity or SECDED check planes) and the
+/// spare-row remap table the recovery ladder drives.
 #[derive(Debug, Clone)]
 struct FaultState {
     inj: FaultInjector,
-    /// `parity[row][lane]`: odd parity of the cell's intended value,
-    /// generated at write time *before* the writeback layer can
-    /// corrupt the latch.
+    mode: DetectionMode,
+    /// `parity[phys_row][lane]`: odd parity of the cell's intended
+    /// value, generated at write time *before* the writeback layer can
+    /// corrupt the latch. Parity mode only.
     parity: Vec<Vec<bool>>,
-    /// Parity mismatches observed on μprogram reads.
+    /// SECDED check-bit planes, `phys_rows * check_bits * words`
+    /// packed words, generated from intended values at write time.
+    /// Layout mirrors `storage`: plane `j` of physical row `r` starts
+    /// at `(r * check_bits + j) * words`. Secded mode only.
+    check: Vec<u64>,
+    /// The per-segment SECDED code (Secded mode).
+    code: SecdedCode,
+    /// Syndrome scratch planes (`check_bits * words`), reused per
+    /// checked row — no per-check allocation.
+    scr_s: Vec<u64>,
+    /// Remap table: logical row → physical row. Identity until the
+    /// recovery controller retires rows to spares.
+    remap: Vec<usize>,
+    /// Spare rows handed out so far.
+    spares_used: usize,
+    /// Rows retired to spares over the array's lifetime.
+    remapped: u64,
+    /// Per-logical-row count of detection/correction events since the
+    /// last remap of that row — the "this row keeps faulting" signal
+    /// the remap stage keys off.
+    row_events: Vec<u64>,
+    /// Uncorrectable detections (parity mismatches, SECDED double-bit
+    /// syndromes) observed on μprogram reads.
     alarms: u64,
+    /// SECDED single-bit errors corrected in place.
+    corrected: u64,
 }
 
 #[inline]
@@ -181,6 +233,9 @@ pub struct EveArray {
     cfg: HybridConfig,
     lanes: usize,
     rows: usize,
+    /// Spare rows fabricated past `rows`, reachable only through the
+    /// remap table (mirrors `SramGeometry`'s repair budget).
+    spare_rows: usize,
     /// Bits per segment (planes per row).
     bits: usize,
     /// Packed words per bit-plane: `lanes.div_ceil(64)`.
@@ -243,15 +298,17 @@ impl EveArray {
             full[words - 1] = (1u64 << tail) - 1;
         }
         let plane = bits * words;
+        let spare_rows = DEFAULT_SPARE_ROWS as usize;
         Self {
             cfg,
             lanes,
             rows,
+            spare_rows,
             bits,
             words,
             seg_mask,
             full,
-            storage: vec![0; rows * plane],
+            storage: vec![0; (rows + spare_rows) * plane],
             xreg: vec![0; plane],
             shifter: vec![0; plane],
             carry: vec![0; words],
@@ -286,30 +343,74 @@ impl EveArray {
         row * pl..(row + 1) * pl
     }
 
-    /// Attaches a fault injector and switches on parity tracking: the
-    /// current contents get fresh parity, and every later write
-    /// regenerates its row's parity from the intended value.
-    pub fn attach_injector(&mut self, mut inj: FaultInjector) {
+    /// Attaches a fault injector with parity detection (PR 1
+    /// behavior): the current contents get fresh parity, and every
+    /// later write regenerates its row's parity from the intended
+    /// value.
+    pub fn attach_injector(&mut self, inj: FaultInjector) {
+        self.attach_injector_with(inj, DetectionMode::Parity);
+    }
+
+    /// Attaches a fault injector with an explicit detection mode.
+    ///
+    /// In [`DetectionMode::Secded`], every row grows per-lane SECDED
+    /// check bits generated from intended values; μprogram reads run a
+    /// word-parallel syndrome check that corrects single-bit faults in
+    /// place and flags double-bit faults uncorrectable.
+    ///
+    /// The injector is armed over the *addressable* rows only: spare
+    /// rows model the fuse-tested-good redundancy real macros ship, so
+    /// the stuck-cell population (and hence the RNG stream) is
+    /// identical to the scalar reference executor's.
+    pub fn attach_injector_with(&mut self, mut inj: FaultInjector, mode: DetectionMode) {
         inj.arm(self.rows as u32, self.lanes as u32, self.cfg.segment_bits());
         let (bits, words) = (self.bits, self.words);
         let pl = self.plane_len();
-        let parity = (0..self.rows)
-            .map(|row| {
-                let planes = &self.storage[row * pl..(row + 1) * pl];
-                (0..self.lanes)
-                    .map(|lane| odd_parity(lane_get(planes, words, bits, lane)))
-                    .collect()
-            })
-            .collect();
+        let phys_rows = self.rows + self.spare_rows;
+        let code = SecdedCode::new(self.bits as u32);
+        let cb = code.check_bits() as usize;
+        let mut parity = Vec::new();
+        let mut check = Vec::new();
+        match mode {
+            DetectionMode::Parity => {
+                parity = (0..phys_rows)
+                    .map(|row| {
+                        let planes = &self.storage[row * pl..(row + 1) * pl];
+                        (0..self.lanes)
+                            .map(|lane| odd_parity(lane_get(planes, words, bits, lane)))
+                            .collect()
+                    })
+                    .collect();
+            }
+            DetectionMode::Secded => {
+                check = vec![0u64; phys_rows * cb * words];
+                for row in 0..phys_rows {
+                    let planes = &self.storage[row * pl..(row + 1) * pl];
+                    let chk = &mut check[row * cb * words..(row + 1) * cb * words];
+                    for lane in 0..self.lanes {
+                        let c = code.encode(lane_get(planes, words, bits, lane));
+                        lane_set(chk, words, cb, lane, c);
+                    }
+                }
+            }
+        }
         self.fault = Some(FaultState {
             inj,
+            mode,
             parity,
+            check,
+            code,
+            scr_s: vec![0u64; cb * words],
+            remap: (0..self.rows).collect(),
+            spares_used: 0,
+            remapped: 0,
+            row_events: vec![0; self.rows],
             alarms: 0,
+            corrected: 0,
         });
     }
 
-    /// Detaches and returns the injector, switching parity checking
-    /// off.
+    /// Detaches and returns the injector, switching detection off.
     pub fn detach_injector(&mut self) -> Option<FaultInjector> {
         self.fault.take().map(|f| f.inj)
     }
@@ -320,14 +421,21 @@ impl EveArray {
         self.fault.as_ref().map(|f| &f.inj)
     }
 
-    /// Parity mismatches observed on μprogram reads so far.
+    /// The active detection mode, if an injector is attached.
+    #[must_use]
+    pub fn detection_mode(&self) -> Option<DetectionMode> {
+        self.fault.as_ref().map(|f| f.mode)
+    }
+
+    /// Uncorrectable detections (parity mismatches or SECDED
+    /// double-bit syndromes) observed on μprogram reads so far.
     #[must_use]
     pub fn parity_alarms(&self) -> u64 {
         self.fault.as_ref().map_or(0, |f| f.alarms)
     }
 
-    /// Returns and clears the parity alarm counter (the recovery
-    /// controller's acknowledge).
+    /// Returns and clears the uncorrectable-alarm counter (the
+    /// recovery controller's acknowledge).
     pub fn take_parity_alarms(&mut self) -> u64 {
         match &mut self.fault {
             Some(f) => std::mem::take(&mut f.alarms),
@@ -335,20 +443,96 @@ impl EveArray {
         }
     }
 
-    /// Writes one segment cell, generating parity from the intended
-    /// value and then letting the injector corrupt the latch.
+    /// SECDED single-bit errors corrected in place so far.
+    #[must_use]
+    pub fn corrected_events(&self) -> u64 {
+        self.fault.as_ref().map_or(0, |f| f.corrected)
+    }
+
+    /// Returns and clears the corrected-error counter.
+    pub fn take_corrected_events(&mut self) -> u64 {
+        match &mut self.fault {
+            Some(f) => std::mem::take(&mut f.corrected),
+            None => 0,
+        }
+    }
+
+    /// Rows retired to spares over the array's lifetime.
+    #[must_use]
+    pub fn remapped_rows(&self) -> u64 {
+        self.fault.as_ref().map_or(0, |f| f.remapped)
+    }
+
+    /// Spare rows still available for remapping.
+    #[must_use]
+    pub fn spares_free(&self) -> usize {
+        self.fault
+            .as_ref()
+            .map_or(self.spare_rows, |f| self.spare_rows - f.spares_used)
+    }
+
+    /// Logical rows whose detection/correction event count since their
+    /// last remap is at least `threshold` — the candidates the remap
+    /// stage retires (repeated events mean a permanent fault, not a
+    /// transient).
+    #[must_use]
+    pub fn hot_rows(&self, threshold: u64) -> Vec<u32> {
+        let Some(f) = &self.fault else {
+            return Vec::new();
+        };
+        f.row_events
+            .iter()
+            .enumerate()
+            .filter(|&(_, &n)| n >= threshold)
+            .map(|(row, _)| row as u32)
+            .collect()
+    }
+
+    /// Physical row backing a logical row (identity until remapped).
+    #[inline]
+    fn phys_row(&self, row: usize) -> usize {
+        match &self.fault {
+            Some(f) => f.remap[row],
+            None => row,
+        }
+    }
+
+    /// Writes one segment cell, generating parity/ECC from the
+    /// intended value and then letting the injector corrupt the latch.
     #[inline]
     fn store_cell(&mut self, row: usize, lane: usize, value: u32) {
         let (bits, words) = (self.bits, self.words);
-        let range = self.row_range(row);
-        let value = match &mut self.fault {
-            None => value,
+        let (phys, value) = match &mut self.fault {
+            None => (row, value),
             Some(f) => {
-                f.parity[row][lane] = odd_parity(value);
-                f.inj.corrupt_write(row as u32, lane as u32, value)
+                let phys = f.remap[row];
+                match f.mode {
+                    DetectionMode::Parity => f.parity[phys][lane] = odd_parity(value),
+                    DetectionMode::Secded => {
+                        let cb = f.code.check_bits() as usize;
+                        let chk = &mut f.check[phys * cb * words..(phys + 1) * cb * words];
+                        lane_set(chk, words, cb, lane, f.code.encode(value));
+                    }
+                }
+                (phys, f.inj.corrupt_write(phys as u32, lane as u32, value))
             }
         };
+        let range = self.row_range(phys);
         lane_set(&mut self.storage[range], words, bits, lane, value);
+    }
+
+    /// Checks a row on a μprogram read: per-lane parity compare in
+    /// parity mode, word-parallel SECDED syndrome audit (with in-place
+    /// correction) in SECDED mode.
+    #[inline]
+    fn check_row(&mut self, row: usize) {
+        match self.fault.as_ref().map(|f| f.mode) {
+            None => {}
+            Some(DetectionMode::Parity) => self.check_row_parity(row),
+            Some(DetectionMode::Secded) => {
+                let _ = self.secded_audit_row(row);
+            }
+        }
     }
 
     /// Parity-checks every lane of a row on a μprogram read (the row is
@@ -357,16 +541,238 @@ impl EveArray {
     #[inline]
     fn check_row_parity(&mut self, row: usize) {
         let (bits, words) = (self.bits, self.words);
-        let range = self.row_range(row);
         let lanes = self.lanes;
+        let pl = self.plane_len();
         if let Some(f) = &mut self.fault {
-            let planes = &self.storage[range];
-            for (lane, &p) in f.parity[row][..lanes].iter().enumerate() {
+            let phys = f.remap[row];
+            let planes = &self.storage[phys * pl..(phys + 1) * pl];
+            let mut hits = 0u64;
+            for (lane, &p) in f.parity[phys][..lanes].iter().enumerate() {
                 if p != odd_parity(lane_get(planes, words, bits, lane)) {
-                    f.alarms += 1;
+                    hits += 1;
+                }
+            }
+            f.alarms += hits;
+            f.row_events[row] += hits;
+        }
+    }
+
+    /// Word-parallel SECDED audit of one logical row, correcting
+    /// single-bit errors in place and flagging double-bit errors.
+    ///
+    /// The fast path never leaves word algebra: each syndrome plane is
+    /// the stored check plane XORed with the data planes of its parity
+    /// group ([`SecdedCode::group_mask`]), and the overall-parity
+    /// plane folds in every data and check plane. Only lanes inside a
+    /// nonzero syndrome word — in a healthy array, none — fall back to
+    /// per-lane decode and repair.
+    ///
+    /// The repair models the ECC pipeline on the read port: the
+    /// corrected value is both delivered downstream and written back,
+    /// so a transient is healed for good while a stuck cell re-arms on
+    /// its next write — the row's event counter keeps climbing with
+    /// write traffic until the remap stage retires it, exactly the
+    /// repeated-fault signal sparing needs.
+    fn secded_audit_row(&mut self, row: usize) -> (u64, u64) {
+        let (bits, words, lanes) = (self.bits, self.words, self.lanes);
+        let pl = bits * words;
+        let Some(f) = &mut self.fault else {
+            return (0, 0);
+        };
+        let phys = f.remap[row];
+        let code = f.code;
+        let r = code.hamming_bits() as usize;
+        let cb = code.check_bits() as usize;
+        let data_base = phys * pl;
+        let chk_base = phys * cb * words;
+        // Syndrome planes, word-parallel.
+        for j in 0..r {
+            let group = code.group_mask(j as u32);
+            for w in 0..words {
+                let mut s = f.check[chk_base + j * words + w];
+                let mut m = group;
+                while m != 0 {
+                    let b = m.trailing_zeros() as usize;
+                    s ^= self.storage[data_base + b * words + w];
+                    m &= m - 1;
+                }
+                f.scr_s[j * words + w] = s;
+            }
+        }
+        // Overall-parity plane: stored P vs parity of the whole
+        // codeword (every data plane plus every Hamming check plane).
+        for w in 0..words {
+            let mut p = f.check[chk_base + r * words + w];
+            for b in 0..bits {
+                p ^= self.storage[data_base + b * words + w];
+            }
+            for j in 0..r {
+                p ^= f.check[chk_base + j * words + w];
+            }
+            f.scr_s[r * words + w] = p;
+        }
+        let (mut corrected, mut uncorrectable) = (0u64, 0u64);
+        for w in 0..words {
+            let mut dirty = 0u64;
+            for j in 0..cb {
+                dirty |= f.scr_s[j * words + w];
+            }
+            dirty &= self.full[w];
+            while dirty != 0 {
+                let lane = w * WORD_BITS + dirty.trailing_zeros() as usize;
+                dirty &= dirty - 1;
+                if lane >= lanes {
+                    continue;
+                }
+                let data = &self.storage[data_base..data_base + pl];
+                let chk = &f.check[chk_base..chk_base + cb * words];
+                let mut d = lane_get(data, words, bits, lane);
+                let mut c = lane_get(chk, words, cb, lane);
+                match code.correct(&mut d, &mut c) {
+                    SecdedVerdict::Clean => {}
+                    SecdedVerdict::CorrectedData(_) => {
+                        lane_set(
+                            &mut self.storage[data_base..data_base + pl],
+                            words,
+                            bits,
+                            lane,
+                            d,
+                        );
+                        corrected += 1;
+                    }
+                    SecdedVerdict::CorrectedCheck(_) => {
+                        let chk_mut = &mut f.check[chk_base..chk_base + cb * words];
+                        lane_set(chk_mut, words, cb, lane, c);
+                        corrected += 1;
+                    }
+                    SecdedVerdict::Uncorrectable => uncorrectable += 1,
                 }
             }
         }
+        f.corrected += corrected;
+        f.alarms += uncorrectable;
+        f.row_events[row] += corrected + uncorrectable;
+        (corrected, uncorrectable)
+    }
+
+    /// Audits every segment row of an architectural register through
+    /// the active detection mode — the ECC-on-read pipeline the drain
+    /// path applies before values leave the engine. SECDED corrects
+    /// single-bit errors in place; parity only detects (raising
+    /// alarms). Returns `(corrected, uncorrectable)` event counts; the
+    /// same events also accumulate into the array's counters.
+    pub fn audit_register(&mut self, vreg: u32) -> (u64, u64) {
+        let Some(mode) = self.fault.as_ref().map(|f| f.mode) else {
+            return (0, 0);
+        };
+        let segs = self.cfg.segments();
+        let (mut corrected, mut uncorrectable) = (0u64, 0u64);
+        for seg in 0..segs {
+            let row = self.reg_row(vreg, seg);
+            match mode {
+                DetectionMode::Parity => {
+                    let before = self.parity_alarms();
+                    self.check_row_parity(row);
+                    uncorrectable += self.parity_alarms() - before;
+                }
+                DetectionMode::Secded => {
+                    let (c, u) = self.secded_audit_row(row);
+                    corrected += c;
+                    uncorrectable += u;
+                }
+            }
+        }
+        (corrected, uncorrectable)
+    }
+
+    /// Retires a logical row to the next free spare, copying its
+    /// (ECC-corrected, where possible) contents and updating the remap
+    /// table. Returns `false` when no injector is attached or the
+    /// spare budget is exhausted.
+    ///
+    /// The copy is a controller-internal latch-to-latch transfer, not
+    /// architectural write traffic: the spare row gets fresh
+    /// parity/ECC generated from the copied values and the injector's
+    /// RNG stream is left untouched, so seeded campaigns stay
+    /// deterministic whether or not a remap fired. (Spare rows are
+    /// fuse-tested-good — they carry no stuck cells by construction.)
+    pub fn remap_row(&mut self, row: usize) -> bool {
+        assert!(row < self.rows, "cannot remap row {row}");
+        let (bits, words, lanes) = (self.bits, self.words, self.lanes);
+        let pl = bits * words;
+        let Some(f) = &self.fault else {
+            return false;
+        };
+        if f.spares_used >= self.spare_rows {
+            return false;
+        }
+        let old_phys = f.remap[row];
+        let code = f.code;
+        let cb = code.check_bits() as usize;
+        let secded = f.mode == DetectionMode::Secded;
+        let values: Vec<u32> = (0..lanes)
+            .map(|lane| {
+                let data = &self.storage[old_phys * pl..(old_phys + 1) * pl];
+                let mut d = lane_get(data, words, bits, lane);
+                if secded {
+                    let chk = &f.check[old_phys * cb * words..(old_phys + 1) * cb * words];
+                    let mut c = lane_get(chk, words, cb, lane);
+                    let _ = code.correct(&mut d, &mut c);
+                }
+                d
+            })
+            .collect();
+        let f = self.fault.as_mut().expect("fault state present");
+        let new_phys = self.rows + f.spares_used;
+        f.remap[row] = new_phys;
+        f.spares_used += 1;
+        f.remapped += 1;
+        f.row_events[row] = 0;
+        for (lane, v) in values.into_iter().enumerate() {
+            match f.mode {
+                DetectionMode::Parity => f.parity[new_phys][lane] = odd_parity(v),
+                DetectionMode::Secded => {
+                    let chk = &mut f.check[new_phys * cb * words..(new_phys + 1) * cb * words];
+                    lane_set(chk, words, cb, lane, code.encode(v));
+                }
+            }
+            lane_set(
+                &mut self.storage[new_phys * pl..(new_phys + 1) * pl],
+                words,
+                bits,
+                lane,
+                v,
+            );
+        }
+        true
+    }
+
+    /// One background scrub pass: audits every logical row through the
+    /// active detection mode. In SECDED mode single-bit errors are
+    /// corrected in place (cleaning latent damage before a second flip
+    /// can pair with it); in parity mode mismatches are detected and
+    /// alarmed but not repaired.
+    pub fn scrub(&mut self) -> ScrubStats {
+        let mut stats = ScrubStats::default();
+        let Some(mode) = self.fault.as_ref().map(|f| f.mode) else {
+            return stats;
+        };
+        for row in 0..self.rows {
+            stats.rows += 1;
+            match mode {
+                DetectionMode::Parity => {
+                    let before = self.parity_alarms();
+                    self.check_row_parity(row);
+                    stats.uncorrectable += self.parity_alarms() - before;
+                }
+                DetectionMode::Secded => {
+                    let (c, u) = self.secded_audit_row(row);
+                    stats.corrected += c;
+                    stats.uncorrectable += u;
+                }
+            }
+        }
+        stats
     }
 
     /// The configuration this array was built for.
@@ -408,7 +814,7 @@ impl EveArray {
         let bits = self.cfg.segment_bits();
         let mut value = 0;
         for s in 0..segs {
-            let row = self.reg_row(vreg, s);
+            let row = self.phys_row(self.reg_row(vreg, s));
             let seg = lane_get(
                 &self.storage[self.row_range(row)],
                 self.words,
@@ -424,7 +830,7 @@ impl EveArray {
     /// register's first row — how compare results are stored).
     #[must_use]
     pub fn read_mask_bit(&self, vreg: u32, lane: usize) -> bool {
-        let row = self.reg_row(vreg, 0);
+        let row = self.phys_row(self.reg_row(vreg, 0));
         let base = row * self.plane_len();
         word_bit(&self.storage[base..base + self.words], lane)
     }
@@ -649,9 +1055,10 @@ impl EveArray {
             ArithUop::Nop => {}
             ArithUop::Read { op } => {
                 let row = self.resolve(&op, binding, counters);
-                self.check_row_parity(row);
+                self.check_row(row);
+                let phys = self.phys_row(row);
                 let this = &mut *self;
-                let planes = &this.storage[row * this.bits * this.words..];
+                let planes = &this.storage[phys * this.bits * this.words..];
                 for (lane, out) in this.data_out.iter_mut().enumerate() {
                     *out = lane_get(planes, this.words, this.bits, lane);
                 }
@@ -748,8 +1155,8 @@ impl EveArray {
             },
             ArithUop::LoadShifter { op } => {
                 let row = self.resolve(&op, binding, counters);
-                self.check_row_parity(row);
-                let range = self.row_range(row);
+                self.check_row(row);
+                let range = self.row_range(self.phys_row(row));
                 let this = &mut *self;
                 this.shifter.copy_from_slice(&this.storage[range]);
             }
@@ -759,8 +1166,8 @@ impl EveArray {
             }
             ArithUop::LoadXReg { op } => {
                 let row = self.resolve(&op, binding, counters);
-                self.check_row_parity(row);
-                let range = self.row_range(row);
+                self.check_row(row);
+                let range = self.row_range(self.phys_row(row));
                 let this = &mut *self;
                 this.xreg.copy_from_slice(&this.storage[range]);
             }
@@ -810,10 +1217,11 @@ impl EveArray {
     /// `carry' = (a & b) | (carry & (a ^ b))` — all lanes advance one
     /// bit per iteration, replacing the per-lane Manchester chain.
     fn do_blc(&mut self, ra: usize, rb: usize, carry_in: CarryIn) {
-        self.check_row_parity(ra);
-        self.check_row_parity(rb);
+        self.check_row(ra);
+        self.check_row(rb);
         let (bits, words) = (self.bits, self.words);
         let pl = bits * words;
+        let (pra, prb) = (self.phys_row(ra), self.phys_row(rb));
         let faulty = self.fault.is_some();
         if faulty {
             // Sense-amp glitches corrupt the operands *before* the
@@ -821,11 +1229,11 @@ impl EveArray {
             // the injector sees the scalar executor's exact call order
             // (lane 0: a then b, lane 1: a then b, ...).
             for lane in 0..self.lanes {
-                let av = lane_get(&self.storage[ra * pl..(ra + 1) * pl], words, bits, lane);
-                let bv = lane_get(&self.storage[rb * pl..(rb + 1) * pl], words, bits, lane);
+                let av = lane_get(&self.storage[pra * pl..(pra + 1) * pl], words, bits, lane);
+                let bv = lane_get(&self.storage[prb * pl..(prb + 1) * pl], words, bits, lane);
                 let f = self.fault.as_mut().expect("fault state present");
-                let av = f.inj.corrupt_sense(ra as u32, lane as u32, av);
-                let bv = f.inj.corrupt_sense(rb as u32, lane as u32, bv);
+                let av = f.inj.corrupt_sense(pra as u32, lane as u32, av);
+                let bv = f.inj.corrupt_sense(prb as u32, lane as u32, bv);
                 lane_set(&mut self.scr_a, words, bits, lane, av);
                 lane_set(&mut self.scr_b, words, bits, lane, bv);
             }
@@ -835,8 +1243,8 @@ impl EveArray {
             (&this.scr_a, &this.scr_b)
         } else {
             (
-                &this.storage[ra * pl..(ra + 1) * pl],
-                &this.storage[rb * pl..(rb + 1) * pl],
+                &this.storage[pra * pl..(pra + 1) * pl],
+                &this.storage[prb * pl..(prb + 1) * pl],
             )
         };
         match carry_in {
@@ -1471,6 +1879,174 @@ mod mulacc_tests {
             let mul = count_cycles(&lib.program(MacroOpKind::Mul), cfg).0;
             let macc = count_cycles(&lib.program(MacroOpKind::MulAcc), cfg).0;
             assert_eq!(macc, mul + u64::from(cfg.segments()), "{cfg}");
+        }
+    }
+}
+
+#[cfg(test)]
+mod secded_tests {
+    use super::*;
+    use crate::fault::{Fault, FaultConfig, FaultInjector, FaultLayer};
+    use eve_uop::{MacroOpKind, ProgramLibrary};
+
+    /// EVE-32: one segment per register, so register `v` is row `v`.
+    fn cfg32() -> HybridConfig {
+        HybridConfig::new(32).unwrap()
+    }
+
+    fn secded_array(cfg: HybridConfig, lanes: usize, fc: FaultConfig) -> EveArray {
+        let mut arr = EveArray::new(cfg, lanes);
+        arr.attach_injector_with(FaultInjector::new(fc), DetectionMode::Secded);
+        arr
+    }
+
+    #[test]
+    fn writeback_transient_is_corrected_on_next_read() {
+        let cfg = cfg32();
+        let mut fc = FaultConfig::none(0);
+        // Corrupt source v1's stored bit 7 at the writeback layer.
+        fc.scripted.push(Fault::transient(
+            FaultLayer::Writeback,
+            1,
+            0,
+            7,
+            0,
+            u64::MAX,
+        ));
+        let mut arr = secded_array(cfg, 2, fc);
+        arr.write_element(1, 0, 100);
+        arr.write_element(2, 0, 23);
+        let lib = ProgramLibrary::new(cfg);
+        // The bit-line compute re-reads v1; the SECDED check corrects
+        // the stored bit before the sense, so the result is exact.
+        arr.execute(&lib.program(MacroOpKind::Add), &Binding::new(3, 1, 2));
+        assert_eq!(arr.read_element(3, 0), 123);
+        assert_eq!(arr.corrected_events(), 1);
+        assert_eq!(arr.parity_alarms(), 0, "single-bit faults never alarm");
+    }
+
+    #[test]
+    fn scrub_heals_rows_no_microprogram_rereads() {
+        let cfg = cfg32();
+        let mut fc = FaultConfig::none(0);
+        // Corrupt the *destination* row: nothing re-reads v3, so only
+        // a scrub pass (the drain-path check) can repair it.
+        fc.scripted.push(Fault::transient(
+            FaultLayer::Writeback,
+            3,
+            0,
+            4,
+            0,
+            u64::MAX,
+        ));
+        let mut arr = secded_array(cfg, 2, fc);
+        arr.write_element(1, 0, 100);
+        arr.write_element(2, 0, 23);
+        let lib = ProgramLibrary::new(cfg);
+        arr.execute(&lib.program(MacroOpKind::Add), &Binding::new(3, 1, 2));
+        assert_eq!(arr.read_element(3, 0), 123 ^ 0x10, "latent corruption");
+        let s = arr.scrub();
+        assert_eq!((s.corrected, s.uncorrectable), (1, 0));
+        assert_eq!(arr.read_element(3, 0), 123, "scrub repaired the row");
+        // A second pass finds nothing: the repair is persistent.
+        let s2 = arr.scrub();
+        assert_eq!((s2.corrected, s2.uncorrectable), (0, 0));
+    }
+
+    #[test]
+    fn double_flip_is_flagged_uncorrectable() {
+        let cfg = cfg32();
+        let mut fc = FaultConfig::none(0);
+        for bit in [2u8, 9] {
+            fc.scripted.push(Fault::transient(
+                FaultLayer::Writeback,
+                1,
+                0,
+                bit,
+                0,
+                u64::MAX,
+            ));
+        }
+        let mut arr = secded_array(cfg, 2, fc);
+        arr.write_element(1, 0, 0xABCD);
+        let s = arr.scrub();
+        assert_eq!((s.corrected, s.uncorrectable), (0, 1));
+        assert!(arr.parity_alarms() > 0, "double-bit faults alarm");
+        assert_eq!(arr.corrected_events(), 0);
+    }
+
+    #[test]
+    fn stuck_row_goes_hot_and_remap_retires_it() {
+        let cfg = cfg32();
+        let mut fc = FaultConfig::none(0);
+        fc.scripted.push(Fault::stuck_at(3, 0, 0, true));
+        let mut arr = secded_array(cfg, 1, fc);
+        let lib = ProgramLibrary::new(cfg);
+        arr.write_element(1, 0, 100);
+        // Every write of an even value re-perturbs the stuck cell and
+        // every following scrub corrects it again: the row keeps
+        // generating events.
+        for i in 0..3u32 {
+            arr.write_element(2, 0, 24 + 2 * i);
+            arr.execute(&lib.program(MacroOpKind::Add), &Binding::new(3, 1, 2));
+            let _ = arr.scrub();
+        }
+        assert_eq!(arr.hot_rows(3), vec![3], "row 3 is repeatedly faulting");
+        assert_eq!(arr.spares_free(), DEFAULT_SPARE_ROWS as usize);
+        assert!(arr.remap_row(3));
+        assert_eq!(arr.remapped_rows(), 1);
+        assert_eq!(arr.spares_free(), DEFAULT_SPARE_ROWS as usize - 1);
+        // The spare took the corrected contents...
+        assert_eq!(arr.read_element(3, 0), 128);
+        // ...and the stuck cell is out of the data path for good.
+        arr.write_element(2, 0, 30);
+        arr.execute(&lib.program(MacroOpKind::Add), &Binding::new(3, 1, 2));
+        assert_eq!(arr.read_element(3, 0), 130);
+        let s = arr.scrub();
+        assert_eq!(s.corrected, 0, "no more events from the retired row");
+        assert!(arr.hot_rows(1).is_empty());
+    }
+
+    #[test]
+    fn remap_exhausts_at_the_spare_budget() {
+        let cfg = cfg32();
+        let mut arr = secded_array(cfg, 1, FaultConfig::none(7));
+        for row in 0..DEFAULT_SPARE_ROWS as usize {
+            assert!(arr.remap_row(row), "spare {row} available");
+        }
+        assert!(!arr.remap_row(10), "budget exhausted");
+        assert_eq!(arr.spares_free(), 0);
+    }
+
+    #[test]
+    fn secded_zero_fault_stays_bit_exact_on_every_config() {
+        for cfg in HybridConfig::all() {
+            let lib = ProgramLibrary::new(cfg);
+            let mut clean = EveArray::new(cfg, 5);
+            let mut prot = secded_array(cfg, 5, FaultConfig::none(42));
+            for lane in 0..5 {
+                let (a, b) = (lane as u32 * 0x9E37 + 3, lane as u32 * 0x85EB + 1);
+                clean.write_element(1, lane, a);
+                clean.write_element(2, lane, b);
+                prot.write_element(1, lane, a);
+                prot.write_element(2, lane, b);
+            }
+            for kind in [MacroOpKind::Add, MacroOpKind::Mul, MacroOpKind::SllI(3)] {
+                let prog = lib.program(kind);
+                clean.execute(&prog, &Binding::new(3, 1, 2));
+                prot.execute(&prog, &Binding::new(3, 1, 2));
+                for lane in 0..5 {
+                    assert_eq!(
+                        clean.read_element(3, lane),
+                        prot.read_element(3, lane),
+                        "{cfg} {kind:?}"
+                    );
+                }
+            }
+            assert_eq!(prot.parity_alarms(), 0, "{cfg}");
+            assert_eq!(prot.corrected_events(), 0, "{cfg}");
+            let s = prot.scrub();
+            assert_eq!((s.corrected, s.uncorrectable), (0, 0), "{cfg}");
         }
     }
 }

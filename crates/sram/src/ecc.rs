@@ -1,0 +1,329 @@
+//! SECDED error-correcting code over one lane's segment value.
+//!
+//! Real L2 SRAM ships with single-error-correct / double-error-detect
+//! ECC (a Hamming(72,64)-style code plus an overall parity bit), and
+//! EVE repurposes live L2 ways — so the fault model grows the same
+//! machinery. Each lane's `p`-bit segment is protected independently:
+//! a Hamming code over the `p` data bits plus one overall parity bit,
+//! i.e. Hamming(39,32)+P at `p = 32`, scaling down with the factor.
+//!
+//! The table-driven layout here is deliberately *plane-oriented*: the
+//! bitsliced array stores one u64 plane per data bit and per check
+//! bit, and [`SecdedCode::group_mask`] tells the word-parallel checker
+//! exactly which data planes to XOR together to reproduce a check
+//! plane. The per-lane [`SecdedCode::decode`] path only runs for lanes
+//! whose syndrome word came back nonzero — the fast path never leaves
+//! word-parallel algebra.
+//!
+//! # Examples
+//!
+//! ```
+//! use eve_sram::{SecdedCode, SecdedVerdict};
+//!
+//! let code = SecdedCode::new(8);
+//! let check = code.encode(0xA5);
+//! assert_eq!(code.decode(0xA5, check), SecdedVerdict::Clean);
+//! // Any single flipped data bit is corrected in place...
+//! assert_eq!(code.decode(0xA5 ^ 0x10, check), SecdedVerdict::CorrectedData(4));
+//! // ...and any double flip is flagged uncorrectable.
+//! assert_eq!(
+//!     code.decode(0xA5 ^ 0x11, check),
+//!     SecdedVerdict::Uncorrectable
+//! );
+//! ```
+
+/// Outcome of decoding one lane's (data, check) pair.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[must_use]
+pub enum SecdedVerdict {
+    /// Syndrome and overall parity both clean.
+    Clean,
+    /// Single-bit error in data bit `i`; flip it to repair.
+    CorrectedData(u32),
+    /// Single-bit error in check bit `j` (including the overall parity
+    /// bit at index `r`); the data is intact.
+    CorrectedCheck(u32),
+    /// Double-bit (or worse, aliased) error: detectable, not
+    /// correctable. Escalate.
+    Uncorrectable,
+}
+
+/// A SECDED code for `k`-bit data words, `1 ≤ k ≤ 32`.
+///
+/// Codeword positions are numbered `1..=k+r` in the classic Hamming
+/// arrangement: power-of-two positions hold check bits, the rest hold
+/// data bits in ascending order. Check bit `j` covers every position
+/// whose index has bit `j` set; an extra overall parity bit (stored at
+/// check index `r`) covers the whole codeword and turns SEC into
+/// SECDED.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SecdedCode {
+    k: u32,
+    r: u32,
+    /// `data_pos[i]` = Hamming position of data bit `i`.
+    data_pos: [u32; 32],
+    /// `groups[j]` = mask over data-bit indices covered by check `j`.
+    groups: [u32; 6],
+}
+
+impl SecdedCode {
+    /// Builds the code for `k` data bits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` is zero or exceeds 32 (segment widths are the
+    /// hybrid factors 1..=32).
+    #[must_use]
+    pub fn new(k: u32) -> Self {
+        assert!((1..=32).contains(&k), "SECDED data width {k} out of range");
+        let mut r = 1u32;
+        while (1u32 << r) < k + r + 1 {
+            r += 1;
+        }
+        let mut data_pos = [0u32; 32];
+        let mut groups = [0u32; 6];
+        let mut pos = 1u32;
+        for (i, slot) in data_pos.iter_mut().take(k as usize).enumerate() {
+            while pos.is_power_of_two() {
+                pos += 1;
+            }
+            *slot = pos;
+            for (j, g) in groups.iter_mut().take(r as usize).enumerate() {
+                if pos & (1 << j) != 0 {
+                    *g |= 1 << i;
+                }
+            }
+            pos += 1;
+        }
+        Self {
+            k,
+            r,
+            data_pos,
+            groups,
+        }
+    }
+
+    /// Data width `k`.
+    #[must_use]
+    pub fn data_bits(&self) -> u32 {
+        self.k
+    }
+
+    /// Hamming check-bit count `r` (excluding the overall parity bit).
+    #[must_use]
+    pub fn hamming_bits(&self) -> u32 {
+        self.r
+    }
+
+    /// Total stored check bits: `r` Hamming bits plus the overall
+    /// parity bit — the number of check *planes* the bitsliced array
+    /// keeps per row.
+    #[must_use]
+    pub fn check_bits(&self) -> u32 {
+        self.r + 1
+    }
+
+    /// Mask over data-bit indices whose planes XOR to check plane `j`.
+    /// This is the word-parallel checker's recipe: syndrome plane `j`
+    /// is the XOR of these data planes against the stored check plane.
+    #[must_use]
+    pub fn group_mask(&self, j: u32) -> u32 {
+        self.groups[j as usize]
+    }
+
+    /// Encodes `data` into its check bits: Hamming bits in `0..r`,
+    /// overall parity (over data *and* Hamming bits) in bit `r`.
+    #[must_use]
+    pub fn encode(&self, data: u32) -> u32 {
+        let mut check = 0u32;
+        for j in 0..self.r {
+            check |= parity32(data & self.groups[j as usize]) << j;
+        }
+        let overall = parity32(data) ^ parity32(check);
+        check | (overall << self.r)
+    }
+
+    /// Decodes a received (data, check) pair.
+    pub fn decode(&self, data: u32, check: u32) -> SecdedVerdict {
+        let mut syndrome = 0u32;
+        for j in 0..self.r {
+            let recomputed = parity32(data & self.groups[j as usize]);
+            syndrome |= (recomputed ^ ((check >> j) & 1)) << j;
+        }
+        let hamming = check & ((1 << self.r) - 1);
+        let overall = parity32(data) ^ parity32(hamming) ^ ((check >> self.r) & 1);
+        match (syndrome, overall) {
+            (0, 0) => SecdedVerdict::Clean,
+            // Odd parity, zero syndrome: the overall parity bit itself
+            // flipped.
+            (0, _) => SecdedVerdict::CorrectedCheck(self.r),
+            // Even parity with a nonzero syndrome: two flips.
+            (_, 0) => SecdedVerdict::Uncorrectable,
+            (s, _) => {
+                if s.is_power_of_two() && s <= self.k + self.r {
+                    return SecdedVerdict::CorrectedCheck(s.trailing_zeros());
+                }
+                match self.position_to_data(s) {
+                    Some(i) => SecdedVerdict::CorrectedData(i),
+                    // Syndrome points past the codeword: aliasing from
+                    // a multi-bit error.
+                    None => SecdedVerdict::Uncorrectable,
+                }
+            }
+        }
+    }
+
+    /// Decodes and repairs `data`/`check` in place, returning the
+    /// verdict. `Uncorrectable` leaves both untouched.
+    #[must_use = "an Uncorrectable verdict means the word is still damaged"]
+    pub fn correct(&self, data: &mut u32, check: &mut u32) -> SecdedVerdict {
+        let v = self.decode(*data, *check);
+        match v {
+            SecdedVerdict::CorrectedData(i) => *data ^= 1 << i,
+            SecdedVerdict::CorrectedCheck(j) => *check ^= 1 << j,
+            SecdedVerdict::Clean | SecdedVerdict::Uncorrectable => {}
+        }
+        v
+    }
+
+    fn position_to_data(&self, pos: u32) -> Option<u32> {
+        self.data_pos[..self.k as usize]
+            .iter()
+            .position(|&p| p == pos)
+            .map(|i| i as u32)
+    }
+}
+
+#[inline]
+fn parity32(x: u32) -> u32 {
+    x.count_ones() & 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Every hybrid factor the engine can configure.
+    const WIDTHS: [u32; 6] = [1, 2, 4, 8, 16, 32];
+
+    #[test]
+    fn check_bit_counts_match_hamming_bound() {
+        // (k, r): Hamming(4,1), (6,2)... Hamming(39,32) has r = 6.
+        let want = [(1, 2), (2, 3), (4, 3), (8, 4), (16, 5), (32, 6)];
+        for (k, r) in want {
+            let code = SecdedCode::new(k);
+            assert_eq!(code.hamming_bits(), r, "k={k}");
+            assert_eq!(code.check_bits(), r + 1, "k={k}");
+        }
+    }
+
+    #[test]
+    fn clean_words_decode_clean() {
+        for &k in &WIDTHS {
+            let code = SecdedCode::new(k);
+            let mask = (1u64 << k) - 1;
+            for sample in 0..256u64 {
+                let data = (sample.wrapping_mul(0x9E37_79B9_7F4A_7C15) & mask) as u32;
+                assert_eq!(code.decode(data, code.encode(data)), SecdedVerdict::Clean);
+            }
+        }
+    }
+
+    #[test]
+    fn every_single_data_flip_is_corrected() {
+        for &k in &WIDTHS {
+            let code = SecdedCode::new(k);
+            let mask = ((1u64 << k) - 1) as u32;
+            for sample in 0..64u64 {
+                let data = (sample.wrapping_mul(0x2545_F491_4F6C_DD1D) as u32) & mask;
+                let check = code.encode(data);
+                for bit in 0..k {
+                    let mut d = data ^ (1 << bit);
+                    let mut c = check;
+                    assert_eq!(
+                        code.correct(&mut d, &mut c),
+                        SecdedVerdict::CorrectedData(bit),
+                        "k={k} data={data:#x} bit={bit}"
+                    );
+                    assert_eq!((d, c), (data, check));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn every_single_check_flip_is_corrected() {
+        for &k in &WIDTHS {
+            let code = SecdedCode::new(k);
+            let data = 0x5A5A_5A5A & (((1u64 << k) - 1) as u32);
+            let check = code.encode(data);
+            for j in 0..code.check_bits() {
+                let mut d = data;
+                let mut c = check ^ (1 << j);
+                assert_eq!(
+                    code.correct(&mut d, &mut c),
+                    SecdedVerdict::CorrectedCheck(j),
+                    "k={k} j={j}"
+                );
+                assert_eq!((d, c), (data, check));
+            }
+        }
+    }
+
+    #[test]
+    fn every_double_flip_is_uncorrectable() {
+        for &k in &WIDTHS {
+            let code = SecdedCode::new(k);
+            let n = k + code.check_bits();
+            let data = 0x0F0F_0F0F & (((1u64 << k) - 1) as u32);
+            let check = code.encode(data);
+            for a in 0..n {
+                for b in (a + 1)..n {
+                    let flip = |bit: u32, d: &mut u32, c: &mut u32| {
+                        if bit < k {
+                            *d ^= 1 << bit;
+                        } else {
+                            *c ^= 1 << (bit - k);
+                        }
+                    };
+                    let (mut d, mut c) = (data, check);
+                    flip(a, &mut d, &mut c);
+                    flip(b, &mut d, &mut c);
+                    assert_eq!(
+                        code.decode(d, c),
+                        SecdedVerdict::Uncorrectable,
+                        "k={k} flips=({a},{b})"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn group_masks_reproduce_encode() {
+        // The word-parallel checker rebuilds check plane j by XORing
+        // the group's data planes; per-lane that collapses to the
+        // parity of (data & group_mask). The two recipes must agree.
+        for &k in &WIDTHS {
+            let code = SecdedCode::new(k);
+            let mask = ((1u64 << k) - 1) as u32;
+            for sample in 0..128u64 {
+                let data = (sample.wrapping_mul(0x9E37_79B9) as u32) & mask;
+                let check = code.encode(data);
+                for j in 0..code.hamming_bits() {
+                    assert_eq!(
+                        parity32(data & code.group_mask(j)),
+                        (check >> j) & 1,
+                        "k={k} j={j}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn zero_width_rejected() {
+        let _ = SecdedCode::new(0);
+    }
+}

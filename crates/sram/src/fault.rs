@@ -154,6 +154,21 @@ impl FaultConfig {
         }
     }
 
+    /// A writeback-transient-only configuration: single-bit flips in
+    /// the cell/latch path at `rate`, sense amps and cells healthy.
+    /// This is the population SECDED corrects completely — the CI
+    /// resilience gate's zero-SDC sweep uses it.
+    #[must_use]
+    pub fn write_transients(seed: u64, rate: f64) -> Self {
+        Self {
+            seed,
+            stuck_rate: 0.0,
+            transient_write_rate: rate,
+            transient_sense_rate: 0.0,
+            scripted: Vec::new(),
+        }
+    }
+
     /// True when no fault source is armed.
     #[must_use]
     pub fn is_zero(&self) -> bool {

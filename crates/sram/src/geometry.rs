@@ -9,43 +9,80 @@
 
 use eve_common::{ConfigError, ConfigResult};
 
+/// Default spare (redundant) row budget per array. Commodity SRAM
+/// macros ship a handful of spare wordlines for post-manufacture
+/// repair; EVE reuses the same redundancy at runtime to retire rows
+/// that develop stuck-at faults (laser fuses become a remap latch).
+pub const DEFAULT_SPARE_ROWS: u32 = 4;
+
 /// Physical dimensions of one EVE SRAM array.
 ///
 /// The paper's EVE SRAM is two banked 256×128 sub-arrays, i.e. a
-/// 256-row × 256-column array in aggregate (§VI-B).
+/// 256-row × 256-column array in aggregate (§VI-B). On top of the
+/// addressable `rows`, the macro carries `spare_rows` redundant
+/// wordlines that sit outside the decoder's power-of-two space and
+/// are only reachable through the remap latches — they contribute no
+/// architectural capacity ([`SramGeometry::bits`] excludes them).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct SramGeometry {
     rows: u32,
     cols: u32,
+    spare_rows: u32,
 }
 
 impl SramGeometry {
     /// The paper's production geometry: 256 × 256 (two banked 256×128
-    /// sub-arrays).
+    /// sub-arrays), with the default spare-row repair budget.
     pub const PAPER: SramGeometry = SramGeometry {
         rows: 256,
         cols: 256,
+        spare_rows: DEFAULT_SPARE_ROWS,
     };
 
-    /// The didactic geometry of Fig 1: 16 × 16.
-    pub const FIG1: SramGeometry = SramGeometry { rows: 16, cols: 16 };
+    /// The didactic geometry of Fig 1: 16 × 16 (two spares).
+    pub const FIG1: SramGeometry = SramGeometry {
+        rows: 16,
+        cols: 16,
+        spare_rows: 2,
+    };
 
-    /// Creates a geometry.
+    /// Creates a geometry with the default spare-row budget.
     ///
     /// # Errors
     ///
     /// Returns an error if either dimension is zero or not a power of
     /// two (decoders address power-of-two row counts).
     pub fn new(rows: u32, cols: u32) -> ConfigResult<Self> {
+        Self::with_spares(rows, cols, DEFAULT_SPARE_ROWS.min(rows / 2))
+    }
+
+    /// Creates a geometry with an explicit spare-row budget.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if either dimension is zero or not a power of
+    /// two, or if the spare budget exceeds half the addressable rows
+    /// (a macro that spares more than it addresses is a config bug,
+    /// not a repair strategy).
+    pub fn with_spares(rows: u32, cols: u32, spare_rows: u32) -> ConfigResult<Self> {
         if rows == 0 || cols == 0 || !rows.is_power_of_two() || !cols.is_power_of_two() {
             return Err(ConfigError::new(format!(
                 "array geometry {rows}x{cols} must be power-of-two sized"
             )));
         }
-        Ok(Self { rows, cols })
+        if spare_rows > rows / 2 {
+            return Err(ConfigError::new(format!(
+                "{spare_rows} spare rows exceed half of {rows} addressable rows"
+            )));
+        }
+        Ok(Self {
+            rows,
+            cols,
+            spare_rows,
+        })
     }
 
-    /// Number of rows (wordlines).
+    /// Number of addressable rows (wordlines).
     #[must_use]
     pub fn rows(&self) -> u32 {
         self.rows
@@ -57,7 +94,19 @@ impl SramGeometry {
         self.cols
     }
 
-    /// Total bit capacity.
+    /// Redundant rows available for remapping faulty wordlines.
+    #[must_use]
+    pub fn spare_rows(&self) -> u32 {
+        self.spare_rows
+    }
+
+    /// Physical wordlines fabricated: addressable plus spare.
+    #[must_use]
+    pub fn physical_rows(&self) -> u32 {
+        self.rows + self.spare_rows
+    }
+
+    /// Total *architectural* bit capacity (spares excluded).
     #[must_use]
     pub fn bits(&self) -> u64 {
         u64::from(self.rows) * u64::from(self.cols)
@@ -215,6 +264,24 @@ mod tests {
         assert!(SramGeometry::new(0, 256).is_err());
         assert!(SramGeometry::new(100, 256).is_err());
         assert_eq!(SramGeometry::PAPER.bits(), 65536);
+    }
+
+    #[test]
+    fn spare_rows_sit_outside_architectural_capacity() {
+        let g = SramGeometry::with_spares(256, 256, 8).unwrap();
+        assert_eq!(g.spare_rows(), 8);
+        assert_eq!(g.physical_rows(), 264);
+        // Spares never count toward capacity: same bits as no-spare.
+        assert_eq!(
+            g.bits(),
+            SramGeometry::with_spares(256, 256, 0).unwrap().bits()
+        );
+        // An absurd spare budget is a config error, not a bigger array.
+        assert!(SramGeometry::with_spares(16, 16, 9).is_err());
+        // The defaults carry a repair budget.
+        assert_eq!(SramGeometry::PAPER.spare_rows(), DEFAULT_SPARE_ROWS);
+        assert_eq!(SramGeometry::FIG1.spare_rows(), 2);
+        assert_eq!(SramGeometry::new(256, 256).unwrap().spare_rows(), 4);
     }
 
     #[test]

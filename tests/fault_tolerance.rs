@@ -1,9 +1,14 @@
 //! System-level resilience invariants: zero-fault runs are bit-exact
 //! and never degrade, scripted faults land in the expected outcome
-//! class, and fault campaigns are byte-for-byte deterministic.
+//! class, SECDED honors its single-correct/double-detect contract
+//! against a scalar oracle, the escalation ladder climbs in order,
+//! and fault campaigns are byte-for-byte deterministic.
 
-use eve_sim::{campaign_json, FaultOutcome, FaultPlan, RecoveryPolicy, Runner, SystemKind};
-use eve_sram::FaultConfig;
+use eve_common::SplitMix64;
+use eve_sim::{
+    campaign_json, CampaignMode, FaultOutcome, FaultPlan, RecoveryPolicy, Runner, SystemKind,
+};
+use eve_sram::{DetectionMode, Fault, FaultConfig, SecdedCode, SecdedVerdict};
 use eve_workloads::Workload;
 
 /// With the injector armed but every rate zero, every system still
@@ -29,10 +34,12 @@ fn zero_fault_runs_are_bit_exact_everywhere() {
         assert_eq!(res.outcome, FaultOutcome::Masked, "{sys}");
         assert!(res.verified, "{sys}");
         assert_eq!(res.parity_alarms, 0, "{sys}");
+        assert_eq!(res.corrected, 0, "{sys}");
         assert_eq!(res.retries, 0, "{sys}");
         assert_eq!(res.corrupted_lanes, 0, "{sys}");
         assert_eq!(res.fault_stats.total_events(), 0, "{sys}");
         assert!(res.degraded_from.is_none(), "{sys}");
+        assert_eq!(res.availability, 1.0, "{sys}");
         // The checked run pays for parity: at least as slow as plain.
         assert!(faulty.cycles >= plain.cycles, "{sys}");
         let b = faulty.breakdown.expect("EVE breakdown");
@@ -56,25 +63,289 @@ fn zero_fault_runs_are_reproducible() {
     assert_eq!(a.resilience, b.resilience);
 }
 
+/// Every hybrid factor's segment width.
+const WIDTHS: [u32; 6] = [1, 2, 4, 8, 16, 32];
+
+/// A deliberately naive SECDED reference: lay data bits into the
+/// classic Hamming positions (power-of-two positions hold check bits),
+/// compute each check bit by brute-force position scan, and append an
+/// overall parity bit over the whole codeword.
+fn oracle_encode(k: u32, data: u32) -> u32 {
+    let mut r = 1u32;
+    while (1u32 << r) < k + r + 1 {
+        r += 1;
+    }
+    // Codeword positions 1..=k+r, 0 meaning "unset".
+    let n = (k + r) as usize;
+    let mut word = vec![0u8; n + 1];
+    let mut i = 0;
+    for (pos, slot) in word.iter_mut().enumerate().skip(1) {
+        if !(pos as u32).is_power_of_two() {
+            *slot = ((data >> i) & 1) as u8;
+            i += 1;
+        }
+    }
+    let mut check = 0u32;
+    for j in 0..r {
+        let mut parity = 0u8;
+        for (pos, &bit) in word.iter().enumerate().skip(1) {
+            if pos & (1usize << j) != 0 {
+                parity ^= bit;
+            }
+        }
+        for (pos, slot) in word.iter_mut().enumerate().skip(1) {
+            if pos == 1 << j {
+                *slot = parity;
+            }
+        }
+        check |= u32::from(parity) << j;
+    }
+    let overall = word[1..].iter().fold(0u8, |acc, &b| acc ^ b);
+    check | (u32::from(overall) << r)
+}
+
+/// The plane-oriented encoder agrees with the brute-force oracle on
+/// every width under seeded fuzz.
+#[test]
+fn secded_encode_matches_scalar_oracle_under_fuzz() {
+    let mut rng = SplitMix64::new(0x0DDC0DE);
+    for &k in &WIDTHS {
+        let code = SecdedCode::new(k);
+        let mask = ((1u64 << k) - 1) as u32;
+        for _ in 0..512 {
+            let data = (rng.next_u64() as u32) & mask;
+            assert_eq!(
+                code.encode(data),
+                oracle_encode(k, data),
+                "k={k} data={data:#x}"
+            );
+        }
+    }
+}
+
+/// Exhaustive single-flip coverage: for every width, every data bit
+/// flip decodes to `CorrectedData` at the right index and every check
+/// bit flip to `CorrectedCheck`, over fuzzed data words.
+#[test]
+fn secded_corrects_every_single_bit_flip() {
+    let mut rng = SplitMix64::new(0x5EC_DED);
+    for &k in &WIDTHS {
+        let code = SecdedCode::new(k);
+        let mask = ((1u64 << k) - 1) as u32;
+        for _ in 0..32 {
+            let data = (rng.next_u64() as u32) & mask;
+            let check = code.encode(data);
+            for bit in 0..k {
+                let (mut d, mut c) = (data ^ (1 << bit), check);
+                assert_eq!(
+                    code.correct(&mut d, &mut c),
+                    SecdedVerdict::CorrectedData(bit),
+                    "k={k} data bit {bit}"
+                );
+                assert_eq!((d, c), (data, check), "repair must restore the word");
+            }
+            for j in 0..code.check_bits() {
+                let (mut d, mut c) = (data, check ^ (1 << j));
+                assert_eq!(
+                    code.correct(&mut d, &mut c),
+                    SecdedVerdict::CorrectedCheck(j),
+                    "k={k} check bit {j}"
+                );
+                assert_eq!((d, c), (data, check));
+            }
+        }
+    }
+}
+
+/// Exhaustive double-flip coverage: every pair of distinct bit flips
+/// (data or check) is flagged uncorrectable, never miscorrected.
+#[test]
+fn secded_detects_every_double_bit_flip() {
+    let mut rng = SplitMix64::new(0xD0_5EC);
+    for &k in &WIDTHS {
+        let code = SecdedCode::new(k);
+        let mask = ((1u64 << k) - 1) as u32;
+        let n = k + code.check_bits();
+        for _ in 0..8 {
+            let data = (rng.next_u64() as u32) & mask;
+            let check = code.encode(data);
+            let flip = |bit: u32, d: &mut u32, c: &mut u32| {
+                if bit < k {
+                    *d ^= 1 << bit;
+                } else {
+                    *c ^= 1 << (bit - k);
+                }
+            };
+            for a in 0..n {
+                for b in (a + 1)..n {
+                    let (mut d, mut c) = (data, check);
+                    flip(a, &mut d, &mut c);
+                    flip(b, &mut d, &mut c);
+                    assert_eq!(
+                        code.decode(d, c),
+                        SecdedVerdict::Uncorrectable,
+                        "k={k} flips=({a},{b})"
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// Under a writeback-transient-only population (single flips per lane
+/// write — the class SECDED is specified against), a SECDED run
+/// corrects everything in place: zero SDC, zero retries, full
+/// availability, and a verified result.
+#[test]
+fn secded_corrects_all_write_transients_without_retries() {
+    let runner = Runner::new();
+    let w = Workload::vvadd(300);
+    for seed in [11u64, 12, 13] {
+        let report = runner
+            .run_faulty_with(
+                8,
+                &w,
+                FaultConfig::write_transients(seed, 5e-3),
+                RecoveryPolicy::default(),
+                DetectionMode::Secded,
+            )
+            .unwrap();
+        let res = report.resilience.expect("faulty runs report");
+        assert!(res.verified, "seed {seed}");
+        assert_ne!(
+            res.outcome,
+            FaultOutcome::SilentDataCorruption,
+            "seed {seed}: single-bit transients must never become SDC"
+        );
+        assert_eq!(res.retries, 0, "seed {seed}: corrections need no retry");
+        assert_eq!(res.corrupted_lanes, 0, "seed {seed}");
+        assert_eq!(res.availability, 1.0, "seed {seed}");
+        if res.fault_stats.write_flips > 0 {
+            assert!(res.corrected > 0, "seed {seed}: flips imply corrections");
+            assert_eq!(res.outcome, FaultOutcome::DetectedCorrected, "seed {seed}");
+        }
+    }
+}
+
+/// The same fault population under parity-only protection needs
+/// re-execution for every detected flip, so its availability drops
+/// strictly below SECDED's — the paper-level claim the campaign's
+/// availability column exists to show.
+#[test]
+fn secded_availability_strictly_beats_parity() {
+    let runner = Runner::new();
+    let w = Workload::vvadd(300);
+    let seed = 21u64;
+    let rate = 5e-3;
+    let parity = runner
+        .run_faulty_with(
+            8,
+            &w,
+            FaultConfig::write_transients(seed, rate),
+            RecoveryPolicy::default(),
+            DetectionMode::Parity,
+        )
+        .unwrap()
+        .resilience
+        .expect("report");
+    let secded = runner
+        .run_faulty_with(
+            8,
+            &w,
+            FaultConfig::write_transients(seed, rate),
+            RecoveryPolicy::default(),
+            DetectionMode::Secded,
+        )
+        .unwrap()
+        .resilience
+        .expect("report");
+    assert!(
+        parity.retries > 0,
+        "rate {rate} must trip the parity detector (got {parity:?})"
+    );
+    assert_eq!(secded.retries, 0);
+    assert!(
+        secded.availability > parity.availability,
+        "secded {} must strictly beat parity {}",
+        secded.availability,
+        parity.availability
+    );
+}
+
+/// A stuck cell in a source row keeps re-perturbing on every operand
+/// reload. Without sparing that exhausts retries and degrades; with
+/// the sparing policy the ladder retires the row to a spare and the
+/// run finishes in EVE mode.
+#[test]
+fn sparing_policy_remaps_a_stuck_row_instead_of_degrading() {
+    let runner = Runner::new();
+    let w = Workload::vvadd(300);
+    let mut cfg = FaultConfig::none(7);
+    // vvadd sources are < 2^20, so stuck-at-one on bit 30 of source
+    // row v1 perturbs every operand write deterministically.
+    cfg.scripted.push(Fault::stuck_at(1, 0, 30, true));
+    let sparing = RecoveryPolicy {
+        remap_threshold: 1,
+        ..RecoveryPolicy::sparing()
+    };
+
+    let plain = runner
+        .run_faulty_with(
+            32,
+            &w,
+            cfg.clone(),
+            RecoveryPolicy::default(),
+            DetectionMode::Secded,
+        )
+        .unwrap()
+        .resilience
+        .expect("report");
+    let spared = runner
+        .run_faulty_with(32, &w, cfg, sparing, DetectionMode::Secded)
+        .unwrap()
+        .resilience
+        .expect("report");
+
+    assert!(
+        spared.remapped_rows > 0,
+        "the hot row must be retired: {spared:?}"
+    );
+    assert_ne!(spared.outcome, FaultOutcome::DetectedDegraded);
+    assert!(spared.degraded_from.is_none());
+    assert!(spared.verified);
+    assert!(
+        spared.availability >= plain.availability,
+        "sparing must not reduce availability ({} vs {})",
+        spared.availability,
+        plain.availability
+    );
+}
+
 /// The same campaign plan renders byte-identical JSON on every run —
 /// the property that makes campaign reports diffable.
 #[test]
 fn campaigns_are_byte_identical() {
     let plan = FaultPlan {
         seed: 0xCA_FE,
-        rates: vec![0.0, 1e-3, 1e-2],
+        rates: vec![0.0, 1e-2],
+        modes: vec![CampaignMode::Parity, CampaignMode::SecdedSparing],
         factors: vec![8, 32],
         policy: RecoveryPolicy::default(),
+        write_only: false,
     };
     let suite = [Workload::vvadd(300), Workload::Mmult { n: 12 }];
     let first = campaign_json(&plan, &suite).unwrap();
     let second = campaign_json(&plan, &suite).unwrap();
     assert_eq!(first, second, "same seed must render identical bytes");
-    // The document carries one row per (rate, factor, workload) point.
-    assert_eq!(first.matches("\"outcome\"").count(), 3 * 2 * 2);
+    // The document carries one row per (rate, mode, factor, workload)
+    // point.
+    assert_eq!(first.matches("\"outcome\"").count(), 2 * 2 * 2 * 2);
     // Rate-0 control rows never report damage.
     let doc: Vec<&str> = first.lines().collect();
     assert!(doc.iter().any(|l| l.contains("\"masked\"")));
+    // The per-mode availability aggregation is present.
+    assert!(first.contains("\"mean_availability\""));
+    assert!(first.contains("\"secded_sparing\""));
     // A different seed changes the bytes (the sweep actually keys on
     // it).
     let other = campaign_json(
