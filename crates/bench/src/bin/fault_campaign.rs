@@ -83,7 +83,7 @@ fn main() {
         let jobs = Arc::clone(&jobs);
         move |i| run_campaign_job(&shared_plan, &jobs[i])
     });
-    let cells = results
+    let cells: Vec<_> = results
         .into_iter()
         .zip(jobs.iter())
         .map(|(result, &job)| match result {
@@ -98,5 +98,29 @@ fn main() {
             }),
         })
         .collect();
+    // Error rows (panicked or watchdog-killed cells) keep the sweep
+    // alive, but they must not pass silently: summarize them on stderr
+    // and fail the process so CI catches a flaky cell even when the
+    // JSON document itself renders fine.
+    let errors: Vec<&CampaignFailure> = cells.iter().filter_map(|c| c.as_ref().err()).collect();
+    eprintln!(
+        "fault_campaign: {} cells, {} error rows",
+        cells.len(),
+        errors.len()
+    );
+    for failure in &errors {
+        eprintln!(
+            "  error cell: rate={} mode={} factor={} seed={}: {}",
+            failure.job.rate,
+            failure.job.mode.as_str(),
+            failure.job.factor,
+            failure.job.seed,
+            failure.error
+        );
+    }
+    let failed = !errors.is_empty();
     println!("{}", campaign_doc(&plan, cells));
+    if failed {
+        std::process::exit(1);
+    }
 }

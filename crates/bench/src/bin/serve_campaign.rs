@@ -1,0 +1,331 @@
+//! Serving-resilience campaign: sweeps pool size × fault-storm
+//! intensity × breaker policy over one measured service profile,
+//! running the deterministic serving simulation for every cell and
+//! replaying each cell's trace through the serve auditor.
+//!
+//! Output is a deterministic JSON document — the same flags always
+//! produce byte-identical bytes, serial or parallel (cell seeds are
+//! pre-derived serially, the service profile is measured once before
+//! the fan-out, and results merge in grid order; set
+//! `EVE_BENCH_THREADS=1` to force one thread). A panicking or hung
+//! cell becomes an error row, is summarized on stderr, and fails the
+//! process — as does any audit violation or SDC.
+//!
+//! ```text
+//! serve_campaign [--seed N] [--factor N] [--pools P1,P2,..]
+//!                [--intensities I1,I2,..] [--breakers default,aggressive,lenient]
+//!                [--requests N] [--gap CYCLES] [--slack F]
+//!                [--workloads N] [--no-kill]
+//! ```
+//!
+//! By default every cell's storm also kills engine 1 a quarter of the
+//! way through the horizon (pools of one are spared — killing their
+//! only engine tests the fallback, not resilience); `--no-kill` leaves
+//! only the synthetic storm.
+
+use eve_bench::pool;
+use eve_common::json::JsonValue;
+use eve_common::SplitMix64;
+use eve_obs::Tracer;
+use eve_serve::{
+    audit_serve, BreakerPolicy, FaultStorm, ServeConfig, ServeSim, ServiceProfile, TrafficConfig,
+};
+use eve_workloads::Workload;
+use std::sync::Arc;
+
+/// One sweep cell's coordinates, seeds pre-derived in grid order.
+#[derive(Debug, Clone, Copy)]
+struct Cell {
+    pool: usize,
+    intensity: f64,
+    breaker: &'static str,
+    storm_seed: u64,
+    serve_seed: u64,
+    traffic_seed: u64,
+}
+
+struct Plan {
+    seed: u64,
+    factor: u32,
+    pools: Vec<usize>,
+    intensities: Vec<f64>,
+    breakers: Vec<&'static str>,
+    requests: usize,
+    /// Mean inter-arrival gap; `None` (the default) derives it from
+    /// the measured profile as its mean engine service time, so the
+    /// offered load tracks whatever workloads the profile measured
+    /// instead of assuming a service-time scale.
+    mean_gap: Option<u64>,
+    deadline_slack: f64,
+    kill: bool,
+}
+
+impl Default for Plan {
+    fn default() -> Self {
+        Self {
+            seed: 0x5E7E_CA3E,
+            factor: 8,
+            pools: vec![2, 4],
+            intensities: vec![0.0, 1.0, 2.5],
+            breakers: vec!["default", "aggressive", "lenient"],
+            requests: 200,
+            mean_gap: None,
+            deadline_slack: 6.0,
+            kill: true,
+        }
+    }
+}
+
+fn flag_value(args: &[String], name: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1).cloned())
+}
+
+fn breaker_name(s: &str) -> &'static str {
+    match s {
+        "default" => "default",
+        "aggressive" => "aggressive",
+        "lenient" => "lenient",
+        other => panic!("unknown breaker {other:?} (default|aggressive|lenient)"),
+    }
+}
+
+/// Expands the plan into its cell list. Seed derivation must stay
+/// here — serial, in grid order — or parallel runs would diverge from
+/// serial ones.
+fn cells(plan: &Plan) -> Vec<Cell> {
+    let mut seeder = SplitMix64::new(plan.seed);
+    let mut out = Vec::new();
+    for &pool in &plan.pools {
+        for &intensity in &plan.intensities {
+            for &breaker in &plan.breakers {
+                out.push(Cell {
+                    pool,
+                    intensity,
+                    breaker,
+                    storm_seed: seeder.next_u64(),
+                    serve_seed: seeder.next_u64(),
+                    traffic_seed: seeder.next_u64(),
+                });
+            }
+        }
+    }
+    out
+}
+
+/// One finished cell: its JSON row plus the numbers the summary and
+/// exit-code policy need (carried alongside rather than re-parsed out
+/// of the JSON).
+struct CellOutcome {
+    row: JsonValue,
+    availability: f64,
+    sdc: u64,
+    opens: u64,
+    recloses: u64,
+}
+
+/// Runs one cell: build the storm, run the serving simulation under a
+/// fresh tracer, audit the trace, and render the row.
+fn run_cell(plan: &Plan, profile: &ServiceProfile, cell: Cell) -> Result<CellOutcome, String> {
+    let mean_gap = plan.mean_gap.unwrap_or_else(|| profile.mean_eve_cycles());
+    let horizon = plan.requests as u64 * mean_gap;
+    let mut storm = FaultStorm::synth(cell.storm_seed, cell.pool, horizon, cell.intensity);
+    if plan.kill && cell.pool > 1 {
+        storm = storm.merged(FaultStorm::kill_one(1, horizon / 4));
+    }
+    let cfg = ServeConfig {
+        pool: cell.pool,
+        breaker: BreakerPolicy::by_name(cell.breaker)
+            .ok_or_else(|| format!("unknown breaker policy {:?}", cell.breaker))?,
+        seed: cell.serve_seed,
+        ..ServeConfig::default()
+    };
+    let traffic = TrafficConfig {
+        requests: plan.requests,
+        mean_gap,
+        deadline_slack: plan.deadline_slack,
+        seed: cell.traffic_seed,
+    };
+    let tracer = Tracer::new();
+    let report = ServeSim::new(cfg, profile.clone(), traffic, storm)
+        .map_err(|e| e.to_string())?
+        .with_tracer(&tracer)
+        .run();
+    let audit = audit_serve(&tracer, &report).map_err(|e| format!("audit: {e}"))?;
+    let row = JsonValue::object([
+        ("pool", JsonValue::from(cell.pool as u64)),
+        ("intensity", JsonValue::from(cell.intensity)),
+        ("breaker", JsonValue::from(cell.breaker)),
+        ("storm_seed", JsonValue::from(cell.storm_seed)),
+        ("audited_events", JsonValue::from(audit.events as u64)),
+        ("report", report.to_json()),
+    ]);
+    Ok(CellOutcome {
+        row,
+        availability: report.availability,
+        sdc: report.sdc,
+        opens: report.breaker_opens(),
+        recloses: report.breaker_recloses(),
+    })
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let mut plan = Plan::default();
+    if let Some(seed) = flag_value(&args, "--seed") {
+        plan.seed = seed.parse().expect("--seed takes a u64");
+    }
+    if let Some(factor) = flag_value(&args, "--factor") {
+        plan.factor = factor.parse().expect("--factor takes a u32");
+    }
+    if let Some(pools) = flag_value(&args, "--pools") {
+        plan.pools = pools
+            .split(',')
+            .map(|p| p.parse().expect("--pools takes comma-separated counts"))
+            .collect();
+    }
+    if let Some(intensities) = flag_value(&args, "--intensities") {
+        plan.intensities = intensities
+            .split(',')
+            .map(|i| {
+                i.parse()
+                    .expect("--intensities takes comma-separated floats")
+            })
+            .collect();
+    }
+    if let Some(breakers) = flag_value(&args, "--breakers") {
+        plan.breakers = breakers.split(',').map(breaker_name).collect();
+    }
+    if let Some(requests) = flag_value(&args, "--requests") {
+        plan.requests = requests.parse().expect("--requests takes a count");
+    }
+    if let Some(gap) = flag_value(&args, "--gap") {
+        plan.mean_gap = Some(gap.parse().expect("--gap takes cycles"));
+    }
+    if let Some(slack) = flag_value(&args, "--slack") {
+        plan.deadline_slack = slack.parse().expect("--slack takes a float");
+    }
+    if args.iter().any(|a| a == "--no-kill") {
+        plan.kill = false;
+    }
+    let workloads: Vec<Workload> = match flag_value(&args, "--workloads") {
+        Some(n) => Workload::tiny_suite()
+            .into_iter()
+            .take(n.parse().expect("--workloads takes a count"))
+            .collect(),
+        None => Workload::tiny_suite(),
+    };
+    // The profile is measured ONCE with the real timing model, before
+    // the fan-out, so every cell prices service identically and the
+    // measurement never races the sweep.
+    let max_pool = plan.pools.iter().copied().max().unwrap_or(1);
+    let profile = Arc::new(
+        ServiceProfile::measured(plan.factor, &workloads, max_pool)
+            .expect("profile measurement succeeds"),
+    );
+    let grid = Arc::new(cells(&plan));
+    let plan = Arc::new(plan);
+    let results = pool::try_run_jobs(grid.len(), {
+        let grid = Arc::clone(&grid);
+        let plan = Arc::clone(&plan);
+        let profile = Arc::clone(&profile);
+        move |i| run_cell(&plan, &profile, grid[i])
+    });
+
+    let mut rows = Vec::with_capacity(results.len());
+    let mut errors: Vec<(Cell, String)> = Vec::new();
+    let mut min_availability = f64::INFINITY;
+    let mut total_sdc = 0u64;
+    let mut opens = 0u64;
+    let mut recloses = 0u64;
+    for (result, &cell) in results.into_iter().zip(grid.iter()) {
+        match result {
+            Ok(Ok(outcome)) => {
+                min_availability = min_availability.min(outcome.availability);
+                total_sdc += outcome.sdc;
+                opens += outcome.opens;
+                recloses += outcome.recloses;
+                rows.push(outcome.row);
+            }
+            Ok(Err(msg)) => errors.push((cell, msg)),
+            Err(job_err) => errors.push((cell, job_err.to_string())),
+        }
+    }
+    for (cell, msg) in &errors {
+        rows.push(JsonValue::object([
+            ("pool", JsonValue::from(cell.pool as u64)),
+            ("intensity", JsonValue::from(cell.intensity)),
+            ("breaker", JsonValue::from(cell.breaker)),
+            ("storm_seed", JsonValue::from(cell.storm_seed)),
+            ("error", JsonValue::from(msg.as_str())),
+        ]));
+    }
+    eprintln!(
+        "serve_campaign: {} cells, {} error rows, min availability {:.4}, {} SDCs",
+        grid.len(),
+        errors.len(),
+        if min_availability.is_finite() {
+            min_availability
+        } else {
+            0.0
+        },
+        total_sdc
+    );
+    for (cell, msg) in &errors {
+        eprintln!(
+            "  error cell: pool={} intensity={} breaker={}: {}",
+            cell.pool, cell.intensity, cell.breaker, msg
+        );
+    }
+    let doc = JsonValue::object([
+        ("seed", JsonValue::from(plan.seed)),
+        ("factor", JsonValue::from(u64::from(plan.factor))),
+        (
+            "profile",
+            JsonValue::object([
+                (
+                    "workloads",
+                    JsonValue::Array(
+                        profile
+                            .names
+                            .iter()
+                            .map(|n| JsonValue::from(n.as_str()))
+                            .collect(),
+                    ),
+                ),
+                (
+                    "eve_cycles",
+                    JsonValue::Array(profile.eve_cycles.iter().map(|&c| c.into()).collect()),
+                ),
+                (
+                    "fallback_cycles",
+                    JsonValue::Array(profile.fallback_cycles.iter().map(|&c| c.into()).collect()),
+                ),
+            ]),
+        ),
+        (
+            "summary",
+            JsonValue::object([
+                ("cells", JsonValue::from(grid.len() as u64)),
+                ("failed", JsonValue::from(errors.len() as u64)),
+                (
+                    "min_availability",
+                    JsonValue::from(if min_availability.is_finite() {
+                        min_availability
+                    } else {
+                        0.0
+                    }),
+                ),
+                ("total_sdc", JsonValue::from(total_sdc)),
+                ("breaker_opens", JsonValue::from(opens)),
+                ("breaker_recloses", JsonValue::from(recloses)),
+            ]),
+        ),
+        ("runs", JsonValue::Array(rows)),
+    ]);
+    println!("{}", doc.to_pretty());
+    if !errors.is_empty() || total_sdc > 0 {
+        std::process::exit(1);
+    }
+}

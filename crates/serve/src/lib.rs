@@ -1,0 +1,66 @@
+//! Resilient multi-engine serving: a health-checked pool of ephemeral
+//! vector engines with deadlines, retries, and circuit breaking.
+//!
+//! The paper builds one ephemeral engine per core; a chip that *serves*
+//! with them needs a layer that keeps answering when engines brown out,
+//! silently corrupt, or die. This crate is that layer, as a
+//! deterministic discrete-event model grounded in the rest of the
+//! workspace:
+//!
+//! - [`ServiceProfile`] prices requests with the real `eve-sim` timing
+//!   model (per-workload EVE and O3+DV cycle counts, plus the measured
+//!   shared-LLC/DRAM contention curve from [`eve_sim::contention_profile`]).
+//! - [`CircuitBreaker`] is the closed → open → half-open machine that
+//!   stands between the scheduler and each engine; [`health`] converts
+//!   PR 4's `ShadowChecker` escalation-ladder snapshots
+//!   ([`eve_sim::EngineHealth`]) into breaker signals.
+//! - [`Backoff`] spaces retries with capped exponential delays and
+//!   deterministic per-request jitter.
+//! - [`queue`] sheds load at the door when the queue is full or the
+//!   deadline-feasibility bound says admission would be wasted work.
+//! - [`FaultStorm`] scripts engine-health timelines (brownouts, silent
+//!   windows, kills) deterministically from a seed.
+//! - [`ServeSim`] ties it together on a simulated clock and produces a
+//!   [`ServeReport`]; [`audit_serve`] replays a traced run against the
+//!   report and enforces the serving conservation identities.
+//!
+//! # Examples
+//!
+//! ```
+//! use eve_serve::{FaultStorm, ServeConfig, ServeSim, ServiceProfile, TrafficConfig};
+//!
+//! let profile = ServiceProfile::synthetic(3, 1_000, 4_000, 4);
+//! let storm = FaultStorm::kill_one(1, 50_000);
+//! let report = ServeSim::new(
+//!     ServeConfig::default(),
+//!     profile,
+//!     TrafficConfig::default(),
+//!     storm,
+//! )
+//! .unwrap()
+//! .run();
+//! // One dead engine out of four: the breaker isolates it and the
+//! // pool keeps serving.
+//! assert!(report.availability >= 0.99);
+//! assert_eq!(report.sdc, 0);
+//! ```
+
+pub mod audit;
+pub mod backoff;
+pub mod breaker;
+pub mod health;
+pub mod profile;
+pub mod queue;
+pub mod report;
+pub mod sim;
+pub mod storm;
+
+pub use audit::{audit_serve, ServeAuditFailure, ServeAuditSummary};
+pub use backoff::{Backoff, BackoffPolicy};
+pub use breaker::{BreakerPolicy, BreakerState, BreakerStats, CircuitBreaker};
+pub use health::{apply_signal, signals, HealthSignal};
+pub use profile::ServiceProfile;
+pub use queue::{admit, estimated_wait, AdmissionPolicy, AdmissionView, ShedReason};
+pub use report::{EngineReport, ServeReport};
+pub use sim::{ServeConfig, ServeError, ServeSim, TrafficConfig};
+pub use storm::{FaultStorm, StormEvent, StormEventKind};

@@ -1,0 +1,241 @@
+//! Admission control and load shedding.
+//!
+//! A request is refused at arrival — never after it has consumed an
+//! engine — for one of two reasons: the queue is at capacity, or the
+//! deadline-feasibility bound says it cannot finish in time. The bound
+//! prices the work ahead of the newcomer: the queued requests' summed
+//! service estimates (each priced by its own workload — a mean would
+//! underestimate badly when the queue is dominated by the heavy tail
+//! of a bimodal workload mix) plus a mean-service charge per in-flight
+//! request, spread over the `s` serving channels. If `now + ahead/s +
+//! service` lands past the deadline, admitting the request would only
+//! burn engine time on a guaranteed miss and push every later request
+//! closer to its own miss — shedding it is what keeps goodput from
+//! collapsing under overload.
+
+/// Why a request was refused at the door.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShedReason {
+    /// The queue is at capacity.
+    Capacity,
+    /// The feasibility bound says the deadline cannot be met.
+    Infeasible,
+}
+
+impl ShedReason {
+    /// Stable string form for reports.
+    #[must_use]
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            ShedReason::Capacity => "capacity",
+            ShedReason::Infeasible => "infeasible",
+        }
+    }
+}
+
+/// Admission knobs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AdmissionPolicy {
+    /// Hard cap on queued (not yet dispatched) requests.
+    pub queue_capacity: usize,
+    /// Whether the feasibility bound sheds at all; capacity shedding
+    /// always applies.
+    pub shed_infeasible: bool,
+}
+
+impl Default for AdmissionPolicy {
+    fn default() -> Self {
+        Self {
+            queue_capacity: 64,
+            shed_infeasible: true,
+        }
+    }
+}
+
+/// The instantaneous system state the admission decision reads.
+#[derive(Debug, Clone, Copy)]
+pub struct AdmissionView {
+    /// Requests waiting in the queue.
+    pub queued: usize,
+    /// Total estimated cycles of queued work ahead of the newcomer,
+    /// each request priced by its own workload (plus any fallback
+    /// backlog, expressed directly in cycles).
+    pub queued_cost: u64,
+    /// Requests currently occupying engines or the fallback.
+    pub inflight: usize,
+    /// Serving channels that would accept a dispatch right now
+    /// (breaker not open); the fallback path counts as one.
+    pub channels: usize,
+    /// Mean service time per request; in-flight requests are charged
+    /// half of it (their expected residual life) when the pool is
+    /// saturated.
+    pub mean_service: u64,
+    /// This request's estimated service time, in cycles.
+    pub service_estimate: u64,
+}
+
+/// Decides whether to admit a request arriving at `now` with absolute
+/// `deadline`.
+///
+/// # Errors
+///
+/// Returns the [`ShedReason`] when the request should be refused.
+pub fn admit(
+    policy: &AdmissionPolicy,
+    now: u64,
+    deadline: u64,
+    view: &AdmissionView,
+) -> Result<(), ShedReason> {
+    if view.queued >= policy.queue_capacity {
+        return Err(ShedReason::Capacity);
+    }
+    if policy.shed_infeasible {
+        let eta = now
+            .saturating_add(estimated_wait(view))
+            .saturating_add(view.service_estimate);
+        if eta > deadline {
+            return Err(ShedReason::Infeasible);
+        }
+    }
+    Ok(())
+}
+
+/// Estimated cycles until a newcomer would start service.
+///
+/// A free channel with no queued work means it starts immediately —
+/// in-flight requests on *other* channels cost it nothing. Only when
+/// every channel is occupied (or work is queued) does the backlog
+/// matter; in-flight requests are then charged half a mean service
+/// (their expected residual life). The serving loop reuses this for
+/// deadline-aware retry routing: a failed request whose retry cannot
+/// start early enough fails over instead of queueing for a miss.
+#[must_use]
+pub fn estimated_wait(view: &AdmissionView) -> u64 {
+    if view.queued_cost == 0 && view.inflight < view.channels {
+        return 0;
+    }
+    let residual = (view.inflight as u64).saturating_mul(view.mean_service / 2);
+    view.queued_cost.saturating_add(residual) / view.channels.max(1) as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idle(service: u64) -> AdmissionView {
+        AdmissionView {
+            queued: 0,
+            queued_cost: 0,
+            inflight: 0,
+            channels: 4,
+            mean_service: service,
+            service_estimate: service,
+        }
+    }
+
+    #[test]
+    fn an_idle_pool_admits_feasible_requests() {
+        let p = AdmissionPolicy::default();
+        assert_eq!(admit(&p, 100, 100 + 2000, &idle(1000)), Ok(()));
+    }
+
+    #[test]
+    fn a_full_queue_sheds_on_capacity() {
+        let p = AdmissionPolicy {
+            queue_capacity: 2,
+            ..AdmissionPolicy::default()
+        };
+        let view = AdmissionView {
+            queued: 2,
+            ..idle(10)
+        };
+        assert_eq!(admit(&p, 0, u64::MAX, &view), Err(ShedReason::Capacity));
+    }
+
+    #[test]
+    fn an_unmeetable_deadline_sheds_as_infeasible() {
+        let p = AdmissionPolicy::default();
+        // Even with nothing ahead, service alone overshoots.
+        assert_eq!(
+            admit(&p, 100, 100 + 500, &idle(1000)),
+            Err(ShedReason::Infeasible)
+        );
+    }
+
+    #[test]
+    fn backlog_makes_deadlines_infeasible() {
+        let p = AdmissionPolicy::default();
+        let view = AdmissionView {
+            queued: 8,
+            queued_cost: 8_000,
+            inflight: 4,
+            channels: 4,
+            mean_service: 1000,
+            service_estimate: 1000,
+        };
+        // eta = 0 + (8000 + 4*500)/4 + 1000 = 3500.
+        assert_eq!(admit(&p, 0, 3499, &view), Err(ShedReason::Infeasible));
+        assert_eq!(admit(&p, 0, 3500, &view), Ok(()));
+    }
+
+    #[test]
+    fn a_free_channel_waives_the_inflight_charge() {
+        // Three of four channels busy, nothing queued: the newcomer
+        // dispatches immediately, so only its own service counts.
+        let p = AdmissionPolicy::default();
+        let view = AdmissionView {
+            queued: 0,
+            queued_cost: 0,
+            inflight: 3,
+            channels: 4,
+            mean_service: 100_000,
+            service_estimate: 500,
+        };
+        assert_eq!(admit(&p, 0, 500, &view), Ok(()));
+        // A fully-occupied pool charges the residual work.
+        let saturated = AdmissionView {
+            inflight: 4,
+            ..view
+        };
+        assert_eq!(admit(&p, 0, 500, &saturated), Err(ShedReason::Infeasible));
+    }
+
+    #[test]
+    fn heavy_queued_work_outweighs_its_count() {
+        // Two queued requests, but they are heavy-tail jobs: a mean
+        // estimate would admit, the per-workload cost does not.
+        let p = AdmissionPolicy::default();
+        let view = AdmissionView {
+            queued: 2,
+            queued_cost: 200_000,
+            inflight: 0,
+            channels: 1,
+            mean_service: 1_000,
+            service_estimate: 500,
+        };
+        assert_eq!(admit(&p, 0, 10_000, &view), Err(ShedReason::Infeasible));
+    }
+
+    #[test]
+    fn the_feasibility_gate_can_be_disabled() {
+        let p = AdmissionPolicy {
+            shed_infeasible: false,
+            ..AdmissionPolicy::default()
+        };
+        assert_eq!(admit(&p, 100, 100, &idle(1000)), Ok(()));
+    }
+
+    #[test]
+    fn zero_channels_do_not_divide_by_zero() {
+        let p = AdmissionPolicy::default();
+        let view = AdmissionView {
+            queued: 1,
+            queued_cost: 10,
+            inflight: 0,
+            channels: 0,
+            mean_service: 10,
+            service_estimate: 10,
+        };
+        assert_eq!(admit(&p, 0, 5, &view), Err(ShedReason::Infeasible));
+    }
+}

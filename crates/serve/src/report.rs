@@ -1,0 +1,211 @@
+//! The serving run's result document.
+//!
+//! [`ServeReport`] carries every tally the event loop keeps, the
+//! request-level service metrics (availability, goodput, deadline-miss
+//! rate, p50/p99 sojourn), and a per-engine section with breaker
+//! transition counts. [`ServeReport::to_json`] renders it with the
+//! repo's deterministic JSON builder, so two identical runs produce
+//! byte-identical documents — the property the campaign's serial ==
+//! parallel CI gate rests on.
+
+use crate::breaker::{BreakerState, BreakerStats};
+use eve_common::json::JsonValue;
+
+/// One pool engine's tallies after a run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EngineReport {
+    /// Requests placed on this engine (probes included).
+    pub dispatches: u64,
+    /// Requests it completed successfully.
+    pub completions: u64,
+    /// Detected failures it produced.
+    pub failures: u64,
+    /// Whether the engine was dead when the run ended.
+    pub dead: bool,
+    /// Breaker state when the run ended.
+    pub final_state: BreakerState,
+    /// Breaker transition counters.
+    pub breaker: BreakerStats,
+}
+
+impl EngineReport {
+    /// Deterministic JSON form.
+    #[must_use]
+    pub fn to_json(&self) -> JsonValue {
+        JsonValue::object([
+            ("dispatches", JsonValue::from(self.dispatches)),
+            ("completions", JsonValue::from(self.completions)),
+            ("failures", JsonValue::from(self.failures)),
+            ("dead", JsonValue::from(self.dead)),
+            ("state", JsonValue::from(self.final_state.as_str())),
+            ("opened", JsonValue::from(self.breaker.opened)),
+            ("reclosed", JsonValue::from(self.breaker.reclosed)),
+            ("probes", JsonValue::from(self.breaker.probes)),
+        ])
+    }
+}
+
+/// Everything one serving run produced.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServeReport {
+    /// Engine count.
+    pub pool: usize,
+    /// Requests the traffic model generated.
+    pub requests: u64,
+    /// When the last event fired.
+    pub end_cycle: u64,
+    /// Requests that arrived (equals `requests`).
+    pub arrivals: u64,
+    /// Requests past admission control.
+    pub admitted: u64,
+    /// Requests refused because the queue was full.
+    pub shed_capacity: u64,
+    /// Requests refused by the deadline-feasibility bound.
+    pub shed_infeasible: u64,
+    /// Dispatch attempts onto pool engines.
+    pub dispatches: u64,
+    /// Detected engine failures.
+    pub engine_failures: u64,
+    /// Retry events scheduled.
+    pub retries: u64,
+    /// Requests that failed over to the O3+DV path.
+    pub failovers: u64,
+    /// Requests completed on an engine.
+    pub completed_eve: u64,
+    /// Requests completed on the fallback.
+    pub completed_fallback: u64,
+    /// Silent data corruptions that reached callers.
+    pub sdc: u64,
+    /// The SLO metric: admitted requests that received a *correct,
+    /// in-deadline* answer, over all admitted requests.
+    pub availability: f64,
+    /// Successful engine dispatches / all engine dispatches — raw pool
+    /// health, unsmoothed by retries.
+    pub eve_attempt_success: f64,
+    /// In-deadline completions / all arrivals (shed requests count
+    /// against it).
+    pub goodput: f64,
+    /// Late completions / completions.
+    pub deadline_miss_rate: f64,
+    /// Median sojourn (arrival → completion), cycles.
+    pub p50_sojourn: u64,
+    /// 99th-percentile sojourn, cycles.
+    pub p99_sojourn: u64,
+    /// Per-engine tallies.
+    pub engines: Vec<EngineReport>,
+}
+
+impl ServeReport {
+    /// Total shed requests.
+    #[must_use]
+    pub fn shed(&self) -> u64 {
+        self.shed_capacity + self.shed_infeasible
+    }
+
+    /// Breaker open transitions summed over the pool.
+    #[must_use]
+    pub fn breaker_opens(&self) -> u64 {
+        self.engines.iter().map(|e| e.breaker.opened).sum()
+    }
+
+    /// Breaker re-close transitions summed over the pool.
+    #[must_use]
+    pub fn breaker_recloses(&self) -> u64 {
+        self.engines.iter().map(|e| e.breaker.reclosed).sum()
+    }
+
+    /// Deterministic JSON form.
+    #[must_use]
+    pub fn to_json(&self) -> JsonValue {
+        JsonValue::object([
+            ("pool", JsonValue::from(self.pool as u64)),
+            ("requests", JsonValue::from(self.requests)),
+            ("end_cycle", JsonValue::from(self.end_cycle)),
+            ("arrivals", JsonValue::from(self.arrivals)),
+            ("admitted", JsonValue::from(self.admitted)),
+            ("shed_capacity", JsonValue::from(self.shed_capacity)),
+            ("shed_infeasible", JsonValue::from(self.shed_infeasible)),
+            ("dispatches", JsonValue::from(self.dispatches)),
+            ("engine_failures", JsonValue::from(self.engine_failures)),
+            ("retries", JsonValue::from(self.retries)),
+            ("failovers", JsonValue::from(self.failovers)),
+            ("completed_eve", JsonValue::from(self.completed_eve)),
+            (
+                "completed_fallback",
+                JsonValue::from(self.completed_fallback),
+            ),
+            ("sdc", JsonValue::from(self.sdc)),
+            ("availability", JsonValue::from(self.availability)),
+            (
+                "eve_attempt_success",
+                JsonValue::from(self.eve_attempt_success),
+            ),
+            ("goodput", JsonValue::from(self.goodput)),
+            (
+                "deadline_miss_rate",
+                JsonValue::from(self.deadline_miss_rate),
+            ),
+            ("p50_sojourn", JsonValue::from(self.p50_sojourn)),
+            ("p99_sojourn", JsonValue::from(self.p99_sojourn)),
+            (
+                "engines",
+                JsonValue::Array(self.engines.iter().map(EngineReport::to_json).collect()),
+            ),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> ServeReport {
+        ServeReport {
+            pool: 2,
+            requests: 10,
+            end_cycle: 5_000,
+            arrivals: 10,
+            admitted: 9,
+            shed_capacity: 0,
+            shed_infeasible: 1,
+            dispatches: 10,
+            engine_failures: 1,
+            retries: 1,
+            failovers: 0,
+            completed_eve: 9,
+            completed_fallback: 0,
+            sdc: 0,
+            availability: 1.0,
+            eve_attempt_success: 0.9,
+            goodput: 0.9,
+            deadline_miss_rate: 0.0,
+            p50_sojourn: 1_000,
+            p99_sojourn: 2_000,
+            engines: vec![
+                EngineReport {
+                    dispatches: 6,
+                    completions: 5,
+                    failures: 1,
+                    dead: false,
+                    final_state: BreakerState::Closed,
+                    breaker: BreakerStats::default(),
+                };
+                2
+            ],
+        }
+    }
+
+    #[test]
+    fn json_round_trips_and_is_stable() {
+        let r = sample();
+        let a = r.to_json().to_pretty();
+        let b = r.to_json().to_pretty();
+        assert_eq!(a, b);
+        assert!(a.contains("\"availability\""));
+        assert!(a.contains("\"closed\""));
+        let parsed = JsonValue::parse(&a).expect("own output parses");
+        drop(parsed);
+        assert_eq!(r.shed(), 1);
+        assert_eq!(r.breaker_opens(), 0);
+    }
+}

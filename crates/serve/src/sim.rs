@@ -1,0 +1,965 @@
+//! The discrete-event serving simulation.
+//!
+//! [`ServeSim`] runs a deterministic event loop over a pool of
+//! simulated EVE engines: requests arrive on a simulated clock, pass
+//! admission control ([`crate::queue`]), and are placed on the lowest
+//! healthy engine — health meaning the per-engine circuit breaker
+//! ([`crate::breaker`]) admits traffic. Detected failures retry with
+//! capped exponential backoff ([`crate::backoff`]); exhausted requests
+//! fail over to the O3+DV path, which also absorbs traffic whenever
+//! every breaker is open. A scripted [`FaultStorm`] perturbs engine
+//! health mid-run.
+//!
+//! Everything runs on a simulated cycle clock — no wall time, no
+//! global RNG — so two identically-configured runs produce identical
+//! reports byte for byte, regardless of host scheduling.
+
+use crate::backoff::{Backoff, BackoffPolicy};
+use crate::breaker::{BreakerPolicy, BreakerState, CircuitBreaker};
+use crate::health::{apply_signal, signals};
+use crate::profile::ServiceProfile;
+use crate::queue::{admit, estimated_wait, AdmissionPolicy, AdmissionView, ShedReason};
+use crate::report::{EngineReport, ServeReport};
+use crate::storm::{FaultStorm, StormEvent, StormEventKind};
+use eve_common::SplitMix64;
+use eve_obs::Tracer;
+use eve_sim::EngineHealth;
+use std::collections::{BinaryHeap, VecDeque};
+use std::fmt;
+
+/// Pool and policy knobs for one serving run.
+#[derive(Debug, Clone, Copy)]
+pub struct ServeConfig {
+    /// Engine count.
+    pub pool: usize,
+    /// Per-engine breaker tuning.
+    pub breaker: BreakerPolicy,
+    /// Retry-delay schedule.
+    pub backoff: BackoffPolicy,
+    /// Admission control.
+    pub admission: AdmissionPolicy,
+    /// Engine dispatch attempts per request (first try included)
+    /// before failing over to the O3+DV path.
+    pub max_attempts: u32,
+    /// Cycles from dispatching onto an already-faulty engine to the
+    /// detected failure (the parity/SECDED alarm plus retry exhaustion
+    /// at μprogram granularity — far shorter than a full service).
+    pub detect_latency: u64,
+    /// Whether results are checked (PR 1's shadow verification): a
+    /// checked pool converts silent-corruption windows into detected
+    /// failures; an unchecked pool completes them as SDCs.
+    pub checked: bool,
+    /// Seed for per-request backoff jitter streams.
+    pub seed: u64,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        Self {
+            pool: 4,
+            breaker: BreakerPolicy::default(),
+            backoff: BackoffPolicy::default(),
+            admission: AdmissionPolicy::default(),
+            max_attempts: 3,
+            detect_latency: 500,
+            checked: true,
+            seed: 0x5EC0DE,
+        }
+    }
+}
+
+/// The synthetic open-loop arrival process.
+#[derive(Debug, Clone, Copy)]
+pub struct TrafficConfig {
+    /// Requests to generate.
+    pub requests: usize,
+    /// Mean inter-arrival gap in cycles (gaps are uniform on
+    /// `[0, 2·mean]`, so the mean is exact).
+    pub mean_gap: u64,
+    /// Deadline slack: each request's deadline is its arrival plus
+    /// `slack × max(engine, fallback)` solo service time.
+    pub deadline_slack: f64,
+    /// Seed for arrival times and workload choices.
+    pub seed: u64,
+}
+
+impl Default for TrafficConfig {
+    fn default() -> Self {
+        Self {
+            requests: 200,
+            mean_gap: 2_000,
+            deadline_slack: 4.0,
+            seed: 0x7AFF1C,
+        }
+    }
+}
+
+/// Why a serving run could not be constructed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ServeError {
+    /// An invalid configuration value.
+    Config(String),
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::Config(m) => write!(f, "serve config: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+/// Heap events, processed in `(at, seq)` order.
+#[derive(Debug, Clone, Copy)]
+enum Ev {
+    /// Storm event `idx` fires.
+    Storm(usize),
+    /// Request `idx` arrives.
+    Arrival(usize),
+    /// Request `idx` re-enters the queue after backoff.
+    Retry(usize),
+    /// Request `req`'s dispatch on `engine` resolves.
+    Done { engine: usize, req: usize },
+    /// Request `req` completes on the fallback path.
+    FallbackDone { req: usize },
+}
+
+struct Entry {
+    at: u64,
+    seq: u64,
+    ev: Ev,
+}
+
+impl PartialEq for Entry {
+    fn eq(&self, other: &Self) -> bool {
+        (self.at, self.seq) == (other.at, other.seq)
+    }
+}
+impl Eq for Entry {}
+impl PartialOrd for Entry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Entry {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // BinaryHeap is a max-heap; invert for earliest-first.
+        (other.at, other.seq).cmp(&(self.at, self.seq))
+    }
+}
+
+/// One request's lifecycle state.
+struct Request {
+    arrival: u64,
+    deadline: u64,
+    workload: usize,
+    attempts: u32,
+    backoff: Backoff,
+    dispatched_at: u64,
+    fault_epoch: u64,
+    silent_epoch: u64,
+    completed_at: Option<u64>,
+    via_fallback: bool,
+    corrupted: bool,
+}
+
+/// One pool engine's simulated state.
+struct Engine {
+    breaker: CircuitBreaker,
+    busy: bool,
+    dead: bool,
+    brown_until: u64,
+    silent_until: u64,
+    /// Bumped on every entry into a detected-fault window (brownout,
+    /// kill, recover): a request whose dispatch-time epoch differs at
+    /// completion overlapped one.
+    fault_epoch: u64,
+    /// Same, for silent-corruption windows.
+    silent_epoch: u64,
+    dispatches: u64,
+    completions: u64,
+    failures: u64,
+}
+
+impl Engine {
+    fn faulty_at(&self, now: u64) -> bool {
+        self.dead || now < self.brown_until
+    }
+
+    fn silent_at(&self, now: u64) -> bool {
+        now < self.silent_until
+    }
+}
+
+/// Per-engine busy-span tracks, capped at eight (pools beyond that are
+/// simulated but not span-traced).
+const ENGINE_TRACKS: [&str; 8] = [
+    "eng0", "eng1", "eng2", "eng3", "eng4", "eng5", "eng6", "eng7",
+];
+
+/// The number of engine tracks the tracer can carry.
+#[must_use]
+pub fn traced_engines(pool: usize) -> usize {
+    pool.min(ENGINE_TRACKS.len())
+}
+
+/// The serving simulation: build, optionally attach a tracer and
+/// initial health, then [`ServeSim::run`].
+pub struct ServeSim {
+    cfg: ServeConfig,
+    profile: ServiceProfile,
+    traffic: TrafficConfig,
+    tracer: Option<Tracer>,
+
+    heap: BinaryHeap<Entry>,
+    seq: u64,
+    queue: VecDeque<usize>,
+    requests: Vec<Request>,
+    engines: Vec<Engine>,
+    storm: Vec<StormEvent>,
+    fallback_free_at: u64,
+    now: u64,
+
+    // Tallies.
+    admitted: u64,
+    shed_capacity: u64,
+    shed_infeasible: u64,
+    dispatches: u64,
+    engine_failures: u64,
+    retries: u64,
+    failovers: u64,
+    fallback_dispatches: u64,
+    completed_eve: u64,
+    completed_fallback: u64,
+    sdc: u64,
+}
+
+impl ServeSim {
+    /// Builds a serving run: generates the arrival schedule and seeds
+    /// every per-request backoff stream up front, so the run is a pure
+    /// function of its arguments.
+    ///
+    /// # Errors
+    ///
+    /// Rejects an empty pool, empty profile, zero requests, or zero
+    /// `max_attempts` as [`ServeError::Config`].
+    pub fn new(
+        cfg: ServeConfig,
+        profile: ServiceProfile,
+        traffic: TrafficConfig,
+        storm: FaultStorm,
+    ) -> Result<Self, ServeError> {
+        if cfg.pool == 0 {
+            return Err(ServeError::Config(
+                "pool must have at least one engine".into(),
+            ));
+        }
+        if profile.is_empty() {
+            return Err(ServeError::Config(
+                "service profile has no workloads".into(),
+            ));
+        }
+        if traffic.requests == 0 {
+            return Err(ServeError::Config("traffic must carry requests".into()));
+        }
+        if cfg.max_attempts == 0 {
+            return Err(ServeError::Config("max_attempts must be at least 1".into()));
+        }
+        let mut heap = BinaryHeap::new();
+        let mut seq = 0u64;
+        for (i, e) in storm.events.iter().enumerate() {
+            heap.push(Entry {
+                at: e.at,
+                seq,
+                ev: Ev::Storm(i),
+            });
+            seq += 1;
+        }
+        let mut rng = SplitMix64::new(traffic.seed);
+        let mut at = 0u64;
+        let mut requests = Vec::with_capacity(traffic.requests);
+        for i in 0..traffic.requests {
+            at += rng.below(2 * traffic.mean_gap + 1);
+            let workload = rng.below(profile.len() as u64) as usize;
+            let solo = profile
+                .eve_service(workload, 1)
+                .max(profile.fallback_service(workload));
+            let slack = (solo as f64 * traffic.deadline_slack).round() as u64;
+            requests.push(Request {
+                arrival: at,
+                deadline: at + slack.max(1),
+                workload,
+                attempts: 0,
+                backoff: Backoff::new(cfg.backoff, cfg.seed.wrapping_add(1 + i as u64)),
+                dispatched_at: 0,
+                fault_epoch: 0,
+                silent_epoch: 0,
+                completed_at: None,
+                via_fallback: false,
+                corrupted: false,
+            });
+            heap.push(Entry {
+                at,
+                seq,
+                ev: Ev::Arrival(i),
+            });
+            seq += 1;
+        }
+        let engines = (0..cfg.pool)
+            .map(|_| Engine {
+                breaker: CircuitBreaker::new(cfg.breaker),
+                busy: false,
+                dead: false,
+                brown_until: 0,
+                silent_until: 0,
+                fault_epoch: 0,
+                silent_epoch: 0,
+                dispatches: 0,
+                completions: 0,
+                failures: 0,
+            })
+            .collect();
+        Ok(Self {
+            cfg,
+            profile,
+            traffic,
+            tracer: None,
+            heap,
+            seq,
+            queue: VecDeque::new(),
+            requests,
+            engines,
+            storm: storm.events,
+            fallback_free_at: 0,
+            now: 0,
+            admitted: 0,
+            shed_capacity: 0,
+            shed_infeasible: 0,
+            dispatches: 0,
+            engine_failures: 0,
+            retries: 0,
+            failovers: 0,
+            fallback_dispatches: 0,
+            completed_eve: 0,
+            completed_fallback: 0,
+            sdc: 0,
+        })
+    }
+
+    /// Attaches a tracer: the run emits `serve`-track instants plus
+    /// per-engine busy/fault spans (first eight engines).
+    #[must_use]
+    pub fn with_tracer(mut self, tracer: &Tracer) -> Self {
+        self.tracer = Some(tracer.clone());
+        self
+    }
+
+    /// Applies pre-run health snapshots from the `eve-sim` escalation
+    /// ladder — engine `i` boots with `health[i]`'s signals already fed
+    /// into its breaker, so a pool can start with a known-degraded
+    /// engine isolated before any traffic reaches it.
+    #[must_use]
+    pub fn with_initial_health(mut self, health: &[EngineHealth]) -> Self {
+        for (e, h) in self.engines.iter_mut().zip(health) {
+            for s in signals(h) {
+                apply_signal(&mut e.breaker, s, 0);
+            }
+            if h.degraded {
+                // A ladder degradation means the engine already fell
+                // back to O3+DV: model it as dead silicon.
+                e.dead = true;
+                e.fault_epoch += 1;
+            }
+        }
+        self
+    }
+
+    fn push(&mut self, at: u64, ev: Ev) {
+        let seq = self.seq;
+        self.seq += 1;
+        self.heap.push(Entry { at, seq, ev });
+    }
+
+    fn instant(&self, name: &'static str, at: u64) {
+        if let Some(t) = &self.tracer {
+            t.instant("serve", "serve", name, at);
+        }
+    }
+
+    fn count(&self, name: &str, amount: u64) {
+        if let Some(t) = &self.tracer {
+            t.count(name, amount);
+        }
+    }
+
+    fn busy_engines(&self) -> usize {
+        self.engines.iter().filter(|e| e.busy).count()
+    }
+
+    /// Runs the event loop to quiescence and produces the report.
+    /// Every admitted request resolves before the loop ends (retries
+    /// are bounded and the fallback path always completes), so the
+    /// heap draining is the termination proof.
+    #[must_use]
+    pub fn run(mut self) -> ServeReport {
+        while let Some(Entry { at, ev, .. }) = self.heap.pop() {
+            debug_assert!(at >= self.now, "time runs forward");
+            self.now = at;
+            match ev {
+                Ev::Storm(i) => self.on_storm(i),
+                Ev::Arrival(r) => self.on_arrival(r),
+                Ev::Retry(r) => {
+                    self.instant("retry_due", self.now);
+                    self.queue.push_back(r);
+                    self.pump();
+                }
+                Ev::Done { engine, req } => self.on_done(engine, req),
+                Ev::FallbackDone { req } => {
+                    self.requests[req].completed_at = Some(self.now);
+                    self.completed_fallback += 1;
+                    self.instant("complete_fallback", self.now);
+                }
+            }
+        }
+        self.report()
+    }
+
+    fn on_storm(&mut self, i: usize) {
+        let ev = self.storm[i];
+        let e = &mut self.engines[ev.engine];
+        match ev.kind {
+            StormEventKind::Brownout { duration } => {
+                e.brown_until = e.brown_until.max(self.now + duration.max(1));
+                e.fault_epoch += 1;
+            }
+            StormEventKind::Silent { duration } => {
+                e.silent_until = e.silent_until.max(self.now + duration.max(1));
+                e.silent_epoch += 1;
+            }
+            StormEventKind::Kill => {
+                if !e.dead {
+                    e.dead = true;
+                    e.fault_epoch += 1;
+                }
+            }
+            StormEventKind::Recover => {
+                e.dead = false;
+                e.brown_until = self.now;
+                e.silent_until = self.now;
+                e.fault_epoch += 1;
+            }
+        }
+        // Health changed: waiting work may now be placeable (or the
+        // pool may have lost a server — pump is a no-op then).
+        self.pump();
+    }
+
+    /// The admission estimator's snapshot of the pool, priced for
+    /// `workload`. Each queued request is priced by its own workload —
+    /// a mean estimate underestimates badly when the queue is
+    /// dominated by the heavy tail of a bimodal mix — and scaled by
+    /// the contention the pool will see while draining it. When every
+    /// breaker is open the only channel is the O3+DV path: the view
+    /// prices with fallback service times and folds its FIFO backlog
+    /// in, so a dead pool sheds doomed requests instead of admitting
+    /// them into a queue they cannot clear in time.
+    fn pool_view(&mut self, workload: usize) -> AdmissionView {
+        let now = self.now;
+        let channels = self
+            .engines
+            .iter_mut()
+            .map(|e| e.breaker.state_at(now))
+            .filter(|s| *s != BreakerState::Open)
+            .count();
+        if channels == 0 {
+            let backlog = self.fallback_free_at.saturating_sub(now);
+            let queued_cost = backlog
+                + self
+                    .queue
+                    .iter()
+                    .map(|&q| self.profile.fallback_service(self.requests[q].workload))
+                    .sum::<u64>();
+            AdmissionView {
+                queued: self.queue.len(),
+                queued_cost,
+                inflight: 0,
+                channels: 1,
+                mean_service: self.profile.mean_fallback_cycles(),
+                service_estimate: self.profile.fallback_service(workload),
+            }
+        } else {
+            let queued_cost = self
+                .queue
+                .iter()
+                .map(|&q| {
+                    self.profile
+                        .eve_service(self.requests[q].workload, channels)
+                })
+                .sum::<u64>();
+            AdmissionView {
+                queued: self.queue.len(),
+                queued_cost,
+                inflight: self.engines.iter().filter(|e| e.busy).count()
+                    + usize::from(self.fallback_free_at > now),
+                channels,
+                mean_service: self.profile.mean_eve_cycles(),
+                service_estimate: self.profile.eve_service(workload, channels),
+            }
+        }
+    }
+
+    fn on_arrival(&mut self, r: usize) {
+        self.instant("arrive", self.now);
+        let view = self.pool_view(self.requests[r].workload);
+        let req = &self.requests[r];
+        match admit(&self.cfg.admission, self.now, req.deadline, &view) {
+            Ok(()) => {
+                self.admitted += 1;
+                self.instant("admit", self.now);
+                self.queue.push_back(r);
+                self.pump();
+            }
+            Err(ShedReason::Capacity) => {
+                self.shed_capacity += 1;
+                self.instant("shed_capacity", self.now);
+            }
+            Err(ShedReason::Infeasible) => {
+                self.shed_infeasible += 1;
+                self.instant("shed_infeasible", self.now);
+            }
+        }
+    }
+
+    /// FIFO placement: place the head request on the lowest free
+    /// engine whose breaker admits it (closed engines before half-open
+    /// probes); if every breaker is open, fail the head over to the
+    /// O3+DV path; if engines are merely busy, wait.
+    fn pump(&mut self) {
+        while let Some(&r) = self.queue.front() {
+            let now = self.now;
+            let mut pick = None;
+            for (i, e) in self.engines.iter_mut().enumerate() {
+                if e.busy || !e.breaker.allows(now) {
+                    continue;
+                }
+                let state = e.breaker.state_at(now);
+                match (state, pick) {
+                    (BreakerState::Closed, _) => {
+                        pick = Some(i);
+                        break; // lowest closed engine wins outright
+                    }
+                    (BreakerState::HalfOpen, None) => pick = Some(i),
+                    _ => {}
+                }
+            }
+            if let Some(i) = pick {
+                self.queue.pop_front();
+                self.dispatch(i, r);
+                continue;
+            }
+            let all_open = self
+                .engines
+                .iter_mut()
+                .all(|e| e.breaker.state_at(now) == BreakerState::Open);
+            if all_open {
+                self.queue.pop_front();
+                self.failover(r);
+                continue;
+            }
+            break; // engines busy or probe slot taken: wait
+        }
+    }
+
+    fn dispatch(&mut self, engine: usize, r: usize) {
+        let now = self.now;
+        self.dispatches += 1;
+        let busy_after = self.busy_engines() + 1;
+        let e = &mut self.engines[engine];
+        e.breaker.on_dispatch(now);
+        e.busy = true;
+        e.dispatches += 1;
+        let req = &mut self.requests[r];
+        req.attempts += 1;
+        req.dispatched_at = now;
+        req.fault_epoch = e.fault_epoch;
+        req.silent_epoch = e.silent_epoch;
+        // Dispatching onto already-faulty silicon fast-fails at alarm
+        // latency; healthy dispatches run a contention-scaled service.
+        let service = if e.faulty_at(now) {
+            self.cfg.detect_latency.max(1)
+        } else {
+            self.profile.eve_service(req.workload, busy_after)
+        };
+        self.instant("dispatch", now);
+        self.push(now + service, Ev::Done { engine, req: r });
+    }
+
+    fn on_done(&mut self, engine: usize, r: usize) {
+        let now = self.now;
+        let e = &mut self.engines[engine];
+        e.busy = false;
+        let req = &self.requests[r];
+        let fault_overlap = req.fault_epoch != e.fault_epoch || e.faulty_at(now);
+        let silent_overlap = req.silent_epoch != e.silent_epoch || e.silent_at(now);
+        let failed = fault_overlap || (silent_overlap && self.cfg.checked);
+        let start = req.dispatched_at;
+        if let (Some(t), true) = (&self.tracer, engine < ENGINE_TRACKS.len()) {
+            let cat = if failed { "fault" } else { "busy" };
+            t.span(ENGINE_TRACKS[engine], cat, "request", start, now - start);
+        }
+        if failed {
+            e.failures += 1;
+            e.breaker.on_failure(now);
+            self.engine_failures += 1;
+            let req = &mut self.requests[r];
+            let (attempts, deadline, workload) = (req.attempts, req.deadline, req.workload);
+            if attempts < self.cfg.max_attempts {
+                let delay = req.backoff.delay(attempts - 1).max(1);
+                // Deadline-aware retry routing: only retry if the
+                // request could plausibly still start early enough.
+                // Re-queueing a nearly-due request behind a heavy
+                // backlog guarantees a miss — the fallback at least
+                // has a chance.
+                let view = self.pool_view(workload);
+                let eta = now
+                    .saturating_add(delay)
+                    .saturating_add(estimated_wait(&view))
+                    .saturating_add(view.service_estimate);
+                if eta <= deadline {
+                    self.retries += 1;
+                    self.instant("retry", now);
+                    self.push(now + delay, Ev::Retry(r));
+                } else {
+                    self.failover(r);
+                }
+            } else {
+                self.failover(r);
+            }
+        } else {
+            e.breaker.on_success(now);
+            e.completions += 1;
+            self.completed_eve += 1;
+            if silent_overlap {
+                // Unchecked pool: the corruption reaches the caller.
+                self.sdc += 1;
+                self.requests[r].corrupted = true;
+                self.instant("sdc", now);
+            }
+            self.requests[r].completed_at = Some(now);
+            self.instant("complete", now);
+        }
+        self.pump();
+    }
+
+    fn failover(&mut self, r: usize) {
+        let now = self.now;
+        self.failovers += 1;
+        self.fallback_dispatches += 1;
+        self.instant("failover", now);
+        let req = &mut self.requests[r];
+        req.via_fallback = true;
+        let start = self.fallback_free_at.max(now);
+        let done = start + self.profile.fallback_service(req.workload);
+        self.fallback_free_at = done;
+        self.push(done, Ev::FallbackDone { req: r });
+    }
+
+    fn report(mut self) -> ServeReport {
+        let mut sojourns: Vec<u64> = Vec::new();
+        let mut late = 0u64;
+        let mut served_ok = 0u64;
+        for req in &self.requests {
+            if let Some(done) = req.completed_at {
+                sojourns.push(done - req.arrival);
+                let missed = done > req.deadline;
+                if missed {
+                    late += 1;
+                }
+                if !missed && !req.corrupted {
+                    served_ok += 1;
+                }
+            }
+        }
+        sojourns.sort_unstable();
+        let pct = |p: f64| -> u64 {
+            if sojourns.is_empty() {
+                return 0;
+            }
+            let idx = ((sojourns.len() - 1) as f64 * p).round() as usize;
+            sojourns[idx]
+        };
+        let completed = sojourns.len() as u64;
+        let arrivals = self.requests.len() as u64;
+        let availability = if self.admitted == 0 {
+            1.0
+        } else {
+            served_ok as f64 / self.admitted as f64
+        };
+        let eve_attempt_success = if self.dispatches == 0 {
+            1.0
+        } else {
+            self.completed_eve as f64 / self.dispatches as f64
+        };
+        let goodput = if arrivals == 0 {
+            0.0
+        } else {
+            (completed - late) as f64 / arrivals as f64
+        };
+        let deadline_miss_rate = if completed == 0 {
+            0.0
+        } else {
+            late as f64 / completed as f64
+        };
+        let engines: Vec<EngineReport> = self
+            .engines
+            .iter_mut()
+            .map(|e| EngineReport {
+                dispatches: e.dispatches,
+                completions: e.completions,
+                failures: e.failures,
+                dead: e.dead,
+                final_state: e.breaker.state_at(self.now),
+                breaker: e.breaker.stats(),
+            })
+            .collect();
+        // Mirror the tallies into the tracer's counter registry so the
+        // auditor can cross-check report against trace.
+        self.count("serve.arrivals", arrivals);
+        self.count("serve.admitted", self.admitted);
+        self.count("serve.shed", self.shed_capacity + self.shed_infeasible);
+        self.count("serve.dispatches", self.dispatches);
+        self.count("serve.failures", self.engine_failures);
+        self.count("serve.retries", self.retries);
+        self.count("serve.failovers", self.failovers);
+        self.count("serve.completed_eve", self.completed_eve);
+        self.count("serve.completed_fallback", self.completed_fallback);
+        self.count("serve.sdc", self.sdc);
+        ServeReport {
+            pool: self.cfg.pool,
+            requests: self.traffic.requests as u64,
+            end_cycle: self.now,
+            arrivals,
+            admitted: self.admitted,
+            shed_capacity: self.shed_capacity,
+            shed_infeasible: self.shed_infeasible,
+            dispatches: self.dispatches,
+            engine_failures: self.engine_failures,
+            retries: self.retries,
+            failovers: self.failovers,
+            completed_eve: self.completed_eve,
+            completed_fallback: self.completed_fallback,
+            sdc: self.sdc,
+            availability,
+            eve_attempt_success,
+            goodput,
+            deadline_miss_rate,
+            p50_sojourn: pct(0.50),
+            p99_sojourn: pct(0.99),
+            engines,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::storm::FaultStorm;
+
+    fn quick(pool: usize, storm: FaultStorm) -> ServeReport {
+        let cfg = ServeConfig {
+            pool,
+            seed: 9,
+            ..ServeConfig::default()
+        };
+        let traffic = TrafficConfig {
+            requests: 120,
+            mean_gap: 500,
+            deadline_slack: 6.0,
+            seed: 3,
+        };
+        let profile = ServiceProfile::synthetic(3, 1000, 4000, pool);
+        ServeSim::new(cfg, profile, traffic, storm).unwrap().run()
+    }
+
+    #[test]
+    fn a_calm_pool_serves_everything_in_eve_mode() {
+        let r = quick(4, FaultStorm::none());
+        assert_eq!(r.arrivals, 120);
+        assert_eq!(r.admitted + r.shed_capacity + r.shed_infeasible, 120);
+        assert_eq!(r.completed_eve + r.completed_fallback, r.admitted);
+        assert_eq!(r.engine_failures, 0);
+        assert_eq!(r.failovers, 0);
+        assert_eq!(r.sdc, 0);
+        assert!((r.availability - 1.0).abs() < 1e-12);
+        assert!(r.p99_sojourn >= r.p50_sojourn);
+    }
+
+    #[test]
+    fn runs_are_deterministic() {
+        let storm = FaultStorm::synth(5, 4, 400_000, 1.5);
+        let a = quick(4, storm.clone());
+        let b = quick(4, storm);
+        assert_eq!(a.to_json().to_pretty(), b.to_json().to_pretty());
+    }
+
+    #[test]
+    fn a_killed_engine_is_isolated_and_work_reroutes() {
+        let r = quick(4, FaultStorm::kill_one(1, 50_000));
+        // The dead engine accumulated failures, tripped its breaker,
+        // and everything still completed.
+        assert!(r.engines[1].failures > 0);
+        assert!(r.engines[1].breaker.opened >= 1);
+        assert_eq!(r.completed_eve + r.completed_fallback, r.admitted);
+        assert!(r.availability >= 0.99);
+        assert_eq!(r.sdc, 0);
+        // Conservation: every dispatch either completed or failed.
+        assert_eq!(r.dispatches, r.completed_eve + r.engine_failures);
+    }
+
+    #[test]
+    fn a_single_dead_engine_pool_fails_over_to_o3dv() {
+        let r = quick(1, FaultStorm::kill_one(0, 0));
+        assert!(r.failovers > 0, "all traffic must fail over");
+        assert_eq!(r.completed_eve, 0);
+        assert_eq!(r.completed_fallback, r.admitted);
+        // The whole pool is dead: admission must shed hard (the O3+DV
+        // path is ~8x slower than the offered load), and most of what
+        // it does admit must still be served in deadline. Half-open
+        // probe windows re-admit a little optimistically, so this is
+        // not a 0.99 scenario — that bar belongs to pools with
+        // surviving engines.
+        assert!(r.shed_infeasible > 50, "a dead pool must shed load");
+        assert!(r.availability >= 0.85);
+        assert_eq!(r.sdc, 0);
+    }
+
+    #[test]
+    fn unchecked_pools_pass_silent_corruption_through() {
+        let storm = FaultStorm {
+            events: vec![crate::storm::StormEvent {
+                at: 10_000,
+                engine: 0,
+                kind: StormEventKind::Silent { duration: 200_000 },
+            }],
+        };
+        let mk = |checked: bool| {
+            let cfg = ServeConfig {
+                pool: 2,
+                checked,
+                seed: 9,
+                ..ServeConfig::default()
+            };
+            let traffic = TrafficConfig {
+                requests: 100,
+                mean_gap: 800,
+                deadline_slack: 8.0,
+                seed: 3,
+            };
+            ServeSim::new(
+                cfg,
+                ServiceProfile::synthetic(2, 1000, 4000, 2),
+                traffic,
+                storm.clone(),
+            )
+            .unwrap()
+            .run()
+        };
+        let unchecked = mk(false);
+        assert!(unchecked.sdc > 0, "silent windows must corrupt results");
+        let checked = mk(true);
+        assert_eq!(checked.sdc, 0, "checking converts SDCs into retries");
+        assert!(checked.engine_failures > 0);
+    }
+
+    #[test]
+    fn overload_sheds_instead_of_collapsing() {
+        let cfg = ServeConfig {
+            pool: 1,
+            seed: 1,
+            ..ServeConfig::default()
+        };
+        // Arrivals far faster than one engine can serve.
+        let traffic = TrafficConfig {
+            requests: 300,
+            mean_gap: 50,
+            deadline_slack: 3.0,
+            seed: 8,
+        };
+        let r = ServeSim::new(
+            cfg,
+            ServiceProfile::synthetic(1, 2000, 6000, 1),
+            traffic,
+            FaultStorm::none(),
+        )
+        .unwrap()
+        .run();
+        assert!(
+            r.shed_capacity + r.shed_infeasible > 0,
+            "overload must shed"
+        );
+        // Admitted requests still all complete.
+        assert_eq!(r.completed_eve + r.completed_fallback, r.admitted);
+    }
+
+    #[test]
+    fn initial_degraded_health_pre_isolates_an_engine() {
+        let h = EngineHealth {
+            degraded: true,
+            ..EngineHealth::default()
+        };
+        let cfg = ServeConfig {
+            pool: 2,
+            seed: 4,
+            ..ServeConfig::default()
+        };
+        let traffic = TrafficConfig {
+            requests: 50,
+            mean_gap: 2_000,
+            deadline_slack: 6.0,
+            seed: 2,
+        };
+        let r = ServeSim::new(
+            cfg,
+            ServiceProfile::synthetic(1, 1000, 4000, 2),
+            traffic,
+            FaultStorm::none(),
+        )
+        .unwrap()
+        .with_initial_health(&[h, EngineHealth::default()])
+        .run();
+        // Engine 0 booted open; the probe after cooldown fast-fails,
+        // but engine 1 carries the traffic.
+        assert!(r.engines[1].completions > 0);
+        assert!(r.engines[0].completions == 0);
+        assert_eq!(r.completed_eve + r.completed_fallback, r.admitted);
+    }
+
+    #[test]
+    fn invalid_configs_are_rejected() {
+        let profile = ServiceProfile::synthetic(1, 100, 200, 1);
+        let bad_pool = ServeConfig {
+            pool: 0,
+            ..ServeConfig::default()
+        };
+        assert!(ServeSim::new(
+            bad_pool,
+            profile.clone(),
+            TrafficConfig::default(),
+            FaultStorm::none()
+        )
+        .is_err());
+        let bad_attempts = ServeConfig {
+            max_attempts: 0,
+            ..ServeConfig::default()
+        };
+        assert!(ServeSim::new(
+            bad_attempts,
+            profile,
+            TrafficConfig::default(),
+            FaultStorm::none()
+        )
+        .is_err());
+    }
+}

@@ -1,0 +1,213 @@
+//! Deterministic fault storms: scripted engine-health timelines.
+//!
+//! A storm is a sorted list of `(cycle, engine, kind)` events the
+//! serving simulation replays against its pool. [`FaultStorm::synth`]
+//! generates a statistical storm from a seed and an intensity knob —
+//! the same `(seed, pool, horizon, intensity)` always yields the same
+//! storm, byte for byte — and presets like [`FaultStorm::kill_one`]
+//! script the acceptance scenarios (an engine dying mid-campaign)
+//! exactly.
+
+use eve_common::SplitMix64;
+
+/// What happens to an engine at a storm event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StormEventKind {
+    /// The engine fails every request dispatched while the brownout
+    /// lasts; failures are *detected* (the PR 1/PR 4 parity/SECDED
+    /// check fires), so the serving layer sees them.
+    Brownout {
+        /// Brownout length in cycles.
+        duration: u64,
+    },
+    /// The engine silently corrupts results for `duration` cycles:
+    /// only a checked pool (the default) converts these into detected
+    /// failures; an unchecked pool completes them as SDCs.
+    Silent {
+        /// Corruption-window length in cycles.
+        duration: u64,
+    },
+    /// The engine dies permanently (remap and way budgets exhausted —
+    /// the bottom of the PR 4 escalation ladder).
+    Kill,
+    /// The engine returns to health (ends a brownout early or revives
+    /// a killed engine after repair).
+    Recover,
+}
+
+/// One scripted health event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StormEvent {
+    /// When the event fires.
+    pub at: u64,
+    /// Which pool engine it hits.
+    pub engine: usize,
+    /// What it does.
+    pub kind: StormEventKind,
+}
+
+/// A deterministic schedule of engine-health events.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FaultStorm {
+    /// Events sorted by `(at, engine)`.
+    pub events: Vec<StormEvent>,
+}
+
+impl FaultStorm {
+    /// A calm run: no events.
+    #[must_use]
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// A storm that kills `engine` at `at` and never repairs it.
+    #[must_use]
+    pub fn kill_one(engine: usize, at: u64) -> Self {
+        Self {
+            events: vec![StormEvent {
+                at,
+                engine,
+                kind: StormEventKind::Kill,
+            }],
+        }
+    }
+
+    /// A statistical storm over `pool` engines and `horizon` cycles.
+    ///
+    /// `intensity` scales the expected brownout count per engine (an
+    /// intensity of 1.0 averages about four brownouts per engine over
+    /// the horizon, each lasting 2–6 % of it). Intensities above 2.0
+    /// also start drawing silent-corruption windows — the storm class
+    /// only a checked pool survives without SDCs. Generation is pure:
+    /// the same arguments always produce the same storm.
+    #[must_use]
+    pub fn synth(seed: u64, pool: usize, horizon: u64, intensity: f64) -> Self {
+        let mut events = Vec::new();
+        if intensity <= 0.0 || horizon == 0 {
+            return Self { events };
+        }
+        let mut master = SplitMix64::new(seed);
+        for engine in 0..pool {
+            // Per-engine stream forked deterministically, so adding an
+            // engine never perturbs the others' timelines.
+            let mut rng = master.split();
+            let expected = 4.0 * intensity;
+            let n = expected.floor() as u64 + u64::from(rng.chance(expected.fract()));
+            for _ in 0..n {
+                let at = rng.below(horizon);
+                let duration = horizon / 50 + rng.below(horizon / 25 + 1);
+                events.push(StormEvent {
+                    at,
+                    engine,
+                    kind: StormEventKind::Brownout { duration },
+                });
+            }
+            if intensity > 2.0 && rng.chance((intensity - 2.0).min(1.0)) {
+                let at = rng.below(horizon);
+                let duration = horizon / 100 + rng.below(horizon / 50 + 1);
+                events.push(StormEvent {
+                    at,
+                    engine,
+                    kind: StormEventKind::Silent { duration },
+                });
+            }
+        }
+        let mut storm = Self { events };
+        storm.normalize();
+        storm
+    }
+
+    /// Merges another storm into this one, keeping events sorted.
+    #[must_use]
+    pub fn merged(mut self, other: Self) -> Self {
+        self.events.extend(other.events);
+        self.normalize();
+        self
+    }
+
+    fn normalize(&mut self) {
+        // Sort by (cycle, engine, kind discriminant) so merged storms
+        // replay in one canonical order.
+        self.events
+            .sort_by_key(|e| (e.at, e.engine, kind_rank(e.kind)));
+    }
+}
+
+fn kind_rank(k: StormEventKind) -> u8 {
+    match k {
+        StormEventKind::Recover => 0,
+        StormEventKind::Brownout { .. } => 1,
+        StormEventKind::Silent { .. } => 2,
+        StormEventKind::Kill => 3,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn synth_is_deterministic() {
+        let a = FaultStorm::synth(7, 4, 1_000_000, 1.0);
+        let b = FaultStorm::synth(7, 4, 1_000_000, 1.0);
+        assert_eq!(a, b);
+        assert!(!a.events.is_empty());
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = FaultStorm::synth(1, 4, 1_000_000, 1.0);
+        let b = FaultStorm::synth(2, 4, 1_000_000, 1.0);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn zero_intensity_is_calm() {
+        assert!(FaultStorm::synth(7, 4, 1_000_000, 0.0).events.is_empty());
+        assert!(FaultStorm::none().events.is_empty());
+    }
+
+    #[test]
+    fn events_are_sorted_and_in_bounds() {
+        let s = FaultStorm::synth(99, 8, 500_000, 2.5);
+        for w in s.events.windows(2) {
+            assert!(w[0].at <= w[1].at);
+        }
+        for e in &s.events {
+            assert!(e.at < 500_000);
+            assert!(e.engine < 8);
+        }
+    }
+
+    #[test]
+    fn high_intensity_draws_silent_windows() {
+        let s = FaultStorm::synth(3, 8, 1_000_000, 3.0);
+        assert!(
+            s.events
+                .iter()
+                .any(|e| matches!(e.kind, StormEventKind::Silent { .. })),
+            "intensity 3.0 should include silent-corruption windows"
+        );
+    }
+
+    #[test]
+    fn merged_storms_stay_sorted() {
+        let s = FaultStorm::synth(5, 4, 100_000, 1.0).merged(FaultStorm::kill_one(2, 50_000));
+        for w in s.events.windows(2) {
+            assert!((w[0].at, w[0].engine) <= (w[1].at, w[1].engine));
+        }
+        assert!(s
+            .events
+            .iter()
+            .any(|e| e.kind == StormEventKind::Kill && e.engine == 2));
+    }
+
+    #[test]
+    fn adding_an_engine_preserves_existing_timelines() {
+        let small = FaultStorm::synth(11, 2, 100_000, 1.0);
+        let large = FaultStorm::synth(11, 3, 100_000, 1.0);
+        let small_e0: Vec<_> = small.events.iter().filter(|e| e.engine == 0).collect();
+        let large_e0: Vec<_> = large.events.iter().filter(|e| e.engine == 0).collect();
+        assert_eq!(small_e0, large_e0);
+    }
+}

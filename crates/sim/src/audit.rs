@@ -22,10 +22,12 @@ use std::fmt;
 ///
 /// Deliberately excluded: `mem` (scalar accesses are stamped at
 /// out-of-order execute time) and `vsu_extra` (extra exec pipes start
-/// μprograms behind the main timeline).
-pub const ORDERED_TRACKS: [&str; 14] = [
-    "vsu", "vmu", "o3", "io", "dv", "vru", "dtu0", "dtu1", "dtu2", "dtu3", "dtu4", "dtu5", "dtu6",
-    "dtu7",
+/// μprograms behind the main timeline). The `serve` track belongs to
+/// the `eve-serve` discrete-event layer, whose event loop processes
+/// strictly in clock order.
+pub const ORDERED_TRACKS: [&str; 15] = [
+    "vsu", "vmu", "o3", "io", "dv", "vru", "serve", "dtu0", "dtu1", "dtu2", "dtu3", "dtu4", "dtu5",
+    "dtu6", "dtu7",
 ];
 
 /// Why an audit rejected a run.

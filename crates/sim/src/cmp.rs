@@ -220,6 +220,44 @@ pub fn run_cmp(
     })
 }
 
+/// Measures how much `system` cores slow each other down through the
+/// shared LLC/DRAM: entry `k-1` is the completion-time multiplier of a
+/// `k`-core CMP run over a solo run (`entry[0] == 1.0`). The serving
+/// layer (`eve-serve`) uses this to scale per-request service times by
+/// the number of concurrently busy pool engines instead of pretending
+/// engines are independent.
+///
+/// # Errors
+///
+/// Propagates simulation failures; rejects `max_cores == 0` as
+/// [`SimError::Config`]; returns [`SimError::Report`] if the solo run
+/// finishes in zero cycles (nothing to normalize against).
+pub fn contention_profile(
+    system: SystemKind,
+    workload: &Workload,
+    max_cores: usize,
+) -> Result<Vec<f64>, SimError> {
+    if max_cores == 0 {
+        return Err(SimError::Config(
+            "a contention profile needs at least one core".into(),
+        ));
+    }
+    let solo = run_cmp(system, workload, 1)?.finish.0;
+    if solo == 0 {
+        return Err(SimError::Report(format!(
+            "solo {system} run of {} finished in zero cycles",
+            workload.name()
+        )));
+    }
+    let mut out = vec![1.0];
+    for k in 2..=max_cores {
+        let finish = run_cmp(system, workload, k)?.finish.0;
+        // Contention can only slow cores down; clamp measurement noise.
+        out.push((finish as f64 / solo as f64).max(1.0));
+    }
+    Ok(out)
+}
+
 // O3 without a vector unit still needs a CoreStats impl for the
 // generic driver.
 impl CoreStats<NoVector> for O3Core<NoVector> {
@@ -273,6 +311,18 @@ mod tests {
             slowdown < 1.3,
             "compute-bound work should barely contend: {slowdown:.2}x"
         );
+    }
+
+    #[test]
+    fn contention_profile_is_monotonic_enough() {
+        let p = contention_profile(SystemKind::EveN(8), &Workload::vvadd(4096), 2).unwrap();
+        assert_eq!(p.len(), 2);
+        assert!((p[0] - 1.0).abs() < 1e-12);
+        assert!(p[1] >= 1.0, "a second core cannot speed the first up");
+        assert!(matches!(
+            contention_profile(SystemKind::EveN(8), &Workload::vvadd(64), 0),
+            Err(SimError::Config(_))
+        ));
     }
 
     #[test]

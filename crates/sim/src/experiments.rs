@@ -123,12 +123,15 @@ pub fn workload_breakdown(w: &Workload) -> Result<Vec<BreakdownRow>, SimError> {
     let runner = Runner::new();
     let mut out = Vec::new();
     let mut eve1_total: f64 = 0.0;
-    for sys in SystemKind::eve_points() {
-        let SystemKind::EveN(n) = sys else {
-            unreachable!()
-        };
+    for n in SystemKind::eve_factors() {
+        let sys = SystemKind::EveN(n);
         let r = runner.run(sys, w)?;
-        let b = r.breakdown.expect("EVE runs have breakdowns");
+        let b = r.breakdown.ok_or_else(|| {
+            SimError::Report(format!(
+                "EVE-{n} run of {} has no stall breakdown",
+                w.name()
+            ))
+        })?;
         if n == 1 {
             eve1_total = b.total().0.max(1) as f64;
         }
@@ -180,11 +183,8 @@ pub struct VmuStallRow {
 pub fn workload_vmu_stalls(w: &Workload) -> Result<Vec<VmuStallRow>, SimError> {
     let runner = Runner::new();
     let mut out = Vec::new();
-    for sys in SystemKind::eve_points() {
-        let SystemKind::EveN(n) = sys else {
-            unreachable!()
-        };
-        let r = runner.run(sys, w)?;
+    for n in SystemKind::eve_factors() {
+        let r = runner.run(SystemKind::EveN(n), w)?;
         out.push(VmuStallRow {
             workload: w.name().to_string(),
             factor: n,

@@ -167,6 +167,69 @@ pub struct ResilienceReport {
     pub degraded_from: Option<SystemKind>,
 }
 
+/// The escalation ladder's externally visible health, exported for the
+/// serving layer: `eve-serve` converts a snapshot into circuit-breaker
+/// signals (a degradation trips the breaker, an exhausted remap budget
+/// or a way disable counts as a failure).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct EngineHealth {
+    /// Per-stage resolution tallies.
+    pub stages: EscalationStages,
+    /// Uncorrectable detections seen so far.
+    pub parity_alarms: u64,
+    /// Single-bit errors corrected in place.
+    pub corrected: u64,
+    /// Rows retired to spares.
+    pub remapped_rows: u64,
+    /// Ways disabled (array rebuilds).
+    pub ways_disabled: u64,
+    /// The spare-row budget is spent: the next persistent error can
+    /// only be absorbed by a way disable or a degradation.
+    pub remap_exhausted: bool,
+    /// The way-disable budget is spent: the next persistent error
+    /// degrades the engine.
+    pub way_budget_exhausted: bool,
+    /// The engine fell off the ladder into O3+DV degradation.
+    pub degraded: bool,
+}
+
+impl ShadowChecker {
+    /// A health snapshot of this checker's escalation ladder.
+    #[must_use]
+    pub fn health(&self) -> EngineHealth {
+        EngineHealth {
+            stages: self.stages,
+            parity_alarms: self.parity_alarms,
+            corrected: self.corrected,
+            remapped_rows: self.remapped_rows,
+            ways_disabled: self.ways_disabled,
+            remap_exhausted: self.remapped_rows >= u64::from(self.policy.max_row_remaps),
+            way_budget_exhausted: self.ways_disabled >= u64::from(self.policy.max_way_disables),
+            degraded: self.stages.degraded > 0,
+        }
+    }
+}
+
+impl ResilienceReport {
+    /// The run's final health snapshot. Budgets are not recorded in
+    /// the report, so exhaustion is inferred from the outcome: a
+    /// degraded run fell through the whole ladder.
+    #[must_use]
+    pub fn health(&self) -> EngineHealth {
+        let degraded = self.outcome == FaultOutcome::DetectedDegraded;
+        EngineHealth {
+            stages: self.stages,
+            parity_alarms: self.parity_alarms,
+            corrected: self.corrected,
+            remapped_rows: self.remapped_rows,
+            ways_disabled: self.ways_disabled,
+            remap_exhausted: degraded,
+            way_budget_exhausted: degraded,
+            degraded,
+        }
+    }
+}
+
 /// A compute instruction captured just before the interpreter executes
 /// it: operand values are read pre-step so destructive aliasing
 /// (`vd == vs1`) still checks correctly.
@@ -904,7 +967,10 @@ pub fn run_campaign_job(plan: &FaultPlan, job: &CampaignJob) -> Result<CampaignR
         job.mode.policy(plan.policy),
         job.mode.detection(),
     )?;
-    let res = report.resilience.as_ref().expect("faulty runs report");
+    let res = report
+        .resilience
+        .as_ref()
+        .ok_or_else(|| SimError::Verification("faulty run produced no resilience report".into()))?;
     let row = JsonValue::object([
         ("rate", job.rate.into()),
         ("mode", job.mode.as_str().into()),
@@ -1148,6 +1214,30 @@ mod tests {
         assert_eq!(verdicts, vec![CheckVerdict::Clean]);
         assert!(checker.parity_alarms > 0, "the flip must be detected");
         assert_eq!(checker.retries, 1, "one re-execution recovers");
+    }
+
+    #[test]
+    fn health_snapshot_tracks_the_ladder() {
+        let (mut interp, _) = vadd_program(8);
+        let mut checker =
+            ShadowChecker::new(32, FaultConfig::none(7), RecoveryPolicy::default()).unwrap();
+        drive(&mut interp, &mut checker);
+        let h = checker.health();
+        assert!(!h.degraded);
+        assert_eq!(h.parity_alarms, 0);
+        // The default policy has no remap/way budget, so both read as
+        // exhausted: the only stages left are retry and degrade.
+        assert!(h.remap_exhausted);
+        assert!(h.way_budget_exhausted);
+
+        // A degraded run's report-level snapshot flags the fall-through.
+        let mut cfg = FaultConfig::none(7);
+        cfg.scripted.push(Fault::stuck_at(1, 0, 5, true));
+        let (mut interp, _) = vadd_program(4);
+        let mut checker = ShadowChecker::new(32, cfg, RecoveryPolicy::default()).unwrap();
+        let verdicts = drive(&mut interp, &mut checker);
+        assert!(verdicts.contains(&CheckVerdict::Degrade));
+        assert!(checker.health().degraded);
     }
 
     #[test]

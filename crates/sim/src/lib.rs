@@ -28,10 +28,10 @@ pub mod runner;
 pub mod system;
 
 pub use audit::{audit_run, AuditFailure, AuditSummary};
-pub use cmp::{run_cmp, CmpReport};
+pub use cmp::{contention_profile, run_cmp, CmpReport};
 pub use fault::{
-    campaign_json, CampaignCell, CampaignFailure, CampaignMode, CheckVerdict, EscalationStages,
-    FaultOutcome, FaultPlan, RecoveryPolicy, ResilienceReport, ShadowChecker,
+    campaign_json, CampaignCell, CampaignFailure, CampaignMode, CheckVerdict, EngineHealth,
+    EscalationStages, FaultOutcome, FaultPlan, RecoveryPolicy, ResilienceReport, ShadowChecker,
 };
 pub use report::RunReport;
 pub use runner::{Runner, SimError};

@@ -24,6 +24,10 @@ pub enum SimError {
     /// The timing engine rejected an instruction (unmapped vector op,
     /// vector work on a scalar core).
     Engine(EngineError),
+    /// A run finished but its report is missing data the caller
+    /// depends on (e.g. an EVE run without a stall breakdown) — a
+    /// poisoned run surfaces as an error value, not a process abort.
+    Report(String),
 }
 
 impl fmt::Display for SimError {
@@ -33,6 +37,7 @@ impl fmt::Display for SimError {
             SimError::Verification(e) => write!(f, "verification failed: {e}"),
             SimError::Config(e) => write!(f, "bad configuration: {e}"),
             SimError::Engine(e) => write!(f, "engine error: {e}"),
+            SimError::Report(e) => write!(f, "incomplete report: {e}"),
         }
     }
 }

@@ -38,7 +38,15 @@ impl SystemKind {
     /// Only the EVE design points.
     #[must_use]
     pub fn eve_points() -> Vec<SystemKind> {
-        [1u32, 2, 4, 8, 16, 32].map(SystemKind::EveN).to_vec()
+        Self::eve_factors().map(SystemKind::EveN).to_vec()
+    }
+
+    /// The swept EVE parallelization factors, in design-point order.
+    /// Sweeps that need the factor itself iterate this instead of
+    /// destructuring [`SystemKind::eve_points`].
+    #[must_use]
+    pub fn eve_factors() -> [u32; 6] {
+        [1, 2, 4, 8, 16, 32]
     }
 
     /// Whether this system runs the vectorized binary.

@@ -14,6 +14,8 @@
 //! * [`eve_analytical`] — §II taxonomy spectrum and §VI area/timing
 //! * [`eve_workloads`] — the Rodinia/RiVEC-style kernels (Table IV)
 //! * [`eve_sim`] — Table III system assembly and the experiment runner
+//! * [`eve_serve`] — the resilient multi-engine serving layer (pool,
+//!   breakers, deadlines, fault storms)
 //!
 //! # Quickstart
 //!
@@ -33,6 +35,7 @@ pub use eve_core as core_engine;
 pub use eve_cpu as cpu;
 pub use eve_isa as isa;
 pub use eve_mem as mem;
+pub use eve_serve as serve;
 pub use eve_sim as sim;
 pub use eve_sram as sram;
 pub use eve_uop as uop;

@@ -1,0 +1,127 @@
+//! Integration tests for the resilient serving layer: the ISSUE's
+//! acceptance scenario (an engine dies mid-campaign, the pool stays
+//! available with zero SDCs, the breaker both opens and re-closes
+//! within the run), trace-audit identity, and byte determinism.
+
+use eve::serve::{
+    audit_serve, BreakerPolicy, FaultStorm, ServeConfig, ServeReport, ServeSim, ServiceProfile,
+    StormEvent, StormEventKind, TrafficConfig,
+};
+use eve_obs::Tracer;
+use eve_workloads::Workload;
+
+/// The acceptance storm: engine 1 dies for good mid-run, engine 2
+/// suffers a brownout that *ends* — the recovering engine is what
+/// exercises the breaker's half-open → closed path (a dead engine's
+/// probes never succeed).
+fn acceptance_storm() -> FaultStorm {
+    FaultStorm {
+        events: vec![
+            StormEvent {
+                at: 10_000,
+                engine: 2,
+                kind: StormEventKind::Brownout { duration: 20_000 },
+            },
+            StormEvent {
+                at: 30_000,
+                engine: 1,
+                kind: StormEventKind::Kill,
+            },
+        ],
+    }
+}
+
+fn acceptance_run(tracer: Option<&Tracer>) -> ServeReport {
+    let cfg = ServeConfig {
+        pool: 4,
+        // One failure trips, two successful probes re-close: the
+        // brownout window reliably produces both transitions.
+        breaker: BreakerPolicy::aggressive(),
+        seed: 11,
+        ..ServeConfig::default()
+    };
+    let traffic = TrafficConfig {
+        requests: 200,
+        mean_gap: 500,
+        deadline_slack: 6.0,
+        seed: 7,
+    };
+    let profile = ServiceProfile::synthetic(3, 1_000, 4_000, 4);
+    let sim = ServeSim::new(cfg, profile, traffic, acceptance_storm()).expect("valid config");
+    let sim = match tracer {
+        Some(t) => sim.with_tracer(t),
+        None => sim,
+    };
+    sim.run()
+}
+
+#[test]
+fn a_mid_campaign_engine_death_keeps_the_pool_available() {
+    let r = acceptance_run(None);
+    // The SLO holds: ≥ 99% of admitted requests got a correct,
+    // in-deadline answer, and nothing silently corrupted.
+    assert!(
+        r.availability >= 0.99,
+        "availability {} under the acceptance storm",
+        r.availability
+    );
+    assert_eq!(r.sdc, 0);
+    // The dead engine was detected and isolated...
+    assert!(r.engines[1].failures > 0);
+    assert!(r.engines[1].breaker.opened >= 1);
+    assert!(r.engines[1].dead);
+    // ...and the browned-out engine's breaker opened AND re-closed
+    // within the run (half-open probe succeeded after recovery).
+    assert!(r.engines[2].breaker.opened >= 1);
+    assert!(r.engines[2].breaker.reclosed >= 1);
+    assert!(r.breaker_opens() >= 2);
+    assert!(r.breaker_recloses() >= 1);
+    // Conservation: every admitted request resolved exactly once.
+    assert_eq!(r.completed_eve + r.completed_fallback, r.admitted);
+    assert_eq!(r.dispatches, r.completed_eve + r.engine_failures);
+}
+
+#[test]
+fn the_serve_track_audit_identity_holds() {
+    let tracer = Tracer::new();
+    let report = acceptance_run(Some(&tracer));
+    let summary = audit_serve(&tracer, &report).expect("audit passes");
+    assert!(summary.events > 0);
+    assert_eq!(summary.engine_tracks, 4);
+    assert_eq!(summary.service_spans as u64, report.dispatches);
+}
+
+#[test]
+fn identical_runs_are_byte_identical() {
+    let a = acceptance_run(None).to_json().to_pretty();
+    let b = acceptance_run(None).to_json().to_pretty();
+    assert_eq!(a, b, "serving runs must be byte-deterministic");
+}
+
+#[test]
+fn a_measured_profile_drives_the_serving_layer_end_to_end() {
+    // The serving layer on top of the real timing model: profile
+    // measured by eve-sim, then a short storm-free run.
+    let profile =
+        ServiceProfile::measured(8, &[Workload::vvadd(300)], 2).expect("profile measures");
+    let cfg = ServeConfig {
+        pool: 2,
+        seed: 5,
+        ..ServeConfig::default()
+    };
+    let traffic = TrafficConfig {
+        requests: 40,
+        mean_gap: profile.mean_eve_cycles(),
+        deadline_slack: 6.0,
+        seed: 2,
+    };
+    let tracer = Tracer::new();
+    let report = ServeSim::new(cfg, profile, traffic, FaultStorm::none())
+        .expect("valid config")
+        .with_tracer(&tracer)
+        .run();
+    assert_eq!(report.arrivals, 40);
+    assert_eq!(report.sdc, 0);
+    assert!(report.completed_eve > 0);
+    audit_serve(&tracer, &report).expect("audit passes on the measured profile");
+}
