@@ -1,0 +1,400 @@
+//! Cluster-resilience campaign: sweeps shard count × tenant count ×
+//! storm shape over one measured service profile, running the sharded
+//! cluster simulation for every cell and replaying each cell's trace
+//! through the cluster auditor (routing, stealing, and shedding
+//! identities included).
+//!
+//! Output is a deterministic JSON document — the same flags always
+//! produce byte-identical bytes, serial or parallel (cell seeds are
+//! pre-derived serially in grid order, the service profile is measured
+//! once before the fan-out, and results merge in grid order; set
+//! `EVE_BENCH_THREADS=1` to force one thread). A panicking or hung
+//! cell becomes an error row, is summarized on stderr, and fails the
+//! process — as does any audit violation or SDC.
+//!
+//! ```text
+//! cluster_campaign [--seed N] [--factor N] [--shards S1,S2,..]
+//!                  [--tenants T1,T2,..]
+//!                  [--shapes calm,mixed,partition,hotkey,shardkill]
+//!                  [--requests N] [--gap CYCLES] [--slack F]
+//!                  [--workloads N]
+//! ```
+//!
+//! Storm shapes:
+//!
+//! * `calm` — no faults at all; the fairness/batching baseline.
+//! * `mixed` — a synthetic storm of brownouts, silent windows, and
+//!   kills at intensity 1.0.
+//! * `partition` — a light synthetic storm plus a scripted shard
+//!   partition that heals mid-run.
+//! * `hotkey` — a light synthetic storm plus a hot-key-skew window
+//!   aimed at one shard.
+//! * `shardkill` — a hot-key window aimed at a victim shard whose
+//!   engines are then all killed mid-window: the work-stealing and
+//!   degradation-ladder stress case.
+
+use eve_bench::pool;
+use eve_common::json::JsonValue;
+use eve_common::SplitMix64;
+use eve_obs::Tracer;
+use eve_serve::{
+    audit_cluster, tenant_mix, ClusterConfig, ClusterSim, ClusterTraffic, FaultStorm, Router,
+    ServiceProfile,
+};
+use eve_workloads::Workload;
+use std::sync::Arc;
+
+/// One sweep cell's coordinates, seeds pre-derived in grid order.
+#[derive(Debug, Clone, Copy)]
+struct Cell {
+    shards: usize,
+    tenants: usize,
+    shape: &'static str,
+    storm_seed: u64,
+    cluster_seed: u64,
+    traffic_seed: u64,
+}
+
+struct Plan {
+    seed: u64,
+    factor: u32,
+    shards: Vec<usize>,
+    tenants: Vec<usize>,
+    shapes: Vec<&'static str>,
+    engines_per_shard: usize,
+    requests: usize,
+    /// Mean inter-arrival gap; `None` (the default) derives it from
+    /// the measured profile so offered load tracks the workload suite.
+    mean_gap: Option<u64>,
+    deadline_slack: f64,
+}
+
+impl Default for Plan {
+    fn default() -> Self {
+        Self {
+            seed: 0xC1_0537_CA3E,
+            factor: 8,
+            shards: vec![2, 4],
+            tenants: vec![1, 3],
+            shapes: vec!["calm", "mixed", "partition", "hotkey", "shardkill"],
+            engines_per_shard: 4,
+            requests: 300,
+            mean_gap: None,
+            deadline_slack: 6.0,
+        }
+    }
+}
+
+fn flag_value(args: &[String], name: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1).cloned())
+}
+
+fn shape_name(s: &str) -> &'static str {
+    match s {
+        "calm" => "calm",
+        "mixed" => "mixed",
+        "partition" => "partition",
+        "hotkey" => "hotkey",
+        "shardkill" => "shardkill",
+        other => panic!("unknown shape {other:?} (calm|mixed|partition|hotkey|shardkill)"),
+    }
+}
+
+/// Expands the plan into its cell list. Seed derivation must stay
+/// here — serial, in grid order — or parallel runs would diverge from
+/// serial ones.
+fn cells(plan: &Plan) -> Vec<Cell> {
+    let mut seeder = SplitMix64::new(plan.seed);
+    let mut out = Vec::new();
+    for &shards in &plan.shards {
+        for &tenants in &plan.tenants {
+            for &shape in &plan.shapes {
+                out.push(Cell {
+                    shards,
+                    tenants,
+                    shape,
+                    storm_seed: seeder.next_u64(),
+                    cluster_seed: seeder.next_u64(),
+                    traffic_seed: seeder.next_u64(),
+                });
+            }
+        }
+    }
+    out
+}
+
+/// Builds the cell's fault storm. The victim shard for targeted shapes
+/// is the last one, and hot keys are found by probing the same seeded
+/// ring the simulation will build, so the skew provably lands on the
+/// victim.
+fn build_storm(cell: Cell, cfg: &ClusterConfig, keys: u64, horizon: u64) -> FaultStorm {
+    let engines = cfg.shards * cfg.engines_per_shard;
+    let victim = cfg.shards - 1;
+    let ring = Router::new(cfg.seed, cfg.shards, cfg.vnodes);
+    let hot = ring.key_for_shard(victim, keys).unwrap_or(0);
+    match cell.shape {
+        "calm" => FaultStorm::synth(cell.storm_seed, engines, horizon, 0.0),
+        "mixed" => FaultStorm::synth(cell.storm_seed, engines, horizon, 1.0),
+        "partition" => FaultStorm::synth(cell.storm_seed, engines, horizon, 0.5)
+            .merged(FaultStorm::partition(victim, horizon / 4, horizon / 4)),
+        "hotkey" => FaultStorm::synth(cell.storm_seed, engines, horizon, 0.5)
+            .merged(FaultStorm::hot_key(hot, horizon / 4, horizon / 2)),
+        "shardkill" => FaultStorm::hot_key(hot, horizon / 4, horizon / 2).merged(
+            FaultStorm::kill_shard(victim, cfg.engines_per_shard, horizon * 3 / 8),
+        ),
+        other => panic!("unknown shape {other:?}"),
+    }
+}
+
+/// One finished cell: its JSON row plus the numbers the summary and
+/// exit-code policy need.
+struct CellOutcome {
+    row: JsonValue,
+    availability: f64,
+    min_tenant_availability: f64,
+    sdc: u64,
+    steals: u64,
+    step_downs: u64,
+    step_ups: u64,
+}
+
+/// Runs one cell: build the storm, run the cluster simulation under a
+/// fresh tracer, audit the trace, and render the row.
+fn run_cell(plan: &Plan, profile: &ServiceProfile, cell: Cell) -> Result<CellOutcome, String> {
+    let mean_gap = plan.mean_gap.unwrap_or_else(|| profile.mean_eve_cycles());
+    let horizon = plan.requests as u64 * mean_gap;
+    let cfg = ClusterConfig {
+        shards: cell.shards,
+        engines_per_shard: plan.engines_per_shard,
+        seed: cell.cluster_seed,
+        ..ClusterConfig::default()
+    };
+    let traffic = ClusterTraffic {
+        requests: plan.requests,
+        mean_gap,
+        deadline_slack: plan.deadline_slack,
+        tenants: tenant_mix(cell.tenants),
+        seed: cell.traffic_seed,
+        ..ClusterTraffic::default()
+    };
+    let storm = build_storm(cell, &cfg, traffic.keys, horizon);
+    let tracer = Tracer::new();
+    let report = ClusterSim::new(cfg, profile.clone(), traffic, storm)
+        .map_err(|e| e.to_string())?
+        .with_tracer(&tracer)
+        .run();
+    let audit = audit_cluster(&tracer, &report).map_err(|e| format!("audit: {e}"))?;
+    let min_tenant_availability = report
+        .tenants
+        .iter()
+        .filter(|t| t.admitted > 0)
+        .map(|t| t.availability)
+        .fold(1.0f64, f64::min);
+    let row = JsonValue::object([
+        ("shards", JsonValue::from(cell.shards as u64)),
+        ("tenants", JsonValue::from(cell.tenants as u64)),
+        ("shape", JsonValue::from(cell.shape)),
+        ("storm_seed", JsonValue::from(cell.storm_seed)),
+        ("audited_events", JsonValue::from(audit.events as u64)),
+        (
+            "audited_identities",
+            JsonValue::from(audit.identities as u64),
+        ),
+        (
+            "min_tenant_availability",
+            JsonValue::from(min_tenant_availability),
+        ),
+        ("report", report.to_json()),
+    ]);
+    Ok(CellOutcome {
+        row,
+        availability: report.availability,
+        min_tenant_availability,
+        sdc: report.sdc,
+        steals: report.steals,
+        step_downs: report.step_downs(),
+        step_ups: report.step_ups(),
+    })
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let mut plan = Plan::default();
+    if let Some(seed) = flag_value(&args, "--seed") {
+        plan.seed = seed.parse().expect("--seed takes a u64");
+    }
+    if let Some(factor) = flag_value(&args, "--factor") {
+        plan.factor = factor.parse().expect("--factor takes a u32");
+    }
+    if let Some(shards) = flag_value(&args, "--shards") {
+        plan.shards = shards
+            .split(',')
+            .map(|s| s.parse().expect("--shards takes comma-separated counts"))
+            .collect();
+    }
+    if let Some(tenants) = flag_value(&args, "--tenants") {
+        plan.tenants = tenants
+            .split(',')
+            .map(|t| t.parse().expect("--tenants takes comma-separated counts"))
+            .collect();
+    }
+    if let Some(shapes) = flag_value(&args, "--shapes") {
+        plan.shapes = shapes.split(',').map(shape_name).collect();
+    }
+    if let Some(requests) = flag_value(&args, "--requests") {
+        plan.requests = requests.parse().expect("--requests takes a count");
+    }
+    if let Some(gap) = flag_value(&args, "--gap") {
+        plan.mean_gap = Some(gap.parse().expect("--gap takes cycles"));
+    }
+    if let Some(slack) = flag_value(&args, "--slack") {
+        plan.deadline_slack = slack.parse().expect("--slack takes a float");
+    }
+    let workloads: Vec<Workload> = match flag_value(&args, "--workloads") {
+        Some(n) => Workload::tiny_suite()
+            .into_iter()
+            .take(n.parse().expect("--workloads takes a count"))
+            .collect(),
+        None => Workload::tiny_suite(),
+    };
+    // The profile is measured ONCE with the real timing model, before
+    // the fan-out, so every cell prices service identically and the
+    // measurement never races the sweep.
+    let profile = Arc::new(
+        ServiceProfile::measured(plan.factor, &workloads, plan.engines_per_shard)
+            .expect("profile measurement succeeds"),
+    );
+    let grid = Arc::new(cells(&plan));
+    let plan = Arc::new(plan);
+    let results = pool::try_run_jobs(grid.len(), {
+        let grid = Arc::clone(&grid);
+        let plan = Arc::clone(&plan);
+        let profile = Arc::clone(&profile);
+        move |i| run_cell(&plan, &profile, grid[i])
+    });
+
+    let mut rows = Vec::with_capacity(results.len());
+    let mut errors: Vec<(Cell, String)> = Vec::new();
+    let mut min_availability = f64::INFINITY;
+    let mut min_tenant_availability = f64::INFINITY;
+    let mut total_sdc = 0u64;
+    let mut steals = 0u64;
+    let mut step_downs = 0u64;
+    let mut step_ups = 0u64;
+    for (result, &cell) in results.into_iter().zip(grid.iter()) {
+        match result {
+            Ok(Ok(outcome)) => {
+                min_availability = min_availability.min(outcome.availability);
+                min_tenant_availability =
+                    min_tenant_availability.min(outcome.min_tenant_availability);
+                total_sdc += outcome.sdc;
+                steals += outcome.steals;
+                step_downs += outcome.step_downs;
+                step_ups += outcome.step_ups;
+                rows.push(outcome.row);
+            }
+            Ok(Err(msg)) => errors.push((cell, msg)),
+            Err(job_err) => errors.push((cell, job_err.to_string())),
+        }
+    }
+    for (cell, msg) in &errors {
+        rows.push(JsonValue::object([
+            ("shards", JsonValue::from(cell.shards as u64)),
+            ("tenants", JsonValue::from(cell.tenants as u64)),
+            ("shape", JsonValue::from(cell.shape)),
+            ("storm_seed", JsonValue::from(cell.storm_seed)),
+            ("error", JsonValue::from(msg.as_str())),
+        ]));
+    }
+    eprintln!(
+        "cluster_campaign: {} cells, {} error rows, min availability {:.4}, \
+         min tenant availability {:.4}, {} SDCs, {} steals, {} down / {} up",
+        grid.len(),
+        errors.len(),
+        if min_availability.is_finite() {
+            min_availability
+        } else {
+            0.0
+        },
+        if min_tenant_availability.is_finite() {
+            min_tenant_availability
+        } else {
+            0.0
+        },
+        total_sdc,
+        steals,
+        step_downs,
+        step_ups
+    );
+    for (cell, msg) in &errors {
+        eprintln!(
+            "  error cell: shards={} tenants={} shape={}: {}",
+            cell.shards, cell.tenants, cell.shape, msg
+        );
+    }
+    let doc = JsonValue::object([
+        ("seed", JsonValue::from(plan.seed)),
+        ("factor", JsonValue::from(u64::from(plan.factor))),
+        (
+            "engines_per_shard",
+            JsonValue::from(plan.engines_per_shard as u64),
+        ),
+        (
+            "profile",
+            JsonValue::object([
+                (
+                    "workloads",
+                    JsonValue::Array(
+                        profile
+                            .names
+                            .iter()
+                            .map(|n| JsonValue::from(n.as_str()))
+                            .collect(),
+                    ),
+                ),
+                (
+                    "eve_cycles",
+                    JsonValue::Array(profile.eve_cycles.iter().map(|&c| c.into()).collect()),
+                ),
+                (
+                    "fallback_cycles",
+                    JsonValue::Array(profile.fallback_cycles.iter().map(|&c| c.into()).collect()),
+                ),
+            ]),
+        ),
+        (
+            "summary",
+            JsonValue::object([
+                ("cells", JsonValue::from(grid.len() as u64)),
+                ("failed", JsonValue::from(errors.len() as u64)),
+                (
+                    "min_availability",
+                    JsonValue::from(if min_availability.is_finite() {
+                        min_availability
+                    } else {
+                        0.0
+                    }),
+                ),
+                (
+                    "min_tenant_availability",
+                    JsonValue::from(if min_tenant_availability.is_finite() {
+                        min_tenant_availability
+                    } else {
+                        0.0
+                    }),
+                ),
+                ("total_sdc", JsonValue::from(total_sdc)),
+                ("steals", JsonValue::from(steals)),
+                ("ladder_step_downs", JsonValue::from(step_downs)),
+                ("ladder_step_ups", JsonValue::from(step_ups)),
+            ]),
+        ),
+        ("runs", JsonValue::Array(rows)),
+    ]);
+    println!("{}", doc.to_pretty());
+    if !errors.is_empty() || total_sdc > 0 {
+        std::process::exit(1);
+    }
+}

@@ -9,7 +9,16 @@
 //! the report's tallies — plus the report-internal conservation
 //! identities (every arrival is admitted or shed; every admitted
 //! request completes exactly once; every dispatch succeeds or fails).
+//!
+//! [`audit_cluster`] extends the same replay identity to the sharded
+//! cluster: routing roll-ups (every admitted request was routed to
+//! exactly one home shard or served directly on the fallback), steal
+//! conservation (everything stolen out landed somewhere or failed
+//! over), shed accounting per tenant, and the degradation ladder's
+//! step discipline (adjacent levels only, downs minus ups equals the
+//! final level, level times cover the whole run).
 
+use crate::cluster_report::ClusterReport;
 use crate::report::ServeReport;
 use crate::sim::traced_engines;
 use eve_obs::audit::{check_bounds, check_monotonic, AuditError};
@@ -28,6 +37,24 @@ pub enum ServeAuditFailure {
         /// Cycle where the overlap starts.
         at: u64,
     },
+    /// An engine's traced span stream diverged from its reported
+    /// dispatch count — pinpointed to the first divergent span so the
+    /// failure is diagnosable, not a bare count mismatch.
+    SpanDivergence {
+        /// The engine track.
+        track: &'static str,
+        /// The engine index.
+        engine: usize,
+        /// Span index where the streams diverge (0-based).
+        index: usize,
+        /// Timestamp of the first unexpected span, or the run's end
+        /// cycle when the trace ran short.
+        cycle: u64,
+        /// Spans the report implies.
+        expected: u64,
+        /// Spans the trace carries.
+        got: u64,
+    },
     /// A report-internal or report-vs-trace identity failed.
     Identity {
         /// What disagreed, with the numbers.
@@ -42,6 +69,18 @@ impl fmt::Display for ServeAuditFailure {
             Self::OverlappingService { track, at } => {
                 write!(f, "track {track}: overlapping service spans at cycle {at}")
             }
+            Self::SpanDivergence {
+                track,
+                engine,
+                index,
+                cycle,
+                expected,
+                got,
+            } => write!(
+                f,
+                "track {track} (engine {engine}): span stream diverges at \
+                 index {index}, cycle {cycle}: expected {expected} spans, got {got}"
+            ),
             Self::Identity { message } => write!(f, "serve identity: {message}"),
         }
     }
@@ -66,6 +105,15 @@ pub struct ServeAuditSummary {
     pub engine_tracks: usize,
 }
 
+/// What a passing cluster audit established.
+#[derive(Debug, Clone, Default)]
+pub struct ClusterAuditSummary {
+    /// Events replayed.
+    pub events: usize,
+    /// Conservation identities checked.
+    pub identities: usize,
+}
+
 fn identity(message: String) -> ServeAuditFailure {
     ServeAuditFailure::Identity { message }
 }
@@ -84,9 +132,14 @@ fn engine_track(i: usize) -> &'static str {
     ][i]
 }
 
-fn check_disjoint(events: &[TraceEvent], track: &'static str) -> Result<usize, ServeAuditFailure> {
+/// Collects one engine track's spans in order, verifying disjointness
+/// along the way.
+fn track_spans(
+    events: &[TraceEvent],
+    track: &'static str,
+) -> Result<Vec<(u64, u64)>, ServeAuditFailure> {
     let mut free_at = 0u64;
-    let mut spans = 0usize;
+    let mut spans = Vec::new();
     for e in events {
         if e.track != track || e.kind != EventKind::Span {
             continue;
@@ -95,7 +148,7 @@ fn check_disjoint(events: &[TraceEvent], track: &'static str) -> Result<usize, S
             return Err(ServeAuditFailure::OverlappingService { track, at: e.ts });
         }
         free_at = e.ts + e.dur;
-        spans += 1;
+        spans.push((e.ts, e.dur));
     }
     Ok(spans)
 }
@@ -104,7 +157,8 @@ fn check_disjoint(events: &[TraceEvent], track: &'static str) -> Result<usize, S
 ///
 /// # Errors
 ///
-/// Returns the first violated invariant as a [`ServeAuditFailure`].
+/// Returns the first violated invariant as a [`ServeAuditFailure`];
+/// span-count mismatches pinpoint the first divergent span.
 pub fn audit_serve(
     tracer: &Tracer,
     report: &ServeReport,
@@ -122,7 +176,27 @@ pub fn audit_serve(
     for i in 0..tracks {
         let track = engine_track(i);
         check_monotonic(&events, track)?;
-        service_spans += check_disjoint(&events, track)?;
+        let spans = track_spans(&events, track)?;
+        service_spans += spans.len();
+        // A fully-traced pool must show exactly one span per reported
+        // dispatch, engine by engine. On divergence, name the first
+        // span that should not exist (or the cycle the trace ran out).
+        if tracks == report.pool {
+            let want = report.engines[i].dispatches;
+            let got = spans.len() as u64;
+            if got != want {
+                let index = want.min(got) as usize;
+                let cycle = spans.get(index).map_or(report.end_cycle, |&(ts, _)| ts);
+                return Err(ServeAuditFailure::SpanDivergence {
+                    track,
+                    engine: i,
+                    index,
+                    cycle,
+                    expected: want,
+                    got,
+                });
+            }
+        }
     }
 
     // Conservation identities inside the report.
@@ -156,16 +230,6 @@ pub fn audit_serve(
         report.engine_failures,
     )?;
 
-    // Trace-vs-report: every dispatch resolved on a traced engine left
-    // exactly one span.
-    if tracks == report.pool {
-        check_identity(
-            "service spans == dispatches",
-            service_spans as u64,
-            report.dispatches,
-        )?;
-    }
-
     // Counter registry vs report.
     let reg = tracer.registry();
     if !reg.is_empty() {
@@ -192,9 +256,201 @@ pub fn audit_serve(
     })
 }
 
+/// Replays a cluster run's trace and report against each other: trace
+/// hygiene, conservation identities (arrival, routing, stealing,
+/// batching, tenant accounting), ladder step discipline, and the
+/// counter-registry cross-check.
+///
+/// # Errors
+///
+/// Returns the first violated invariant as a [`ServeAuditFailure`].
+pub fn audit_cluster(
+    tracer: &Tracer,
+    report: &ClusterReport,
+) -> Result<ClusterAuditSummary, ServeAuditFailure> {
+    let dropped = tracer.dropped();
+    if dropped > 0 {
+        return Err(AuditError::DroppedEvents { dropped }.into());
+    }
+    let events = tracer.events();
+    check_bounds(&events, report.end_cycle)?;
+    check_monotonic(&events, "cluster")?;
+
+    let mut identities = 0usize;
+    let mut check = |label: &str, got: u64, want: u64| -> Result<(), ServeAuditFailure> {
+        identities += 1;
+        check_identity(label, got, want)
+    };
+
+    // Arrival conservation.
+    check(
+        "arrivals == admitted + shed",
+        report.arrivals,
+        report.admitted + report.shed(),
+    )?;
+    check(
+        "admitted == completed_eve + completed_fallback",
+        report.admitted,
+        report.completed_eve + report.completed_fallback,
+    )?;
+    check(
+        "batched == completed_eve + request_failures",
+        report.batched_requests,
+        report.completed_eve + report.request_failures,
+    )?;
+    check(
+        "failovers == completed_fallback",
+        report.failovers,
+        report.completed_fallback,
+    )?;
+
+    // Routing replay: every admitted request has exactly one home
+    // shard, unless no shard was routable and it went straight to the
+    // fallback path.
+    let routed: u64 = report.shards_detail.iter().map(|s| s.routed).sum();
+    check(
+        "routed + direct_fallback == admitted",
+        routed + report.direct_fallback,
+        report.admitted,
+    )?;
+    let rerouted_in: u64 = report.shards_detail.iter().map(|s| s.rerouted_in).sum();
+    check("reroute roll-up", rerouted_in, report.rerouted)?;
+
+    // Steal replay: everything stolen out landed in a thief's queue or
+    // failed over, nothing vanished.
+    let steals_out: u64 = report.shards_detail.iter().map(|s| s.steals_out).sum();
+    check("steal roll-up", steals_out, report.steals)?;
+    let steals_in: u64 = report.shards_detail.iter().map(|s| s.steals_in).sum();
+    check(
+        "steals_in == steals - steal_failovers",
+        steals_in,
+        report.steals - report.steal_failovers,
+    )?;
+
+    // Batch replay, shard by shard.
+    let batches: u64 = report.shards_detail.iter().map(|s| s.batches).sum();
+    check("dispatch roll-up", batches, report.dispatches)?;
+    let batched: u64 = report
+        .shards_detail
+        .iter()
+        .map(|s| s.batched_requests)
+        .sum();
+    check("batched-request roll-up", batched, report.batched_requests)?;
+    let completions: u64 = report.shards_detail.iter().map(|s| s.completions).sum();
+    check("completion roll-up", completions, report.completed_eve)?;
+    let failures: u64 = report.shards_detail.iter().map(|s| s.failures).sum();
+    check("failure roll-up", failures, report.batch_failures)?;
+    for (i, s) in report.shards_detail.iter().enumerate() {
+        let eng_batches: u64 = s.engines.iter().map(|e| e.dispatches).sum();
+        check(
+            &format!("shard {i} engine batch roll-up"),
+            eng_batches,
+            s.batches,
+        )?;
+        let eng_resolved: u64 = s.engines.iter().map(|e| e.completions + e.failures).sum();
+        check(
+            &format!("shard {i} batches all resolve"),
+            eng_resolved,
+            s.batches,
+        )?;
+    }
+
+    // Tenant accounting: arrivals and admissions partition exactly, and
+    // no admitted tenant loses a request.
+    check(
+        "tenant arrival roll-up",
+        report.tenants.iter().map(|t| t.arrivals).sum(),
+        report.arrivals,
+    )?;
+    check(
+        "tenant admit roll-up",
+        report.tenants.iter().map(|t| t.admitted).sum(),
+        report.admitted,
+    )?;
+    check(
+        "tenant shed roll-up",
+        report.tenants.iter().map(|t| t.shed).sum(),
+        report.shed(),
+    )?;
+    for t in &report.tenants {
+        check(
+            &format!("tenant {} completes what it admits", t.name),
+            t.completed,
+            t.admitted,
+        )?;
+    }
+
+    // Ladder discipline: one rung at a time, downs and ups reconcile
+    // with the final level, and level times tile the run.
+    for (i, e) in report.ladder.iter().enumerate() {
+        let moved = (e.from as i64 - e.to as i64).unsigned_abs();
+        check(
+            &format!(
+                "ladder step {i} moves one rung ({} -> {})",
+                e.from.as_str(),
+                e.to.as_str()
+            ),
+            moved,
+            1,
+        )?;
+    }
+    check(
+        "ladder steps reconcile with final level",
+        report.step_downs(),
+        report.step_ups() + report.final_level as u64,
+    )?;
+    check(
+        "level times tile the run",
+        report.time_at_level.iter().sum(),
+        report.end_cycle,
+    )?;
+
+    // Counter registry vs report.
+    let reg = tracer.registry();
+    if !reg.is_empty() {
+        for (name, want) in [
+            ("cluster.arrivals", report.arrivals),
+            ("cluster.admitted", report.admitted),
+            ("cluster.shed", report.shed()),
+            ("cluster.shed_tenant", report.shed_tenant),
+            ("cluster.dispatches", report.dispatches),
+            ("cluster.batched_requests", report.batched_requests),
+            ("cluster.failures", report.batch_failures),
+            ("cluster.retries", report.retries),
+            ("cluster.failovers", report.failovers),
+            ("cluster.steals", report.steals),
+            ("cluster.rerouted", report.rerouted),
+            ("cluster.completed_eve", report.completed_eve),
+            ("cluster.completed_fallback", report.completed_fallback),
+            ("cluster.sdc", report.sdc),
+            ("cluster.ladder_steps", report.ladder.len() as u64),
+        ] {
+            check(name, reg.counter(name), want)?;
+        }
+        for (i, s) in report.shards_detail.iter().enumerate() {
+            check(
+                &format!("cluster.routed.s{i}"),
+                reg.counter(&format!("cluster.routed.s{i}")),
+                s.routed,
+            )?;
+            check(
+                &format!("cluster.steals_in.s{i}"),
+                reg.counter(&format!("cluster.steals_in.s{i}")),
+                s.steals_in,
+            )?;
+        }
+    }
+
+    Ok(ClusterAuditSummary {
+        events: events.len(),
+        identities,
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::cluster::{ClusterConfig, ClusterSim, ClusterTraffic};
     use crate::profile::ServiceProfile;
     use crate::sim::{ServeConfig, ServeSim, TrafficConfig};
     use crate::storm::FaultStorm;
@@ -215,6 +471,32 @@ mod tests {
         let report = ServeSim::new(
             cfg,
             ServiceProfile::synthetic(3, 1000, 4000, 4),
+            traffic,
+            storm,
+        )
+        .unwrap()
+        .with_tracer(&tracer)
+        .run();
+        (tracer, report)
+    }
+
+    fn traced_cluster(storm: FaultStorm) -> (Tracer, ClusterReport) {
+        let tracer = Tracer::new();
+        let cfg = ClusterConfig {
+            shards: 4,
+            engines_per_shard: 2,
+            seed: 11,
+            ..ClusterConfig::default()
+        };
+        let traffic = ClusterTraffic {
+            requests: 250,
+            mean_gap: 600,
+            seed: 5,
+            ..ClusterTraffic::default()
+        };
+        let report = ClusterSim::new(
+            cfg,
+            ServiceProfile::synthetic(3, 1000, 4000, 2),
             traffic,
             storm,
         )
@@ -254,18 +536,93 @@ mod tests {
     }
 
     #[test]
-    fn untraced_runs_audit_on_report_identities_alone() {
+    fn span_divergence_names_the_first_divergent_span() {
+        let (tracer, mut report) = traced_run(FaultStorm::none());
+        // Claim engine 2 dispatched one fewer request than it did: the
+        // trace now carries one span too many, and the auditor must say
+        // which one.
+        report.engines[2].dispatches -= 1;
+        let err = audit_serve(&tracer, &report).unwrap_err();
+        match err {
+            ServeAuditFailure::SpanDivergence {
+                track,
+                engine,
+                index,
+                cycle,
+                expected,
+                got,
+            } => {
+                assert_eq!(track, "eng2");
+                assert_eq!(engine, 2);
+                assert_eq!(got, expected + 1);
+                assert_eq!(index as u64, expected);
+                assert!(cycle <= report.end_cycle);
+                let msg = ServeAuditFailure::SpanDivergence {
+                    track,
+                    engine,
+                    index,
+                    cycle,
+                    expected,
+                    got,
+                }
+                .to_string();
+                assert!(msg.contains("eng2") && msg.contains("diverges"), "{msg}");
+            }
+            other => panic!("expected SpanDivergence, got {other}"),
+        }
+    }
+
+    #[test]
+    fn untraced_runs_fail_the_span_divergence_check() {
         let tracer = Tracer::new();
         let (_, report) = traced_run(FaultStorm::none());
-        // A fresh tracer has no events and an empty registry: bounds,
-        // monotonicity, and span checks pass trivially; the identities
-        // still run.
+        // A fresh tracer has no spans at all: the per-engine divergence
+        // check reports the trace ran short, at the run's end cycle.
         let err = audit_serve(&tracer, &report).unwrap_err();
-        // Spans == dispatches fails because this tracer saw nothing.
-        assert!(matches!(
-            err,
-            ServeAuditFailure::Identity { .. } | ServeAuditFailure::Trace(_)
-        ));
+        match err {
+            ServeAuditFailure::SpanDivergence {
+                index, cycle, got, ..
+            } => {
+                assert_eq!(index, 0);
+                assert_eq!(got, 0);
+                assert_eq!(cycle, report.end_cycle);
+            }
+            other => panic!("expected SpanDivergence, got {other}"),
+        }
+    }
+
+    #[test]
+    fn cluster_runs_pass_calm_and_under_shard_kill() {
+        for storm in [
+            FaultStorm::none(),
+            FaultStorm::kill_shard(1, 2, 60_000).merged(FaultStorm::hot_key(3, 40_000, 120_000)),
+        ] {
+            let (tracer, report) = traced_cluster(storm);
+            let s = audit_cluster(&tracer, &report).unwrap();
+            assert!(s.events > 0);
+            assert!(s.identities > 20);
+        }
+    }
+
+    #[test]
+    fn a_cooked_cluster_report_fails() {
+        let (tracer, mut report) = traced_cluster(FaultStorm::none());
+        report.steals += 1;
+        let err = audit_cluster(&tracer, &report).unwrap_err();
+        assert!(matches!(err, ServeAuditFailure::Identity { .. }), "{err}");
+    }
+
+    #[test]
+    fn a_cooked_shard_counter_fails_the_registry_check() {
+        let (tracer, mut report) = traced_cluster(FaultStorm::none());
+        // Move a routed request between shards: the cluster total still
+        // reconciles, so only the per-shard registry counter can catch
+        // it.
+        assert!(report.shards_detail[1].routed > 0);
+        report.shards_detail[0].routed += 1;
+        report.shards_detail[1].routed -= 1;
+        let err = audit_cluster(&tracer, &report).unwrap_err();
+        assert!(err.to_string().contains("routed.s0"), "{err}");
     }
 
     #[test]

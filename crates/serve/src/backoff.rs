@@ -154,6 +154,59 @@ mod tests {
         assert!(same < 4, "jitter streams should diverge: {same} collisions");
     }
 
+    /// Property sweep: 200 random policies × random seeds, checking on
+    /// every attempt that (a) the exponential term never exceeds the
+    /// cap, (b) the jitter component stays inside `[0, jitter]`, and
+    /// (c) the full schedule replays byte-identically from the same
+    /// seed. Policies are drawn from a seeded stream, so the sweep
+    /// itself is reproducible.
+    #[test]
+    fn property_delays_are_capped_banded_and_deterministic() {
+        let mut gen = SplitMix64::new(0xBACC0FF);
+        for case in 0..200 {
+            let p = BackoffPolicy {
+                base: gen.below(1 << 12) + 1,
+                factor: gen.below(6) + 1,
+                cap: gen.below(1 << 16) + 1,
+                jitter: gen.below(1 << 10),
+            };
+            let seed = gen.next_u64();
+            let mut a = Backoff::new(p, seed);
+            let mut b = Backoff::new(p, seed);
+            for attempt in 0..24 {
+                let raw = p.raw_delay(attempt);
+                assert!(raw <= p.cap, "case {case}: raw {raw} exceeds cap {}", p.cap);
+                let da = a.delay(attempt);
+                assert!(
+                    da >= raw && da - raw <= p.jitter,
+                    "case {case} attempt {attempt}: jitter {} outside [0, {}]",
+                    da - raw,
+                    p.jitter
+                );
+                assert_eq!(da, b.delay(attempt), "case {case}: schedule diverged");
+            }
+        }
+    }
+
+    /// The cap property holds exactly when `base <= cap` (the sane
+    /// configuration): no attempt count, however large, escapes it.
+    #[test]
+    fn property_cap_is_never_exceeded_for_sane_policies() {
+        let mut gen = SplitMix64::new(0x5EED);
+        for _ in 0..100 {
+            let cap = gen.below(1 << 14) + 1;
+            let p = BackoffPolicy {
+                base: gen.below(cap) + 1,
+                factor: gen.below(8) + 1,
+                cap,
+                jitter: 0,
+            };
+            for attempt in [0, 1, 2, 7, 31, 63, 200] {
+                assert!(p.raw_delay(attempt) <= cap);
+            }
+        }
+    }
+
     #[test]
     fn zero_jitter_is_exact() {
         let p = BackoffPolicy {

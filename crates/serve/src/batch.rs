@@ -1,0 +1,106 @@
+//! Request batching: coalescing same-kernel requests into one
+//! dispatch.
+//!
+//! EVE's spawn-execute-free economics make batching attractive: the
+//! engine build (configuration load, array claim) amortizes over every
+//! request in the batch, so a k-request batch costs far less than k
+//! solo dispatches. The model here is deliberately simple — the first
+//! request pays full price, each rider adds a configurable marginal
+//! fraction — because the serving layer only needs relative economics
+//! (is coalescing worth delaying the riders?), not a cycle-accurate
+//! pipeline model; the per-workload solo cost already comes from
+//! measurement via `ServiceProfile`.
+
+/// How aggressively a shard coalesces compatible requests.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BatchPolicy {
+    /// Largest batch one dispatch may carry.
+    pub max_batch: usize,
+    /// Marginal cost of each rider as a fraction of the solo cost:
+    /// a k-batch costs `solo × (1 + marginal × (k − 1))` cycles.
+    pub marginal: f64,
+}
+
+impl Default for BatchPolicy {
+    fn default() -> Self {
+        Self {
+            max_batch: 8,
+            marginal: 0.35,
+        }
+    }
+}
+
+impl BatchPolicy {
+    /// No coalescing: every dispatch carries one request.
+    #[must_use]
+    pub fn solo() -> Self {
+        Self {
+            max_batch: 1,
+            marginal: 1.0,
+        }
+    }
+
+    /// Service cycles for a `k`-request batch whose solo cost is
+    /// `solo`. Always at least `solo`, and monotone in `k`.
+    #[must_use]
+    pub fn batch_cycles(&self, solo: u64, k: usize) -> u64 {
+        if k <= 1 {
+            return solo.max(1);
+        }
+        let riders = (k - 1) as f64;
+        let cycles = (solo as f64 * (1.0 + self.marginal.max(0.0) * riders)).round() as u64;
+        cycles.max(solo).max(1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn solo_batch_costs_solo() {
+        let p = BatchPolicy::default();
+        assert_eq!(p.batch_cycles(1000, 1), 1000);
+        assert_eq!(p.batch_cycles(1000, 0), 1000);
+        assert_eq!(p.batch_cycles(0, 1), 1);
+    }
+
+    #[test]
+    fn riders_cost_the_marginal_fraction() {
+        let p = BatchPolicy {
+            max_batch: 8,
+            marginal: 0.25,
+        };
+        assert_eq!(p.batch_cycles(1000, 2), 1250);
+        assert_eq!(p.batch_cycles(1000, 5), 2000);
+    }
+
+    #[test]
+    fn batching_beats_solo_dispatches() {
+        let p = BatchPolicy::default();
+        for k in 2..=8 {
+            let batched = p.batch_cycles(4000, k);
+            let solo = 4000 * k as u64;
+            assert!(batched < solo, "batch of {k} should amortize");
+            assert!(batched >= 4000, "batch never undercuts one request");
+        }
+    }
+
+    #[test]
+    fn cost_is_monotone_in_batch_size() {
+        let p = BatchPolicy::default();
+        let mut prev = 0;
+        for k in 1..=16 {
+            let c = p.batch_cycles(2500, k);
+            assert!(c >= prev);
+            prev = c;
+        }
+    }
+
+    #[test]
+    fn solo_policy_disables_amortization() {
+        let p = BatchPolicy::solo();
+        assert_eq!(p.max_batch, 1);
+        assert_eq!(p.batch_cycles(1000, 3), 3000);
+    }
+}

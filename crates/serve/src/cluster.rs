@@ -1,0 +1,1464 @@
+//! The sharded cluster simulation.
+//!
+//! [`ClusterSim`] composes everything the serving layer has grown so
+//! far into one deterministic event loop: N shards (each a pool of
+//! engines with per-engine circuit breakers) behind a seeded
+//! consistent-hash [`Router`](crate::Router), per-tenant queues
+//! drained by weighted deficit round-robin
+//! ([`TenantQueues`](crate::TenantQueues)), and request batching that
+//! coalesces compatible same-kernel requests into one engine dispatch
+//! ([`BatchPolicy`](crate::BatchPolicy)).
+//!
+//! The robustness headline is the failure path:
+//!
+//! * when a shard becomes unroutable (scripted partition, or every
+//!   breaker open), arrivals re-route along the hash ring and idle
+//!   shards **work-steal** its queued requests, re-pricing each stolen
+//!   request against the thief's own backlog and failing over the ones
+//!   that can no longer meet their deadline;
+//! * a cluster-level **graceful-degradation ladder**
+//!   ([`Ladder`](crate::Ladder)) watches windowed failure rate,
+//!   backlog, and shard availability, and sheds *features → tenants →
+//!   the accelerator itself* instead of collapsing, with every
+//!   transition recorded, traced, and audited.
+//!
+//! Everything runs on a simulated cycle clock — no wall time, no
+//! global RNG — so identically-configured runs produce byte-identical
+//! [`ClusterReport`]s at any campaign thread count.
+
+use crate::backoff::{Backoff, BackoffPolicy};
+use crate::batch::BatchPolicy;
+use crate::breaker::{BreakerPolicy, BreakerState, CircuitBreaker};
+use crate::cluster_report::{ClusterReport, ShardReport, TenantReport};
+use crate::degrade::{Ladder, LadderPolicy, ServiceLevel};
+use crate::profile::ServiceProfile;
+use crate::queue::{admit, estimated_wait, AdmissionPolicy, AdmissionView, ShedReason};
+use crate::report::EngineReport;
+use crate::router::Router;
+use crate::sim::ServeError;
+use crate::storm::{FaultStorm, StormEvent, StormEventKind};
+use crate::tenancy::{TenantQueues, TenantSpec};
+use eve_common::SplitMix64;
+use eve_obs::Tracer;
+use std::collections::BinaryHeap;
+
+/// Work-stealing knobs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StealPolicy {
+    /// Whether idle shards steal from unroutable peers at all.
+    pub enabled: bool,
+    /// Most requests moved per steal pass.
+    pub max_per_pass: usize,
+}
+
+impl Default for StealPolicy {
+    fn default() -> Self {
+        Self {
+            enabled: true,
+            max_per_pass: 8,
+        }
+    }
+}
+
+/// Cluster topology and policy knobs for one run.
+#[derive(Debug, Clone, Copy)]
+pub struct ClusterConfig {
+    /// Shard count.
+    pub shards: usize,
+    /// Engines per shard.
+    pub engines_per_shard: usize,
+    /// Virtual nodes per shard on the hash ring.
+    pub vnodes: usize,
+    /// Per-engine breaker tuning.
+    pub breaker: BreakerPolicy,
+    /// Retry-delay schedule.
+    pub backoff: BackoffPolicy,
+    /// Per-shard admission control.
+    pub admission: AdmissionPolicy,
+    /// Batch coalescing.
+    pub batch: BatchPolicy,
+    /// Degradation-ladder thresholds.
+    pub ladder: LadderPolicy,
+    /// Work stealing.
+    pub steal: StealPolicy,
+    /// Engine dispatch attempts per request before failover.
+    pub max_attempts: u32,
+    /// Cycles from dispatch onto faulty silicon to the detected
+    /// failure.
+    pub detect_latency: u64,
+    /// Whether results are checked (silent windows become detected
+    /// failures instead of SDCs).
+    pub checked: bool,
+    /// Seed for the hash ring and per-request jitter streams.
+    pub seed: u64,
+}
+
+impl Default for ClusterConfig {
+    fn default() -> Self {
+        Self {
+            shards: 4,
+            engines_per_shard: 4,
+            vnodes: 16,
+            breaker: BreakerPolicy::default(),
+            backoff: BackoffPolicy::default(),
+            admission: AdmissionPolicy::default(),
+            batch: BatchPolicy::default(),
+            ladder: LadderPolicy::default(),
+            steal: StealPolicy::default(),
+            max_attempts: 3,
+            detect_latency: 500,
+            checked: true,
+            seed: 0xC1_0537,
+        }
+    }
+}
+
+/// The multi-tenant open-loop arrival process.
+#[derive(Debug, Clone)]
+pub struct ClusterTraffic {
+    /// Requests to generate.
+    pub requests: usize,
+    /// Mean inter-arrival gap in cycles.
+    pub mean_gap: u64,
+    /// Deadline slack over the slower of the two solo service paths.
+    pub deadline_slack: f64,
+    /// Routing-key space: keys are uniform on `[0, keys)` outside
+    /// hot-key-skew windows.
+    pub keys: u64,
+    /// The tenant mix; traffic splits by `share`, scheduling by
+    /// `weight`.
+    pub tenants: Vec<TenantSpec>,
+    /// Seed for arrivals, tenants, workloads, and keys.
+    pub seed: u64,
+}
+
+impl Default for ClusterTraffic {
+    fn default() -> Self {
+        Self {
+            requests: 400,
+            mean_gap: 1_000,
+            deadline_slack: 6.0,
+            keys: 1024,
+            tenants: crate::tenancy::tenant_mix(3),
+            seed: 0x7E4A47,
+        }
+    }
+}
+
+/// Heap events, processed in `(at, seq)` order.
+#[derive(Debug, Clone, Copy)]
+enum Ev {
+    /// Storm event `idx` fires.
+    Storm(usize),
+    /// Request `idx` arrives.
+    Arrival(usize),
+    /// Request `idx` re-enters a queue after backoff.
+    Retry(usize),
+    /// Batch `idx`'s dispatch resolves.
+    BatchDone(usize),
+    /// Request `req` completes on the fallback path.
+    FallbackDone(usize),
+}
+
+struct Entry {
+    at: u64,
+    seq: u64,
+    ev: Ev,
+}
+
+impl PartialEq for Entry {
+    fn eq(&self, other: &Self) -> bool {
+        (self.at, self.seq) == (other.at, other.seq)
+    }
+}
+impl Eq for Entry {}
+impl PartialOrd for Entry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Entry {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (other.at, other.seq).cmp(&(self.at, self.seq))
+    }
+}
+
+/// One request's lifecycle state.
+struct Request {
+    arrival: u64,
+    deadline: u64,
+    workload: usize,
+    tenant: usize,
+    key: u64,
+    /// The shard whose queue currently holds (or last held) it.
+    shard: usize,
+    attempts: u32,
+    backoff: Backoff,
+    admitted: bool,
+    completed_at: Option<u64>,
+    corrupted: bool,
+}
+
+/// One engine's simulated state (mirrors the single-pool model).
+struct Engine {
+    breaker: CircuitBreaker,
+    busy: bool,
+    dead: bool,
+    brown_until: u64,
+    silent_until: u64,
+    fault_epoch: u64,
+    silent_epoch: u64,
+    dispatches: u64,
+    completions: u64,
+    failures: u64,
+}
+
+impl Engine {
+    fn faulty_at(&self, now: u64) -> bool {
+        self.dead || now < self.brown_until
+    }
+
+    fn silent_at(&self, now: u64) -> bool {
+        now < self.silent_until
+    }
+}
+
+/// One shard: a pool of engines plus its tenant queues.
+struct Shard {
+    engines: Vec<Engine>,
+    queues: TenantQueues,
+    partition_until: u64,
+    routed: u64,
+    rerouted_in: u64,
+    steals_in: u64,
+    steals_out: u64,
+    batches: u64,
+    batched_requests: u64,
+    completions: u64,
+    failures: u64,
+}
+
+/// One in-flight coalesced dispatch.
+struct BatchRec {
+    shard: usize,
+    engine: usize,
+    members: Vec<usize>,
+    fault_epoch: u64,
+    silent_epoch: u64,
+}
+
+/// Static per-shard trace categories (shards beyond eight are
+/// simulated but not instant-traced — the tracer requires static
+/// names).
+const SHARD_CATS: [&str; 8] = ["s0", "s1", "s2", "s3", "s4", "s5", "s6", "s7"];
+
+/// The cluster simulation: build, optionally attach a tracer, then
+/// [`ClusterSim::run`].
+pub struct ClusterSim {
+    cfg: ClusterConfig,
+    profile: ServiceProfile,
+    tracer: Option<Tracer>,
+    router: Router,
+    ladder: Ladder,
+
+    heap: BinaryHeap<Entry>,
+    seq: u64,
+    requests: Vec<Request>,
+    shards: Vec<Shard>,
+    storm: Vec<StormEvent>,
+    batches: Vec<BatchRec>,
+    fallback_free_at: u64,
+    now: u64,
+
+    tenant_names: Vec<String>,
+    tenant_weights: Vec<u32>,
+    min_weight: u32,
+    tenant_arrivals: Vec<u64>,
+    tenant_admitted: Vec<u64>,
+    tenant_shed: Vec<u64>,
+
+    // Cluster tallies.
+    admitted: u64,
+    shed_capacity: u64,
+    shed_infeasible: u64,
+    shed_tenant: u64,
+    direct_fallback: u64,
+    dispatches: u64,
+    batched_requests: u64,
+    batch_failures: u64,
+    request_failures: u64,
+    retries: u64,
+    failovers: u64,
+    steals: u64,
+    steal_failovers: u64,
+    rerouted: u64,
+    completed_eve: u64,
+    completed_fallback: u64,
+    sdc: u64,
+}
+
+impl ClusterSim {
+    /// Builds a cluster run: generates the multi-tenant arrival
+    /// schedule (hot-key-skew windows folded in), seeds every
+    /// per-request backoff stream, and validates the storm against the
+    /// topology — all up front, so the run is a pure function of its
+    /// arguments.
+    ///
+    /// # Errors
+    ///
+    /// Rejects an empty topology, profile, traffic, or tenant mix as
+    /// [`ServeError::Config`]; storms addressing silicon the cluster
+    /// does not have are [`ServeError::Storm`].
+    pub fn new(
+        cfg: ClusterConfig,
+        profile: ServiceProfile,
+        traffic: ClusterTraffic,
+        storm: FaultStorm,
+    ) -> Result<Self, ServeError> {
+        if cfg.shards == 0 || cfg.engines_per_shard == 0 {
+            return Err(ServeError::Config(
+                "cluster needs at least one shard with one engine".into(),
+            ));
+        }
+        if cfg.vnodes == 0 {
+            return Err(ServeError::Config("ring needs at least one vnode".into()));
+        }
+        if cfg.max_attempts == 0 {
+            return Err(ServeError::Config("max_attempts must be at least 1".into()));
+        }
+        if profile.is_empty() {
+            return Err(ServeError::Config(
+                "service profile has no workloads".into(),
+            ));
+        }
+        if traffic.requests == 0 {
+            return Err(ServeError::Config("traffic must carry requests".into()));
+        }
+        if traffic.tenants.is_empty() {
+            return Err(ServeError::Config(
+                "traffic needs at least one tenant".into(),
+            ));
+        }
+        let total_share: f64 = traffic.tenants.iter().map(|t| t.share.max(0.0)).sum();
+        if total_share <= 0.0 {
+            return Err(ServeError::Config(
+                "tenant shares must sum to something positive".into(),
+            ));
+        }
+        let total_engines = cfg.shards * cfg.engines_per_shard;
+        for (i, e) in storm.events.iter().enumerate() {
+            match e.kind {
+                StormEventKind::Brownout { .. }
+                | StormEventKind::Silent { .. }
+                | StormEventKind::Kill
+                | StormEventKind::Recover => {
+                    if e.engine >= total_engines {
+                        return Err(ServeError::Storm(format!(
+                            "event {i} targets engine {} of a {total_engines}-engine cluster",
+                            e.engine
+                        )));
+                    }
+                }
+                StormEventKind::ShardPartition { .. } => {
+                    if e.engine >= cfg.shards {
+                        return Err(ServeError::Storm(format!(
+                            "event {i} partitions shard {} of {}",
+                            e.engine, cfg.shards
+                        )));
+                    }
+                }
+                StormEventKind::HotKeySkew { .. } => {}
+            }
+        }
+        let router = Router::new(cfg.seed, cfg.shards, cfg.vnodes);
+        let mut heap = BinaryHeap::new();
+        let mut seq = 0u64;
+        for (i, e) in storm.events.iter().enumerate() {
+            heap.push(Entry {
+                at: e.at,
+                seq,
+                ev: Ev::Storm(i),
+            });
+            seq += 1;
+        }
+        // Hot-key windows shape key generation; scanning them up front
+        // keeps the arrival schedule a pure function of (traffic,
+        // storm).
+        let hot_windows: Vec<(u64, u64, u64)> = storm
+            .events
+            .iter()
+            .filter_map(|e| match e.kind {
+                StormEventKind::HotKeySkew { key, duration } => {
+                    Some((e.at, e.at + duration.max(1), key))
+                }
+                _ => None,
+            })
+            .collect();
+        let mut rng = SplitMix64::new(traffic.seed);
+        let mut at = 0u64;
+        let mut requests = Vec::with_capacity(traffic.requests);
+        for i in 0..traffic.requests {
+            at += rng.below(2 * traffic.mean_gap + 1);
+            let x = rng.next_f64() * total_share;
+            let mut acc = 0.0;
+            let mut tenant = traffic.tenants.len() - 1;
+            for (j, spec) in traffic.tenants.iter().enumerate() {
+                acc += spec.share.max(0.0);
+                if x < acc {
+                    tenant = j;
+                    break;
+                }
+            }
+            let workload = rng.below(profile.len() as u64) as usize;
+            let hot = hot_windows.iter().find(|w| at >= w.0 && at < w.1);
+            let key = match hot {
+                // Inside a skew window, 90% of arrivals hammer the hot
+                // key; the rest stay uniform.
+                Some(&(_, _, k)) if rng.chance(0.9) => k,
+                _ => rng.below(traffic.keys.max(1)),
+            };
+            let solo = profile
+                .eve_service(workload, 1)
+                .max(profile.fallback_service(workload));
+            let slack = (solo as f64 * traffic.deadline_slack).round() as u64;
+            requests.push(Request {
+                arrival: at,
+                deadline: at + slack.max(1),
+                workload,
+                tenant,
+                key,
+                shard: router.route(key),
+                attempts: 0,
+                backoff: Backoff::new(cfg.backoff, cfg.seed.wrapping_add(1 + i as u64)),
+                admitted: false,
+                completed_at: None,
+                corrupted: false,
+            });
+            heap.push(Entry {
+                at,
+                seq,
+                ev: Ev::Arrival(i),
+            });
+            seq += 1;
+        }
+        let weights: Vec<u32> = traffic.tenants.iter().map(|t| t.weight).collect();
+        let quantum = profile.mean_eve_cycles();
+        let shards = (0..cfg.shards)
+            .map(|_| Shard {
+                engines: (0..cfg.engines_per_shard)
+                    .map(|_| Engine {
+                        breaker: CircuitBreaker::new(cfg.breaker),
+                        busy: false,
+                        dead: false,
+                        brown_until: 0,
+                        silent_until: 0,
+                        fault_epoch: 0,
+                        silent_epoch: 0,
+                        dispatches: 0,
+                        completions: 0,
+                        failures: 0,
+                    })
+                    .collect(),
+                queues: TenantQueues::new(&weights, quantum),
+                partition_until: 0,
+                routed: 0,
+                rerouted_in: 0,
+                steals_in: 0,
+                steals_out: 0,
+                batches: 0,
+                batched_requests: 0,
+                completions: 0,
+                failures: 0,
+            })
+            .collect();
+        let tenant_count = traffic.tenants.len();
+        Ok(Self {
+            ladder: Ladder::new(cfg.ladder),
+            min_weight: weights.iter().copied().min().unwrap_or(1),
+            tenant_names: traffic.tenants.iter().map(|t| t.name.clone()).collect(),
+            tenant_weights: weights,
+            tenant_arrivals: vec![0; tenant_count],
+            tenant_admitted: vec![0; tenant_count],
+            tenant_shed: vec![0; tenant_count],
+            cfg,
+            profile,
+            tracer: None,
+            router,
+            heap,
+            seq,
+            requests,
+            shards,
+            storm: storm.events,
+            batches: Vec::new(),
+            fallback_free_at: 0,
+            now: 0,
+            admitted: 0,
+            shed_capacity: 0,
+            shed_infeasible: 0,
+            shed_tenant: 0,
+            direct_fallback: 0,
+            dispatches: 0,
+            batched_requests: 0,
+            batch_failures: 0,
+            request_failures: 0,
+            retries: 0,
+            failovers: 0,
+            steals: 0,
+            steal_failovers: 0,
+            rerouted: 0,
+            completed_eve: 0,
+            completed_fallback: 0,
+            sdc: 0,
+        })
+    }
+
+    /// Attaches a tracer: the run emits `cluster`-track instants
+    /// (routing, steals, ladder transitions) and mirrors its tallies
+    /// into the counter registry for the auditor.
+    #[must_use]
+    pub fn with_tracer(mut self, tracer: &Tracer) -> Self {
+        self.tracer = Some(tracer.clone());
+        self
+    }
+
+    fn push(&mut self, at: u64, ev: Ev) {
+        let seq = self.seq;
+        self.seq += 1;
+        self.heap.push(Entry { at, seq, ev });
+    }
+
+    fn instant(&self, cat: &'static str, name: &'static str, at: u64) {
+        if let Some(t) = &self.tracer {
+            t.instant("cluster", cat, name, at);
+        }
+    }
+
+    fn count(&self, name: &str, amount: u64) {
+        if let Some(t) = &self.tracer {
+            t.count(name, amount);
+        }
+    }
+
+    /// Whether `shard` can accept a dispatch right now: not
+    /// partitioned, and at least one engine's breaker is not open.
+    fn shard_available(&mut self, s: usize) -> bool {
+        let now = self.now;
+        let shard = &mut self.shards[s];
+        if now < shard.partition_until {
+            return false;
+        }
+        shard
+            .engines
+            .iter_mut()
+            .any(|e| e.breaker.state_at(now) != BreakerState::Open)
+    }
+
+    fn availability_mask(&mut self) -> Vec<bool> {
+        (0..self.cfg.shards)
+            .map(|s| self.shard_available(s))
+            .collect()
+    }
+
+    /// Non-open engine count in `shard` (its serving channels).
+    fn shard_channels(&mut self, s: usize) -> usize {
+        let now = self.now;
+        self.shards[s]
+            .engines
+            .iter_mut()
+            .map(|e| e.breaker.state_at(now))
+            .filter(|s| *s != BreakerState::Open)
+            .count()
+    }
+
+    /// The admission estimator's snapshot of one shard, priced for
+    /// `workload`: queued work priced per-request (WDRR order does not
+    /// change the total), in-flight engines charged their residual.
+    fn shard_view(&mut self, s: usize, workload: usize) -> AdmissionView {
+        let channels = self.shard_channels(s).max(1);
+        let requests = &self.requests;
+        let profile = &self.profile;
+        let shard = &self.shards[s];
+        let queued_cost = shard
+            .queues
+            .iter()
+            .map(|(_, r)| profile.eve_service(requests[r].workload, channels))
+            .sum();
+        AdmissionView {
+            queued: shard.queues.len(),
+            queued_cost,
+            inflight: shard.engines.iter().filter(|e| e.busy).count(),
+            channels,
+            mean_service: profile.mean_eve_cycles(),
+            service_estimate: profile.eve_service(workload, channels),
+        }
+    }
+
+    /// The O3+DV path's view: one FIFO channel plus its current
+    /// backlog.
+    fn fallback_view(&self, workload: usize) -> AdmissionView {
+        AdmissionView {
+            queued: 0,
+            queued_cost: self.fallback_free_at.saturating_sub(self.now),
+            inflight: 0,
+            channels: 1,
+            mean_service: self.profile.mean_fallback_cycles(),
+            service_estimate: self.profile.fallback_service(workload),
+        }
+    }
+
+    /// Runs the event loop to quiescence and produces the report.
+    /// Retries are bounded, batches and the fallback always complete,
+    /// and the post-drain sweep fails over anything still queued on
+    /// unroutable shards, so the loop terminates.
+    #[must_use]
+    pub fn run(mut self) -> ClusterReport {
+        loop {
+            while let Some(Entry { at, ev, .. }) = self.heap.pop() {
+                debug_assert!(at >= self.now, "time runs forward");
+                self.now = at;
+                self.handle(ev);
+            }
+            // Anything still queued sat on a shard nobody could steal
+            // for (stealing disabled, or every shard unroutable): the
+            // fallback is the terminal safety net.
+            let mut leftover = Vec::new();
+            for s in 0..self.cfg.shards {
+                leftover.extend(
+                    self.shards[s]
+                        .queues
+                        .drain_upto(usize::MAX)
+                        .into_iter()
+                        .map(|(_, r)| r),
+                );
+            }
+            if leftover.is_empty() {
+                break;
+            }
+            for r in leftover {
+                self.failover(r);
+            }
+        }
+        self.report()
+    }
+
+    fn handle(&mut self, ev: Ev) {
+        match ev {
+            Ev::Storm(i) => self.on_storm(i),
+            Ev::Arrival(r) => self.on_arrival(r),
+            Ev::Retry(r) => self.on_retry(r),
+            Ev::BatchDone(b) => self.on_batch_done(b),
+            Ev::FallbackDone(r) => {
+                self.requests[r].completed_at = Some(self.now);
+                self.completed_fallback += 1;
+                self.instant("serve", "complete_fallback", self.now);
+            }
+        }
+        // Every state change re-evaluates pressure, lets idle shards
+        // steal, and pumps whatever became placeable.
+        self.evaluate_ladder();
+        self.steal_pass();
+        self.pump_all();
+    }
+
+    fn on_storm(&mut self, i: usize) {
+        let ev = self.storm[i];
+        let now = self.now;
+        match ev.kind {
+            StormEventKind::ShardPartition { duration } => {
+                let shard = &mut self.shards[ev.engine];
+                shard.partition_until = shard.partition_until.max(now + duration.max(1));
+                // The partition severs in-flight work too: epoch bumps
+                // turn every outstanding batch into a detected failure.
+                for e in &mut shard.engines {
+                    e.fault_epoch += 1;
+                }
+                if ev.engine < SHARD_CATS.len() {
+                    self.instant(SHARD_CATS[ev.engine], "partition", now);
+                }
+            }
+            StormEventKind::HotKeySkew { .. } => {
+                // Traffic shaping only; keys were folded in at build
+                // time. The instant marks the window for trace readers.
+                self.instant("storm", "hot_key", now);
+            }
+            kind => {
+                let s = ev.engine / self.cfg.engines_per_shard;
+                let e = &mut self.shards[s].engines[ev.engine % self.cfg.engines_per_shard];
+                match kind {
+                    StormEventKind::Brownout { duration } => {
+                        e.brown_until = e.brown_until.max(now + duration.max(1));
+                        e.fault_epoch += 1;
+                    }
+                    StormEventKind::Silent { duration } => {
+                        e.silent_until = e.silent_until.max(now + duration.max(1));
+                        e.silent_epoch += 1;
+                    }
+                    StormEventKind::Kill => {
+                        if !e.dead {
+                            e.dead = true;
+                            e.fault_epoch += 1;
+                        }
+                    }
+                    StormEventKind::Recover => {
+                        e.dead = false;
+                        e.brown_until = now;
+                        e.silent_until = now;
+                        e.fault_epoch += 1;
+                    }
+                    _ => unreachable!("cluster-scoped kinds handled above"),
+                }
+            }
+        }
+    }
+
+    fn on_arrival(&mut self, r: usize) {
+        let now = self.now;
+        let tenant = self.requests[r].tenant;
+        self.tenant_arrivals[tenant] += 1;
+        self.instant("serve", "arrive", now);
+        // Rung 2: the lowest-weight tenant class is refused at the
+        // door while the ladder holds there or below.
+        if self.ladder.level() >= ServiceLevel::ShedLowWeight
+            && self.tenant_weights[tenant] == self.min_weight
+        {
+            self.shed_tenant += 1;
+            self.tenant_shed[tenant] += 1;
+            self.instant("serve", "shed_tenant", now);
+            return;
+        }
+        let (key, workload, deadline) = {
+            let req = &self.requests[r];
+            (req.key, req.workload, req.deadline)
+        };
+        let home = self.router.route(key);
+        let dest = if self.ladder.level() == ServiceLevel::FallbackOnly {
+            None
+        } else {
+            let avail = self.availability_mask();
+            self.router.route_healthy(key, |s| avail[s])
+        };
+        match dest {
+            Some(s) => {
+                let view = self.shard_view(s, workload);
+                match admit(&self.cfg.admission, now, deadline, &view) {
+                    Ok(()) => {
+                        self.admitted += 1;
+                        self.tenant_admitted[tenant] += 1;
+                        self.requests[r].admitted = true;
+                        self.shards[home].routed += 1;
+                        if s != home {
+                            self.rerouted += 1;
+                            self.shards[s].rerouted_in += 1;
+                            self.instant("serve", "reroute", now);
+                        }
+                        self.requests[r].shard = s;
+                        self.shards[s].queues.push(tenant, r);
+                        self.instant("serve", "admit", now);
+                    }
+                    Err(reason) => self.shed(r, reason),
+                }
+            }
+            None => {
+                // No routable shard (or a fallback-only brownout):
+                // price against the O3+DV path directly.
+                let view = self.fallback_view(workload);
+                match admit(&self.cfg.admission, now, deadline, &view) {
+                    Ok(()) => {
+                        self.admitted += 1;
+                        self.tenant_admitted[tenant] += 1;
+                        self.requests[r].admitted = true;
+                        self.direct_fallback += 1;
+                        self.failover(r);
+                    }
+                    Err(reason) => self.shed(r, reason),
+                }
+            }
+        }
+    }
+
+    fn shed(&mut self, r: usize, reason: ShedReason) {
+        let tenant = self.requests[r].tenant;
+        self.tenant_shed[tenant] += 1;
+        match reason {
+            ShedReason::Capacity => {
+                self.shed_capacity += 1;
+                self.instant("serve", "shed_capacity", self.now);
+            }
+            ShedReason::Infeasible => {
+                self.shed_infeasible += 1;
+                self.instant("serve", "shed_infeasible", self.now);
+            }
+        }
+    }
+
+    fn on_retry(&mut self, r: usize) {
+        self.instant("serve", "retry_due", self.now);
+        let avail = self.availability_mask();
+        let (cur, key, tenant) = {
+            let req = &self.requests[r];
+            (req.shard, req.key, req.tenant)
+        };
+        let dest = if avail[cur] {
+            Some(cur)
+        } else {
+            self.router.route_healthy(key, |s| avail[s])
+        };
+        match dest {
+            Some(s) => {
+                self.requests[r].shard = s;
+                self.shards[s].queues.push(tenant, r);
+            }
+            None => self.failover(r),
+        }
+    }
+
+    fn pump_all(&mut self) {
+        // The bottom ladder rung runs nothing on engines: queues drain
+        // straight to the fallback until the ladder climbs back.
+        if self.ladder.level() == ServiceLevel::FallbackOnly {
+            for s in 0..self.cfg.shards {
+                let drained: Vec<usize> = self.shards[s]
+                    .queues
+                    .drain_upto(usize::MAX)
+                    .into_iter()
+                    .map(|(_, r)| r)
+                    .collect();
+                for r in drained {
+                    self.failover(r);
+                }
+            }
+            return;
+        }
+        for s in 0..self.cfg.shards {
+            self.pump_shard(s);
+        }
+    }
+
+    /// Drains one shard's queues onto its free engines: WDRR picks the
+    /// next head, then same-tenant same-kernel riders coalesce into the
+    /// batch (the ceiling doubles once the ladder leaves full service —
+    /// trading tail latency for throughput is rung 1's whole point).
+    fn pump_shard(&mut self, s: usize) {
+        let now = self.now;
+        if now < self.shards[s].partition_until {
+            return;
+        }
+        loop {
+            if self.shards[s].queues.is_empty() {
+                return;
+            }
+            let mut pick = None;
+            for (i, e) in self.shards[s].engines.iter_mut().enumerate() {
+                if e.busy || !e.breaker.allows(now) {
+                    continue;
+                }
+                match (e.breaker.state_at(now), pick) {
+                    (BreakerState::Closed, _) => {
+                        pick = Some(i);
+                        break;
+                    }
+                    (BreakerState::HalfOpen, None) => pick = Some(i),
+                    _ => {}
+                }
+            }
+            let Some(eng) = pick else { return };
+            let channels = self.shard_channels(s).max(1);
+            let requests = &self.requests;
+            let profile = &self.profile;
+            let Some((tenant, head)) = self.shards[s]
+                .queues
+                .pop_next(|r| profile.eve_service(requests[r].workload, channels))
+            else {
+                return;
+            };
+            let workload = requests[head].workload;
+            let max_batch = if self.ladder.level() >= ServiceLevel::BatchOnly {
+                self.cfg.batch.max_batch * 2
+            } else {
+                self.cfg.batch.max_batch
+            };
+            let requests = &self.requests;
+            let riders =
+                self.shards[s]
+                    .queues
+                    .extract_matching(tenant, max_batch.saturating_sub(1), |r| {
+                        requests[r].workload == workload
+                    });
+            let mut members = vec![head];
+            members.extend(riders);
+            self.dispatch_batch(s, eng, workload, members);
+        }
+    }
+
+    fn dispatch_batch(&mut self, s: usize, eng: usize, workload: usize, members: Vec<usize>) {
+        let now = self.now;
+        let k = members.len();
+        let busy_after = self.shards[s].engines.iter().filter(|e| e.busy).count() + 1;
+        let service = if self.shards[s].engines[eng].faulty_at(now) {
+            self.cfg.detect_latency.max(1)
+        } else {
+            let solo = self.profile.eve_service(workload, busy_after);
+            self.cfg.batch.batch_cycles(solo, k)
+        };
+        self.dispatches += 1;
+        self.batched_requests += k as u64;
+        self.ladder.observe_dispatch(now);
+        for &m in &members {
+            self.requests[m].attempts += 1;
+        }
+        let shard = &mut self.shards[s];
+        shard.batches += 1;
+        shard.batched_requests += k as u64;
+        let e = &mut shard.engines[eng];
+        e.breaker.on_dispatch(now);
+        e.busy = true;
+        e.dispatches += 1;
+        let (fault_epoch, silent_epoch) = (e.fault_epoch, e.silent_epoch);
+        let b = self.batches.len();
+        self.batches.push(BatchRec {
+            shard: s,
+            engine: eng,
+            members,
+            fault_epoch,
+            silent_epoch,
+        });
+        if s < SHARD_CATS.len() {
+            self.instant(SHARD_CATS[s], "batch", now);
+        }
+        self.push(now + service, Ev::BatchDone(b));
+    }
+
+    fn on_batch_done(&mut self, b: usize) {
+        let now = self.now;
+        let (s, eng) = (self.batches[b].shard, self.batches[b].engine);
+        let members = std::mem::take(&mut self.batches[b].members);
+        let e = &mut self.shards[s].engines[eng];
+        e.busy = false;
+        let fault_overlap = self.batches[b].fault_epoch != e.fault_epoch || e.faulty_at(now);
+        let silent_overlap = self.batches[b].silent_epoch != e.silent_epoch || e.silent_at(now);
+        let failed = fault_overlap || (silent_overlap && self.cfg.checked);
+        if failed {
+            e.failures += 1;
+            e.breaker.on_failure(now);
+            self.batch_failures += 1;
+            self.shards[s].failures += 1;
+            self.request_failures += members.len() as u64;
+            self.ladder.observe_failure(now);
+            for &m in &members {
+                self.retry_or_failover(m);
+            }
+        } else {
+            e.breaker.on_success(now);
+            e.completions += 1;
+            self.shards[s].completions += members.len() as u64;
+            self.completed_eve += members.len() as u64;
+            let leak = silent_overlap && !self.cfg.checked;
+            for &m in &members {
+                self.requests[m].completed_at = Some(now);
+                if leak {
+                    self.sdc += 1;
+                    self.requests[m].corrupted = true;
+                    self.instant("serve", "sdc", now);
+                }
+            }
+            self.instant("serve", "complete", now);
+        }
+    }
+
+    fn retry_or_failover(&mut self, r: usize) {
+        let now = self.now;
+        let (attempts, deadline, workload) = {
+            let req = &self.requests[r];
+            (req.attempts, req.deadline, req.workload)
+        };
+        // Rung 1 and below disable retries: a struggling cluster stops
+        // feeding failed work back into itself.
+        if self.ladder.level() == ServiceLevel::Full && attempts < self.cfg.max_attempts {
+            let delay = self.requests[r].backoff.delay(attempts - 1).max(1);
+            let avail = self.availability_mask();
+            let cur = self.requests[r].shard;
+            let dest = if avail[cur] {
+                Some(cur)
+            } else {
+                self.router
+                    .route_healthy(self.requests[r].key, |s| avail[s])
+            };
+            if let Some(s) = dest {
+                let view = self.shard_view(s, workload);
+                let eta = now
+                    .saturating_add(delay)
+                    .saturating_add(estimated_wait(&view))
+                    .saturating_add(view.service_estimate);
+                if eta <= deadline {
+                    self.retries += 1;
+                    self.requests[r].shard = s;
+                    self.instant("serve", "retry", now);
+                    self.push(now + delay, Ev::Retry(r));
+                    return;
+                }
+            }
+        }
+        self.failover(r);
+    }
+
+    fn failover(&mut self, r: usize) {
+        let now = self.now;
+        self.failovers += 1;
+        self.instant("serve", "failover", now);
+        let start = self.fallback_free_at.max(now);
+        let done = start + self.profile.fallback_service(self.requests[r].workload);
+        self.fallback_free_at = done;
+        self.push(done, Ev::FallbackDone(r));
+    }
+
+    /// One steal pass: the emptiest eligible thief (available, a free
+    /// engine, no backlog of its own) takes up to `max_per_pass`
+    /// requests from the most-backlogged unroutable victim, re-pricing
+    /// each against its own queue — stolen work that can no longer make
+    /// its deadline goes straight to the fallback instead of dying in a
+    /// second queue.
+    fn steal_pass(&mut self) {
+        if !self.cfg.steal.enabled || self.ladder.level() == ServiceLevel::FallbackOnly {
+            return;
+        }
+        let now = self.now;
+        let avail = self.availability_mask();
+        let mut victim: Option<(usize, usize)> = None; // (queued, shard)
+        for (s, open) in avail.iter().enumerate() {
+            let queued = self.shards[s].queues.len();
+            if !open && queued > 0 && victim.is_none_or(|(q, _)| queued > q) {
+                victim = Some((queued, s));
+            }
+        }
+        let Some((_, v)) = victim else { return };
+        let thief = (0..self.cfg.shards).find(|&s| {
+            avail[s]
+                && self.shards[s].queues.is_empty()
+                && self.shards[s]
+                    .engines
+                    .iter_mut()
+                    .any(|e| !e.busy && e.breaker.allows(now))
+        });
+        let Some(t) = thief else { return };
+        let stolen = self.shards[v]
+            .queues
+            .drain_upto(self.cfg.steal.max_per_pass);
+        for (tenant, r) in stolen {
+            self.steals += 1;
+            self.shards[v].steals_out += 1;
+            let (workload, deadline) = {
+                let req = &self.requests[r];
+                (req.workload, req.deadline)
+            };
+            let view = self.shard_view(t, workload);
+            let eta = now
+                .saturating_add(estimated_wait(&view))
+                .saturating_add(view.service_estimate);
+            if let Some(tr) = &self.tracer {
+                tr.instant_arg("cluster", "steal", "steal", now, ("from", v as u64));
+            }
+            if eta <= deadline {
+                self.shards[t].steals_in += 1;
+                self.requests[r].shard = t;
+                self.shards[t].queues.push(tenant, r);
+            } else {
+                self.steal_failovers += 1;
+                self.failover(r);
+            }
+        }
+    }
+
+    fn evaluate_ladder(&mut self) {
+        let now = self.now;
+        let capacity = (self.cfg.shards * self.cfg.admission.queue_capacity).max(1);
+        let queued: usize = self.shards.iter().map(|s| s.queues.len()).sum();
+        let avail = self.availability_mask();
+        let down = avail.iter().filter(|a| !**a).count();
+        let backlog = queued as f64 / capacity as f64;
+        let unavailable = down as f64 / self.cfg.shards as f64;
+        if let Some(ev) = self.ladder.evaluate(now, backlog, unavailable) {
+            self.instant("ladder", ev.to.as_str(), now);
+        }
+    }
+
+    fn report(mut self) -> ClusterReport {
+        let end = self.now;
+        let time_at_level = self.ladder.finish(end);
+        let mut sojourns: Vec<u64> = Vec::new();
+        let mut late = 0u64;
+        let mut served_ok = 0u64;
+        let tenant_count = self.tenant_names.len();
+        let mut t_completed = vec![0u64; tenant_count];
+        let mut t_ok = vec![0u64; tenant_count];
+        for req in &self.requests {
+            if let Some(done) = req.completed_at {
+                sojourns.push(done - req.arrival);
+                let missed = done > req.deadline;
+                if missed {
+                    late += 1;
+                }
+                t_completed[req.tenant] += 1;
+                if !missed && !req.corrupted {
+                    served_ok += 1;
+                    t_ok[req.tenant] += 1;
+                }
+            }
+        }
+        sojourns.sort_unstable();
+        let pct = |p: f64| -> u64 {
+            if sojourns.is_empty() {
+                return 0;
+            }
+            sojourns[((sojourns.len() - 1) as f64 * p).round() as usize]
+        };
+        let completed = sojourns.len() as u64;
+        let arrivals = self.requests.len() as u64;
+        let availability = if self.admitted == 0 {
+            1.0
+        } else {
+            served_ok as f64 / self.admitted as f64
+        };
+        let goodput = if arrivals == 0 {
+            0.0
+        } else {
+            (completed - late) as f64 / arrivals as f64
+        };
+        let deadline_miss_rate = if completed == 0 {
+            0.0
+        } else {
+            late as f64 / completed as f64
+        };
+        let tenants: Vec<TenantReport> = (0..tenant_count)
+            .map(|t| TenantReport {
+                name: self.tenant_names[t].clone(),
+                weight: self.tenant_weights[t],
+                arrivals: self.tenant_arrivals[t],
+                admitted: self.tenant_admitted[t],
+                shed: self.tenant_shed[t],
+                completed: t_completed[t],
+                served_ok: t_ok[t],
+                availability: if self.tenant_admitted[t] == 0 {
+                    1.0
+                } else {
+                    t_ok[t] as f64 / self.tenant_admitted[t] as f64
+                },
+            })
+            .collect();
+        let shards_detail: Vec<ShardReport> = self
+            .shards
+            .iter_mut()
+            .map(|s| ShardReport {
+                routed: s.routed,
+                rerouted_in: s.rerouted_in,
+                steals_in: s.steals_in,
+                steals_out: s.steals_out,
+                batches: s.batches,
+                batched_requests: s.batched_requests,
+                completions: s.completions,
+                failures: s.failures,
+                engines: s
+                    .engines
+                    .iter_mut()
+                    .map(|e| EngineReport {
+                        dispatches: e.dispatches,
+                        completions: e.completions,
+                        failures: e.failures,
+                        dead: e.dead,
+                        final_state: e.breaker.state_at(end),
+                        breaker: e.breaker.stats(),
+                    })
+                    .collect(),
+            })
+            .collect();
+        // Mirror the tallies into the counter registry: the auditor
+        // replays routing, stealing, and shedding against these.
+        self.count("cluster.arrivals", arrivals);
+        self.count("cluster.admitted", self.admitted);
+        self.count(
+            "cluster.shed",
+            self.shed_capacity + self.shed_infeasible + self.shed_tenant,
+        );
+        self.count("cluster.shed_tenant", self.shed_tenant);
+        self.count("cluster.dispatches", self.dispatches);
+        self.count("cluster.batched_requests", self.batched_requests);
+        self.count("cluster.failures", self.batch_failures);
+        self.count("cluster.retries", self.retries);
+        self.count("cluster.failovers", self.failovers);
+        self.count("cluster.steals", self.steals);
+        self.count("cluster.rerouted", self.rerouted);
+        self.count("cluster.completed_eve", self.completed_eve);
+        self.count("cluster.completed_fallback", self.completed_fallback);
+        self.count("cluster.sdc", self.sdc);
+        self.count("cluster.ladder_steps", self.ladder.events().len() as u64);
+        for (i, s) in shards_detail.iter().enumerate() {
+            self.count(&format!("cluster.routed.s{i}"), s.routed);
+            self.count(&format!("cluster.steals_in.s{i}"), s.steals_in);
+        }
+        ClusterReport {
+            shards: self.cfg.shards,
+            engines_per_shard: self.cfg.engines_per_shard,
+            requests: arrivals,
+            end_cycle: end,
+            arrivals,
+            admitted: self.admitted,
+            shed_capacity: self.shed_capacity,
+            shed_infeasible: self.shed_infeasible,
+            shed_tenant: self.shed_tenant,
+            direct_fallback: self.direct_fallback,
+            dispatches: self.dispatches,
+            batched_requests: self.batched_requests,
+            batch_failures: self.batch_failures,
+            request_failures: self.request_failures,
+            retries: self.retries,
+            failovers: self.failovers,
+            steals: self.steals,
+            steal_failovers: self.steal_failovers,
+            rerouted: self.rerouted,
+            completed_eve: self.completed_eve,
+            completed_fallback: self.completed_fallback,
+            sdc: self.sdc,
+            availability,
+            goodput,
+            deadline_miss_rate,
+            p50_sojourn: pct(0.50),
+            p99_sojourn: pct(0.99),
+            ladder: self.ladder.events().to_vec(),
+            final_level: self.ladder.level(),
+            time_at_level,
+            shards_detail,
+            tenants,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick(storm: FaultStorm) -> ClusterReport {
+        let cfg = ClusterConfig {
+            shards: 4,
+            engines_per_shard: 2,
+            seed: 11,
+            ..ClusterConfig::default()
+        };
+        let traffic = ClusterTraffic {
+            requests: 300,
+            mean_gap: 600,
+            seed: 5,
+            ..ClusterTraffic::default()
+        };
+        let profile = ServiceProfile::synthetic(3, 1000, 4000, 2);
+        ClusterSim::new(cfg, profile, traffic, storm).unwrap().run()
+    }
+
+    fn check_conservation(r: &ClusterReport) {
+        assert_eq!(
+            r.arrivals,
+            r.admitted + r.shed_capacity + r.shed_infeasible + r.shed_tenant
+        );
+        assert_eq!(r.admitted, r.completed_eve + r.completed_fallback);
+        assert_eq!(r.batched_requests, r.completed_eve + r.request_failures);
+        assert_eq!(r.failovers, r.completed_fallback);
+        assert_eq!(
+            r.dispatches,
+            r.shards_detail.iter().map(|s| s.batches).sum::<u64>()
+        );
+        assert_eq!(
+            r.arrivals,
+            r.tenants.iter().map(|t| t.arrivals).sum::<u64>()
+        );
+        assert_eq!(
+            r.admitted,
+            r.tenants.iter().map(|t| t.admitted).sum::<u64>()
+        );
+        for t in &r.tenants {
+            assert_eq!(t.admitted, t.completed, "tenant {} leaked work", t.name);
+        }
+        assert_eq!(r.time_at_level.iter().sum::<u64>(), r.end_cycle);
+    }
+
+    #[test]
+    fn a_calm_cluster_serves_everything_at_full_service() {
+        let r = quick(FaultStorm::none());
+        check_conservation(&r);
+        assert_eq!(r.sdc, 0);
+        assert_eq!(r.steals, 0);
+        assert_eq!(r.final_level, ServiceLevel::Full);
+        assert!(r.ladder.is_empty());
+        assert!((r.availability - 1.0).abs() < 1e-12);
+        // Every shard saw traffic: the ring spreads 1024 keys.
+        for (i, s) in r.shards_detail.iter().enumerate() {
+            assert!(s.routed > 0, "shard {i} owned no keys");
+        }
+    }
+
+    #[test]
+    fn runs_are_byte_deterministic() {
+        let storm = FaultStorm::synth(9, 8, 300_000, 1.5);
+        let a = quick(storm.clone());
+        let b = quick(storm);
+        assert_eq!(a.to_json().to_pretty(), b.to_json().to_pretty());
+    }
+
+    #[test]
+    fn bursty_traffic_coalesces_into_batches() {
+        let cfg = ClusterConfig {
+            shards: 2,
+            engines_per_shard: 2,
+            seed: 3,
+            ..ClusterConfig::default()
+        };
+        let traffic = ClusterTraffic {
+            requests: 300,
+            mean_gap: 120, // heavy load: queues form, riders coalesce
+            keys: 8,
+            seed: 7,
+            ..ClusterTraffic::default()
+        };
+        let profile = ServiceProfile::synthetic(2, 1500, 5000, 2);
+        let r = ClusterSim::new(cfg, profile, traffic, FaultStorm::none())
+            .unwrap()
+            .run();
+        check_conservation(&r);
+        assert!(
+            r.batched_requests > r.dispatches,
+            "no coalescing happened: {} batches carried {} requests",
+            r.dispatches,
+            r.batched_requests
+        );
+    }
+
+    #[test]
+    fn a_dead_shard_is_stolen_from_and_work_completes() {
+        let storm =
+            FaultStorm::kill_shard(1, 2, 60_000).merged(FaultStorm::hot_key(0, 50_000, 120_000));
+        // Aim the hot key at the doomed shard so its queue is deep when
+        // it dies.
+        let r = quick(storm);
+        check_conservation(&r);
+        assert_eq!(r.sdc, 0);
+        // The shard's engines died and its breakers opened.
+        let dead = &r.shards_detail[1];
+        assert!(dead.engines.iter().all(|e| e.dead));
+        assert!(r.rerouted > 0, "arrivals must re-route off the dead shard");
+        assert!(r.availability >= 0.9, "availability {}", r.availability);
+    }
+
+    #[test]
+    fn a_partition_heals_and_the_shard_returns() {
+        let r = quick(FaultStorm::partition(2, 40_000, 60_000));
+        check_conservation(&r);
+        assert_eq!(r.sdc, 0);
+        // During the window traffic re-routed; afterwards the shard
+        // served again.
+        let p = &r.shards_detail[2];
+        assert!(p.batches > 0, "healed shard never served");
+        assert!(r.rerouted > 0 || r.steals > 0);
+    }
+
+    #[test]
+    fn malformed_cluster_storms_are_typed_errors() {
+        let cfg = ClusterConfig {
+            shards: 2,
+            engines_per_shard: 2,
+            ..ClusterConfig::default()
+        };
+        let profile = ServiceProfile::synthetic(1, 100, 200, 2);
+        let err = ClusterSim::new(
+            cfg,
+            profile.clone(),
+            ClusterTraffic::default(),
+            FaultStorm::kill_one(9, 100),
+        )
+        .err()
+        .unwrap();
+        assert!(matches!(err, ServeError::Storm(_)), "{err}");
+        let err = ClusterSim::new(
+            cfg,
+            profile,
+            ClusterTraffic::default(),
+            FaultStorm::partition(5, 0, 100),
+        )
+        .err()
+        .unwrap();
+        assert!(matches!(err, ServeError::Storm(_)), "{err}");
+    }
+
+    #[test]
+    fn invalid_configs_are_rejected() {
+        let profile = ServiceProfile::synthetic(1, 100, 200, 1);
+        for cfg in [
+            ClusterConfig {
+                shards: 0,
+                ..ClusterConfig::default()
+            },
+            ClusterConfig {
+                engines_per_shard: 0,
+                ..ClusterConfig::default()
+            },
+            ClusterConfig {
+                vnodes: 0,
+                ..ClusterConfig::default()
+            },
+            ClusterConfig {
+                max_attempts: 0,
+                ..ClusterConfig::default()
+            },
+        ] {
+            assert!(matches!(
+                ClusterSim::new(
+                    cfg,
+                    profile.clone(),
+                    ClusterTraffic::default(),
+                    FaultStorm::none()
+                ),
+                Err(ServeError::Config(_))
+            ));
+        }
+        let no_tenants = ClusterTraffic {
+            tenants: Vec::new(),
+            ..ClusterTraffic::default()
+        };
+        assert!(ClusterSim::new(
+            ClusterConfig::default(),
+            profile,
+            no_tenants,
+            FaultStorm::none()
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn hot_key_windows_skew_routing() {
+        let cfg = ClusterConfig {
+            shards: 4,
+            engines_per_shard: 2,
+            seed: 11,
+            ..ClusterConfig::default()
+        };
+        let router = Router::new(cfg.seed, 4, 16);
+        let hot = router.key_for_shard(3, 10_000).unwrap();
+        let traffic = ClusterTraffic {
+            requests: 300,
+            mean_gap: 600,
+            seed: 5,
+            ..ClusterTraffic::default()
+        };
+        let profile = ServiceProfile::synthetic(3, 1000, 4000, 2);
+        let r = ClusterSim::new(
+            cfg,
+            profile,
+            traffic,
+            FaultStorm::hot_key(hot, 0, u64::MAX / 2),
+        )
+        .unwrap()
+        .run();
+        check_conservation(&r);
+        let hot_share = r.shards_detail[3].routed as f64 / r.admitted.max(1) as f64;
+        assert!(
+            hot_share > 0.5,
+            "hot shard owned only {hot_share:.2} of routed traffic"
+        );
+    }
+}

@@ -1,0 +1,355 @@
+//! The cluster run's result document.
+//!
+//! [`ClusterReport`] extends the single-pool [`crate::ServeReport`]
+//! shape with per-shard routing/stealing tallies, per-tenant service
+//! accounting, and the degradation-ladder history. Rendering uses the
+//! repo's deterministic JSON builder, so two identical runs — at any
+//! campaign thread count — produce byte-identical documents.
+
+use crate::degrade::{LadderEvent, ServiceLevel};
+use crate::report::EngineReport;
+use eve_common::json::JsonValue;
+
+/// One shard's tallies after a cluster run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShardReport {
+    /// Admitted requests whose home shard this was.
+    pub routed: u64,
+    /// Admitted requests this shard accepted for an unavailable home.
+    pub rerouted_in: u64,
+    /// Requests this shard stole from an unavailable peer's queue.
+    pub steals_in: u64,
+    /// Requests stolen out of this shard's queue by peers.
+    pub steals_out: u64,
+    /// Engine dispatches (each carries a whole batch).
+    pub batches: u64,
+    /// Requests carried by those batches.
+    pub batched_requests: u64,
+    /// Requests completed on this shard's engines.
+    pub completions: u64,
+    /// Batches that failed detected.
+    pub failures: u64,
+    /// Per-engine tallies (`dispatches` counts batches here).
+    pub engines: Vec<EngineReport>,
+}
+
+impl ShardReport {
+    /// Deterministic JSON form.
+    #[must_use]
+    pub fn to_json(&self) -> JsonValue {
+        JsonValue::object([
+            ("routed", JsonValue::from(self.routed)),
+            ("rerouted_in", JsonValue::from(self.rerouted_in)),
+            ("steals_in", JsonValue::from(self.steals_in)),
+            ("steals_out", JsonValue::from(self.steals_out)),
+            ("batches", JsonValue::from(self.batches)),
+            ("batched_requests", JsonValue::from(self.batched_requests)),
+            ("completions", JsonValue::from(self.completions)),
+            ("failures", JsonValue::from(self.failures)),
+            (
+                "engines",
+                JsonValue::Array(self.engines.iter().map(EngineReport::to_json).collect()),
+            ),
+        ])
+    }
+}
+
+/// One tenant's service accounting after a cluster run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TenantReport {
+    /// Tenant name.
+    pub name: String,
+    /// Fair-share weight.
+    pub weight: u32,
+    /// Requests this tenant offered.
+    pub arrivals: u64,
+    /// Requests past admission.
+    pub admitted: u64,
+    /// Requests refused (capacity, infeasibility, or tenant shedding).
+    pub shed: u64,
+    /// Admitted requests that completed (any path).
+    pub completed: u64,
+    /// Admitted requests answered correctly in deadline.
+    pub served_ok: u64,
+    /// `served_ok / admitted` (1.0 when nothing was admitted).
+    pub availability: f64,
+}
+
+impl TenantReport {
+    /// Deterministic JSON form.
+    #[must_use]
+    pub fn to_json(&self) -> JsonValue {
+        JsonValue::object([
+            ("name", JsonValue::from(self.name.as_str())),
+            ("weight", JsonValue::from(u64::from(self.weight))),
+            ("arrivals", JsonValue::from(self.arrivals)),
+            ("admitted", JsonValue::from(self.admitted)),
+            ("shed", JsonValue::from(self.shed)),
+            ("completed", JsonValue::from(self.completed)),
+            ("served_ok", JsonValue::from(self.served_ok)),
+            ("availability", JsonValue::from(self.availability)),
+        ])
+    }
+}
+
+/// Everything one cluster run produced.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClusterReport {
+    /// Shard count.
+    pub shards: usize,
+    /// Engines per shard.
+    pub engines_per_shard: usize,
+    /// Requests the traffic model generated.
+    pub requests: u64,
+    /// When the last event fired.
+    pub end_cycle: u64,
+    /// Requests that arrived.
+    pub arrivals: u64,
+    /// Requests past admission.
+    pub admitted: u64,
+    /// Refused: queue at capacity.
+    pub shed_capacity: u64,
+    /// Refused: deadline infeasible.
+    pub shed_infeasible: u64,
+    /// Refused: lowest-weight tenant class shed by the ladder.
+    pub shed_tenant: u64,
+    /// Admitted while no shard was routable (or during a
+    /// fallback-only brownout) — served directly on the O3+DV path.
+    pub direct_fallback: u64,
+    /// Engine dispatches; each carries one batch.
+    pub dispatches: u64,
+    /// Requests those batches carried.
+    pub batched_requests: u64,
+    /// Batches that failed detected.
+    pub batch_failures: u64,
+    /// Member requests inside failed batches.
+    pub request_failures: u64,
+    /// Retry events scheduled.
+    pub retries: u64,
+    /// Requests served on the O3+DV path.
+    pub failovers: u64,
+    /// Requests moved by work stealing.
+    pub steals: u64,
+    /// Stolen requests the thief had to failover (infeasible re-price).
+    pub steal_failovers: u64,
+    /// Admitted requests routed away from an unavailable home shard.
+    pub rerouted: u64,
+    /// Requests completed on engines.
+    pub completed_eve: u64,
+    /// Requests completed on the fallback.
+    pub completed_fallback: u64,
+    /// Silent corruptions that reached callers.
+    pub sdc: u64,
+    /// Correct in-deadline answers over admitted requests.
+    pub availability: f64,
+    /// In-deadline completions over all arrivals.
+    pub goodput: f64,
+    /// Late completions over completions.
+    pub deadline_miss_rate: f64,
+    /// Median sojourn, cycles.
+    pub p50_sojourn: u64,
+    /// 99th-percentile sojourn, cycles.
+    pub p99_sojourn: u64,
+    /// Ladder transitions, in order.
+    pub ladder: Vec<LadderEvent>,
+    /// Service level when the run ended.
+    pub final_level: ServiceLevel,
+    /// Cycles spent at each service level.
+    pub time_at_level: [u64; 4],
+    /// Per-shard tallies.
+    pub shards_detail: Vec<ShardReport>,
+    /// Per-tenant accounting.
+    pub tenants: Vec<TenantReport>,
+}
+
+impl ClusterReport {
+    /// Total shed requests, all reasons.
+    #[must_use]
+    pub fn shed(&self) -> u64 {
+        self.shed_capacity + self.shed_infeasible + self.shed_tenant
+    }
+
+    /// Ladder transitions toward stricter levels.
+    #[must_use]
+    pub fn step_downs(&self) -> u64 {
+        self.ladder.iter().filter(|e| e.to > e.from).count() as u64
+    }
+
+    /// Ladder transitions back toward full service.
+    #[must_use]
+    pub fn step_ups(&self) -> u64 {
+        self.ladder.iter().filter(|e| e.to < e.from).count() as u64
+    }
+
+    /// Deterministic JSON form.
+    #[must_use]
+    pub fn to_json(&self) -> JsonValue {
+        let ladder = self
+            .ladder
+            .iter()
+            .map(|e| {
+                JsonValue::object([
+                    ("at", JsonValue::from(e.at)),
+                    ("from", JsonValue::from(e.from.as_str())),
+                    ("to", JsonValue::from(e.to.as_str())),
+                ])
+            })
+            .collect();
+        let time_at = ServiceLevel::ALL
+            .iter()
+            .map(|&l| {
+                JsonValue::object([
+                    ("level", JsonValue::from(l.as_str())),
+                    ("cycles", JsonValue::from(self.time_at_level[l as usize])),
+                ])
+            })
+            .collect();
+        JsonValue::object([
+            ("shards", JsonValue::from(self.shards as u64)),
+            (
+                "engines_per_shard",
+                JsonValue::from(self.engines_per_shard as u64),
+            ),
+            ("requests", JsonValue::from(self.requests)),
+            ("end_cycle", JsonValue::from(self.end_cycle)),
+            ("arrivals", JsonValue::from(self.arrivals)),
+            ("admitted", JsonValue::from(self.admitted)),
+            ("shed_capacity", JsonValue::from(self.shed_capacity)),
+            ("shed_infeasible", JsonValue::from(self.shed_infeasible)),
+            ("shed_tenant", JsonValue::from(self.shed_tenant)),
+            ("direct_fallback", JsonValue::from(self.direct_fallback)),
+            ("dispatches", JsonValue::from(self.dispatches)),
+            ("batched_requests", JsonValue::from(self.batched_requests)),
+            ("batch_failures", JsonValue::from(self.batch_failures)),
+            ("request_failures", JsonValue::from(self.request_failures)),
+            ("retries", JsonValue::from(self.retries)),
+            ("failovers", JsonValue::from(self.failovers)),
+            ("steals", JsonValue::from(self.steals)),
+            ("steal_failovers", JsonValue::from(self.steal_failovers)),
+            ("rerouted", JsonValue::from(self.rerouted)),
+            ("completed_eve", JsonValue::from(self.completed_eve)),
+            (
+                "completed_fallback",
+                JsonValue::from(self.completed_fallback),
+            ),
+            ("sdc", JsonValue::from(self.sdc)),
+            ("availability", JsonValue::from(self.availability)),
+            ("goodput", JsonValue::from(self.goodput)),
+            (
+                "deadline_miss_rate",
+                JsonValue::from(self.deadline_miss_rate),
+            ),
+            ("p50_sojourn", JsonValue::from(self.p50_sojourn)),
+            ("p99_sojourn", JsonValue::from(self.p99_sojourn)),
+            ("ladder", JsonValue::Array(ladder)),
+            ("final_level", JsonValue::from(self.final_level.as_str())),
+            ("time_at_level", JsonValue::Array(time_at)),
+            (
+                "shards_detail",
+                JsonValue::Array(
+                    self.shards_detail
+                        .iter()
+                        .map(ShardReport::to_json)
+                        .collect(),
+                ),
+            ),
+            (
+                "tenants",
+                JsonValue::Array(self.tenants.iter().map(TenantReport::to_json).collect()),
+            ),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::breaker::{BreakerState, BreakerStats};
+
+    fn sample() -> ClusterReport {
+        ClusterReport {
+            shards: 2,
+            engines_per_shard: 2,
+            requests: 10,
+            end_cycle: 9_000,
+            arrivals: 10,
+            admitted: 9,
+            shed_capacity: 0,
+            shed_infeasible: 1,
+            shed_tenant: 0,
+            direct_fallback: 0,
+            dispatches: 6,
+            batched_requests: 9,
+            batch_failures: 1,
+            request_failures: 1,
+            retries: 1,
+            failovers: 0,
+            steals: 2,
+            steal_failovers: 0,
+            rerouted: 1,
+            completed_eve: 9,
+            completed_fallback: 0,
+            sdc: 0,
+            availability: 1.0,
+            goodput: 0.9,
+            deadline_miss_rate: 0.0,
+            p50_sojourn: 1_500,
+            p99_sojourn: 4_000,
+            ladder: vec![LadderEvent {
+                at: 4_000,
+                from: ServiceLevel::Full,
+                to: ServiceLevel::BatchOnly,
+            }],
+            final_level: ServiceLevel::BatchOnly,
+            time_at_level: [4_000, 5_000, 0, 0],
+            shards_detail: vec![
+                ShardReport {
+                    routed: 5,
+                    rerouted_in: 1,
+                    steals_in: 2,
+                    steals_out: 0,
+                    batches: 3,
+                    batched_requests: 5,
+                    completions: 5,
+                    failures: 0,
+                    engines: vec![
+                        EngineReport {
+                            dispatches: 3,
+                            completions: 3,
+                            failures: 0,
+                            dead: false,
+                            final_state: BreakerState::Closed,
+                            breaker: BreakerStats::default(),
+                        };
+                        2
+                    ],
+                };
+                2
+            ],
+            tenants: vec![TenantReport {
+                name: "t0".into(),
+                weight: 4,
+                arrivals: 10,
+                admitted: 9,
+                shed: 1,
+                completed: 9,
+                served_ok: 9,
+                availability: 1.0,
+            }],
+        }
+    }
+
+    #[test]
+    fn json_is_stable_and_self_parsing() {
+        let r = sample();
+        let a = r.to_json().to_pretty();
+        let b = r.to_json().to_pretty();
+        assert_eq!(a, b);
+        assert!(a.contains("\"batch_only\""));
+        assert!(a.contains("\"time_at_level\""));
+        JsonValue::parse(&a).expect("own output parses");
+        assert_eq!(r.shed(), 1);
+        assert_eq!(r.step_downs(), 1);
+        assert_eq!(r.step_ups(), 0);
+    }
+}

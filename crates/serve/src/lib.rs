@@ -24,6 +24,16 @@
 //!   [`ServeReport`]; [`audit_serve`] replays a traced run against the
 //!   report and enforces the serving conservation identities.
 //!
+//! At fleet scale, [`ClusterSim`] grows the single pool into a sharded
+//! cluster: a seeded consistent-hash [`Router`] places requests across
+//! N shards, [`TenantQueues`] drain fair-share multi-tenant traffic by
+//! weighted deficit round-robin, [`BatchPolicy`] coalesces same-kernel
+//! requests into amortized dispatches, idle shards work-steal from
+//! unroutable peers, and the [`Ladder`] degrades service gracefully
+//! (full → batch-only → shed low-weight tenants → fallback-only)
+//! instead of collapsing. [`audit_cluster`] extends the replay
+//! identity to routing, stealing, and shedding decisions.
+//!
 //! # Examples
 //!
 //! ```
@@ -47,20 +57,34 @@
 
 pub mod audit;
 pub mod backoff;
+pub mod batch;
 pub mod breaker;
+pub mod cluster;
+pub mod cluster_report;
+pub mod degrade;
 pub mod health;
 pub mod profile;
 pub mod queue;
 pub mod report;
+pub mod router;
 pub mod sim;
 pub mod storm;
+pub mod tenancy;
 
-pub use audit::{audit_serve, ServeAuditFailure, ServeAuditSummary};
+pub use audit::{
+    audit_cluster, audit_serve, ClusterAuditSummary, ServeAuditFailure, ServeAuditSummary,
+};
 pub use backoff::{Backoff, BackoffPolicy};
+pub use batch::BatchPolicy;
 pub use breaker::{BreakerPolicy, BreakerState, BreakerStats, CircuitBreaker};
+pub use cluster::{ClusterConfig, ClusterSim, ClusterTraffic, StealPolicy};
+pub use cluster_report::{ClusterReport, ShardReport, TenantReport};
+pub use degrade::{Ladder, LadderEvent, LadderPolicy, ServiceLevel};
 pub use health::{apply_signal, signals, HealthSignal};
 pub use profile::ServiceProfile;
 pub use queue::{admit, estimated_wait, AdmissionPolicy, AdmissionView, ShedReason};
 pub use report::{EngineReport, ServeReport};
+pub use router::Router;
 pub use sim::{ServeConfig, ServeError, ServeSim, TrafficConfig};
 pub use storm::{FaultStorm, StormEvent, StormEventKind};
+pub use tenancy::{tenant_mix, TenantQueues, TenantSpec};

@@ -1,0 +1,180 @@
+//! The seeded consistent-hash router.
+//!
+//! Cluster arrivals carry a routing key (a tenant's document id, a
+//! cache line, a model shard — anything sticky); the router maps each
+//! key onto one of N shards through a classic consistent-hash ring
+//! with virtual nodes. The ring is a pure function of
+//! `(seed, shards, vnodes)`, so routing decisions replay exactly, and
+//! the vnode count trades placement smoothness against ring size the
+//! way MASIM trades array-pool granularity against scheduler state.
+//!
+//! Failure routing walks the ring: [`Router::route_healthy`] yields
+//! the first *available* shard at or after the key's home position, so
+//! when a shard partitions, only the keys it owned move — every other
+//! key keeps its placement, which is the whole point of consistent
+//! hashing over `key % shards`.
+
+use eve_common::SplitMix64;
+
+/// A consistent-hash ring over `shards` shards.
+#[derive(Debug, Clone)]
+pub struct Router {
+    /// `(ring position, shard)` sorted by position.
+    ring: Vec<(u64, usize)>,
+    shards: usize,
+    seed: u64,
+}
+
+impl Router {
+    /// Builds the ring: `vnodes` points per shard, all derived from
+    /// `seed`. The same arguments always produce the same ring.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shards` or `vnodes` is zero.
+    #[must_use]
+    pub fn new(seed: u64, shards: usize, vnodes: usize) -> Self {
+        assert!(shards > 0, "a ring needs at least one shard");
+        assert!(vnodes > 0, "a ring needs at least one vnode per shard");
+        let mut ring = Vec::with_capacity(shards * vnodes);
+        for shard in 0..shards {
+            // Per-shard stream: adding a shard never moves another
+            // shard's vnodes, so scale-out only remaps the keys the
+            // new shard takes over.
+            let mut rng =
+                SplitMix64::new(seed ^ (shard as u64).wrapping_mul(0xA24B_AED4_963E_E407));
+            for _ in 0..vnodes {
+                ring.push((rng.next_u64(), shard));
+            }
+        }
+        // Position ties (astronomically rare) break by shard index so
+        // the ring is canonical.
+        ring.sort_unstable();
+        Self { ring, shards, seed }
+    }
+
+    /// Shard count.
+    #[must_use]
+    pub fn shards(&self) -> usize {
+        self.shards
+    }
+
+    /// Hashes a routing key onto the ring.
+    fn position(&self, key: u64) -> u64 {
+        SplitMix64::new(key ^ self.seed).next_u64()
+    }
+
+    /// The index of the first ring point at or after `pos` (wrapping).
+    fn successor(&self, pos: u64) -> usize {
+        match self.ring.binary_search(&(pos, 0)) {
+            Ok(i) => i,
+            Err(i) if i == self.ring.len() => 0,
+            Err(i) => i,
+        }
+    }
+
+    /// The shard that owns `key`.
+    #[must_use]
+    pub fn route(&self, key: u64) -> usize {
+        self.ring[self.successor(self.position(key))].1
+    }
+
+    /// The first shard at or after `key`'s home position for which
+    /// `available` holds — the home shard itself when it is healthy,
+    /// its ring successor otherwise. `None` when no shard qualifies.
+    pub fn route_healthy(
+        &self,
+        key: u64,
+        mut available: impl FnMut(usize) -> bool,
+    ) -> Option<usize> {
+        let start = self.successor(self.position(key));
+        let mut seen = 0u64;
+        for i in 0..self.ring.len() {
+            let shard = self.ring[(start + i) % self.ring.len()].1;
+            let bit = 1u64 << (shard % 64);
+            if seen & bit != 0 {
+                continue;
+            }
+            seen |= bit;
+            if available(shard) {
+                return Some(shard);
+            }
+        }
+        None
+    }
+
+    /// Probes keys `0..limit` for one that routes to `shard` — how
+    /// tests and campaign storms aim a hot key at a chosen shard.
+    #[must_use]
+    pub fn key_for_shard(&self, shard: usize, limit: u64) -> Option<u64> {
+        (0..limit).find(|&k| self.route(k) == shard)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn routing_is_deterministic() {
+        let a = Router::new(42, 4, 16);
+        let b = Router::new(42, 4, 16);
+        for key in 0..1000 {
+            assert_eq!(a.route(key), b.route(key));
+        }
+    }
+
+    #[test]
+    fn every_shard_owns_a_fair_slice() {
+        let r = Router::new(7, 4, 64);
+        let mut counts = [0u32; 4];
+        for key in 0..4000 {
+            counts[r.route(key)] += 1;
+        }
+        for (s, &c) in counts.iter().enumerate() {
+            // 4000 keys over 4 shards: each should land near 1000.
+            assert!((400..=1800).contains(&c), "shard {s} owns {c} keys");
+        }
+    }
+
+    #[test]
+    fn adding_a_shard_only_moves_its_own_keys() {
+        let small = Router::new(11, 3, 32);
+        let large = Router::new(11, 4, 32);
+        for key in 0..2000 {
+            let before = small.route(key);
+            let after = large.route(key);
+            // A key either stays put or moved to the new shard.
+            assert!(
+                after == before || after == 3,
+                "key {key} moved {before} -> {after}"
+            );
+        }
+    }
+
+    #[test]
+    fn unhealthy_shards_fail_over_along_the_ring() {
+        let r = Router::new(5, 4, 16);
+        for key in 0..500 {
+            let home = r.route(key);
+            let healthy = r.route_healthy(key, |s| s != home).unwrap();
+            assert_ne!(healthy, home);
+            // With only the home shard down, healthy routing must be
+            // stable across calls.
+            assert_eq!(r.route_healthy(key, |s| s != home), Some(healthy));
+            // A fully healthy cluster routes home.
+            assert_eq!(r.route_healthy(key, |_| true), Some(home));
+        }
+        assert_eq!(r.route_healthy(9, |_| false), None);
+    }
+
+    #[test]
+    fn key_probe_finds_every_shard() {
+        let r = Router::new(13, 4, 16);
+        for shard in 0..4 {
+            let key = r.key_for_shard(shard, 10_000).expect("key exists");
+            assert_eq!(r.route(key), shard);
+        }
+        assert_eq!(Router::new(1, 1, 1).key_for_shard(0, 10), Some(0));
+    }
+}

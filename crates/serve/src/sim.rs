@@ -99,12 +99,17 @@ impl Default for TrafficConfig {
 pub enum ServeError {
     /// An invalid configuration value.
     Config(String),
+    /// A malformed storm scenario (an event addressing silicon the run
+    /// does not have, or a cluster-scoped kind in a single-pool run).
+    /// Campaigns turn this into an error row instead of aborting.
+    Storm(String),
 }
 
 impl fmt::Display for ServeError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             ServeError::Config(m) => write!(f, "serve config: {m}"),
+            ServeError::Storm(m) => write!(f, "serve storm: {m}"),
         }
     }
 }
@@ -266,6 +271,31 @@ impl ServeSim {
         }
         if cfg.max_attempts == 0 {
             return Err(ServeError::Config("max_attempts must be at least 1".into()));
+        }
+        // A malformed scenario is a typed error, never a mid-run panic:
+        // an out-of-range engine would index past the pool inside the
+        // event loop, and the cluster-scoped kinds have no meaning on a
+        // single pool.
+        for (i, e) in storm.events.iter().enumerate() {
+            match e.kind {
+                StormEventKind::Brownout { .. }
+                | StormEventKind::Silent { .. }
+                | StormEventKind::Kill
+                | StormEventKind::Recover => {
+                    if e.engine >= cfg.pool {
+                        return Err(ServeError::Storm(format!(
+                            "event {i} targets engine {} of a {}-engine pool",
+                            e.engine, cfg.pool
+                        )));
+                    }
+                }
+                StormEventKind::ShardPartition { .. } | StormEventKind::HotKeySkew { .. } => {
+                    return Err(ServeError::Storm(format!(
+                        "event {i} is cluster-scoped; a single pool has no shards \
+                         (use ClusterSim)"
+                    )));
+                }
+            }
         }
         let mut heap = BinaryHeap::new();
         let mut seq = 0u64;
@@ -450,6 +480,8 @@ impl ServeSim {
                 e.silent_until = self.now;
                 e.fault_epoch += 1;
             }
+            // Cluster-scoped kinds are rejected at construction.
+            StormEventKind::ShardPartition { .. } | StormEventKind::HotKeySkew { .. } => {}
         }
         // Health changed: waiting work may now be placeable (or the
         // pool may have lost a server — pump is a no-op then).
@@ -934,6 +966,42 @@ mod tests {
         assert!(r.engines[1].completions > 0);
         assert!(r.engines[0].completions == 0);
         assert_eq!(r.completed_eve + r.completed_fallback, r.admitted);
+    }
+
+    #[test]
+    fn malformed_storms_are_typed_errors_not_panics() {
+        let profile = ServiceProfile::synthetic(1, 100, 200, 2);
+        // An event addressing engine 7 of a 2-engine pool used to
+        // index out of bounds inside the event loop.
+        let out_of_range = FaultStorm::kill_one(7, 1_000);
+        let err = ServeSim::new(
+            ServeConfig {
+                pool: 2,
+                ..ServeConfig::default()
+            },
+            profile.clone(),
+            TrafficConfig::default(),
+            out_of_range,
+        )
+        .err()
+        .unwrap();
+        assert!(matches!(err, ServeError::Storm(_)), "{err}");
+        assert!(err.to_string().contains("engine 7"));
+        // Cluster-scoped kinds have no meaning on a single pool.
+        for storm in [
+            FaultStorm::partition(0, 0, 100),
+            FaultStorm::hot_key(3, 0, 100),
+        ] {
+            let err = ServeSim::new(
+                ServeConfig::default(),
+                profile.clone(),
+                TrafficConfig::default(),
+                storm,
+            )
+            .err()
+            .unwrap();
+            assert!(matches!(err, ServeError::Storm(_)), "{err}");
+        }
     }
 
     #[test]

@@ -33,6 +33,26 @@ pub enum StormEventKind {
     /// The engine returns to health (ends a brownout early or revives
     /// a killed engine after repair).
     Recover,
+    /// Cluster-scoped: the *shard* named by the event's `engine` field
+    /// is network-isolated for `duration` cycles — no dispatches land,
+    /// in-flight work fails detected, and the router treats the shard
+    /// as unavailable. Rejected by single-pool [`crate::ServeSim`]
+    /// runs (a pool has no shards).
+    ShardPartition {
+        /// Partition length in cycles.
+        duration: u64,
+    },
+    /// Cluster-scoped traffic shaping rather than a silicon fault:
+    /// while the window lasts, most arrivals draw `key` instead of a
+    /// uniform routing key, hammering whichever shard owns it. The
+    /// event's `engine` field is ignored. Rejected by single-pool
+    /// runs.
+    HotKeySkew {
+        /// The hammered routing key.
+        key: u64,
+        /// Skew-window length in cycles.
+        duration: u64,
+    },
 }
 
 /// One scripted health event.
@@ -68,6 +88,50 @@ impl FaultStorm {
                 at,
                 engine,
                 kind: StormEventKind::Kill,
+            }],
+        }
+    }
+
+    /// A storm that kills every engine of `shard` at `at` — the whole
+    /// shard dies at once, as if its power rail browned out for good.
+    /// Engine indices are global (`shard * engines_per_shard + e`),
+    /// matching the cluster simulation's storm addressing.
+    #[must_use]
+    pub fn kill_shard(shard: usize, engines_per_shard: usize, at: u64) -> Self {
+        let events = (0..engines_per_shard)
+            .map(|e| StormEvent {
+                at,
+                engine: shard * engines_per_shard + e,
+                kind: StormEventKind::Kill,
+            })
+            .collect();
+        let mut storm = Self { events };
+        storm.normalize();
+        storm
+    }
+
+    /// A storm that network-partitions `shard` at `at` for `duration`
+    /// cycles, then heals.
+    #[must_use]
+    pub fn partition(shard: usize, at: u64, duration: u64) -> Self {
+        Self {
+            events: vec![StormEvent {
+                at,
+                engine: shard,
+                kind: StormEventKind::ShardPartition { duration },
+            }],
+        }
+    }
+
+    /// A hot-key-skew window: from `at` for `duration` cycles, most
+    /// arrivals carry `key`, hammering the shard that owns it.
+    #[must_use]
+    pub fn hot_key(key: u64, at: u64, duration: u64) -> Self {
+        Self {
+            events: vec![StormEvent {
+                at,
+                engine: 0,
+                kind: StormEventKind::HotKeySkew { key, duration },
             }],
         }
     }
@@ -139,6 +203,8 @@ fn kind_rank(k: StormEventKind) -> u8 {
         StormEventKind::Brownout { .. } => 1,
         StormEventKind::Silent { .. } => 2,
         StormEventKind::Kill => 3,
+        StormEventKind::ShardPartition { .. } => 4,
+        StormEventKind::HotKeySkew { .. } => 5,
     }
 }
 
@@ -200,6 +266,33 @@ mod tests {
             .events
             .iter()
             .any(|e| e.kind == StormEventKind::Kill && e.engine == 2));
+    }
+
+    #[test]
+    fn kill_shard_takes_every_engine_at_once() {
+        let s = FaultStorm::kill_shard(2, 4, 7_000);
+        assert_eq!(s.events.len(), 4);
+        for (i, e) in s.events.iter().enumerate() {
+            assert_eq!(e.at, 7_000);
+            assert_eq!(e.engine, 8 + i);
+            assert_eq!(e.kind, StormEventKind::Kill);
+        }
+    }
+
+    #[test]
+    fn cluster_kinds_sort_after_engine_kinds() {
+        let s = FaultStorm::kill_one(0, 100)
+            .merged(FaultStorm::partition(0, 100, 50))
+            .merged(FaultStorm::hot_key(9, 100, 50));
+        assert_eq!(s.events[0].kind, StormEventKind::Kill);
+        assert!(matches!(
+            s.events[1].kind,
+            StormEventKind::ShardPartition { .. }
+        ));
+        assert!(matches!(
+            s.events[2].kind,
+            StormEventKind::HotKeySkew { .. }
+        ));
     }
 
     #[test]

@@ -1,0 +1,174 @@
+//! Integration tests for the sharded cluster serving layer: the
+//! ISSUE's acceptance scenario (an entire shard dies mid-run under
+//! hot-key skew; the cluster stays available with zero SDCs, work is
+//! stolen off the backlogged shard, and the degradation ladder both
+//! steps down and recovers), the cluster trace-audit identity, and
+//! byte determinism.
+
+use eve::serve::{
+    audit_cluster, tenant_mix, ClusterConfig, ClusterReport, ClusterSim, ClusterTraffic,
+    FaultStorm, Router, ServiceLevel, ServiceProfile,
+};
+use eve_obs::Tracer;
+
+const SHARDS: usize = 4;
+const ENGINES_PER_SHARD: usize = 4;
+const VICTIM: usize = 2;
+const REQUESTS: usize = 1_200;
+const MEAN_GAP: u64 = 400;
+const HORIZON: u64 = REQUESTS as u64 * MEAN_GAP;
+
+fn acceptance_config() -> ClusterConfig {
+    ClusterConfig {
+        shards: SHARDS,
+        engines_per_shard: ENGINES_PER_SHARD,
+        seed: 11,
+        ..ClusterConfig::default()
+    }
+}
+
+fn acceptance_traffic() -> ClusterTraffic {
+    ClusterTraffic {
+        requests: REQUESTS,
+        mean_gap: MEAN_GAP,
+        deadline_slack: 6.0,
+        tenants: tenant_mix(3),
+        seed: 0x7E57,
+        ..ClusterTraffic::default()
+    }
+}
+
+/// The acceptance storm, aimed at one victim shard:
+///
+/// 1. a hot-key-skew window concentrates 90% of arrivals on the
+///    victim's routing key, building a real backlog there;
+/// 2. a partition isolates the victim *with that backlog queued* —
+///    the work-stealing case: idle peers must drain its queue;
+/// 3. after the partition heals and hot traffic piles back on, every
+///    engine in the shard is killed for good — the degradation-ladder
+///    case: windowed failures force a step down, and the run must
+///    recover the rung once the cluster re-stabilizes.
+fn acceptance_storm(cfg: &ClusterConfig, keys: u64) -> FaultStorm {
+    let ring = Router::new(cfg.seed, cfg.shards, cfg.vnodes);
+    let hot = ring
+        .key_for_shard(VICTIM, keys)
+        .expect("some key routes to the victim shard");
+    FaultStorm::hot_key(hot, HORIZON / 5, HORIZON / 2)
+        .merged(FaultStorm::partition(VICTIM, HORIZON / 3, HORIZON / 10))
+        .merged(FaultStorm::kill_shard(
+            VICTIM,
+            ENGINES_PER_SHARD,
+            HORIZON * 3 / 5,
+        ))
+}
+
+fn acceptance_run(tracer: Option<&Tracer>) -> ClusterReport {
+    let cfg = acceptance_config();
+    let traffic = acceptance_traffic();
+    let storm = acceptance_storm(&cfg, traffic.keys);
+    let profile = ServiceProfile::synthetic(3, 1_000, 4_000, ENGINES_PER_SHARD);
+    let sim = ClusterSim::new(cfg, profile, traffic, storm).expect("valid acceptance setup");
+    match tracer {
+        Some(t) => sim.with_tracer(t).run(),
+        None => sim.run(),
+    }
+}
+
+#[test]
+fn shard_death_under_hot_key_skew_meets_the_acceptance_floor() {
+    let report = acceptance_run(None);
+
+    // The victim really died: every one of its engines is gone.
+    let victim = &report.shards_detail[VICTIM];
+    assert!(
+        victim.engines.iter().all(|e| e.dead),
+        "storm must kill the whole victim shard"
+    );
+
+    // Availability floor with zero silent corruptions.
+    assert!(
+        report.availability >= 0.99,
+        "availability {} under shard death",
+        report.availability
+    );
+    assert_eq!(report.sdc, 0, "checked cluster must not leak SDCs");
+
+    // The backlogged partition window produced real work stealing.
+    assert!(
+        report.steals >= 1,
+        "idle shards must steal from the isolated victim (steals = {})",
+        report.steals
+    );
+    assert!(
+        report.rerouted >= 1,
+        "arrivals must re-route off the unavailable victim"
+    );
+
+    // The ladder stepped down under the storm AND recovered.
+    assert!(
+        report.step_downs() >= 1,
+        "ladder never stepped down: {:?}",
+        report.ladder
+    );
+    assert!(
+        report.step_ups() >= 1,
+        "ladder never recovered a rung: {:?}",
+        report.ladder
+    );
+    assert_eq!(
+        report.final_level,
+        ServiceLevel::Full,
+        "cluster must end the run back at full service"
+    );
+}
+
+#[test]
+fn every_admitted_request_is_accounted_and_no_tenant_is_starved() {
+    let report = acceptance_run(None);
+    for t in &report.tenants {
+        assert_eq!(
+            t.completed, t.admitted,
+            "tenant {} leaked admitted requests",
+            t.name
+        );
+        assert_eq!(t.arrivals, t.admitted + t.shed, "tenant {} books", t.name);
+        if t.admitted > 0 {
+            assert!(
+                t.availability >= 0.95,
+                "tenant {} starved: availability {}",
+                t.name,
+                t.availability
+            );
+        }
+    }
+    // Weighted fair-share really spread load: every tenant got service.
+    assert!(report.tenants.iter().all(|t| t.served_ok > 0));
+    // And every healthy shard carried some of it.
+    for (i, s) in report.shards_detail.iter().enumerate() {
+        assert!(s.routed > 0, "shard {i} never routed a request");
+    }
+}
+
+#[test]
+fn the_cluster_trace_audit_holds_under_the_acceptance_storm() {
+    let tracer = Tracer::new();
+    let report = acceptance_run(Some(&tracer));
+    let summary = audit_cluster(&tracer, &report).expect("audit passes");
+    assert!(summary.events > 0, "audit must replay real events");
+    assert!(
+        summary.identities > 20,
+        "audit must check the full identity set, got {}",
+        summary.identities
+    );
+}
+
+#[test]
+fn acceptance_runs_are_byte_identical() {
+    let a = acceptance_run(None).to_json().to_pretty();
+    let b = acceptance_run(None).to_json().to_pretty();
+    assert_eq!(a, b, "identical configs must produce identical bytes");
+    // The report is real JSON with the cluster-specific sections.
+    assert!(a.contains("\"ladder\""));
+    assert!(a.contains("\"tenants\""));
+    assert!(a.contains("\"steals\""));
+}
