@@ -295,6 +295,9 @@ pub struct ShadowChecker {
     pending_corrections: u64,
     /// Remapped rows not yet charged to the engine's timeline.
     pending_remaps: u64,
+    /// Reused lane buffer for the silent-mismatch audit (`check` runs
+    /// once per compute instruction — no per-call allocation).
+    shadow: Vec<u32>,
 }
 
 impl ShadowChecker {
@@ -345,6 +348,7 @@ impl ShadowChecker {
             stages: EscalationStages::default(),
             pending_corrections: 0,
             pending_remaps: 0,
+            shadow: Vec::with_capacity(SHADOW_LANES),
         })
     }
 
@@ -587,20 +591,20 @@ impl ShadowChecker {
         // result. A mismatch here slipped past the detector.
         let lanes = p.a.len();
         let golden = &interp.vreg(p.vd)[..lanes];
-        let mut shadow = Vec::with_capacity(lanes);
+        self.shadow.clear();
         let mut bad = 0u64;
         for (lane, &want) in golden.iter().enumerate() {
             let got = self.arr.read_element(u32::from(p.vd.index()), lane);
             if got != want {
                 bad += 1;
             }
-            shadow.push(got);
+            self.shadow.push(got);
         }
         if bad == 0 {
             return CheckVerdict::Clean;
         }
         self.corrupted_lanes += bad;
-        interp.poke_vreg(p.vd, &shadow);
+        interp.poke_vreg(p.vd, &self.shadow);
         CheckVerdict::Silent
     }
 

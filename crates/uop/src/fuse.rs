@@ -1,0 +1,856 @@
+//! Tier-2 μprogram compilation: specialize, unroll, and fuse.
+//!
+//! The bit-accurate interpreter in `eve-sram` walks one VLIW tuple per
+//! cycle, paying counter updates, branch resolution, and a full μop
+//! dispatch for every tuple of every execution — and the library loops
+//! are identical on every trip. §IV's key property makes all of that
+//! overhead removable ahead of time: control flow depends *only* on the
+//! counter file, never on vector data. A μprogram's trip through its
+//! loops is therefore a pure function of the program text and the
+//! EVE-*n* configuration, and can be replayed symbolically once:
+//!
+//! 1. **Specialize** ([`compile`]): execute the counter/control μops
+//!    against a [`CounterFile`] exactly as the interpreter would,
+//!    recording each cycle's arithmetic μop with its segment selectors
+//!    resolved to concrete [`SegSel::At`] indices. Counter-only tuples
+//!    vanish from the trace (their cycle cost is kept in
+//!    [`CompiledProgram::cycles`]), and register slots stay symbolic
+//!    ([`VSlot`]) so one compiled program serves every operand binding.
+//! 2. **Fuse**: a peephole pass collapses the dominant tuple pair —
+//!    a bit-line compute immediately followed by a row writeback of one
+//!    of its latch outputs (the and/or/xor chains, the add carry
+//!    recurrence, and the complement + add-carry-one subtraction are
+//!    all instances) — into one [`CompiledOp::Fused`] super-op that
+//!    computes and stores in a single pass over the u64 bit-planes.
+//! 3. **Liveness**: a backward pass decides which latch planes each
+//!    fused op must still materialize. Latch state persists across
+//!    program executions (a later program may read the latches before
+//!    its first `blc`), so liveness at the end of the trace is "all
+//!    planes"; interior fused ops keep only the planes read before the
+//!    next redefining compute.
+//!
+//! The [`ProgramCache`] memoizes compiled programs per
+//! `(MacroOpKind, HybridConfig, lanes)` and tracks the tier ladder's
+//! hit/miss/retired counters; [`profile`] is the allocation-free
+//! variant the timing model uses when it only needs the counts.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use crate::counter::CounterFile;
+use crate::library::MacroOpKind;
+use crate::program::{HybridConfig, MicroProgram};
+use crate::uop::{
+    ArithUop, CarryIn, ComputeSrc, ControlUop, CounterUop, MaskSrc, Operand, SegSel, WbDest,
+};
+use eve_common::Cycle;
+
+/// Upper bound on unrolled tuples, matching the interpreter's runaway
+/// guard: a program this long is a generator bug, not a workload.
+const RUNAWAY_LIMIT: u64 = 2_000_000;
+
+/// Which bit-line-compute latch plane a writeback source reads, if any.
+///
+/// Complement sources read the stored positive plane (the complement is
+/// derived over the live lanes at read time); `Shift` and `Mask` read
+/// other latches entirely.
+fn latch_plane(src: ComputeSrc) -> Option<Plane> {
+    match src {
+        ComputeSrc::And | ComputeSrc::Nand => Some(Plane::And),
+        ComputeSrc::Or | ComputeSrc::Nor => Some(Plane::Or),
+        ComputeSrc::Xor | ComputeSrc::Xnor => Some(Plane::Xor),
+        ComputeSrc::Add => Some(Plane::Sum),
+        ComputeSrc::Shift | ComputeSrc::Mask => None,
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Plane {
+    And,
+    Or,
+    Xor,
+    Sum,
+}
+
+/// The latch planes a fused compute must materialize (beyond feeding
+/// its own writeback inline). Planes not kept hold stale values until
+/// the next compute redefines them — legal exactly because the
+/// backward liveness pass proved nothing reads them in between.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LatchKeep {
+    /// Keep the AND plane (also serves `Nand` reads).
+    pub and: bool,
+    /// Keep the OR plane (also serves `Nor` reads).
+    pub or: bool,
+    /// Keep the XOR plane (also serves `Xnor` reads).
+    pub xor: bool,
+    /// Keep the SUM plane (serves `Add` writebacks and `AddMsb` masks).
+    pub sum: bool,
+}
+
+impl LatchKeep {
+    /// Every plane demanded — the end-of-program obligation.
+    pub const ALL: Self = Self {
+        and: true,
+        or: true,
+        xor: true,
+        sum: true,
+    };
+    /// No plane demanded.
+    pub const NONE: Self = Self {
+        and: false,
+        or: false,
+        xor: false,
+        sum: false,
+    };
+
+    fn mark(&mut self, plane: Plane) {
+        match plane {
+            Plane::And => self.and = true,
+            Plane::Or => self.or = true,
+            Plane::Xor => self.xor = true,
+            Plane::Sum => self.sum = true,
+        }
+    }
+}
+
+/// One operation of a compiled (tier-2) program.
+///
+/// Every embedded [`Operand`] is fully resolved: segment selectors are
+/// [`SegSel::At`], so execution needs no counter file. Register slots
+/// remain symbolic and are bound at dispatch, which is what lets one
+/// compiled program serve every `(d, s1, s2)` binding.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CompiledOp {
+    /// An arithmetic μop executed through the interpreter's own leaf
+    /// (already word-parallel; nothing to fuse).
+    Raw(ArithUop),
+    /// A bit-line compute fused with the row writeback of one of its
+    /// latch outputs: one pass over the bit-planes computes all logic
+    /// layers, advances the carry recurrence, stores `src` directly
+    /// into `dst`, and materializes only the `keep` planes.
+    Fused {
+        /// First sensed operand row.
+        a: Operand,
+        /// Second sensed operand row.
+        b: Operand,
+        /// Carry preset for the add layer.
+        carry_in: CarryIn,
+        /// Destination row of the fused writeback.
+        dst: Operand,
+        /// Which logic layer's output is stored.
+        src: ComputeSrc,
+        /// Mask-predicated store.
+        masked: bool,
+        /// Latch planes that must still be materialized.
+        keep: LatchKeep,
+    },
+}
+
+/// A μprogram specialized to one configuration and lane count: a flat
+/// trace of [`CompiledOp`]s with loops unrolled, counters folded away,
+/// and adjacent compute/writeback tuples fused.
+#[derive(Debug, Clone)]
+pub struct CompiledProgram {
+    name: String,
+    cfg: HybridConfig,
+    lanes: usize,
+    ops: Vec<CompiledOp>,
+    cycles: Cycle,
+    uops: u64,
+    fused: u64,
+}
+
+impl CompiledProgram {
+    /// The source μprogram's name.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The configuration this program was specialized for.
+    #[must_use]
+    pub fn config(&self) -> HybridConfig {
+        self.cfg
+    }
+
+    /// The lane count this program was specialized for.
+    #[must_use]
+    pub fn lanes(&self) -> usize {
+        self.lanes
+    }
+
+    /// The flat operation trace.
+    #[must_use]
+    pub fn ops(&self) -> &[CompiledOp] {
+        &self.ops
+    }
+
+    /// Cycles the source program occupies the VSU — identical to
+    /// interpreting it (every tuple is one cycle, fused or not).
+    #[must_use]
+    pub fn cycles(&self) -> Cycle {
+        self.cycles
+    }
+
+    /// Non-nop arithmetic μops retired per execution.
+    #[must_use]
+    pub fn uops(&self) -> u64 {
+        self.uops
+    }
+
+    /// Compute/writeback pairs collapsed into fused super-ops.
+    #[must_use]
+    pub fn fused(&self) -> u64 {
+        self.fused
+    }
+}
+
+/// Resolves an operand's segment selector against the counter file.
+fn resolve(op: Operand, counters: &CounterFile) -> Operand {
+    let seg = match op.seg {
+        SegSel::Up(ctr) => counters.seg_up(ctr),
+        SegSel::Down(ctr) => counters.seg_down(ctr),
+        SegSel::At(k) => u32::from(k),
+    };
+    debug_assert!(seg < 32, "segment index {seg} out of range");
+    Operand::at(op.slot, seg as u8)
+}
+
+/// Resolves every operand of an arithmetic μop to a concrete segment.
+fn resolve_arith(uop: &ArithUop, counters: &CounterFile) -> ArithUop {
+    match *uop {
+        ArithUop::Read { op } => ArithUop::Read {
+            op: resolve(op, counters),
+        },
+        ArithUop::WriteConst { op, value, masked } => ArithUop::WriteConst {
+            op: resolve(op, counters),
+            value,
+            masked,
+        },
+        ArithUop::WriteDataIn { op } => ArithUop::WriteDataIn {
+            op: resolve(op, counters),
+        },
+        ArithUop::Blc { a, b, carry_in } => ArithUop::Blc {
+            a: resolve(a, counters),
+            b: resolve(b, counters),
+            carry_in,
+        },
+        ArithUop::Writeback { dst, src, masked } => ArithUop::Writeback {
+            dst: match dst {
+                WbDest::Row(op) => WbDest::Row(resolve(op, counters)),
+                other => other,
+            },
+            src,
+            masked,
+        },
+        ArithUop::LoadShifter { op } => ArithUop::LoadShifter {
+            op: resolve(op, counters),
+        },
+        ArithUop::StoreShifter { op, masked } => ArithUop::StoreShifter {
+            op: resolve(op, counters),
+            masked,
+        },
+        ArithUop::LoadXReg { op } => ArithUop::LoadXReg {
+            op: resolve(op, counters),
+        },
+        other => other,
+    }
+}
+
+/// Symbolically executes the counter/control μops of `prog`, returning
+/// the resolved arithmetic trace and the total cycle count.
+///
+/// # Panics
+///
+/// Panics on runaway or malformed programs — generator bugs, exactly
+/// as the interpreter would.
+fn unroll(prog: &MicroProgram) -> (Vec<ArithUop>, u64) {
+    let mut counters = CounterFile::new();
+    let mut pc: usize = 0;
+    let mut cycles: u64 = 0;
+    let mut trace = Vec::new();
+    let tuples = prog.tuples();
+    loop {
+        assert!(pc < tuples.len(), "{}: pc {pc} off the end", prog.name());
+        let tuple = &tuples[pc];
+        cycles += 1;
+        assert!(cycles < RUNAWAY_LIMIT, "{}: runaway program", prog.name());
+        if !matches!(tuple.arith, ArithUop::Nop) {
+            trace.push(resolve_arith(&tuple.arith, &counters));
+        }
+        match tuple.counter {
+            CounterUop::Nop => {}
+            CounterUop::Init { ctr, value } => counters.init(ctr, value),
+            CounterUop::Decr(ctr) => counters.decr(ctr),
+            CounterUop::Incr(ctr) => counters.incr(ctr),
+        }
+        match tuple.control {
+            ControlUop::Nop => pc += 1,
+            ControlUop::Bnz { ctr, target } => {
+                if counters.take_zero_flag(ctr) {
+                    pc += 1;
+                } else {
+                    pc = target as usize;
+                }
+            }
+            ControlUop::BnzRet { ctr, target } => {
+                if counters.take_zero_flag(ctr) {
+                    return (trace, cycles);
+                }
+                pc = target as usize;
+            }
+            ControlUop::Bnd { ctr, target } => {
+                if counters.take_decade_flag(ctr) {
+                    pc = target as usize;
+                } else {
+                    pc += 1;
+                }
+            }
+            ControlUop::Jump { target } => pc = target as usize,
+            ControlUop::Ret => return (trace, cycles),
+        }
+    }
+}
+
+/// True when a compute/writeback pair at `(blc, next)` is fusable: the
+/// writeback targets a row and stores a latch output of the compute it
+/// follows.
+fn fusable(next: &ArithUop) -> Option<(Operand, ComputeSrc, bool)> {
+    if let ArithUop::Writeback {
+        dst: WbDest::Row(d),
+        src,
+        masked,
+    } = *next
+    {
+        if latch_plane(src).is_some() {
+            return Some((d, src, masked));
+        }
+    }
+    None
+}
+
+/// Marks the latch planes a raw op reads into the live set.
+fn mark_reads(live: &mut LatchKeep, uop: &ArithUop) {
+    match *uop {
+        ArithUop::Writeback { src, .. } => {
+            if let Some(p) = latch_plane(src) {
+                live.mark(p);
+            }
+        }
+        ArithUop::SetMask {
+            src: MaskSrc::AddMsb,
+            ..
+        } => live.mark(Plane::Sum),
+        _ => {}
+    }
+}
+
+/// Compiles `prog` for `cfg` and `lanes`: unroll, fuse, and compute
+/// per-op latch liveness. The result is execution-equivalent to
+/// interpreting `prog` on a healthy array — byte-identical
+/// architectural state, identical cycle count.
+///
+/// # Panics
+///
+/// Panics on runaway or malformed programs (generator bugs).
+#[must_use]
+pub fn compile(prog: &MicroProgram, cfg: HybridConfig, lanes: usize) -> CompiledProgram {
+    let (trace, cycles) = unroll(prog);
+    let uops = trace.len() as u64;
+
+    // Peephole fuse: Blc + Writeback(Row, latch-src) → one super-op.
+    let mut ops = Vec::with_capacity(trace.len());
+    let mut fused = 0u64;
+    let mut i = 0;
+    while i < trace.len() {
+        if let ArithUop::Blc { a, b, carry_in } = trace[i] {
+            if let Some((dst, src, masked)) = trace.get(i + 1).and_then(fusable) {
+                ops.push(CompiledOp::Fused {
+                    a,
+                    b,
+                    carry_in,
+                    dst,
+                    src,
+                    masked,
+                    keep: LatchKeep::ALL,
+                });
+                fused += 1;
+                i += 2;
+                continue;
+            }
+        }
+        ops.push(CompiledOp::Raw(trace[i]));
+        i += 1;
+    }
+
+    // Backward latch liveness. The latches persist across program
+    // executions (later programs may read them before their first
+    // compute), so everything is live at the end of the trace. An
+    // unfused Blc redefines all four planes; a fused one redefines
+    // exactly what it keeps, which is exactly what is live.
+    let mut live = LatchKeep::ALL;
+    for op in ops.iter_mut().rev() {
+        match op {
+            CompiledOp::Fused { keep, .. } => {
+                *keep = live;
+                live = LatchKeep::NONE;
+            }
+            CompiledOp::Raw(u) => {
+                if matches!(u, ArithUop::Blc { .. }) {
+                    live = LatchKeep::NONE;
+                } else {
+                    mark_reads(&mut live, u);
+                }
+            }
+        }
+    }
+
+    CompiledProgram {
+        name: prog.name().to_string(),
+        cfg,
+        lanes,
+        ops,
+        cycles: Cycle(cycles),
+        uops,
+        fused,
+    }
+}
+
+/// Tier-ladder counters: cache traffic and per-tier retirement.
+///
+/// One struct serves both executors: the bit-accurate array reports
+/// real executions, the engine timing model reports the VSU ladder it
+/// simulates. All counters flow through `eve-obs` into `RunReport`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TierStats {
+    /// Compiled-program cache hits (dispatches that took tier 2).
+    pub hits: u64,
+    /// Cache misses (first sight of a key; tier 1 ran and compiled).
+    pub misses: u64,
+    /// Executions interpreted tuple-by-tuple (tier 1).
+    pub tier1_executions: u64,
+    /// Cycles retired by the interpreter tier.
+    pub tier1_cycles: u64,
+    /// Executions dispatched to compiled programs (tier 2).
+    pub tier2_executions: u64,
+    /// Cycles retired by the compiled tier.
+    pub tier2_cycles: u64,
+    /// Arithmetic μops retired by the compiled tier.
+    pub tier2_uops: u64,
+    /// Compute/writeback pairs executed as fused super-ops.
+    pub tier2_fused: u64,
+}
+
+impl TierStats {
+    /// Records one interpreted execution of `cycles` cycles.
+    pub fn record_tier1(&mut self, cycles: Cycle) {
+        self.tier1_executions += 1;
+        self.tier1_cycles += cycles.0;
+    }
+
+    /// Records one compiled execution with the program's counts.
+    pub fn record_tier2(&mut self, cycles: Cycle, uops: u64, fused: u64) {
+        self.tier2_executions += 1;
+        self.tier2_cycles += cycles.0;
+        self.tier2_uops += uops;
+        self.tier2_fused += fused;
+    }
+
+    /// Cache hit rate over all lookups, or 0 when none happened.
+    #[must_use]
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            return 0.0;
+        }
+        self.hits as f64 / total as f64
+    }
+}
+
+/// A memoization cache for compiled programs, keyed by
+/// `(MacroOpKind, HybridConfig, lanes)`, with the tier ladder's
+/// counters attached.
+///
+/// The kind alone does not determine the program (`SllI(3)` differs
+/// from `SllI(7)`; every configuration unrolls differently; the lane
+/// count fixes the word geometry the executor asserts against), so the
+/// full triple is the key.
+#[derive(Debug, Clone, Default)]
+pub struct ProgramCache {
+    map: HashMap<(MacroOpKind, HybridConfig, usize), Arc<CompiledProgram>>,
+    stats: TierStats,
+}
+
+impl ProgramCache {
+    /// An empty cache.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Looks up a compiled program, counting the hit or miss.
+    pub fn lookup(
+        &mut self,
+        kind: MacroOpKind,
+        cfg: HybridConfig,
+        lanes: usize,
+    ) -> Option<Arc<CompiledProgram>> {
+        match self.map.get(&(kind, cfg, lanes)) {
+            Some(cp) => {
+                self.stats.hits += 1;
+                Some(Arc::clone(cp))
+            }
+            None => {
+                self.stats.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Installs a compiled program under `kind` (the configuration and
+    /// lane count come from the program itself).
+    pub fn insert(&mut self, kind: MacroOpKind, cp: Arc<CompiledProgram>) {
+        self.map.insert((kind, cp.config(), cp.lanes()), cp);
+    }
+
+    /// Number of compiled programs resident.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True when nothing has been compiled yet.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// The tier ladder's counters so far.
+    #[must_use]
+    pub fn stats(&self) -> &TierStats {
+        &self.stats
+    }
+
+    /// Mutable access for executors recording retirements.
+    pub fn stats_mut(&mut self) -> &mut TierStats {
+        &mut self.stats
+    }
+}
+
+/// The per-execution counts of a compiled program, without the trace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TierProfile {
+    /// Cycles per execution (identical to interpreting).
+    pub cycles: Cycle,
+    /// Arithmetic μops retired per execution.
+    pub uops: u64,
+    /// Compute/writeback pairs the fuser collapses.
+    pub fused: u64,
+}
+
+/// Streams the counts [`compile`] would produce without materializing
+/// the trace — O(cycles) time, O(1) space. The engine timing model
+/// uses this to drive the tier counters for macro-ops it never
+/// executes bit-accurately.
+///
+/// # Panics
+///
+/// Panics on runaway or malformed programs (generator bugs).
+#[must_use]
+pub fn profile(prog: &MicroProgram) -> TierProfile {
+    let mut counters = CounterFile::new();
+    let mut pc: usize = 0;
+    let mut cycles: u64 = 0;
+    let mut uops: u64 = 0;
+    let mut fused: u64 = 0;
+    // The previous non-nop arithmetic μop was an unconsumed Blc.
+    let mut pending_blc = false;
+    let tuples = prog.tuples();
+    loop {
+        assert!(pc < tuples.len(), "{}: pc {pc} off the end", prog.name());
+        let tuple = &tuples[pc];
+        cycles += 1;
+        assert!(cycles < RUNAWAY_LIMIT, "{}: runaway program", prog.name());
+        match tuple.arith {
+            ArithUop::Nop => {}
+            ArithUop::Blc { .. } => {
+                uops += 1;
+                pending_blc = true;
+            }
+            ref u => {
+                uops += 1;
+                if pending_blc && fusable(u).is_some() {
+                    fused += 1;
+                }
+                pending_blc = false;
+            }
+        }
+        match tuple.counter {
+            CounterUop::Nop => {}
+            CounterUop::Init { ctr, value } => counters.init(ctr, value),
+            CounterUop::Decr(ctr) => counters.decr(ctr),
+            CounterUop::Incr(ctr) => counters.incr(ctr),
+        }
+        match tuple.control {
+            ControlUop::Nop => pc += 1,
+            ControlUop::Bnz { ctr, target } => {
+                if counters.take_zero_flag(ctr) {
+                    pc += 1;
+                } else {
+                    pc = target as usize;
+                }
+            }
+            ControlUop::BnzRet { ctr, target } => {
+                if counters.take_zero_flag(ctr) {
+                    break;
+                }
+                pc = target as usize;
+            }
+            ControlUop::Bnd { ctr, target } => {
+                if counters.take_decade_flag(ctr) {
+                    pc = target as usize;
+                } else {
+                    pc += 1;
+                }
+            }
+            ControlUop::Jump { target } => pc = target as usize,
+            ControlUop::Ret => break,
+        }
+    }
+    TierProfile {
+        cycles: Cycle(cycles),
+        uops,
+        fused,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::latency::count_cycles;
+    use crate::library::ProgramLibrary;
+    use crate::uop::VSlot;
+
+    fn all_kinds() -> Vec<MacroOpKind> {
+        use MacroOpKind::*;
+        vec![
+            Mv,
+            Not,
+            And,
+            Or,
+            Xor,
+            Add,
+            Sub,
+            Mul,
+            Mulh,
+            MulAcc,
+            Divu,
+            Remu,
+            Div,
+            Rem,
+            SllI(0),
+            SllI(7),
+            SrlI(5),
+            SraI(9),
+            RotlI(5),
+            RotrI(11),
+            SllV,
+            SrlV,
+            SraV,
+            CmpEq,
+            CmpNe,
+            CmpLt,
+            CmpLtu,
+            Min,
+            Max,
+            Minu,
+            Maxu,
+            Merge,
+            MaskAnd,
+            MaskOr,
+            MaskXor,
+            MaskNot,
+            Splat(0xDEAD_BEEF),
+        ]
+    }
+
+    #[test]
+    fn compiled_cycles_match_the_interpreter_count() {
+        for cfg in HybridConfig::all() {
+            let lib = ProgramLibrary::new(cfg);
+            for kind in all_kinds() {
+                let prog = lib.program(kind);
+                let cp = compile(&prog, cfg, 64);
+                assert_eq!(
+                    cp.cycles(),
+                    count_cycles(&prog, cfg),
+                    "{kind:?} on {cfg}: compiled cycle count drifted"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn profile_agrees_with_compile_on_every_program() {
+        for cfg in HybridConfig::all() {
+            let lib = ProgramLibrary::new(cfg);
+            for kind in all_kinds() {
+                let prog = lib.program(kind);
+                let cp = compile(&prog, cfg, 1);
+                let p = profile(&prog);
+                assert_eq!(p.cycles, cp.cycles(), "{kind:?} on {cfg} cycles");
+                assert_eq!(p.uops, cp.uops(), "{kind:?} on {cfg} uops");
+                assert_eq!(p.fused, cp.fused(), "{kind:?} on {cfg} fused");
+            }
+        }
+    }
+
+    #[test]
+    fn add_fuses_every_segment_pair() {
+        // add is `init+preset` then S iterations of blc/writeback —
+        // every pair must fuse.
+        for cfg in HybridConfig::all() {
+            let lib = ProgramLibrary::new(cfg);
+            let cp = compile(&lib.program(MacroOpKind::Add), cfg, 64);
+            assert_eq!(cp.fused(), u64::from(cfg.segments()), "{cfg}");
+            assert!(
+                cp.ops().iter().all(|op| matches!(
+                    op,
+                    CompiledOp::Fused { .. } | CompiledOp::Raw(ArithUop::SetCarry { .. })
+                )),
+                "{cfg}: add should reduce to carry preset + fused adds"
+            );
+        }
+    }
+
+    #[test]
+    fn final_fused_op_keeps_every_latch_plane() {
+        // Latches persist across executions, so the last compute in a
+        // trace must materialize all four planes.
+        for cfg in HybridConfig::all() {
+            let lib = ProgramLibrary::new(cfg);
+            for kind in all_kinds() {
+                let cp = compile(&lib.program(kind), cfg, 64);
+                let last_compute = cp.ops().iter().rev().find(|op| {
+                    matches!(
+                        op,
+                        CompiledOp::Fused { .. } | CompiledOp::Raw(ArithUop::Blc { .. })
+                    )
+                });
+                if let Some(CompiledOp::Fused { keep, .. }) = last_compute {
+                    assert_eq!(*keep, LatchKeep::ALL, "{kind:?} on {cfg}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn interior_fused_ops_drop_dead_planes() {
+        // Copy chains (mv) redefine the latches every iteration; all
+        // but the last fused op should keep nothing.
+        let cfg = HybridConfig::new(8).unwrap();
+        let lib = ProgramLibrary::new(cfg);
+        let cp = compile(&lib.program(MacroOpKind::Mv), cfg, 64);
+        let keeps: Vec<LatchKeep> = cp
+            .ops()
+            .iter()
+            .filter_map(|op| match op {
+                CompiledOp::Fused { keep, .. } => Some(*keep),
+                CompiledOp::Raw(_) => None,
+            })
+            .collect();
+        assert!(keeps.len() > 1);
+        let (last, interior) = keeps.split_last().unwrap();
+        assert_eq!(*last, LatchKeep::ALL);
+        assert!(interior.iter().all(|k| *k == LatchKeep::NONE), "{keeps:?}");
+    }
+
+    #[test]
+    fn compiled_trace_is_fully_resolved() {
+        fn assert_at(op: &Operand) {
+            assert!(matches!(op.seg, SegSel::At(_)), "unresolved operand {op:?}");
+        }
+        for cfg in HybridConfig::all() {
+            let lib = ProgramLibrary::new(cfg);
+            for kind in all_kinds() {
+                for op in compile(&lib.program(kind), cfg, 64).ops() {
+                    match op {
+                        CompiledOp::Fused { a, b, dst, .. } => {
+                            assert_at(a);
+                            assert_at(b);
+                            assert_at(dst);
+                        }
+                        CompiledOp::Raw(u) => match u {
+                            ArithUop::Read { op }
+                            | ArithUop::WriteConst { op, .. }
+                            | ArithUop::WriteDataIn { op }
+                            | ArithUop::LoadShifter { op }
+                            | ArithUop::StoreShifter { op, .. }
+                            | ArithUop::LoadXReg { op } => assert_at(op),
+                            ArithUop::Blc { a, b, .. } => {
+                                assert_at(a);
+                                assert_at(b);
+                            }
+                            ArithUop::Writeback {
+                                dst: WbDest::Row(op),
+                                ..
+                            } => assert_at(op),
+                            _ => {}
+                        },
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn cache_counts_hits_and_misses_per_key() {
+        let cfg8 = HybridConfig::new(8).unwrap();
+        let cfg1 = HybridConfig::new(1).unwrap();
+        let lib = ProgramLibrary::new(cfg8);
+        let mut cache = ProgramCache::new();
+        assert!(cache.lookup(MacroOpKind::Add, cfg8, 64).is_none());
+        cache.insert(
+            MacroOpKind::Add,
+            Arc::new(compile(&lib.program(MacroOpKind::Add), cfg8, 64)),
+        );
+        assert!(cache.lookup(MacroOpKind::Add, cfg8, 64).is_some());
+        // Same kind, different config or lane count: distinct keys.
+        assert!(cache.lookup(MacroOpKind::Add, cfg1, 64).is_none());
+        assert!(cache.lookup(MacroOpKind::Add, cfg8, 63).is_none());
+        assert_eq!(cache.stats().hits, 1);
+        assert_eq!(cache.stats().misses, 3);
+        assert_eq!(cache.len(), 1);
+        assert!((cache.stats().hit_rate() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mask_and_shift_writebacks_do_not_fuse() {
+        // A compare ends with `SetMask` + `Writeback(Mask)`; the mask
+        // source is not a latch plane and must stay raw.
+        let cfg = HybridConfig::new(32).unwrap();
+        let lib = ProgramLibrary::new(cfg);
+        let cp = compile(&lib.program(MacroOpKind::CmpLtu), cfg, 64);
+        assert!(cp.ops().iter().any(|op| matches!(
+            op,
+            CompiledOp::Raw(ArithUop::Writeback {
+                src: ComputeSrc::Mask,
+                ..
+            })
+        )));
+    }
+
+    #[test]
+    fn slots_stay_symbolic() {
+        // The compiled program must not bake in a binding: destination
+        // slots survive as VSlot::D.
+        let cfg = HybridConfig::new(8).unwrap();
+        let lib = ProgramLibrary::new(cfg);
+        let cp = compile(&lib.program(MacroOpKind::Add), cfg, 64);
+        assert!(cp.ops().iter().any(|op| matches!(
+            op,
+            CompiledOp::Fused { dst, .. } if dst.slot == VSlot::D
+        )));
+    }
+}

@@ -124,6 +124,13 @@ impl LatencyTable {
         self.library.config()
     }
 
+    /// The program library backing the table (shared by callers that
+    /// need the μprograms themselves, e.g. the tier profiler).
+    #[must_use]
+    pub fn library(&self) -> &ProgramLibrary {
+        &self.library
+    }
+
     /// Cycles the μprogram for `kind` occupies the VSU.
     pub fn latency(&mut self, kind: MacroOpKind) -> Cycle {
         if let Some(&c) = self.cache.get(&kind) {

@@ -31,6 +31,7 @@
 
 pub mod counter;
 pub mod display;
+pub mod fuse;
 pub mod latency;
 pub mod library;
 pub mod program;
@@ -38,6 +39,9 @@ pub mod uop;
 
 pub use counter::{CounterFile, CounterId};
 pub use display::listing;
+pub use fuse::{
+    compile, profile, CompiledOp, CompiledProgram, LatchKeep, ProgramCache, TierProfile, TierStats,
+};
 pub use latency::{count_cycles, LatencyTable};
 pub use library::{MacroOpKind, ProgramLibrary};
 pub use program::{HybridConfig, MicroProgram, ProgramBuilder};

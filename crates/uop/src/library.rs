@@ -33,6 +33,8 @@ use crate::uop::{
     ArithUop, CarryIn, ComputeSrc, ControlUop, CounterUop, MaskSrc, Operand, SegSel, VSlot, WbDest,
 };
 use eve_common::bits::extract_bits;
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
 
 /// Kinds of macro-operations the VSU can sequence.
 ///
@@ -140,6 +142,12 @@ const BIT: CounterId = CounterId::BIT0;
 
 /// Generates μprograms for one EVE-*n* configuration.
 ///
+/// Generated programs are memoized per [`MacroOpKind`]: the VSU ROM
+/// holds a fixed image per configuration, so regenerating the same
+/// program on every fetch (as the executors do, once per macro-op)
+/// would only burn allocator time. The cache hands out shared
+/// [`Arc`]s; two fetches of the same kind return the same program.
+///
 /// # Examples
 ///
 /// ```
@@ -149,16 +157,31 @@ const BIT: CounterId = CounterId::BIT0;
 /// assert_eq!(mul.name(), "mul");
 /// # Ok::<(), eve_common::ConfigError>(())
 /// ```
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug)]
 pub struct ProgramLibrary {
     cfg: HybridConfig,
+    cache: Mutex<HashMap<MacroOpKind, Arc<MicroProgram>>>,
+}
+
+impl Clone for ProgramLibrary {
+    fn clone(&self) -> Self {
+        // Share the already-generated programs; they are immutable.
+        let cache = self.cache.lock().expect("library cache poisoned").clone();
+        Self {
+            cfg: self.cfg,
+            cache: Mutex::new(cache),
+        }
+    }
 }
 
 impl ProgramLibrary {
     /// A library targeting `cfg`.
     #[must_use]
     pub fn new(cfg: HybridConfig) -> Self {
-        Self { cfg }
+        Self {
+            cfg,
+            cache: Mutex::new(HashMap::new()),
+        }
     }
 
     /// The configuration programs are generated for.
@@ -167,14 +190,27 @@ impl ProgramLibrary {
         self.cfg
     }
 
-    /// Builds the μprogram implementing `kind`.
+    /// The μprogram implementing `kind`, generated on first request and
+    /// memoized for the library's lifetime.
     ///
     /// # Panics
     ///
     /// Never panics for the kinds defined in this crate; the generators
     /// are exhaustively tested against every configuration.
     #[must_use]
-    pub fn program(&self, kind: MacroOpKind) -> MicroProgram {
+    pub fn program(&self, kind: MacroOpKind) -> Arc<MicroProgram> {
+        let mut cache = self.cache.lock().expect("library cache poisoned");
+        if let Some(prog) = cache.get(&kind) {
+            return Arc::clone(prog);
+        }
+        let prog = Arc::new(self.generate(kind));
+        cache.insert(kind, Arc::clone(&prog));
+        prog
+    }
+
+    /// Builds the μprogram for `kind` from scratch (the generation the
+    /// cache fronts).
+    fn generate(&self, kind: MacroOpKind) -> MicroProgram {
         let mut g = Gen::new(self.cfg, kind_name(kind));
         match kind {
             MacroOpKind::Mv => g.unary(VSlot::S1, VSlot::D, ComputeSrc::And),
@@ -1252,6 +1288,31 @@ mod tests {
         assert!(MacroOpKind::Divu.is_bit_exact());
         assert!(MacroOpKind::Mul.is_bit_exact());
         assert!(MacroOpKind::SraV.is_bit_exact());
+    }
+
+    #[test]
+    fn repeated_program_fetches_are_identical_and_memoized() {
+        for cfg in HybridConfig::all() {
+            let lib = ProgramLibrary::new(cfg);
+            for kind in all_kinds() {
+                let a = lib.program(kind);
+                let b = lib.program(kind);
+                assert_eq!(*a, *b, "{kind:?} on {cfg} regenerated differently");
+                assert!(
+                    Arc::ptr_eq(&a, &b),
+                    "{kind:?} on {cfg} was regenerated instead of memoized"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn cloned_library_serves_the_same_programs() {
+        let lib = ProgramLibrary::new(HybridConfig::new(8).unwrap());
+        let before = lib.program(MacroOpKind::Add);
+        let clone = lib.clone();
+        assert_eq!(*clone.program(MacroOpKind::Add), *before);
+        assert_eq!(clone.config(), lib.config());
     }
 
     #[test]

@@ -1,0 +1,387 @@
+//! Differential fuzzing of the compiled (tier-2) μprogram executor
+//! against the interpreter oracle.
+//!
+//! PR 2 proved the bitsliced interpreter equivalent to the lane-serial
+//! scalar executor (`tests/bitslice_equiv.rs`); this harness proves the
+//! compilation tier equivalent to that interpreter, making the chain
+//! scalar ⇔ interpreter ⇔ compiled airtight. It throws seeded-random
+//! raw-μop programs (straight from the Table II vocabulary, including
+//! counter loops the specializer must unroll), every library macro-op,
+//! awkward lane counts (1, 63, 100: partial tail words), and chained
+//! executions (cross-program latch persistence — the fuser's liveness
+//! obligation) at both executors and compares every externally
+//! observable surface after each step. Armed-injector dispatches are
+//! driven through `execute_tiered` to pin the fallback: the tier ladder
+//! must consume the injector's RNG stream in exactly the interpreter's
+//! order.
+
+use eve_common::SplitMix64;
+use eve_sram::{Binding, EveArray, FaultConfig, FaultInjector};
+use eve_uop::fuse::{self, ProgramCache};
+use eve_uop::{
+    ArithUop, CarryIn, ComputeSrc, CounterId, CounterUop, HybridConfig, MacroOpKind, MaskSrc,
+    MicroProgram, Operand, ProgramBuilder, ProgramLibrary, SegSel, VSlot, WbDest,
+};
+
+/// Architectural registers the fuzz binds and checks (v0..=v8; v0 so
+/// the mask-register row region is covered too).
+const REGS: u32 = 9;
+/// μprogram scratch registers, checked too: fused writes into scratch
+/// rows must land exactly where the interpreter puts them.
+const SCRATCH_BASE: u32 = 32;
+const SCRATCH_REGS: u32 = 6;
+
+fn random_slot(rng: &mut SplitMix64) -> VSlot {
+    match rng.below(5) {
+        0 => VSlot::D,
+        1 => VSlot::S1,
+        2 => VSlot::S2,
+        3 => VSlot::Mask,
+        _ => VSlot::Scratch(rng.below(6) as u8),
+    }
+}
+
+fn random_operand(rng: &mut SplitMix64, segs: u32, ctr: Option<CounterId>) -> Operand {
+    let slot = random_slot(rng);
+    let seg = match ctr {
+        Some(c) => match rng.below(3) {
+            0 => SegSel::Up(c),
+            1 => SegSel::Down(c),
+            _ => SegSel::At(rng.below(u64::from(segs)) as u8),
+        },
+        None => SegSel::At(rng.below(u64::from(segs)) as u8),
+    };
+    Operand::new(slot, seg)
+}
+
+/// Draws one arithmetic μop covering the whole Table II vocabulary,
+/// biased toward blc/writeback so the fuser's peephole fires often.
+fn random_uop(rng: &mut SplitMix64, segs: u32, ctr: Option<CounterId>) -> ArithUop {
+    let masked = rng.below(2) == 1;
+    match rng.below(17) {
+        0 => ArithUop::Read {
+            op: random_operand(rng, segs, ctr),
+        },
+        1 => ArithUop::WriteConst {
+            op: random_operand(rng, segs, ctr),
+            value: rng.next_u32(),
+            masked,
+        },
+        2 => ArithUop::WriteDataIn {
+            op: random_operand(rng, segs, ctr),
+        },
+        3..=5 => ArithUop::Blc {
+            a: random_operand(rng, segs, ctr),
+            b: random_operand(rng, segs, ctr),
+            carry_in: match rng.below(3) {
+                0 => CarryIn::Stored,
+                1 => CarryIn::Zero,
+                _ => CarryIn::One,
+            },
+        },
+        6..=8 => ArithUop::Writeback {
+            dst: match rng.below(4) {
+                0 | 1 => WbDest::Row(random_operand(rng, segs, ctr)),
+                2 => WbDest::MaskReg,
+                _ => WbDest::XReg,
+            },
+            src: match rng.below(9) {
+                0 => ComputeSrc::And,
+                1 => ComputeSrc::Nand,
+                2 => ComputeSrc::Or,
+                3 => ComputeSrc::Nor,
+                4 => ComputeSrc::Xor,
+                5 => ComputeSrc::Xnor,
+                6 => ComputeSrc::Add,
+                7 => ComputeSrc::Shift,
+                _ => ComputeSrc::Mask,
+            },
+            masked,
+        },
+        9 => ArithUop::LoadShifter {
+            op: random_operand(rng, segs, ctr),
+        },
+        10 => ArithUop::StoreShifter {
+            op: random_operand(rng, segs, ctr),
+            masked,
+        },
+        11 => ArithUop::LoadXReg {
+            op: random_operand(rng, segs, ctr),
+        },
+        12 => match rng.below(4) {
+            0 => ArithUop::ShiftLeft { masked },
+            1 => ArithUop::ShiftRight { masked },
+            2 => ArithUop::RotateLeft { masked },
+            _ => ArithUop::RotateRight { masked },
+        },
+        13 => ArithUop::MaskShift,
+        14 => ArithUop::SetMask {
+            src: match rng.below(5) {
+                0 => MaskSrc::XRegLsb,
+                1 => MaskSrc::XRegMsb,
+                2 => MaskSrc::AddMsb,
+                3 => MaskSrc::Carry,
+                _ => MaskSrc::AllOnes,
+            },
+            invert: rng.below(2) == 1,
+        },
+        15 => ArithUop::SetCarry {
+            value: rng.below(2) == 1,
+        },
+        _ => ArithUop::ClearSpare,
+    }
+}
+
+/// Builds a random μprogram: straight-line or one segment loop (so the
+/// specializer's unroller sees live `SegSel::Up`/`Down` operands),
+/// always terminated by `ret`.
+fn random_program(rng: &mut SplitMix64, cfg: HybridConfig) -> MicroProgram {
+    let segs = cfg.segments();
+    let mut b = ProgramBuilder::new("fuzz");
+    let len = 3 + rng.below(12);
+    if rng.below(2) == 0 {
+        for _ in 0..len {
+            b.arith(random_uop(rng, segs, None));
+        }
+        b.ret();
+    } else {
+        let ctr = CounterId::seg(0);
+        b.counter(CounterUop::Init { ctr, value: segs });
+        b.label("body");
+        for _ in 0..len {
+            b.arith(random_uop(rng, segs, Some(ctr)));
+        }
+        b.decr_branch_nz(ctr, "body");
+        b.ret();
+    }
+    b.build().expect("fuzz program assembles")
+}
+
+/// Asserts every externally observable surface of the two arrays
+/// agrees: all architectural and scratch rows, the data-out port, and
+/// the alarm counters.
+fn assert_same_state(interp: &EveArray, compiled: &EveArray, lanes: usize, ctx: &str) {
+    for r in (0..REGS).chain(SCRATCH_BASE..SCRATCH_BASE + SCRATCH_REGS) {
+        for lane in 0..lanes {
+            assert_eq!(
+                interp.read_element(r, lane),
+                compiled.read_element(r, lane),
+                "{ctx}: reg {r} lane {lane}"
+            );
+        }
+    }
+    assert_eq!(interp.data_out(), compiled.data_out(), "{ctx}: data-out");
+    assert_eq!(
+        interp.parity_alarms(),
+        compiled.parity_alarms(),
+        "{ctx}: parity alarms"
+    );
+}
+
+/// A pair of identically loaded arrays.
+fn loaded_pair(cfg: HybridConfig, lanes: usize, rng: &mut SplitMix64) -> (EveArray, EveArray) {
+    let mut a = EveArray::new(cfg, lanes);
+    let mut b = EveArray::new(cfg, lanes);
+    for r in 0..REGS {
+        for lane in 0..lanes {
+            let v = rng.next_u32();
+            a.write_element(r, lane, v);
+            b.write_element(r, lane, v);
+        }
+    }
+    (a, b)
+}
+
+/// Runs `steps` random μprograms on a fresh pair, interpreting on one
+/// and executing the compiled form on the other, comparing after every
+/// program. Chaining on the same arrays exercises the cross-program
+/// latch-persistence obligation (keep = ALL on the final compute).
+fn run_case(cfg: HybridConfig, lanes: usize, steps: u64, rng: &mut SplitMix64) {
+    let (mut interp, mut compiled) = loaded_pair(cfg, lanes, rng);
+    for step in 0..steps {
+        let prog = random_program(rng, cfg);
+        let cp = fuse::compile(&prog, cfg, lanes);
+        let d = rng.below(u64::from(REGS)) as u8;
+        let s1 = rng.below(u64::from(REGS)) as u8;
+        let s2 = rng.below(u64::from(REGS)) as u8;
+        let binding = Binding::new(d, s1, s2);
+        let data: Vec<u32> = (0..lanes).map(|_| rng.next_u32()).collect();
+        interp.set_data_in(data.clone());
+        compiled.set_data_in(data);
+        let ci = interp.execute(&prog, &binding);
+        let cc = compiled.execute_compiled(&cp, &binding);
+        assert_eq!(ci, cc, "{cfg} lanes={lanes} step {step}: cycle count");
+        assert_same_state(
+            &interp,
+            &compiled,
+            lanes,
+            &format!("{cfg} lanes={lanes} step {step} (d={d} s1={s1} s2={s2})"),
+        );
+    }
+}
+
+/// Random raw-μop programs around the 64-lane word boundary.
+#[test]
+fn random_programs_compiled_matches_interpreter() {
+    let mut rng = SplitMix64::new(0xC0_111_7E8);
+    for cfg in HybridConfig::all() {
+        for lanes in [16, 80] {
+            for _ in 0..3 {
+                run_case(cfg, lanes, 8, &mut rng);
+            }
+        }
+    }
+}
+
+/// Degenerate and non-multiple-of-64 lane counts: 1 (a single lane in
+/// a 64-bit word), 63 (one partial word), 100 (full word + tail). The
+/// fused pass must respect the same tail invariant the interpreter
+/// does (complements via `^ full`, never `!`).
+#[test]
+fn odd_lane_counts_compiled_matches_interpreter() {
+    let mut rng = SplitMix64::new(0xC0_111_0DD);
+    for cfg in HybridConfig::all() {
+        for lanes in [1, 63, 100] {
+            run_case(cfg, lanes, 5, &mut rng);
+        }
+    }
+}
+
+/// Every library macro-op on every configuration, chained on the same
+/// array pair so each program inherits the previous one's latch state.
+#[test]
+fn library_macro_ops_compiled_matches_interpreter() {
+    use MacroOpKind as M;
+    let mut rng = SplitMix64::new(0xC0_111_11B);
+    let kinds = [
+        M::Mv,
+        M::Not,
+        M::And,
+        M::Or,
+        M::Xor,
+        M::Add,
+        M::Sub,
+        M::Mul,
+        M::MulAcc,
+        M::Mulh,
+        M::Divu,
+        M::Remu,
+        M::Div,
+        M::Rem,
+        M::SllI(5),
+        M::SrlI(17),
+        M::SraI(1),
+        M::RotlI(9),
+        M::RotrI(30),
+        M::SllV,
+        M::SrlV,
+        M::SraV,
+        M::CmpEq,
+        M::CmpNe,
+        M::CmpLt,
+        M::CmpLtu,
+        M::Min,
+        M::Max,
+        M::Minu,
+        M::Maxu,
+        M::Merge,
+        M::MaskAnd,
+        M::MaskOr,
+        M::MaskXor,
+        M::MaskNot,
+        M::Splat(0xDEAD_BEEF),
+    ];
+    const LANES: usize = 67;
+    for cfg in HybridConfig::all() {
+        let lib = ProgramLibrary::new(cfg);
+        let (mut interp, mut compiled) = loaded_pair(cfg, LANES, &mut rng);
+        for &kind in &kinds {
+            let prog = lib.program(kind);
+            let cp = fuse::compile(&prog, cfg, LANES);
+            let d = 1 + rng.below(u64::from(REGS) - 1) as u8;
+            let s1 = 1 + rng.below(u64::from(REGS) - 1) as u8;
+            let s2 = 1 + rng.below(u64::from(REGS) - 1) as u8;
+            let binding = Binding::new(d, s1, s2);
+            let ci = interp.execute(&prog, &binding);
+            let cc = compiled.execute_compiled(&cp, &binding);
+            assert_eq!(ci, cc, "{cfg} {kind:?}: cycle count");
+            assert_same_state(&interp, &compiled, LANES, &format!("{cfg} {kind:?}"));
+        }
+    }
+}
+
+/// The tiered dispatcher with a warm cache stays byte-identical to the
+/// interpreter over long chained sequences, and actually runs tier 2.
+#[test]
+fn tiered_dispatch_matches_interpreter_with_warm_cache() {
+    use MacroOpKind as M;
+    let mut rng = SplitMix64::new(0xC0_111_CAC);
+    let kinds = [M::Add, M::Sub, M::Mul, M::Xor, M::Min, M::CmpLtu];
+    for cfg in HybridConfig::all() {
+        let lib = ProgramLibrary::new(cfg);
+        let mut cache = ProgramCache::new();
+        let (mut interp, mut tiered) = loaded_pair(cfg, 67, &mut rng);
+        for round in 0..3 {
+            for &kind in &kinds {
+                let d = 1 + rng.below(u64::from(REGS) - 1) as u8;
+                let s1 = 1 + rng.below(u64::from(REGS) - 1) as u8;
+                let s2 = 1 + rng.below(u64::from(REGS) - 1) as u8;
+                let binding = Binding::new(d, s1, s2);
+                let ci = interp.execute(&lib.program(kind), &binding);
+                let ct = tiered.execute_tiered(&lib, &mut cache, kind, &binding);
+                assert_eq!(ci, ct, "{cfg} {kind:?} round {round}: cycle count");
+                assert_same_state(
+                    &interp,
+                    &tiered,
+                    67,
+                    &format!("{cfg} {kind:?} round {round}"),
+                );
+            }
+        }
+        let s = cache.stats();
+        assert_eq!(s.misses, kinds.len() as u64, "{cfg}: one miss per kind");
+        assert_eq!(
+            s.hits,
+            2 * kinds.len() as u64,
+            "{cfg}: later rounds all hit"
+        );
+        assert!(s.tier2_fused > 0, "{cfg}: fused super-ops retired");
+        assert!(s.hit_rate() > 0.5, "{cfg}");
+    }
+}
+
+/// Armed injectors force the interpreter fallback through the tier
+/// dispatcher: corruption, RNG consumption, and detector state must be
+/// byte-identical to never having had a compiled tier at all.
+#[test]
+fn armed_injector_fallback_is_byte_identical() {
+    use MacroOpKind as M;
+    let mut rng = SplitMix64::new(0xC0_111_FA1);
+    let kinds = [M::Add, M::Mul, M::Sub, M::Add, M::Mul];
+    for cfg in HybridConfig::all() {
+        let lib = ProgramLibrary::new(cfg);
+        let seed = rng.next_u64();
+        let fc = FaultConfig::uniform(seed, 5e-3);
+        let (mut interp, mut tiered) = loaded_pair(cfg, 67, &mut rng);
+        interp.attach_injector(FaultInjector::new(fc.clone()));
+        tiered.attach_injector(FaultInjector::new(fc));
+        let mut cache = ProgramCache::new();
+        for (i, &kind) in kinds.iter().enumerate() {
+            let binding = Binding::new(3, 1, 2);
+            let ci = interp.execute(&lib.program(kind), &binding);
+            let ct = tiered.execute_tiered(&lib, &mut cache, kind, &binding);
+            assert_eq!(ci, ct, "{cfg} {kind:?} step {i}: cycle count");
+            assert_same_state(&interp, &tiered, 67, &format!("{cfg} {kind:?} step {i}"));
+            let (fi, ft) = (
+                interp.injector().expect("armed"),
+                tiered.injector().expect("armed"),
+            );
+            assert_eq!(fi.cycle(), ft.cycle(), "{cfg} {kind:?} step {i}: cycle");
+            assert_eq!(fi.stats(), ft.stats(), "{cfg} {kind:?} step {i}: stats");
+        }
+        let s = cache.stats();
+        assert_eq!((s.hits, s.misses), (0, 0), "{cfg}: cache never consulted");
+        assert_eq!(s.tier1_executions, kinds.len() as u64, "{cfg}");
+        assert_eq!(s.tier2_executions, 0, "{cfg}");
+    }
+}
