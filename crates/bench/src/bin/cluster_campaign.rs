@@ -15,7 +15,7 @@
 //! ```text
 //! cluster_campaign [--seed N] [--factor N] [--shards S1,S2,..]
 //!                  [--tenants T1,T2,..]
-//!                  [--shapes calm,mixed,partition,hotkey,shardkill]
+//!                  [--shapes calm,mixed,partition,hotkey,shardkill,diurnal,bursty,keystorm]
 //!                  [--requests N] [--gap CYCLES] [--slack F]
 //!                  [--workloads N]
 //! ```
@@ -32,6 +32,15 @@
 //! * `shardkill` — a hot-key window aimed at a victim shard whose
 //!   engines are then all killed mid-window: the work-stealing and
 //!   degradation-ladder stress case.
+//!
+//! Traffic shapes (seeded arrival processes under a light storm):
+//!
+//! * `diurnal` — the arrival rate follows a triangle wave over the
+//!   run, peak load at twice the trough.
+//! * `bursty` — count-based request bursts at 8× the nominal rate,
+//!   mean rate conserved; the batching/admission stress case.
+//! * `keystorm` — a periodic arrival-side viral-key storm aimed at
+//!   one shard, with no fault storm at all: pure load skew.
 
 use eve_bench::pool;
 use eve_common::json::JsonValue;
@@ -39,7 +48,7 @@ use eve_common::SplitMix64;
 use eve_obs::Tracer;
 use eve_serve::{
     audit_cluster, tenant_mix, ClusterConfig, ClusterSim, ClusterTraffic, FaultStorm, Router,
-    ServiceProfile,
+    ServiceProfile, TrafficShape,
 };
 use eve_workloads::Workload;
 use std::sync::Arc;
@@ -76,7 +85,16 @@ impl Default for Plan {
             factor: 8,
             shards: vec![2, 4],
             tenants: vec![1, 3],
-            shapes: vec!["calm", "mixed", "partition", "hotkey", "shardkill"],
+            shapes: vec![
+                "calm",
+                "mixed",
+                "partition",
+                "hotkey",
+                "shardkill",
+                "diurnal",
+                "bursty",
+                "keystorm",
+            ],
             engines_per_shard: 4,
             requests: 300,
             mean_gap: None,
@@ -98,7 +116,13 @@ fn shape_name(s: &str) -> &'static str {
         "partition" => "partition",
         "hotkey" => "hotkey",
         "shardkill" => "shardkill",
-        other => panic!("unknown shape {other:?} (calm|mixed|partition|hotkey|shardkill)"),
+        "diurnal" => "diurnal",
+        "bursty" => "bursty",
+        "keystorm" => "keystorm",
+        other => panic!(
+            "unknown shape {other:?} \
+             (calm|mixed|partition|hotkey|shardkill|diurnal|bursty|keystorm)"
+        ),
     }
 }
 
@@ -144,7 +168,38 @@ fn build_storm(cell: Cell, cfg: &ClusterConfig, keys: u64, horizon: u64) -> Faul
         "shardkill" => FaultStorm::hot_key(hot, horizon / 4, horizon / 2).merged(
             FaultStorm::kill_shard(victim, cfg.engines_per_shard, horizon * 3 / 8),
         ),
+        // Traffic shapes keep the silicon calm-to-lightly-stormy: the
+        // interesting pressure comes from the arrival process.
+        "diurnal" | "bursty" => FaultStorm::synth(cell.storm_seed, engines, horizon, 0.5),
+        "keystorm" => FaultStorm::synth(cell.storm_seed, engines, horizon, 0.0),
         other => panic!("unknown shape {other:?}"),
+    }
+}
+
+/// Builds the cell's arrival-process shape. Fault-storm shapes keep
+/// the uniform baseline; traffic shapes modulate arrivals, with the
+/// key-storm victim found by probing the same seeded ring as
+/// [`build_storm`].
+fn traffic_shape(cell: Cell, cfg: &ClusterConfig, keys: u64, horizon: u64) -> TrafficShape {
+    match cell.shape {
+        "diurnal" => TrafficShape::Diurnal {
+            period: (horizon / 2).max(2),
+        },
+        "bursty" => TrafficShape::Bursty {
+            burst: 24,
+            quiet: 72,
+            gain: 8,
+        },
+        "keystorm" => {
+            let victim = cfg.shards - 1;
+            let ring = Router::new(cfg.seed, cfg.shards, cfg.vnodes);
+            TrafficShape::HotKeyStorm {
+                key: ring.key_for_shard(victim, keys).unwrap_or(0),
+                every: (horizon / 2).max(1),
+                duration: (horizon / 4).max(1),
+            }
+        }
+        _ => TrafficShape::Uniform,
     }
 }
 
@@ -174,6 +229,7 @@ fn run_cell(plan: &Plan, profile: &ServiceProfile, cell: Cell) -> Result<CellOut
     let traffic = ClusterTraffic {
         requests: plan.requests,
         mean_gap,
+        shape: traffic_shape(cell, &cfg, ClusterTraffic::default().keys, horizon),
         deadline_slack: plan.deadline_slack,
         tenants: tenant_mix(cell.tenants),
         seed: cell.traffic_seed,

@@ -9,11 +9,8 @@ use eve_isa::{disasm, Characterization, Interpreter};
 use eve_workloads::Workload;
 
 fn pick(name: &str) -> Workload {
-    Workload::tiny_by_name(name).unwrap_or_else(|| {
-        eprintln!(
-            "unknown kernel {name}; valid names: {}",
-            Workload::names().join(", ")
-        );
+    Workload::tiny_by_name(name).unwrap_or_else(|e| {
+        eprintln!("{e}");
         std::process::exit(1);
     })
 }

@@ -66,8 +66,7 @@ fn main() {
         }
     }
 
-    let workload = Workload::tiny_by_name(&kernel)
-        .unwrap_or_else(|| usage_exit(&format!("unknown kernel {kernel}")));
+    let workload = Workload::tiny_by_name(&kernel).unwrap_or_else(|e| usage_exit(&e.to_string()));
     let sys =
         parse_system(&system).unwrap_or_else(|| usage_exit(&format!("unknown system {system}")));
 

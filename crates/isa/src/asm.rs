@@ -390,6 +390,28 @@ impl Asm {
         });
     }
 
+    /// Masked gather (`vluxei32.v vd, (base), idx, v0.t`) — inactive
+    /// lanes keep their old `vd` contents.
+    pub fn vload_indexed_masked(&mut self, vd: Vreg, base: Xreg, idx: Vreg) {
+        self.push(Inst::VLoad {
+            vd,
+            base,
+            stride: VStride::Indexed(idx),
+            masked: true,
+        });
+    }
+
+    /// Masked scatter (`vsuxei32.v vs, (base), idx, v0.t`) — inactive
+    /// lanes store nothing.
+    pub fn vstore_indexed_masked(&mut self, vs: Vreg, base: Xreg, idx: Vreg) {
+        self.push(Inst::VStore {
+            vs,
+            base,
+            stride: VStride::Indexed(idx),
+            masked: true,
+        });
+    }
+
     /// Generic vector ALU op.
     pub fn vop(&mut self, op: VArithOp, vd: Vreg, vs1: Vreg, rhs: VOperand) {
         self.push(Inst::VOp {

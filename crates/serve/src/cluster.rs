@@ -35,10 +35,10 @@ use crate::profile::ServiceProfile;
 use crate::queue::{admit, estimated_wait, AdmissionPolicy, AdmissionView, ShedReason};
 use crate::report::EngineReport;
 use crate::router::Router;
+use crate::shape::TrafficShape;
 use crate::sim::ServeError;
 use crate::storm::{FaultStorm, StormEvent, StormEventKind};
 use crate::tenancy::{TenantQueues, TenantSpec};
-use eve_common::SplitMix64;
 use eve_obs::Tracer;
 use std::collections::BinaryHeap;
 
@@ -120,6 +120,9 @@ pub struct ClusterTraffic {
     pub requests: usize,
     /// Mean inter-arrival gap in cycles.
     pub mean_gap: u64,
+    /// The arrival-process family (diurnal curve, bursts, key storm);
+    /// [`TrafficShape::Uniform`] is the historical baseline.
+    pub shape: TrafficShape,
     /// Deadline slack over the slower of the two solo service paths.
     pub deadline_slack: f64,
     /// Routing-key space: keys are uniform on `[0, keys)` outside
@@ -137,6 +140,7 @@ impl Default for ClusterTraffic {
         Self {
             requests: 400,
             mean_gap: 1_000,
+            shape: TrafficShape::Uniform,
             deadline_slack: 6.0,
             keys: 1024,
             tenants: crate::tenancy::tenant_mix(3),
@@ -394,40 +398,20 @@ impl ClusterSim {
                 _ => None,
             })
             .collect();
-        let mut rng = SplitMix64::new(traffic.seed);
-        let mut at = 0u64;
+        let schedule = crate::shape::arrivals(&traffic, profile.len(), &hot_windows);
         let mut requests = Vec::with_capacity(traffic.requests);
-        for i in 0..traffic.requests {
-            at += rng.below(2 * traffic.mean_gap + 1);
-            let x = rng.next_f64() * total_share;
-            let mut acc = 0.0;
-            let mut tenant = traffic.tenants.len() - 1;
-            for (j, spec) in traffic.tenants.iter().enumerate() {
-                acc += spec.share.max(0.0);
-                if x < acc {
-                    tenant = j;
-                    break;
-                }
-            }
-            let workload = rng.below(profile.len() as u64) as usize;
-            let hot = hot_windows.iter().find(|w| at >= w.0 && at < w.1);
-            let key = match hot {
-                // Inside a skew window, 90% of arrivals hammer the hot
-                // key; the rest stay uniform.
-                Some(&(_, _, k)) if rng.chance(0.9) => k,
-                _ => rng.below(traffic.keys.max(1)),
-            };
+        for (i, a) in schedule.into_iter().enumerate() {
             let solo = profile
-                .eve_service(workload, 1)
-                .max(profile.fallback_service(workload));
+                .eve_service(a.workload, 1)
+                .max(profile.fallback_service(a.workload));
             let slack = (solo as f64 * traffic.deadline_slack).round() as u64;
             requests.push(Request {
-                arrival: at,
-                deadline: at + slack.max(1),
-                workload,
-                tenant,
-                key,
-                shard: router.route(key),
+                arrival: a.at,
+                deadline: a.at + slack.max(1),
+                workload: a.workload,
+                tenant: a.tenant,
+                key: a.key,
+                shard: router.route(a.key),
                 attempts: 0,
                 backoff: Backoff::new(cfg.backoff, cfg.seed.wrapping_add(1 + i as u64)),
                 admitted: false,
@@ -435,7 +419,7 @@ impl ClusterSim {
                 corrupted: false,
             });
             heap.push(Entry {
-                at,
+                at: a.at,
                 seq,
                 ev: Ev::Arrival(i),
             });
@@ -1427,6 +1411,89 @@ mod tests {
             FaultStorm::none()
         )
         .is_err());
+    }
+
+    #[test]
+    fn shaped_traffic_keeps_every_conservation_identity() {
+        // Each non-uniform shape runs the full cluster and still
+        // balances the books, byte-deterministically.
+        let horizon = 300 * 600u64;
+        for shape in [
+            TrafficShape::Diurnal {
+                period: horizon / 2,
+            },
+            TrafficShape::Bursty {
+                burst: 16,
+                quiet: 48,
+                gain: 8,
+            },
+            TrafficShape::HotKeyStorm {
+                key: 11,
+                every: horizon / 3,
+                duration: horizon / 9,
+            },
+        ] {
+            let run = || {
+                let cfg = ClusterConfig {
+                    shards: 4,
+                    engines_per_shard: 2,
+                    seed: 11,
+                    ..ClusterConfig::default()
+                };
+                let traffic = ClusterTraffic {
+                    requests: 300,
+                    mean_gap: 600,
+                    shape,
+                    seed: 5,
+                    ..ClusterTraffic::default()
+                };
+                let profile = ServiceProfile::synthetic(3, 1000, 4000, 2);
+                ClusterSim::new(cfg, profile, traffic, FaultStorm::none())
+                    .unwrap()
+                    .run()
+            };
+            let r = run();
+            check_conservation(&r);
+            assert_eq!(r.sdc, 0, "{shape:?}");
+            assert_eq!(
+                r.to_json().to_pretty(),
+                run().to_json().to_pretty(),
+                "{shape:?}: not deterministic"
+            );
+        }
+    }
+
+    #[test]
+    fn arrival_side_key_storm_skews_routing_like_a_storm_event() {
+        let cfg = ClusterConfig {
+            shards: 4,
+            engines_per_shard: 2,
+            seed: 11,
+            ..ClusterConfig::default()
+        };
+        let router = Router::new(cfg.seed, 4, 16);
+        let hot = router.key_for_shard(2, 10_000).unwrap();
+        let traffic = ClusterTraffic {
+            requests: 300,
+            mean_gap: 600,
+            shape: TrafficShape::HotKeyStorm {
+                key: hot,
+                every: 1,
+                duration: 1,
+            },
+            seed: 5,
+            ..ClusterTraffic::default()
+        };
+        let profile = ServiceProfile::synthetic(3, 1000, 4000, 2);
+        let r = ClusterSim::new(cfg, profile, traffic, FaultStorm::none())
+            .unwrap()
+            .run();
+        check_conservation(&r);
+        let hot_share = r.shards_detail[2].routed as f64 / r.admitted.max(1) as f64;
+        assert!(
+            hot_share > 0.5,
+            "storm shard owned only {hot_share:.2} of routed traffic"
+        );
     }
 
     #[test]

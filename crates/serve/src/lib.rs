@@ -32,7 +32,10 @@
 //! unroutable peers, and the [`Ladder`] degrades service gracefully
 //! (full → batch-only → shed low-weight tenants → fallback-only)
 //! instead of collapsing. [`audit_cluster`] extends the replay
-//! identity to routing, stealing, and shedding decisions.
+//! identity to routing, stealing, and shedding decisions. Arrivals
+//! come from a seeded [`TrafficShape`] — the uniform baseline, a
+//! diurnal load curve, count-based bursts, or a periodic hot-key
+//! storm — all pure functions of the traffic seed.
 //!
 //! # Examples
 //!
@@ -67,6 +70,7 @@ pub mod profile;
 pub mod queue;
 pub mod report;
 pub mod router;
+pub mod shape;
 pub mod sim;
 pub mod storm;
 pub mod tenancy;
@@ -85,6 +89,7 @@ pub use profile::ServiceProfile;
 pub use queue::{admit, estimated_wait, AdmissionPolicy, AdmissionView, ShedReason};
 pub use report::{EngineReport, ServeReport};
 pub use router::Router;
+pub use shape::{arrivals, Arrival, TrafficShape};
 pub use sim::{ServeConfig, ServeError, ServeSim, TrafficConfig};
 pub use storm::{FaultStorm, StormEvent, StormEventKind};
 pub use tenancy::{tenant_mix, TenantQueues, TenantSpec};

@@ -1,0 +1,382 @@
+//! Seeded traffic shapes: the open-loop arrival processes the cluster
+//! simulation replays.
+//!
+//! The original cluster traffic was a uniform renewal process — one
+//! `SplitMix64` stream drawing gap, tenant, workload, and key per
+//! request. Real serving traffic is not uniform: load swells and
+//! shrinks over a day, tenants burst, and a handful of keys go viral.
+//! [`TrafficShape`] captures those patterns as *pure functions of the
+//! seed*, so a diurnal curve or a key storm is exactly as reproducible
+//! as the calm baseline: same traffic, same bytes, at any campaign
+//! thread count.
+//!
+//! Every shape conserves the configured mean arrival rate (uniform and
+//! bursty by construction; the diurnal triangle wave by symmetry, to
+//! within the harmonic-mean bias of sampling faster during the fast
+//! phase), so reports across shapes compare offered-load like against
+//! like. All of the math is integer — no transcendentals — because
+//! `libm` results are not bit-portable and byte-determinism is the
+//! whole point.
+//!
+//! [`arrivals`] is the single generator both [`ClusterSim`] and the
+//! property tests call: the `Uniform` arm reproduces the historical
+//! RNG call order *exactly*, so seeds recorded by earlier campaigns
+//! replay unchanged.
+//!
+//! [`ClusterSim`]: crate::cluster::ClusterSim
+
+use crate::cluster::ClusterTraffic;
+use eve_common::SplitMix64;
+
+/// The arrival-process family for one run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum TrafficShape {
+    /// Gaps uniform on `[0, 2 * mean_gap]`: the historical baseline.
+    #[default]
+    Uniform,
+    /// A diurnal load curve: the local arrival rate follows a triangle
+    /// wave with the given period in cycles, swinging the mean gap
+    /// between 50% (peak traffic) and 150% (trough) of nominal.
+    /// Periods below 2 cycles degrade to `Uniform`.
+    Diurnal {
+        /// Full wave period in cycles.
+        period: u64,
+    },
+    /// Bursty traffic in request counts: each cycle of
+    /// `burst + quiet` requests sends the first `burst` of them at
+    /// `gain`× the nominal rate and stretches the remaining `quiet`
+    /// to compensate, so the overall mean rate is conserved exactly.
+    /// Zero fields are clamped to 1.
+    Bursty {
+        /// Requests per cycle arriving at the boosted rate.
+        burst: u64,
+        /// Requests per cycle arriving at the compensating slow rate.
+        quiet: u64,
+        /// Rate multiplier inside the burst.
+        gain: u64,
+    },
+    /// A periodic viral-key storm on the arrival side: whenever
+    /// `at % every < duration`, 90% of arrivals hammer `key` (the
+    /// remainder stay uniform), like the storm-scripted
+    /// [`HotKeySkew`](crate::storm::StormEventKind::HotKeySkew)
+    /// windows but owned by the traffic model itself.
+    HotKeyStorm {
+        /// The viral routing key.
+        key: u64,
+        /// Window period in cycles (clamped to at least 1).
+        every: u64,
+        /// Hot cycles at the start of each period.
+        duration: u64,
+    },
+}
+
+/// One generated request, before the simulation prices its deadline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Arrival {
+    /// Arrival cycle (nondecreasing across the schedule).
+    pub at: u64,
+    /// Index into the traffic's tenant mix.
+    pub tenant: usize,
+    /// Index into the service profile.
+    pub workload: usize,
+    /// Routing key.
+    pub key: u64,
+}
+
+/// The diurnal gap multiplier in percent at cycle `at`: a triangle
+/// wave from 50 (wave start: peak rate) up to 150 (half period:
+/// trough) and back.
+fn diurnal_pct(at: u64, period: u64) -> u64 {
+    let t = at % period;
+    let tri = t.min(period - t);
+    50 + 200 * tri / period
+}
+
+/// Generates the full arrival schedule for `traffic` against a
+/// `workloads`-entry service profile, folding in storm-scripted
+/// hot-key windows `(start, end, key)`.
+///
+/// The schedule is a pure function of the arguments; identical inputs
+/// produce identical vectors. With [`TrafficShape::Uniform`] the RNG
+/// call sequence is bit-compatible with the pre-shape generator.
+#[must_use]
+pub fn arrivals(
+    traffic: &ClusterTraffic,
+    workloads: usize,
+    hot_windows: &[(u64, u64, u64)],
+) -> Vec<Arrival> {
+    let total_share: f64 = traffic.tenants.iter().map(|t| t.share.max(0.0)).sum();
+    // Bursty per-request local means, conserving the cycle total:
+    // burst requests at mean/gain, quiet requests soak up the rest.
+    let bursty = match traffic.shape {
+        TrafficShape::Bursty { burst, quiet, gain } => {
+            let (burst, quiet, gain) = (burst.max(1), quiet.max(1), gain.max(1));
+            let fast = traffic.mean_gap / gain;
+            let slow = (traffic.mean_gap * (burst + quiet) - fast * burst) / quiet;
+            Some((burst, quiet, fast, slow))
+        }
+        _ => None,
+    };
+    let mut rng = SplitMix64::new(traffic.seed);
+    let mut at = 0u64;
+    let mut out = Vec::with_capacity(traffic.requests);
+    for i in 0..traffic.requests {
+        at += match (traffic.shape, bursty) {
+            (TrafficShape::Diurnal { period }, _) if period >= 2 => {
+                rng.below(2 * traffic.mean_gap + 1) * diurnal_pct(at, period) / 100
+            }
+            (_, Some((burst, quiet, fast, slow))) => {
+                let local = if (i as u64) % (burst + quiet) < burst {
+                    fast
+                } else {
+                    slow
+                };
+                rng.below(2 * local + 1)
+            }
+            _ => rng.below(2 * traffic.mean_gap + 1),
+        };
+        let x = rng.next_f64() * total_share;
+        let mut acc = 0.0;
+        let mut tenant = traffic.tenants.len() - 1;
+        for (j, spec) in traffic.tenants.iter().enumerate() {
+            acc += spec.share.max(0.0);
+            if x < acc {
+                tenant = j;
+                break;
+            }
+        }
+        let workload = rng.below(workloads as u64) as usize;
+        let hot = hot_windows.iter().find(|w| at >= w.0 && at < w.1);
+        let key = match hot {
+            // Inside a skew window, 90% of arrivals hammer the hot
+            // key; the rest stay uniform.
+            Some(&(_, _, k)) if rng.chance(0.9) => k,
+            _ => match traffic.shape {
+                TrafficShape::HotKeyStorm {
+                    key,
+                    every,
+                    duration,
+                } if at % every.max(1) < duration && rng.chance(0.9) => key,
+                _ => rng.below(traffic.keys.max(1)),
+            },
+        };
+        out.push(Arrival {
+            at,
+            tenant,
+            workload,
+            key,
+        });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn traffic(shape: TrafficShape) -> ClusterTraffic {
+        ClusterTraffic {
+            requests: 4000,
+            mean_gap: 1000,
+            shape,
+            seed: 0x7E57,
+            ..ClusterTraffic::default()
+        }
+    }
+
+    /// Observed mean gap of a schedule.
+    fn mean_gap(arr: &[Arrival]) -> f64 {
+        arr.last().unwrap().at as f64 / arr.len() as f64
+    }
+
+    fn shapes() -> [TrafficShape; 4] {
+        [
+            TrafficShape::Uniform,
+            TrafficShape::Diurnal { period: 200_000 },
+            TrafficShape::Bursty {
+                burst: 20,
+                quiet: 80,
+                gain: 8,
+            },
+            TrafficShape::HotKeyStorm {
+                key: 7,
+                every: 100_000,
+                duration: 30_000,
+            },
+        ]
+    }
+
+    #[test]
+    fn schedules_are_seed_deterministic() {
+        for shape in shapes() {
+            let t = traffic(shape);
+            let a = arrivals(&t, 5, &[]);
+            let b = arrivals(&t, 5, &[]);
+            assert_eq!(a, b, "{shape:?}");
+            let other = ClusterTraffic { seed: 1, ..t };
+            assert_ne!(arrivals(&other, 5, &[]), a, "{shape:?}: seed ignored");
+        }
+    }
+
+    #[test]
+    fn time_runs_forward_and_fields_stay_in_range() {
+        for shape in shapes() {
+            let t = traffic(shape);
+            let arr = arrivals(&t, 5, &[]);
+            assert_eq!(arr.len(), t.requests);
+            let mut prev = 0;
+            for a in &arr {
+                assert!(a.at >= prev, "{shape:?}: time went backwards");
+                prev = a.at;
+                assert!(a.tenant < t.tenants.len());
+                assert!(a.workload < 5);
+                assert!(a.key < t.keys);
+            }
+        }
+    }
+
+    #[test]
+    fn every_shape_conserves_the_configured_rate() {
+        // Uniform and bursty conserve exactly in expectation; the
+        // diurnal triangle picks up a small harmonic-mean bias from
+        // sampling faster during the fast phase. 15% covers all of
+        // them with margin at 4000 requests.
+        for shape in shapes() {
+            let t = traffic(shape);
+            let m = mean_gap(&arrivals(&t, 5, &[]));
+            let nominal = t.mean_gap as f64;
+            assert!(
+                (m - nominal).abs() / nominal < 0.15,
+                "{shape:?}: observed mean gap {m:.0} vs configured {nominal}"
+            );
+        }
+    }
+
+    #[test]
+    fn diurnal_density_actually_swings() {
+        let t = traffic(TrafficShape::Diurnal { period: 200_000 });
+        let arr = arrivals(&t, 5, &[]);
+        // Peak-rate band: the quarter of the wave around the period
+        // boundary (multiplier < 100%); trough band: around the half
+        // period. Peak must see substantially more arrivals.
+        let (mut peak, mut trough) = (0u64, 0u64);
+        for a in &arr {
+            let tri = (a.at % 200_000).min(200_000 - a.at % 200_000);
+            if tri < 25_000 {
+                peak += 1;
+            } else if tri >= 75_000 {
+                trough += 1;
+            }
+        }
+        assert!(
+            peak as f64 > trough as f64 * 1.5,
+            "diurnal flatlined: {peak} peak vs {trough} trough arrivals"
+        );
+    }
+
+    #[test]
+    fn bursts_are_visible_in_the_gap_distribution() {
+        let t = traffic(TrafficShape::Bursty {
+            burst: 20,
+            quiet: 80,
+            gain: 8,
+        });
+        let arr = arrivals(&t, 5, &[]);
+        // Burst gaps are uniform on [0, 250]; quiet gaps on [0, 2375].
+        // Count gaps at or under the burst ceiling: all burst draws
+        // land there but only ~10% of quiet draws do.
+        let mut prev = 0;
+        let short = arr
+            .iter()
+            .filter(|a| {
+                let gap = a.at - prev;
+                prev = a.at;
+                gap <= 2 * t.mean_gap / 8
+            })
+            .count() as f64;
+        let frac = short / arr.len() as f64;
+        assert!(
+            (0.2..0.4).contains(&frac),
+            "burst structure missing: {frac:.2} short gaps"
+        );
+        let uniform = arrivals(&traffic(TrafficShape::Uniform), 5, &[]);
+        let mut prev = 0;
+        let base = uniform
+            .iter()
+            .filter(|a| {
+                let gap = a.at - prev;
+                prev = a.at;
+                gap <= 2 * t.mean_gap / 8
+            })
+            .count() as f64
+            / uniform.len() as f64;
+        assert!(frac > 1.5 * base, "bursty {frac:.2} vs uniform {base:.2}");
+    }
+
+    #[test]
+    fn key_storm_concentrates_inside_windows_only() {
+        let t = traffic(TrafficShape::HotKeyStorm {
+            key: 42,
+            every: 100_000,
+            duration: 30_000,
+        });
+        let arr = arrivals(&t, 5, &[]);
+        let (mut hot_in, mut n_in, mut hot_out, mut n_out) = (0u64, 0u64, 0u64, 0u64);
+        for a in &arr {
+            if a.at % 100_000 < 30_000 {
+                n_in += 1;
+                hot_in += u64::from(a.key == 42);
+            } else {
+                n_out += 1;
+                hot_out += u64::from(a.key == 42);
+            }
+        }
+        assert!(
+            n_in > 100 && n_out > 100,
+            "windows unsampled: {n_in}/{n_out}"
+        );
+        let in_frac = hot_in as f64 / n_in as f64;
+        assert!(in_frac > 0.8, "in-window hot fraction {in_frac:.2}");
+        let out_frac = hot_out as f64 / n_out as f64;
+        assert!(out_frac < 0.05, "out-window hot fraction {out_frac:.2}");
+    }
+
+    #[test]
+    fn storm_windows_still_override_every_shape() {
+        // Storm-scripted skew applies on top of any shape: inside the
+        // window ~90% of keys are the storm's key regardless.
+        for shape in shapes() {
+            let t = traffic(shape);
+            let arr = arrivals(&t, 5, &[(0, u64::MAX, 999)]);
+            let hot = arr.iter().filter(|a| a.key == 999).count() as f64;
+            let frac = hot / arr.len() as f64;
+            assert!((frac - 0.9).abs() < 0.05, "{shape:?}: storm skew {frac:.2}");
+        }
+    }
+
+    #[test]
+    fn degenerate_shape_parameters_are_clamped() {
+        for shape in [
+            TrafficShape::Diurnal { period: 0 },
+            TrafficShape::Diurnal { period: 1 },
+            TrafficShape::Bursty {
+                burst: 0,
+                quiet: 0,
+                gain: 0,
+            },
+            TrafficShape::HotKeyStorm {
+                key: 0,
+                every: 0,
+                duration: 0,
+            },
+        ] {
+            let t = ClusterTraffic {
+                requests: 200,
+                shape,
+                ..ClusterTraffic::default()
+            };
+            let arr = arrivals(&t, 3, &[]);
+            assert_eq!(arr.len(), 200, "{shape:?}");
+        }
+    }
+}

@@ -1,0 +1,197 @@
+//! `blackscholes` (PARSEC-style): streaming fixed-point option
+//! pricing — the second-wave compute-bound elementwise kernel.
+//!
+//! The real Black-Scholes kernel is transcendental-heavy floating
+//! point; EVE's integer ISA gets the same *shape* — a long streaming
+//! chain of multiplies, shifts, clamps, and a moneyness select per
+//! element — in Q-format fixed point. Per element: intrinsic value
+//! `(s-k)^2 >> 6`, time value `t*s >> 8`, a signed min/max clamp, and
+//! a predicated in/out-of-the-money merge. Roughly nine math ops per
+//! four memory ops, so it lands compute-bound, the opposite corner
+//! from `vvadd`.
+
+use crate::common::{fill_random, rng, Layout};
+use crate::Built;
+use eve_isa::{vreg, xreg, Asm, Memory, VArithOp, VCmpCond, VOperand};
+
+/// Signed clamp ceiling for the priced value.
+const CAP: i32 = 1 << 20;
+
+/// Price `n` seeded options: `out[i] = price(s[i], k[i], t[i])`.
+///
+/// # Panics
+///
+/// Panics if `n` is zero.
+#[must_use]
+pub fn build(n: usize) -> Built {
+    build_at(n, crate::common::DATA_BASE)
+}
+
+/// The golden per-element price, in wrapping 32-bit arithmetic.
+fn price(s: u32, k: u32, t: u32) -> u32 {
+    let m = s.wrapping_sub(k);
+    let q = ((m.wrapping_mul(m) as i32) >> 6) as u32;
+    let tv = t.wrapping_mul(s) >> 8;
+    let mut p = q.wrapping_add(tv) as i32;
+    p = p.clamp(0, CAP);
+    if (k as i32) < (s as i32) {
+        p as u32
+    } else {
+        t >> 4
+    }
+}
+
+/// Like [`build`], laying data out from `base` (disjoint address
+/// spaces for CMP cores).
+#[must_use]
+pub fn build_at(n: usize, base: u64) -> Built {
+    assert!(n > 0, "blackscholes needs at least one option");
+    let mut layout = Layout::at(base);
+    let spot = layout.alloc_words(n);
+    let strike = layout.alloc_words(n);
+    let time = layout.alloc_words(n);
+    let out = layout.alloc_words(n);
+    let mut mem = Memory::new(layout.memory_size());
+    let mut r = rng(0xB5_C401E5);
+    fill_random(&mut mem, spot, n, 1 << 16, &mut r);
+    fill_random(&mut mem, strike, n, 1 << 16, &mut r);
+    fill_random(&mut mem, time, n, 1 << 16, &mut r);
+
+    let expected = (0..n)
+        .map(|i| {
+            let o = i as u64 * 4;
+            (
+                out + o,
+                price(
+                    mem.load_u32(spot + o),
+                    mem.load_u32(strike + o),
+                    mem.load_u32(time + o),
+                ),
+            )
+        })
+        .collect();
+
+    Built {
+        name: "blackscholes",
+        scalar: scalar(n, spot, strike, time, out),
+        vector: vector(n, spot, strike, time, out),
+        memory: mem,
+        expected,
+    }
+}
+
+fn scalar(n: usize, spot: u64, strike: u64, time: u64, out: u64) -> eve_isa::Program {
+    let mask = 0xFFFF_FFFF;
+    let mut s = Asm::new();
+    s.li(xreg::S0, n as i64);
+    s.li(xreg::A0, spot as i64);
+    s.li(xreg::A1, strike as i64);
+    s.li(xreg::A2, time as i64);
+    s.li(xreg::A3, out as i64);
+    s.label("loop");
+    s.lw(xreg::T0, xreg::A0, 0); // s
+    s.lw(xreg::T1, xreg::A1, 0); // k
+    s.lw(xreg::T2, xreg::A2, 0); // t
+    s.sub(xreg::T3, xreg::T0, xreg::T1); // m
+    s.andi(xreg::T3, xreg::T3, mask);
+    s.mul(xreg::T3, xreg::T3, xreg::T3); // m^2
+    s.andi(xreg::T3, xreg::T3, mask);
+    s.slli(xreg::T3, xreg::T3, 32); // q = m^2 >>s 6
+    s.srai(xreg::T3, xreg::T3, 38);
+    s.andi(xreg::T3, xreg::T3, mask);
+    s.mul(xreg::T4, xreg::T2, xreg::T0); // t*s
+    s.andi(xreg::T4, xreg::T4, mask);
+    s.srli(xreg::T4, xreg::T4, 8); // tv
+    s.add(xreg::T3, xreg::T3, xreg::T4); // p
+    s.andi(xreg::T3, xreg::T3, mask);
+    s.slli(xreg::T3, xreg::T3, 32); // signed clamp to [0, CAP]
+    s.srai(xreg::T3, xreg::T3, 32);
+    s.li(xreg::T5, i64::from(CAP));
+    s.blt(xreg::T3, xreg::T5, "capped");
+    s.mv(xreg::T3, xreg::T5);
+    s.label("capped");
+    s.li(xreg::T5, 0);
+    s.bge(xreg::T3, xreg::T5, "floored");
+    s.mv(xreg::T3, xreg::T5);
+    s.label("floored");
+    s.andi(xreg::T3, xreg::T3, mask);
+    s.srli(xreg::T4, xreg::T2, 4); // out-of-the-money value
+    s.blt(xreg::T1, xreg::T0, "itm"); // k < s (both fit in 16 bits)
+    s.mv(xreg::T3, xreg::T4);
+    s.label("itm");
+    s.sw(xreg::T3, xreg::A3, 0);
+    s.addi(xreg::A0, xreg::A0, 4);
+    s.addi(xreg::A1, xreg::A1, 4);
+    s.addi(xreg::A2, xreg::A2, 4);
+    s.addi(xreg::A3, xreg::A3, 4);
+    s.addi(xreg::S0, xreg::S0, -1);
+    s.bnez(xreg::S0, "loop");
+    s.halt();
+    s.assemble().expect("blackscholes scalar assembles")
+}
+
+fn vector(n: usize, spot: u64, strike: u64, time: u64, out: u64) -> eve_isa::Program {
+    let mut s = Asm::new();
+    s.li(xreg::S0, n as i64);
+    s.li(xreg::A0, spot as i64);
+    s.li(xreg::A1, strike as i64);
+    s.li(xreg::A2, time as i64);
+    s.li(xreg::A3, out as i64);
+    s.label("strip");
+    s.setvl(xreg::T1, xreg::S0);
+    s.vload(vreg::V1, xreg::A0); // s
+    s.vload(vreg::V2, xreg::A1); // k
+    s.vload(vreg::V3, xreg::A2); // t
+    s.vsub(vreg::V4, vreg::V1, VOperand::Reg(vreg::V2)); // m
+    s.vmul(vreg::V5, vreg::V4, VOperand::Reg(vreg::V4)); // m^2
+    s.vop(VArithOp::Sra, vreg::V5, vreg::V5, VOperand::Imm(6)); // q
+    s.vmul(vreg::V6, vreg::V3, VOperand::Reg(vreg::V1)); // t*s
+    s.vsrl(vreg::V6, vreg::V6, VOperand::Imm(8)); // tv
+    s.vadd(vreg::V7, vreg::V5, VOperand::Reg(vreg::V6)); // p
+    s.vmin(vreg::V7, vreg::V7, VOperand::Imm(CAP));
+    s.vmax(vreg::V7, vreg::V7, VOperand::Imm(0));
+    s.vcmp(VCmpCond::Lt, vreg::V0, vreg::V2, VOperand::Reg(vreg::V1)); // k < s
+    s.vsrl(vreg::V8, vreg::V3, VOperand::Imm(4)); // otm value
+    s.vmerge(vreg::V7, vreg::V7, VOperand::Reg(vreg::V8));
+    s.vstore(vreg::V7, xreg::A3);
+    s.slli(xreg::T2, xreg::T1, 2);
+    s.add(xreg::A0, xreg::A0, xreg::T2);
+    s.add(xreg::A1, xreg::A1, xreg::T2);
+    s.add(xreg::A2, xreg::A2, xreg::T2);
+    s.add(xreg::A3, xreg::A3, xreg::T2);
+    s.sub(xreg::S0, xreg::S0, xreg::T1);
+    s.bnez(xreg::S0, "strip");
+    s.vmfence();
+    s.halt();
+    s.assemble().expect("blackscholes vector assembles")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eve_isa::Interpreter;
+
+    #[test]
+    fn odd_sizes_strip_mine_correctly() {
+        for n in [1usize, 7, 63, 64, 65, 130] {
+            let built = build(n);
+            for hw_vl in [4u32, 64] {
+                let mut i = Interpreter::new(built.vector.clone(), built.memory.clone(), hw_vl);
+                i.run_to_halt().unwrap();
+                built
+                    .verify(i.memory())
+                    .unwrap_or_else(|e| panic!("n={n} vl={hw_vl}: {e}"));
+            }
+        }
+    }
+
+    #[test]
+    fn both_moneyness_branches_are_exercised() {
+        // Out-of-the-money prices are `t >> 4` < 4096; in-the-money
+        // prices with any real moneyness blow well past that. Both
+        // populations must appear or the merge is untested.
+        let built = build(256);
+        let big: usize = built.expected.iter().filter(|&&(_, v)| v > 4095).count();
+        assert!(big > 0 && big < 256, "select must go both ways: {big}");
+    }
+}

@@ -17,6 +17,10 @@
 //! | `jacobi-2d` | RiVEC | stencil with cross-element slides |
 //! | `backprop` | Rodinia | huge-stride weight columns (MSHR killer, Fig 8) |
 //! | `sw` | genomics | anti-diagonal strided walks, compare/merge, reductions |
+//! | `spmv` | RiVEC | CSR gather over irregular rows, per-row reductions |
+//! | `histogram` | RiVEC | scatter-conflict resolution, masked gathers |
+//! | `blackscholes` | PARSEC-style | compute-bound fixed-point streaming |
+//! | `scan` | RiVEC | cross-element Hillis-Steele prefix ladder |
 //!
 //! # Examples
 //!
@@ -32,11 +36,15 @@
 //! ```
 
 pub mod backprop;
+pub mod blackscholes;
 pub mod common;
+pub mod histogram;
 pub mod jacobi;
 pub mod kmeans;
 pub mod mmult;
 pub mod pathfinder;
+pub mod scan;
+pub mod spmv;
 pub mod sw;
 pub mod vvadd;
 
@@ -99,7 +107,42 @@ pub enum Workload {
     Backprop { inputs: usize, hidden: usize },
     /// Smith-Waterman local alignment of two length-`n` sequences.
     Sw { n: usize },
+    /// CSR sparse matrix-vector multiply: `rows x cols`, per-row
+    /// nonzeros drawn from `0..=max_nnz`.
+    Spmv {
+        rows: usize,
+        cols: usize,
+        max_nnz: usize,
+    },
+    /// `bins`-bin count histogram over `n` keys with scatter-conflict
+    /// resolution.
+    Histogram { n: usize, bins: usize },
+    /// Fixed-point streaming option pricing over `n` elements.
+    Blackscholes { n: usize },
+    /// Inclusive prefix sum over `n` elements.
+    Scan { n: usize },
 }
+
+/// A kernel name that [`Workload::tiny_by_name`] does not know,
+/// carrying the full valid vocabulary for the error message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UnknownWorkload {
+    /// The name that failed to resolve.
+    pub name: String,
+}
+
+impl std::fmt::Display for UnknownWorkload {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "unknown kernel {:?}; valid kernels: {}",
+            self.name,
+            Workload::names().join(", ")
+        )
+    }
+}
+
+impl std::error::Error for UnknownWorkload {}
 
 impl Workload {
     /// Streaming vector add.
@@ -125,6 +168,10 @@ impl Workload {
             Workload::Jacobi2d { .. } => "jacobi-2d",
             Workload::Backprop { .. } => "backprop",
             Workload::Sw { .. } => "sw",
+            Workload::Spmv { .. } => "spmv",
+            Workload::Histogram { .. } => "histogram",
+            Workload::Blackscholes { .. } => "blackscholes",
+            Workload::Scan { .. } => "scan",
         }
     }
 
@@ -151,6 +198,14 @@ impl Workload {
             Workload::Jacobi2d { n, steps } => jacobi::build_at(n, steps, base),
             Workload::Backprop { inputs, hidden } => backprop::build_at(inputs, hidden, base),
             Workload::Sw { n } => sw::build_at(n, base),
+            Workload::Spmv {
+                rows,
+                cols,
+                max_nnz,
+            } => spmv::build_at(rows, cols, max_nnz, base),
+            Workload::Histogram { n, bins } => histogram::build_at(n, bins, base),
+            Workload::Blackscholes { n } => blackscholes::build_at(n, base),
+            Workload::Scan { n } => scan::build_at(n, base),
         }
     }
 
@@ -162,14 +217,21 @@ impl Workload {
     }
 
     /// Looks up a tiny-sized workload by its Table IV name. Accepts
-    /// `"jacobi"` as an alias for `"jacobi-2d"`. Returns `None` for
-    /// unknown names — callers print [`Workload::names`].
-    #[must_use]
-    pub fn tiny_by_name(name: &str) -> Option<Workload> {
+    /// `"jacobi"` as an alias for `"jacobi-2d"`.
+    ///
+    /// # Errors
+    ///
+    /// Unknown names come back as [`UnknownWorkload`], whose `Display`
+    /// lists the whole valid vocabulary — new kernels show up in CLI
+    /// usage errors automatically.
+    pub fn tiny_by_name(name: &str) -> Result<Workload, UnknownWorkload> {
         let canonical = if name == "jacobi" { "jacobi-2d" } else { name };
         Self::tiny_suite()
             .into_iter()
             .find(|w| w.name() == canonical)
+            .ok_or_else(|| UnknownWorkload {
+                name: name.to_owned(),
+            })
     }
 
     /// The default evaluation suite: the paper's seven kernels at
@@ -200,6 +262,17 @@ impl Workload {
                 hidden: 16,
             },
             Workload::Sw { n: 512 },
+            Workload::Spmv {
+                rows: 384,
+                cols: 1024,
+                max_nnz: 256,
+            },
+            Workload::Histogram {
+                n: 32768,
+                bins: 256,
+            },
+            Workload::Blackscholes { n: 49152 },
+            Workload::Scan { n: 49152 },
         ]
     }
 
@@ -221,6 +294,14 @@ impl Workload {
                 hidden: 8,
             },
             Workload::Sw { n: 48 },
+            Workload::Spmv {
+                rows: 24,
+                cols: 64,
+                max_nnz: 24,
+            },
+            Workload::Histogram { n: 256, bins: 32 },
+            Workload::Blackscholes { n: 300 },
+            Workload::Scan { n: 260 },
         ]
     }
 }
@@ -233,14 +314,23 @@ mod tests {
     #[test]
     fn every_name_round_trips_through_lookup() {
         for w in Workload::tiny_suite() {
-            assert_eq!(Workload::tiny_by_name(w.name()), Some(w));
+            assert_eq!(Workload::tiny_by_name(w.name()), Ok(w));
         }
         assert_eq!(
             Workload::tiny_by_name("jacobi"),
             Workload::tiny_by_name("jacobi-2d")
         );
-        assert_eq!(Workload::tiny_by_name("nonesuch"), None);
         assert_eq!(Workload::names().len(), Workload::tiny_suite().len());
+    }
+
+    #[test]
+    fn unknown_names_error_with_the_full_vocabulary() {
+        let err = Workload::tiny_by_name("nonesuch").unwrap_err();
+        assert_eq!(err.name, "nonesuch");
+        let msg = err.to_string();
+        for name in Workload::names() {
+            assert!(msg.contains(name), "error must list {name}: {msg}");
+        }
     }
 
     /// Both implementations of every kernel must reproduce the golden
@@ -317,7 +407,11 @@ mod tests {
                 "pathfinder",
                 "jacobi-2d",
                 "backprop",
-                "sw"
+                "sw",
+                "spmv",
+                "histogram",
+                "blackscholes",
+                "scan"
             ]
         );
     }

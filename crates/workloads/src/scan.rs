@@ -1,0 +1,130 @@
+//! `scan` (RiVEC): inclusive prefix sum — the second-wave
+//! cross-element kernel.
+//!
+//! Each strip runs a Hillis-Steele doubling ladder: `log2(vl)` rounds
+//! of slide-up + add turn the loaded strip into its inclusive prefix
+//! in place, then a scalar carry (the last lane, extracted with a
+//! slide-down) chains strips together so the result is VL-agnostic.
+//! The ladder is almost pure cross-element traffic — the VRU corner
+//! of Table IV that none of the first seven kernels stress this hard.
+
+use crate::common::{fill_random, rng, Layout};
+use crate::Built;
+use eve_isa::{vreg, xreg, Asm, Memory, VOperand};
+
+/// Builds `out[i] = in[0] + ... + in[i]` over `n` elements.
+///
+/// # Panics
+///
+/// Panics if `n` is zero.
+#[must_use]
+pub fn build(n: usize) -> Built {
+    build_at(n, crate::common::DATA_BASE)
+}
+
+/// Like [`build`], laying data out from `base` (disjoint address
+/// spaces for CMP cores).
+#[must_use]
+pub fn build_at(n: usize, base: u64) -> Built {
+    assert!(n > 0, "scan needs at least one element");
+    let mut layout = Layout::at(base);
+    let input = layout.alloc_words(n);
+    let output = layout.alloc_words(n);
+    let mut mem = Memory::new(layout.memory_size());
+    let mut r = rng(0x5CA4);
+    fill_random(&mut mem, input, n, 1 << 20, &mut r);
+
+    let mut acc = 0u32;
+    let expected = (0..n)
+        .map(|i| {
+            acc = acc.wrapping_add(mem.load_u32(input + i as u64 * 4));
+            (output + i as u64 * 4, acc)
+        })
+        .collect();
+
+    Built {
+        name: "scan",
+        scalar: scalar(n, input, output),
+        vector: vector(n, input, output),
+        memory: mem,
+        expected,
+    }
+}
+
+fn scalar(n: usize, input: u64, output: u64) -> eve_isa::Program {
+    let mut s = Asm::new();
+    s.li(xreg::T0, n as i64);
+    s.li(xreg::A0, input as i64);
+    s.li(xreg::A1, output as i64);
+    s.li(xreg::S2, 0); // running sum
+    s.label("loop");
+    s.lw(xreg::T1, xreg::A0, 0);
+    s.add(xreg::S2, xreg::S2, xreg::T1);
+    s.andi(xreg::S2, xreg::S2, 0xFFFF_FFFF);
+    s.sw(xreg::S2, xreg::A1, 0);
+    s.addi(xreg::A0, xreg::A0, 4);
+    s.addi(xreg::A1, xreg::A1, 4);
+    s.addi(xreg::T0, xreg::T0, -1);
+    s.bnez(xreg::T0, "loop");
+    s.halt();
+    s.assemble().expect("scan scalar assembles")
+}
+
+fn vector(n: usize, input: u64, output: u64) -> eve_isa::Program {
+    let mut s = Asm::new();
+    s.li(xreg::S0, n as i64);
+    s.li(xreg::A0, input as i64);
+    s.li(xreg::A1, output as i64);
+    s.li(xreg::S2, 0); // carry across strips
+    s.label("strip");
+    s.setvl(xreg::T1, xreg::S0);
+    s.vload(vreg::V1, xreg::A0);
+    // Hillis-Steele doubling ladder: v1[i] += v1[i - off] for
+    // off = 1, 2, 4, ... while off < vl. The slide target is
+    // pre-zeroed so lanes below the offset add nothing.
+    s.li(xreg::T2, 1);
+    s.label("ladder");
+    s.bge(xreg::T2, xreg::T1, "ladder_done");
+    s.vmv(vreg::V2, VOperand::Imm(0));
+    s.vslide(vreg::V2, vreg::V1, xreg::T2, true);
+    s.vadd(vreg::V1, vreg::V1, VOperand::Reg(vreg::V2));
+    s.slli(xreg::T2, xreg::T2, 1);
+    s.j("ladder");
+    s.label("ladder_done");
+    // Fold in the carry from earlier strips, store, then pull the new
+    // carry out of the last lane with a slide-down.
+    s.vadd(vreg::V1, vreg::V1, VOperand::Scalar(xreg::S2));
+    s.vstore(vreg::V1, xreg::A1);
+    s.addi(xreg::T3, xreg::T1, -1);
+    s.vslide(vreg::V3, vreg::V1, xreg::T3, false);
+    s.vmv_xs(xreg::S2, vreg::V3);
+    s.andi(xreg::S2, xreg::S2, 0xFFFF_FFFF);
+    s.slli(xreg::T5, xreg::T1, 2);
+    s.add(xreg::A0, xreg::A0, xreg::T5);
+    s.add(xreg::A1, xreg::A1, xreg::T5);
+    s.sub(xreg::S0, xreg::S0, xreg::T1);
+    s.bnez(xreg::S0, "strip");
+    s.vmfence();
+    s.halt();
+    s.assemble().expect("scan vector assembles")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eve_isa::Interpreter;
+
+    #[test]
+    fn odd_sizes_carry_across_strips() {
+        for n in [1usize, 2, 7, 63, 64, 65, 130, 261] {
+            let built = build(n);
+            for hw_vl in [1u32, 4, 64] {
+                let mut i = Interpreter::new(built.vector.clone(), built.memory.clone(), hw_vl);
+                i.run_to_halt().unwrap();
+                built
+                    .verify(i.memory())
+                    .unwrap_or_else(|e| panic!("n={n} vl={hw_vl}: {e}"));
+            }
+        }
+    }
+}

@@ -1,0 +1,193 @@
+//! `spmv` (RiVEC): sparse matrix-vector multiply over a seeded CSR
+//! matrix — the second-wave gather kernel.
+//!
+//! Vectorized over the nonzeros of each row: column indices arrive
+//! through unit-stride loads, the source vector through an indexed
+//! gather (`vluxei32`), and each row's dot product folds through a
+//! `vredsum` seeded with the running accumulator, so strip-mining is
+//! VL-agnostic. Row lengths are drawn per-row from the seed (including
+//! empty rows), so the gather footprint is genuinely irregular.
+
+use crate::common::{fill_random, rng, Layout};
+use crate::Built;
+use eve_isa::{vreg, xreg, Asm, Memory, RedOp, VOperand};
+
+/// Builds `y = A * x` for a seeded `rows x cols` CSR matrix with
+/// per-row nonzero counts drawn from `0..=max_nnz`.
+///
+/// # Panics
+///
+/// Panics if any dimension is zero.
+#[must_use]
+pub fn build(rows: usize, cols: usize, max_nnz: usize) -> Built {
+    build_at(rows, cols, max_nnz, crate::common::DATA_BASE)
+}
+
+/// Like [`build`], laying data out from `base` (disjoint address
+/// spaces for CMP cores).
+#[must_use]
+pub fn build_at(rows: usize, cols: usize, max_nnz: usize, base: u64) -> Built {
+    assert!(
+        rows > 0 && cols > 0 && max_nnz > 0,
+        "degenerate spmv configuration"
+    );
+    let mut r = rng(0x59A75E);
+    // Per-row lengths first: the CSR shape is part of the seed.
+    let row_len: Vec<usize> = (0..rows)
+        .map(|_| r.below(max_nnz as u64 + 1) as usize)
+        .collect();
+    let nnz: usize = row_len.iter().sum();
+
+    let mut layout = Layout::at(base);
+    let row_ptr = layout.alloc_words(rows + 1);
+    let col_idx = layout.alloc_words(nnz.max(1));
+    let vals = layout.alloc_words(nnz.max(1));
+    let x = layout.alloc_words(cols);
+    let y = layout.alloc_words(rows);
+    let mut mem = Memory::new(layout.memory_size());
+
+    let mut ptr = 0u32;
+    for (i, &len) in row_len.iter().enumerate() {
+        mem.store_u32(row_ptr + i as u64 * 4, ptr);
+        ptr += len as u32;
+    }
+    mem.store_u32(row_ptr + rows as u64 * 4, ptr);
+    for j in 0..nnz {
+        mem.store_u32(col_idx + j as u64 * 4, r.below(cols as u64) as u32);
+    }
+    fill_random(&mut mem, vals, nnz.max(1), 1 << 12, &mut r);
+    fill_random(&mut mem, x, cols, 1 << 12, &mut r);
+
+    // Golden y, wrapping 32-bit like the kernels.
+    let ci = mem.load_u32_slice(col_idx, nnz.max(1));
+    let va = mem.load_u32_slice(vals, nnz.max(1));
+    let xv = mem.load_u32_slice(x, cols);
+    let mut expected = Vec::with_capacity(rows);
+    let mut j = 0usize;
+    for (i, &len) in row_len.iter().enumerate() {
+        let mut acc = 0u32;
+        for _ in 0..len {
+            acc = acc.wrapping_add(va[j].wrapping_mul(xv[ci[j] as usize]));
+            j += 1;
+        }
+        expected.push((y + i as u64 * 4, acc));
+    }
+
+    Built {
+        name: "spmv",
+        scalar: scalar(rows, row_ptr, col_idx, vals, x, y),
+        vector: vector(rows, row_ptr, col_idx, vals, x, y),
+        memory: mem,
+        expected,
+    }
+}
+
+fn scalar(rows: usize, row_ptr: u64, col_idx: u64, vals: u64, x: u64, y: u64) -> eve_isa::Program {
+    let mut s = Asm::new();
+    s.li(xreg::S0, 0); // r
+    s.label("row");
+    s.slli(xreg::T5, xreg::S0, 2);
+    s.addi(xreg::T5, xreg::T5, row_ptr as i64);
+    s.lw(xreg::T0, xreg::T5, 0); // start
+    s.lw(xreg::T1, xreg::T5, 4); // end
+    s.li(xreg::S2, 0); // acc
+    s.beq(xreg::T0, xreg::T1, "row_done");
+    s.slli(xreg::T2, xreg::T0, 2);
+    s.addi(xreg::A0, xreg::T2, col_idx as i64);
+    s.addi(xreg::A1, xreg::T2, vals as i64);
+    s.label("nz");
+    s.lw(xreg::T3, xreg::A0, 0); // col
+    s.slli(xreg::T3, xreg::T3, 2);
+    s.addi(xreg::T3, xreg::T3, x as i64);
+    s.lw(xreg::T4, xreg::T3, 0); // x[col]
+    s.lw(xreg::T6, xreg::A1, 0); // val
+    s.mul(xreg::T4, xreg::T4, xreg::T6);
+    s.add(xreg::S2, xreg::S2, xreg::T4);
+    s.andi(xreg::S2, xreg::S2, 0xFFFF_FFFF);
+    s.addi(xreg::A0, xreg::A0, 4);
+    s.addi(xreg::A1, xreg::A1, 4);
+    s.addi(xreg::T0, xreg::T0, 1);
+    s.bne(xreg::T0, xreg::T1, "nz");
+    s.label("row_done");
+    s.slli(xreg::T5, xreg::S0, 2);
+    s.addi(xreg::T5, xreg::T5, y as i64);
+    s.sw(xreg::S2, xreg::T5, 0);
+    s.addi(xreg::S0, xreg::S0, 1);
+    s.li(xreg::T5, rows as i64);
+    s.bne(xreg::S0, xreg::T5, "row");
+    s.halt();
+    s.assemble().expect("spmv scalar assembles")
+}
+
+fn vector(rows: usize, row_ptr: u64, col_idx: u64, vals: u64, x: u64, y: u64) -> eve_isa::Program {
+    let mut s = Asm::new();
+    s.li(xreg::S0, 0); // r
+    s.li(xreg::S3, x as i64); // gather base
+    s.label("row");
+    s.slli(xreg::T5, xreg::S0, 2);
+    s.addi(xreg::T5, xreg::T5, row_ptr as i64);
+    s.lw(xreg::T0, xreg::T5, 0); // start
+    s.lw(xreg::T1, xreg::T5, 4); // end
+    s.sub(xreg::T2, xreg::T1, xreg::T0); // nnz remaining
+    s.li(xreg::S2, 0); // acc
+    s.beqz(xreg::T2, "row_done");
+    s.slli(xreg::T3, xreg::T0, 2);
+    s.addi(xreg::A0, xreg::T3, col_idx as i64);
+    s.addi(xreg::A1, xreg::T3, vals as i64);
+    s.label("strip");
+    s.setvl(xreg::T4, xreg::T2);
+    s.vload(vreg::V1, xreg::A0); // column indices
+    s.vmul(vreg::V2, vreg::V1, VOperand::Imm(4)); // byte offsets
+    s.vload_indexed(vreg::V3, xreg::S3, vreg::V2); // gather x[col]
+    s.vload(vreg::V4, xreg::A1); // values
+    s.vmul(vreg::V5, vreg::V3, VOperand::Reg(vreg::V4));
+    s.vmv_sx(vreg::V6, xreg::S2); // seed lane 0 with the running acc
+    s.vred(RedOp::Sum, vreg::V7, vreg::V5, vreg::V6);
+    s.vmv_xs(xreg::S2, vreg::V7);
+    s.andi(xreg::S2, xreg::S2, 0xFFFF_FFFF);
+    s.slli(xreg::T5, xreg::T4, 2);
+    s.add(xreg::A0, xreg::A0, xreg::T5);
+    s.add(xreg::A1, xreg::A1, xreg::T5);
+    s.sub(xreg::T2, xreg::T2, xreg::T4);
+    s.bnez(xreg::T2, "strip");
+    s.label("row_done");
+    s.slli(xreg::T5, xreg::S0, 2);
+    s.addi(xreg::T5, xreg::T5, y as i64);
+    s.sw(xreg::S2, xreg::T5, 0);
+    s.addi(xreg::S0, xreg::S0, 1);
+    s.li(xreg::T5, rows as i64);
+    s.bne(xreg::S0, xreg::T5, "row");
+    s.vmfence();
+    s.halt();
+    s.assemble().expect("spmv vector assembles")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eve_isa::Interpreter;
+
+    #[test]
+    fn irregular_rows_strip_mine_correctly() {
+        for (rows, cols, max_nnz) in [(1usize, 8usize, 4usize), (17, 32, 9), (40, 64, 70)] {
+            let built = build(rows, cols, max_nnz);
+            for hw_vl in [4u32, 64] {
+                let mut i = Interpreter::new(built.vector.clone(), built.memory.clone(), hw_vl);
+                i.run_to_halt().unwrap();
+                built
+                    .verify(i.memory())
+                    .unwrap_or_else(|e| panic!("{rows}x{cols} nnz<={max_nnz} vl={hw_vl}: {e}"));
+            }
+        }
+    }
+
+    #[test]
+    fn empty_rows_store_zero() {
+        // max_nnz of 1 gives roughly half the rows zero nonzeros.
+        let built = build(32, 16, 1);
+        assert!(built.expected.iter().any(|&(_, v)| v == 0));
+        let mut i = Interpreter::new(built.vector.clone(), built.memory.clone(), 64);
+        i.run_to_halt().unwrap();
+        built.verify(i.memory()).unwrap();
+    }
+}

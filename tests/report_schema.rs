@@ -19,7 +19,9 @@ const FIXTURE: &str = concat!(
 const REGEN: &str = "EVE_UPDATE_FIXTURES=1 cargo test --features obs --test report_schema";
 
 /// One deterministic document covering both report shapes: a scalar
-/// run (null breakdown) and a traced EVE run (every section filled).
+/// run (null breakdown), a traced EVE run (every section filled), and
+/// a traced second-wave kernel (cross-element-heavy scan) so the
+/// schema is pinned for the expanded workload suite too.
 fn snapshot() -> String {
     let w = Workload::vvadd(512);
     let io = Runner::new().run(SystemKind::Io, &w).unwrap();
@@ -27,7 +29,15 @@ fn snapshot() -> String {
     let eve = Runner::with_tracer(&tracer)
         .run(SystemKind::EveN(8), &w)
         .unwrap();
-    let doc = JsonValue::object([("io", io.to_json()), ("eve8_traced", eve.to_json())]);
+    let scan_tracer = Tracer::new();
+    let scan = Runner::with_tracer(&scan_tracer)
+        .run(SystemKind::EveN(8), &Workload::Scan { n: 260 })
+        .unwrap();
+    let doc = JsonValue::object([
+        ("io", io.to_json()),
+        ("eve8_traced", eve.to_json()),
+        ("scan_traced", scan.to_json()),
+    ]);
     let mut text = doc.to_pretty();
     text.push('\n');
     text

@@ -3,6 +3,7 @@
 //! makes the performance results transfer (DESIGN.md's substitution
 //! argument rests on this).
 
+use eve_common::json::JsonValue;
 use eve_isa::{Characterization, Interpreter};
 use eve_workloads::Workload;
 
@@ -93,6 +94,64 @@ fn sw_walks_diagonals_with_merges_and_reductions() {
 }
 
 #[test]
+fn spmv_gathers_through_irregular_rows() {
+    let c = characterize(&Workload::Spmv {
+        rows: 24,
+        cols: 64,
+        max_nnz: 24,
+    });
+    assert!(c.indexed > 0, "x[col] arrives through a gather");
+    assert!(c.imul > 0, "offset scaling and val*x products");
+    assert!(c.xe > 0, "per-strip vredsum plus accumulator moves");
+    assert!(c.unit_stride > 0, "col/val streams are unit-stride");
+    assert_eq!(c.predicated, 0);
+    assert_eq!(c.const_stride, 0);
+}
+
+#[test]
+fn histogram_is_the_scatter_conflict_kernel() {
+    let c = characterize(&Workload::Histogram { n: 256, bins: 32 });
+    assert!(c.indexed > 0, "tag/count scatters and gathers");
+    assert!(c.predicated > 0, "winners update under the mask");
+    assert!(c.xe > 0, "vid lane tags and the active-lane vredsum");
+    assert_eq!(c.imul, 0, "counting needs no multiplies");
+    let mix = c.mix_pct();
+    assert!(
+        mix[6] > 15.0,
+        "conflict loop should be gather/scatter heavy: {mix:?}"
+    );
+}
+
+#[test]
+fn blackscholes_is_compute_bound_with_a_moneyness_select() {
+    let c = characterize(&Workload::Blackscholes { n: 300 });
+    assert!(c.imul > 0, "m^2 and t*s products");
+    assert!(c.predicated > 0, "in/out-of-the-money merge");
+    assert_eq!(c.indexed, 0, "pure streaming access");
+    assert_eq!(c.const_stride, 0);
+    // ~11 math instructions against 4 memory instructions per strip:
+    // the opposite roofline corner from vvadd's 0.33.
+    assert!(
+        c.arithmetic_intensity() > 2.0,
+        "ArInt {:.2}",
+        c.arithmetic_intensity()
+    );
+}
+
+#[test]
+fn scan_is_dominated_by_cross_element_traffic() {
+    let c = characterize(&Workload::Scan { n: 260 });
+    let mix = c.mix_pct();
+    assert!(
+        mix[3] > 20.0,
+        "doubling ladder slides give scan its xe share: {mix:?}"
+    );
+    assert_eq!(c.imul, 0);
+    assert_eq!(c.predicated, 0);
+    assert_eq!(c.indexed, 0);
+}
+
+#[test]
 fn all_kernels_are_heavily_vectorized() {
     // Paper: VO% 96-98 for every kernel at evaluation sizes (tiny
     // smoke inputs leave more scalar strip-loop overhead).
@@ -105,4 +164,70 @@ fn all_kernels_are_heavily_vectorized() {
             c.vector_op_pct()
         );
     }
+}
+
+const FIXTURE: &str = concat!(
+    env!("CARGO_MANIFEST_DIR"),
+    "/tests/fixtures/table4_second_wave.json"
+);
+
+const REGEN: &str = "EVE_UPDATE_FIXTURES=1 cargo test --test table4_mix";
+
+fn mix_row(w: &Workload) -> (&'static str, JsonValue) {
+    let c = characterize(w);
+    (
+        w.name(),
+        JsonValue::object([
+            ("dyn_insts", JsonValue::UInt(c.dyn_insts)),
+            ("vector_insts", JsonValue::UInt(c.vector_insts)),
+            ("ctrl", JsonValue::UInt(c.ctrl)),
+            ("ialu", JsonValue::UInt(c.ialu)),
+            ("imul", JsonValue::UInt(c.imul)),
+            ("xe", JsonValue::UInt(c.xe)),
+            ("unit_stride", JsonValue::UInt(c.unit_stride)),
+            ("const_stride", JsonValue::UInt(c.const_stride)),
+            ("indexed", JsonValue::UInt(c.indexed)),
+            ("predicated", JsonValue::UInt(c.predicated)),
+            ("math_ops", JsonValue::UInt(c.math_ops)),
+            ("mem_ops", JsonValue::UInt(c.mem_ops)),
+            (
+                "arithmetic_intensity",
+                JsonValue::Float(c.arithmetic_intensity()),
+            ),
+            ("vector_op_pct", JsonValue::Float(c.vector_op_pct())),
+        ]),
+    )
+}
+
+/// Golden mix table for the second-wave kernels at tiny sizes. The
+/// exact instruction counts are a fingerprint of each kernel's code
+/// generation *and* its seeded data (spmv's row lengths, histogram's
+/// conflict multiplicity); any drift in either must surface here as a
+/// conscious fixture regeneration.
+#[test]
+fn second_wave_mix_matches_the_checked_in_fixture() {
+    let doc = JsonValue::object([
+        mix_row(&Workload::Spmv {
+            rows: 24,
+            cols: 64,
+            max_nnz: 24,
+        }),
+        mix_row(&Workload::Histogram { n: 256, bins: 32 }),
+        mix_row(&Workload::Blackscholes { n: 300 }),
+        mix_row(&Workload::Scan { n: 260 }),
+    ]);
+    let mut got = doc.to_pretty();
+    got.push('\n');
+    JsonValue::parse(&got).expect("snapshot parses");
+
+    if std::env::var_os("EVE_UPDATE_FIXTURES").is_some() {
+        std::fs::write(FIXTURE, &got).expect("fixture writes");
+        return;
+    }
+    let want = std::fs::read_to_string(FIXTURE)
+        .unwrap_or_else(|_| panic!("missing fixture {FIXTURE}; regenerate with: {REGEN}"));
+    assert_eq!(
+        got, want,
+        "second-wave mix changed; if intentional, regenerate with: {REGEN}"
+    );
 }
