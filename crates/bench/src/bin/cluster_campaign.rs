@@ -15,9 +15,9 @@
 //! ```text
 //! cluster_campaign [--seed N] [--factor N] [--shards S1,S2,..]
 //!                  [--tenants T1,T2,..]
-//!                  [--shapes calm,mixed,partition,hotkey,shardkill,diurnal,bursty,keystorm]
+//!                  [--shapes calm,mixed,partition,hotkey,shardkill,diurnal,bursty,keystorm,phased]
 //!                  [--requests N] [--gap CYCLES] [--slack F]
-//!                  [--workloads N]
+//!                  [--workloads N] [--elastic]
 //! ```
 //!
 //! Storm shapes:
@@ -41,14 +41,23 @@
 //!   mean rate conserved; the batching/admission stress case.
 //! * `keystorm` — a periodic arrival-side viral-key storm aimed at
 //!   one shard, with no fault storm at all: pure load skew.
+//! * `phased` — a one-shot lead → burst → tail trace with no fault
+//!   storm: the elastic-reconfiguration stress case (pair it with
+//!   `--elastic`).
+//!
+//! `--elastic` turns on the elastic engine/L2-way controller for every
+//! cell, with headroom of two extra engine slots per shard above the
+//! configured base; the summary then rolls up cluster-wide spawn /
+//! retire / rollback tallies. It is off by default so historical
+//! campaign bytes replay unchanged.
 
 use eve_bench::pool;
 use eve_common::json::JsonValue;
 use eve_common::SplitMix64;
 use eve_obs::Tracer;
 use eve_serve::{
-    audit_cluster, tenant_mix, ClusterConfig, ClusterSim, ClusterTraffic, FaultStorm, Router,
-    ServiceProfile, TrafficShape,
+    audit_cluster, tenant_mix, ClusterConfig, ClusterSim, ClusterTraffic, ElasticPolicy,
+    FaultStorm, Router, ServiceProfile, TrafficShape,
 };
 use eve_workloads::Workload;
 use std::sync::Arc;
@@ -76,6 +85,8 @@ struct Plan {
     /// the measured profile so offered load tracks the workload suite.
     mean_gap: Option<u64>,
     deadline_slack: f64,
+    /// Elastic engine/L2-way reconfiguration for every cell.
+    elastic: bool,
 }
 
 impl Default for Plan {
@@ -99,6 +110,7 @@ impl Default for Plan {
             requests: 300,
             mean_gap: None,
             deadline_slack: 6.0,
+            elastic: false,
         }
     }
 }
@@ -119,9 +131,10 @@ fn shape_name(s: &str) -> &'static str {
         "diurnal" => "diurnal",
         "bursty" => "bursty",
         "keystorm" => "keystorm",
+        "phased" => "phased",
         other => panic!(
             "unknown shape {other:?} \
-             (calm|mixed|partition|hotkey|shardkill|diurnal|bursty|keystorm)"
+             (calm|mixed|partition|hotkey|shardkill|diurnal|bursty|keystorm|phased)"
         ),
     }
 }
@@ -154,7 +167,9 @@ fn cells(plan: &Plan) -> Vec<Cell> {
 /// ring the simulation will build, so the skew provably lands on the
 /// victim.
 fn build_storm(cell: Cell, cfg: &ClusterConfig, keys: u64, horizon: u64) -> FaultStorm {
-    let engines = cfg.shards * cfg.engines_per_shard;
+    // Synthetic storms address the *slot* space so elastic cells can
+    // lose engines that only exist once the controller spawns them.
+    let engines = cfg.shards * cfg.slots_per_shard();
     let victim = cfg.shards - 1;
     let ring = Router::new(cfg.seed, cfg.shards, cfg.vnodes);
     let hot = ring.key_for_shard(victim, keys).unwrap_or(0);
@@ -171,7 +186,7 @@ fn build_storm(cell: Cell, cfg: &ClusterConfig, keys: u64, horizon: u64) -> Faul
         // Traffic shapes keep the silicon calm-to-lightly-stormy: the
         // interesting pressure comes from the arrival process.
         "diurnal" | "bursty" => FaultStorm::synth(cell.storm_seed, engines, horizon, 0.5),
-        "keystorm" => FaultStorm::synth(cell.storm_seed, engines, horizon, 0.0),
+        "keystorm" | "phased" => FaultStorm::synth(cell.storm_seed, engines, horizon, 0.0),
         other => panic!("unknown shape {other:?}"),
     }
 }
@@ -180,10 +195,21 @@ fn build_storm(cell: Cell, cfg: &ClusterConfig, keys: u64, horizon: u64) -> Faul
 /// the uniform baseline; traffic shapes modulate arrivals, with the
 /// key-storm victim found by probing the same seeded ring as
 /// [`build_storm`].
-fn traffic_shape(cell: Cell, cfg: &ClusterConfig, keys: u64, horizon: u64) -> TrafficShape {
+fn traffic_shape(
+    cell: Cell,
+    cfg: &ClusterConfig,
+    keys: u64,
+    horizon: u64,
+    requests: usize,
+) -> TrafficShape {
     match cell.shape {
         "diurnal" => TrafficShape::Diurnal {
             period: (horizon / 2).max(2),
+        },
+        "phased" => TrafficShape::Phased {
+            lead: requests as u64 / 4,
+            burst: requests as u64 / 2,
+            gain: 4,
         },
         "bursty" => TrafficShape::Bursty {
             burst: 24,
@@ -213,6 +239,9 @@ struct CellOutcome {
     steals: u64,
     step_downs: u64,
     step_ups: u64,
+    elastic_spawns: u64,
+    elastic_retires: u64,
+    elastic_rollbacks: u64,
 }
 
 /// Runs one cell: build the storm, run the cluster simulation under a
@@ -223,13 +252,25 @@ fn run_cell(plan: &Plan, profile: &ServiceProfile, cell: Cell) -> Result<CellOut
     let cfg = ClusterConfig {
         shards: cell.shards,
         engines_per_shard: plan.engines_per_shard,
+        elastic: ElasticPolicy {
+            enabled: plan.elastic,
+            min_engines: 1,
+            max_engines: plan.engines_per_shard + 2,
+            ..ElasticPolicy::default()
+        },
         seed: cell.cluster_seed,
         ..ClusterConfig::default()
     };
     let traffic = ClusterTraffic {
         requests: plan.requests,
         mean_gap,
-        shape: traffic_shape(cell, &cfg, ClusterTraffic::default().keys, horizon),
+        shape: traffic_shape(
+            cell,
+            &cfg,
+            ClusterTraffic::default().keys,
+            horizon,
+            plan.requests,
+        ),
         deadline_slack: plan.deadline_slack,
         tenants: tenant_mix(cell.tenants),
         seed: cell.traffic_seed,
@@ -272,6 +313,9 @@ fn run_cell(plan: &Plan, profile: &ServiceProfile, cell: Cell) -> Result<CellOut
         steals: report.steals,
         step_downs: report.step_downs(),
         step_ups: report.step_ups(),
+        elastic_spawns: report.elastic_spawns,
+        elastic_retires: report.elastic_retires,
+        elastic_rollbacks: report.elastic_spawn_rollbacks + report.elastic_retire_rollbacks,
     })
 }
 
@@ -308,6 +352,9 @@ fn main() {
     if let Some(slack) = flag_value(&args, "--slack") {
         plan.deadline_slack = slack.parse().expect("--slack takes a float");
     }
+    if args.iter().any(|a| a == "--elastic") {
+        plan.elastic = true;
+    }
     let workloads: Vec<Workload> = match flag_value(&args, "--workloads") {
         Some(n) => Workload::tiny_suite()
             .into_iter()
@@ -339,6 +386,9 @@ fn main() {
     let mut steals = 0u64;
     let mut step_downs = 0u64;
     let mut step_ups = 0u64;
+    let mut elastic_spawns = 0u64;
+    let mut elastic_retires = 0u64;
+    let mut elastic_rollbacks = 0u64;
     for (result, &cell) in results.into_iter().zip(grid.iter()) {
         match result {
             Ok(Ok(outcome)) => {
@@ -349,6 +399,9 @@ fn main() {
                 steals += outcome.steals;
                 step_downs += outcome.step_downs;
                 step_ups += outcome.step_ups;
+                elastic_spawns += outcome.elastic_spawns;
+                elastic_retires += outcome.elastic_retires;
+                elastic_rollbacks += outcome.elastic_rollbacks;
                 rows.push(outcome.row);
             }
             Ok(Err(msg)) => errors.push((cell, msg)),
@@ -366,7 +419,8 @@ fn main() {
     }
     eprintln!(
         "cluster_campaign: {} cells, {} error rows, min availability {:.4}, \
-         min tenant availability {:.4}, {} SDCs, {} steals, {} down / {} up",
+         min tenant availability {:.4}, {} SDCs, {} steals, {} down / {} up, \
+         elastic {} spawned / {} retired / {} rolled back",
         grid.len(),
         errors.len(),
         if min_availability.is_finite() {
@@ -382,7 +436,10 @@ fn main() {
         total_sdc,
         steals,
         step_downs,
-        step_ups
+        step_ups,
+        elastic_spawns,
+        elastic_retires,
+        elastic_rollbacks
     );
     for (cell, msg) in &errors {
         eprintln!(
@@ -445,6 +502,10 @@ fn main() {
                 ("steals", JsonValue::from(steals)),
                 ("ladder_step_downs", JsonValue::from(step_downs)),
                 ("ladder_step_ups", JsonValue::from(step_ups)),
+                ("elastic", JsonValue::from(plan.elastic)),
+                ("elastic_spawns", JsonValue::from(elastic_spawns)),
+                ("elastic_retires", JsonValue::from(elastic_retires)),
+                ("elastic_rollbacks", JsonValue::from(elastic_rollbacks)),
             ]),
         ),
         ("runs", JsonValue::Array(rows)),

@@ -299,6 +299,24 @@ impl EveEngine {
         self.stats.add("remapped_rows", rows);
     }
 
+    /// Retires the ephemeral engine: returns the donated L2 ways to
+    /// the scalar cache via [`Hierarchy::despawn_vector_mode`] (free —
+    /// the vector ways were invalidated at spawn and VMU stores write
+    /// through, so there is nothing to flush, §V-E) and re-arms the
+    /// lazy spawn, so the next vector instruction pays the full
+    /// way-partition + flush cost again. A retired-then-respawned
+    /// engine therefore accumulates `spawn_cycles` across its
+    /// lifetimes, which is exactly the cost an elastic controller must
+    /// weigh before bouncing an engine. No-op before the first spawn.
+    pub fn retire(&mut self, mem: &mut Hierarchy, now: Cycle) -> Cycle {
+        if !self.spawned {
+            return now;
+        }
+        self.spawned = false;
+        self.stats.incr("retires");
+        mem.despawn_vector_mode(now)
+    }
+
     /// Pays for any background scrub sweeps whose deadline has passed
     /// on the VSU timeline. Called on the compute path so scrub time
     /// serializes with μprogram execution, like a real port steal.
@@ -725,8 +743,9 @@ impl VectorUnit for EveEngine {
         if !self.spawned {
             let done = mem.spawn_vector_mode(commit);
             self.stats.set("spawn_commit_cycle", commit.0);
+            // `add`, not `set`: respawns after a retire accumulate.
             self.stats
-                .set("spawn_cycles", done.saturating_since(commit).0);
+                .add("spawn_cycles", done.saturating_since(commit).0);
             // The spawn span opens the attributed VSU timeline; the
             // auditor counts it alongside the breakdown buckets.
             self.trace_vsu("spawn", "spawn", commit, done.saturating_since(commit));
@@ -910,6 +929,44 @@ mod tests {
         e.issue(&retired(vadd(), 1024), Cycle(0), Cycle(20_000), &mut mem)
             .unwrap();
         assert_eq!(e.stats().get("spawn_cycles"), spawn1, "spawns once");
+    }
+
+    #[test]
+    fn retire_returns_the_ways_and_a_respawn_pays_again() {
+        let mut e = EveEngine::new(8).unwrap();
+        let mut mem = Hierarchy::new(HierarchyConfig::table_iii());
+        let warm = |mem: &mut Hierarchy, base: u64, at: u64| {
+            for i in 0..32u64 {
+                mem.access(Level::L1D, base + i * 64, true, Cycle(at + i * 200));
+            }
+        };
+        // Retiring before any spawn is a no-op.
+        assert_eq!(e.retire(&mut mem, Cycle(5)), Cycle(5));
+        assert_eq!(e.stats().get("retires"), 0);
+
+        warm(&mut mem, 0x8000, 0);
+        e.issue(&retired(vadd(), 1024), Cycle(0), Cycle(10_000), &mut mem)
+            .unwrap();
+        let first = e.stats().get("spawn_cycles");
+        let lines1 = mem.collect_stats().get("l2_reconfig_lines");
+        assert!(first > 0 && lines1 > 0);
+
+        // Retire: ways come back immediately, despawn itself is free.
+        assert_eq!(e.retire(&mut mem, Cycle(50_000)), Cycle(50_000));
+        assert_eq!(mem.cache(Level::L2).config().ways, 8);
+        assert_eq!(e.stats().get("retires"), 1);
+
+        // Respawn on the rewarmed cache: the flush bill lands again
+        // and `spawn_cycles` accumulates across lifetimes.
+        warm(&mut mem, 0x2_0000, 60_000);
+        e.issue(&retired(vadd(), 1024), Cycle(0), Cycle(100_000), &mut mem)
+            .unwrap();
+        assert_eq!(mem.cache(Level::L2).config().ways, 4);
+        assert!(e.stats().get("spawn_cycles") > first, "respawn was free");
+        assert!(
+            mem.collect_stats().get("l2_reconfig_lines") > lines1,
+            "second partition flushed nothing"
+        );
     }
 
     #[test]

@@ -104,6 +104,22 @@ impl CacheConfig {
         }
     }
 
+    /// Table III L2 with an arbitrary way split: `ways` of the eight
+    /// 64 KB ways left to the cache, the rest donated to engines. The
+    /// set count stays at 1024 for any split — way partitioning never
+    /// re-indexes (§V-E), it only narrows associativity.
+    #[must_use]
+    pub fn l2_with_ways(ways: u32) -> Self {
+        Self {
+            name: if ways == 8 { "l2".into() } else { "l2v".into() },
+            size_bytes: u64::from(ways) * (64 << 10),
+            ways,
+            hit_latency: 8,
+            mshrs: 32,
+            banks: 8,
+        }
+    }
+
     /// Table III LLC: 16-way 12-cycle-hit 2 MB, 32 MSHRs.
     #[must_use]
     pub fn llc() -> Self {
@@ -188,6 +204,16 @@ mod tests {
         assert_eq!(CacheConfig::l2().sets().unwrap(), 1024);
         assert_eq!(CacheConfig::l2_vector_mode().sets().unwrap(), 1024);
         assert_eq!(CacheConfig::llc().sets().unwrap(), 2048);
+    }
+
+    #[test]
+    fn way_partitioned_l2_keeps_geometry() {
+        assert_eq!(CacheConfig::l2_with_ways(8), CacheConfig::l2());
+        let half = CacheConfig::l2_with_ways(4);
+        assert_eq!(half, CacheConfig::l2_vector_mode());
+        for w in [1u32, 2, 3, 4, 6, 8] {
+            assert_eq!(CacheConfig::l2_with_ways(w).sets().unwrap(), 1024);
+        }
     }
 
     #[test]

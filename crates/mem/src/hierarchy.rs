@@ -243,6 +243,35 @@ impl Hierarchy {
         now
     }
 
+    /// Repartitions the private L2 to `ways` cache ways (the rest
+    /// donated to engines) — the elastic controller's generalization of
+    /// [`Hierarchy::spawn_vector_mode`]. A no-op when the split already
+    /// matches; otherwise every resident line is invalidated (dirty
+    /// lines written back) at the same per-line cost as a spawn flush,
+    /// and the same `l2_reconfig_lines` stat attributes the work.
+    /// Returns when the repartition is done.
+    pub fn repartition_l2(&mut self, ways: u32, now: Cycle) -> Cycle {
+        const CYCLES_PER_LINE: u64 = 2;
+        if self.l2.config().ways == ways {
+            return now;
+        }
+        let (clean, dirty) = self.l2.invalidate_all();
+        self.shared.spawn_flush(dirty, now);
+        self.l2 = Cache::new(CacheConfig::l2_with_ways(ways));
+        self.stats.add("l2_reconfig_lines", clean + dirty);
+        #[cfg(feature = "obs")]
+        if let Some(tr) = &self.tracer {
+            tr.instant_arg(
+                "mem",
+                "reconfig",
+                "repartition",
+                now.0,
+                ("lines", clean + dirty),
+            );
+        }
+        now + Cycle((clean + dirty) * CYCLES_PER_LINE)
+    }
+
     /// Collects all statistics under dotted prefixes.
     #[must_use]
     pub fn collect_stats(&self) -> Stats {
@@ -319,6 +348,28 @@ mod tests {
         assert_eq!(back, done);
         assert_eq!(h.cache(Level::L2).config().ways, 8);
         assert_eq!(h.cache(Level::L2).resident_lines(), 0);
+    }
+
+    #[test]
+    fn repartition_generalizes_spawn() {
+        let mut h = hier();
+        for i in 0..64u64 {
+            h.access(Level::L1D, 0x10000 + i * 64, i % 2 == 0, Cycle(i * 200));
+        }
+        let resident = h.cache(Level::L2).resident_lines();
+        assert!(resident > 0);
+        // Matching split: free, nothing flushed.
+        assert_eq!(h.repartition_l2(8, Cycle(50_000)), Cycle(50_000));
+        assert_eq!(h.cache(Level::L2).resident_lines(), resident);
+        // Narrowing to 2 ways flushes everything at 2 cycles/line.
+        let done = h.repartition_l2(2, Cycle(100_000));
+        assert_eq!(done, Cycle(100_000 + resident * 2));
+        assert_eq!(h.cache(Level::L2).config().ways, 2);
+        assert_eq!(h.cache(Level::L2).resident_lines(), 0);
+        assert_eq!(h.collect_stats().get("l2_reconfig_lines"), resident);
+        // Widening back is a flush of whatever is resident (nothing).
+        assert_eq!(h.repartition_l2(8, done), done);
+        assert_eq!(h.cache(Level::L2).config().ways, 8);
     }
 
     #[test]

@@ -19,6 +19,7 @@
 //! final level, level times cover the whole run).
 
 use crate::cluster_report::ClusterReport;
+use crate::elastic::ElasticEventKind;
 use crate::report::ServeReport;
 use crate::sim::traced_engines;
 use eve_obs::audit::{check_bounds, check_monotonic, AuditError};
@@ -405,6 +406,103 @@ pub fn audit_cluster(
         report.end_cycle,
     )?;
 
+    // Elastic reconfiguration replay: the event stream, the shard
+    // tallies, and the cluster roll-ups must tell one story — every
+    // start resolves exactly once (commit or rollback), the final
+    // partition reconciles with the ledger, and request conservation
+    // (checked above) therefore holds *across* reconfigurations:
+    // nothing a drain or rollback touched was dropped or double-run.
+    let spawns: u64 = report.shards_detail.iter().map(|s| s.spawns).sum();
+    check("elastic spawn roll-up", spawns, report.elastic_spawns)?;
+    let retires: u64 = report.shards_detail.iter().map(|s| s.retires).sum();
+    check("elastic retire roll-up", retires, report.elastic_retires)?;
+    let spawn_rb: u64 = report.shards_detail.iter().map(|s| s.spawn_rollbacks).sum();
+    check(
+        "elastic spawn-rollback roll-up",
+        spawn_rb,
+        report.elastic_spawn_rollbacks,
+    )?;
+    let retire_rb: u64 = report
+        .shards_detail
+        .iter()
+        .map(|s| s.retire_rollbacks)
+        .sum();
+    check(
+        "elastic retire-rollback roll-up",
+        retire_rb,
+        report.elastic_retire_rollbacks,
+    )?;
+    for (i, s) in report.shards_detail.iter().enumerate() {
+        check(
+            &format!("shard {i} final_active + retires == base + spawns"),
+            s.final_active + s.retires,
+            report.engines_per_shard as u64 + s.spawns,
+        )?;
+    }
+    let kind_count = |k: ElasticEventKind| -> u64 {
+        report.elastic_events.iter().filter(|e| e.kind == k).count() as u64
+    };
+    check(
+        "every spawn start resolves",
+        kind_count(ElasticEventKind::SpawnStart),
+        report.elastic_spawns + report.elastic_spawn_rollbacks,
+    )?;
+    check(
+        "every retire start resolves",
+        kind_count(ElasticEventKind::RetireStart),
+        report.elastic_retires + report.elastic_retire_rollbacks,
+    )?;
+    check(
+        "spawn commits match the tally",
+        kind_count(ElasticEventKind::SpawnCommit),
+        report.elastic_spawns,
+    )?;
+    check(
+        "retire commits match the tally",
+        kind_count(ElasticEventKind::RetireCommit),
+        report.elastic_retires,
+    )?;
+    let mut prev_at = 0u64;
+    for (i, e) in report.elastic_events.iter().enumerate() {
+        check(
+            &format!("elastic event {i} is time-ordered"),
+            u64::from(e.at >= prev_at),
+            1,
+        )?;
+        prev_at = e.at;
+        check(
+            &format!("elastic event {i} lands inside the run"),
+            u64::from(e.at <= report.end_cycle),
+            1,
+        )?;
+        check(
+            &format!("elastic event {i} names a real shard"),
+            u64::from(e.shard < report.shards),
+            1,
+        )?;
+    }
+    // Thrash guard: reconfiguration *starts* inside any half-window
+    // must stay within the bound (the controller's bucketed window is
+    // conservative at full width, exact at half).
+    let starts: Vec<u64> = report
+        .elastic_events
+        .iter()
+        .filter(|e| e.kind.is_start())
+        .map(|e| e.at)
+        .collect();
+    let half = (report.elastic_window / 2).max(1);
+    for (i, &t) in starts.iter().enumerate() {
+        let in_window = starts[..=i]
+            .iter()
+            .filter(|&&u| t.saturating_sub(u) < half)
+            .count() as u64;
+        check(
+            &format!("thrash guard holds at start {i}"),
+            u64::from(in_window <= report.elastic_max_per_window),
+            1,
+        )?;
+    }
+
     // Counter registry vs report.
     let reg = tracer.registry();
     if !reg.is_empty() {
@@ -424,6 +522,13 @@ pub fn audit_cluster(
             ("cluster.completed_fallback", report.completed_fallback),
             ("cluster.sdc", report.sdc),
             ("cluster.ladder_steps", report.ladder.len() as u64),
+            ("elastic.spawns", report.elastic_spawns),
+            ("elastic.retires", report.elastic_retires),
+            (
+                "elastic.rollbacks",
+                report.elastic_spawn_rollbacks + report.elastic_retire_rollbacks,
+            ),
+            ("elastic.drain_cycles", report.elastic_drain_cycles),
         ] {
             check(name, reg.counter(name), want)?;
         }
@@ -610,6 +715,56 @@ mod tests {
         report.steals += 1;
         let err = audit_cluster(&tracer, &report).unwrap_err();
         assert!(matches!(err, ServeAuditFailure::Identity { .. }), "{err}");
+    }
+
+    #[test]
+    fn an_elastic_run_passes_and_a_cooked_ledger_fails() {
+        use crate::elastic::ElasticPolicy;
+        let tracer = Tracer::new();
+        let cfg = ClusterConfig {
+            shards: 2,
+            engines_per_shard: 1,
+            elastic: ElasticPolicy {
+                enabled: true,
+                min_engines: 1,
+                max_engines: 3,
+                scale_up_backlog: 0.2,
+                scale_down_backlog: 0.02,
+                dwell: 4_000,
+                ..ElasticPolicy::default()
+            },
+            seed: 11,
+            ..ClusterConfig::default()
+        };
+        let traffic = ClusterTraffic {
+            requests: 250,
+            mean_gap: 300,
+            seed: 5,
+            ..ClusterTraffic::default()
+        };
+        let report = ClusterSim::new(
+            cfg,
+            ServiceProfile::synthetic(3, 1000, 4000, 3),
+            traffic,
+            FaultStorm::none(),
+        )
+        .unwrap()
+        .with_tracer(&tracer)
+        .run();
+        assert!(report.elastic_spawns > 0, "pressure never spawned");
+        audit_cluster(&tracer, &report).unwrap();
+        // Cook the ledger: claim one more spawn than the shards saw.
+        let mut cooked = report.clone();
+        cooked.elastic_spawns += 1;
+        let err = audit_cluster(&tracer, &cooked).unwrap_err();
+        assert!(err.to_string().contains("elastic"), "{err}");
+        // Cook an event time past the run's end.
+        let mut cooked = report;
+        if let Some(e) = cooked.elastic_events.last_mut() {
+            e.at = cooked.end_cycle + 1;
+            let err = audit_cluster(&tracer, &cooked).unwrap_err();
+            assert!(err.to_string().contains("inside the run"), "{err}");
+        }
     }
 
     #[test]

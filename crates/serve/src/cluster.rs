@@ -31,6 +31,10 @@ use crate::batch::BatchPolicy;
 use crate::breaker::{BreakerPolicy, BreakerState, CircuitBreaker};
 use crate::cluster_report::{ClusterReport, ShardReport, TenantReport};
 use crate::degrade::{Ladder, LadderPolicy, ServiceLevel};
+use crate::elastic::{
+    ElasticAction, ElasticController, ElasticEvent, ElasticEventKind, ElasticPolicy, ShardSignal,
+};
+use crate::health::spawn_target_ok;
 use crate::profile::ServiceProfile;
 use crate::queue::{admit, estimated_wait, AdmissionPolicy, AdmissionView, ShedReason};
 use crate::report::EngineReport;
@@ -81,6 +85,9 @@ pub struct ClusterConfig {
     pub ladder: LadderPolicy,
     /// Work stealing.
     pub steal: StealPolicy,
+    /// Elastic engine/L2-way reconfiguration (disabled keeps the
+    /// historical static partition).
+    pub elastic: ElasticPolicy,
     /// Engine dispatch attempts per request before failover.
     pub max_attempts: u32,
     /// Cycles from dispatch onto faulty silicon to the detected
@@ -91,6 +98,21 @@ pub struct ClusterConfig {
     pub checked: bool,
     /// Seed for the hash ring and per-request jitter streams.
     pub seed: u64,
+}
+
+impl ClusterConfig {
+    /// Physical engine slots per shard: the base pool plus however
+    /// many extra slots the elastic ceiling can spawn into. Storm
+    /// addressing and report shapes are in slot space, so a run's
+    /// geometry is fixed whether or not the controller ever acts.
+    #[must_use]
+    pub fn slots_per_shard(&self) -> usize {
+        if self.elastic.enabled {
+            self.engines_per_shard.max(self.elastic.max_engines)
+        } else {
+            self.engines_per_shard
+        }
+    }
 }
 
 impl Default for ClusterConfig {
@@ -105,6 +127,7 @@ impl Default for ClusterConfig {
             batch: BatchPolicy::default(),
             ladder: LadderPolicy::default(),
             steal: StealPolicy::default(),
+            elastic: ElasticPolicy::default(),
             max_attempts: 3,
             detect_latency: 500,
             checked: true,
@@ -162,6 +185,8 @@ enum Ev {
     BatchDone(usize),
     /// Request `req` completes on the fallback path.
     FallbackDone(usize),
+    /// Engine `(shard, slot)`'s spawn warmup flush finishes.
+    SpawnReady(usize, usize),
 }
 
 struct Entry {
@@ -203,9 +228,25 @@ struct Request {
     corrupted: bool,
 }
 
+/// Where one engine slot is in the elastic lifecycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum EngineMode {
+    /// Holding donated L2 ways and serving.
+    Active,
+    /// Ways donated, warmup flush in flight; online at `ready_at`
+    /// unless the slot goes unhealthy first (spawn rollback).
+    Spawning { ready_at: u64 },
+    /// Quiescing: no new admissions, the in-flight batch since
+    /// `since` decides commit (ways returned) vs rollback.
+    Draining { since: u64 },
+    /// A plain scalar core: its L2 runs full-width for the cache.
+    Parked,
+}
+
 /// One engine's simulated state (mirrors the single-pool model).
 struct Engine {
     breaker: CircuitBreaker,
+    mode: EngineMode,
     busy: bool,
     dead: bool,
     brown_until: u64,
@@ -225,6 +266,10 @@ impl Engine {
     fn silent_at(&self, now: u64) -> bool {
         now < self.silent_until
     }
+
+    fn is_active(&self) -> bool {
+        self.mode == EngineMode::Active
+    }
 }
 
 /// One shard: a pool of engines plus its tenant queues.
@@ -240,6 +285,16 @@ struct Shard {
     batched_requests: u64,
     completions: u64,
     failures: u64,
+    spawns: u64,
+    retires: u64,
+    spawn_rollbacks: u64,
+    retire_rollbacks: u64,
+}
+
+impl Shard {
+    fn active_engines(&self) -> usize {
+        self.engines.iter().filter(|e| e.is_active()).count()
+    }
 }
 
 /// One in-flight coalesced dispatch.
@@ -264,6 +319,7 @@ pub struct ClusterSim {
     tracer: Option<Tracer>,
     router: Router,
     ladder: Ladder,
+    elastic: ElasticController,
 
     heap: BinaryHeap<Entry>,
     seq: u64,
@@ -349,7 +405,28 @@ impl ClusterSim {
                 "tenant shares must sum to something positive".into(),
             ));
         }
-        let total_engines = cfg.shards * cfg.engines_per_shard;
+        if cfg.elastic.enabled {
+            let e = cfg.elastic;
+            if e.min_engines == 0 {
+                return Err(ServeError::Config(
+                    "elastic.min_engines must be at least 1".into(),
+                ));
+            }
+            if e.min_engines > cfg.engines_per_shard || cfg.engines_per_shard > e.max_engines {
+                return Err(ServeError::Config(format!(
+                    "elastic bounds must bracket the base pool: {} <= {} <= {} fails",
+                    e.min_engines, cfg.engines_per_shard, e.max_engines
+                )));
+            }
+            if e.scale_down_backlog >= e.scale_up_backlog {
+                return Err(ServeError::Config(
+                    "elastic scale_down_backlog must sit below scale_up_backlog".into(),
+                ));
+            }
+        }
+        // Storms address slot space so a scripted fault can target a
+        // slot the controller has not spawned into yet.
+        let total_engines = cfg.shards * cfg.slots_per_shard();
         for (i, e) in storm.events.iter().enumerate() {
             match e.kind {
                 StormEventKind::Brownout { .. }
@@ -429,9 +506,16 @@ impl ClusterSim {
         let quantum = profile.mean_eve_cycles();
         let shards = (0..cfg.shards)
             .map(|_| Shard {
-                engines: (0..cfg.engines_per_shard)
-                    .map(|_| Engine {
+                engines: (0..cfg.slots_per_shard())
+                    .map(|slot| Engine {
                         breaker: CircuitBreaker::new(cfg.breaker),
+                        // Slots beyond the base pool start parked:
+                        // scalar cores the controller can spawn into.
+                        mode: if slot < cfg.engines_per_shard {
+                            EngineMode::Active
+                        } else {
+                            EngineMode::Parked
+                        },
                         busy: false,
                         dead: false,
                         brown_until: 0,
@@ -453,11 +537,16 @@ impl ClusterSim {
                 batched_requests: 0,
                 completions: 0,
                 failures: 0,
+                spawns: 0,
+                retires: 0,
+                spawn_rollbacks: 0,
+                retire_rollbacks: 0,
             })
             .collect();
         let tenant_count = traffic.tenants.len();
         Ok(Self {
             ladder: Ladder::new(cfg.ladder),
+            elastic: ElasticController::new(cfg.elastic, cfg.shards),
             min_weight: weights.iter().copied().min().unwrap_or(1),
             tenant_names: traffic.tenants.iter().map(|t| t.name.clone()).collect(),
             tenant_weights: weights,
@@ -524,7 +613,9 @@ impl ClusterSim {
     }
 
     /// Whether `shard` can accept a dispatch right now: not
-    /// partitioned, and at least one engine's breaker is not open.
+    /// partitioned, and at least one *active* engine's breaker is not
+    /// open (spawning, draining, and parked slots are not admission
+    /// channels).
     fn shard_available(&mut self, s: usize) -> bool {
         let now = self.now;
         let shard = &mut self.shards[s];
@@ -534,7 +625,7 @@ impl ClusterSim {
         shard
             .engines
             .iter_mut()
-            .any(|e| e.breaker.state_at(now) != BreakerState::Open)
+            .any(|e| e.is_active() && e.breaker.state_at(now) != BreakerState::Open)
     }
 
     fn availability_mask(&mut self) -> Vec<bool> {
@@ -543,12 +634,14 @@ impl ClusterSim {
             .collect()
     }
 
-    /// Non-open engine count in `shard` (its serving channels).
+    /// Non-open *active* engine count in `shard` (its serving
+    /// channels).
     fn shard_channels(&mut self, s: usize) -> usize {
         let now = self.now;
         self.shards[s]
             .engines
             .iter_mut()
+            .filter(|e| e.is_active())
             .map(|e| e.breaker.state_at(now))
             .filter(|s| *s != BreakerState::Open)
             .count()
@@ -577,16 +670,41 @@ impl ClusterSim {
         }
     }
 
+    /// Scalar-side cache-pressure multiplier on the O3+DV path: every
+    /// active engine holds donated L2 ways on its core, so the more of
+    /// the fleet is spawned, the slower scalar working sets run
+    /// (saturating at the measured [`ServiceProfile::scalar_slowdown`]
+    /// when every slot is an engine). Exactly 1.0 with the controller
+    /// disabled, so static runs price the fallback as they always did.
+    fn fallback_mult(&self) -> f64 {
+        if !self.cfg.elastic.enabled {
+            return 1.0;
+        }
+        let slots = (self.cfg.shards * self.cfg.slots_per_shard()).max(1);
+        let active: usize = self.shards.iter().map(Shard::active_engines).sum();
+        1.0 + (active as f64 / slots as f64) * (self.profile.scalar_slowdown - 1.0)
+    }
+
+    /// Fallback service time of `workload` under the current engine
+    /// footprint's cache pressure.
+    fn fallback_cost(&self, workload: usize) -> u64 {
+        let base = self.profile.fallback_service(workload);
+        ((base as f64) * self.fallback_mult()).round().max(1.0) as u64
+    }
+
     /// The O3+DV path's view: one FIFO channel plus its current
-    /// backlog.
+    /// backlog, priced under the current scalar-interference level.
     fn fallback_view(&self, workload: usize) -> AdmissionView {
+        let mult = self.fallback_mult();
         AdmissionView {
             queued: 0,
             queued_cost: self.fallback_free_at.saturating_sub(self.now),
             inflight: 0,
             channels: 1,
-            mean_service: self.profile.mean_fallback_cycles(),
-            service_estimate: self.profile.fallback_service(workload),
+            mean_service: ((self.profile.mean_fallback_cycles() as f64) * mult)
+                .round()
+                .max(1.0) as u64,
+            service_estimate: self.fallback_cost(workload),
         }
     }
 
@@ -636,10 +754,13 @@ impl ClusterSim {
                 self.completed_fallback += 1;
                 self.instant("serve", "complete_fallback", self.now);
             }
+            Ev::SpawnReady(s, e) => self.on_spawn_ready(s, e),
         }
-        // Every state change re-evaluates pressure, lets idle shards
-        // steal, and pumps whatever became placeable.
+        // Every state change re-evaluates pressure, lets the elastic
+        // controller repartition, lets idle shards steal, and pumps
+        // whatever became placeable.
         self.evaluate_ladder();
+        self.evaluate_elastic();
         self.steal_pass();
         self.pump_all();
     }
@@ -666,8 +787,9 @@ impl ClusterSim {
                 self.instant("storm", "hot_key", now);
             }
             kind => {
-                let s = ev.engine / self.cfg.engines_per_shard;
-                let e = &mut self.shards[s].engines[ev.engine % self.cfg.engines_per_shard];
+                let slots = self.cfg.slots_per_shard();
+                let s = ev.engine / slots;
+                let e = &mut self.shards[s].engines[ev.engine % slots];
                 match kind {
                     StormEventKind::Brownout { duration } => {
                         e.brown_until = e.brown_until.max(now + duration.max(1));
@@ -833,7 +955,7 @@ impl ClusterSim {
             }
             let mut pick = None;
             for (i, e) in self.shards[s].engines.iter_mut().enumerate() {
-                if e.busy || !e.breaker.allows(now) {
+                if !e.is_active() || e.busy || !e.breaker.allows(now) {
                     continue;
                 }
                 match (e.breaker.state_at(now), pick) {
@@ -947,6 +1069,35 @@ impl ClusterSim {
             }
             self.instant("serve", "complete", now);
         }
+        self.resolve_drain(s, eng, failed);
+    }
+
+    /// A draining engine's in-flight batch just resolved: the drain is
+    /// over either way (that batch was the only work it still held, so
+    /// nothing was dropped and nothing can double-run). Pressure that
+    /// returned mid-drain aborts the retire — the engine snaps back to
+    /// active with its ways intact. Otherwise the retire commits and
+    /// the ways return to the cache; if the drain *failed* because the
+    /// engine went unhealthy, its members have already failed over via
+    /// the ring-walk above, so committing is the rollback-safe choice.
+    fn resolve_drain(&mut self, s: usize, eng: usize, failed: bool) {
+        let EngineMode::Draining { since } = self.shards[s].engines[eng].mode else {
+            return;
+        };
+        let now = self.now;
+        self.elastic.add_drain_cycles(now.saturating_sub(since));
+        let capacity = self.cfg.admission.queue_capacity.max(1);
+        let backlog = self.shards[s].queues.len() as f64 / capacity as f64;
+        let pressure_back = !failed && backlog >= self.cfg.elastic.scale_up_backlog;
+        if pressure_back {
+            self.shards[s].engines[eng].mode = EngineMode::Active;
+            self.shards[s].retire_rollbacks += 1;
+            self.record_elastic(s, ElasticEventKind::RetireRollback);
+        } else {
+            self.shards[s].engines[eng].mode = EngineMode::Parked;
+            self.shards[s].retires += 1;
+            self.record_elastic(s, ElasticEventKind::RetireCommit);
+        }
     }
 
     fn retry_or_failover(&mut self, r: usize) {
@@ -990,7 +1141,7 @@ impl ClusterSim {
         self.failovers += 1;
         self.instant("serve", "failover", now);
         let start = self.fallback_free_at.max(now);
-        let done = start + self.profile.fallback_service(self.requests[r].workload);
+        let done = start + self.fallback_cost(self.requests[r].workload);
         self.fallback_free_at = done;
         self.push(done, Ev::FallbackDone(r));
     }
@@ -1021,7 +1172,7 @@ impl ClusterSim {
                 && self.shards[s]
                     .engines
                     .iter_mut()
-                    .any(|e| !e.busy && e.breaker.allows(now))
+                    .any(|e| e.is_active() && !e.busy && e.breaker.allows(now))
         });
         let Some(t) = thief else { return };
         let stolen = self.shards[v]
@@ -1062,6 +1213,137 @@ impl ClusterSim {
         let unavailable = down as f64 / self.cfg.shards as f64;
         if let Some(ev) = self.ladder.evaluate(now, backlog, unavailable) {
             self.instant("ladder", ev.to.as_str(), now);
+        }
+    }
+
+    /// Records one reconfiguration event: the controller keeps the
+    /// ledger (tallies, dwell stamps, thrash window) and the trace gets
+    /// a per-shard instant. Call *after* the mode mutation so
+    /// `active_after` reflects the post-event partition.
+    fn record_elastic(&mut self, s: usize, kind: ElasticEventKind) {
+        let event = ElasticEvent {
+            at: self.now,
+            shard: s,
+            kind,
+            active_after: self.shards[s].active_engines(),
+        };
+        self.elastic.record(event);
+        if s < SHARD_CATS.len() {
+            self.instant(SHARD_CATS[s], kind.as_str(), self.now);
+        }
+    }
+
+    /// One controller pass: each unpartitioned shard's windowed
+    /// pressure is read and at most one reconfiguration per shard is
+    /// started, subject to the controller's dwell hysteresis and the
+    /// cluster-wide thrash budget. The bottom ladder rung suppresses
+    /// the controller entirely — a cluster serving from the fallback
+    /// should not be donating more L2 ways to engines.
+    fn evaluate_elastic(&mut self) {
+        if !self.cfg.elastic.enabled || self.ladder.level() == ServiceLevel::FallbackOnly {
+            return;
+        }
+        let now = self.now;
+        let capacity = self.cfg.admission.queue_capacity.max(1);
+        for s in 0..self.cfg.shards {
+            if now < self.shards[s].partition_until {
+                continue;
+            }
+            let shard = &self.shards[s];
+            let signal = ShardSignal {
+                backlog: shard.queues.len() as f64 / capacity as f64,
+                active: shard.active_engines(),
+                spawning: shard
+                    .engines
+                    .iter()
+                    .filter(|e| matches!(e.mode, EngineMode::Spawning { .. }))
+                    .count(),
+                draining: shard
+                    .engines
+                    .iter()
+                    .filter(|e| matches!(e.mode, EngineMode::Draining { .. }))
+                    .count(),
+            };
+            match self.elastic.decide(now, s, &signal) {
+                Some(ElasticAction::Spawn) => self.start_spawn(s),
+                Some(ElasticAction::Retire) => self.start_retire(s),
+                None => {}
+            }
+        }
+    }
+
+    /// Begins a spawn on `s`: the first parked slot that is healthy
+    /// enough ([`spawn_target_ok`]) donates its L2 ways and starts the
+    /// measured warmup flush; the engine is only real at `ready_at`.
+    /// No healthy slot → no action (and no thrash charge).
+    fn start_spawn(&mut self, s: usize) {
+        let now = self.now;
+        let mut target = None;
+        for i in 0..self.shards[s].engines.len() {
+            let e = &mut self.shards[s].engines[i];
+            if e.mode != EngineMode::Parked {
+                continue;
+            }
+            let faulty = e.faulty_at(now);
+            if spawn_target_ok(&mut e.breaker, faulty, now) {
+                target = Some(i);
+                break;
+            }
+        }
+        let Some(i) = target else { return };
+        let ready_at = now + self.profile.spawn_flush_cycles.max(1);
+        self.shards[s].engines[i].mode = EngineMode::Spawning { ready_at };
+        self.record_elastic(s, ElasticEventKind::SpawnStart);
+        self.push(ready_at, Ev::SpawnReady(s, i));
+    }
+
+    /// Begins a retire on `s`, from the top slot down so the base pool
+    /// is the last to go. An idle engine has nothing in flight: its
+    /// ways return immediately (start and commit coincide). A busy
+    /// engine quiesces instead — it stops admitting work and its
+    /// in-flight batch decides the drain in [`ClusterSim::resolve_drain`].
+    fn start_retire(&mut self, s: usize) {
+        let now = self.now;
+        let engines = &self.shards[s].engines;
+        let pick = |busy: bool| {
+            (0..engines.len())
+                .rev()
+                .find(|&i| engines[i].is_active() && engines[i].busy == busy)
+        };
+        if let Some(i) = pick(false) {
+            self.shards[s].engines[i].mode = EngineMode::Parked;
+            self.record_elastic(s, ElasticEventKind::RetireStart);
+            self.shards[s].retires += 1;
+            self.record_elastic(s, ElasticEventKind::RetireCommit);
+        } else if let Some(i) = pick(true) {
+            self.shards[s].engines[i].mode = EngineMode::Draining { since: now };
+            self.record_elastic(s, ElasticEventKind::RetireStart);
+        }
+    }
+
+    /// The warmup flush finished: if the slot is still healthy the
+    /// engine comes online; if it went unhealthy mid-warmup the spawn
+    /// rolls back — ways return to the cache, the slot re-parks, and
+    /// traffic keeps failing over via the existing ring-walk.
+    fn on_spawn_ready(&mut self, s: usize, i: usize) {
+        let now = self.now;
+        let ok = {
+            let e = &mut self.shards[s].engines[i];
+            let EngineMode::Spawning { ready_at } = e.mode else {
+                return;
+            };
+            debug_assert_eq!(ready_at, now, "spawn readiness fires on schedule");
+            let faulty = e.faulty_at(now);
+            spawn_target_ok(&mut e.breaker, faulty, now)
+        };
+        if ok {
+            self.shards[s].engines[i].mode = EngineMode::Active;
+            self.shards[s].spawns += 1;
+            self.record_elastic(s, ElasticEventKind::SpawnCommit);
+        } else {
+            self.shards[s].engines[i].mode = EngineMode::Parked;
+            self.shards[s].spawn_rollbacks += 1;
+            self.record_elastic(s, ElasticEventKind::SpawnRollback);
         }
     }
 
@@ -1140,6 +1422,11 @@ impl ClusterSim {
                 batched_requests: s.batched_requests,
                 completions: s.completions,
                 failures: s.failures,
+                spawns: s.spawns,
+                retires: s.retires,
+                spawn_rollbacks: s.spawn_rollbacks,
+                retire_rollbacks: s.retire_rollbacks,
+                final_active: s.active_engines() as u64,
                 engines: s
                     .engines
                     .iter_mut()
@@ -1174,6 +1461,13 @@ impl ClusterSim {
         self.count("cluster.completed_fallback", self.completed_fallback);
         self.count("cluster.sdc", self.sdc);
         self.count("cluster.ladder_steps", self.ladder.events().len() as u64);
+        self.count("elastic.spawns", self.elastic.spawns());
+        self.count("elastic.retires", self.elastic.retires());
+        self.count(
+            "elastic.rollbacks",
+            self.elastic.spawn_rollbacks() + self.elastic.retire_rollbacks(),
+        );
+        self.count("elastic.drain_cycles", self.elastic.drain_cycles());
         for (i, s) in shards_detail.iter().enumerate() {
             self.count(&format!("cluster.routed.s{i}"), s.routed);
             self.count(&format!("cluster.steals_in.s{i}"), s.steals_in);
@@ -1209,6 +1503,14 @@ impl ClusterSim {
             ladder: self.ladder.events().to_vec(),
             final_level: self.ladder.level(),
             time_at_level,
+            elastic_spawns: self.elastic.spawns(),
+            elastic_retires: self.elastic.retires(),
+            elastic_spawn_rollbacks: self.elastic.spawn_rollbacks(),
+            elastic_retire_rollbacks: self.elastic.retire_rollbacks(),
+            elastic_drain_cycles: self.elastic.drain_cycles(),
+            elastic_window: self.cfg.elastic.window,
+            elastic_max_per_window: self.cfg.elastic.max_reconfigs_per_window,
+            elastic_events: self.elastic.events().to_vec(),
             shards_detail,
             tenants,
         }
@@ -1494,6 +1796,141 @@ mod tests {
             hot_share > 0.5,
             "storm shard owned only {hot_share:.2} of routed traffic"
         );
+    }
+
+    fn elastic_cfg() -> ClusterConfig {
+        ClusterConfig {
+            shards: 2,
+            engines_per_shard: 1,
+            elastic: ElasticPolicy {
+                enabled: true,
+                min_engines: 1,
+                max_engines: 3,
+                scale_up_backlog: 0.2,
+                scale_down_backlog: 0.05,
+                dwell: 4_000,
+                ..ElasticPolicy::default()
+            },
+            seed: 11,
+            ..ClusterConfig::default()
+        }
+    }
+
+    fn elastic_run(cfg: ClusterConfig, storm: FaultStorm) -> ClusterReport {
+        let traffic = ClusterTraffic {
+            requests: 250,
+            mean_gap: 300,
+            seed: 5,
+            ..ClusterTraffic::default()
+        };
+        ClusterSim::new(
+            cfg,
+            ServiceProfile::synthetic(3, 1000, 4000, 3),
+            traffic,
+            storm,
+        )
+        .unwrap()
+        .run()
+    }
+
+    #[test]
+    fn pressure_spawns_engines_and_the_tail_retires_them() {
+        let r = elastic_run(elastic_cfg(), FaultStorm::none());
+        check_conservation(&r);
+        assert_eq!(r.sdc, 0);
+        assert!(r.elastic_spawns > 0, "sustained pressure never spawned");
+        assert!(r.elastic_retires > 0, "the quiet tail never retired");
+        // The ledger and the final partition agree, shard by shard.
+        for s in &r.shards_detail {
+            assert_eq!(s.final_active + s.retires, 1 + s.spawns);
+            // Slot space: every shard carries max_engines slots.
+            assert_eq!(s.engines.len(), 3);
+        }
+        // Every start resolved exactly once.
+        let starts = r
+            .elastic_events
+            .iter()
+            .filter(|e| e.kind.is_start())
+            .count() as u64;
+        assert_eq!(
+            starts,
+            r.elastic_spawns
+                + r.elastic_retires
+                + r.elastic_spawn_rollbacks
+                + r.elastic_retire_rollbacks
+        );
+    }
+
+    #[test]
+    fn elastic_runs_are_byte_deterministic() {
+        let a = elastic_run(elastic_cfg(), FaultStorm::none());
+        let b = elastic_run(elastic_cfg(), FaultStorm::none());
+        assert_eq!(a.to_json().to_pretty(), b.to_json().to_pretty());
+    }
+
+    #[test]
+    fn pinned_bounds_never_reconfigure() {
+        let mut cfg = elastic_cfg();
+        cfg.elastic.min_engines = 1;
+        cfg.elastic.max_engines = 1;
+        let r = elastic_run(cfg, FaultStorm::none());
+        check_conservation(&r);
+        assert_eq!(r.elastic_spawns + r.elastic_retires, 0);
+        assert!(r.elastic_events.is_empty());
+    }
+
+    #[test]
+    fn elastic_storms_address_slot_space() {
+        // Engine index 2 is shard 0's third slot: meaningless in the
+        // 2×1 static geometry, valid once the elastic ceiling is 3.
+        let cfg = elastic_cfg();
+        let r = elastic_run(cfg, FaultStorm::kill_one(2, 10_000));
+        check_conservation(&r);
+        let mut off = cfg;
+        off.elastic.enabled = false;
+        let traffic = ClusterTraffic::default();
+        let err = ClusterSim::new(
+            off,
+            ServiceProfile::synthetic(3, 1000, 4000, 3),
+            traffic,
+            FaultStorm::kill_one(2, 10_000),
+        )
+        .err()
+        .unwrap();
+        assert!(matches!(err, ServeError::Storm(_)), "{err}");
+    }
+
+    #[test]
+    fn invalid_elastic_policies_are_rejected() {
+        let profile = ServiceProfile::synthetic(1, 100, 200, 1);
+        for tweak in [
+            |e: &mut ElasticPolicy| e.min_engines = 0,
+            |e: &mut ElasticPolicy| e.min_engines = 2,
+            |e: &mut ElasticPolicy| e.max_engines = 0,
+            |e: &mut ElasticPolicy| e.scale_down_backlog = 0.9,
+        ] {
+            let mut cfg = ClusterConfig {
+                shards: 2,
+                engines_per_shard: 1,
+                elastic: ElasticPolicy {
+                    enabled: true,
+                    min_engines: 1,
+                    max_engines: 2,
+                    ..ElasticPolicy::default()
+                },
+                ..ClusterConfig::default()
+            };
+            tweak(&mut cfg.elastic);
+            assert!(matches!(
+                ClusterSim::new(
+                    cfg,
+                    profile.clone(),
+                    ClusterTraffic::default(),
+                    FaultStorm::none()
+                ),
+                Err(ServeError::Config(_))
+            ));
+        }
     }
 
     #[test]

@@ -7,6 +7,7 @@
 //! campaign thread count — produce byte-identical documents.
 
 use crate::degrade::{LadderEvent, ServiceLevel};
+use crate::elastic::ElasticEvent;
 use crate::report::EngineReport;
 use eve_common::json::JsonValue;
 
@@ -29,6 +30,16 @@ pub struct ShardReport {
     pub completions: u64,
     /// Batches that failed detected.
     pub failures: u64,
+    /// Engines the elastic controller brought online here.
+    pub spawns: u64,
+    /// Engines it drained and returned to cache duty.
+    pub retires: u64,
+    /// Spawns rolled back mid-warmup (target went unhealthy).
+    pub spawn_rollbacks: u64,
+    /// Retires aborted mid-drain (pressure returned).
+    pub retire_rollbacks: u64,
+    /// Active engines when the run ended.
+    pub final_active: u64,
     /// Per-engine tallies (`dispatches` counts batches here).
     pub engines: Vec<EngineReport>,
 }
@@ -46,6 +57,11 @@ impl ShardReport {
             ("batched_requests", JsonValue::from(self.batched_requests)),
             ("completions", JsonValue::from(self.completions)),
             ("failures", JsonValue::from(self.failures)),
+            ("spawns", JsonValue::from(self.spawns)),
+            ("retires", JsonValue::from(self.retires)),
+            ("spawn_rollbacks", JsonValue::from(self.spawn_rollbacks)),
+            ("retire_rollbacks", JsonValue::from(self.retire_rollbacks)),
+            ("final_active", JsonValue::from(self.final_active)),
             (
                 "engines",
                 JsonValue::Array(self.engines.iter().map(EngineReport::to_json).collect()),
@@ -156,6 +172,23 @@ pub struct ClusterReport {
     pub final_level: ServiceLevel,
     /// Cycles spent at each service level.
     pub time_at_level: [u64; 4],
+    /// Elastic spawns the controller committed.
+    pub elastic_spawns: u64,
+    /// Elastic retires the controller committed.
+    pub elastic_retires: u64,
+    /// Spawns rolled back mid-warmup.
+    pub elastic_spawn_rollbacks: u64,
+    /// Retires aborted mid-drain.
+    pub elastic_retire_rollbacks: u64,
+    /// Total cycles engines spent draining.
+    pub elastic_drain_cycles: u64,
+    /// The controller's thrash-guard window width (policy echo, so the
+    /// auditor can replay the bound without the config).
+    pub elastic_window: u64,
+    /// Most reconfiguration starts allowed per window (policy echo).
+    pub elastic_max_per_window: u64,
+    /// Every reconfiguration event, in order.
+    pub elastic_events: Vec<ElasticEvent>,
     /// Per-shard tallies.
     pub shards_detail: Vec<ShardReport>,
     /// Per-tenant accounting.
@@ -244,6 +277,41 @@ impl ClusterReport {
             ("ladder", JsonValue::Array(ladder)),
             ("final_level", JsonValue::from(self.final_level.as_str())),
             ("time_at_level", JsonValue::Array(time_at)),
+            ("elastic_spawns", JsonValue::from(self.elastic_spawns)),
+            ("elastic_retires", JsonValue::from(self.elastic_retires)),
+            (
+                "elastic_spawn_rollbacks",
+                JsonValue::from(self.elastic_spawn_rollbacks),
+            ),
+            (
+                "elastic_retire_rollbacks",
+                JsonValue::from(self.elastic_retire_rollbacks),
+            ),
+            (
+                "elastic_drain_cycles",
+                JsonValue::from(self.elastic_drain_cycles),
+            ),
+            ("elastic_window", JsonValue::from(self.elastic_window)),
+            (
+                "elastic_max_per_window",
+                JsonValue::from(self.elastic_max_per_window),
+            ),
+            (
+                "elastic_events",
+                JsonValue::Array(
+                    self.elastic_events
+                        .iter()
+                        .map(|e| {
+                            JsonValue::object([
+                                ("at", JsonValue::from(e.at)),
+                                ("shard", JsonValue::from(e.shard as u64)),
+                                ("kind", JsonValue::from(e.kind.as_str())),
+                                ("active_after", JsonValue::from(e.active_after as u64)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
             (
                 "shards_detail",
                 JsonValue::Array(
@@ -302,6 +370,27 @@ mod tests {
             }],
             final_level: ServiceLevel::BatchOnly,
             time_at_level: [4_000, 5_000, 0, 0],
+            elastic_spawns: 1,
+            elastic_retires: 1,
+            elastic_spawn_rollbacks: 0,
+            elastic_retire_rollbacks: 0,
+            elastic_drain_cycles: 700,
+            elastic_window: 64_000,
+            elastic_max_per_window: 4,
+            elastic_events: vec![
+                ElasticEvent {
+                    at: 2_000,
+                    shard: 0,
+                    kind: crate::elastic::ElasticEventKind::SpawnStart,
+                    active_after: 2,
+                },
+                ElasticEvent {
+                    at: 2_600,
+                    shard: 0,
+                    kind: crate::elastic::ElasticEventKind::SpawnCommit,
+                    active_after: 3,
+                },
+            ],
             shards_detail: vec![
                 ShardReport {
                     routed: 5,
@@ -312,6 +401,11 @@ mod tests {
                     batched_requests: 5,
                     completions: 5,
                     failures: 0,
+                    spawns: 0,
+                    retires: 0,
+                    spawn_rollbacks: 0,
+                    retire_rollbacks: 0,
+                    final_active: 2,
                     engines: vec![
                         EngineReport {
                             dispatches: 3,
@@ -347,6 +441,8 @@ mod tests {
         assert_eq!(a, b);
         assert!(a.contains("\"batch_only\""));
         assert!(a.contains("\"time_at_level\""));
+        assert!(a.contains("\"spawn_commit\""));
+        assert!(a.contains("\"elastic_drain_cycles\""));
         JsonValue::parse(&a).expect("own output parses");
         assert_eq!(r.shed(), 1);
         assert_eq!(r.step_downs(), 1);

@@ -92,16 +92,17 @@ impl Default for LadderPolicy {
 /// A sliding-window event counter: eight buckets of `window / 8`
 /// cycles each, recycled in place. Sums are exact over the last seven
 /// full buckets plus the current one — deterministic and O(1), which
-/// matters more here than bucket-edge precision.
+/// matters more here than bucket-edge precision. Shared with the
+/// elastic controller's thrash guard ([`crate::elastic`]).
 #[derive(Debug, Clone)]
-struct WindowCounter {
+pub(crate) struct WindowCounter {
     width: u64,
     tags: [u64; 8],
     vals: [u64; 8],
 }
 
 impl WindowCounter {
-    fn new(window: u64) -> Self {
+    pub(crate) fn new(window: u64) -> Self {
         Self {
             width: (window / 8).max(1),
             tags: [u64::MAX; 8],
@@ -109,7 +110,7 @@ impl WindowCounter {
         }
     }
 
-    fn add(&mut self, now: u64, n: u64) {
+    pub(crate) fn add(&mut self, now: u64, n: u64) {
         let bucket = now / self.width;
         let slot = (bucket % 8) as usize;
         if self.tags[slot] != bucket {
@@ -119,7 +120,7 @@ impl WindowCounter {
         self.vals[slot] += n;
     }
 
-    fn sum(&self, now: u64) -> u64 {
+    pub(crate) fn sum(&self, now: u64) -> u64 {
         let bucket = now / self.width;
         let oldest = bucket.saturating_sub(7);
         (0..8)

@@ -86,6 +86,15 @@ pub fn apply_signal(breaker: &mut CircuitBreaker, signal: HealthSignal, now: u64
     }
 }
 
+/// Whether an engine slot is a sane spawn target for the elastic
+/// controller at `now`: not currently faulty, and its breaker is not
+/// open (an open breaker is accumulated evidence the silicon under
+/// that slot is bad — donating L2 ways to it would pay the flush cost
+/// just to roll the spawn back).
+pub fn spawn_target_ok(breaker: &mut CircuitBreaker, faulty: bool, now: u64) -> bool {
+    !faulty && breaker.state_at(now) != crate::breaker::BreakerState::Open
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -143,6 +152,15 @@ mod tests {
         assert_eq!(b.state_at(0), BreakerState::Closed);
         apply_signal(&mut b, HealthSignal::RemapExhausted, 1);
         assert_eq!(b.state_at(1), BreakerState::Open);
+    }
+
+    #[test]
+    fn spawn_targets_need_health_and_a_quiet_breaker() {
+        let mut b = CircuitBreaker::new(BreakerPolicy::default());
+        assert!(spawn_target_ok(&mut b, false, 0));
+        assert!(!spawn_target_ok(&mut b, true, 0), "faulty slot");
+        b.force_open(0);
+        assert!(!spawn_target_ok(&mut b, false, 1), "open breaker");
     }
 
     /// End-to-end: a real `eve-sim` faulty run's report, converted to

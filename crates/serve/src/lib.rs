@@ -31,8 +31,13 @@
 //! requests into amortized dispatches, idle shards work-steal from
 //! unroutable peers, and the [`Ladder`] degrades service gracefully
 //! (full → batch-only → shed low-weight tenants → fallback-only)
-//! instead of collapsing. [`audit_cluster`] extends the replay
-//! identity to routing, stealing, and shedding decisions. Arrivals
+//! instead of collapsing. The [`ElasticController`] makes the
+//! engine/L2-way split itself elastic: it spawns engines under vector
+//! pressure (paying the measured way-partition flush cost), retires
+//! them through a safe drain when traffic recedes, and guards the
+//! partition with dwell hysteresis, a thrash window, and rollback.
+//! [`audit_cluster`] extends the replay identity to routing, stealing,
+//! shedding, and reconfiguration decisions. Arrivals
 //! come from a seeded [`TrafficShape`] — the uniform baseline, a
 //! diurnal load curve, count-based bursts, or a periodic hot-key
 //! storm — all pure functions of the traffic seed.
@@ -65,6 +70,7 @@ pub mod breaker;
 pub mod cluster;
 pub mod cluster_report;
 pub mod degrade;
+pub mod elastic;
 pub mod health;
 pub mod profile;
 pub mod queue;
@@ -84,10 +90,14 @@ pub use breaker::{BreakerPolicy, BreakerState, BreakerStats, CircuitBreaker};
 pub use cluster::{ClusterConfig, ClusterSim, ClusterTraffic, StealPolicy};
 pub use cluster_report::{ClusterReport, ShardReport, TenantReport};
 pub use degrade::{Ladder, LadderEvent, LadderPolicy, ServiceLevel};
-pub use health::{apply_signal, signals, HealthSignal};
+pub use elastic::{
+    ElasticAction, ElasticController, ElasticEvent, ElasticEventKind, ElasticPolicy, ShardSignal,
+};
+pub use health::{apply_signal, signals, spawn_target_ok, HealthSignal};
 pub use profile::ServiceProfile;
 pub use queue::{admit, estimated_wait, AdmissionPolicy, AdmissionView, ShedReason};
 pub use report::{EngineReport, ServeReport};
+pub use router::RouteError;
 pub use router::Router;
 pub use shape::{arrivals, Arrival, TrafficShape};
 pub use sim::{ServeConfig, ServeError, ServeSim, TrafficConfig};

@@ -10,6 +10,8 @@
 //! queueing effects rest on cycle-accurate measurements instead of
 //! made-up constants.
 
+use eve_common::Cycle;
+use eve_mem::{Hierarchy, HierarchyConfig, Level};
 use eve_sim::{contention_profile, Runner, SimError, SystemKind};
 use eve_workloads::Workload;
 
@@ -28,6 +30,52 @@ pub struct ServiceProfile {
     /// Entry `k-1`: completion-time multiplier when `k` engines are
     /// concurrently busy (entry 0 is 1.0).
     pub contention: Vec<f64>,
+    /// Cycles an engine spawn spends flushing the donated L2 ways on a
+    /// warmed hierarchy (§V-E) — the warmup cost the elastic
+    /// controller pays before a spawned engine comes online.
+    pub spawn_flush_cycles: u64,
+    /// Scalar-side cache-pressure multiplier: how much slower a scalar
+    /// working set runs through the half-ways L2 than the full one.
+    /// The fallback path is priced with (a fraction of) this when
+    /// engines hold donated ways — the controller's genuine trade-off.
+    pub scalar_slowdown: f64,
+}
+
+/// A scalar working set swept twice through `h`: six lines per L2 set,
+/// so the full 8-way L2 retains everything while the half-ways
+/// partition LRU-thrashes. Returns the second (steady-state) pass's
+/// summed load-to-use latency.
+fn scalar_sweep(h: &mut Hierarchy) -> u64 {
+    const LINES: u64 = 6 * 1024;
+    let mut now = Cycle(0);
+    let mut total = 0u64;
+    for pass in 0..2 {
+        for i in 0..LINES {
+            let a = h.access(Level::L1D, 0x100_0000 + i * 64, false, now);
+            if pass == 1 {
+                total += a.complete.saturating_since(now).0;
+            }
+            now += Cycle(200);
+        }
+    }
+    total
+}
+
+/// Measures the elastic reconfiguration costs through `eve_mem`: the
+/// spawn flush on a warmed full-width hierarchy, and the scalar
+/// slowdown as the ratio of steady-state sweep latencies between the
+/// half-ways and full-width L2. Deterministic — pure cache geometry.
+fn measure_reconfig_costs() -> (u64, f64) {
+    let mut full = Hierarchy::new(HierarchyConfig::table_iii());
+    let full_lat = scalar_sweep(&mut full).max(1);
+    let mut narrow = Hierarchy::new(HierarchyConfig::table_iii_vector_mode());
+    let narrow_lat = scalar_sweep(&mut narrow);
+    // The sweep left `full` warm: spawning now pays the real flush.
+    let t = Cycle(100_000_000);
+    let done = full.spawn_vector_mode(t);
+    let spawn_flush = done.saturating_since(t).0.max(1);
+    let slowdown = (narrow_lat as f64 / full_lat as f64).max(1.0);
+    (spawn_flush, slowdown)
 }
 
 impl ServiceProfile {
@@ -64,12 +112,15 @@ impl ServiceProfile {
             fallback_cycles.push((fb.wall_ps.0 / eve_tick).max(1));
         }
         let contention = contention_profile(SystemKind::EveN(factor), &workloads[0], max_pool)?;
+        let (spawn_flush_cycles, scalar_slowdown) = measure_reconfig_costs();
         Ok(Self {
             factor,
             names,
             eve_cycles,
             fallback_cycles,
             contention,
+            spawn_flush_cycles,
+            scalar_slowdown,
         })
     }
 
@@ -84,6 +135,8 @@ impl ServiceProfile {
             eve_cycles: vec![eve.max(1); n],
             fallback_cycles: vec![fallback.max(1); n],
             contention: (0..max_pool.max(1)).map(|k| 1.0 + 0.1 * k as f64).collect(),
+            spawn_flush_cycles: 600,
+            scalar_slowdown: 1.3,
         }
     }
 
@@ -176,6 +229,11 @@ mod tests {
         assert!(p.fallback_cycles[0] > 0);
         assert!((p.contention_at(1) - 1.0).abs() < 1e-12);
         assert!(p.contention_at(2) >= 1.0);
+        // Reconfiguration costs come from the cache model, not fiat:
+        // the half-ways L2 must hurt the scalar sweep, and the spawn
+        // flush must cost real cycles.
+        assert!(p.spawn_flush_cycles > 0);
+        assert!(p.scalar_slowdown > 1.0, "{}", p.scalar_slowdown);
         assert!(matches!(
             ServiceProfile::measured(8, &[], 2),
             Err(SimError::Config(_))

@@ -16,6 +16,26 @@
 
 use eve_common::SplitMix64;
 
+/// Typed routing failure: every shard on the ring was unavailable.
+///
+/// An all-breakers-open cluster is a load-shedding situation, not a
+/// programming error — callers convert this into a shed/fallback
+/// decision (see [`crate::ServeError::Unroutable`]) instead of
+/// unwrapping their way into an abort.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RouteError {
+    /// The routing key that found no healthy shard.
+    pub key: u64,
+}
+
+impl std::fmt::Display for RouteError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "no healthy shard on the ring for key {}", self.key)
+    }
+}
+
+impl std::error::Error for RouteError {}
+
 /// A consistent-hash ring over `shards` shards.
 #[derive(Debug, Clone)]
 pub struct Router {
@@ -103,6 +123,22 @@ impl Router {
         None
     }
 
+    /// [`Router::route_healthy`] with a typed error: `Err(RouteError)`
+    /// when every shard is unavailable, so the caller is forced to
+    /// handle the cluster-wide-outage case as a shed decision rather
+    /// than a panic path.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RouteError`] when no shard satisfies `available`.
+    pub fn try_route_healthy(
+        &self,
+        key: u64,
+        available: impl FnMut(usize) -> bool,
+    ) -> Result<usize, RouteError> {
+        self.route_healthy(key, available).ok_or(RouteError { key })
+    }
+
     /// Probes keys `0..limit` for one that routes to `shard` — how
     /// tests and campaign storms aim a hot key at a chosen shard.
     #[must_use]
@@ -157,7 +193,9 @@ mod tests {
         let r = Router::new(5, 4, 16);
         for key in 0..500 {
             let home = r.route(key);
-            let healthy = r.route_healthy(key, |s| s != home).unwrap();
+            let healthy = r
+                .try_route_healthy(key, |s| s != home)
+                .expect("three shards remain");
             assert_ne!(healthy, home);
             // With only the home shard down, healthy routing must be
             // stable across calls.
@@ -166,6 +204,14 @@ mod tests {
             assert_eq!(r.route_healthy(key, |_| true), Some(home));
         }
         assert_eq!(r.route_healthy(9, |_| false), None);
+    }
+
+    #[test]
+    fn an_all_down_cluster_routes_to_a_typed_error() {
+        let r = Router::new(5, 4, 16);
+        let err = r.try_route_healthy(9, |_| false).unwrap_err();
+        assert_eq!(err, RouteError { key: 9 });
+        assert!(err.to_string().contains("key 9"));
     }
 
     #[test]

@@ -55,6 +55,23 @@ pub enum TrafficShape {
         /// Rate multiplier inside the burst.
         gain: u64,
     },
+    /// A one-shot phase trace in request counts: the first `lead`
+    /// requests arrive at the nominal rate, the next `burst` arrive at
+    /// `gain`× that rate, and everything after returns to nominal.
+    /// This is the canonical elastic-reconfiguration trace — a
+    /// scalar-heavy steady state, a vector burst that should spawn
+    /// engines, and a quiet tail that should retire them. Unlike
+    /// [`TrafficShape::Bursty`] the burst happens exactly once and the
+    /// tail does *not* compensate, so the trace's mean rate is hotter
+    /// than nominal by design. Zero `gain` is clamped to 1.
+    Phased {
+        /// Requests before the burst, at the nominal rate.
+        lead: u64,
+        /// Requests inside the burst, at `gain`× the nominal rate.
+        burst: u64,
+        /// Rate multiplier inside the burst.
+        gain: u64,
+    },
     /// A periodic viral-key storm on the arrival side: whenever
     /// `at % every < duration`, 90% of arrivals hammer `key` (the
     /// remainder stay uniform), like the storm-scripted
@@ -133,6 +150,15 @@ pub fn arrivals(
                 };
                 rng.below(2 * local + 1)
             }
+            (TrafficShape::Phased { lead, burst, gain }, _) => {
+                let i = i as u64;
+                let local = if i >= lead && i < lead + burst {
+                    traffic.mean_gap / gain.max(1)
+                } else {
+                    traffic.mean_gap
+                };
+                rng.below(2 * local + 1)
+            }
             _ => rng.below(2 * traffic.mean_gap + 1),
         };
         let x = rng.next_f64() * total_share;
@@ -189,7 +215,7 @@ mod tests {
         arr.last().unwrap().at as f64 / arr.len() as f64
     }
 
-    fn shapes() -> [TrafficShape; 4] {
+    fn shapes() -> [TrafficShape; 5] {
         [
             TrafficShape::Uniform,
             TrafficShape::Diurnal { period: 200_000 },
@@ -197,6 +223,11 @@ mod tests {
                 burst: 20,
                 quiet: 80,
                 gain: 8,
+            },
+            TrafficShape::Phased {
+                lead: 1000,
+                burst: 2000,
+                gain: 6,
             },
             TrafficShape::HotKeyStorm {
                 key: 7,
@@ -240,8 +271,12 @@ mod tests {
         // Uniform and bursty conserve exactly in expectation; the
         // diurnal triangle picks up a small harmonic-mean bias from
         // sampling faster during the fast phase. 15% covers all of
-        // them with margin at 4000 requests.
+        // them with margin at 4000 requests. Phased is exempt: its
+        // one-shot burst is deliberately uncompensated.
         for shape in shapes() {
+            if matches!(shape, TrafficShape::Phased { .. }) {
+                continue;
+            }
             let t = traffic(shape);
             let m = mean_gap(&arrivals(&t, 5, &[]));
             let nominal = t.mean_gap as f64;
@@ -314,6 +349,35 @@ mod tests {
     }
 
     #[test]
+    fn phased_traffic_bursts_once_and_calms_back_down() {
+        let t = traffic(TrafficShape::Phased {
+            lead: 1000,
+            burst: 2000,
+            gain: 6,
+        });
+        let arr = arrivals(&t, 5, &[]);
+        // Mean gap per phase, by request index.
+        let gap_mean = |lo: usize, hi: usize| {
+            let span = arr[hi - 1].at - arr[lo].at;
+            span as f64 / (hi - lo - 1) as f64
+        };
+        let lead = gap_mean(0, 1000);
+        let burst = gap_mean(1000, 3000);
+        let tail = gap_mean(3000, 4000);
+        // The burst runs ~6x hot; lead and tail sit at nominal.
+        assert!(
+            burst * 4.0 < lead && burst * 4.0 < tail,
+            "no burst: lead {lead:.0}, burst {burst:.0}, tail {tail:.0}"
+        );
+        for (phase, m) in [("lead", lead), ("tail", tail)] {
+            assert!(
+                (m - 1000.0).abs() < 150.0,
+                "{phase} off nominal: {m:.0} vs 1000"
+            );
+        }
+    }
+
+    #[test]
     fn key_storm_concentrates_inside_windows_only() {
         let t = traffic(TrafficShape::HotKeyStorm {
             key: 42,
@@ -362,6 +426,11 @@ mod tests {
             TrafficShape::Bursty {
                 burst: 0,
                 quiet: 0,
+                gain: 0,
+            },
+            TrafficShape::Phased {
+                lead: 0,
+                burst: 0,
                 gain: 0,
             },
             TrafficShape::HotKeyStorm {

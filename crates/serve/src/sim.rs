@@ -103,6 +103,11 @@ pub enum ServeError {
     /// does not have, or a cluster-scoped kind in a single-pool run).
     /// Campaigns turn this into an error row instead of aborting.
     Storm(String),
+    /// No healthy shard anywhere on the ring for a routing key — the
+    /// all-breakers-open cluster. The event loop converts this into a
+    /// shed/fallback decision; it is typed so nothing upstream is
+    /// tempted to `unwrap` it into an abort.
+    Unroutable(crate::router::RouteError),
 }
 
 impl fmt::Display for ServeError {
@@ -110,7 +115,14 @@ impl fmt::Display for ServeError {
         match self {
             ServeError::Config(m) => write!(f, "serve config: {m}"),
             ServeError::Storm(m) => write!(f, "serve storm: {m}"),
+            ServeError::Unroutable(e) => write!(f, "serve routing: {e}"),
         }
+    }
+}
+
+impl From<crate::router::RouteError> for ServeError {
+    fn from(e: crate::router::RouteError) -> Self {
+        ServeError::Unroutable(e)
     }
 }
 

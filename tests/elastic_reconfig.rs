@@ -1,0 +1,224 @@
+//! The elastic-reconfiguration acceptance scenario from the ISSUE:
+//! phased traffic (scalar-heavy lead → vector burst → scalar-heavy
+//! tail) with an engine failure landing *mid-spawn-warmup*. The
+//! controller must scale up under the burst, roll the failed spawn
+//! back (ways return to the cache, the slot re-parks), fail work over
+//! along the existing ring-walk, then scale back down over the quiet
+//! tail — all while the run clears the availability floor with zero
+//! SDCs, zero dropped or double-run requests (the cluster audit's
+//! conservation identities now span reconfiguration events), a
+//! reconfiguration count inside the thrash bound, and byte-identical
+//! reports across reruns.
+//!
+//! The mid-warmup kill is aimed deterministically: a storm-free probe
+//! run finds the first `spawn_start`, and the real runs kill the slot
+//! that spawn targets halfway through its (deliberately long) warmup
+//! flush. Everything before the kill instant is identical between the
+//! probe and the real runs, so the spawn is guaranteed to be in
+//! flight when the failure lands.
+
+use eve::serve::{
+    audit_cluster, tenant_mix, ClusterConfig, ClusterReport, ClusterSim, ClusterTraffic,
+    ElasticEventKind, ElasticPolicy, FaultStorm, ServiceProfile, StormEvent, StormEventKind,
+    TrafficShape,
+};
+use eve_obs::Tracer;
+
+const SHARDS: usize = 2;
+const ENGINES_PER_SHARD: usize = 1;
+const MAX_ENGINES: usize = 3;
+/// Long enough that "mid-warmup" is a wide, unmissable target.
+const SPAWN_FLUSH: u64 = 40_000;
+
+fn acceptance_config() -> ClusterConfig {
+    ClusterConfig {
+        shards: SHARDS,
+        engines_per_shard: ENGINES_PER_SHARD,
+        elastic: ElasticPolicy {
+            enabled: true,
+            min_engines: 1,
+            max_engines: MAX_ENGINES,
+            scale_up_backlog: 0.20,
+            scale_down_backlog: 0.05,
+            dwell: 4_000,
+            ..ElasticPolicy::default()
+        },
+        seed: 11,
+        ..ClusterConfig::default()
+    }
+}
+
+fn acceptance_traffic() -> ClusterTraffic {
+    ClusterTraffic {
+        requests: 1_600,
+        mean_gap: 600,
+        deadline_slack: 12.0,
+        tenants: tenant_mix(3),
+        shape: TrafficShape::Phased {
+            lead: 400,
+            burst: 600,
+            gain: 4,
+        },
+        seed: 0x7E57,
+        ..ClusterTraffic::default()
+    }
+}
+
+fn acceptance_profile() -> ServiceProfile {
+    let mut p = ServiceProfile::synthetic(3, 1_000, 4_000, MAX_ENGINES);
+    p.spawn_flush_cycles = SPAWN_FLUSH;
+    p
+}
+
+fn run(storm: FaultStorm, tracer: Option<&Tracer>) -> ClusterReport {
+    let sim = ClusterSim::new(
+        acceptance_config(),
+        acceptance_profile(),
+        acceptance_traffic(),
+        storm,
+    )
+    .expect("valid acceptance setup");
+    match tracer {
+        Some(t) => sim.with_tracer(t).run(),
+        None => sim.run(),
+    }
+}
+
+/// The acceptance storm: a probe run (no faults) locates the first
+/// spawn start; the storm kills that spawn's target slot halfway
+/// through its warmup and revives it well after the burst.
+fn acceptance_storm() -> FaultStorm {
+    let probe = run(FaultStorm::none(), None);
+    let first_spawn = probe
+        .elastic_events
+        .iter()
+        .find(|e| e.kind == ElasticEventKind::SpawnStart)
+        .expect("the burst must trigger a spawn in the probe run");
+    // `start_spawn` targets the first parked slot, which on a
+    // 1-engine-per-shard shard is always slot 1.
+    let slots = acceptance_config().slots_per_shard();
+    let target = first_spawn.shard * slots + ENGINES_PER_SHARD;
+    let kill_at = first_spawn.at + SPAWN_FLUSH / 2;
+    FaultStorm {
+        events: vec![
+            StormEvent {
+                at: kill_at,
+                engine: target,
+                kind: StormEventKind::Kill,
+            },
+            StormEvent {
+                at: kill_at + 300_000,
+                engine: target,
+                kind: StormEventKind::Recover,
+            },
+        ],
+    }
+}
+
+#[test]
+fn phased_burst_with_a_mid_warmup_kill_meets_the_acceptance_floor() {
+    let tracer = Tracer::new();
+    let report = run(acceptance_storm(), Some(&tracer));
+
+    // The controller scaled up under the burst and back down after.
+    assert!(report.elastic_spawns >= 1, "burst never spawned an engine");
+    assert!(report.elastic_retires >= 1, "quiet tail never retired one");
+    // The mid-warmup kill rolled the spawn back instead of committing
+    // a dead engine.
+    assert!(
+        report.elastic_spawn_rollbacks >= 1,
+        "killed warmup must roll back, events: {:?}",
+        report.elastic_events
+    );
+    // Every shard ends inside the policy bounds, ledger balanced.
+    for s in &report.shards_detail {
+        assert!((1..=MAX_ENGINES as u64).contains(&s.final_active));
+        assert_eq!(
+            s.final_active + s.retires,
+            ENGINES_PER_SHARD as u64 + s.spawns
+        );
+    }
+
+    // Availability floor with zero silent corruptions, and no request
+    // dropped or double-run: conservation is per-tenant exact.
+    assert!(
+        report.availability >= 0.99,
+        "availability {} under the phased burst",
+        report.availability
+    );
+    assert_eq!(report.sdc, 0, "checked cluster must not leak SDCs");
+    for t in &report.tenants {
+        assert_eq!(t.completed, t.admitted, "tenant {} leaked", t.name);
+        assert_eq!(t.arrivals, t.admitted + t.shed, "tenant {} books", t.name);
+    }
+
+    // Reconfiguration stayed inside the thrash bound: no half-window
+    // interval holds more starts than the cluster budget (the same
+    // bound the audit replays).
+    let starts: Vec<u64> = report
+        .elastic_events
+        .iter()
+        .filter(|e| e.kind.is_start())
+        .map(|e| e.at)
+        .collect();
+    assert!(!starts.is_empty());
+    let half = (report.elastic_window / 2).max(1);
+    for &t in &starts {
+        let burst = starts
+            .iter()
+            .filter(|&&u| u <= t && t.saturating_sub(u) < half)
+            .count() as u64;
+        assert!(
+            burst <= report.elastic_max_per_window,
+            "{burst} reconfig starts inside a half window"
+        );
+    }
+
+    // The full replay audit holds across the reconfigurations.
+    let summary = audit_cluster(&tracer, &report).expect("audit passes");
+    assert!(summary.events > 0);
+    assert!(
+        summary.identities > 20,
+        "audit must check the full identity set, got {}",
+        summary.identities
+    );
+}
+
+#[test]
+fn elastic_acceptance_runs_are_byte_identical() {
+    let storm = acceptance_storm();
+    let a = run(storm.clone(), None).to_json().to_pretty();
+    let b = run(storm, None).to_json().to_pretty();
+    assert_eq!(a, b, "identical configs must produce identical bytes");
+    assert!(a.contains("\"elastic_events\""));
+    assert!(a.contains("\"spawn_rollback\""));
+}
+
+#[test]
+fn the_scalar_side_feels_engine_cache_pressure() {
+    // Same trace, elastic off: the static partition never scales, so
+    // the burst must hurt more — lower availability or more deadline
+    // misses — while the elastic run pays for its scaling with
+    // fallback requests priced under the scalar-slowdown multiplier.
+    let elastic = run(acceptance_storm(), None);
+    let mut cfg = acceptance_config();
+    cfg.elastic.enabled = false;
+    let static_run = ClusterSim::new(
+        cfg,
+        acceptance_profile(),
+        acceptance_traffic(),
+        FaultStorm::none(),
+    )
+    .expect("valid static setup")
+    .run();
+    assert_eq!(static_run.elastic_spawns, 0);
+    assert!(static_run.elastic_events.is_empty());
+    // The elastic cluster serves the burst at least as well as the
+    // static one even though a storm killed one of its spawns.
+    assert!(
+        elastic.availability >= static_run.availability,
+        "elastic {} vs static {}",
+        elastic.availability,
+        static_run.availability
+    );
+}

@@ -1,0 +1,286 @@
+//! Property tests for the two serving-layer controllers: the
+//! degradation [`Ladder`] and the [`ElasticController`]. Both promise
+//! the same kind of safety — hysteresis-bounded, one-step-at-a-time
+//! state machines that cannot flap no matter what the metrics do — so
+//! both are driven here with seeded random metric streams and checked
+//! against the invariants directly, not against golden outputs:
+//!
+//! * the ladder moves at most one rung per transition, never outside
+//!   the four levels, and consecutive transitions respect the dwell;
+//! * the elastic controller respects its per-shard dwell, keeps every
+//!   shard inside `[min_engines, max_engines]`, never overlaps two
+//!   reconfigurations on a shard, resolves every start exactly once,
+//!   and never exceeds the cluster-wide thrash budget in any
+//!   half-window interval (half, because the budget window is an
+//!   8-bucket ring whose guarantee is exact only over the trailing
+//!   seven-and-a-bit buckets — the same conservative bound
+//!   `audit_cluster` checks).
+
+use eve::serve::{
+    ElasticAction, ElasticController, ElasticEvent, ElasticEventKind, ElasticPolicy, Ladder,
+    LadderPolicy, ServiceLevel, ShardSignal,
+};
+use eve_common::SplitMix64;
+
+const SEEDS: u64 = 40;
+
+#[test]
+fn ladder_moves_one_rung_at_a_time_under_any_metric_stream() {
+    let policy = LadderPolicy {
+        window: 8_000,
+        dwell: 3_000,
+        ..LadderPolicy::default()
+    };
+    for seed in 0..SEEDS {
+        let mut rng = SplitMix64::new(0xADDE_0000 + seed);
+        let mut ladder = Ladder::new(policy);
+        let mut now = 0u64;
+        for _ in 0..500 {
+            now += rng.below(1_200);
+            // Random pressure: dispatches with random failure odds,
+            // random backlog and unavailability.
+            ladder.observe_dispatch(now);
+            if rng.chance(0.4) {
+                ladder.observe_failure(now);
+            }
+            let backlog = rng.next_f64();
+            let unavailable = rng.next_f64();
+            let level_before = ladder.level();
+            let ev = ladder.evaluate(now, backlog, unavailable);
+            if let Some(ev) = ev {
+                assert_eq!(ev.from, level_before, "seed {seed}: event from-level");
+                assert_eq!(ev.to, ladder.level(), "seed {seed}: event to-level");
+                assert_eq!(
+                    (ev.from as i64 - ev.to as i64).abs(),
+                    1,
+                    "seed {seed}: jumped more than one rung: {ev:?}"
+                );
+            }
+        }
+        // Dwell: consecutive transitions are separated by >= dwell.
+        for pair in ladder.events().windows(2) {
+            assert!(
+                pair[1].at >= pair[0].at + policy.dwell,
+                "seed {seed}: transitions {pair:?} violate the dwell"
+            );
+        }
+        // The walk is connected: each event starts where the last ended.
+        for pair in ladder.events().windows(2) {
+            assert_eq!(pair[0].to, pair[1].from, "seed {seed}: teleported");
+        }
+        // Time accounting covers the run exactly, whatever happened.
+        let t = ladder.finish(now);
+        assert_eq!(t.iter().sum::<u64>(), now, "seed {seed}: lost time");
+    }
+}
+
+#[test]
+fn ladder_recovers_to_full_when_pressure_clears() {
+    // Whatever state a random storm leaves the ladder in, a long calm
+    // stretch must walk it all the way back to Full — recovery is a
+    // liveness property of the same hysteresis machinery.
+    let policy = LadderPolicy {
+        window: 8_000,
+        dwell: 1_000,
+        ..LadderPolicy::default()
+    };
+    for seed in 0..SEEDS {
+        let mut rng = SplitMix64::new(0xCA1F_0000 + seed);
+        let mut ladder = Ladder::new(policy);
+        let mut now = 0u64;
+        for _ in 0..300 {
+            now += rng.below(800);
+            ladder.observe_dispatch(now);
+            if rng.chance(0.7) {
+                ladder.observe_failure(now);
+            }
+            ladder.evaluate(now, rng.next_f64(), rng.next_f64());
+        }
+        for _ in 0..300 {
+            now += 700;
+            ladder.observe_dispatch(now);
+            ladder.evaluate(now, 0.0, 0.0);
+        }
+        assert_eq!(
+            ladder.level(),
+            ServiceLevel::Full,
+            "seed {seed}: calm traffic did not recover the ladder"
+        );
+        assert_eq!(ladder.step_downs(), ladder.step_ups(), "seed {seed}");
+    }
+}
+
+/// The harness's view of one shard mid-run: a pending reconfiguration
+/// is `(resolve_at, action)`.
+type Pending = Option<(u64, ElasticAction)>;
+
+#[test]
+fn elastic_controller_invariants_hold_under_random_pressure() {
+    let policy = ElasticPolicy {
+        enabled: true,
+        min_engines: 1,
+        max_engines: 4,
+        scale_up_backlog: 0.5,
+        scale_down_backlog: 0.05,
+        window: 16_000,
+        dwell: 2_000,
+        max_reconfigs_per_window: 3,
+    };
+    let shards = 3usize;
+    for seed in 0..SEEDS {
+        let mut rng = SplitMix64::new(0xE1A5_0000 + seed);
+        let mut ctl = ElasticController::new(policy, shards);
+        let mut active = vec![2usize; shards];
+        let mut pending: Vec<Pending> = vec![None; shards];
+        let mut now = 0u64;
+        for _ in 0..600 {
+            now += 1 + rng.below(1_500);
+            for s in 0..shards {
+                // Resolve a due reconfiguration; 20% of the time the
+                // harness forces the rollback path.
+                if let Some((ready, action)) = pending[s] {
+                    if now >= ready {
+                        let ok = rng.chance(0.8);
+                        let kind = match (action, ok) {
+                            (ElasticAction::Spawn, true) => {
+                                active[s] += 1;
+                                ElasticEventKind::SpawnCommit
+                            }
+                            (ElasticAction::Spawn, false) => ElasticEventKind::SpawnRollback,
+                            (ElasticAction::Retire, true) => {
+                                active[s] -= 1;
+                                ElasticEventKind::RetireCommit
+                            }
+                            (ElasticAction::Retire, false) => ElasticEventKind::RetireRollback,
+                        };
+                        ctl.record(ElasticEvent {
+                            at: now,
+                            shard: s,
+                            kind,
+                            active_after: active[s],
+                        });
+                        pending[s] = None;
+                    }
+                }
+                let signal = ShardSignal {
+                    backlog: rng.next_f64(),
+                    active: active[s],
+                    spawning: usize::from(matches!(pending[s], Some((_, ElasticAction::Spawn)))),
+                    draining: usize::from(matches!(pending[s], Some((_, ElasticAction::Retire)))),
+                };
+                if let Some(action) = ctl.decide(now, s, &signal) {
+                    assert!(
+                        pending[s].is_none(),
+                        "seed {seed}: overlapped reconfigurations on shard {s}"
+                    );
+                    let kind = match action {
+                        ElasticAction::Spawn => ElasticEventKind::SpawnStart,
+                        ElasticAction::Retire => ElasticEventKind::RetireStart,
+                    };
+                    ctl.record(ElasticEvent {
+                        at: now,
+                        shard: s,
+                        kind,
+                        active_after: active[s],
+                    });
+                    pending[s] = Some((now + 1 + rng.below(3_000), action));
+                }
+                assert!(
+                    (policy.min_engines..=policy.max_engines).contains(&active[s]),
+                    "seed {seed}: shard {s} left [min, max]: {} engines",
+                    active[s]
+                );
+            }
+        }
+        let events = ctl.events();
+        // Per-shard dwell between consecutive starts.
+        for s in 0..shards {
+            let starts: Vec<u64> = events
+                .iter()
+                .filter(|e| e.shard == s && e.kind.is_start())
+                .map(|e| e.at)
+                .collect();
+            for pair in starts.windows(2) {
+                assert!(
+                    pair[1] >= pair[0] + policy.dwell,
+                    "seed {seed}: shard {s} starts {pair:?} inside the dwell"
+                );
+            }
+        }
+        // Thrash guard: no half-window interval holds more starts than
+        // the cluster budget.
+        let starts: Vec<u64> = events
+            .iter()
+            .filter(|e| e.kind.is_start())
+            .map(|e| e.at)
+            .collect();
+        let half = policy.window / 2;
+        for &t in &starts {
+            let burst = starts
+                .iter()
+                .filter(|&&u| u <= t && t.saturating_sub(u) < half)
+                .count() as u64;
+            assert!(
+                burst <= policy.max_reconfigs_per_window,
+                "seed {seed}: {burst} starts inside a half window ending at {t}"
+            );
+        }
+        // Every start resolves exactly once (bar at most one pending
+        // reconfiguration per shard at the horizon).
+        let unresolved = pending.iter().filter(|p| p.is_some()).count() as u64;
+        assert_eq!(
+            starts.len() as u64,
+            ctl.spawns()
+                + ctl.retires()
+                + ctl.spawn_rollbacks()
+                + ctl.retire_rollbacks()
+                + unresolved,
+            "seed {seed}: starts and resolutions do not reconcile"
+        );
+    }
+}
+
+#[test]
+fn elastic_controller_is_deterministic_per_seed() {
+    // Same seed, same stream of decisions and events — the controller
+    // holds no hidden clock or RNG of its own.
+    let policy = ElasticPolicy {
+        enabled: true,
+        dwell: 1_000,
+        window: 8_000,
+        ..ElasticPolicy::default()
+    };
+    let run = |seed: u64| {
+        let mut rng = SplitMix64::new(seed);
+        let mut ctl = ElasticController::new(policy, 2);
+        let mut now = 0;
+        for _ in 0..400 {
+            now += 1 + rng.below(900);
+            for s in 0..2 {
+                let signal = ShardSignal {
+                    backlog: rng.next_f64(),
+                    active: 2,
+                    spawning: 0,
+                    draining: 0,
+                };
+                if let Some(action) = ctl.decide(now, s, &signal) {
+                    let kind = match action {
+                        ElasticAction::Spawn => ElasticEventKind::SpawnStart,
+                        ElasticAction::Retire => ElasticEventKind::RetireStart,
+                    };
+                    ctl.record(ElasticEvent {
+                        at: now,
+                        shard: s,
+                        kind,
+                        active_after: 2,
+                    });
+                }
+            }
+        }
+        ctl.events().to_vec()
+    };
+    let a = run(77);
+    assert!(!a.is_empty(), "stream produced no decisions at all");
+    assert_eq!(a, run(77));
+    assert_ne!(a, run(78), "seed ignored");
+}

@@ -6,6 +6,9 @@
 //! here as a conscious fixture regeneration, not a silent drift.
 #![cfg(feature = "obs")]
 
+use eve::serve::{
+    ClusterConfig, ClusterSim, ClusterTraffic, ElasticPolicy, FaultStorm, ServiceProfile,
+};
 use eve_common::json::JsonValue;
 use eve_obs::Tracer;
 use eve_sim::{Runner, SystemKind};
@@ -18,10 +21,43 @@ const FIXTURE: &str = concat!(
 
 const REGEN: &str = "EVE_UPDATE_FIXTURES=1 cargo test --features obs --test report_schema";
 
+/// A small deterministic elastic cluster run: pins the
+/// `ClusterReport` schema including the elastic counter block and the
+/// reconfiguration event ledger.
+fn cluster_elastic() -> JsonValue {
+    let cfg = ClusterConfig {
+        shards: 2,
+        engines_per_shard: 1,
+        elastic: ElasticPolicy {
+            enabled: true,
+            min_engines: 1,
+            max_engines: 3,
+            scale_up_backlog: 0.2,
+            scale_down_backlog: 0.05,
+            dwell: 4_000,
+            ..ElasticPolicy::default()
+        },
+        seed: 11,
+        ..ClusterConfig::default()
+    };
+    let traffic = ClusterTraffic {
+        requests: 250,
+        mean_gap: 300,
+        seed: 5,
+        ..ClusterTraffic::default()
+    };
+    let profile = ServiceProfile::synthetic(3, 1_000, 4_000, 3);
+    ClusterSim::new(cfg, profile, traffic, FaultStorm::none())
+        .expect("valid elastic snapshot config")
+        .run()
+        .to_json()
+}
+
 /// One deterministic document covering both report shapes: a scalar
 /// run (null breakdown), a traced EVE run (every section filled), and
 /// a traced second-wave kernel (cross-element-heavy scan) so the
-/// schema is pinned for the expanded workload suite too.
+/// schema is pinned for the expanded workload suite too; plus an
+/// elastic cluster report pinning the serving-layer schema.
 fn snapshot() -> String {
     let w = Workload::vvadd(512);
     let io = Runner::new().run(SystemKind::Io, &w).unwrap();
@@ -37,6 +73,7 @@ fn snapshot() -> String {
         ("io", io.to_json()),
         ("eve8_traced", eve.to_json()),
         ("scan_traced", scan.to_json()),
+        ("cluster_elastic", cluster_elastic()),
     ]);
     let mut text = doc.to_pretty();
     text.push('\n');
