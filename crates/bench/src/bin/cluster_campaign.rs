@@ -17,7 +17,7 @@
 //!                  [--tenants T1,T2,..]
 //!                  [--shapes calm,mixed,partition,hotkey,shardkill,diurnal,bursty,keystorm,phased]
 //!                  [--requests N] [--gap CYCLES] [--slack F]
-//!                  [--workloads N] [--elastic]
+//!                  [--workloads N] [--elastic] [--net [L1,L2,..]]
 //! ```
 //!
 //! Storm shapes:
@@ -50,6 +50,17 @@
 //! configured base; the summary then rolls up cluster-wide spawn /
 //! retire / rollback tallies. It is off by default so historical
 //! campaign bytes replay unchanged.
+//!
+//! `--net [L1,L2,..]` adds a lossy-transport axis to the grid: each
+//! listed loss percentage becomes one more sweep dimension, running
+//! every (shards × tenants × shape) cell again with the deterministic
+//! interconnect enabled at that loss rate (duplication at half the
+//! loss rate and 5% reordering ride along, per
+//! [`NetPolicy::lossy`]). With no value the axis defaults to
+//! `0,2,5`. The summary rolls up retransmit / hedge / dedup /
+//! suspicion tallies, and the exit-code policy also fails the run on
+//! any double-applied request. Off by default, so transport-free
+//! campaign bytes replay unchanged.
 
 use eve_bench::pool;
 use eve_common::json::JsonValue;
@@ -57,7 +68,7 @@ use eve_common::SplitMix64;
 use eve_obs::Tracer;
 use eve_serve::{
     audit_cluster, tenant_mix, ClusterConfig, ClusterSim, ClusterTraffic, ElasticPolicy,
-    FaultStorm, Router, ServiceProfile, TrafficShape,
+    FaultStorm, NetPolicy, Router, ServiceProfile, TrafficShape,
 };
 use eve_workloads::Workload;
 use std::sync::Arc;
@@ -68,6 +79,9 @@ struct Cell {
     shards: usize,
     tenants: usize,
     shape: &'static str,
+    /// Transport loss percentage for this cell; `None` runs the
+    /// historical direct-dispatch path.
+    loss_pct: Option<u8>,
     storm_seed: u64,
     cluster_seed: u64,
     traffic_seed: u64,
@@ -87,6 +101,9 @@ struct Plan {
     deadline_slack: f64,
     /// Elastic engine/L2-way reconfiguration for every cell.
     elastic: bool,
+    /// Lossy-transport axis: loss percentages to sweep, or `None` to
+    /// keep the historical direct-dispatch grid.
+    net: Option<Vec<u8>>,
 }
 
 impl Default for Plan {
@@ -111,6 +128,7 @@ impl Default for Plan {
             mean_gap: None,
             deadline_slack: 6.0,
             elastic: false,
+            net: None,
         }
     }
 }
@@ -144,18 +162,27 @@ fn shape_name(s: &str) -> &'static str {
 /// serial ones.
 fn cells(plan: &Plan) -> Vec<Cell> {
     let mut seeder = SplitMix64::new(plan.seed);
+    // No `--net`: a single `None` axis point keeps the historical
+    // grid (and its seed stream) byte-for-byte.
+    let losses: Vec<Option<u8>> = match &plan.net {
+        Some(l) => l.iter().map(|&p| Some(p)).collect(),
+        None => vec![None],
+    };
     let mut out = Vec::new();
     for &shards in &plan.shards {
         for &tenants in &plan.tenants {
             for &shape in &plan.shapes {
-                out.push(Cell {
-                    shards,
-                    tenants,
-                    shape,
-                    storm_seed: seeder.next_u64(),
-                    cluster_seed: seeder.next_u64(),
-                    traffic_seed: seeder.next_u64(),
-                });
+                for &loss_pct in &losses {
+                    out.push(Cell {
+                        shards,
+                        tenants,
+                        shape,
+                        loss_pct,
+                        storm_seed: seeder.next_u64(),
+                        cluster_seed: seeder.next_u64(),
+                        traffic_seed: seeder.next_u64(),
+                    });
+                }
             }
         }
     }
@@ -242,6 +269,12 @@ struct CellOutcome {
     elastic_spawns: u64,
     elastic_retires: u64,
     elastic_rollbacks: u64,
+    retransmits: u64,
+    hedges: u64,
+    hedge_wins: u64,
+    dedup_absorbed: u64,
+    suspicions: u64,
+    double_applied: u64,
 }
 
 /// Runs one cell: build the storm, run the cluster simulation under a
@@ -257,6 +290,10 @@ fn run_cell(plan: &Plan, profile: &ServiceProfile, cell: Cell) -> Result<CellOut
             min_engines: 1,
             max_engines: plan.engines_per_shard + 2,
             ..ElasticPolicy::default()
+        },
+        net: match cell.loss_pct {
+            Some(p) => NetPolicy::lossy(f64::from(p) / 100.0),
+            None => NetPolicy::default(),
         },
         seed: cell.cluster_seed,
         ..ClusterConfig::default()
@@ -289,11 +326,16 @@ fn run_cell(plan: &Plan, profile: &ServiceProfile, cell: Cell) -> Result<CellOut
         .filter(|t| t.admitted > 0)
         .map(|t| t.availability)
         .fold(1.0f64, f64::min);
-    let row = JsonValue::object([
+    let mut fields = vec![
         ("shards", JsonValue::from(cell.shards as u64)),
         ("tenants", JsonValue::from(cell.tenants as u64)),
         ("shape", JsonValue::from(cell.shape)),
         ("storm_seed", JsonValue::from(cell.storm_seed)),
+    ];
+    if let Some(p) = cell.loss_pct {
+        fields.push(("loss_pct", JsonValue::from(u64::from(p))));
+    }
+    fields.extend([
         ("audited_events", JsonValue::from(audit.events as u64)),
         (
             "audited_identities",
@@ -305,6 +347,7 @@ fn run_cell(plan: &Plan, profile: &ServiceProfile, cell: Cell) -> Result<CellOut
         ),
         ("report", report.to_json()),
     ]);
+    let row = JsonValue::object(fields);
     Ok(CellOutcome {
         row,
         availability: report.availability,
@@ -316,6 +359,12 @@ fn run_cell(plan: &Plan, profile: &ServiceProfile, cell: Cell) -> Result<CellOut
         elastic_spawns: report.elastic_spawns,
         elastic_retires: report.elastic_retires,
         elastic_rollbacks: report.elastic_spawn_rollbacks + report.elastic_retire_rollbacks,
+        retransmits: report.net.retransmits,
+        hedges: report.net.hedges,
+        hedge_wins: report.net.hedge_wins,
+        dedup_absorbed: report.net.dedup_hits + report.net.dup_suppressed,
+        suspicions: report.net.suspicions,
+        double_applied: report.net.double_applied,
     })
 }
 
@@ -355,6 +404,23 @@ fn main() {
     if args.iter().any(|a| a == "--elastic") {
         plan.elastic = true;
     }
+    if let Some(i) = args.iter().position(|a| a == "--net") {
+        // `--net` takes an optional comma-separated list of loss
+        // percentages; bare `--net` (or `--net` followed by another
+        // flag) sweeps the default 0/2/5 axis.
+        let losses = match args.get(i + 1) {
+            Some(v) if !v.starts_with("--") => v
+                .split(',')
+                .map(|p| {
+                    let p: u8 = p.parse().expect("--net takes comma-separated percentages");
+                    assert!(p <= 100, "--net percentages must be <= 100");
+                    p
+                })
+                .collect(),
+            _ => vec![0, 2, 5],
+        };
+        plan.net = Some(losses);
+    }
     let workloads: Vec<Workload> = match flag_value(&args, "--workloads") {
         Some(n) => Workload::tiny_suite()
             .into_iter()
@@ -389,6 +455,12 @@ fn main() {
     let mut elastic_spawns = 0u64;
     let mut elastic_retires = 0u64;
     let mut elastic_rollbacks = 0u64;
+    let mut retransmits = 0u64;
+    let mut hedges = 0u64;
+    let mut hedge_wins = 0u64;
+    let mut dedup_absorbed = 0u64;
+    let mut suspicions = 0u64;
+    let mut double_applied = 0u64;
     for (result, &cell) in results.into_iter().zip(grid.iter()) {
         match result {
             Ok(Ok(outcome)) => {
@@ -402,6 +474,12 @@ fn main() {
                 elastic_spawns += outcome.elastic_spawns;
                 elastic_retires += outcome.elastic_retires;
                 elastic_rollbacks += outcome.elastic_rollbacks;
+                retransmits += outcome.retransmits;
+                hedges += outcome.hedges;
+                hedge_wins += outcome.hedge_wins;
+                dedup_absorbed += outcome.dedup_absorbed;
+                suspicions += outcome.suspicions;
+                double_applied += outcome.double_applied;
                 rows.push(outcome.row);
             }
             Ok(Err(msg)) => errors.push((cell, msg)),
@@ -420,7 +498,9 @@ fn main() {
     eprintln!(
         "cluster_campaign: {} cells, {} error rows, min availability {:.4}, \
          min tenant availability {:.4}, {} SDCs, {} steals, {} down / {} up, \
-         elastic {} spawned / {} retired / {} rolled back",
+         elastic {} spawned / {} retired / {} rolled back, \
+         net {} retransmits / {} hedges ({} won) / {} deduped / {} suspicions / \
+         {} double-applied",
         grid.len(),
         errors.len(),
         if min_availability.is_finite() {
@@ -439,7 +519,13 @@ fn main() {
         step_ups,
         elastic_spawns,
         elastic_retires,
-        elastic_rollbacks
+        elastic_rollbacks,
+        retransmits,
+        hedges,
+        hedge_wins,
+        dedup_absorbed,
+        suspicions,
+        double_applied
     );
     for (cell, msg) in &errors {
         eprintln!(
@@ -506,12 +592,19 @@ fn main() {
                 ("elastic_spawns", JsonValue::from(elastic_spawns)),
                 ("elastic_retires", JsonValue::from(elastic_retires)),
                 ("elastic_rollbacks", JsonValue::from(elastic_rollbacks)),
+                ("net", JsonValue::from(plan.net.is_some())),
+                ("net_retransmits", JsonValue::from(retransmits)),
+                ("net_hedges", JsonValue::from(hedges)),
+                ("net_hedge_wins", JsonValue::from(hedge_wins)),
+                ("net_dedup_absorbed", JsonValue::from(dedup_absorbed)),
+                ("net_suspicions", JsonValue::from(suspicions)),
+                ("net_double_applied", JsonValue::from(double_applied)),
             ]),
         ),
         ("runs", JsonValue::Array(rows)),
     ]);
     println!("{}", doc.to_pretty());
-    if !errors.is_empty() || total_sdc > 0 {
+    if !errors.is_empty() || total_sdc > 0 || double_applied > 0 {
         std::process::exit(1);
     }
 }

@@ -1,6 +1,12 @@
 //! Regenerates **Table IV**: benchmark characterization (instruction
 //! counts and vector mix at VL = 64, like the paper's) plus the
 //! speedup-vs-O3+IV columns and the EVE-8 ratios.
+//!
+//! `--tiny` swaps in the smoke-test inputs; `--eval-scale` swaps in
+//! [`Workload::eval_scale_suite`], which promotes spmv and histogram
+//! to evaluation-scale inputs so the gather-imbalance and
+//! scatter-conflict columns (VPar in particular) are measured at
+//! depth. The flags are mutually exclusive.
 
 use eve_bench::{fmt_x, render_table};
 use eve_isa::{Characterization, Interpreter};
@@ -24,8 +30,15 @@ fn characterize(built: &eve_workloads::Built, hw_vl: u32, vector: bool) -> Chara
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let tiny = args.iter().any(|a| a == "--tiny");
+    let eval_scale = args.iter().any(|a| a == "--eval-scale");
+    assert!(
+        !(tiny && eval_scale),
+        "--tiny and --eval-scale are mutually exclusive"
+    );
     let suite = if tiny {
         Workload::tiny_suite()
+    } else if eval_scale {
+        Workload::eval_scale_suite()
     } else {
         Workload::suite()
     };

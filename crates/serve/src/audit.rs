@@ -17,9 +17,21 @@
 //! over), shed accounting per tenant, and the degradation ladder's
 //! step discipline (adjacent levels only, downs minus ups equals the
 //! final level, level times cover the whole run).
+//!
+//! With the lossy transport on, two more families apply. *Message
+//! conservation*: on every link and for every message class,
+//! `sent == delivered + dropped + in_flight`, and nothing may still be
+//! in flight once the calendar drains. *Exactly-once execution*: the
+//! shard-side execution ledger and the router-side acceptance ledger
+//! reconcile through wasted executions
+//! (`executed_ok == completed_eve + wasted`), no shard ever applies
+//! the same request twice (`double_applied == 0`), retransmits respect
+//! the per-request budget, and every delivered cancellation either
+//! pulled a queued copy or missed one that had already dispatched.
 
 use crate::cluster_report::ClusterReport;
 use crate::elastic::ElasticEventKind;
+use crate::net::MsgClass;
 use crate::report::ServeReport;
 use crate::sim::traced_engines;
 use eve_obs::audit::{check_bounds, check_monotonic, AuditError};
@@ -294,10 +306,21 @@ pub fn audit_cluster(
         report.admitted,
         report.completed_eve + report.completed_fallback,
     )?;
+    // Every batch member either executed to success on its shard or
+    // came back as a failure — and the shard-side execution ledger
+    // reconciles with the router-side acceptance ledger through the
+    // wasted executions (hedge losers, responses lost past the
+    // retransmit budget). With the transport off both identities
+    // degenerate to the historical `batched == completed + failures`.
     check(
-        "batched == completed_eve + request_failures",
+        "batched == executed_ok + request_failures",
         report.batched_requests,
-        report.completed_eve + report.request_failures,
+        report.executed_ok + report.request_failures,
+    )?;
+    check(
+        "executed_ok == completed_eve + wasted_executions",
+        report.executed_ok,
+        report.completed_eve + report.wasted_executions,
     )?;
     check(
         "failovers == completed_fallback",
@@ -338,7 +361,7 @@ pub fn audit_cluster(
         .sum();
     check("batched-request roll-up", batched, report.batched_requests)?;
     let completions: u64 = report.shards_detail.iter().map(|s| s.completions).sum();
-    check("completion roll-up", completions, report.completed_eve)?;
+    check("execution roll-up", completions, report.executed_ok)?;
     let failures: u64 = report.shards_detail.iter().map(|s| s.failures).sum();
     check("failure roll-up", failures, report.batch_failures)?;
     for (i, s) in report.shards_detail.iter().enumerate() {
@@ -503,6 +526,109 @@ pub fn audit_cluster(
         )?;
     }
 
+    // Transport replay. With the net disabled everything here is
+    // trivially zero — which is itself checked, so a report cannot
+    // smuggle in link traffic it claims not to have modeled.
+    if !report.net_enabled {
+        check(
+            "disabled transport carries no links",
+            report.links.len() as u64,
+            0,
+        )?;
+        check(
+            "disabled transport saw no wasted executions",
+            report.wasted_executions,
+            0,
+        )?;
+    } else {
+        check(
+            "one link per shard",
+            report.links.len() as u64,
+            report.shards as u64,
+        )?;
+    }
+    let mut cancels_delivered = 0u64;
+    for l in &report.links {
+        for class in MsgClass::ALL {
+            let c = l.class(class);
+            check(
+                &format!(
+                    "link {} {}: sent == delivered + dropped + in_flight",
+                    l.shard,
+                    class.as_str()
+                ),
+                c.sent,
+                c.delivered + c.dropped + c.in_flight,
+            )?;
+            check(
+                &format!(
+                    "link {} {}: nothing in flight at end",
+                    l.shard,
+                    class.as_str()
+                ),
+                c.in_flight,
+                0,
+            )?;
+        }
+        cancels_delivered += l.cancel.delivered;
+    }
+    check(
+        "no request executed twice on one shard",
+        report.net.double_applied,
+        0,
+    )?;
+    check(
+        "delivered cancels either pulled a copy or missed",
+        cancels_delivered,
+        report.net.hedge_cancelled + report.net.cancel_missed,
+    )?;
+    check(
+        "retransmits respect the per-request budget",
+        u64::from(report.net.retransmits <= report.admitted * report.net_max_retransmits),
+        1,
+    )?;
+    check(
+        "hedge wins never exceed hedges fired",
+        u64::from(report.net.hedge_wins <= report.net.hedges),
+        1,
+    )?;
+    // Failure-detector history: time-ordered, in-run, real shards, and
+    // its transition counts match the counter block.
+    let mut prev_at = 0u64;
+    for (i, e) in report.detector_events.iter().enumerate() {
+        check(
+            &format!("detector event {i} is time-ordered"),
+            u64::from(e.at >= prev_at),
+            1,
+        )?;
+        prev_at = e.at;
+        check(
+            &format!("detector event {i} lands inside the run"),
+            u64::from(e.at <= report.end_cycle),
+            1,
+        )?;
+        check(
+            &format!("detector event {i} names a real shard"),
+            u64::from(e.shard < report.shards),
+            1,
+        )?;
+    }
+    let suspected = report
+        .detector_events
+        .iter()
+        .filter(|e| e.suspected)
+        .count() as u64;
+    check(
+        "suspicion events match the tally",
+        suspected,
+        report.net.suspicions,
+    )?;
+    check(
+        "recovery events match the tally",
+        report.detector_events.len() as u64 - suspected,
+        report.net.recoveries,
+    )?;
+
     // Counter registry vs report.
     let reg = tracer.registry();
     if !reg.is_empty() {
@@ -521,6 +647,7 @@ pub fn audit_cluster(
             ("cluster.completed_eve", report.completed_eve),
             ("cluster.completed_fallback", report.completed_fallback),
             ("cluster.sdc", report.sdc),
+            ("cluster.executed_ok", report.executed_ok),
             ("cluster.ladder_steps", report.ladder.len() as u64),
             ("elastic.spawns", report.elastic_spawns),
             ("elastic.retires", report.elastic_retires),
@@ -529,6 +656,32 @@ pub fn audit_cluster(
                 report.elastic_spawn_rollbacks + report.elastic_retire_rollbacks,
             ),
             ("elastic.drain_cycles", report.elastic_drain_cycles),
+        ] {
+            check(name, reg.counter(name), want)?;
+        }
+        let class_total = |f: fn(&crate::cluster_report::LinkClassReport) -> u64| -> u64 {
+            report
+                .links
+                .iter()
+                .flat_map(|l| MsgClass::ALL.iter().map(move |&c| f(&l.class(c))))
+                .sum()
+        };
+        for (name, want) in [
+            ("net.sent", class_total(|c| c.sent)),
+            ("net.delivered", class_total(|c| c.delivered)),
+            ("net.dropped", class_total(|c| c.dropped)),
+            ("net.retransmits", report.net.retransmits),
+            ("net.timeouts", report.net.timeouts),
+            ("net.hedges", report.net.hedges),
+            ("net.hedge_wins", report.net.hedge_wins),
+            ("net.dedup_hits", report.net.dedup_hits),
+            ("net.dup_suppressed", report.net.dup_suppressed),
+            ("net.late_responses", report.net.late_responses),
+            ("net.stale_drops", report.net.stale_drops),
+            ("net.double_applied", report.net.double_applied),
+            ("net.wasted_executions", report.wasted_executions),
+            ("net.suspicions", report.net.suspicions),
+            ("net.recoveries", report.net.recoveries),
         ] {
             check(name, reg.counter(name), want)?;
         }
@@ -765,6 +918,88 @@ mod tests {
             let err = audit_cluster(&tracer, &cooked).unwrap_err();
             assert!(err.to_string().contains("inside the run"), "{err}");
         }
+    }
+
+    fn traced_lossy_cluster(storm: FaultStorm) -> (Tracer, ClusterReport) {
+        use crate::net::NetPolicy;
+        let tracer = Tracer::new();
+        let cfg = ClusterConfig {
+            shards: 4,
+            engines_per_shard: 2,
+            seed: 11,
+            net: NetPolicy {
+                duplicate: 0.1,
+                ..NetPolicy::lossy(0.05)
+            },
+            ..ClusterConfig::default()
+        };
+        let traffic = ClusterTraffic {
+            requests: 250,
+            mean_gap: 600,
+            seed: 5,
+            ..ClusterTraffic::default()
+        };
+        let report = ClusterSim::new(
+            cfg,
+            ServiceProfile::synthetic(3, 1000, 4000, 2),
+            traffic,
+            storm,
+        )
+        .unwrap()
+        .with_tracer(&tracer)
+        .run();
+        (tracer, report)
+    }
+
+    #[test]
+    fn a_lossy_cluster_passes_and_cooked_net_ledgers_fail() {
+        let (tracer, report) = traced_lossy_cluster(FaultStorm::partition(2, 40_000, 60_000));
+        let s = audit_cluster(&tracer, &report).unwrap();
+        assert!(s.identities > 60, "net identities ran: {}", s.identities);
+        assert!(report.net.retransmits > 0, "loss must cause retransmits");
+
+        // Cook a link ledger: claim one more delivery than the wire
+        // carried — message conservation catches it.
+        let mut cooked = report.clone();
+        cooked.links[0].req.delivered += 1;
+        let err = audit_cluster(&tracer, &cooked).unwrap_err();
+        assert!(err.to_string().contains("sent == delivered"), "{err}");
+
+        // Cook the execution ledger: hide a wasted execution. The
+        // exactly-once reconciliation catches it.
+        let mut cooked = report.clone();
+        cooked.wasted_executions += 1;
+        let err = audit_cluster(&tracer, &cooked).unwrap_err();
+        assert!(
+            err.to_string().contains("executed_ok == completed_eve"),
+            "{err}"
+        );
+
+        // Claim a double-applied request: rejected outright.
+        let mut cooked = report.clone();
+        cooked.net.double_applied = 1;
+        let err = audit_cluster(&tracer, &cooked).unwrap_err();
+        assert!(err.to_string().contains("executed twice"), "{err}");
+
+        // Cook the detector history: drop the recovery event while the
+        // tally still claims it.
+        let mut cooked = report;
+        if let Some(i) = cooked.detector_events.iter().position(|e| !e.suspected) {
+            cooked.detector_events.remove(i);
+            let err = audit_cluster(&tracer, &cooked).unwrap_err();
+            assert!(err.to_string().contains("recovery events"), "{err}");
+        }
+    }
+
+    #[test]
+    fn a_report_claiming_phantom_links_fails() {
+        // A net-disabled run cannot carry link traffic.
+        let (tracer, mut report) = traced_cluster(FaultStorm::none());
+        report
+            .links
+            .push(crate::cluster_report::LinkReport::default());
+        let err = audit_cluster(&tracer, &report).unwrap_err();
+        assert!(err.to_string().contains("no links"), "{err}");
     }
 
     #[test]

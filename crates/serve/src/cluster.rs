@@ -29,12 +29,15 @@
 use crate::backoff::{Backoff, BackoffPolicy};
 use crate::batch::BatchPolicy;
 use crate::breaker::{BreakerPolicy, BreakerState, CircuitBreaker};
-use crate::cluster_report::{ClusterReport, ShardReport, TenantReport};
+use crate::cluster_report::{
+    ClusterReport, LinkClassReport, LinkReport, ShardReport, TenantReport,
+};
 use crate::degrade::{Ladder, LadderPolicy, ServiceLevel};
 use crate::elastic::{
     ElasticAction, ElasticController, ElasticEvent, ElasticEventKind, ElasticPolicy, ShardSignal,
 };
 use crate::health::spawn_target_ok;
+use crate::net::{DedupTable, Detector, Link, MsgClass, NetCounters, NetPolicy, RttWindow};
 use crate::profile::ServiceProfile;
 use crate::queue::{admit, estimated_wait, AdmissionPolicy, AdmissionView, ShedReason};
 use crate::report::EngineReport;
@@ -88,6 +91,9 @@ pub struct ClusterConfig {
     /// Elastic engine/L2-way reconfiguration (disabled keeps the
     /// historical static partition).
     pub elastic: ElasticPolicy,
+    /// The lossy router↔shard transport (disabled keeps the historical
+    /// instantaneous-reliable dispatch, byte for byte).
+    pub net: NetPolicy,
     /// Engine dispatch attempts per request before failover.
     pub max_attempts: u32,
     /// Cycles from dispatch onto faulty silicon to the detected
@@ -128,6 +134,7 @@ impl Default for ClusterConfig {
             ladder: LadderPolicy::default(),
             steal: StealPolicy::default(),
             elastic: ElasticPolicy::default(),
+            net: NetPolicy::default(),
             max_attempts: 3,
             detect_latency: 500,
             checked: true,
@@ -187,6 +194,25 @@ enum Ev {
     FallbackDone(usize),
     /// Engine `(shard, slot)`'s spawn warmup flush finishes.
     SpawnReady(usize, usize),
+    /// A copy of request `req` reaches shard `shard` over its link.
+    DeliverReq(usize, usize),
+    /// A response copy for request `req` from `shard` reaches the
+    /// router; `ok` (success vs nack) and the corruption bit ride the
+    /// wire.
+    DeliverResp(usize, usize, bool, bool),
+    /// A first-response-wins cancellation for `req` reaches `shard`.
+    DeliverCancel(usize, usize),
+    /// A heartbeat ping reaches shard `shard` (it acks immediately).
+    DeliverHb(usize),
+    /// A heartbeat ack from shard `shard` reaches the router.
+    DeliverAck(usize),
+    /// Request `req`'s retransmit timer fires; live only while the
+    /// transmission sequence still matches.
+    NetTimeout(usize, u32),
+    /// Request `req`'s hedge timer fires.
+    HedgeFire(usize, u32),
+    /// The router's next heartbeat tick toward shard `shard`.
+    HbTick(usize),
 }
 
 struct Entry {
@@ -306,6 +332,60 @@ struct BatchRec {
     silent_epoch: u64,
 }
 
+/// Per-request transport bookkeeping (net mode only).
+#[derive(Debug, Clone, Copy, Default)]
+struct NetReqState {
+    /// The router accepted a response or failed the request over;
+    /// everything that arrives afterwards is stale.
+    resolved: bool,
+    /// Resolved by accepting a response (vs failing over).
+    accepted: bool,
+    /// Effective executions: fresh idempotency-table records across
+    /// all shards. `execs - accepted` is this request's wasted work.
+    execs: u32,
+    /// Bit per shard: a copy is queued or executing there. Set on
+    /// delivery, cleared when the batch resolves (or a steal/cancel
+    /// pulls the copy), so a shard never runs the same request twice.
+    queued_mask: u64,
+    /// Every shard this request was ever transmitted to.
+    sent_mask: u64,
+    /// Transmission sequence; timers and hedges carry the sequence
+    /// they were armed under and go stale when it moves on.
+    xmit_seq: u32,
+    retransmits_left: u32,
+    /// When the live transmission left the router (RTT sampling).
+    sent_at: u64,
+    /// The first shard this request was sent to.
+    primary: usize,
+    hedged: bool,
+    /// Valid only when `hedged`.
+    hedge_shard: usize,
+}
+
+/// The transport layer's run state (`None` = historical
+/// instantaneous-reliable dispatch).
+struct NetState {
+    /// The policy with `rto` resolved (0 ⇒ derived from the profile).
+    policy: NetPolicy,
+    /// One seeded lossy link per shard.
+    links: Vec<Link>,
+    /// Per-shard idempotency tables: request id → cached corruption
+    /// bit.
+    dedup: Vec<DedupTable>,
+    /// Windowed heartbeat failure detector over all links.
+    detector: Detector,
+    /// Sliding RTT window feeding the hedge delay (windowed p99).
+    rtt: RttWindow,
+    reqs: Vec<NetReqState>,
+    /// Admitted requests not yet resolved.
+    open: u64,
+    /// The last scheduled arrival: heartbeats re-arm only while
+    /// traffic is still coming or requests are still open, so the
+    /// calendar drains when the run is done.
+    last_arrival: u64,
+    counters: NetCounters,
+}
+
 /// Static per-shard trace categories (shards beyond eight are
 /// simulated but not instant-traced — the tracer requires static
 /// names).
@@ -324,6 +404,7 @@ pub struct ClusterSim {
     heap: BinaryHeap<Entry>,
     seq: u64,
     requests: Vec<Request>,
+    net: Option<NetState>,
     shards: Vec<Shard>,
     storm: Vec<StormEvent>,
     batches: Vec<BatchRec>,
@@ -424,6 +505,16 @@ impl ClusterSim {
                 ));
             }
         }
+        if cfg.net.enabled {
+            if cfg.shards > 64 {
+                return Err(ServeError::Config(
+                    "the transport tracks per-shard request copies in a 64-bit mask; \
+                     at most 64 shards with net enabled"
+                        .into(),
+                ));
+            }
+            cfg.net.validate().map_err(ServeError::Config)?;
+        }
         // Storms address slot space so a scripted fault can target a
         // slot the controller has not spawned into yet.
         let total_engines = cfg.shards * cfg.slots_per_shard();
@@ -448,10 +539,23 @@ impl ClusterSim {
                         )));
                     }
                 }
+                StormEventKind::LinkDegrade { .. } => {
+                    if !cfg.net.enabled {
+                        return Err(ServeError::Storm(format!(
+                            "event {i} degrades a link, but the transport layer is disabled"
+                        )));
+                    }
+                    if e.engine >= cfg.shards {
+                        return Err(ServeError::Storm(format!(
+                            "event {i} degrades the link of shard {} of {}",
+                            e.engine, cfg.shards
+                        )));
+                    }
+                }
                 StormEventKind::HotKeySkew { .. } => {}
             }
         }
-        let router = Router::new(cfg.seed, cfg.shards, cfg.vnodes);
+        let router = Router::try_new(cfg.seed, cfg.shards, cfg.vnodes)?;
         let mut heap = BinaryHeap::new();
         let mut seq = 0u64;
         for (i, e) in storm.events.iter().enumerate() {
@@ -543,6 +647,41 @@ impl ClusterSim {
                 retire_rollbacks: 0,
             })
             .collect();
+        let net = if cfg.net.enabled {
+            let mut policy = cfg.net;
+            if policy.rto == 0 {
+                // Derive the retransmit timeout from the topology: a
+                // round trip at worst-case link delay plus queueing
+                // headroom in units of the mean service time.
+                policy.rto = profile.rto_hint(policy.base_delay, policy.jitter);
+            }
+            policy.rto = policy.rto.max(1);
+            let last_arrival = requests.iter().map(|r| r.arrival).max().unwrap_or(0);
+            // Staggered heartbeat phases so N links never ping in the
+            // same cycle.
+            let every = policy.heartbeat_every.max(1);
+            for s in 0..cfg.shards {
+                heap.push(Entry {
+                    at: (s as u64 * every) / cfg.shards as u64,
+                    seq,
+                    ev: Ev::HbTick(s),
+                });
+                seq += 1;
+            }
+            Some(NetState {
+                links: (0..cfg.shards).map(|s| Link::new(cfg.seed, s)).collect(),
+                dedup: vec![DedupTable::new(); cfg.shards],
+                detector: Detector::new(cfg.shards, every, policy.suspect_misses),
+                rtt: RttWindow::new(64),
+                reqs: vec![NetReqState::default(); requests.len()],
+                open: 0,
+                last_arrival,
+                counters: NetCounters::default(),
+                policy,
+            })
+        } else {
+            None
+        };
         let tenant_count = traffic.tenants.len();
         Ok(Self {
             ladder: Ladder::new(cfg.ladder),
@@ -560,6 +699,7 @@ impl ClusterSim {
             heap,
             seq,
             requests,
+            net,
             shards,
             storm: storm.events,
             batches: Vec::new(),
@@ -612,17 +752,28 @@ impl ClusterSim {
         }
     }
 
-    /// Whether `shard` can accept a dispatch right now: not
-    /// partitioned, and at least one *active* engine's breaker is not
-    /// open (spawning, draining, and parked slots are not admission
+    /// Whether `shard` can accept a dispatch right now: reachable (not
+    /// partitioned in the legacy model, not heartbeat-suspected in net
+    /// mode), and at least one *active* engine's breaker is not open
+    /// (spawning, draining, and parked slots are not admission
     /// channels).
     fn shard_available(&mut self, s: usize) -> bool {
         let now = self.now;
-        let shard = &mut self.shards[s];
-        if now < shard.partition_until {
+        let (blocked, newly_suspect) = if let Some(net) = &mut self.net {
+            // Lazy detection: suspicion is evaluated when routing asks,
+            // from the last heartbeat ack's age.
+            let newly = net.detector.probe(now, s).is_some();
+            (net.detector.suspected(s), newly)
+        } else {
+            (now < self.shards[s].partition_until, false)
+        };
+        if newly_suspect && s < SHARD_CATS.len() {
+            self.instant(SHARD_CATS[s], "suspect", now);
+        }
+        if blocked {
             return false;
         }
-        shard
+        self.shards[s]
             .engines
             .iter_mut()
             .any(|e| e.is_active() && e.breaker.state_at(now) != BreakerState::Open)
@@ -755,6 +906,14 @@ impl ClusterSim {
                 self.instant("serve", "complete_fallback", self.now);
             }
             Ev::SpawnReady(s, e) => self.on_spawn_ready(s, e),
+            Ev::DeliverReq(r, s) => self.on_deliver_req(r, s),
+            Ev::DeliverResp(r, s, ok, corrupt) => self.on_deliver_resp(r, s, ok, corrupt),
+            Ev::DeliverCancel(r, s) => self.on_deliver_cancel(r, s),
+            Ev::DeliverHb(s) => self.on_deliver_hb(s),
+            Ev::DeliverAck(s) => self.on_deliver_ack(s),
+            Ev::NetTimeout(r, seq) => self.on_net_timeout(r, seq),
+            Ev::HedgeFire(r, seq) => self.on_hedge_fire(r, seq),
+            Ev::HbTick(s) => self.on_hb_tick(s),
         }
         // Every state change re-evaluates pressure, lets the elastic
         // controller repartition, lets idle shards steal, and pumps
@@ -770,15 +929,37 @@ impl ClusterSim {
         let now = self.now;
         match ev.kind {
             StormEventKind::ShardPartition { duration } => {
-                let shard = &mut self.shards[ev.engine];
-                shard.partition_until = shard.partition_until.max(now + duration.max(1));
-                // The partition severs in-flight work too: epoch bumps
-                // turn every outstanding batch into a detected failure.
-                for e in &mut shard.engines {
-                    e.fault_epoch += 1;
+                let until = now + duration.max(1);
+                if let Some(net) = &mut self.net {
+                    // With the transport on, a partition is not a
+                    // special mechanism: it is 100% loss on the link.
+                    // The shard's engines stay healthy and keep
+                    // draining their queue — their responses just
+                    // never get out, and the heartbeat detector
+                    // discovers the silence.
+                    net.links[ev.engine].degrade(until, 1.0);
+                } else {
+                    let shard = &mut self.shards[ev.engine];
+                    shard.partition_until = shard.partition_until.max(until);
+                    // The partition severs in-flight work too: epoch
+                    // bumps turn every outstanding batch into a
+                    // detected failure.
+                    for e in &mut shard.engines {
+                        e.fault_epoch += 1;
+                    }
                 }
                 if ev.engine < SHARD_CATS.len() {
                     self.instant(SHARD_CATS[ev.engine], "partition", now);
+                }
+            }
+            StormEventKind::LinkDegrade { loss_pct, duration } => {
+                // Build-time validation guarantees the transport is on.
+                if let Some(net) = &mut self.net {
+                    net.links[ev.engine]
+                        .degrade(now + duration.max(1), f64::from(loss_pct.min(100)) / 100.0);
+                }
+                if ev.engine < SHARD_CATS.len() {
+                    self.instant(SHARD_CATS[ev.engine], "link_degrade", now);
                 }
             }
             StormEventKind::HotKeySkew { .. } => {
@@ -858,7 +1039,11 @@ impl ClusterSim {
                             self.instant("serve", "reroute", now);
                         }
                         self.requests[r].shard = s;
-                        self.shards[s].queues.push(tenant, r);
+                        if self.net.is_some() {
+                            self.net_open_request(r, s);
+                        } else {
+                            self.shards[s].queues.push(tenant, r);
+                        }
                         self.instant("serve", "admit", now);
                     }
                     Err(reason) => self.shed(r, reason),
@@ -874,6 +1059,12 @@ impl ClusterSim {
                         self.tenant_admitted[tenant] += 1;
                         self.requests[r].admitted = true;
                         self.direct_fallback += 1;
+                        if let Some(net) = &mut self.net {
+                            // Opened and immediately resolved by the
+                            // failover below; the open/resolve pairing
+                            // keeps the conservation arithmetic exact.
+                            net.open += 1;
+                        }
                         self.failover(r);
                     }
                     Err(reason) => self.shed(r, reason),
@@ -898,6 +1089,14 @@ impl ClusterSim {
     }
 
     fn on_retry(&mut self, r: usize) {
+        if let Some(net) = &mut self.net {
+            // A duplicate nack can race the retry against a failover;
+            // a resolved request never re-enters the cluster.
+            if net.reqs[r].resolved {
+                net.counters.stale_drops += 1;
+                return;
+            }
+        }
         self.instant("serve", "retry_due", self.now);
         let avail = self.availability_mask();
         let (cur, key, tenant) = {
@@ -912,7 +1111,11 @@ impl ClusterSim {
         match dest {
             Some(s) => {
                 self.requests[r].shard = s;
-                self.shards[s].queues.push(tenant, r);
+                if self.net.is_some() {
+                    self.net_send_req(r, s);
+                } else {
+                    self.shards[s].queues.push(tenant, r);
+                }
             }
             None => self.failover(r),
         }
@@ -1050,24 +1253,59 @@ impl ClusterSim {
             self.shards[s].failures += 1;
             self.request_failures += members.len() as u64;
             self.ladder.observe_failure(now);
-            for &m in &members {
-                self.retry_or_failover(m);
+            if self.net.is_some() {
+                // Nack every member over the link: the router owns the
+                // retry decision. The queued bit clears so a
+                // retransmitted copy can legitimately land here again.
+                for &m in &members {
+                    if let Some(net) = &mut self.net {
+                        net.reqs[m].queued_mask &= !(1u64 << s);
+                    }
+                    self.net_send_resp(m, s, false, false);
+                }
+            } else {
+                for &m in &members {
+                    self.retry_or_failover(m);
+                }
             }
         } else {
             e.breaker.on_success(now);
             e.completions += 1;
             self.shards[s].completions += members.len() as u64;
-            self.completed_eve += members.len() as u64;
             let leak = silent_overlap && !self.cfg.checked;
-            for &m in &members {
-                self.requests[m].completed_at = Some(now);
-                if leak {
-                    self.sdc += 1;
-                    self.requests[m].corrupted = true;
-                    self.instant("serve", "sdc", now);
+            if self.net.is_some() {
+                // Effective execution: the idempotency table records it
+                // (result and corruption bit become the cached answer)
+                // and the response rides the link. Acceptance — and the
+                // completion/SDC ledger — happens at the router, once,
+                // whichever copy wins.
+                for &m in &members {
+                    if let Some(net) = &mut self.net {
+                        net.reqs[m].queued_mask &= !(1u64 << s);
+                        if net.dedup[s].record(m as u64, leak) {
+                            net.reqs[m].execs += 1;
+                        } else {
+                            // Structurally unreachable (the queued bit
+                            // blocks same-shard re-entry); counted so
+                            // the auditor can prove it stayed zero.
+                            net.counters.double_applied += 1;
+                        }
+                    }
+                    self.net_send_resp(m, s, true, leak);
                 }
+                self.instant("serve", "executed", now);
+            } else {
+                self.completed_eve += members.len() as u64;
+                for &m in &members {
+                    self.requests[m].completed_at = Some(now);
+                    if leak {
+                        self.sdc += 1;
+                        self.requests[m].corrupted = true;
+                        self.instant("serve", "sdc", now);
+                    }
+                }
+                self.instant("serve", "complete", now);
             }
-            self.instant("serve", "complete", now);
         }
         self.resolve_drain(s, eng, failed);
     }
@@ -1127,6 +1365,12 @@ impl ClusterSim {
                 if eta <= deadline {
                     self.retries += 1;
                     self.requests[r].shard = s;
+                    if let Some(net) = &mut self.net {
+                        // Supersede the old transmission: its pending
+                        // timeout and hedge no longer own this
+                        // request (the Retry event does).
+                        net.reqs[r].xmit_seq += 1;
+                    }
                     self.instant("serve", "retry", now);
                     self.push(now + delay, Ev::Retry(r));
                     return;
@@ -1138,6 +1382,18 @@ impl ClusterSim {
 
     fn failover(&mut self, r: usize) {
         let now = self.now;
+        if let Some(net) = &mut self.net {
+            let req = &mut net.reqs[r];
+            if req.resolved {
+                // A stale copy of a request that already resolved
+                // (accepted elsewhere, or already failed over).
+                net.counters.stale_drops += 1;
+                return;
+            }
+            req.resolved = true;
+            req.xmit_seq += 1;
+            net.open -= 1;
+        }
         self.failovers += 1;
         self.instant("serve", "failover", now);
         let start = self.fallback_free_at.max(now);
@@ -1181,6 +1437,10 @@ impl ClusterSim {
         for (tenant, r) in stolen {
             self.steals += 1;
             self.shards[v].steals_out += 1;
+            if let Some(net) = &mut self.net {
+                // The copy left the victim's queue with the thief.
+                net.reqs[r].queued_mask &= !(1u64 << v);
+            }
             let (workload, deadline) = {
                 let req = &self.requests[r];
                 (req.workload, req.deadline)
@@ -1194,8 +1454,15 @@ impl ClusterSim {
             }
             if eta <= deadline {
                 self.shards[t].steals_in += 1;
-                self.requests[r].shard = t;
-                self.shards[t].queues.push(tenant, r);
+                if self.net.is_some() {
+                    // Through the landing logic, not a blind push: the
+                    // thief may already hold this request's answer in
+                    // its idempotency cache.
+                    self.net_enqueue(r, t);
+                } else {
+                    self.requests[r].shard = t;
+                    self.shards[t].queues.push(tenant, r);
+                }
             } else {
                 self.steal_failovers += 1;
                 self.failover(r);
@@ -1347,6 +1614,336 @@ impl ClusterSim {
         }
     }
 
+    // ---- The lossy transport (net mode only) ------------------------
+    //
+    // Every router↔shard exchange below is a message on a seeded lossy
+    // link, scheduled through the same calendar as everything else.
+    // Handlers are no-ops when the transport is disabled, so the
+    // historical instantaneous-dispatch schedule is untouched byte for
+    // byte.
+
+    /// Transmits one message over `shard`'s link, returning the
+    /// scheduled delivery cycles (empty = every copy was lost).
+    fn net_transmit(&mut self, shard: usize, class: MsgClass) -> Vec<u64> {
+        let now = self.now;
+        let Some(net) = &mut self.net else {
+            return Vec::new();
+        };
+        let policy = net.policy;
+        net.links[shard].transmit(now, class, &policy)
+    }
+
+    /// Opens request `r` on the transport: first transmission toward
+    /// `dest` with the full retransmit budget, plus a hedge timer once
+    /// the RTT estimator is warm enough to quote a p99.
+    fn net_open_request(&mut self, r: usize, dest: usize) {
+        let now = self.now;
+        let hedge = {
+            let Some(net) = &mut self.net else { return };
+            net.open += 1;
+            let policy = net.policy;
+            let req = &mut net.reqs[r];
+            req.primary = dest;
+            req.retransmits_left = policy.max_retransmits;
+            if policy.hedge {
+                net.rtt
+                    .hedge_delay(policy.hedge_min_samples, policy.hedge_floor)
+            } else {
+                None
+            }
+        };
+        self.net_send_req(r, dest);
+        if let Some(d) = hedge {
+            // Sequence 1 is the first transmission; a retransmit or
+            // retry supersedes the hedge along with the timeout.
+            self.push(now + d, Ev::HedgeFire(r, 1));
+        }
+    }
+
+    /// Sends (or retransmits) request `r` to `dest`: bumps the
+    /// transmission sequence — invalidating older timers and hedges —
+    /// transmits the copies, and arms a fresh retransmit timeout.
+    fn net_send_req(&mut self, r: usize, dest: usize) {
+        let now = self.now;
+        let (seq, rto) = {
+            let Some(net) = &mut self.net else { return };
+            let req = &mut net.reqs[r];
+            req.xmit_seq += 1;
+            req.sent_at = now;
+            req.sent_mask |= 1u64 << dest;
+            (req.xmit_seq, net.policy.rto)
+        };
+        for at in self.net_transmit(dest, MsgClass::Req) {
+            self.push(at, Ev::DeliverReq(r, dest));
+        }
+        self.push(now + rto, Ev::NetTimeout(r, seq));
+    }
+
+    /// Shard `s` answers request `r` over its link: `ok` for a
+    /// successful execution (fresh or cached), false for a nack.
+    fn net_send_resp(&mut self, r: usize, s: usize, ok: bool, corrupt: bool) {
+        for at in self.net_transmit(s, MsgClass::Resp) {
+            self.push(at, Ev::DeliverResp(r, s, ok, corrupt));
+        }
+    }
+
+    /// A request copy reached shard `s`'s side of the link.
+    fn on_deliver_req(&mut self, r: usize, s: usize) {
+        if let Some(net) = &mut self.net {
+            net.links[s].on_delivered(MsgClass::Req);
+        } else {
+            return;
+        }
+        self.net_enqueue(r, s);
+    }
+
+    /// Lands request `r` at shard `s`: a request this shard already
+    /// executed answers from the idempotency cache, a copy already
+    /// queued or executing here is suppressed, anything else enters
+    /// the tenant queue. This is the exactly-once half the shard owns —
+    /// at-least-once delivery upstream, at-most-one effect here.
+    fn net_enqueue(&mut self, r: usize, s: usize) {
+        enum Landing {
+            Queue,
+            Cached(bool),
+            Suppress,
+        }
+        let landing = {
+            let Some(net) = &mut self.net else { return };
+            if let Some(corrupt) = net.dedup[s].lookup(r as u64) {
+                net.counters.dedup_hits += 1;
+                Landing::Cached(corrupt)
+            } else if net.reqs[r].queued_mask & (1u64 << s) != 0 {
+                net.counters.dup_suppressed += 1;
+                Landing::Suppress
+            } else {
+                net.reqs[r].queued_mask |= 1u64 << s;
+                Landing::Queue
+            }
+        };
+        match landing {
+            Landing::Queue => {
+                let tenant = self.requests[r].tenant;
+                self.requests[r].shard = s;
+                self.shards[s].queues.push(tenant, r);
+            }
+            Landing::Cached(corrupt) => self.net_send_resp(r, s, true, corrupt),
+            Landing::Suppress => {}
+        }
+    }
+
+    /// A response copy reached the router. The first successful
+    /// response wins: it resolves the request, samples the RTT, and
+    /// cancels every other outstanding copy. Later copies are late;
+    /// nacks re-enter the backoff/retry path.
+    fn on_deliver_resp(&mut self, r: usize, s: usize, ok: bool, corrupt: bool) {
+        let now = self.now;
+        enum Outcome {
+            Accept { hedge_win: bool, cancels: u64 },
+            Late,
+            Nack,
+        }
+        let outcome = {
+            let Some(net) = &mut self.net else { return };
+            net.links[s].on_delivered(MsgClass::Resp);
+            let req = &mut net.reqs[r];
+            if req.resolved {
+                net.counters.late_responses += 1;
+                Outcome::Late
+            } else if !ok {
+                Outcome::Nack
+            } else {
+                req.resolved = true;
+                req.accepted = true;
+                let hedge_win = req.hedged && req.hedge_shard == s;
+                let cancels = req.sent_mask & !(1u64 << s);
+                let rtt = now.saturating_sub(req.sent_at).max(1);
+                net.open -= 1;
+                net.rtt.record(rtt);
+                if hedge_win {
+                    net.counters.hedge_wins += 1;
+                }
+                Outcome::Accept { hedge_win, cancels }
+            }
+        };
+        match outcome {
+            Outcome::Late => {}
+            Outcome::Nack => self.retry_or_failover(r),
+            Outcome::Accept { hedge_win, cancels } => {
+                self.completed_eve += 1;
+                self.requests[r].completed_at = Some(now);
+                if corrupt {
+                    self.sdc += 1;
+                    self.requests[r].corrupted = true;
+                    self.instant("serve", "sdc", now);
+                }
+                self.instant("serve", "complete", now);
+                if hedge_win {
+                    self.instant("serve", "hedge_win", now);
+                }
+                for t in 0..self.cfg.shards {
+                    if cancels & (1u64 << t) != 0 {
+                        for at in self.net_transmit(t, MsgClass::Cancel) {
+                            self.push(at, Ev::DeliverCancel(r, t));
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// A first-response-wins cancellation reached shard `s`: a copy
+    /// still sitting in the queue is pulled out; anything already
+    /// dispatched or finished is a miss (its answer simply arrives
+    /// late and is dropped at the router).
+    fn on_deliver_cancel(&mut self, r: usize, s: usize) {
+        if let Some(net) = &mut self.net {
+            net.links[s].on_delivered(MsgClass::Cancel);
+        } else {
+            return;
+        }
+        let tenant = self.requests[r].tenant;
+        let removed = self.shards[s].queues.remove(tenant, r);
+        let Some(net) = &mut self.net else { return };
+        if removed {
+            net.reqs[r].queued_mask &= !(1u64 << s);
+            net.counters.hedge_cancelled += 1;
+        } else {
+            net.counters.cancel_missed += 1;
+        }
+    }
+
+    /// A retransmit timer fired. Stale timers (resolved request, or a
+    /// newer transmission owns it) drop silently; a live one
+    /// retransmits along the healthy ring until the budget runs out,
+    /// then fails over to O3+DV.
+    fn on_net_timeout(&mut self, r: usize, seq: u32) {
+        enum Action {
+            Retransmit,
+            Exhausted,
+        }
+        let action = {
+            let Some(net) = &mut self.net else { return };
+            let req = &mut net.reqs[r];
+            if req.resolved || req.xmit_seq != seq {
+                return;
+            }
+            net.counters.timeouts += 1;
+            if req.retransmits_left == 0 {
+                Action::Exhausted
+            } else {
+                req.retransmits_left -= 1;
+                net.counters.retransmits += 1;
+                Action::Retransmit
+            }
+        };
+        match action {
+            Action::Exhausted => self.failover(r),
+            Action::Retransmit => {
+                self.instant("serve", "retransmit", self.now);
+                let avail = self.availability_mask();
+                let (cur, key) = {
+                    let req = &self.requests[r];
+                    (req.shard, req.key)
+                };
+                let dest = if avail[cur] {
+                    Some(cur)
+                } else {
+                    self.router.route_healthy(key, |s| avail[s])
+                };
+                match dest {
+                    Some(s) => {
+                        self.requests[r].shard = s;
+                        self.net_send_req(r, s);
+                    }
+                    None => self.failover(r),
+                }
+            }
+        }
+    }
+
+    /// The hedge timer fired: if the first transmission has neither
+    /// answered nor been superseded, one hedge copy goes to the next
+    /// healthy shard past the primary. First response wins; the loser
+    /// is cancelled on acceptance.
+    fn on_hedge_fire(&mut self, r: usize, seq: u32) {
+        let primary = {
+            let Some(net) = &self.net else { return };
+            let req = &net.reqs[r];
+            if req.resolved || req.hedged || req.xmit_seq != seq {
+                return;
+            }
+            req.primary
+        };
+        let avail = self.availability_mask();
+        let key = self.requests[r].key;
+        let Some(dest) = self.router.route_healthy(key, |s| s != primary && avail[s]) else {
+            return;
+        };
+        if let Some(net) = &mut self.net {
+            let req = &mut net.reqs[r];
+            req.hedged = true;
+            req.hedge_shard = dest;
+            req.sent_mask |= 1u64 << dest;
+            net.counters.hedges += 1;
+        }
+        self.instant("serve", "hedge", self.now);
+        // The hedge copy deliberately leaves the transmission sequence
+        // and `sent_at` alone: the primary's timeout still governs the
+        // request, and the RTT sample stays anchored to first send.
+        for at in self.net_transmit(dest, MsgClass::Req) {
+            self.push(at, Ev::DeliverReq(r, dest));
+        }
+    }
+
+    /// The router's heartbeat tick for shard `s`: ping over the lossy
+    /// link, re-armed only while the run still has traffic coming or
+    /// requests open — heartbeats must not keep a finished calendar
+    /// alive.
+    fn on_hb_tick(&mut self, s: usize) {
+        let now = self.now;
+        let (rearm, every) = {
+            let Some(net) = &self.net else { return };
+            (
+                net.open > 0 || now <= net.last_arrival,
+                net.policy.heartbeat_every.max(1),
+            )
+        };
+        for at in self.net_transmit(s, MsgClass::Heartbeat) {
+            self.push(at, Ev::DeliverHb(s));
+        }
+        if rearm {
+            self.push(now + every, Ev::HbTick(s));
+        }
+    }
+
+    /// A heartbeat ping reached shard `s`; it acks immediately (the
+    /// ack rides the same lossy link back).
+    fn on_deliver_hb(&mut self, s: usize) {
+        if let Some(net) = &mut self.net {
+            net.links[s].on_delivered(MsgClass::Heartbeat);
+        } else {
+            return;
+        }
+        for at in self.net_transmit(s, MsgClass::Ack) {
+            self.push(at, Ev::DeliverAck(s));
+        }
+    }
+
+    /// A heartbeat ack reached the router: the failure detector
+    /// refreshes, clearing suspicion if the link had gone quiet.
+    fn on_deliver_ack(&mut self, s: usize) {
+        let now = self.now;
+        let recovered = {
+            let Some(net) = &mut self.net else { return };
+            net.links[s].on_delivered(MsgClass::Ack);
+            net.detector.on_ack(now, s).is_some()
+        };
+        if recovered && s < SHARD_CATS.len() {
+            self.instant(SHARD_CATS[s], "suspect_clear", now);
+        }
+    }
+
     fn report(mut self) -> ClusterReport {
         let end = self.now;
         let time_at_level = self.ladder.finish(end);
@@ -1441,6 +2038,51 @@ impl ClusterSim {
                     .collect(),
             })
             .collect();
+        // The shard-side execution ledger vs the router-side acceptance
+        // ledger: with the transport on they differ by exactly the
+        // wasted executions (hedge losers, responses lost past the
+        // retransmit budget) — the auditor holds us to that.
+        let executed_ok: u64 = self.shards.iter().map(|s| s.completions).sum();
+        let (net_counters, wasted_executions, links, detector_events, net_max_retransmits) =
+            match &self.net {
+                Some(net) => {
+                    let mut c = net.counters;
+                    c.suspicions = net.detector.suspicions();
+                    c.recoveries = net.detector.recoveries();
+                    let wasted = net
+                        .reqs
+                        .iter()
+                        .map(|q| u64::from(q.execs.saturating_sub(u32::from(q.accepted))))
+                        .sum();
+                    let links = net
+                        .links
+                        .iter()
+                        .enumerate()
+                        .map(|(i, l)| LinkReport {
+                            shard: i as u64,
+                            req: LinkClassReport::from_stats(l.stats(MsgClass::Req)),
+                            resp: LinkClassReport::from_stats(l.stats(MsgClass::Resp)),
+                            cancel: LinkClassReport::from_stats(l.stats(MsgClass::Cancel)),
+                            heartbeat: LinkClassReport::from_stats(l.stats(MsgClass::Heartbeat)),
+                            ack: LinkClassReport::from_stats(l.stats(MsgClass::Ack)),
+                        })
+                        .collect();
+                    (
+                        c,
+                        wasted,
+                        links,
+                        net.detector.events().to_vec(),
+                        u64::from(net.policy.max_retransmits),
+                    )
+                }
+                None => (
+                    NetCounters::default(),
+                    0,
+                    Vec::new(),
+                    Vec::new(),
+                    u64::from(self.cfg.net.max_retransmits),
+                ),
+            };
         // Mirror the tallies into the counter registry: the auditor
         // replays routing, stealing, and shedding against these.
         self.count("cluster.arrivals", arrivals);
@@ -1460,6 +2102,30 @@ impl ClusterSim {
         self.count("cluster.completed_eve", self.completed_eve);
         self.count("cluster.completed_fallback", self.completed_fallback);
         self.count("cluster.sdc", self.sdc);
+        self.count("cluster.executed_ok", executed_ok);
+        // The net mirror is unconditional (zeros when disabled) so the
+        // auditor's cross-checks never depend on key presence.
+        let (sent, delivered, dropped) = links.iter().fold((0, 0, 0), |acc, l| {
+            MsgClass::ALL.iter().fold(acc, |(s, d, x), &class| {
+                let c = l.class(class);
+                (s + c.sent, d + c.delivered, x + c.dropped)
+            })
+        });
+        self.count("net.sent", sent);
+        self.count("net.delivered", delivered);
+        self.count("net.dropped", dropped);
+        self.count("net.retransmits", net_counters.retransmits);
+        self.count("net.timeouts", net_counters.timeouts);
+        self.count("net.hedges", net_counters.hedges);
+        self.count("net.hedge_wins", net_counters.hedge_wins);
+        self.count("net.dedup_hits", net_counters.dedup_hits);
+        self.count("net.dup_suppressed", net_counters.dup_suppressed);
+        self.count("net.late_responses", net_counters.late_responses);
+        self.count("net.stale_drops", net_counters.stale_drops);
+        self.count("net.double_applied", net_counters.double_applied);
+        self.count("net.wasted_executions", wasted_executions);
+        self.count("net.suspicions", net_counters.suspicions);
+        self.count("net.recoveries", net_counters.recoveries);
         self.count("cluster.ladder_steps", self.ladder.events().len() as u64);
         self.count("elastic.spawns", self.elastic.spawns());
         self.count("elastic.retires", self.elastic.retires());
@@ -1495,6 +2161,13 @@ impl ClusterSim {
             completed_eve: self.completed_eve,
             completed_fallback: self.completed_fallback,
             sdc: self.sdc,
+            net_enabled: self.cfg.net.enabled,
+            executed_ok,
+            wasted_executions,
+            net_max_retransmits,
+            net: net_counters,
+            links,
+            detector_events,
             availability,
             goodput,
             deadline_miss_rate,
@@ -1544,8 +2217,40 @@ mod tests {
             r.admitted + r.shed_capacity + r.shed_infeasible + r.shed_tenant
         );
         assert_eq!(r.admitted, r.completed_eve + r.completed_fallback);
-        assert_eq!(r.batched_requests, r.completed_eve + r.request_failures);
+        // Two ledgers: shards count what they ran, the router counts
+        // what it accepted. They reconcile through wasted executions.
+        assert_eq!(r.batched_requests, r.executed_ok + r.request_failures);
+        assert_eq!(r.executed_ok, r.completed_eve + r.wasted_executions);
         assert_eq!(r.failovers, r.completed_fallback);
+        assert_eq!(r.net.double_applied, 0, "a shard re-applied a request");
+        let mut cancels_delivered = 0;
+        for l in &r.links {
+            for class in MsgClass::ALL {
+                let c = l.class(class);
+                assert_eq!(
+                    c.sent,
+                    c.delivered + c.dropped + c.in_flight,
+                    "link {} {class:?} leaks copies",
+                    l.shard
+                );
+                assert_eq!(
+                    c.in_flight, 0,
+                    "link {} {class:?} still has copies on the wire at end",
+                    l.shard
+                );
+            }
+            cancels_delivered += l.cancel.delivered;
+        }
+        assert_eq!(
+            cancels_delivered,
+            r.net.hedge_cancelled + r.net.cancel_missed,
+            "every delivered cancel either pulled a copy or missed"
+        );
+        assert!(
+            r.net.retransmits <= r.admitted * r.net_max_retransmits,
+            "retransmits exceed the per-request budget"
+        );
+        assert!(r.net.hedge_wins <= r.net.hedges);
         assert_eq!(
             r.dispatches,
             r.shards_detail.iter().map(|s| s.batches).sum::<u64>()
@@ -1641,6 +2346,175 @@ mod tests {
         let p = &r.shards_detail[2];
         assert!(p.batches > 0, "healed shard never served");
         assert!(r.rerouted > 0 || r.steals > 0);
+    }
+
+    fn net_quick(loss: f64, storm: FaultStorm) -> ClusterReport {
+        let cfg = ClusterConfig {
+            shards: 4,
+            engines_per_shard: 2,
+            seed: 11,
+            net: NetPolicy::lossy(loss),
+            ..ClusterConfig::default()
+        };
+        let traffic = ClusterTraffic {
+            requests: 300,
+            mean_gap: 600,
+            seed: 5,
+            ..ClusterTraffic::default()
+        };
+        let profile = ServiceProfile::synthetic(3, 1000, 4000, 2);
+        ClusterSim::new(cfg, profile, traffic, storm).unwrap().run()
+    }
+
+    #[test]
+    fn a_lossy_transport_still_balances_every_ledger() {
+        let r = net_quick(0.05, FaultStorm::none());
+        check_conservation(&r);
+        assert!(r.net_enabled);
+        assert_eq!(r.sdc, 0);
+        let req_sent: u64 = r.links.iter().map(|l| l.req.sent).sum();
+        let req_dropped: u64 = r.links.iter().map(|l| l.req.dropped).sum();
+        assert!(req_sent > 300, "requests ride the wire");
+        assert!(req_dropped > 0, "5% loss drops something over ~1k sends");
+        assert!(
+            r.net.retransmits > 0,
+            "dropped requests must trigger retransmits"
+        );
+        let hb: u64 = r.links.iter().map(|l| l.heartbeat.sent).sum();
+        assert!(hb > 0, "heartbeats flow");
+        assert!(
+            r.availability > 0.95,
+            "retransmits should absorb 5% loss, got {}",
+            r.availability
+        );
+    }
+
+    #[test]
+    fn lossy_runs_are_byte_deterministic() {
+        let storm = FaultStorm::synth(9, 8, 300_000, 1.0);
+        let a = net_quick(0.08, storm.clone());
+        let b = net_quick(0.08, storm);
+        assert_eq!(a.to_json().to_pretty(), b.to_json().to_pretty());
+    }
+
+    #[test]
+    fn duplication_is_absorbed_by_dedup_and_suppression() {
+        let cfg = ClusterConfig {
+            shards: 2,
+            engines_per_shard: 2,
+            seed: 3,
+            net: NetPolicy {
+                duplicate: 0.5,
+                reorder: 0.2,
+                ..NetPolicy::lossy(0.05)
+            },
+            ..ClusterConfig::default()
+        };
+        let traffic = ClusterTraffic {
+            requests: 400,
+            mean_gap: 400,
+            seed: 7,
+            ..ClusterTraffic::default()
+        };
+        let profile = ServiceProfile::synthetic(2, 1000, 4000, 2);
+        let r = ClusterSim::new(cfg, profile, traffic, FaultStorm::none())
+            .unwrap()
+            .run();
+        check_conservation(&r);
+        let dup: u64 = r.links.iter().map(|l| l.req.dup_copies).sum();
+        assert!(dup > 0, "50% duplication mints extra copies");
+        assert!(
+            r.net.dup_suppressed + r.net.dedup_hits > 0,
+            "duplicate copies must hit the queued mask or the cache"
+        );
+        assert_eq!(r.net.double_applied, 0);
+        assert_eq!(r.sdc, 0);
+    }
+
+    #[test]
+    fn a_partition_under_the_transport_is_loss_the_detector_catches() {
+        let r = net_quick(0.02, FaultStorm::partition(2, 40_000, 60_000));
+        check_conservation(&r);
+        assert_eq!(r.sdc, 0);
+        assert!(
+            r.detector_events
+                .iter()
+                .any(|e| e.shard == 2 && e.suspected),
+            "the heartbeat detector must suspect the partitioned link"
+        );
+        assert!(
+            r.detector_events
+                .iter()
+                .any(|e| e.shard == 2 && !e.suspected),
+            "and clear the suspicion once the link heals"
+        );
+        assert!(r.net.suspicions >= 1);
+        assert_eq!(r.net.suspicions, r.net.recoveries, "partition healed");
+        // Unlike the legacy model, the shard's engines never went
+        // unhealthy — the link did. Work queued behind the partition
+        // still executed (some of it wasted) and the shard serves
+        // again after the heal.
+        let p = &r.shards_detail[2];
+        assert!(p.batches > 0, "partitioned shard never served");
+        assert!(r.availability >= 0.9, "availability {}", r.availability);
+    }
+
+    #[test]
+    fn hedges_fire_under_a_degraded_link_and_win() {
+        // Warm the RTT estimator with clean traffic, then degrade one
+        // link to 90% loss: primaries stall, hedges answer.
+        let storm = FaultStorm::link_degrade(1, 90, 60_000, 80_000);
+        let r = net_quick(0.0, storm);
+        check_conservation(&r);
+        assert!(r.net.hedges > 0, "hedge timers must fire on the stall");
+        assert!(r.net.hedge_wins > 0, "some hedges must beat the primary");
+        assert!(
+            r.net.hedge_cancelled + r.net.cancel_missed > 0,
+            "first-response-wins must cancel the losers"
+        );
+    }
+
+    #[test]
+    fn net_misconfigurations_are_typed_errors() {
+        let profile = ServiceProfile::synthetic(1, 100, 200, 1);
+        let bad_prob = ClusterConfig {
+            net: NetPolicy::lossy(1.5),
+            ..ClusterConfig::default()
+        };
+        assert!(matches!(
+            ClusterSim::new(
+                bad_prob,
+                profile.clone(),
+                ClusterTraffic::default(),
+                FaultStorm::none()
+            ),
+            Err(ServeError::Config(_))
+        ));
+        let too_wide = ClusterConfig {
+            shards: 65,
+            net: NetPolicy::lossy(0.1),
+            ..ClusterConfig::default()
+        };
+        assert!(matches!(
+            ClusterSim::new(
+                too_wide,
+                profile.clone(),
+                ClusterTraffic::default(),
+                FaultStorm::none()
+            ),
+            Err(ServeError::Config(_))
+        ));
+        // A link-degrade storm needs the transport to exist at all.
+        let err = ClusterSim::new(
+            ClusterConfig::default(),
+            profile,
+            ClusterTraffic::default(),
+            FaultStorm::link_degrade(0, 50, 100, 1_000),
+        )
+        .err()
+        .unwrap();
+        assert!(matches!(err, ServeError::Storm(_)), "{err}");
+        assert!(err.to_string().contains("transport"), "{err}");
     }
 
     #[test]

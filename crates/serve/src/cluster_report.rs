@@ -8,6 +8,7 @@
 
 use crate::degrade::{LadderEvent, ServiceLevel};
 use crate::elastic::ElasticEvent;
+use crate::net::{ClassStats, DetectorEvent, MsgClass, NetCounters};
 use crate::report::EngineReport;
 use eve_common::json::JsonValue;
 
@@ -68,6 +69,114 @@ impl ShardReport {
             ),
         ])
     }
+}
+
+/// One message class's conservation ledger on one link, with the
+/// in-flight remainder written out explicitly so a reader (or the
+/// auditor) can check `sent == delivered + dropped + in_flight`
+/// against the document alone.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LinkClassReport {
+    /// Copies handed to the link.
+    pub sent: u64,
+    /// Copies that reached the far end.
+    pub delivered: u64,
+    /// Copies the link lost.
+    pub dropped: u64,
+    /// Extra copies duplication minted (counted inside `sent`).
+    pub dup_copies: u64,
+    /// Copies still on the wire when the run ended.
+    pub in_flight: u64,
+}
+
+impl LinkClassReport {
+    /// Builds the report form from the link's live stats.
+    #[must_use]
+    pub fn from_stats(s: ClassStats) -> Self {
+        Self {
+            sent: s.sent,
+            delivered: s.delivered,
+            dropped: s.dropped,
+            dup_copies: s.dup_copies,
+            in_flight: s.in_flight(),
+        }
+    }
+
+    /// Deterministic JSON form.
+    #[must_use]
+    pub fn to_json(&self) -> JsonValue {
+        JsonValue::object([
+            ("sent", JsonValue::from(self.sent)),
+            ("delivered", JsonValue::from(self.delivered)),
+            ("dropped", JsonValue::from(self.dropped)),
+            ("dup_copies", JsonValue::from(self.dup_copies)),
+            ("in_flight", JsonValue::from(self.in_flight)),
+        ])
+    }
+}
+
+/// One router↔shard link's per-class conservation ledgers.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LinkReport {
+    /// The shard this link serves.
+    pub shard: u64,
+    /// Request dispatches.
+    pub req: LinkClassReport,
+    /// Responses (acks and nacks).
+    pub resp: LinkClassReport,
+    /// First-response-wins cancellations.
+    pub cancel: LinkClassReport,
+    /// Heartbeat pings.
+    pub heartbeat: LinkClassReport,
+    /// Heartbeat acks.
+    pub ack: LinkClassReport,
+}
+
+impl LinkReport {
+    /// The ledger for `class`.
+    #[must_use]
+    pub fn class(&self, class: MsgClass) -> LinkClassReport {
+        match class {
+            MsgClass::Req => self.req,
+            MsgClass::Resp => self.resp,
+            MsgClass::Cancel => self.cancel,
+            MsgClass::Heartbeat => self.heartbeat,
+            MsgClass::Ack => self.ack,
+        }
+    }
+
+    /// Deterministic JSON form.
+    #[must_use]
+    pub fn to_json(&self) -> JsonValue {
+        JsonValue::object([
+            ("shard", JsonValue::from(self.shard)),
+            ("req", self.req.to_json()),
+            ("resp", self.resp.to_json()),
+            ("cancel", self.cancel.to_json()),
+            ("heartbeat", self.heartbeat.to_json()),
+            ("ack", self.ack.to_json()),
+        ])
+    }
+}
+
+/// JSON form of the transport counter block.
+#[must_use]
+fn net_counters_json(c: &NetCounters) -> JsonValue {
+    JsonValue::object([
+        ("retransmits", JsonValue::from(c.retransmits)),
+        ("timeouts", JsonValue::from(c.timeouts)),
+        ("hedges", JsonValue::from(c.hedges)),
+        ("hedge_wins", JsonValue::from(c.hedge_wins)),
+        ("hedge_cancelled", JsonValue::from(c.hedge_cancelled)),
+        ("cancel_missed", JsonValue::from(c.cancel_missed)),
+        ("dedup_hits", JsonValue::from(c.dedup_hits)),
+        ("dup_suppressed", JsonValue::from(c.dup_suppressed)),
+        ("late_responses", JsonValue::from(c.late_responses)),
+        ("stale_drops", JsonValue::from(c.stale_drops)),
+        ("double_applied", JsonValue::from(c.double_applied)),
+        ("suspicions", JsonValue::from(c.suspicions)),
+        ("recoveries", JsonValue::from(c.recoveries)),
+    ])
 }
 
 /// One tenant's service accounting after a cluster run.
@@ -156,6 +265,25 @@ pub struct ClusterReport {
     pub completed_fallback: u64,
     /// Silent corruptions that reached callers.
     pub sdc: u64,
+    /// Whether the lossy transport was modeled.
+    pub net_enabled: bool,
+    /// Effective executions on shard engines (the shard-side ledger:
+    /// every batch member that ran to success, accepted or not).
+    pub executed_ok: u64,
+    /// Effective executions the router never accepted (hedge losers,
+    /// responses lost past the retransmit budget). Always
+    /// `executed_ok - completed_eve` when the exactly-once machinery
+    /// holds, which is what the auditor checks.
+    pub wasted_executions: u64,
+    /// Retransmit budget per request (policy echo for the auditor's
+    /// `retransmits <= admitted * budget` bound).
+    pub net_max_retransmits: u64,
+    /// Transport counter block (all zero when `net_enabled` is false).
+    pub net: NetCounters,
+    /// Per-link, per-class message-conservation ledgers.
+    pub links: Vec<LinkReport>,
+    /// Failure-detector suspicion/recovery history, in order.
+    pub detector_events: Vec<DetectorEvent>,
     /// Correct in-deadline answers over admitted requests.
     pub availability: f64,
     /// In-deadline completions over all arrivals.
@@ -266,6 +394,33 @@ impl ClusterReport {
                 JsonValue::from(self.completed_fallback),
             ),
             ("sdc", JsonValue::from(self.sdc)),
+            ("net_enabled", JsonValue::from(self.net_enabled)),
+            ("executed_ok", JsonValue::from(self.executed_ok)),
+            ("wasted_executions", JsonValue::from(self.wasted_executions)),
+            (
+                "net_max_retransmits",
+                JsonValue::from(self.net_max_retransmits),
+            ),
+            ("net", net_counters_json(&self.net)),
+            (
+                "links",
+                JsonValue::Array(self.links.iter().map(LinkReport::to_json).collect()),
+            ),
+            (
+                "detector_events",
+                JsonValue::Array(
+                    self.detector_events
+                        .iter()
+                        .map(|e| {
+                            JsonValue::object([
+                                ("at", JsonValue::from(e.at)),
+                                ("shard", JsonValue::from(e.shard as u64)),
+                                ("suspected", JsonValue::from(e.suspected)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
             ("availability", JsonValue::from(self.availability)),
             ("goodput", JsonValue::from(self.goodput)),
             (
@@ -358,6 +513,39 @@ mod tests {
             completed_eve: 9,
             completed_fallback: 0,
             sdc: 0,
+            net_enabled: true,
+            executed_ok: 10,
+            wasted_executions: 1,
+            net_max_retransmits: 3,
+            net: NetCounters {
+                retransmits: 2,
+                timeouts: 2,
+                hedges: 1,
+                hedge_wins: 1,
+                ..NetCounters::default()
+            },
+            links: vec![
+                LinkReport {
+                    shard: 0,
+                    req: LinkClassReport {
+                        sent: 6,
+                        delivered: 5,
+                        dropped: 1,
+                        dup_copies: 0,
+                        in_flight: 0,
+                    },
+                    ..LinkReport::default()
+                },
+                LinkReport {
+                    shard: 1,
+                    ..LinkReport::default()
+                },
+            ],
+            detector_events: vec![DetectorEvent {
+                at: 5_000,
+                shard: 1,
+                suspected: true,
+            }],
             availability: 1.0,
             goodput: 0.9,
             deadline_miss_rate: 0.0,
@@ -443,7 +631,16 @@ mod tests {
         assert!(a.contains("\"time_at_level\""));
         assert!(a.contains("\"spawn_commit\""));
         assert!(a.contains("\"elastic_drain_cycles\""));
+        assert!(a.contains("\"net_enabled\""));
+        assert!(a.contains("\"wasted_executions\""));
+        assert!(a.contains("\"in_flight\""));
+        assert!(a.contains("\"detector_events\""));
         JsonValue::parse(&a).expect("own output parses");
+        assert_eq!(
+            sample().links[0].class(MsgClass::Req).dropped,
+            1,
+            "class accessor reads the right ledger"
+        );
         assert_eq!(r.shed(), 1);
         assert_eq!(r.step_downs(), 1);
         assert_eq!(r.step_ups(), 0);

@@ -19,6 +19,16 @@
 //! recorded as [`LadderEvent`]s — every step is traced, counted, and
 //! audited, because an unexplained brownout is itself an availability
 //! bug.
+//!
+//! Where the unavailable-shard signal comes from depends on the
+//! transport model. With the lossy interconnect enabled
+//! (`ClusterConfig::net`), a shard counts as unavailable when the
+//! heartbeat failure detector *suspects* it — link silence observed
+//! from missed acks — rather than from a scripted `partition_until`
+//! window; suspicion gates routing and raises this ladder signal but
+//! deliberately does not open circuit breakers, because a silent link
+//! says nothing about the silicon behind it (see "Lossy interconnect
+//! & exactly-once dispatch" in DESIGN.md).
 
 /// Cluster service level, ordered from full service to brownout.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]

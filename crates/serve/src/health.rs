@@ -11,6 +11,7 @@
 //! [`apply_signal`] feeds one into a breaker.
 
 use crate::breaker::CircuitBreaker;
+use crate::sim::ServeError;
 use eve_sim::EngineHealth;
 
 /// One discrete health observation about an engine, ordered roughly
@@ -84,6 +85,28 @@ pub fn apply_signal(breaker: &mut CircuitBreaker, signal: HealthSignal, now: u64
         HealthSignal::RemapExhausted | HealthSignal::WayDisabled => breaker.on_failure(now),
         HealthSignal::Degraded => breaker.force_open(now),
     }
+}
+
+/// Extracts the engine-health snapshot from an `eve-sim` run report
+/// with a typed error instead of an `expect` chain: only faulty runs
+/// carry a resilience section, and a caller wiring reports into
+/// breakers should handle the fault-free case as data, not a panic.
+///
+/// # Errors
+///
+/// Returns [`ServeError::Report`] when the report has no resilience
+/// section.
+pub fn engine_health(report: &eve_sim::RunReport) -> Result<EngineHealth, ServeError> {
+    report
+        .resilience
+        .as_ref()
+        .map(eve_sim::ResilienceReport::health)
+        .ok_or_else(|| {
+            ServeError::Report(format!(
+                "run report for {} carries no resilience section (not a faulty run)",
+                report.workload
+            ))
+        })
 }
 
 /// Whether an engine slot is a sane spawn target for the elastic
@@ -181,13 +204,27 @@ mod tests {
         let report = Runner::new()
             .run_faulty(32, &Workload::vvadd(300), cfg, RecoveryPolicy::default())
             .expect("degraded runs still report");
-        let res = report.resilience.expect("faulty runs carry resilience");
-        let h = res.health();
+        let h = engine_health(&report).expect("faulty runs carry resilience");
         assert!(h.degraded);
         let mut b = CircuitBreaker::new(BreakerPolicy::default());
         for s in signals(&h) {
             apply_signal(&mut b, s, 100);
         }
         assert_eq!(b.state_at(100), BreakerState::Open);
+    }
+
+    /// A fault-free run has no resilience section: extraction is a
+    /// typed [`ServeError::Report`], not a panic path.
+    #[test]
+    fn a_clean_run_yields_a_typed_report_error() {
+        use eve_sim::{Runner, SystemKind};
+        use eve_workloads::Workload;
+
+        let report = Runner::new()
+            .run(SystemKind::EveN(32), &Workload::vvadd(100))
+            .expect("clean run");
+        let err = engine_health(&report).unwrap_err();
+        assert!(matches!(err, ServeError::Report(_)));
+        assert!(err.to_string().contains("no resilience section"));
     }
 }

@@ -42,6 +42,19 @@
 //! diurnal load curve, count-based bursts, or a periodic hot-key
 //! storm — all pure functions of the traffic seed.
 //!
+//! The [`net`] module makes the router↔shard wire itself unreliable:
+//! with [`NetPolicy`] enabled, every request, response, cancel, and
+//! heartbeat is a message on a seeded lossy [`Link`] (delay, loss,
+//! duplication, reordering), and the cluster rebuilds exactly-once
+//! *effects* from at-least-once *delivery* — sender-side timeouts and
+//! retransmits, a per-shard idempotency [`DedupTable`] that answers
+//! redelivered requests from cache, windowed-p99 hedged requests with
+//! first-response-wins cancellation, and a heartbeat failure
+//! [`Detector`] whose suspicion feeds routing and the [`Ladder`]. A
+//! partition becomes nothing but 100% loss on a link, and
+//! [`audit_cluster`] replays two new identities: per-link message
+//! conservation and zero double-applied executions.
+//!
 //! # Examples
 //!
 //! ```
@@ -72,6 +85,7 @@ pub mod cluster_report;
 pub mod degrade;
 pub mod elastic;
 pub mod health;
+pub mod net;
 pub mod profile;
 pub mod queue;
 pub mod report;
@@ -93,7 +107,11 @@ pub use degrade::{Ladder, LadderEvent, LadderPolicy, ServiceLevel};
 pub use elastic::{
     ElasticAction, ElasticController, ElasticEvent, ElasticEventKind, ElasticPolicy, ShardSignal,
 };
-pub use health::{apply_signal, signals, spawn_target_ok, HealthSignal};
+pub use health::{apply_signal, engine_health, signals, spawn_target_ok, HealthSignal};
+pub use net::{
+    ClassStats, DedupTable, Detector, DetectorEvent, Link, MsgClass, NetCounters, NetPolicy,
+    RttWindow,
+};
 pub use profile::ServiceProfile;
 pub use queue::{admit, estimated_wait, AdmissionPolicy, AdmissionView, ShedReason};
 pub use report::{EngineReport, ServeReport};

@@ -1,0 +1,679 @@
+//! The deterministic lossy interconnect between the router and shards.
+//!
+//! Until this layer existed, router→shard and shard→router messaging
+//! was an instantaneous, perfectly-reliable in-process call — the one
+//! failure class the cluster could not see. [`Link`] makes delivery
+//! explicit: every request, response, cancel, and heartbeat becomes a
+//! message with a seeded per-link delay distribution, loss
+//! probability, duplication, and extra-delay reordering, scheduled
+//! through the existing discrete-event calendar so runs stay
+//! byte-identical at any campaign thread count.
+//!
+//! On top of the raw link the cluster builds exactly-once *effects*
+//! from at-least-once *delivery*:
+//!
+//! * [`DedupTable`] is the per-shard idempotency table: the first
+//!   execution of a request is recorded with its result, and every
+//!   redelivered copy resends the cached response instead of
+//!   re-executing — no double-spent warmup flushes, no duplicate SDC
+//!   exposure.
+//! * [`RttWindow`] is the windowed RTT estimator behind hedged
+//!   requests: once enough samples exist, a hedge fires after the
+//!   windowed p99 delay and the first response wins.
+//! * [`Detector`] is the windowed heartbeat failure detector: the
+//!   router pings every shard over the same lossy link; a shard whose
+//!   acks go quiet for more than the miss window is *suspected* and
+//!   routed around, and recovers the moment an ack lands. A partition
+//!   is now just 100% loss on a link — the blunt
+//!   [`ShardPartition`](crate::storm::StormEventKind::ShardPartition)
+//!   oracle is only kept for the historical (net-disabled) mode.
+//!
+//! Everything here is a pure function of the seed: the link RNG is a
+//! forked [`SplitMix64`] stream, [`SplitMix64::chance`] always draws
+//! exactly one value, and the p99 sort is exact integer work.
+
+use eve_common::SplitMix64;
+use std::collections::HashMap;
+
+/// Transport knobs for one cluster run. Disabled (the default) keeps
+/// the historical instantaneous-reliable dispatch path byte-for-byte.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NetPolicy {
+    /// Whether the transport layer is modeled at all.
+    pub enabled: bool,
+    /// Minimum one-way delay per message copy, cycles.
+    pub base_delay: u64,
+    /// Uniform extra delay on `[0, jitter]`, cycles.
+    pub jitter: u64,
+    /// Per-copy drop probability.
+    pub loss: f64,
+    /// Probability a transmit emits two copies instead of one.
+    pub duplicate: f64,
+    /// Probability a copy picks up `reorder_extra` additional delay,
+    /// letting later messages overtake it.
+    pub reorder: f64,
+    /// The overtaking delay, cycles.
+    pub reorder_extra: u64,
+    /// Sender-side retransmit timeout. Zero derives it from the
+    /// service profile ([`crate::ServiceProfile::rto_hint`]).
+    pub rto: u64,
+    /// Retransmits per request before the sender fails over.
+    pub max_retransmits: u32,
+    /// Whether hedged requests fire at all.
+    pub hedge: bool,
+    /// RTT samples required before the hedge estimator arms.
+    pub hedge_min_samples: usize,
+    /// Floor on the hedge delay, cycles (a tiny p99 must not hedge
+    /// every request).
+    pub hedge_floor: u64,
+    /// Heartbeat period per link, cycles.
+    pub heartbeat_every: u64,
+    /// Consecutive silent heartbeat periods before suspicion.
+    pub suspect_misses: u32,
+}
+
+impl Default for NetPolicy {
+    fn default() -> Self {
+        Self {
+            enabled: false,
+            base_delay: 40,
+            jitter: 24,
+            loss: 0.0,
+            duplicate: 0.0,
+            reorder: 0.0,
+            reorder_extra: 96,
+            rto: 0,
+            max_retransmits: 3,
+            hedge: true,
+            hedge_min_samples: 16,
+            hedge_floor: 1_000,
+            heartbeat_every: 2_000,
+            suspect_misses: 3,
+        }
+    }
+}
+
+impl NetPolicy {
+    /// An enabled policy with `loss` drop probability, half that much
+    /// duplication, and mild reordering — the standard chaos preset
+    /// campaigns sweep.
+    #[must_use]
+    pub fn lossy(loss: f64) -> Self {
+        Self {
+            enabled: true,
+            loss,
+            duplicate: loss / 2.0,
+            reorder: 0.05,
+            ..Self::default()
+        }
+    }
+
+    /// Validates the probability fields.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the offending field when a probability
+    /// leaves `[0, 1]`.
+    pub fn validate(&self) -> Result<(), String> {
+        for (name, p) in [
+            ("loss", self.loss),
+            ("duplicate", self.duplicate),
+            ("reorder", self.reorder),
+        ] {
+            if !(0.0..=1.0).contains(&p) {
+                return Err(format!("net.{name} must be a probability, got {p}"));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Message classes a link carries, each conserved independently.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MsgClass {
+    /// Router→shard request dispatch.
+    Req = 0,
+    /// Shard→router response (success or nack).
+    Resp = 1,
+    /// Router→shard hedge/first-response-wins cancellation.
+    Cancel = 2,
+    /// Router→shard heartbeat ping.
+    Heartbeat = 3,
+    /// Shard→router heartbeat ack.
+    Ack = 4,
+}
+
+impl MsgClass {
+    /// Every class, in wire order.
+    pub const ALL: [MsgClass; 5] = [
+        MsgClass::Req,
+        MsgClass::Resp,
+        MsgClass::Cancel,
+        MsgClass::Heartbeat,
+        MsgClass::Ack,
+    ];
+
+    /// Stable lowercase name for reports.
+    #[must_use]
+    pub fn as_str(self) -> &'static str {
+        match self {
+            MsgClass::Req => "req",
+            MsgClass::Resp => "resp",
+            MsgClass::Cancel => "cancel",
+            MsgClass::Heartbeat => "heartbeat",
+            MsgClass::Ack => "ack",
+        }
+    }
+}
+
+/// One message class's conservation ledger on one link. Counts are in
+/// *copies* (a duplicated transmit is two sends), so
+/// `sent == delivered + dropped + in-flight` holds exactly — the
+/// auditor's message-conservation identity.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ClassStats {
+    /// Copies handed to the link.
+    pub sent: u64,
+    /// Copies that reached the far end (late copies included).
+    pub delivered: u64,
+    /// Copies the link dropped at transmit time.
+    pub dropped: u64,
+    /// Extra copies the duplication draw emitted.
+    pub dup_copies: u64,
+}
+
+impl ClassStats {
+    /// Copies scheduled but not yet delivered — zero once a run's
+    /// event heap has drained.
+    #[must_use]
+    pub fn in_flight(&self) -> u64 {
+        self.sent - self.delivered - self.dropped
+    }
+}
+
+/// One router↔shard link: a seeded RNG stream plus per-class
+/// conservation counters and an optional loss-override window (how
+/// partitions and [`LinkDegrade`](crate::storm::StormEventKind::LinkDegrade)
+/// storms are modeled).
+#[derive(Debug, Clone)]
+pub struct Link {
+    rng: SplitMix64,
+    lossy_until: u64,
+    loss_override: f64,
+    classes: [ClassStats; MsgClass::ALL.len()],
+}
+
+impl Link {
+    /// A link for `shard`, its RNG forked from the cluster seed so
+    /// adding a shard never perturbs another link's stream.
+    #[must_use]
+    pub fn new(seed: u64, shard: usize) -> Self {
+        Self {
+            rng: SplitMix64::new(
+                seed ^ 0x6C62_272E_07BB_0142 ^ (shard as u64).wrapping_mul(0xD1B5_4A32_D192_ED03),
+            ),
+            lossy_until: 0,
+            loss_override: 0.0,
+            classes: [ClassStats::default(); MsgClass::ALL.len()],
+        }
+    }
+
+    /// Opens (or extends) a loss-override window: until `until`, the
+    /// link drops each copy with probability `loss` (if worse than the
+    /// baseline). Overlapping windows keep the later end and the worse
+    /// loss.
+    pub fn degrade(&mut self, until: u64, loss: f64) {
+        self.lossy_until = self.lossy_until.max(until);
+        self.loss_override = self.loss_override.max(loss.clamp(0.0, 1.0));
+    }
+
+    /// Whether a loss-override window is open at `now`.
+    #[must_use]
+    pub fn degraded_at(&self, now: u64) -> bool {
+        now < self.lossy_until
+    }
+
+    fn loss_at(&self, now: u64, base: f64) -> f64 {
+        if now < self.lossy_until {
+            self.loss_override.max(base)
+        } else {
+            base
+        }
+    }
+
+    /// Transmits one message at `now`: draws duplication once, then
+    /// per copy draws loss, jitter, and reordering. Returns the
+    /// delivery time of each surviving copy (empty when everything
+    /// dropped). Every copy updates the class ledger.
+    pub fn transmit(&mut self, now: u64, class: MsgClass, p: &NetPolicy) -> Vec<u64> {
+        let copies = if self.rng.chance(p.duplicate) { 2 } else { 1 };
+        let loss = self.loss_at(now, p.loss);
+        let mut out = Vec::with_capacity(copies);
+        for c in 0..copies {
+            self.classes[class as usize].sent += 1;
+            if c > 0 {
+                self.classes[class as usize].dup_copies += 1;
+            }
+            if self.rng.chance(loss) {
+                self.classes[class as usize].dropped += 1;
+                continue;
+            }
+            let mut delay = p.base_delay.max(1) + self.rng.below(p.jitter + 1);
+            if self.rng.chance(p.reorder) {
+                delay += p.reorder_extra;
+            }
+            out.push(now + delay);
+        }
+        out
+    }
+
+    /// Records one copy reaching the far end.
+    pub fn on_delivered(&mut self, class: MsgClass) {
+        self.classes[class as usize].delivered += 1;
+    }
+
+    /// One class's ledger.
+    #[must_use]
+    pub fn stats(&self, class: MsgClass) -> ClassStats {
+        self.classes[class as usize]
+    }
+}
+
+/// A shard's idempotency table: request id → cached result (whether
+/// the cached answer is silently corrupt). Redelivered copies of an
+/// executed request hit the cache and resend the recorded response
+/// instead of re-executing — the exactly-once half of the transport.
+#[derive(Debug, Clone, Default)]
+pub struct DedupTable {
+    done: HashMap<u64, bool>,
+}
+
+impl DedupTable {
+    /// An empty table.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records `id`'s execution with its result. Returns `true` when
+    /// this is the first (effective) application; `false` means the
+    /// caller was about to double-apply — the auditor requires that
+    /// count to be zero.
+    pub fn record(&mut self, id: u64, corrupt: bool) -> bool {
+        self.done.insert(id, corrupt).is_none()
+    }
+
+    /// The cached result of `id`, if it already executed here.
+    #[must_use]
+    pub fn lookup(&self, id: u64) -> Option<bool> {
+        self.done.get(&id).copied()
+    }
+
+    /// Distinct requests executed here.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.done.len()
+    }
+
+    /// Whether nothing executed here yet.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.done.is_empty()
+    }
+}
+
+/// A fixed-capacity sliding window of RTT samples with an exact p99 —
+/// the hedge-delay estimator. The sort runs on at most `cap` integers
+/// per query, and the ring overwrite order is purely arrival order, so
+/// the estimate is deterministic.
+#[derive(Debug, Clone)]
+pub struct RttWindow {
+    samples: Vec<u64>,
+    next: usize,
+    cap: usize,
+}
+
+impl RttWindow {
+    /// An empty window holding up to `cap` samples.
+    #[must_use]
+    pub fn new(cap: usize) -> Self {
+        let cap = cap.max(1);
+        Self {
+            samples: Vec::with_capacity(cap),
+            next: 0,
+            cap,
+        }
+    }
+
+    /// Records one round-trip sample, evicting the oldest at capacity.
+    pub fn record(&mut self, rtt: u64) {
+        if self.samples.len() < self.cap {
+            self.samples.push(rtt);
+        } else {
+            self.samples[self.next] = rtt;
+        }
+        self.next = (self.next + 1) % self.cap;
+    }
+
+    /// Samples currently held.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Whether no sample has been recorded yet.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// The windowed 99th-percentile RTT, `None` while empty.
+    #[must_use]
+    pub fn p99(&self) -> Option<u64> {
+        if self.samples.is_empty() {
+            return None;
+        }
+        let mut v = self.samples.clone();
+        v.sort_unstable();
+        let idx = ((v.len() - 1) as f64 * 0.99).round() as usize;
+        Some(v[idx])
+    }
+
+    /// The hedge delay: windowed p99 clamped up to `floor`, and `None`
+    /// until `min_samples` RTTs have been observed (hedging on a cold
+    /// estimator would fire on noise).
+    #[must_use]
+    pub fn hedge_delay(&self, min_samples: usize, floor: u64) -> Option<u64> {
+        if self.samples.len() < min_samples.max(1) {
+            return None;
+        }
+        self.p99().map(|p| p.max(floor))
+    }
+}
+
+/// One failure-detector transition, kept as replayable history.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DetectorEvent {
+    /// When the transition was observed.
+    pub at: u64,
+    /// Which shard's link.
+    pub shard: usize,
+    /// `true` = became suspected, `false` = recovered.
+    pub suspected: bool,
+}
+
+/// The windowed heartbeat failure detector: one ack clock per link.
+/// A shard is suspected once its last ack is older than
+/// `heartbeat_every × (suspect_misses + 1)` — i.e. the whole miss
+/// window went silent — and recovers the instant an ack lands.
+/// Suspicion is evaluated lazily at routing decisions, which is both
+/// deterministic (the event loop drives it) and honest (a sender only
+/// learns about silence when it looks).
+#[derive(Debug, Clone)]
+pub struct Detector {
+    threshold: u64,
+    last_ack: Vec<u64>,
+    suspected: Vec<bool>,
+    events: Vec<DetectorEvent>,
+    suspicions: u64,
+    recoveries: u64,
+}
+
+impl Detector {
+    /// A detector over `shards` links.
+    #[must_use]
+    pub fn new(shards: usize, heartbeat_every: u64, suspect_misses: u32) -> Self {
+        Self {
+            threshold: heartbeat_every.max(1) * (u64::from(suspect_misses.max(1)) + 1),
+            last_ack: vec![0; shards],
+            suspected: vec![false; shards],
+            events: Vec::new(),
+            suspicions: 0,
+            recoveries: 0,
+        }
+    }
+
+    /// An ack from `shard` landed at `now`: refreshes its clock and
+    /// returns the recovery event if this cleared a suspicion.
+    pub fn on_ack(&mut self, now: u64, shard: usize) -> Option<DetectorEvent> {
+        self.last_ack[shard] = now;
+        if !self.suspected[shard] {
+            return None;
+        }
+        self.suspected[shard] = false;
+        self.recoveries += 1;
+        let ev = DetectorEvent {
+            at: now,
+            shard,
+            suspected: false,
+        };
+        self.events.push(ev);
+        Some(ev)
+    }
+
+    /// Re-evaluates `shard` at `now`: returns the suspicion event if
+    /// the miss window just elapsed.
+    pub fn probe(&mut self, now: u64, shard: usize) -> Option<DetectorEvent> {
+        if self.suspected[shard] || now.saturating_sub(self.last_ack[shard]) <= self.threshold {
+            return None;
+        }
+        self.suspected[shard] = true;
+        self.suspicions += 1;
+        let ev = DetectorEvent {
+            at: now,
+            shard,
+            suspected: true,
+        };
+        self.events.push(ev);
+        Some(ev)
+    }
+
+    /// Whether `shard` is currently suspected.
+    #[must_use]
+    pub fn suspected(&self, shard: usize) -> bool {
+        self.suspected[shard]
+    }
+
+    /// Transition history, in observation order.
+    #[must_use]
+    pub fn events(&self) -> &[DetectorEvent] {
+        &self.events
+    }
+
+    /// Suspicion transitions observed.
+    #[must_use]
+    pub fn suspicions(&self) -> u64 {
+        self.suspicions
+    }
+
+    /// Recovery transitions observed.
+    #[must_use]
+    pub fn recoveries(&self) -> u64 {
+        self.recoveries
+    }
+}
+
+/// The transport tallies a cluster run reports and the auditor
+/// replays. All zeros while the layer is disabled.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NetCounters {
+    /// Sender-side retransmits after timeouts.
+    pub retransmits: u64,
+    /// Timeouts that fired while their transmission was still live.
+    pub timeouts: u64,
+    /// Hedged requests fired.
+    pub hedges: u64,
+    /// Requests whose hedge copy won the race.
+    pub hedge_wins: u64,
+    /// Cancels that pulled a superseded copy out of a queue in time.
+    pub hedge_cancelled: u64,
+    /// Cancels that arrived too late (copy already dispatched or done).
+    pub cancel_missed: u64,
+    /// Redelivered requests answered from the idempotency cache.
+    pub dedup_hits: u64,
+    /// Request copies suppressed because the shard already held one.
+    pub dup_suppressed: u64,
+    /// Response copies that arrived after their request resolved.
+    pub late_responses: u64,
+    /// Stale queue entries dropped after their request resolved
+    /// elsewhere.
+    pub stale_drops: u64,
+    /// Executions the dedup table would have double-applied — the
+    /// exactly-once identity requires this to be zero.
+    pub double_applied: u64,
+    /// Failure-detector suspicion transitions.
+    pub suspicions: u64,
+    /// Failure-detector recovery transitions.
+    pub recoveries: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn links_are_seed_deterministic_and_conserve_copies() {
+        let p = NetPolicy {
+            loss: 0.2,
+            duplicate: 0.3,
+            reorder: 0.2,
+            ..NetPolicy::lossy(0.2)
+        };
+        let run = || {
+            let mut l = Link::new(42, 1);
+            let mut deliveries = Vec::new();
+            for i in 0..500u64 {
+                let at = i * 100;
+                for t in l.transmit(at, MsgClass::Req, &p) {
+                    assert!(t > at, "delivery must take time");
+                    deliveries.push(t);
+                    l.on_delivered(MsgClass::Req);
+                }
+            }
+            (deliveries, l.stats(MsgClass::Req))
+        };
+        let (a, sa) = run();
+        let (b, sb) = run();
+        assert_eq!(a, b);
+        assert_eq!(sa, sb);
+        assert_eq!(sa.sent, sa.delivered + sa.dropped);
+        assert_eq!(sa.in_flight(), 0);
+        assert!(sa.dropped > 0, "20% loss dropped nothing in 500 sends");
+        assert!(sa.dup_copies > 0, "30% duplication duplicated nothing");
+        assert!(sa.sent > 500, "duplicates add copies");
+    }
+
+    #[test]
+    fn different_links_draw_different_streams() {
+        let p = NetPolicy::lossy(0.3);
+        let mut a = Link::new(42, 0);
+        let mut b = Link::new(42, 1);
+        let da: Vec<Vec<u64>> = (0..50)
+            .map(|i| a.transmit(i * 10, MsgClass::Req, &p))
+            .collect();
+        let db: Vec<Vec<u64>> = (0..50)
+            .map(|i| b.transmit(i * 10, MsgClass::Req, &p))
+            .collect();
+        assert_ne!(da, db, "links must fork independent streams");
+    }
+
+    #[test]
+    fn degrade_windows_drop_everything_then_heal() {
+        let p = NetPolicy {
+            loss: 0.0,
+            duplicate: 0.0,
+            ..NetPolicy::lossy(0.0)
+        };
+        let mut l = Link::new(7, 0);
+        l.degrade(1_000, 1.0);
+        assert!(l.degraded_at(500));
+        assert!(!l.degraded_at(1_000));
+        for i in 0..20u64 {
+            assert!(l.transmit(i, MsgClass::Resp, &p).is_empty());
+        }
+        assert_eq!(l.stats(MsgClass::Resp).dropped, 20);
+        // Past the window the baseline (0% loss) applies again.
+        assert_eq!(l.transmit(2_000, MsgClass::Resp, &p).len(), 1);
+    }
+
+    #[test]
+    fn dedup_never_double_applies() {
+        let mut d = DedupTable::new();
+        assert!(d.record(3, false), "first application is effective");
+        assert!(!d.record(3, false), "second application is refused");
+        assert_eq!(d.lookup(3), Some(false));
+        assert!(d.record(4, true));
+        assert_eq!(d.lookup(4), Some(true), "cache keeps the corrupt bit");
+        assert_eq!(d.lookup(5), None);
+        assert_eq!(d.len(), 2);
+        assert!(!d.is_empty());
+    }
+
+    #[test]
+    fn rtt_window_slides_and_p99_is_exact() {
+        let mut w = RttWindow::new(4);
+        assert!(w.is_empty());
+        assert_eq!(w.p99(), None);
+        for s in [10, 20, 30, 40] {
+            w.record(s);
+        }
+        assert_eq!(w.p99(), Some(40));
+        // Capacity 4: recording 100 evicts 10; the window max is 100.
+        w.record(100);
+        assert_eq!(w.len(), 4);
+        assert_eq!(w.p99(), Some(100));
+    }
+
+    #[test]
+    fn hedge_delay_needs_samples_and_respects_the_floor() {
+        let mut w = RttWindow::new(64);
+        assert_eq!(w.hedge_delay(4, 500), None, "cold estimator must not arm");
+        for _ in 0..4 {
+            w.record(120);
+        }
+        assert_eq!(w.hedge_delay(4, 500), Some(500), "floor clamps a tiny p99");
+        for _ in 0..16 {
+            w.record(9_000);
+        }
+        assert_eq!(w.hedge_delay(4, 500), Some(9_000));
+    }
+
+    #[test]
+    fn detector_suspects_after_the_miss_window_and_recovers_on_ack() {
+        let mut d = Detector::new(2, 1_000, 3);
+        // Acks flowing: no suspicion.
+        d.on_ack(900, 0);
+        assert_eq!(d.probe(4_000, 0), None);
+        assert!(!d.suspected(0));
+        // Silence past every × (misses + 1) = 4000 cycles: suspected.
+        let ev = d.probe(5_000, 0).expect("miss window elapsed");
+        assert!(ev.suspected);
+        assert!(d.suspected(0));
+        assert_eq!(d.probe(5_100, 0), None, "suspicion fires once");
+        // An ack recovers it.
+        let ev = d.on_ack(6_000, 0).expect("ack clears suspicion");
+        assert!(!ev.suspected);
+        assert!(!d.suspected(0));
+        assert_eq!(d.suspicions(), 1);
+        assert_eq!(d.recoveries(), 1);
+        assert_eq!(d.events().len(), 2);
+        // Shard 1 was never touched.
+        assert!(d.suspected(1) || !d.suspected(1));
+        assert!(!d.suspected(1));
+    }
+
+    #[test]
+    fn policy_validation_rejects_non_probabilities() {
+        assert!(NetPolicy::default().validate().is_ok());
+        assert!(NetPolicy::lossy(0.05).validate().is_ok());
+        for tweak in [
+            |p: &mut NetPolicy| p.loss = 1.5,
+            |p: &mut NetPolicy| p.duplicate = -0.1,
+            |p: &mut NetPolicy| p.reorder = 2.0,
+        ] {
+            let mut p = NetPolicy::lossy(0.05);
+            tweak(&mut p);
+            assert!(p.validate().is_err());
+        }
+    }
+}

@@ -196,6 +196,17 @@ impl ServiceProfile {
         let sum: u64 = self.fallback_cycles.iter().sum();
         (sum / self.fallback_cycles.len() as u64).max(1)
     }
+
+    /// A sender-side retransmit timeout grounded in the measured
+    /// profile: two worst-jitter one-way trips on a link plus eight
+    /// mean engine services of queueing headroom. The transport layer
+    /// uses this when [`crate::NetPolicy::rto`] is left at zero — an
+    /// RTO below a normal queued round trip would retransmit into a
+    /// healthy shard and waste duplicate-suppression work.
+    #[must_use]
+    pub fn rto_hint(&self, base_delay: u64, jitter: u64) -> u64 {
+        2 * (base_delay + jitter) + 8 * self.mean_eve_cycles()
+    }
 }
 
 #[cfg(test)]
@@ -219,6 +230,15 @@ mod tests {
     fn zero_busy_engines_price_like_solo() {
         let p = ServiceProfile::synthetic(1, 500, 900, 2);
         assert_eq!(p.eve_service(0, 0), 500);
+    }
+
+    #[test]
+    fn rto_hint_covers_a_queued_round_trip() {
+        let p = ServiceProfile::synthetic(2, 1000, 4000, 4);
+        assert_eq!(p.rto_hint(40, 24), 2 * 64 + 8 * 1000);
+        // The hint must dominate one worst-case round trip plus one
+        // solo service — otherwise healthy shards get retransmitted at.
+        assert!(p.rto_hint(40, 24) > 2 * 64 + p.eve_service(0, 1));
     }
 
     #[test]

@@ -51,7 +51,8 @@ impl Router {
     ///
     /// # Panics
     ///
-    /// Panics if `shards` or `vnodes` is zero.
+    /// Panics if `shards` or `vnodes` is zero; [`Router::try_new`] is
+    /// the typed-error form config validation goes through.
     #[must_use]
     pub fn new(seed: u64, shards: usize, vnodes: usize) -> Self {
         assert!(shards > 0, "a ring needs at least one shard");
@@ -71,6 +72,27 @@ impl Router {
         // the ring is canonical.
         ring.sort_unstable();
         Self { ring, shards, seed }
+    }
+
+    /// [`Router::new`] with a typed error instead of a panic, for
+    /// callers validating user-supplied cluster configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::ServeError::Config`] when `shards` or `vnodes`
+    /// is zero.
+    pub fn try_new(seed: u64, shards: usize, vnodes: usize) -> Result<Self, crate::ServeError> {
+        if shards == 0 {
+            return Err(crate::ServeError::Config(
+                "a ring needs at least one shard".into(),
+            ));
+        }
+        if vnodes == 0 {
+            return Err(crate::ServeError::Config(
+                "a ring needs at least one vnode per shard".into(),
+            ));
+        }
+        Ok(Self::new(seed, shards, vnodes))
     }
 
     /// Shard count.
@@ -212,6 +234,21 @@ mod tests {
         let err = r.try_route_healthy(9, |_| false).unwrap_err();
         assert_eq!(err, RouteError { key: 9 });
         assert!(err.to_string().contains("key 9"));
+    }
+
+    #[test]
+    fn zero_sized_rings_are_typed_errors() {
+        assert!(matches!(
+            Router::try_new(1, 0, 16),
+            Err(crate::ServeError::Config(_))
+        ));
+        assert!(matches!(
+            Router::try_new(1, 4, 0),
+            Err(crate::ServeError::Config(_))
+        ));
+        let r = Router::try_new(42, 4, 16).expect("valid ring");
+        assert_eq!(r.shards(), 4);
+        assert_eq!(r.route(7), Router::new(42, 4, 16).route(7));
     }
 
     #[test]

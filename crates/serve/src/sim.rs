@@ -108,6 +108,10 @@ pub enum ServeError {
     /// shed/fallback decision; it is typed so nothing upstream is
     /// tempted to `unwrap` it into an abort.
     Unroutable(crate::router::RouteError),
+    /// A report lacked an expected section (e.g. asking a fault-free
+    /// `eve-sim` run for its resilience ladder) — the typed replacement
+    /// for `expect`-chaining report extraction.
+    Report(String),
 }
 
 impl fmt::Display for ServeError {
@@ -116,6 +120,7 @@ impl fmt::Display for ServeError {
             ServeError::Config(m) => write!(f, "serve config: {m}"),
             ServeError::Storm(m) => write!(f, "serve storm: {m}"),
             ServeError::Unroutable(e) => write!(f, "serve routing: {e}"),
+            ServeError::Report(m) => write!(f, "serve report: {m}"),
         }
     }
 }
@@ -301,7 +306,9 @@ impl ServeSim {
                         )));
                     }
                 }
-                StormEventKind::ShardPartition { .. } | StormEventKind::HotKeySkew { .. } => {
+                StormEventKind::ShardPartition { .. }
+                | StormEventKind::HotKeySkew { .. }
+                | StormEventKind::LinkDegrade { .. } => {
                     return Err(ServeError::Storm(format!(
                         "event {i} is cluster-scoped; a single pool has no shards \
                          (use ClusterSim)"
@@ -493,7 +500,9 @@ impl ServeSim {
                 e.fault_epoch += 1;
             }
             // Cluster-scoped kinds are rejected at construction.
-            StormEventKind::ShardPartition { .. } | StormEventKind::HotKeySkew { .. } => {}
+            StormEventKind::ShardPartition { .. }
+            | StormEventKind::HotKeySkew { .. }
+            | StormEventKind::LinkDegrade { .. } => {}
         }
         // Health changed: waiting work may now be placeable (or the
         // pool may have lost a server — pump is a no-op then).

@@ -53,6 +53,18 @@ pub enum StormEventKind {
         /// Skew-window length in cycles.
         duration: u64,
     },
+    /// Cluster-scoped, transport-layer: the router↔shard link named by
+    /// the event's `engine` field drops `loss_pct`% of message copies
+    /// for `duration` cycles — a flaky cable rather than a dead shard.
+    /// Requires the `eve-serve::net` transport to be enabled (rejected
+    /// otherwise); with it on, a [`StormEventKind::ShardPartition`] is
+    /// just the 100% special case of this.
+    LinkDegrade {
+        /// Drop probability in percent, clamped to 100 at replay.
+        loss_pct: u8,
+        /// Degrade-window length in cycles.
+        duration: u64,
+    },
 }
 
 /// One scripted health event.
@@ -119,6 +131,19 @@ impl FaultStorm {
                 at,
                 engine: shard,
                 kind: StormEventKind::ShardPartition { duration },
+            }],
+        }
+    }
+
+    /// A storm that degrades `shard`'s router link to `loss_pct`% loss
+    /// at `at` for `duration` cycles, then heals.
+    #[must_use]
+    pub fn link_degrade(shard: usize, loss_pct: u8, at: u64, duration: u64) -> Self {
+        Self {
+            events: vec![StormEvent {
+                at,
+                engine: shard,
+                kind: StormEventKind::LinkDegrade { loss_pct, duration },
             }],
         }
     }
@@ -205,6 +230,7 @@ fn kind_rank(k: StormEventKind) -> u8 {
         StormEventKind::Kill => 3,
         StormEventKind::ShardPartition { .. } => 4,
         StormEventKind::HotKeySkew { .. } => 5,
+        StormEventKind::LinkDegrade { .. } => 6,
     }
 }
 
@@ -293,6 +319,28 @@ mod tests {
             s.events[2].kind,
             StormEventKind::HotKeySkew { .. }
         ));
+    }
+
+    #[test]
+    fn link_degrade_scripts_a_flaky_cable() {
+        let s =
+            FaultStorm::link_degrade(0, 40, 1_000, 500).merged(FaultStorm::hot_key(9, 1_000, 50));
+        // Same cycle, same engine slot: LinkDegrade ranks last.
+        assert!(matches!(
+            s.events[0].kind,
+            StormEventKind::HotKeySkew { .. }
+        ));
+        assert_eq!(
+            s.events[1],
+            StormEvent {
+                at: 1_000,
+                engine: 0,
+                kind: StormEventKind::LinkDegrade {
+                    loss_pct: 40,
+                    duration: 500
+                },
+            }
+        );
     }
 
     #[test]

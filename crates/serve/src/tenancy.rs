@@ -200,6 +200,25 @@ impl TenantQueues {
         taken
     }
 
+    /// Removes one specific queued request of `tenant`, preserving the
+    /// order of everything else — the transport layer's
+    /// first-response-wins cancellation pulls a superseded copy out of
+    /// the losing shard's queue with this. Returns whether the request
+    /// was still queued (a copy already dispatched into a batch cannot
+    /// be cancelled).
+    pub fn remove(&mut self, tenant: usize, req: usize) -> bool {
+        let q = &mut self.queues[tenant];
+        let Some(pos) = q.iter().position(|&r| r == req) else {
+            return false;
+        };
+        q.remove(pos);
+        self.len -= 1;
+        if q.is_empty() {
+            self.deficits[tenant] = 0;
+        }
+        true
+    }
+
     /// Removes up to `n` requests round-robin across tenants (FIFO
     /// within each) — the work-stealing path drains a dead shard's
     /// backlog with this, touching every backlogged tenant fairly.
@@ -323,6 +342,25 @@ mod tests {
         assert_eq!(q.len(), 3);
         let rest: Vec<usize> = std::iter::from_fn(|| q.pop_next(|_| 1).map(|(_, r)| r)).collect();
         assert_eq!(rest, vec![1, 3, 5]);
+    }
+
+    #[test]
+    fn remove_cancels_one_copy_and_keeps_order() {
+        let mut q = TenantQueues::new(&[1, 1], 10);
+        for r in [1, 2, 3] {
+            q.push(0, r);
+        }
+        q.push(1, 9);
+        assert!(q.remove(0, 2), "queued copy cancels");
+        assert!(!q.remove(0, 2), "a cancelled copy is gone");
+        assert!(!q.remove(1, 777), "unknown request is a miss");
+        assert_eq!(q.len(), 3);
+        let rest: Vec<(usize, usize)> = std::iter::from_fn(|| q.pop_next(|_| 1)).collect();
+        assert_eq!(rest, vec![(0, 1), (0, 3), (1, 9)]);
+        // Emptying a tenant via remove forfeits its deficit.
+        q.push(1, 5);
+        assert!(q.remove(1, 5));
+        assert!(q.is_empty());
     }
 
     #[test]

@@ -276,6 +276,40 @@ impl Workload {
         ]
     }
 
+    /// [`Workload::suite`] with the two scatter/gather-bound kernels
+    /// promoted to evaluation-scale inputs:
+    ///
+    /// * `spmv` grows to 768×4096 with up to 512 nonzeros per row, so
+    ///   the column gather sweeps a vector larger than the LLC and the
+    ///   per-row nonzero imbalance is measured at real depth;
+    /// * `histogram` grows to 98 304 keys over the same 256 bins, so
+    ///   the scatter-conflict loop sees ~3× the default conflict
+    ///   opportunities per bin and its measured VPar is the
+    ///   steady-state figure, not a warm-up artifact.
+    ///
+    /// Everything else keeps the default inputs — the point is to
+    /// re-measure the two conflict-bound kernels, not to triple the
+    /// whole campaign's runtime. `tab4_benchmarks --eval-scale`
+    /// selects this suite.
+    #[must_use]
+    pub fn eval_scale_suite() -> Vec<Workload> {
+        Self::suite()
+            .into_iter()
+            .map(|w| match w {
+                Workload::Spmv { .. } => Workload::Spmv {
+                    rows: 768,
+                    cols: 4096,
+                    max_nnz: 512,
+                },
+                Workload::Histogram { .. } => Workload::Histogram {
+                    n: 98_304,
+                    bins: 256,
+                },
+                other => other,
+            })
+            .collect()
+    }
+
     /// A miniature suite for fast smoke tests.
     #[must_use]
     pub fn tiny_suite() -> Vec<Workload> {
@@ -392,6 +426,45 @@ mod tests {
                 c.record(&r);
             }
             assert_eq!(c.vector_insts, 0, "{}", built.name);
+        }
+    }
+
+    #[test]
+    fn eval_scale_only_promotes_the_conflict_bound_kernels() {
+        let base = Workload::suite();
+        let eval = Workload::eval_scale_suite();
+        assert_eq!(base.len(), eval.len());
+        for (b, e) in base.iter().zip(&eval) {
+            assert_eq!(b.name(), e.name(), "eval scale must not reorder the suite");
+            match e {
+                Workload::Spmv { rows, cols, .. } => {
+                    assert!(rows * cols > 768 * 1024, "spmv must grow");
+                    assert_ne!(b, e);
+                }
+                Workload::Histogram { n, bins } => {
+                    assert!(*n >= 3 * 32768, "histogram must grow");
+                    assert_eq!(*bins, 256, "conflict density is per-bin: keep bins");
+                    assert_ne!(b, e);
+                }
+                other => assert_eq!(b, other, "only spmv/histogram change"),
+            }
+        }
+    }
+
+    /// The promoted inputs still verify against their goldens — the
+    /// larger builds are real kernels, not just bigger numbers.
+    #[test]
+    fn eval_scale_spmv_and_histogram_match_golden() {
+        for w in Workload::eval_scale_suite()
+            .into_iter()
+            .filter(|w| matches!(w, Workload::Spmv { .. } | Workload::Histogram { .. }))
+        {
+            let built = w.build();
+            let mut i = Interpreter::new(built.vector.clone(), built.memory.clone(), 64);
+            i.run_to_halt().unwrap();
+            built
+                .verify(i.memory())
+                .unwrap_or_else(|e| panic!("{} eval scale: {e}", built.name));
         }
     }
 

@@ -7,7 +7,7 @@
 #![cfg(feature = "obs")]
 
 use eve::serve::{
-    ClusterConfig, ClusterSim, ClusterTraffic, ElasticPolicy, FaultStorm, ServiceProfile,
+    ClusterConfig, ClusterSim, ClusterTraffic, ElasticPolicy, FaultStorm, NetPolicy, ServiceProfile,
 };
 use eve_common::json::JsonValue;
 use eve_obs::Tracer;
@@ -53,11 +53,45 @@ fn cluster_elastic() -> JsonValue {
         .to_json()
 }
 
+/// A small deterministic run over the lossy interconnect, with a
+/// mid-run partition so the detector history, the per-link ledgers,
+/// and every `net` counter are pinned in their populated shape.
+fn cluster_net() -> JsonValue {
+    let cfg = ClusterConfig {
+        shards: 2,
+        engines_per_shard: 2,
+        net: NetPolicy {
+            duplicate: 0.1,
+            ..NetPolicy::lossy(0.05)
+        },
+        seed: 11,
+        ..ClusterConfig::default()
+    };
+    let traffic = ClusterTraffic {
+        requests: 250,
+        mean_gap: 300,
+        seed: 5,
+        ..ClusterTraffic::default()
+    };
+    let horizon = 250 * 300;
+    let profile = ServiceProfile::synthetic(3, 1_000, 4_000, 2);
+    ClusterSim::new(
+        cfg,
+        profile,
+        traffic,
+        FaultStorm::partition(1, horizon / 3, horizon / 6),
+    )
+    .expect("valid net snapshot config")
+    .run()
+    .to_json()
+}
+
 /// One deterministic document covering both report shapes: a scalar
 /// run (null breakdown), a traced EVE run (every section filled), and
 /// a traced second-wave kernel (cross-element-heavy scan) so the
 /// schema is pinned for the expanded workload suite too; plus an
-/// elastic cluster report pinning the serving-layer schema.
+/// elastic cluster report pinning the serving-layer schema and a
+/// lossy-transport cluster report pinning the net counter block.
 fn snapshot() -> String {
     let w = Workload::vvadd(512);
     let io = Runner::new().run(SystemKind::Io, &w).unwrap();
@@ -74,6 +108,7 @@ fn snapshot() -> String {
         ("eve8_traced", eve.to_json()),
         ("scan_traced", scan.to_json()),
         ("cluster_elastic", cluster_elastic()),
+        ("cluster_net", cluster_net()),
     ]);
     let mut text = doc.to_pretty();
     text.push('\n');
